@@ -1,0 +1,75 @@
+//! E1/E2 (Criterion): safety-checker kernels at growing query sizes.
+//!
+//! Series: `pg` (plain punctuation graph build + strong connection, the
+//! §4.1 linear-time check), `gpg_fixpoint` (naive Definition 9/10 per-origin
+//! fixpoint), `tpg` (Definition 11 transformation, the §4.3 polynomial
+//! check). Expected: `pg` linear, `gpg_fixpoint` superlinear, `tpg` between.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cjq_core::gpg::GeneralizedPunctuationGraph;
+use cjq_core::pg::PunctuationGraph;
+use cjq_core::tpg;
+use cjq_workload::random_query::{self, RandomQueryConfig, Topology};
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_scaling");
+    for n in [4usize, 8, 16, 32, 64] {
+        let cfg = RandomQueryConfig {
+            n_streams: n,
+            topology: Topology::Random { extra_edges: n / 2 },
+            seed: n as u64,
+            ..RandomQueryConfig::default()
+        };
+        let (q, r) = random_query::generate_safe(&cfg);
+        group.bench_with_input(BenchmarkId::new("pg", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(PunctuationGraph::of_query(&q, &r).is_strongly_connected())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gpg_fixpoint", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    GeneralizedPunctuationGraph::of_query(&q, &r).is_strongly_connected(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tpg", n), &n, |b, _| {
+            b.iter(|| black_box(tpg::transform_query(&q, &r).is_single_node()));
+        });
+    }
+    group.finish();
+
+    // Multi-attribute scheme mix: the generalized machinery's real workload.
+    let mut group = c.benchmark_group("checker_multi_attr");
+    for n in [8usize, 16, 32] {
+        let cfg = RandomQueryConfig {
+            n_streams: n,
+            topology: Topology::Cycle,
+            multi_attr_prob: 0.5,
+            scheme_density: 1.0,
+            seed: n as u64,
+            ..RandomQueryConfig::default()
+        };
+        let (q, r) = random_query::generate(&cfg);
+        group.bench_with_input(BenchmarkId::new("gpg_fixpoint", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    GeneralizedPunctuationGraph::of_query(&q, &r).is_strongly_connected(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tpg", n), &n, |b, _| {
+            b.iter(|| black_box(tpg::transform_query(&q, &r).is_single_node()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_checkers
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E6 (Criterion): safe-plan counting and enumeration cost at growing query
+//! sizes (cycle queries with full scheme coverage — the worst case, since
+//! every subset is a safe block).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cjq_planner::enumerate::PlanSpace;
+use cjq_workload::random_query::{self, RandomQueryConfig, Topology};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_enum");
+    for n in [4usize, 6, 8, 10] {
+        let cfg = RandomQueryConfig {
+            n_streams: n,
+            topology: Topology::Cycle,
+            seed: n as u64,
+            ..RandomQueryConfig::default()
+        };
+        let (q, r) = random_query::generate_safe(&cfg);
+        group.bench_with_input(BenchmarkId::new("count_safe", n), &n, |b, _| {
+            b.iter(|| {
+                let mut space = PlanSpace::new(&q, &r);
+                black_box(space.count_safe_plans())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate_100", n), &n, |b, _| {
+            b.iter(|| {
+                let space = PlanSpace::new(&q, &r);
+                black_box(space.enumerate_safe_plans(100).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Experiment E6: plan enumeration (§5.2).
+//!
+//! Counts all cross-product-free plans vs. safe plans for growing query
+//! sizes, and times the safe-plan enumeration DP. The expected shape: the
+//! safe count is a small fraction of the total under sparse scheme sets and
+//! converges to the total under full coverage.
+
+use cjq_planner::enumerate::PlanSpace;
+use cjq_workload::random_query::{self, RandomQueryConfig, Topology};
+
+use crate::scaling::median_ns;
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct EnumRow {
+    /// Stream count.
+    pub n: usize,
+    /// Scheme coverage label.
+    pub coverage: &'static str,
+    /// Cross-product-free plans.
+    pub all_plans: u128,
+    /// Safe plans.
+    pub safe_plans: u128,
+    /// Wall time to build the space and count safe plans (ns).
+    pub count_ns: u64,
+}
+
+/// Runs the sweep on cycle queries of growing size.
+#[must_use]
+pub fn run(sizes: &[usize], iters: usize) -> Vec<EnumRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let cfg = RandomQueryConfig {
+            n_streams: n,
+            topology: Topology::Cycle,
+            seed: n as u64,
+            ..RandomQueryConfig::default()
+        };
+        for (coverage, full) in [("full schemes", true), ("one stream bare", false)] {
+            let (q, r) = if full {
+                random_query::generate_safe(&cfg)
+            } else {
+                random_query::generate_unsafe(&cfg)
+            };
+            let mut space = PlanSpace::new(&q, &r);
+            let all_plans = space.count_all_plans();
+            let safe_plans = space.count_safe_plans();
+            let count_ns = median_ns(iters, || {
+                let mut s = PlanSpace::new(&q, &r);
+                std::hint::black_box(s.count_safe_plans());
+            });
+            rows.push(EnumRow { n, coverage, all_plans, safe_plans, count_ns });
+        }
+    }
+    rows
+}
+
+fn table_data_render(rows: &[EnumRow]) -> (&'static [&'static str], Vec<Vec<String>>) {
+    let header: &'static [&'static str] = &["n", "coverage", "all plans", "safe plans", "count time (µs)"];
+    let data = rows
+
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.coverage.to_string(),
+                    r.all_plans.to_string(),
+                    r.safe_plans.to_string(),
+                    format!("{:.1}", r.count_ns as f64 / 1e3),
+                ]
+            })
+            .collect::<Vec<_>>();
+    (header, data)
+}
+
+/// Renders the rows as an aligned text table.
+#[must_use]
+pub fn render(rows: &[EnumRow]) -> String {
+    let (header, data) = table_data_render(rows);
+    crate::table::render(header, &data)
+}
+
+/// Renders the rows as CSV.
+#[must_use]
+pub fn to_csv(rows: &[EnumRow]) -> String {
+    let (header, data) = table_data_render(rows);
+    crate::table::csv(header, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_sane() {
+        let rows = run(&[3, 5], 1);
+        for r in &rows {
+            assert!(r.safe_plans <= r.all_plans);
+            match r.coverage {
+                "full schemes" => assert_eq!(r.safe_plans, r.all_plans),
+                _ => assert_eq!(r.safe_plans, 0),
+            }
+        }
+        // Plan counts grow with n.
+        let all3 = rows.iter().find(|r| r.n == 3).unwrap().all_plans;
+        let all5 = rows.iter().find(|r| r.n == 5).unwrap().all_plans;
+        assert!(all5 > all3);
+    }
+
+    #[test]
+    fn render_works() {
+        assert!(render(&run(&[3], 1)).contains("safe plans"));
+    }
+}

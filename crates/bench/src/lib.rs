@@ -1,0 +1,33 @@
+//! # cjq-bench — experiment harness
+//!
+//! Reproduces every worked figure of the paper and the experiment suite its
+//! claims imply (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! recorded results):
+//!
+//! * [`figures`] — F1–F10: programmatic reproduction of Figures 1, 3, 5, 7,
+//!   8/9, 10;
+//! * [`scaling`] — E1/E2: safety-checker wall-time scaling (PG vs. GPG
+//!   fixpoint vs. TPG);
+//! * [`growth`] — E3: join-state growth of safe vs. unsafe plans;
+//! * [`params`] — E4/E5: the §5.2 plan parameters (scheme choice, purge
+//!   cadence);
+//! * [`enumeration`] — E6: safe-plan counting/enumeration;
+//! * [`punct`] — E7: punctuation-store boundedness (§5.1 purging and
+//!   lifespans);
+//! * [`window`] — E8: punctuation semantics vs. the sliding-window baseline
+//!   of the related work [3, 7].
+//!
+//! The `experiments` binary prints all tables; the Criterion benches under
+//! `benches/` time the individual kernels.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod enumeration;
+pub mod figures;
+pub mod growth;
+pub mod params;
+pub mod punct;
+pub mod scaling;
+pub mod table;
+pub mod window;

@@ -1,0 +1,170 @@
+//! Experiments E1/E2: safety-checker scaling.
+//!
+//! The paper claims a linear-time check for single-attribute schemes
+//! (punctuation-graph build + strong connection, §4.1) and a polynomial-time
+//! check for arbitrary schemes via the TPG transformation (§4.3), contrasted
+//! here against the naive per-origin GPG fixpoint of Definition 9/10.
+
+use std::time::Instant;
+
+use cjq_core::gpg::GeneralizedPunctuationGraph;
+use cjq_core::pg::PunctuationGraph;
+use cjq_core::query::Cjq;
+use cjq_core::scheme::SchemeSet;
+use cjq_core::tpg;
+use cjq_workload::random_query::{self, RandomQueryConfig, Topology};
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Stream count.
+    pub n: usize,
+    /// Topology label.
+    pub topology: &'static str,
+    /// Whether the instance is safe.
+    pub safe: bool,
+    /// Plain PG build + strong-connection check (ns, median).
+    pub pg_ns: u64,
+    /// Naive GPG fixpoint over all origins (ns, median).
+    pub gpg_ns: u64,
+    /// TPG transformation (ns, median).
+    pub tpg_ns: u64,
+}
+
+/// Median wall time of `f` over `iters` runs (ns).
+pub fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn instance(n: usize, topology: Topology, safe: bool, multi_attr: bool) -> (Cjq, SchemeSet) {
+    let cfg = RandomQueryConfig {
+        n_streams: n,
+        topology,
+        multi_attr_prob: if multi_attr { 0.5 } else { 0.0 },
+        seed: n as u64 * 31 + 7,
+        ..RandomQueryConfig::default()
+    };
+    if safe {
+        random_query::generate_safe(&cfg)
+    } else {
+        random_query::generate_unsafe(&cfg)
+    }
+}
+
+/// Measures the three checkers on one instance.
+#[must_use]
+pub fn measure(query: &Cjq, schemes: &SchemeSet, iters: usize) -> (u64, u64, u64) {
+    let pg = median_ns(iters, || {
+        let g = PunctuationGraph::of_query(query, schemes);
+        std::hint::black_box(g.is_strongly_connected());
+    });
+    let gpg = median_ns(iters, || {
+        let g = GeneralizedPunctuationGraph::of_query(query, schemes);
+        std::hint::black_box(g.is_strongly_connected());
+    });
+    let tpg = median_ns(iters, || {
+        std::hint::black_box(tpg::transform_query(query, schemes).is_single_node());
+    });
+    (pg, gpg, tpg)
+}
+
+/// Runs the scaling sweep over sizes and topologies.
+#[must_use]
+pub fn run(sizes: &[usize], iters: usize) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for (topology, label) in [
+            (Topology::Path, "path"),
+            (Topology::Cycle, "cycle"),
+            (Topology::Random { extra_edges: n / 2 }, "random"),
+        ] {
+            for safe in [true, false] {
+                let (q, r) = instance(n, topology, safe, false);
+                let (pg_ns, gpg_ns, tpg_ns) = measure(&q, &r, iters);
+                rows.push(ScalingRow { n, topology: label, safe, pg_ns, gpg_ns, tpg_ns });
+            }
+        }
+    }
+    rows
+}
+
+fn table_data_render(rows: &[ScalingRow]) -> (&'static [&'static str], Vec<Vec<String>>) {
+    let header: &'static [&'static str] = &["n", "topology", "safe", "PG (µs)", "GPG fixpoint (µs)", "TPG (µs)"];
+    let data = rows
+
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.topology.to_string(),
+                    r.safe.to_string(),
+                    format!("{:.1}", r.pg_ns as f64 / 1e3),
+                    format!("{:.1}", r.gpg_ns as f64 / 1e3),
+                    format!("{:.1}", r.tpg_ns as f64 / 1e3),
+                ]
+            })
+            .collect::<Vec<_>>();
+    (header, data)
+}
+
+/// Renders the rows as an aligned text table.
+#[must_use]
+pub fn render(rows: &[ScalingRow]) -> String {
+    let (header, data) = table_data_render(rows);
+    crate::table::render(header, &data)
+}
+
+/// Renders the rows as CSV.
+#[must_use]
+pub fn to_csv(rows: &[ScalingRow]) -> String {
+    let (header, data) = table_data_render(rows);
+    crate::table::csv(header, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::safety;
+
+    #[test]
+    fn measurements_are_positive_and_verdicts_correct() {
+        let rows = run(&[4, 8], 3);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(r.pg_ns > 0 && r.gpg_ns > 0 && r.tpg_ns > 0);
+        }
+        // Safe/unsafe generation matches the checker verdicts.
+        let (q, r) = instance(8, Topology::Cycle, true, false);
+        assert!(safety::is_query_safe(&q, &r));
+        let (q, r) = instance(8, Topology::Cycle, false, false);
+        assert!(!safety::is_query_safe(&q, &r));
+    }
+
+    #[test]
+    fn multi_attr_instances_exercise_the_generalized_path() {
+        let (q, r) = instance(10, Topology::Cycle, true, true);
+        let (_, gpg, tpg) = measure(&q, &r, 3);
+        assert!(gpg > 0 && tpg > 0);
+        // TPG and GPG agree (Theorem 5) regardless of scheme arity mix.
+        assert_eq!(
+            GeneralizedPunctuationGraph::of_query(&q, &r).is_strongly_connected(),
+            tpg::transform_query(&q, &r).is_single_node()
+        );
+    }
+
+    #[test]
+    fn render_produces_a_table() {
+        let rows = run(&[4], 1);
+        let t = render(&rows);
+        assert!(t.contains("GPG fixpoint"));
+        assert!(t.lines().count() >= rows.len() + 2);
+    }
+}

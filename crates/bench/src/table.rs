@@ -1,0 +1,89 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// Renders a table with a header row and aligned columns.
+#[must_use]
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    line(&header_cells, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Renders the same data as CSV (RFC-4180-style quoting for commas/quotes).
+#[must_use]
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_owned()
+        }
+    }
+    let mut out = header.iter().map(|h| field(h)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row arity mismatch");
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["n", "value"],
+            &[
+                vec!["1".into(), "10".into()],
+                vec!["100".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("n") && lines[0].contains("value"));
+        assert!(lines[2].ends_with("10"));
+        assert!(lines[3].starts_with("100"));
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let t = csv(
+            &["name", "note"],
+            &[vec!["a,b".into(), "say \"hi\"".into()]],
+        );
+        assert_eq!(t, "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn rejects_bad_rows() {
+        let _ = render(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

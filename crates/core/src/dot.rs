@@ -1,0 +1,190 @@
+//! Graphviz (DOT) rendering of the paper's graph constructs, for debugging
+//! and for regenerating figures like the paper's Figures 5, 9, and 10.
+//!
+//! All functions return a `String` containing a self-contained `digraph`
+//! (or `graph` for the undirected join graph); render with
+//! `dot -Tsvg out.dot`.
+
+use std::fmt::Write as _;
+
+use crate::gpg::GeneralizedPunctuationGraph;
+use crate::join_graph::JoinGraph;
+use crate::pg::PunctuationGraph;
+use crate::query::Cjq;
+use crate::schema::StreamId;
+use crate::tpg::TransformedPunctuationGraph;
+
+fn stream_label(query: &Cjq, s: StreamId) -> String {
+    query
+        .catalog()
+        .schema(s)
+        .map_or_else(|| s.to_string(), |sc| sc.name().to_owned())
+}
+
+/// Renders the Definition 6 join graph (undirected; edges labeled with their
+/// predicates).
+#[must_use]
+pub fn join_graph(query: &Cjq, jg: &JoinGraph) -> String {
+    let mut out = String::from("graph join_graph {\n  node [shape=ellipse];\n");
+    for &s in jg.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", s.0, stream_label(query, s));
+    }
+    for (i, &a) in jg.nodes().iter().enumerate() {
+        for &b in &jg.nodes()[i + 1..] {
+            let preds = jg.predicates_between(a, b);
+            if !preds.is_empty() {
+                let label: Vec<String> =
+                    preds.iter().map(|p| query.display_predicate(p)).collect();
+                let _ = writeln!(
+                    out,
+                    "  {} -- {} [label=\"{}\"];",
+                    a.0,
+                    b.0,
+                    label.join("\\n")
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the Definition 7 punctuation graph (directed; edges annotated
+/// with the punctuatable endpoint that licensed them), as in Figure 5.
+#[must_use]
+pub fn punctuation_graph(query: &Cjq, pg: &PunctuationGraph) -> String {
+    let mut out = String::from("digraph punctuation_graph {\n  node [shape=ellipse];\n");
+    for &s in pg.streams() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", s.0, stream_label(query, s));
+    }
+    for &u in pg.streams() {
+        for &v in pg.streams() {
+            let reasons = pg.edge_reasons(u, v);
+            if !reasons.is_empty() {
+                let label: Vec<String> = reasons
+                    .iter()
+                    .map(|r| query.catalog().display_ref(r.punctuatable_on))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{}\"];",
+                    u.0,
+                    v.0,
+                    label.join("\\n")
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the Definition 8 generalized punctuation graph: plain edges solid,
+/// each hyper edge as a small junction point with dashed source arcs and a
+/// solid arc into the target — the Figure 9 shape.
+#[must_use]
+pub fn generalized_punctuation_graph(query: &Cjq, gpg: &GeneralizedPunctuationGraph) -> String {
+    let mut out = punctuation_graph(query, gpg.plain());
+    out.truncate(out.len() - 2); // drop the closing "}\n"
+    for (i, edge) in gpg.hyper_edges().iter().enumerate() {
+        let junction = format!("h{i}");
+        let _ = writeln!(out, "  {junction} [shape=point, width=0.08];");
+        let mut sources: Vec<StreamId> = edge
+            .requirements
+            .iter()
+            .flat_map(|r| r.candidates.iter().copied())
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        for s in sources {
+            let _ = writeln!(out, "  {} -> {junction} [style=dashed, arrowhead=none];", s.0);
+        }
+        let _ = writeln!(
+            out,
+            "  {junction} -> {} [label=\"{}\"];",
+            edge.target.0,
+            edge.scheme
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the last round of a Definition 11 transformation: virtual nodes
+/// as clusters of their covered streams — the Figure 10 shape.
+#[must_use]
+pub fn transformed_punctuation_graph(query: &Cjq, tpg: &TransformedPunctuationGraph) -> String {
+    let mut out = String::from("digraph transformed_punctuation_graph {\n  compound=true;\n");
+    let last = tpg.history.last().expect("at least one snapshot");
+    for (ni, node) in last.nodes.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{ni} {{");
+        let _ = writeln!(out, "    label=\"V{}\";", ni + 1);
+        for &s in node {
+            let _ = writeln!(out, "    {} [label=\"{}\"];", s.0, stream_label(query, s));
+        }
+        out.push_str("  }\n");
+    }
+    for &(a, b) in &last.edges {
+        // Connect via representative streams, clipped to the clusters.
+        let ra = last.nodes[a][0].0;
+        let rb = last.nodes[b][0].0;
+        let _ = writeln!(
+            out,
+            "  {ra} -> {rb} [ltail=cluster_{a}, lhead=cluster_{b}];"
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::tpg;
+
+    #[test]
+    fn join_graph_dot() {
+        let (q, _) = fixtures::fig3();
+        let jg = JoinGraph::of_query(&q);
+        let dot = join_graph(&q, &jg);
+        assert!(dot.starts_with("graph join_graph {"));
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("S1.B = S2.B"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn punctuation_graph_dot_shows_the_fig5_cycle() {
+        let (q, r) = fixtures::fig5();
+        let pg = PunctuationGraph::of_query(&q, &r);
+        let dot = punctuation_graph(&q, &pg);
+        assert!(dot.contains("1 -> 0 [label=\"S1.B\"]"));
+        assert!(dot.contains("2 -> 1 [label=\"S2.C\"]"));
+        assert!(dot.contains("0 -> 2 [label=\"S3.A\"]"));
+    }
+
+    #[test]
+    fn gpg_dot_renders_hyper_edges() {
+        let (q, r) = fixtures::fig8();
+        let gpg = GeneralizedPunctuationGraph::of_query(&q, &r);
+        let dot = generalized_punctuation_graph(&q, &gpg);
+        assert!(dot.contains("h0 [shape=point"));
+        assert!(dot.contains("0 -> h0 [style=dashed"));
+        assert!(dot.contains("1 -> h0 [style=dashed"));
+        assert!(dot.contains("h0 -> 2"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn tpg_dot_renders_clusters() {
+        let (q, r) = fixtures::fig8();
+        let t = tpg::transform_query(&q, &r);
+        let dot = transformed_punctuation_graph(&q, &t);
+        assert!(dot.contains("subgraph cluster_0"));
+        // Final state is one cluster with all three streams.
+        assert_eq!(dot.matches("subgraph").count(), 1);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,80 @@
+//! Typed errors for query/scheme construction and safety checking.
+
+use std::fmt;
+
+/// Errors produced while building catalogs, queries, schemes, or plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A stream schema was malformed.
+    InvalidSchema {
+        /// The offending stream's name.
+        stream: String,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A stream name did not resolve.
+    UnknownStream(String),
+    /// An attribute name did not resolve within its stream.
+    UnknownAttribute {
+        /// The stream searched.
+        stream: String,
+        /// The attribute that was not found.
+        attr: String,
+    },
+    /// A join predicate was malformed (self-join on one stream, bad refs, ...).
+    InvalidPredicate(String),
+    /// A punctuation scheme was malformed.
+    InvalidScheme(String),
+    /// A punctuation did not instantiate its scheme correctly.
+    InvalidPunctuation(String),
+    /// A query failed validation (empty, disconnected join graph, ...).
+    InvalidQuery(String),
+    /// An execution plan was malformed (wrong leaves, unary joins, ...).
+    InvalidPlan(String),
+}
+
+/// Convenience alias used throughout the crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSchema { stream, reason } => {
+                write!(f, "invalid schema for stream `{stream}`: {reason}")
+            }
+            CoreError::UnknownStream(s) => write!(f, "unknown stream `{s}`"),
+            CoreError::UnknownAttribute { stream, attr } => {
+                write!(f, "unknown attribute `{attr}` on stream `{stream}`")
+            }
+            CoreError::InvalidPredicate(r) => write!(f, "invalid join predicate: {r}"),
+            CoreError::InvalidScheme(r) => write!(f, "invalid punctuation scheme: {r}"),
+            CoreError::InvalidPunctuation(r) => write!(f, "invalid punctuation: {r}"),
+            CoreError::InvalidQuery(r) => write!(f, "invalid query: {r}"),
+            CoreError::InvalidPlan(r) => write!(f, "invalid plan: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::UnknownAttribute {
+            stream: "bid".into(),
+            attr: "foo".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("bid") && msg.contains("foo"));
+        assert!(CoreError::UnknownStream("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CoreError::InvalidQuery("q".into()));
+    }
+}

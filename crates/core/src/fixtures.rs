@@ -1,0 +1,128 @@
+//! Worked examples from the paper, shared by tests across modules and
+//! re-exported for downstream crates' tests, examples, and benches.
+//!
+//! Each fixture returns `(query, scheme set)` matching a figure of the paper.
+
+use crate::query::{Cjq, JoinPredicate};
+use crate::scheme::{PunctuationScheme, SchemeSet};
+use crate::schema::{Catalog, StreamSchema};
+
+/// Example 1 / Figure 1: the online-auction binary join
+/// `item(sellerid, itemid, name, initialprice) ⋈ bid(bidderid, itemid, increase)`
+/// with `itemid` punctuatable on both streams (unique item ids on `item`,
+/// auction-close punctuations on `bid`).
+#[must_use]
+pub fn auction() -> (Cjq, SchemeSet) {
+    let mut cat = Catalog::new();
+    cat.add_stream(
+        StreamSchema::new("item", ["sellerid", "itemid", "name", "initialprice"]).unwrap(),
+    );
+    cat.add_stream(StreamSchema::new("bid", ["bidderid", "itemid", "increase"]).unwrap());
+    let q = Cjq::new(cat, vec![JoinPredicate::between(0, 1, 1, 1).unwrap()]).unwrap();
+    let schemes = SchemeSet::from_schemes([
+        PunctuationScheme::on(0, &[1]).unwrap(),
+        PunctuationScheme::on(1, &[1]).unwrap(),
+    ]);
+    (q, schemes)
+}
+
+/// Figure 3: the 3-way MJoin `S1(A,B) ⋈ S2(B,C) ⋈ S3(C,A)` with predicates
+/// `S1.B = S2.B`, `S2.C = S3.C`, and schemes on `S2.B` and `S3.C` — exactly
+/// what the §3.2 chained-purge walkthrough needs to purge `Υ_S1`.
+#[must_use]
+pub fn fig3() -> (Cjq, SchemeSet) {
+    let mut cat = Catalog::new();
+    cat.add_stream(StreamSchema::new("S1", ["A", "B"]).unwrap());
+    cat.add_stream(StreamSchema::new("S2", ["B", "C"]).unwrap());
+    cat.add_stream(StreamSchema::new("S3", ["C", "A"]).unwrap());
+    let q = Cjq::new(
+        cat,
+        vec![
+            JoinPredicate::between(0, 1, 1, 0).unwrap(), // S1.B = S2.B
+            JoinPredicate::between(1, 1, 2, 0).unwrap(), // S2.C = S3.C
+        ],
+    )
+    .unwrap();
+    let schemes = SchemeSet::from_schemes([
+        PunctuationScheme::on(1, &[0]).unwrap(), // S2.B
+        PunctuationScheme::on(2, &[0]).unwrap(), // S3.C
+    ]);
+    (q, schemes)
+}
+
+/// Figure 5: the predicate triangle `S1.B = S2.B`, `S2.C = S3.C`,
+/// `S3.A = S1.A` with single-attribute schemes making `S1.B`, `S2.C`, `S3.A`
+/// punctuatable. The punctuation graph is the 3-cycle
+/// `S1 → S3 → S2 → S1`: the 3-way operator is purgeable (Corollary 1) but no
+/// binary-join tree is safe (Figure 7).
+#[must_use]
+pub fn fig5() -> (Cjq, SchemeSet) {
+    let mut cat = Catalog::new();
+    cat.add_stream(StreamSchema::new("S1", ["A", "B"]).unwrap());
+    cat.add_stream(StreamSchema::new("S2", ["B", "C"]).unwrap());
+    cat.add_stream(StreamSchema::new("S3", ["A", "C"]).unwrap());
+    let q = Cjq::new(
+        cat,
+        vec![
+            JoinPredicate::between(0, 1, 1, 0).unwrap(), // S1.B = S2.B
+            JoinPredicate::between(1, 1, 2, 1).unwrap(), // S2.C = S3.C
+            JoinPredicate::between(2, 0, 0, 0).unwrap(), // S3.A = S1.A
+        ],
+    )
+    .unwrap();
+    let schemes = SchemeSet::from_schemes([
+        PunctuationScheme::on(0, &[1]).unwrap(), // S1: (_, +) -> B
+        PunctuationScheme::on(1, &[1]).unwrap(), // S2: (_, +) -> C
+        PunctuationScheme::on(2, &[0]).unwrap(), // S3: (+, _) -> A
+    ]);
+    (q, schemes)
+}
+
+/// Figure 8: the same predicate triangle with
+/// `ℜ = {S1(_,+), S2(+,_), S2(_,+), S3(+,+)}`. The plain punctuation graph is
+/// *not* strongly connected, but the generalized punctuation graph is — the
+/// multi-attribute scheme `S3(+,+)` contributes the generalized edge
+/// `{S1, S2} → S3` (Figure 9), and the transformation of Figure 10 ends in a
+/// single virtual node.
+#[must_use]
+pub fn fig8() -> (Cjq, SchemeSet) {
+    let mut cat = Catalog::new();
+    cat.add_stream(StreamSchema::new("S1", ["A", "B"]).unwrap());
+    cat.add_stream(StreamSchema::new("S2", ["B", "C"]).unwrap());
+    cat.add_stream(StreamSchema::new("S3", ["A", "C"]).unwrap());
+    let q = Cjq::new(
+        cat,
+        vec![
+            JoinPredicate::between(0, 1, 1, 0).unwrap(), // S1.B = S2.B
+            JoinPredicate::between(1, 1, 2, 1).unwrap(), // S2.C = S3.C
+            JoinPredicate::between(2, 0, 0, 0).unwrap(), // S3.A = S1.A
+        ],
+    )
+    .unwrap();
+    let schemes = SchemeSet::from_schemes([
+        PunctuationScheme::on(0, &[1]).unwrap(),    // S1(_, +): B
+        PunctuationScheme::on(1, &[0]).unwrap(),    // S2(+, _): B
+        PunctuationScheme::on(1, &[1]).unwrap(),    // S2(_, +): C
+        PunctuationScheme::on(2, &[0, 1]).unwrap(), // S3(+, +): A and C
+    ]);
+    (q, schemes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety;
+
+    #[test]
+    fn fixtures_match_the_paper_verdicts() {
+        let (q, r) = auction();
+        assert!(safety::is_query_safe(&q, &r));
+        let (q, r) = fig5();
+        assert!(safety::is_query_safe(&q, &r));
+        let (q, r) = fig8();
+        assert!(safety::is_query_safe(&q, &r));
+        // Fig. 3's scheme set only purges S1: the query as a whole is unsafe.
+        let (q, r) = fig3();
+        assert!(!safety::is_query_safe(&q, &r));
+    }
+}

@@ -1,0 +1,316 @@
+//! Small directed-graph utilities used by the punctuation-graph algorithms:
+//! reachability, Tarjan strongly-connected components, and condensation.
+//!
+//! Nodes are dense `usize` indices; edges are deduplicated adjacency lists.
+
+use std::collections::HashSet;
+
+/// A simple directed graph over nodes `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        DiGraph { adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (deduplicated) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Adds edge `u -> v` (idempotent). Self-loops are ignored: they never
+    /// affect reachability or strong connectivity.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n() && v < self.n(), "edge endpoint out of range");
+        if u != v && !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+        }
+    }
+
+    /// Whether edge `u -> v` is present.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Successors of `u`.
+    #[must_use]
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// All edges as `(u, v)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// The set of nodes reachable from `start` (including `start` itself).
+    #[must_use]
+    pub fn reachable_from(&self, start: usize) -> HashSet<usize> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether every node reaches every other node.
+    ///
+    /// Uses the standard two-pass check: the graph is strongly connected iff
+    /// node 0 reaches all nodes in the graph and in its reverse.
+    #[must_use]
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.n();
+        if n <= 1 {
+            return true;
+        }
+        if self.reachable_from(0).len() != n {
+            return false;
+        }
+        self.reversed().reachable_from(0).len() == n
+    }
+
+    /// The reverse graph (all edges flipped).
+    #[must_use]
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.n());
+        for (u, v) in self.edges() {
+            g.add_edge(v, u);
+        }
+        g
+    }
+
+    /// Tarjan's strongly-connected components. Components are returned in
+    /// reverse topological order (a component appears before the components
+    /// that can reach it); each component lists its member nodes.
+    #[must_use]
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        Tarjan::new(self).run()
+    }
+
+    /// Condensation: maps each node to its SCC index and returns the acyclic
+    /// component graph. SCC indices follow [`DiGraph::sccs`] order.
+    #[must_use]
+    pub fn condensation(&self) -> (Vec<usize>, DiGraph) {
+        let sccs = self.sccs();
+        let mut comp_of = vec![0usize; self.n()];
+        for (ci, members) in sccs.iter().enumerate() {
+            for &m in members {
+                comp_of[m] = ci;
+            }
+        }
+        let mut g = DiGraph::new(sccs.len());
+        for (u, v) in self.edges() {
+            if comp_of[u] != comp_of[v] {
+                g.add_edge(comp_of[u], comp_of[v]);
+            }
+        }
+        (comp_of, g)
+    }
+}
+
+/// Iterative Tarjan SCC (no recursion, safe for deep graphs).
+struct Tarjan<'g> {
+    g: &'g DiGraph,
+    index: Vec<Option<usize>>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: usize,
+    out: Vec<Vec<usize>>,
+}
+
+impl<'g> Tarjan<'g> {
+    fn new(g: &'g DiGraph) -> Self {
+        let n = g.n();
+        Tarjan {
+            g,
+            index: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Vec<usize>> {
+        for v in 0..self.g.n() {
+            if self.index[v].is_none() {
+                self.visit(v);
+            }
+        }
+        self.out
+    }
+
+    fn visit(&mut self, root: usize) {
+        // Explicit DFS frames: (node, next successor position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        self.open(root);
+        while let Some(&mut (v, ref mut i)) = frames.last_mut() {
+            if let Some(&w) = self.g.successors(v).get(*i) {
+                *i += 1;
+                if self.index[w].is_none() {
+                    self.open(w);
+                    frames.push((w, 0));
+                } else if self.on_stack[w] {
+                    self.lowlink[v] = self.lowlink[v].min(self.index[w].unwrap());
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    self.lowlink[parent] = self.lowlink[parent].min(self.lowlink[v]);
+                }
+                if self.lowlink[v] == self.index[v].unwrap() {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("scc stack underflow");
+                        self.on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    self.out.push(comp);
+                }
+            }
+        }
+    }
+
+    fn open(&mut self, v: usize) {
+        self.index[v] = Some(self.next_index);
+        self.lowlink[v] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack[v] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn edges_dedup_and_ignore_self_loops() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let r = g.reachable_from(0);
+        assert!(r.contains(&0) && r.contains(&1) && r.contains(&2));
+        assert!(!r.contains(&3));
+        assert_eq!(g.reachable_from(3).len(), 1);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        assert!(cycle(5).is_strongly_connected());
+        assert!(DiGraph::new(1).is_strongly_connected());
+        assert!(DiGraph::new(0).is_strongly_connected());
+        let mut path = DiGraph::new(3);
+        path.add_edge(0, 1);
+        path.add_edge(1, 2);
+        assert!(!path.is_strongly_connected());
+        assert!(!DiGraph::new(2).is_strongly_connected());
+    }
+
+    #[test]
+    fn sccs_of_two_cycles_and_bridge() {
+        // 0 <-> 1, 2 <-> 3, bridge 1 -> 2.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        g.add_edge(1, 2);
+        let mut sccs = g.sccs();
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn sccs_singletons_on_dag() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 3);
+        // Reverse topological order: sink first.
+        assert_eq!(sccs[0], vec![2]);
+        assert_eq!(sccs[2], vec![0]);
+    }
+
+    #[test]
+    fn condensation_collapses_components() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        let (comp_of, cg) = g.condensation();
+        assert_eq!(comp_of[0], comp_of[1]);
+        assert_eq!(comp_of[2], comp_of[3]);
+        assert_ne!(comp_of[0], comp_of[2]);
+        assert_eq!(cg.n(), 2);
+        assert_eq!(cg.edge_count(), 1);
+        assert!(cg.has_edge(comp_of[0], comp_of[2]));
+    }
+
+    #[test]
+    fn large_cycle_does_not_overflow_stack() {
+        // Iterative Tarjan must handle deep graphs.
+        let g = cycle(200_000);
+        assert_eq!(g.sccs().len(), 1);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        let r = g.reversed();
+        assert!(r.has_edge(1, 0));
+        assert!(!r.has_edge(0, 1));
+    }
+}

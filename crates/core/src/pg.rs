@@ -1,0 +1,297 @@
+//! The punctuation graph (paper Definition 7).
+//!
+//! For a join operator `⋈^n` under a punctuation scheme set `ℜ`, the
+//! punctuation graph `PG^ℜ(⋈^n)` has the operator's input streams as vertices
+//! and, for every join predicate `S_i.A_x = S_j.A_y` such that some
+//! **single-attribute** scheme makes `S_i.A_x` punctuatable, a directed edge
+//! `S_j → S_i`.
+//!
+//! Intuition for the direction: an edge `u → v` means tuples "chained through"
+//! `u` can be guarded against future `v` data, because `v`'s side of the
+//! predicate is punctuatable. Theorem 1 then reads: the join state of `S_i` is
+//! purgeable iff `S_i` reaches every other input in this graph.
+//!
+//! Multi-attribute schemes do **not** contribute edges here; they are handled
+//! by the generalized punctuation graph (Definition 8, [`crate::gpg`]). This
+//! matches the paper's §4.1/§4.2 split: Corollary 1 on the plain PG is exact
+//! only when ℜ contains single-attribute schemes.
+
+use std::collections::HashMap;
+
+use crate::graph::DiGraph;
+use crate::query::{Cjq, JoinPredicate};
+use crate::scheme::SchemeSet;
+use crate::schema::StreamId;
+
+/// Why a punctuation-graph edge exists: the predicate that relates the two
+/// streams and the punctuatable endpoint that licensed the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeReason {
+    /// The join predicate inducing the edge.
+    pub predicate: JoinPredicate,
+    /// The punctuatable endpoint (always on the edge's target stream).
+    pub punctuatable_on: crate::schema::AttrRef,
+}
+
+/// Definition 7 punctuation graph over a subset of a query's streams.
+#[derive(Debug, Clone)]
+pub struct PunctuationGraph {
+    streams: Vec<StreamId>,
+    index: HashMap<StreamId, usize>,
+    graph: DiGraph,
+    reasons: HashMap<(usize, usize), Vec<EdgeReason>>,
+}
+
+impl PunctuationGraph {
+    /// Builds the punctuation graph of the whole query (the query treated as a
+    /// single MJoin operator, as Theorem 2 prescribes).
+    #[must_use]
+    pub fn of_query(query: &Cjq, schemes: &SchemeSet) -> Self {
+        PunctuationGraph::over(query, schemes, &query.stream_ids().collect::<Vec<_>>())
+    }
+
+    /// Builds the punctuation graph of the operator whose inputs are
+    /// `streams`, considering only predicates with both endpoints inside.
+    ///
+    /// Runs in time linear in `|℘| · |ℜ|` (Definition 7 is a single scan over
+    /// predicates with a scheme lookup per endpoint).
+    #[must_use]
+    pub fn over(query: &Cjq, schemes: &SchemeSet, streams: &[StreamId]) -> Self {
+        let mut streams = streams.to_vec();
+        streams.sort_unstable();
+        streams.dedup();
+        let index: HashMap<StreamId, usize> =
+            streams.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        let mut graph = DiGraph::new(streams.len());
+        let mut reasons: HashMap<(usize, usize), Vec<EdgeReason>> = HashMap::new();
+
+        for p in query.predicates() {
+            let (Some(&il), Some(&ir)) = (index.get(&p.left.stream), index.get(&p.right.stream))
+            else {
+                continue;
+            };
+            // Predicate S_i.A_x = S_j.A_y with S_i.A_x punctuatable (by a
+            // single-attribute scheme) yields the edge S_j -> S_i.
+            if schemes.simple_punctuatable(p.left.stream, p.left.attr) {
+                graph.add_edge(ir, il);
+                reasons.entry((ir, il)).or_default().push(EdgeReason {
+                    predicate: *p,
+                    punctuatable_on: p.left,
+                });
+            }
+            if schemes.simple_punctuatable(p.right.stream, p.right.attr) {
+                graph.add_edge(il, ir);
+                reasons.entry((il, ir)).or_default().push(EdgeReason {
+                    predicate: *p,
+                    punctuatable_on: p.right,
+                });
+            }
+        }
+        PunctuationGraph { streams, index, graph, reasons }
+    }
+
+    /// The vertices (streams), sorted ascending.
+    #[must_use]
+    pub fn streams(&self) -> &[StreamId] {
+        &self.streams
+    }
+
+    /// The vertex index of `s`, if present.
+    #[must_use]
+    pub fn index_of(&self, s: StreamId) -> Option<usize> {
+        self.index.get(&s).copied()
+    }
+
+    /// The underlying directed graph (vertex `i` is `self.streams()[i]`).
+    #[must_use]
+    pub fn digraph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Whether the directed edge `from → to` exists.
+    #[must_use]
+    pub fn has_edge(&self, from: StreamId, to: StreamId) -> bool {
+        match (self.index_of(from), self.index_of(to)) {
+            (Some(u), Some(v)) => self.graph.has_edge(u, v),
+            _ => false,
+        }
+    }
+
+    /// The reasons (predicate + punctuatable endpoint) for edge `from → to`.
+    #[must_use]
+    pub fn edge_reasons(&self, from: StreamId, to: StreamId) -> &[EdgeReason] {
+        match (self.index_of(from), self.index_of(to)) {
+            (Some(u), Some(v)) => self.reasons.get(&(u, v)).map_or(&[], Vec::as_slice),
+            _ => &[],
+        }
+    }
+
+    /// Streams reachable from `s` (including `s`). Theorem 1: the join state
+    /// of `s` is purgeable iff this is every vertex.
+    #[must_use]
+    pub fn reachable_from(&self, s: StreamId) -> Vec<StreamId> {
+        let Some(i) = self.index_of(s) else {
+            return Vec::new();
+        };
+        let mut out: Vec<StreamId> = self
+            .graph
+            .reachable_from(i)
+            .into_iter()
+            .map(|j| self.streams[j])
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether `s` reaches every other vertex (Theorem 1 purgeability).
+    #[must_use]
+    pub fn reaches_all(&self, s: StreamId) -> bool {
+        match self.index_of(s) {
+            Some(i) => self.graph.reachable_from(i).len() == self.streams.len(),
+            None => false,
+        }
+    }
+
+    /// Corollary 1: whether the operator is purgeable, i.e. the punctuation
+    /// graph is strongly connected.
+    #[must_use]
+    pub fn is_strongly_connected(&self) -> bool {
+        self.graph.is_strongly_connected()
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::JoinPredicate;
+    use crate::scheme::PunctuationScheme;
+    use crate::schema::{Catalog, StreamSchema};
+
+    use crate::fixtures::fig5;
+
+    #[test]
+    fn fig5_graph_is_the_paper_cycle() {
+        let (q, r) = fig5();
+        let pg = PunctuationGraph::of_query(&q, &r);
+        // S1.B punctuatable  => S2 -> S1
+        // S2.C punctuatable  => S3 -> S2
+        // S3.A punctuatable  => S1 -> S3
+        assert!(pg.has_edge(StreamId(1), StreamId(0)));
+        assert!(pg.has_edge(StreamId(2), StreamId(1)));
+        assert!(pg.has_edge(StreamId(0), StreamId(2)));
+        assert_eq!(pg.edge_count(), 3);
+        assert!(pg.is_strongly_connected());
+        for s in q.stream_ids() {
+            assert!(pg.reaches_all(s), "{s} must reach all in Fig. 5");
+        }
+    }
+
+    #[test]
+    fn fig5_edge_reasons_point_at_punctuatable_endpoint() {
+        let (q, r) = fig5();
+        let pg = PunctuationGraph::of_query(&q, &r);
+        let reasons = pg.edge_reasons(StreamId(1), StreamId(0));
+        assert_eq!(reasons.len(), 1);
+        assert_eq!(reasons[0].punctuatable_on.stream, StreamId(0));
+        assert_eq!(q.catalog().display_ref(reasons[0].punctuatable_on), "S1.B");
+    }
+
+    #[test]
+    fn fig5_binary_suboperators_are_not_strongly_connected() {
+        // §4.1.2: for the Fig. 5 CJQ no binary-join tree is safe because no
+        // 2-stream sub-operator has a strongly connected PG.
+        let (q, r) = fig5();
+        for pair in [
+            [StreamId(0), StreamId(1)],
+            [StreamId(1), StreamId(2)],
+            [StreamId(0), StreamId(2)],
+        ] {
+            let pg = PunctuationGraph::over(&q, &r, &pair);
+            assert!(
+                !pg.is_strongly_connected(),
+                "pair {pair:?} unexpectedly purgeable"
+            );
+            assert_eq!(pg.edge_count(), 1, "each pair has exactly one direction");
+        }
+    }
+
+    #[test]
+    fn missing_scheme_removes_edges() {
+        let (q, _) = fig5();
+        // Punctuations only on bidder-ids (irrelevant attribute): no edges.
+        let r = SchemeSet::from_schemes([PunctuationScheme::on(0, &[0]).unwrap()]);
+        // S1.A *is* a join attribute (S3.A = S1.A), so one edge appears...
+        let pg = PunctuationGraph::of_query(&q, &r);
+        assert!(pg.has_edge(StreamId(2), StreamId(0)));
+        assert_eq!(pg.edge_count(), 1);
+        assert!(!pg.is_strongly_connected());
+        assert!(!pg.reaches_all(StreamId(0)));
+        // ...and reachability from S3 only covers {S3, S1}? No: the edge goes
+        // S3 -> S1, so S3 reaches S1 but not S2.
+        assert_eq!(
+            pg.reachable_from(StreamId(2)),
+            vec![StreamId(0), StreamId(2)]
+        );
+    }
+
+    #[test]
+    fn multi_attribute_schemes_do_not_create_plain_edges() {
+        let (q, _) = fig5();
+        let r = SchemeSet::from_schemes([
+            PunctuationScheme::on(0, &[0, 1]).unwrap(), // multi-attribute
+        ]);
+        let pg = PunctuationGraph::of_query(&q, &r);
+        assert_eq!(pg.edge_count(), 0);
+    }
+
+    #[test]
+    fn conjunctive_predicates_one_punctuatable_attr_suffices() {
+        // §3.1: with conjunctive predicates between two streams, one
+        // punctuatable attribute among the predicate attrs is enough.
+        let mut cat = Catalog::new();
+        cat.add_stream(StreamSchema::new("S1", ["A", "B"]).unwrap());
+        cat.add_stream(StreamSchema::new("S2", ["A", "B"]).unwrap());
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 0, 1, 0).unwrap(),
+                JoinPredicate::between(0, 1, 1, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes([
+            PunctuationScheme::on(0, &[0]).unwrap(),
+            PunctuationScheme::on(1, &[1]).unwrap(),
+        ]);
+        let pg = PunctuationGraph::of_query(&q, &r);
+        assert!(pg.has_edge(StreamId(1), StreamId(0))); // via A
+        assert!(pg.has_edge(StreamId(0), StreamId(1))); // via B
+        assert!(pg.is_strongly_connected());
+    }
+
+    #[test]
+    fn over_ignores_unknown_and_duplicate_streams() {
+        let (q, r) = fig5();
+        let pg = PunctuationGraph::over(&q, &r, &[StreamId(0), StreamId(0), StreamId(1)]);
+        assert_eq!(pg.streams(), &[StreamId(0), StreamId(1)]);
+        assert!(pg.index_of(StreamId(2)).is_none());
+        assert!(!pg.has_edge(StreamId(2), StreamId(1)));
+        assert!(pg.edge_reasons(StreamId(2), StreamId(1)).is_empty());
+        assert!(pg.reachable_from(StreamId(2)).is_empty());
+        assert!(!pg.reaches_all(StreamId(2)));
+    }
+
+    #[test]
+    fn single_stream_graph_is_trivially_connected() {
+        let (q, r) = fig5();
+        let pg = PunctuationGraph::over(&q, &r, &[StreamId(0)]);
+        assert!(pg.is_strongly_connected());
+        assert!(pg.reaches_all(StreamId(0)));
+    }
+}

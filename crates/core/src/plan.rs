@@ -1,0 +1,359 @@
+//! Execution plans for continuous join queries and their safety (paper
+//! Definitions 2–3, §4.1.2).
+//!
+//! A plan is a tree whose leaves are the query's input streams and whose
+//! internal nodes are join operators of any arity ≥ 2 (binary joins, MJoins,
+//! or a mix). A plan is *safe* iff every operator is purgeable (Definition 2);
+//! an operator's purgeability is decided by the (generalized) punctuation
+//! graph over the streams it spans (Corollaries 1–2; see DESIGN.md for why
+//! the raw-stream graph over the operator's span is the right object).
+//!
+//! The same query can have safe and unsafe plans under one scheme set — the
+//! paper's Figure 7 shows a binary tree that is unsafe while the single MJoin
+//! is safe. Theorem 2/4 guarantee that whenever *any* safe plan exists, the
+//! flat single-MJoin plan is safe too.
+
+use std::fmt;
+
+use crate::error::{CoreError, CoreResult};
+use crate::query::Cjq;
+use crate::safety::{self, SafetyReport};
+use crate::scheme::SchemeSet;
+use crate::schema::StreamId;
+
+/// A node of an execution-plan tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Plan {
+    /// A raw input stream.
+    Leaf(StreamId),
+    /// A join operator over ≥ 2 child plans.
+    Join(Vec<Plan>),
+}
+
+impl Plan {
+    /// A leaf node.
+    #[must_use]
+    pub fn leaf(stream: usize) -> Plan {
+        Plan::Leaf(StreamId(stream))
+    }
+
+    /// A join node over the given children.
+    #[must_use]
+    pub fn join(children: Vec<Plan>) -> Plan {
+        Plan::Join(children)
+    }
+
+    /// The flat single-MJoin plan over all of the query's streams.
+    #[must_use]
+    pub fn mjoin_all(query: &Cjq) -> Plan {
+        Plan::Join(query.stream_ids().map(Plan::Leaf).collect())
+    }
+
+    /// A left-deep binary plan joining streams in the given order.
+    ///
+    /// `left_deep(&[a, b, c])` builds `((a ⋈ b) ⋈ c)`.
+    #[must_use]
+    pub fn left_deep(order: &[StreamId]) -> Plan {
+        assert!(order.len() >= 2, "left-deep plan needs at least two streams");
+        let mut plan = Plan::Join(vec![Plan::Leaf(order[0]), Plan::Leaf(order[1])]);
+        for &s in &order[2..] {
+            plan = Plan::Join(vec![plan, Plan::Leaf(s)]);
+        }
+        plan
+    }
+
+    /// The streams this subtree spans, sorted ascending.
+    #[must_use]
+    pub fn span(&self) -> Vec<StreamId> {
+        let mut out = Vec::new();
+        self.collect_span(&mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_span(&self, out: &mut Vec<StreamId>) {
+        match self {
+            Plan::Leaf(s) => out.push(*s),
+            Plan::Join(children) => children.iter().for_each(|c| c.collect_span(out)),
+        }
+    }
+
+    /// All join operators of the plan (pre-order), each with its span.
+    #[must_use]
+    pub fn operators(&self) -> Vec<(&Plan, Vec<StreamId>)> {
+        let mut out = Vec::new();
+        self.collect_operators(&mut out);
+        out
+    }
+
+    fn collect_operators<'p>(&'p self, out: &mut Vec<(&'p Plan, Vec<StreamId>)>) {
+        if let Plan::Join(children) = self {
+            out.push((self, self.span()));
+            children.iter().for_each(|c| c.collect_operators(out));
+        }
+    }
+
+    /// Number of join operators.
+    #[must_use]
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Plan::Leaf(_) => 0,
+            Plan::Join(children) => {
+                1 + children.iter().map(Plan::operator_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Validates the plan against a query: every stream appears as exactly one
+    /// leaf, every join has ≥ 2 children, and (unless the query is a single
+    /// stream) the root is a join. Also rejects operators whose span is
+    /// disconnected in the join graph — such an operator computes a cross
+    /// product, which is unbounded regardless of punctuations.
+    pub fn validate(&self, query: &Cjq) -> CoreResult<()> {
+        let span = self.span();
+        let expected: Vec<StreamId> = query.stream_ids().collect();
+        if span != expected {
+            return Err(CoreError::InvalidPlan(format!(
+                "plan spans {span:?} but the query has streams {expected:?}"
+            )));
+        }
+        self.validate_node(query)
+    }
+
+    fn validate_node(&self, query: &Cjq) -> CoreResult<()> {
+        if let Plan::Join(children) = self {
+            if children.len() < 2 {
+                return Err(CoreError::InvalidPlan(
+                    "join operator with fewer than 2 inputs".into(),
+                ));
+            }
+            let span = self.span();
+            if !query.is_connected_over(&span) {
+                return Err(CoreError::InvalidPlan(format!(
+                    "operator over {span:?} is a cross product (disconnected join graph)"
+                )));
+            }
+            children.iter().try_for_each(|c| c.validate_node(query))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Leaf(s) => write!(f, "{s}"),
+            Plan::Join(children) => {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⋈ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Safety verdict for one operator of a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorSafety {
+    /// The streams the operator spans.
+    pub span: Vec<StreamId>,
+    /// The operator-level safety report (Corollary 1/2).
+    pub report: SafetyReport,
+}
+
+/// Safety verdict for a whole plan (Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSafety {
+    /// Whether every operator is purgeable.
+    pub safe: bool,
+    /// Per-operator verdicts, in pre-order.
+    pub operators: Vec<OperatorSafety>,
+}
+
+impl PlanSafety {
+    /// The first unpurgeable operator's span, if any.
+    #[must_use]
+    pub fn first_unsafe_operator(&self) -> Option<&[StreamId]> {
+        self.operators
+            .iter()
+            .find(|o| !o.report.safe)
+            .map(|o| o.span.as_slice())
+    }
+}
+
+/// Definition 2: checks the safety of an execution plan under `ℜ`.
+pub fn check_plan(query: &Cjq, schemes: &SchemeSet, plan: &Plan) -> CoreResult<PlanSafety> {
+    plan.validate(query)?;
+    let operators: Vec<OperatorSafety> = plan
+        .operators()
+        .into_iter()
+        .map(|(_, span)| {
+            let report = safety::check_operator(query, schemes, &span);
+            OperatorSafety { span, report }
+        })
+        .collect();
+    let safe = operators.iter().all(|o| o.report.safe);
+    Ok(PlanSafety { safe, operators })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::JoinPredicate;
+    use crate::scheme::PunctuationScheme;
+    use crate::schema::{Catalog, StreamSchema};
+
+    fn fig5() -> (Cjq, SchemeSet) {
+        let mut cat = Catalog::new();
+        cat.add_stream(StreamSchema::new("S1", ["A", "B"]).unwrap());
+        cat.add_stream(StreamSchema::new("S2", ["B", "C"]).unwrap());
+        cat.add_stream(StreamSchema::new("S3", ["A", "C"]).unwrap());
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 1, 1, 0).unwrap(),
+                JoinPredicate::between(1, 1, 2, 1).unwrap(),
+                JoinPredicate::between(2, 0, 0, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes([
+            PunctuationScheme::on(0, &[1]).unwrap(),
+            PunctuationScheme::on(1, &[1]).unwrap(),
+            PunctuationScheme::on(2, &[0]).unwrap(),
+        ]);
+        (q, r)
+    }
+
+    #[test]
+    fn figure_7_mjoin_safe_binary_trees_unsafe() {
+        let (q, r) = fig5();
+        // The single MJoin plan is safe.
+        let mjoin = Plan::mjoin_all(&q);
+        let verdict = check_plan(&q, &r, &mjoin).unwrap();
+        assert!(verdict.safe);
+        assert_eq!(verdict.operators.len(), 1);
+
+        // Every left-deep binary tree is unsafe (Figure 7 shows (S1⋈S2)⋈S3).
+        for order in [[0usize, 1, 2], [1, 2, 0], [0, 2, 1]] {
+            let ids: Vec<StreamId> = order.iter().map(|&i| StreamId(i)).collect();
+            let plan = Plan::left_deep(&ids);
+            let verdict = check_plan(&q, &r, &plan).unwrap();
+            assert!(!verdict.safe, "plan {plan} should be unsafe");
+            // The offending operator is the lower binary join.
+            let span = verdict.first_unsafe_operator().unwrap();
+            assert_eq!(span.len(), 2);
+        }
+    }
+
+    #[test]
+    fn plan_span_and_operator_enumeration() {
+        let plan = Plan::join(vec![
+            Plan::join(vec![Plan::leaf(0), Plan::leaf(1)]),
+            Plan::leaf(2),
+        ]);
+        assert_eq!(plan.span(), vec![StreamId(0), StreamId(1), StreamId(2)]);
+        assert_eq!(plan.operator_count(), 2);
+        let ops = plan.operators();
+        assert_eq!(ops[0].1.len(), 3); // root first (pre-order)
+        assert_eq!(ops[1].1.len(), 2);
+        assert_eq!(plan.to_string(), "((S1 ⋈ S2) ⋈ S3)");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_leaves() {
+        let (q, _) = fig5();
+        // Missing S3.
+        let p = Plan::join(vec![Plan::leaf(0), Plan::leaf(1)]);
+        assert!(p.validate(&q).is_err());
+        // Duplicate stream.
+        let p = Plan::join(vec![Plan::leaf(0), Plan::leaf(1), Plan::leaf(1)]);
+        assert!(p.validate(&q).is_err());
+        // Correct.
+        assert!(Plan::mjoin_all(&q).validate(&q).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unary_joins_and_cross_products() {
+        let (q, _) = fig5();
+        let unary = Plan::Join(vec![Plan::Join(vec![
+            Plan::leaf(0),
+            Plan::leaf(1),
+            Plan::leaf(2),
+        ])]);
+        assert!(unary.validate(&q).is_err());
+
+        // A 4th stream connected only through S1 makes {S2, S3-less} pair...
+        // Build a path query S1-S2-S3 and try the cross-product pair (S1,S3).
+        let mut cat = Catalog::new();
+        cat.add_stream(StreamSchema::new("S1", ["A"]).unwrap());
+        cat.add_stream(StreamSchema::new("S2", ["A", "B"]).unwrap());
+        cat.add_stream(StreamSchema::new("S3", ["B"]).unwrap());
+        let path = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 0, 1, 0).unwrap(),
+                JoinPredicate::between(1, 1, 2, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let cross = Plan::join(vec![
+            Plan::join(vec![Plan::leaf(0), Plan::leaf(2)]), // S1 x S3!
+            Plan::leaf(1),
+        ]);
+        assert!(cross.validate(&path).is_err());
+    }
+
+    #[test]
+    fn left_deep_builder() {
+        let p = Plan::left_deep(&[StreamId(2), StreamId(0), StreamId(1)]);
+        assert_eq!(p.to_string(), "((S3 ⋈ S1) ⋈ S2)");
+        assert_eq!(p.operator_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two streams")]
+    fn left_deep_requires_two_streams() {
+        let _ = Plan::left_deep(&[StreamId(0)]);
+    }
+
+    #[test]
+    fn bushy_and_mixed_plans_check() {
+        // 4-stream cycle with all forward attrs punctuatable both ways =>
+        // everything safe, including bushy plans.
+        let mut cat = Catalog::new();
+        for name in ["S1", "S2", "S3", "S4"] {
+            cat.add_stream(StreamSchema::new(name, ["X", "Y"]).unwrap());
+        }
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 1, 1, 0).unwrap(),
+                JoinPredicate::between(1, 1, 2, 0).unwrap(),
+                JoinPredicate::between(2, 1, 3, 0).unwrap(),
+                JoinPredicate::between(3, 1, 0, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes(
+            (0..4).flat_map(|s| {
+                [
+                    PunctuationScheme::on(s, &[0]).unwrap(),
+                    PunctuationScheme::on(s, &[1]).unwrap(),
+                ]
+            }),
+        );
+        let bushy = Plan::join(vec![
+            Plan::join(vec![Plan::leaf(0), Plan::leaf(1)]),
+            Plan::join(vec![Plan::leaf(2), Plan::leaf(3)]),
+        ]);
+        let verdict = check_plan(&q, &r, &bushy).unwrap();
+        assert!(verdict.safe);
+        assert_eq!(verdict.operators.len(), 3);
+    }
+}

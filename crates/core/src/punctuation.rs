@@ -1,0 +1,294 @@
+//! Punctuations represented as data (paper §2.3, after Tucker et al. \[12\]).
+//!
+//! A punctuation for a stream `S(A_1, ..., A_n)` is a set of *patterns*, one per
+//! attribute. A pattern is either the wildcard `*` (no constraint) or a constant
+//! (an equal-value constraint). The punctuation asserts that **no future tuple**
+//! of the stream matches all its patterns.
+
+use std::fmt;
+
+use crate::error::{CoreError, CoreResult};
+use crate::schema::{AttrId, StreamId, StreamSchema};
+use crate::value::Value;
+
+/// One attribute pattern of a punctuation: wildcard, constant, or an
+/// order-based bound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// `*`: no constraint on this attribute.
+    Wildcard,
+    /// An equal-value constraint on this attribute.
+    Constant(Value),
+    /// `≤ bound`: an order constraint — no future tuple carries a value at
+    /// or below the bound. This is the *heartbeat/watermark* pattern of
+    /// Srivastava & Widom \[11\]: a single punctuation retires an infinite
+    /// prefix of an ordered domain (timestamps, sequence numbers).
+    UpTo(Value),
+}
+
+impl Pattern {
+    /// Whether a concrete value satisfies this pattern.
+    #[must_use]
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Pattern::Wildcard => true,
+            Pattern::Constant(c) => c == v,
+            Pattern::UpTo(b) => v <= b,
+        }
+    }
+
+    /// Whether this pattern is at least as general as `other`
+    /// (`*` subsumes everything; a constant subsumes only itself; a bound
+    /// subsumes every constant/bound at or below it).
+    #[must_use]
+    pub fn subsumes(&self, other: &Pattern) -> bool {
+        match (self, other) {
+            (Pattern::Wildcard, _) => true,
+            (Pattern::Constant(a), Pattern::Constant(b)) => a == b,
+            (Pattern::UpTo(a), Pattern::Constant(b)) | (Pattern::UpTo(a), Pattern::UpTo(b)) => {
+                b <= a
+            }
+            (Pattern::Constant(_), _) | (Pattern::UpTo(_), Pattern::Wildcard) => false,
+        }
+    }
+
+    /// The constant carried by this pattern, if any (equality patterns only).
+    #[must_use]
+    pub fn constant(&self) -> Option<&Value> {
+        match self {
+            Pattern::Wildcard | Pattern::UpTo(_) => None,
+            Pattern::Constant(v) => Some(v),
+        }
+    }
+
+    /// The bound carried by an [`Pattern::UpTo`] pattern, if any.
+    #[must_use]
+    pub fn bound(&self) -> Option<&Value> {
+        match self {
+            Pattern::UpTo(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Wildcard => write!(f, "*"),
+            Pattern::Constant(v) => write!(f, "{v}"),
+            Pattern::UpTo(v) => write!(f, "≤{v}"),
+        }
+    }
+}
+
+impl From<Value> for Pattern {
+    fn from(v: Value) -> Self {
+        Pattern::Constant(v)
+    }
+}
+
+/// A punctuation: "no future tuple of `stream` matches all `patterns`".
+///
+/// For the auction example, "no more bids for item 1" on
+/// `bid(bidderid, itemid, increase)` is `(*, 1, *)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Punctuation {
+    /// The stream this punctuation constrains.
+    pub stream: StreamId,
+    /// One pattern per attribute of the stream's schema.
+    pub patterns: Vec<Pattern>,
+}
+
+impl Punctuation {
+    /// Builds a heartbeat punctuation: all-wildcard except `attr ≤ bound`.
+    #[must_use]
+    pub fn heartbeat(stream: StreamId, arity: usize, attr: AttrId, bound: Value) -> Self {
+        let mut patterns = vec![Pattern::Wildcard; arity];
+        patterns[attr.0] = Pattern::UpTo(bound);
+        Punctuation { stream, patterns }
+    }
+
+    /// Builds a punctuation that is all-wildcard except for the given
+    /// `(attribute, value)` constants.
+    #[must_use]
+    pub fn with_constants(
+        stream: StreamId,
+        arity: usize,
+        constants: &[(AttrId, Value)],
+    ) -> Self {
+        let mut patterns = vec![Pattern::Wildcard; arity];
+        for (attr, value) in constants {
+            patterns[attr.0] = Pattern::Constant(value.clone());
+        }
+        Punctuation { stream, patterns }
+    }
+
+    /// Number of patterns (must equal the stream's arity).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Validates that the punctuation fits the given schema.
+    pub fn validate(&self, schema: &StreamSchema) -> CoreResult<()> {
+        if self.patterns.len() != schema.arity() {
+            return Err(CoreError::InvalidPunctuation(format!(
+                "punctuation has {} patterns but stream `{}` has arity {}",
+                self.patterns.len(),
+                schema.name(),
+                schema.arity()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether a tuple (as a value slice in schema order) matches the
+    /// punctuation, i.e. the punctuation forbids such tuples in the future.
+    #[must_use]
+    pub fn matches(&self, tuple: &[Value]) -> bool {
+        self.patterns.len() == tuple.len()
+            && self.patterns.iter().zip(tuple).all(|(p, v)| p.matches(v))
+    }
+
+    /// The attributes constrained with constants (the non-`*` positions).
+    pub fn constant_attrs(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.patterns.iter().enumerate().filter_map(|(i, p)| {
+            p.constant().map(|v| (AttrId(i), v))
+        })
+    }
+
+    /// Whether this punctuation subsumes `other` (forbids at least as much):
+    /// same stream and every pattern subsumes the corresponding one.
+    #[must_use]
+    pub fn subsumes(&self, other: &Punctuation) -> bool {
+        self.stream == other.stream
+            && self.patterns.len() == other.patterns.len()
+            && self
+                .patterns
+                .iter()
+                .zip(&other.patterns)
+                .all(|(a, b)| a.subsumes(b))
+    }
+}
+
+impl fmt::Display for Punctuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.stream)?;
+        for (i, p) in self.patterns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid_punct(itemid: i64) -> Punctuation {
+        // bid(bidderid, itemid, increase): (*, itemid, *)
+        Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), Value::Int(itemid))])
+    }
+
+    #[test]
+    fn pattern_matching() {
+        assert!(Pattern::Wildcard.matches(&Value::Int(9)));
+        assert!(Pattern::Constant(Value::Int(1)).matches(&Value::Int(1)));
+        assert!(!Pattern::Constant(Value::Int(1)).matches(&Value::Int(2)));
+    }
+
+    #[test]
+    fn pattern_subsumption() {
+        let w = Pattern::Wildcard;
+        let c1 = Pattern::Constant(Value::Int(1));
+        let c2 = Pattern::Constant(Value::Int(2));
+        assert!(w.subsumes(&c1));
+        assert!(w.subsumes(&w));
+        assert!(c1.subsumes(&c1));
+        assert!(!c1.subsumes(&c2));
+        assert!(!c1.subsumes(&w));
+    }
+
+    #[test]
+    fn punctuation_matches_only_constrained_tuples() {
+        let p = bid_punct(1);
+        assert!(p.matches(&[Value::Int(77), Value::Int(1), Value::Int(5)]));
+        assert!(!p.matches(&[Value::Int(77), Value::Int(2), Value::Int(5)]));
+        // Arity mismatch never matches.
+        assert!(!p.matches(&[Value::Int(1)]));
+    }
+
+    #[test]
+    fn punctuation_constant_attrs() {
+        let p = bid_punct(4);
+        let consts: Vec<_> = p.constant_attrs().collect();
+        assert_eq!(consts, vec![(AttrId(1), &Value::Int(4))]);
+    }
+
+    #[test]
+    fn punctuation_subsumption() {
+        let narrow = Punctuation::with_constants(
+            StreamId(1),
+            3,
+            &[(AttrId(1), Value::Int(1)), (AttrId(0), Value::Int(7))],
+        );
+        let wide = bid_punct(1);
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        assert!(wide.subsumes(&wide));
+        // Different streams never subsume.
+        let other = Punctuation::with_constants(StreamId(0), 3, &[(AttrId(1), Value::Int(1))]);
+        assert!(!wide.subsumes(&other));
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let schema = StreamSchema::new("bid", ["bidderid", "itemid", "increase"]).unwrap();
+        assert!(bid_punct(1).validate(&schema).is_ok());
+        let bad = Punctuation {
+            stream: StreamId(1),
+            patterns: vec![Pattern::Wildcard; 2],
+        };
+        assert!(bad.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(bid_punct(1).to_string(), "S2(*, 1, *)");
+    }
+
+    #[test]
+    fn upto_patterns_match_prefixes() {
+        let p = Pattern::UpTo(Value::Int(10));
+        assert!(p.matches(&Value::Int(10)));
+        assert!(p.matches(&Value::Int(-5)));
+        assert!(!p.matches(&Value::Int(11)));
+        assert!(p.constant().is_none());
+        assert_eq!(p.bound(), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn upto_subsumption_is_order_based() {
+        let big = Pattern::UpTo(Value::Int(10));
+        let small = Pattern::UpTo(Value::Int(5));
+        assert!(big.subsumes(&small));
+        assert!(!small.subsumes(&big));
+        assert!(big.subsumes(&Pattern::Constant(Value::Int(7))));
+        assert!(!big.subsumes(&Pattern::Constant(Value::Int(11))));
+        assert!(!big.subsumes(&Pattern::Wildcard));
+        assert!(Pattern::Wildcard.subsumes(&big));
+    }
+
+    #[test]
+    fn heartbeat_constructor_and_matching() {
+        let hb = Punctuation::heartbeat(StreamId(0), 3, AttrId(1), Value::Int(100));
+        assert_eq!(hb.to_string(), "S1(*, ≤100, *)");
+        assert!(hb.matches(&[Value::Int(9), Value::Int(100), Value::Int(1)]));
+        assert!(!hb.matches(&[Value::Int(9), Value::Int(101), Value::Int(1)]));
+        // Heartbeats have no constant attrs (they carry a bound instead).
+        assert_eq!(hb.constant_attrs().count(), 0);
+    }
+}

@@ -1,0 +1,526 @@
+//! Chained purge strategy (paper §3.2.1, generalized in §4.2), reified as a
+//! *purge recipe* the runtime can execute.
+//!
+//! For a purgeable stream `S` of an operator, Theorem 1/3's proof walks a
+//! directed spanning structure of the (generalized) punctuation graph rooted
+//! at `S`: each reached stream `S_i` contributes a step "punctuations from
+//! `S_i` (instances of a specific scheme) must cover the values that the
+//! already-guarded chain can join with". A [`PurgeRecipe`] records those steps
+//! in dependency order together with *value bindings* — for each punctuatable
+//! attribute of the step's scheme, which earlier stream (or the root tuple
+//! itself) supplies the values that must be punctuated.
+
+use crate::gpg::{GeneralizedPunctuationGraph, ReachStep};
+use crate::query::Cjq;
+use crate::scheme::{PunctuationScheme, SchemeSet};
+use crate::schema::{AttrId, StreamId};
+
+/// Where the values for one punctuatable attribute of a purge step come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueBinding {
+    /// The punctuatable attribute on the step's target stream.
+    pub target_attr: AttrId,
+    /// The stream supplying the values: the recipe root or an earlier step's
+    /// target (its joinable-tuple set `T_t[Υ]`).
+    pub source: StreamId,
+    /// The attribute on `source` whose (joinable) values must be punctuated
+    /// on the target (the two sides of the equi-join predicate).
+    pub source_attr: AttrId,
+}
+
+/// One step of the chained purge strategy: "to guard the chain against future
+/// `target` data, punctuations instantiating `scheme` must cover the value
+/// combinations described by `bindings`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PurgeStep {
+    /// The stream whose future arrivals this step guards against.
+    pub target: StreamId,
+    /// The punctuation scheme whose instances provide the guard.
+    pub scheme: PunctuationScheme,
+    /// One binding per punctuatable attribute of `scheme`, in scheme order.
+    pub bindings: Vec<ValueBinding>,
+}
+
+/// A complete purge recipe for tuples rooted at `roots` within one operator.
+///
+/// For a raw input stream `roots` is a singleton. For an operator in a plan
+/// tree whose input port carries composite tuples (outputs of a child join),
+/// `roots` is the set of raw streams the port spans: all of a stored
+/// composite's values are available as chaining sources at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PurgeRecipe {
+    /// The streams whose (possibly composite) join state the recipe purges.
+    pub roots: Vec<StreamId>,
+    /// Steps in dependency order: every binding's `source` is either one of
+    /// `roots` or the target of an earlier step.
+    pub steps: Vec<PurgeStep>,
+}
+
+impl PurgeRecipe {
+    /// The distinct schemes the recipe relies on.
+    #[must_use]
+    pub fn required_schemes(&self) -> Vec<&PunctuationScheme> {
+        let mut out: Vec<&PunctuationScheme> = Vec::new();
+        for step in &self.steps {
+            if !out.contains(&&step.scheme) {
+                out.push(&step.scheme);
+            }
+        }
+        out
+    }
+
+    /// Human-readable rendering using catalog names (for reports/examples).
+    #[must_use]
+    pub fn explain(&self, query: &Cjq) -> String {
+        let cat = query.catalog();
+        let name = |s: StreamId| {
+            cat.schema(s)
+                .map_or_else(|| s.to_string(), |sc| sc.name().to_owned())
+        };
+        let attr = |s: StreamId, a: AttrId| {
+            cat.schema(s)
+                .and_then(|sc| sc.attr_name(a))
+                .map_or_else(|| format!("#{}", a.0), str::to_owned)
+        };
+        let roots: Vec<String> = self.roots.iter().map(|&s| name(s)).collect();
+        let mut out = format!("purge recipe for tuples of {}:\n", roots.join("+"));
+        for (i, step) in self.steps.iter().enumerate() {
+            let covers: Vec<String> = step
+                .bindings
+                .iter()
+                .map(|b| {
+                    format!(
+                        "{}.{} <- {}.{}",
+                        name(step.target),
+                        attr(step.target, b.target_attr),
+                        name(b.source),
+                        attr(b.source, b.source_attr)
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "  step {}: punctuations from {} covering [{}]\n",
+                i + 1,
+                name(step.target),
+                covers.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Derives the purge recipe for `root` in the operator over `streams`, or
+/// `None` if `root`'s join state is not purgeable under `ℜ` (Theorem 1/3).
+#[must_use]
+pub fn derive_recipe(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    streams: &[StreamId],
+    root: StreamId,
+) -> Option<PurgeRecipe> {
+    derive_port_recipe(query, schemes, streams, &[root])
+}
+
+/// Derives the purge recipe for an input *port* spanning `roots` within the
+/// operator over `streams` (used by plan-tree operators whose inputs are
+/// child-join outputs), or `None` if such composite state is not purgeable.
+#[must_use]
+pub fn derive_port_recipe(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    streams: &[StreamId],
+    roots: &[StreamId],
+) -> Option<PurgeRecipe> {
+    let gpg = GeneralizedPunctuationGraph::over(query, schemes, streams);
+    let mut roots: Vec<StreamId> = roots.to_vec();
+    roots.sort_unstable();
+    roots.dedup();
+    if roots.is_empty() {
+        return None;
+    }
+    for r in &roots {
+        gpg.streams().binary_search(r).ok()?;
+    }
+    let trace = gpg.reach_trace_from_set(&roots);
+    if trace.len() + roots.len() != gpg.streams().len() {
+        return None; // the port does not reach every other input
+    }
+    let steps = trace
+        .iter()
+        .map(|step| match step {
+            ReachStep::Plain { added, from, reason } => {
+                // The plain edge was licensed by a single-attribute scheme on
+                // `added` covering the predicate's endpoint.
+                let scheme = schemes
+                    .for_stream(*added)
+                    .find(|s| s.arity() == 1 && s.is_punctuatable(reason.punctuatable_on.attr))
+                    .expect("plain edge implies such a scheme")
+                    .clone();
+                let source_attr = reason
+                    .predicate
+                    .endpoint_on(*from)
+                    .expect("edge predicate touches `from`")
+                    .attr;
+                PurgeStep {
+                    target: *added,
+                    scheme,
+                    bindings: vec![ValueBinding {
+                        target_attr: reason.punctuatable_on.attr,
+                        source: *from,
+                        source_attr,
+                    }],
+                }
+            }
+            ReachStep::Hyper { added, edge, chosen } => {
+                let hyper = &gpg.hyper_edges()[*edge];
+                let bindings = chosen
+                    .iter()
+                    .map(|&(target_attr, partner)| {
+                        let source_attr = query
+                            .predicates_on(*added)
+                            .find(|p| {
+                                p.endpoint_on(*added).map(|r| r.attr) == Some(target_attr)
+                                    && p.endpoint_opposite(*added).map(|r| r.stream)
+                                        == Some(partner)
+                            })
+                            .and_then(|p| p.endpoint_opposite(*added))
+                            .expect("hyper requirement implies such a predicate")
+                            .attr;
+                        ValueBinding { target_attr, source: partner, source_attr }
+                    })
+                    .collect();
+                PurgeStep { target: *added, scheme: hyper.scheme.clone(), bindings }
+            }
+        })
+        .collect();
+    Some(PurgeRecipe { roots, steps })
+}
+
+/// Lag-aware variant of [`derive_port_recipe`]: when several punctuation
+/// schemes could guard a step, prefer the cheapest (lowest-lag) usable one.
+///
+/// A stored tuple's residency is governed by the *slowest* guard along its
+/// recipe, so the derivation greedily grows the reached set by the
+/// lowest-weight usable edge (a Prim-style minimum-bottleneck strategy;
+/// exact on plain edges, heuristic across hyper edges). `weights[i]` is the
+/// expected punctuation lag of `schemes.schemes()[i]` — the §5.2 "which
+/// alternative punctuation schemes to use" knob.
+///
+/// With uniform weights this produces a recipe equivalent (up to tie-breaks)
+/// to [`derive_port_recipe`]; it returns `None` in exactly the same cases.
+///
+/// # Panics
+/// Panics if `weights.len() != schemes.len()`.
+#[must_use]
+pub fn derive_port_recipe_weighted(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    streams: &[StreamId],
+    roots: &[StreamId],
+    weights: &[f64],
+) -> Option<PurgeRecipe> {
+    assert_eq!(weights.len(), schemes.len(), "one weight per scheme");
+    let gpg = GeneralizedPunctuationGraph::over(query, schemes, streams);
+    let mut roots: Vec<StreamId> = roots.to_vec();
+    roots.sort_unstable();
+    roots.dedup();
+    if roots.is_empty() {
+        return None;
+    }
+    for r in &roots {
+        gpg.streams().binary_search(r).ok()?;
+    }
+    let scheme_weight = |s: &PunctuationScheme| {
+        weights[schemes
+            .schemes()
+            .iter()
+            .position(|x| x == s)
+            .expect("scheme from the registered set")]
+    };
+
+    let mut reached: Vec<StreamId> = roots.clone();
+    let mut steps: Vec<PurgeStep> = Vec::new();
+    while reached.len() < gpg.streams().len() {
+        // Collect every usable step and keep the cheapest.
+        let mut best: Option<(f64, PurgeStep)> = None;
+        let mut consider = |w: f64, step: PurgeStep| match &best {
+            Some((bw, bstep)) if *bw < w || (*bw == w && bstep.target <= step.target) => {}
+            _ => best = Some((w, step)),
+        };
+        // Plain edges: predicate between reached `u` and unreached `v` whose
+        // v-side attribute is punctuatable by a single-attribute scheme.
+        for p in query.predicates() {
+            for (u_ref, v_ref) in [(p.left, p.right), (p.right, p.left)] {
+                if !reached.contains(&u_ref.stream)
+                    || reached.contains(&v_ref.stream)
+                    || gpg.streams().binary_search(&v_ref.stream).is_err()
+                {
+                    continue;
+                }
+                for scheme in schemes.for_stream(v_ref.stream) {
+                    if scheme.arity() == 1 && scheme.is_punctuatable(v_ref.attr) {
+                        consider(
+                            scheme_weight(scheme),
+                            PurgeStep {
+                                target: v_ref.stream,
+                                scheme: scheme.clone(),
+                                bindings: vec![ValueBinding {
+                                    target_attr: v_ref.attr,
+                                    source: u_ref.stream,
+                                    source_attr: u_ref.attr,
+                                }],
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Hyper edges whose every requirement has a reached candidate.
+        for edge in gpg.hyper_edges() {
+            if reached.contains(&edge.target) {
+                continue;
+            }
+            let chosen: Option<Vec<(crate::schema::AttrId, StreamId)>> = edge
+                .requirements
+                .iter()
+                .map(|req| {
+                    req.candidates
+                        .iter()
+                        .find(|c| reached.contains(c))
+                        .map(|&p| (req.attr, p))
+                })
+                .collect();
+            let Some(chosen) = chosen else { continue };
+            let bindings = chosen
+                .iter()
+                .map(|&(target_attr, partner)| {
+                    let source_attr = query
+                        .predicates_on(edge.target)
+                        .find(|p| {
+                            p.endpoint_on(edge.target).map(|r| r.attr) == Some(target_attr)
+                                && p.endpoint_opposite(edge.target).map(|r| r.stream)
+                                    == Some(partner)
+                        })
+                        .and_then(|p| p.endpoint_opposite(edge.target))
+                        .expect("requirement implies predicate")
+                        .attr;
+                    ValueBinding { target_attr, source: partner, source_attr }
+                })
+                .collect();
+            consider(
+                scheme_weight(&edge.scheme),
+                PurgeStep { target: edge.target, scheme: edge.scheme.clone(), bindings },
+            );
+        }
+        let (_, step) = best?; // no usable step left: not purgeable
+        reached.push(step.target);
+        steps.push(step);
+    }
+    Some(PurgeRecipe { roots, steps })
+}
+
+/// Derives recipes for every purgeable stream of the operator; streams whose
+/// state is not purgeable are omitted.
+#[must_use]
+pub fn derive_all(query: &Cjq, schemes: &SchemeSet, streams: &[StreamId]) -> Vec<PurgeRecipe> {
+    streams
+        .iter()
+        .filter_map(|&s| derive_recipe(query, schemes, streams, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::JoinPredicate;
+    use crate::schema::{Catalog, StreamSchema};
+
+    /// Figure 3: S1(A,B), S2(B,C), S3(C,A); S1.B=S2.B, S2.C=S3.C; schemes on
+    /// S2.B and S3.C (what the §3.2 walkthrough needs to purge S1's state).
+    fn fig3() -> (Cjq, SchemeSet) {
+        let mut cat = Catalog::new();
+        cat.add_stream(StreamSchema::new("S1", ["A", "B"]).unwrap());
+        cat.add_stream(StreamSchema::new("S2", ["B", "C"]).unwrap());
+        cat.add_stream(StreamSchema::new("S3", ["C", "A"]).unwrap());
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 1, 1, 0).unwrap(), // S1.B = S2.B
+                JoinPredicate::between(1, 1, 2, 0).unwrap(), // S2.C = S3.C
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes([
+            crate::scheme::PunctuationScheme::on(1, &[0]).unwrap(), // S2.B
+            crate::scheme::PunctuationScheme::on(2, &[0]).unwrap(), // S3.C
+        ]);
+        (q, r)
+    }
+
+    #[test]
+    fn fig3_recipe_for_s1_matches_the_paper_walkthrough() {
+        // §3.2: to purge t(a1,b1) from Υ_S1 we need P_t[S2] = {(b1,*)} and
+        // P_t[S3] = {(c,*) for each joinable c in T_t[Υ_S2]}.
+        let (q, r) = fig3();
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        let recipe = derive_recipe(&q, &r, &streams, StreamId(0)).unwrap();
+        assert_eq!(recipe.roots, vec![StreamId(0)]);
+        assert_eq!(recipe.steps.len(), 2);
+
+        // Step 1: punctuations from S2 on B, values from t itself (S1.B).
+        let s1 = &recipe.steps[0];
+        assert_eq!(s1.target, StreamId(1));
+        assert_eq!(
+            s1.bindings,
+            vec![ValueBinding {
+                target_attr: AttrId(0),
+                source: StreamId(0),
+                source_attr: AttrId(1),
+            }]
+        );
+        // Step 2: punctuations from S3 on C, values from S2's joinable set.
+        let s2 = &recipe.steps[1];
+        assert_eq!(s2.target, StreamId(2));
+        assert_eq!(
+            s2.bindings,
+            vec![ValueBinding {
+                target_attr: AttrId(0),
+                source: StreamId(1),
+                source_attr: AttrId(1),
+            }]
+        );
+    }
+
+    #[test]
+    fn fig3_s3_not_purgeable_without_reverse_schemes() {
+        let (q, r) = fig3();
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        assert!(derive_recipe(&q, &r, &streams, StreamId(2)).is_none());
+        // Only S1's state has a recipe (S2 needs punctuations from S1.B or
+        // S3 direction; S3 -> S2 edge exists but S2 -> S1 does not... S2's
+        // recipe needs to reach S1, which requires a scheme on S1).
+        let all = derive_all(&q, &r, &streams);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].roots, vec![StreamId(0)]);
+    }
+
+    #[test]
+    fn recipe_dependency_order_invariant() {
+        let (q, r) = crate::fixtures::fig8();
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        for root in q.stream_ids() {
+            let recipe = derive_recipe(&q, &r, &streams, root)
+                .unwrap_or_else(|| panic!("{root} purgeable in Fig. 8"));
+            let mut known = recipe.roots.clone();
+            for step in &recipe.steps {
+                for b in &step.bindings {
+                    assert!(
+                        known.contains(&b.source),
+                        "binding source {} used before being guarded",
+                        b.source
+                    );
+                }
+                known.push(step.target);
+            }
+            // Every non-root stream appears exactly once as a target.
+            assert_eq!(known.len(), streams.len());
+        }
+    }
+
+    #[test]
+    fn fig8_s1_recipe_uses_the_multi_attribute_scheme() {
+        let (q, r) = crate::fixtures::fig8();
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        let recipe = derive_recipe(&q, &r, &streams, StreamId(0)).unwrap();
+        // §4.2 walkthrough: guard S2 via (b1,*), then S3 via (a1,c)-pairs
+        // from the multi-attribute scheme S3(+,+).
+        let last = recipe.steps.last().unwrap();
+        assert_eq!(last.target, StreamId(2));
+        assert_eq!(last.scheme.arity(), 2);
+        assert_eq!(last.bindings.len(), 2);
+        // A values come from S1 (the root tuple), C values from S2's chain.
+        assert_eq!(last.bindings[0].source, StreamId(0));
+        assert_eq!(last.bindings[1].source, StreamId(1));
+        let schemes = recipe.required_schemes();
+        assert!(schemes.iter().any(|s| s.arity() == 2));
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_purgeability() {
+        for (q, r) in [crate::fixtures::fig3(), crate::fixtures::fig5(), crate::fixtures::fig8()] {
+            let streams: Vec<StreamId> = q.stream_ids().collect();
+            let uniform = vec![1.0; r.len()];
+            for s in q.stream_ids() {
+                let plain = derive_recipe(&q, &r, &streams, s);
+                let weighted = derive_port_recipe_weighted(&q, &r, &streams, &[s], &uniform);
+                assert_eq!(plain.is_some(), weighted.is_some(), "stream {s}");
+                if let (Some(a), Some(b)) = (plain, weighted) {
+                    let mut ta: Vec<StreamId> = a.steps.iter().map(|st| st.target).collect();
+                    let mut tb: Vec<StreamId> = b.steps.iter().map(|st| st.target).collect();
+                    ta.sort_unstable();
+                    tb.sort_unstable();
+                    assert_eq!(ta, tb, "same streams guarded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_schemes() {
+        // Two parallel predicates between S1 and S2 on different attributes,
+        // each punctuatable on the S2 side: the recipe must pick the cheap
+        // scheme.
+        let mut cat = Catalog::new();
+        cat.add_stream(StreamSchema::new("S1", ["A", "B"]).unwrap());
+        cat.add_stream(StreamSchema::new("S2", ["A", "B"]).unwrap());
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 0, 1, 0).unwrap(),
+                JoinPredicate::between(0, 1, 1, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes([
+            crate::scheme::PunctuationScheme::on(1, &[0]).unwrap(), // S2.A
+            crate::scheme::PunctuationScheme::on(1, &[1]).unwrap(), // S2.B
+        ]);
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        // S2.B is fast: the recipe must guard via attribute B.
+        let recipe =
+            derive_port_recipe_weighted(&q, &r, &streams, &[StreamId(0)], &[10.0, 1.0]).unwrap();
+        assert_eq!(recipe.steps.len(), 1);
+        assert_eq!(recipe.steps[0].scheme, r.schemes()[1]);
+        // And the other way around.
+        let recipe =
+            derive_port_recipe_weighted(&q, &r, &streams, &[StreamId(0)], &[1.0, 10.0]).unwrap();
+        assert_eq!(recipe.steps[0].scheme, r.schemes()[0]);
+    }
+
+    #[test]
+    fn weighted_unpurgeable_returns_none() {
+        let (q, r) = crate::fixtures::fig3();
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        let uniform = vec![1.0; r.len()];
+        assert!(derive_port_recipe_weighted(&q, &r, &streams, &[StreamId(2)], &uniform).is_none());
+        assert!(derive_port_recipe_weighted(&q, &r, &streams, &[], &uniform).is_none());
+    }
+
+    #[test]
+    fn explain_renders_names() {
+        let (q, r) = fig3();
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        let recipe = derive_recipe(&q, &r, &streams, StreamId(0)).unwrap();
+        let text = recipe.explain(&q);
+        assert!(text.contains("purge recipe for tuples of S1"));
+        assert!(text.contains("S2.B <- S1.B"));
+        assert!(text.contains("S3.C <- S2.C"));
+    }
+
+    #[test]
+    fn unknown_root_yields_none() {
+        let (q, r) = fig3();
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        assert!(derive_recipe(&q, &r, &streams, StreamId(9)).is_none());
+    }
+}

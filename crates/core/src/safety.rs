@@ -1,0 +1,318 @@
+//! Safety checking of continuous join queries (paper §4, Theorems 1–5).
+//!
+//! Entry points:
+//!
+//! * [`check_query`] — full safety report for a CJQ under a scheme set,
+//!   choosing the linear-time plain-PG check when every scheme has a single
+//!   punctuatable attribute (§4.1) and the polynomial TPG/GPG machinery
+//!   otherwise (§4.2–4.3).
+//! * [`is_query_safe`] — boolean fast path (Theorem 2 / Theorem 4).
+//! * [`check_operator`] — purgeability of one join operator over a subset of
+//!   the query's streams (Corollaries 1 and 2).
+//! * [`stream_purgeable`] — purgeability of a single join state (Theorems 1
+//!   and 3).
+
+use crate::gpg::GeneralizedPunctuationGraph;
+use crate::pg::PunctuationGraph;
+use crate::query::Cjq;
+use crate::scheme::SchemeSet;
+use crate::schema::StreamId;
+use crate::tpg;
+
+/// Which algorithm produced a [`SafetyReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMethod {
+    /// Plain punctuation graph, single-attribute schemes only (linear time,
+    /// Theorems 1–2).
+    SimplePg,
+    /// Generalized punctuation graph fixpoint + transformed punctuation graph
+    /// (polynomial time, Theorems 3–5).
+    Generalized,
+}
+
+/// Purgeability of one input stream's join state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPurgeability {
+    /// The stream whose join state is analyzed.
+    pub stream: StreamId,
+    /// Theorem 1/3 verdict: the stream reaches every other input.
+    pub purgeable: bool,
+    /// Streams the analyzed stream cannot reach (empty iff purgeable). Each
+    /// entry is an unsafety witness: tuples of `stream` can wait forever for
+    /// matches from these inputs.
+    pub unreachable: Vec<StreamId>,
+}
+
+/// Full result of a safety check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyReport {
+    /// Whether the query/operator can be executed with bounded join state.
+    pub safe: bool,
+    /// Which algorithm was used.
+    pub method: CheckMethod,
+    /// Per-stream purgeability (Theorem 1/3), in stream order.
+    pub per_stream: Vec<StreamPurgeability>,
+}
+
+impl SafetyReport {
+    /// The purgeable streams.
+    pub fn purgeable_streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.per_stream
+            .iter()
+            .filter(|p| p.purgeable)
+            .map(|p| p.stream)
+    }
+
+    /// A witness pair `(from, to)` proving unsafety: `from`'s join state can
+    /// never be fully purged because punctuations cannot guard it against
+    /// future `to` data. `None` when safe.
+    #[must_use]
+    pub fn witness(&self) -> Option<(StreamId, StreamId)> {
+        self.per_stream
+            .iter()
+            .find(|p| !p.purgeable)
+            .map(|p| (p.stream, p.unreachable[0]))
+    }
+
+    /// Renders the report as human-readable text using the query's stream
+    /// names (what `cjq-check` prints).
+    #[must_use]
+    pub fn render(&self, query: &Cjq) -> String {
+        use std::fmt::Write as _;
+        let name = |s: StreamId| {
+            query
+                .catalog()
+                .schema(s)
+                .map_or_else(|| s.to_string(), |sc| sc.name().to_owned())
+        };
+        let mut out = format!(
+            "verdict: {} ({:?} check)\n",
+            if self.safe { "SAFE" } else { "UNSAFE" },
+            self.method
+        );
+        for p in &self.per_stream {
+            if p.purgeable {
+                let _ = writeln!(out, "  {}: purgeable", name(p.stream));
+            } else {
+                let blockers: Vec<String> =
+                    p.unreachable.iter().map(|s| name(*s)).collect();
+                let _ = writeln!(
+                    out,
+                    "  {}: NOT purgeable — no punctuations can guard it against \
+                     future data from {}",
+                    name(p.stream),
+                    blockers.join(", ")
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Whether every scheme in `ℜ` has a single punctuatable attribute, i.e. the
+/// §4.1 "simple" setting where the plain punctuation graph is exact.
+#[must_use]
+pub fn all_schemes_simple(schemes: &SchemeSet) -> bool {
+    schemes.schemes().iter().all(|s| s.arity() == 1)
+}
+
+/// Theorem 2 / Theorem 4: whether the CJQ has at least one safe execution
+/// plan under `ℜ`. Uses the linear-time PG check when all schemes are simple
+/// and the polynomial TPG transformation otherwise.
+#[must_use]
+pub fn is_query_safe(query: &Cjq, schemes: &SchemeSet) -> bool {
+    if all_schemes_simple(schemes) {
+        PunctuationGraph::of_query(query, schemes).is_strongly_connected()
+    } else {
+        tpg::transform_query(query, schemes).is_single_node()
+    }
+}
+
+/// Corollary 1 / Corollary 2: whether the join operator with inputs
+/// `streams` is purgeable under `ℜ`.
+#[must_use]
+pub fn is_operator_purgeable(query: &Cjq, schemes: &SchemeSet, streams: &[StreamId]) -> bool {
+    if all_schemes_simple(schemes) {
+        PunctuationGraph::over(query, schemes, streams).is_strongly_connected()
+    } else {
+        tpg::transform_over(query, schemes, streams).is_single_node()
+    }
+}
+
+/// Theorem 1 / Theorem 3: whether the join state of `stream` in the operator
+/// over `streams` is purgeable under `ℜ`.
+#[must_use]
+pub fn stream_purgeable(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    streams: &[StreamId],
+    stream: StreamId,
+) -> bool {
+    // The GPG subsumes the PG: with simple schemes it has no hyper edges and
+    // its reachability equals plain reachability.
+    GeneralizedPunctuationGraph::over(query, schemes, streams).reaches_all(stream)
+}
+
+/// Full safety report for a query (the query treated as one MJoin operator,
+/// per Theorems 2 and 4).
+#[must_use]
+pub fn check_query(query: &Cjq, schemes: &SchemeSet) -> SafetyReport {
+    check_operator(query, schemes, &query.stream_ids().collect::<Vec<_>>())
+}
+
+/// Full safety report for the operator over `streams`.
+#[must_use]
+pub fn check_operator(query: &Cjq, schemes: &SchemeSet, streams: &[StreamId]) -> SafetyReport {
+    let simple = all_schemes_simple(schemes);
+    let method = if simple {
+        CheckMethod::SimplePg
+    } else {
+        CheckMethod::Generalized
+    };
+    let gpg = GeneralizedPunctuationGraph::over(query, schemes, streams);
+    let all: Vec<StreamId> = gpg.streams().to_vec();
+    let per_stream: Vec<StreamPurgeability> = all
+        .iter()
+        .map(|&s| {
+            let reached = gpg.reachable_from(s);
+            let unreachable: Vec<StreamId> = all
+                .iter()
+                .copied()
+                .filter(|t| reached.binary_search(t).is_err())
+                .collect();
+            StreamPurgeability {
+                stream: s,
+                purgeable: unreachable.is_empty(),
+                unreachable,
+            }
+        })
+        .collect();
+    let safe = per_stream.iter().all(|p| p.purgeable);
+    debug_assert_eq!(
+        safe,
+        is_operator_purgeable(query, schemes, streams),
+        "Theorem 5: fixpoint and TPG checks must agree"
+    );
+    SafetyReport { safe, method, per_stream }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::JoinPredicate;
+    use crate::scheme::PunctuationScheme;
+    use crate::schema::{Catalog, StreamSchema};
+
+    /// The auction example (Example 1): item ⋈ bid on itemid.
+    fn auction() -> Cjq {
+        let mut cat = Catalog::new();
+        cat.add_stream(
+            StreamSchema::new("item", ["sellerid", "itemid", "name", "initialprice"]).unwrap(),
+        );
+        cat.add_stream(StreamSchema::new("bid", ["bidderid", "itemid", "increase"]).unwrap());
+        Cjq::new(cat, vec![JoinPredicate::between(0, 1, 1, 1).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn auction_safe_with_itemid_schemes_on_both() {
+        let q = auction();
+        let r = SchemeSet::from_schemes([
+            PunctuationScheme::on(0, &[1]).unwrap(), // item.itemid (unique ids)
+            PunctuationScheme::on(1, &[1]).unwrap(), // bid.itemid (auction close)
+        ]);
+        assert!(is_query_safe(&q, &r));
+        let report = check_query(&q, &r);
+        assert!(report.safe);
+        assert_eq!(report.method, CheckMethod::SimplePg);
+        assert!(report.witness().is_none());
+        assert_eq!(report.purgeable_streams().count(), 2);
+    }
+
+    #[test]
+    fn auction_unsafe_with_bidderid_scheme_only() {
+        // §1: "if the punctuation scheme shows that there are only
+        // punctuations on bidderid from bid stream, then the item stream in
+        // the above query can never be purged".
+        let q = auction();
+        let r = SchemeSet::from_schemes([
+            PunctuationScheme::on(0, &[1]).unwrap(), // item.itemid
+            PunctuationScheme::on(1, &[0]).unwrap(), // bid.bidderid (useless)
+        ]);
+        assert!(!is_query_safe(&q, &r));
+        let report = check_query(&q, &r);
+        assert!(!report.safe);
+        // item (S1) cannot be purged; bid (S2) can (item.itemid punctuatable).
+        let item = &report.per_stream[0];
+        assert!(!item.purgeable);
+        assert_eq!(item.unreachable, vec![StreamId(1)]);
+        assert!(report.per_stream[1].purgeable);
+        assert_eq!(report.witness(), Some((StreamId(0), StreamId(1))));
+    }
+
+    #[test]
+    fn fig5_query_safe_but_binary_suboperators_unsafe() {
+        let (q, r) = crate::fixtures::fig5();
+        assert!(is_query_safe(&q, &r));
+        for pair in [[0usize, 1], [1, 2], [0, 2]] {
+            let streams = [StreamId(pair[0]), StreamId(pair[1])];
+            assert!(!is_operator_purgeable(&q, &r, &streams));
+            let rep = check_operator(&q, &r, &streams);
+            assert!(!rep.safe);
+            assert_eq!(rep.per_stream.len(), 2);
+        }
+    }
+
+    #[test]
+    fn fig8_needs_generalized_machinery() {
+        let (q, r) = crate::fixtures::fig8();
+        assert!(!all_schemes_simple(&r));
+        assert!(is_query_safe(&q, &r));
+        let report = check_query(&q, &r);
+        assert_eq!(report.method, CheckMethod::Generalized);
+        assert!(report.safe);
+        assert!(report.per_stream.iter().all(|p| p.purgeable));
+    }
+
+    #[test]
+    fn empty_scheme_set_makes_multiway_queries_unsafe() {
+        let q = auction();
+        let r = SchemeSet::new();
+        assert!(!is_query_safe(&q, &r));
+        let report = check_query(&q, &r);
+        assert!(!report.safe);
+        assert!(report.per_stream.iter().all(|p| !p.purgeable));
+    }
+
+    #[test]
+    fn stream_purgeable_matches_report() {
+        let q = auction();
+        let r = SchemeSet::from_schemes([PunctuationScheme::on(0, &[1]).unwrap()]);
+        let streams: Vec<StreamId> = q.stream_ids().collect();
+        // Only bid is purgeable (item.itemid punctuations purge bid state).
+        assert!(!stream_purgeable(&q, &r, &streams, StreamId(0)));
+        assert!(stream_purgeable(&q, &r, &streams, StreamId(1)));
+        let report = check_query(&q, &r);
+        for p in &report.per_stream {
+            assert_eq!(p.purgeable, stream_purgeable(&q, &r, &streams, p.stream));
+        }
+    }
+
+    #[test]
+    fn report_renders_names_and_verdicts() {
+        let q = auction();
+        let r = SchemeSet::from_schemes([PunctuationScheme::on(0, &[1]).unwrap()]);
+        let text = check_query(&q, &r).render(&q);
+        assert!(text.contains("verdict: UNSAFE"));
+        assert!(text.contains("item: NOT purgeable"));
+        assert!(text.contains("future data from bid"));
+        assert!(text.contains("bid: purgeable"));
+    }
+
+    #[test]
+    fn single_stream_operator_is_safe() {
+        let q = auction();
+        let r = SchemeSet::new();
+        assert!(is_operator_purgeable(&q, &r, &[StreamId(0)]));
+        assert!(check_operator(&q, &r, &[StreamId(0)]).safe);
+    }
+}

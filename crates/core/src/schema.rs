@@ -1,0 +1,270 @@
+//! Stream schemas and attribute addressing.
+//!
+//! Each data stream `S_i` has a relational schema `(A_1^i, ..., A_{n_i}^i)`
+//! (paper §2.2). Streams and attributes are addressed by dense indices so the
+//! graph algorithms can use plain vectors.
+
+use std::fmt;
+
+use crate::error::{CoreError, CoreResult};
+
+/// Index of a stream within a [`Catalog`] (the paper's `S_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub usize);
+
+/// Index of an attribute within one stream's schema (the paper's `A_j^i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub usize);
+
+/// A fully qualified attribute reference `S_i.A_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrRef {
+    /// The stream owning the attribute.
+    pub stream: StreamId,
+    /// The attribute position within that stream's schema.
+    pub attr: AttrId,
+}
+
+impl AttrRef {
+    /// Convenience constructor from raw indices.
+    #[must_use]
+    pub fn new(stream: usize, attr: usize) -> Self {
+        AttrRef {
+            stream: StreamId(stream),
+            attr: AttrId(attr),
+        }
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.#{}", self.stream, self.attr.0)
+    }
+}
+
+/// The relational schema of one data stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSchema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl StreamSchema {
+    /// Creates a schema with the given stream name and attribute names.
+    ///
+    /// Attribute names must be unique within the stream.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> CoreResult<Self> {
+        let name = name.into();
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        if attrs.is_empty() {
+            return Err(CoreError::InvalidSchema {
+                stream: name,
+                reason: "a stream schema needs at least one attribute".into(),
+            });
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(CoreError::InvalidSchema {
+                    stream: name,
+                    reason: format!("duplicate attribute name `{a}`"),
+                });
+            }
+        }
+        Ok(StreamSchema { name, attrs })
+    }
+
+    /// The stream's name (informational; addressing uses [`StreamId`]).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes `n_i`.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Name of attribute `id`, if in range.
+    #[must_use]
+    pub fn attr_name(&self, id: AttrId) -> Option<&str> {
+        self.attrs.get(id.0).map(String::as_str)
+    }
+
+    /// Looks up an attribute by name.
+    #[must_use]
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a == name).map(AttrId)
+    }
+
+    /// Iterates over `(AttrId, name)` pairs.
+    pub fn attrs(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i), a.as_str()))
+    }
+}
+
+/// The set of stream schemas a query is defined over (the paper's `ℑ`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    streams: Vec<StreamSchema>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a stream schema and returns its id.
+    pub fn add_stream(&mut self, schema: StreamSchema) -> StreamId {
+        let id = StreamId(self.streams.len());
+        self.streams.push(schema);
+        id
+    }
+
+    /// Number of registered streams.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the catalog has no streams.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The schema of stream `id`, if registered.
+    #[must_use]
+    pub fn schema(&self, id: StreamId) -> Option<&StreamSchema> {
+        self.streams.get(id.0)
+    }
+
+    /// Looks up a stream by name.
+    #[must_use]
+    pub fn stream_by_name(&self, name: &str) -> Option<StreamId> {
+        self.streams.iter().position(|s| s.name() == name).map(StreamId)
+    }
+
+    /// Iterates over `(StreamId, schema)` pairs.
+    pub fn streams(&self) -> impl Iterator<Item = (StreamId, &StreamSchema)> {
+        self.streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StreamId(i), s))
+    }
+
+    /// Resolves `stream.attr` names into an [`AttrRef`].
+    pub fn resolve(&self, stream: &str, attr: &str) -> CoreResult<AttrRef> {
+        let sid = self
+            .stream_by_name(stream)
+            .ok_or_else(|| CoreError::UnknownStream(stream.to_owned()))?;
+        let schema = &self.streams[sid.0];
+        let aid = schema
+            .attr_by_name(attr)
+            .ok_or_else(|| CoreError::UnknownAttribute {
+                stream: stream.to_owned(),
+                attr: attr.to_owned(),
+            })?;
+        Ok(AttrRef { stream: sid, attr: aid })
+    }
+
+    /// Validates that `r` points to an existing stream/attribute.
+    pub fn check_ref(&self, r: AttrRef) -> CoreResult<()> {
+        let schema = self
+            .schema(r.stream)
+            .ok_or_else(|| CoreError::UnknownStream(format!("{}", r.stream)))?;
+        if r.attr.0 >= schema.arity() {
+            return Err(CoreError::UnknownAttribute {
+                stream: schema.name().to_owned(),
+                attr: format!("#{}", r.attr.0),
+            });
+        }
+        Ok(())
+    }
+
+    /// Pretty-prints an attribute reference as `stream.attr`.
+    #[must_use]
+    pub fn display_ref(&self, r: AttrRef) -> String {
+        match self.schema(r.stream) {
+            Some(s) => match s.attr_name(r.attr) {
+                Some(a) => format!("{}.{}", s.name(), a),
+                None => format!("{}.#{}", s.name(), r.attr.0),
+            },
+            None => format!("{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> StreamSchema {
+        StreamSchema::new("s", ["a", "b", "c"]).unwrap()
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_empty() {
+        assert!(StreamSchema::new("s", ["a", "a"]).is_err());
+        assert!(StreamSchema::new("s", Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = abc();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_by_name("b"), Some(AttrId(1)));
+        assert_eq!(s.attr_by_name("z"), None);
+        assert_eq!(s.attr_name(AttrId(2)), Some("c"));
+        assert_eq!(s.attr_name(AttrId(9)), None);
+        assert_eq!(s.attrs().count(), 3);
+    }
+
+    #[test]
+    fn catalog_resolution() {
+        let mut cat = Catalog::new();
+        let item = cat.add_stream(
+            StreamSchema::new("item", ["sellerid", "itemid", "name", "initialprice"]).unwrap(),
+        );
+        let bid =
+            cat.add_stream(StreamSchema::new("bid", ["bidderid", "itemid", "increase"]).unwrap());
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.stream_by_name("bid"), Some(bid));
+        let r = cat.resolve("item", "itemid").unwrap();
+        assert_eq!(r, AttrRef { stream: item, attr: AttrId(1) });
+        assert!(cat.resolve("item", "nope").is_err());
+        assert!(cat.resolve("nope", "itemid").is_err());
+        assert_eq!(cat.display_ref(r), "item.itemid");
+    }
+
+    #[test]
+    fn catalog_check_ref() {
+        let mut cat = Catalog::new();
+        let s = cat.add_stream(abc());
+        assert!(cat.check_ref(AttrRef { stream: s, attr: AttrId(2) }).is_ok());
+        assert!(cat.check_ref(AttrRef { stream: s, attr: AttrId(3) }).is_err());
+        assert!(cat
+            .check_ref(AttrRef { stream: StreamId(5), attr: AttrId(0) })
+            .is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StreamId(0).to_string(), "S1");
+        assert_eq!(AttrRef::new(1, 2).to_string(), "S2.#2");
+    }
+}

@@ -1,0 +1,414 @@
+//! Punctuation schemes (paper §2.3): which attributes of a stream *may* carry
+//! constant-value punctuation patterns.
+//!
+//! A scheme `P^S = (P_1^S, ..., P_n^S)` marks each attribute `+` (punctuatable)
+//! or `_` (wildcard only). An actual punctuation *instantiates* a scheme by
+//! assigning constants to **all** its `+` attributes and `*` to the rest.
+//! A stream may have several schemes; the system-wide collection is the
+//! *punctuation scheme set* `ℜ` held by the query register.
+
+use std::fmt;
+
+use crate::error::{CoreError, CoreResult};
+use crate::punctuation::{Pattern, Punctuation};
+use crate::schema::{AttrId, Catalog, StreamId};
+use crate::value::Value;
+
+/// A punctuation scheme on one stream: the set of punctuatable attributes.
+///
+/// A scheme is either *equality-based* (instances carry constants — the
+/// paper's model) or *ordered* (instances carry `≤ bound` heartbeat
+/// patterns, after Srivastava & Widom \[11\]; always single-attribute).
+/// For safety checking the two behave identically — both license the same
+/// punctuation-graph edges — but at runtime one heartbeat covers an entire
+/// ordered prefix instead of a single value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PunctuationScheme {
+    /// The stream the scheme applies to.
+    pub stream: StreamId,
+    /// Punctuatable attribute positions, sorted and deduplicated.
+    punctuatable: Vec<AttrId>,
+    /// Whether instances carry `≤ bound` patterns instead of constants.
+    ordered: bool,
+}
+
+impl PunctuationScheme {
+    /// Creates a scheme marking `attrs` punctuatable on `stream`.
+    ///
+    /// At least one attribute must be punctuatable (an all-`_` scheme allows
+    /// only the trivial all-`*` punctuation, which carries no information).
+    pub fn new(stream: StreamId, attrs: impl IntoIterator<Item = AttrId>) -> CoreResult<Self> {
+        let mut punctuatable: Vec<AttrId> = attrs.into_iter().collect();
+        punctuatable.sort_unstable();
+        punctuatable.dedup();
+        if punctuatable.is_empty() {
+            return Err(CoreError::InvalidScheme(
+                "a scheme needs at least one punctuatable attribute".into(),
+            ));
+        }
+        Ok(PunctuationScheme { stream, punctuatable, ordered: false })
+    }
+
+    /// Convenience constructor from raw indices.
+    pub fn on(stream: usize, attrs: &[usize]) -> CoreResult<Self> {
+        PunctuationScheme::new(StreamId(stream), attrs.iter().copied().map(AttrId))
+    }
+
+    /// Creates an *ordered* (heartbeat/watermark) scheme on a single
+    /// attribute: instances are `≤ bound` punctuations asserting that no
+    /// future tuple carries a value at or below the bound.
+    pub fn ordered_on(stream: usize, attr: usize) -> CoreResult<Self> {
+        let mut s = PunctuationScheme::new(StreamId(stream), [AttrId(attr)])?;
+        s.ordered = true;
+        Ok(s)
+    }
+
+    /// Whether instances carry `≤ bound` patterns (heartbeats).
+    #[must_use]
+    pub fn is_ordered(&self) -> bool {
+        self.ordered
+    }
+
+    /// The punctuatable attributes, sorted ascending.
+    #[must_use]
+    pub fn punctuatable(&self) -> &[AttrId] {
+        &self.punctuatable
+    }
+
+    /// Number of punctuatable attributes (the scheme's *arity*; 1 = "simple").
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.punctuatable.len()
+    }
+
+    /// Whether attribute `a` is punctuatable under this scheme.
+    #[must_use]
+    pub fn is_punctuatable(&self, a: AttrId) -> bool {
+        self.punctuatable.binary_search(&a).is_ok()
+    }
+
+    /// Validates the scheme against a catalog (attributes in range).
+    pub fn validate(&self, catalog: &Catalog) -> CoreResult<()> {
+        let schema = catalog
+            .schema(self.stream)
+            .ok_or_else(|| CoreError::UnknownStream(format!("{}", self.stream)))?;
+        for a in &self.punctuatable {
+            if a.0 >= schema.arity() {
+                return Err(CoreError::InvalidScheme(format!(
+                    "attribute #{} out of range for stream `{}` (arity {})",
+                    a.0,
+                    schema.name(),
+                    schema.arity()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates a concrete punctuation from this scheme.
+    ///
+    /// `values` must supply exactly one constant per punctuatable attribute,
+    /// in the scheme's (sorted) attribute order.
+    pub fn instantiate(&self, arity: usize, values: &[Value]) -> CoreResult<Punctuation> {
+        if values.len() != self.punctuatable.len() {
+            return Err(CoreError::InvalidPunctuation(format!(
+                "scheme has {} punctuatable attributes but {} values were supplied",
+                self.punctuatable.len(),
+                values.len()
+            )));
+        }
+        let mut patterns = vec![Pattern::Wildcard; arity];
+        for (a, v) in self.punctuatable.iter().zip(values) {
+            if a.0 >= arity {
+                return Err(CoreError::InvalidPunctuation(format!(
+                    "attribute #{} out of range for arity {arity}",
+                    a.0
+                )));
+            }
+            patterns[a.0] = if self.ordered {
+                Pattern::UpTo(v.clone())
+            } else {
+                Pattern::Constant(v.clone())
+            };
+        }
+        Ok(Punctuation { stream: self.stream, patterns })
+    }
+
+    /// Whether a punctuation is an instantiation of this scheme: constants
+    /// (or, for ordered schemes, bounds) on exactly the punctuatable
+    /// attributes, wildcards elsewhere.
+    #[must_use]
+    pub fn is_instance(&self, p: &Punctuation) -> bool {
+        p.stream == self.stream
+            && p.patterns.iter().enumerate().all(|(i, pat)| {
+                let punctuatable = self.is_punctuatable(AttrId(i));
+                match pat {
+                    Pattern::Constant(_) => punctuatable && !self.ordered,
+                    Pattern::UpTo(_) => punctuatable && self.ordered,
+                    Pattern::Wildcard => !punctuatable,
+                }
+            })
+    }
+}
+
+impl fmt::Display for PunctuationScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.stream)?;
+        for (i, a) in self.punctuatable.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "#{}", a.0)?;
+            if self.ordered {
+                write!(f, "≤")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// The punctuation scheme set `ℜ` registered in the system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemeSet {
+    schemes: Vec<PunctuationScheme>,
+}
+
+impl SchemeSet {
+    /// Creates an empty scheme set.
+    #[must_use]
+    pub fn new() -> Self {
+        SchemeSet::default()
+    }
+
+    /// Builds a scheme set from an iterator, deduplicating exact repeats.
+    #[must_use]
+    pub fn from_schemes(schemes: impl IntoIterator<Item = PunctuationScheme>) -> Self {
+        let mut set = SchemeSet::new();
+        for s in schemes {
+            set.add(s);
+        }
+        set
+    }
+
+    /// Adds a scheme (exact duplicates are ignored). Returns whether added.
+    pub fn add(&mut self, scheme: PunctuationScheme) -> bool {
+        if self.schemes.contains(&scheme) {
+            false
+        } else {
+            self.schemes.push(scheme);
+            true
+        }
+    }
+
+    /// All registered schemes.
+    #[must_use]
+    pub fn schemes(&self) -> &[PunctuationScheme] {
+        &self.schemes
+    }
+
+    /// Number of schemes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// Schemes registered for a given stream.
+    pub fn for_stream(&self, stream: StreamId) -> impl Iterator<Item = &PunctuationScheme> {
+        self.schemes.iter().filter(move |s| s.stream == stream)
+    }
+
+    /// Whether some *single-attribute* scheme makes `stream.attr` punctuatable.
+    ///
+    /// This is the test used by Definition 7's punctuation-graph edges in the
+    /// simple-scheme setting (§4.1).
+    #[must_use]
+    pub fn simple_punctuatable(&self, stream: StreamId, attr: AttrId) -> bool {
+        self.for_stream(stream)
+            .any(|s| s.arity() == 1 && s.is_punctuatable(attr))
+    }
+
+    /// Whether *any* scheme (regardless of arity) marks `stream.attr`
+    /// punctuatable. Used by diagnostics, not by safety checking.
+    #[must_use]
+    pub fn any_punctuatable(&self, stream: StreamId, attr: AttrId) -> bool {
+        self.for_stream(stream).any(|s| s.is_punctuatable(attr))
+    }
+
+    /// Validates every scheme against the catalog.
+    pub fn validate(&self, catalog: &Catalog) -> CoreResult<()> {
+        self.schemes.iter().try_for_each(|s| s.validate(catalog))
+    }
+
+    /// Returns the subset of schemes in `keep`, preserving order.
+    #[must_use]
+    pub fn restricted(&self, keep: &[bool]) -> SchemeSet {
+        assert_eq!(keep.len(), self.schemes.len(), "mask length mismatch");
+        SchemeSet {
+            schemes: self
+                .schemes
+                .iter()
+                .zip(keep)
+                .filter(|(_, k)| **k)
+                .map(|(s, _)| s.clone())
+                .collect(),
+        }
+    }
+
+    /// The scheme that `p` instantiates, if any.
+    #[must_use]
+    pub fn matching_scheme(&self, p: &Punctuation) -> Option<&PunctuationScheme> {
+        self.schemes.iter().find(|s| s.is_instance(p))
+    }
+}
+
+impl fmt::Display for SchemeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.schemes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StreamSchema;
+
+    #[test]
+    fn scheme_requires_some_punctuatable_attr() {
+        assert!(PunctuationScheme::on(0, &[]).is_err());
+        assert!(PunctuationScheme::on(0, &[1]).is_ok());
+    }
+
+    #[test]
+    fn scheme_sorts_and_dedups() {
+        let s = PunctuationScheme::on(0, &[2, 0, 2]).unwrap();
+        assert_eq!(s.punctuatable(), &[AttrId(0), AttrId(2)]);
+        assert_eq!(s.arity(), 2);
+        assert!(s.is_punctuatable(AttrId(0)));
+        assert!(!s.is_punctuatable(AttrId(1)));
+    }
+
+    #[test]
+    fn instantiate_produces_scheme_instance() {
+        let s = PunctuationScheme::on(1, &[1]).unwrap();
+        let p = s.instantiate(3, &[Value::Int(1)]).unwrap();
+        assert_eq!(p.to_string(), "S2(*, 1, *)");
+        assert!(s.is_instance(&p));
+        // Wrong number of values fails.
+        assert!(s.instantiate(3, &[]).is_err());
+        assert!(s.instantiate(3, &[Value::Int(1), Value::Int(2)]).is_err());
+        // Out-of-range attribute fails.
+        assert!(s.instantiate(1, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn is_instance_rejects_wrong_shape() {
+        let s = PunctuationScheme::on(1, &[1]).unwrap();
+        // Constant on a non-punctuatable attribute.
+        let p = Punctuation::with_constants(
+            StreamId(1),
+            3,
+            &[(AttrId(0), Value::Int(9)), (AttrId(1), Value::Int(1))],
+        );
+        assert!(!s.is_instance(&p));
+        // Wildcard where a constant is required.
+        let p = Punctuation::with_constants(StreamId(1), 3, &[]);
+        assert!(!s.is_instance(&p));
+        // Wrong stream.
+        let p = Punctuation::with_constants(StreamId(0), 3, &[(AttrId(1), Value::Int(1))]);
+        assert!(!s.is_instance(&p));
+    }
+
+    #[test]
+    fn ordered_schemes_instantiate_heartbeats() {
+        let s = PunctuationScheme::ordered_on(0, 1).unwrap();
+        assert!(s.is_ordered());
+        assert_eq!(s.arity(), 1);
+        let p = s.instantiate(3, &[Value::Int(50)]).unwrap();
+        assert_eq!(p.to_string(), "S1(*, ≤50, *)");
+        assert!(s.is_instance(&p));
+        // An equality instance is NOT an instance of the ordered scheme...
+        let eq = Punctuation::with_constants(StreamId(0), 3, &[(AttrId(1), Value::Int(50))]);
+        assert!(!s.is_instance(&eq));
+        // ...and vice versa.
+        let plain = PunctuationScheme::on(0, &[1]).unwrap();
+        assert!(!plain.is_instance(&p));
+        assert!(plain.is_instance(&eq));
+        // Ordered schemes still count as simple/punctuatable for safety.
+        let set = SchemeSet::from_schemes([s]);
+        assert!(set.simple_punctuatable(StreamId(0), AttrId(1)));
+    }
+
+    #[test]
+    fn scheme_set_dedups_and_queries() {
+        let mut set = SchemeSet::new();
+        assert!(set.add(PunctuationScheme::on(0, &[1]).unwrap()));
+        assert!(!set.add(PunctuationScheme::on(0, &[1]).unwrap()));
+        assert!(set.add(PunctuationScheme::on(0, &[0, 1]).unwrap()));
+        assert_eq!(set.len(), 2);
+        assert!(set.simple_punctuatable(StreamId(0), AttrId(1)));
+        // The multi-attribute scheme must not count as "simple".
+        assert!(!set.simple_punctuatable(StreamId(0), AttrId(0)));
+        assert!(set.any_punctuatable(StreamId(0), AttrId(0)));
+        assert!(!set.any_punctuatable(StreamId(1), AttrId(0)));
+    }
+
+    #[test]
+    fn scheme_set_restriction() {
+        let set = SchemeSet::from_schemes([
+            PunctuationScheme::on(0, &[0]).unwrap(),
+            PunctuationScheme::on(1, &[1]).unwrap(),
+        ]);
+        let only_second = set.restricted(&[false, true]);
+        assert_eq!(only_second.len(), 1);
+        assert_eq!(only_second.schemes()[0].stream, StreamId(1));
+    }
+
+    #[test]
+    fn matching_scheme_lookup() {
+        let set = SchemeSet::from_schemes([
+            PunctuationScheme::on(1, &[1]).unwrap(),
+            PunctuationScheme::on(1, &[0, 1]).unwrap(),
+        ]);
+        let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), Value::Int(1))]);
+        assert_eq!(set.matching_scheme(&p), Some(&set.schemes()[0]));
+        let p2 = Punctuation::with_constants(
+            StreamId(1),
+            3,
+            &[(AttrId(0), Value::Int(2)), (AttrId(1), Value::Int(1))],
+        );
+        assert_eq!(set.matching_scheme(&p2), Some(&set.schemes()[1]));
+        let unmatched = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(2), Value::Int(5))]);
+        assert_eq!(set.matching_scheme(&unmatched), None);
+    }
+
+    #[test]
+    fn validate_against_catalog() {
+        let mut cat = Catalog::new();
+        cat.add_stream(StreamSchema::new("s", ["a", "b"]).unwrap());
+        let ok = SchemeSet::from_schemes([PunctuationScheme::on(0, &[1]).unwrap()]);
+        assert!(ok.validate(&cat).is_ok());
+        let bad = SchemeSet::from_schemes([PunctuationScheme::on(0, &[5]).unwrap()]);
+        assert!(bad.validate(&cat).is_err());
+        let bad_stream = SchemeSet::from_schemes([PunctuationScheme::on(3, &[0]).unwrap()]);
+        assert!(bad_stream.validate(&cat).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let set = SchemeSet::from_schemes([PunctuationScheme::on(2, &[0, 1]).unwrap()]);
+        assert_eq!(set.to_string(), "{S3[#0,#1]}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Attribute values carried by stream tuples and punctuation patterns.
+//!
+//! The paper treats attribute values abstractly (equi-joins only need equality
+//! and hashing). We provide a small dynamically-typed value so workloads can mix
+//! integer keys, strings, and booleans without generics leaking into every API.
+
+use std::fmt;
+
+/// A single attribute value.
+///
+/// Values are totally ordered (`Null < Bool < Int < Str`) so they can key
+/// ordered collections; equality is exact (no numeric coercion).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Absence of a value. Equi-join predicates never match `Null` (SQL-like).
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// 64-bit signed integer (ids, sequence numbers, prices-in-cents...).
+    Int(i64),
+    /// Owned string value.
+    Str(String),
+}
+
+impl Value {
+    /// Returns `true` when this value can participate in an equi-join match,
+    /// i.e. it is not [`Value::Null`].
+    #[must_use]
+    pub fn is_joinable(&self) -> bool {
+        !matches!(self, Value::Null)
+    }
+
+    /// A short type name, used in error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_exact() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Int(4));
+        assert_ne!(Value::Int(1), Value::Bool(true));
+        assert_eq!(Value::from("a"), Value::Str("a".to_owned()));
+    }
+
+    #[test]
+    fn null_is_not_joinable() {
+        assert!(!Value::Null.is_joinable());
+        assert!(Value::Int(0).is_joinable());
+        assert!(Value::from("").is_joinable());
+        assert!(Value::Bool(false).is_joinable());
+    }
+
+    #[test]
+    fn ordering_groups_by_type() {
+        let mut vals = vec![
+            Value::from("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::from("a"),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-1),
+                Value::Int(2),
+                Value::from("a"),
+                Value::from("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::from("s").type_name(), "str");
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(7));
+        set.insert(Value::Int(7));
+        set.insert(Value::from("7"));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&Value::Int(7)));
+    }
+}

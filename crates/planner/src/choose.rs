@@ -1,0 +1,163 @@
+//! Objective-driven safe-plan choice: the query register's final step
+//! (paper §2.1/§5.2 — register only safe queries, then pick a safe plan by
+//! cost).
+
+use cjq_core::plan::Plan;
+use cjq_core::query::Cjq;
+use cjq_core::scheme::SchemeSet;
+
+use crate::cost::{CostModel, PlanCost, Stats};
+use crate::enumerate::PlanSpace;
+
+/// What the optimizer minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize expected data-state memory.
+    #[default]
+    MinDataMemory,
+    /// Minimize total memory (data + punctuation stores).
+    MinTotalMemory,
+    /// Minimize the work proxy (maximize throughput).
+    MaxThroughput,
+}
+
+/// A chosen plan with its estimated cost.
+#[derive(Debug, Clone)]
+pub struct ChosenPlan {
+    /// The selected safe plan.
+    pub plan: Plan,
+    /// Its estimated cost.
+    pub cost: PlanCost,
+    /// Number of safe plans considered.
+    pub considered: usize,
+}
+
+/// Enumerates safe plans (up to `limit`), costs each, and returns the best
+/// under `objective`. `None` when the query is unsafe (no safe plan exists).
+#[must_use]
+pub fn choose_plan(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    stats: Stats,
+    objective: Objective,
+    limit: usize,
+) -> Option<ChosenPlan> {
+    let space = PlanSpace::new(query, schemes);
+    let plans = space.enumerate_safe_plans(limit);
+    if plans.is_empty() {
+        return None;
+    }
+    let model = CostModel::new(query, schemes, stats);
+    let considered = plans.len();
+    let scored: Vec<(Plan, PlanCost)> =
+        plans.into_iter().map(|p| {
+            let c = model.estimate(&p);
+            (p, c)
+        }).collect();
+    let key = |c: &PlanCost| match objective {
+        Objective::MinDataMemory => c.data_memory,
+        Objective::MinTotalMemory => c.total_memory(),
+        Objective::MaxThroughput => c.work,
+    };
+    scored
+        .into_iter()
+        .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("finite costs"))
+        .map(|(plan, cost)| ChosenPlan { plan, cost, considered })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::fixtures;
+    use cjq_core::plan::check_plan;
+
+    #[test]
+    fn fig5_chooses_the_only_safe_plan() {
+        let (q, r) = fixtures::fig5();
+        let chosen = choose_plan(&q, &r, Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
+                                 Objective::MinDataMemory, 100).unwrap();
+        assert_eq!(chosen.plan, Plan::mjoin_all(&q));
+        assert_eq!(chosen.considered, 1);
+        assert!(chosen.cost.bounded());
+    }
+
+    #[test]
+    fn unsafe_query_yields_none() {
+        let (q, r) = fixtures::fig3();
+        assert!(choose_plan(&q, &r, Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
+                            Objective::MinDataMemory, 100).is_none());
+    }
+
+    #[test]
+    fn chosen_plan_is_always_safe() {
+        use cjq_core::query::JoinPredicate;
+        use cjq_core::scheme::PunctuationScheme;
+        use cjq_core::schema::{Catalog, StreamSchema};
+        let mut cat = Catalog::new();
+        for name in ["S1", "S2", "S3", "S4"] {
+            cat.add_stream(StreamSchema::new(name, ["X", "Y"]).unwrap());
+        }
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 1, 1, 0).unwrap(),
+                JoinPredicate::between(1, 1, 2, 0).unwrap(),
+                JoinPredicate::between(2, 1, 3, 0).unwrap(),
+                JoinPredicate::between(3, 1, 0, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes((0..4).flat_map(|s| {
+            [
+                PunctuationScheme::on(s, &[0]).unwrap(),
+                PunctuationScheme::on(s, &[1]).unwrap(),
+            ]
+        }));
+        for objective in [
+            Objective::MinDataMemory,
+            Objective::MinTotalMemory,
+            Objective::MaxThroughput,
+        ] {
+            let chosen =
+                choose_plan(&q, &r, Stats::uniform(4, 1.0, 10.0, 0.1, 0.2), objective, 500)
+                    .unwrap();
+            assert!(chosen.considered > 1);
+            assert!(check_plan(&q, &r, &chosen.plan).unwrap().safe);
+        }
+    }
+
+    #[test]
+    fn skewed_rates_change_the_choice() {
+        // Star query: center S1 joins S2, S3 on the same attr; all schemes.
+        use cjq_core::query::JoinPredicate;
+        use cjq_core::scheme::PunctuationScheme;
+        use cjq_core::schema::{Catalog, StreamSchema};
+        let mut cat = Catalog::new();
+        for name in ["C", "A", "B"] {
+            cat.add_stream(StreamSchema::new(name, ["X"]).unwrap());
+        }
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 0, 1, 0).unwrap(),
+                JoinPredicate::between(0, 0, 2, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes(
+            (0..3).map(|s| PunctuationScheme::on(s, &[0]).unwrap()),
+        );
+        // With a very hot stream B (index 2), plans that keep B's state
+        // longest should lose; the optimizer must still return a safe plan
+        // whose cost is minimal among those considered.
+        let mut stats = Stats::uniform(3, 1.0, 10.0, 0.1, 0.5);
+        stats.rate[2] = 100.0;
+        let chosen =
+            choose_plan(&q, &r, stats.clone(), Objective::MinDataMemory, 100).unwrap();
+        let model = CostModel::new(&q, &r, stats);
+        let space = PlanSpace::new(&q, &r);
+        for p in space.enumerate_safe_plans(100) {
+            assert!(model.estimate(&p).data_memory >= chosen.cost.data_memory - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Safe-plan enumeration (paper §5.2, "Plan Enumeration").
+//!
+//! "Rather than first enumerating all possible plans and then checking
+//! whether they are safe or not, it is more desirable to generate only the
+//! safe plans in the first place. [...] any strongly connected sub-graph in
+//! the punctuation graph for the query could serve as a building block for
+//! constructing safe plans."
+//!
+//! We implement exactly that: a System-R-flavored dynamic program over
+//! connected stream subsets (bitmask-encoded). A subset is a *safe block* if
+//! its generalized punctuation graph is strongly connected; a safe plan is a
+//! tree all of whose operator spans are safe blocks. The DP counts and
+//! enumerates safe plans without ever materializing an unsafe one, and can
+//! also count *all* (cross-product-free) plans for comparison — the paper's
+//! point being that the safe count is typically much smaller.
+
+use std::collections::HashMap;
+
+use cjq_core::plan::Plan;
+use cjq_core::query::Cjq;
+use cjq_core::safety;
+use cjq_core::scheme::SchemeSet;
+use cjq_core::schema::StreamId;
+
+/// Maximum streams supported by the bitmask DP.
+pub const MAX_STREAMS: usize = 20;
+
+/// Precomputed subset properties + plan counting/enumeration.
+#[derive(Debug)]
+pub struct PlanSpace {
+    n: usize,
+    /// Per subset mask: connected in the join graph?
+    connected: Vec<bool>,
+    /// Per subset mask: (G)PG strongly connected (a safe building block)?
+    safe_block: Vec<bool>,
+    counts_safe: HashMap<u32, u128>,
+    counts_all: HashMap<u32, u128>,
+}
+
+impl PlanSpace {
+    /// Analyzes the query's subset lattice.
+    ///
+    /// # Panics
+    /// Panics if the query has more than [`MAX_STREAMS`] streams.
+    #[must_use]
+    pub fn new(query: &Cjq, schemes: &SchemeSet) -> Self {
+        let n = query.n_streams();
+        assert!(n <= MAX_STREAMS, "plan enumeration supports up to {MAX_STREAMS} streams");
+        let full = 1u32 << n;
+        let mut connected = vec![false; full as usize];
+        let mut safe_block = vec![false; full as usize];
+        for mask in 1..full {
+            let streams = streams_of(mask);
+            connected[mask as usize] = query.is_connected_over(&streams);
+            if connected[mask as usize] {
+                safe_block[mask as usize] = streams.len() == 1
+                    || safety::is_operator_purgeable(query, schemes, &streams);
+            }
+        }
+        PlanSpace {
+            n,
+            connected,
+            safe_block,
+            counts_safe: HashMap::new(),
+            counts_all: HashMap::new(),
+        }
+    }
+
+    /// Number of streams.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the subset (as a bitmask) is connected in the join graph.
+    #[must_use]
+    pub fn is_connected(&self, mask: u32) -> bool {
+        self.connected[mask as usize]
+    }
+
+    /// Whether the subset is a safe building block (operator purgeable).
+    #[must_use]
+    pub fn is_safe_block(&self, mask: u32) -> bool {
+        self.safe_block[mask as usize]
+    }
+
+    /// The full-query mask.
+    #[must_use]
+    pub fn full_mask(&self) -> u32 {
+        (1u32 << self.n) - 1
+    }
+
+    /// Counts the safe execution plans for the whole query.
+    pub fn count_safe_plans(&mut self) -> u128 {
+        self.count(self.full_mask(), true)
+    }
+
+    /// Counts all cross-product-free execution plans (safe or not).
+    pub fn count_all_plans(&mut self) -> u128 {
+        self.count(self.full_mask(), false)
+    }
+
+    fn count(&mut self, mask: u32, safe_only: bool) -> u128 {
+        if mask.count_ones() == 1 {
+            return 1;
+        }
+        let memo = if safe_only { &self.counts_safe } else { &self.counts_all };
+        if let Some(&c) = memo.get(&mask) {
+            return c;
+        }
+        let ok = if safe_only {
+            self.safe_block[mask as usize]
+        } else {
+            self.connected[mask as usize]
+        };
+        let total = if ok {
+            // Sum over set partitions of `mask` into >= 2 blocks, each block a
+            // connected, recursively-realizable subset. Partitions are
+            // enumerated canonically (the block containing the lowest bit is
+            // chosen first), so each partition is counted exactly once.
+            let mut total = 0u128;
+            let mut partitions = Vec::new();
+            self.partitions_into_blocks(mask, &mut Vec::new(), &mut partitions, safe_only);
+            for parts in partitions {
+                let mut prod = 1u128;
+                for p in parts {
+                    prod = prod.saturating_mul(self.count(p, safe_only));
+                }
+                total = total.saturating_add(prod);
+            }
+            total
+        } else {
+            0
+        };
+        let memo = if safe_only { &mut self.counts_safe } else { &mut self.counts_all };
+        memo.insert(mask, total);
+        total
+    }
+
+    /// Enumerates set partitions of `mask` into ≥2 blocks where every block
+    /// is connected and (for `safe_only`) realizable as a subtree.
+    fn partitions_into_blocks(
+        &self,
+        remaining: u32,
+        acc: &mut Vec<u32>,
+        out: &mut Vec<Vec<u32>>,
+        safe_only: bool,
+    ) {
+        if remaining == 0 {
+            if acc.len() >= 2 {
+                out.push(acc.clone());
+            }
+            return;
+        }
+        let lowest = remaining & remaining.wrapping_neg();
+        // Every sub-mask of `remaining` containing the lowest bit.
+        let rest = remaining ^ lowest;
+        let mut sub = rest;
+        loop {
+            let block = sub | lowest;
+            if self.block_usable(block, safe_only) && !(acc.is_empty() && block == remaining) {
+                acc.push(block);
+                self.partitions_into_blocks(remaining ^ block, acc, out, safe_only);
+                acc.pop();
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+    }
+
+    fn block_usable(&self, block: u32, safe_only: bool) -> bool {
+        if block.count_ones() == 1 {
+            return true;
+        }
+        if safe_only {
+            self.safe_block[block as usize]
+        } else {
+            self.connected[block as usize]
+        }
+    }
+
+    /// Enumerates up to `limit` safe plans for the whole query.
+    #[must_use]
+    pub fn enumerate_safe_plans(&self, limit: usize) -> Vec<Plan> {
+        self.enumerate(self.full_mask(), limit)
+    }
+
+    fn enumerate(&self, mask: u32, limit: usize) -> Vec<Plan> {
+        if mask.count_ones() == 1 {
+            return vec![Plan::Leaf(StreamId(mask.trailing_zeros() as usize))];
+        }
+        if !self.safe_block[mask as usize] || limit == 0 {
+            return Vec::new();
+        }
+        let mut partitions = Vec::new();
+        self.partitions_into_blocks(mask, &mut Vec::new(), &mut partitions, true);
+        let mut out: Vec<Plan> = Vec::new();
+        for parts in partitions {
+            // Cartesian product of the children's plan lists.
+            let mut combos: Vec<Vec<Plan>> = vec![Vec::new()];
+            for p in &parts {
+                let child_plans = self.enumerate(*p, limit);
+                if child_plans.is_empty() {
+                    combos.clear();
+                    break;
+                }
+                let mut next = Vec::new();
+                for c in &combos {
+                    for cp in &child_plans {
+                        let mut c2 = c.clone();
+                        c2.push(cp.clone());
+                        next.push(c2);
+                        if next.len() > limit {
+                            break;
+                        }
+                    }
+                }
+                combos = next;
+            }
+            for children in combos {
+                out.push(Plan::Join(children));
+                if out.len() >= limit {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Decodes a bitmask into stream ids.
+#[must_use]
+pub fn streams_of(mask: u32) -> Vec<StreamId> {
+    (0..32)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| StreamId(i as usize))
+        .collect()
+}
+
+/// Encodes stream ids into a bitmask.
+#[must_use]
+pub fn mask_of(streams: &[StreamId]) -> u32 {
+    streams.iter().fold(0, |m, s| m | (1 << s.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::fixtures;
+    use cjq_core::plan::check_plan;
+
+    #[test]
+    fn mask_round_trip() {
+        let streams = vec![StreamId(0), StreamId(2)];
+        assert_eq!(mask_of(&streams), 0b101);
+        assert_eq!(streams_of(0b101), streams);
+    }
+
+    #[test]
+    fn fig5_only_the_mjoin_plan_is_safe() {
+        // §4.1.2: the Fig. 5 CJQ has no safe binary-join tree; the only safe
+        // plan is the single 3-way MJoin.
+        let (q, r) = fixtures::fig5();
+        let mut space = PlanSpace::new(&q, &r);
+        assert_eq!(space.count_safe_plans(), 1);
+        let plans = space.enumerate_safe_plans(10);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0], Plan::mjoin_all(&q));
+        // All plans (any shape): MJoin + 3 binary trees (the triangle is
+        // fully connected, so every pair can go first).
+        assert_eq!(space.count_all_plans(), 4);
+    }
+
+    #[test]
+    fn fig3_unsafe_query_has_zero_safe_plans() {
+        let (q, r) = fixtures::fig3();
+        let mut space = PlanSpace::new(&q, &r);
+        assert_eq!(space.count_safe_plans(), 0);
+        assert!(space.enumerate_safe_plans(10).is_empty());
+        // The path S1-S2-S3 admits 3 plans: MJoin, (S1 S2) S3, S1 (S2 S3).
+        assert_eq!(space.count_all_plans(), 3);
+    }
+
+    #[test]
+    fn auction_binary_join_has_one_plan() {
+        let (q, r) = fixtures::auction();
+        let mut space = PlanSpace::new(&q, &r);
+        assert_eq!(space.count_all_plans(), 1);
+        assert_eq!(space.count_safe_plans(), 1);
+    }
+
+    #[test]
+    fn every_enumerated_plan_passes_the_checker() {
+        // A 4-cycle with full punctuation coverage: many safe plans; each
+        // must validate and check safe via the independent plan checker.
+        use cjq_core::query::JoinPredicate;
+        use cjq_core::scheme::PunctuationScheme;
+        use cjq_core::schema::{Catalog, StreamSchema};
+        let mut cat = Catalog::new();
+        for name in ["S1", "S2", "S3", "S4"] {
+            cat.add_stream(StreamSchema::new(name, ["X", "Y"]).unwrap());
+        }
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 1, 1, 0).unwrap(),
+                JoinPredicate::between(1, 1, 2, 0).unwrap(),
+                JoinPredicate::between(2, 1, 3, 0).unwrap(),
+                JoinPredicate::between(3, 1, 0, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes((0..4).flat_map(|s| {
+            [
+                PunctuationScheme::on(s, &[0]).unwrap(),
+                PunctuationScheme::on(s, &[1]).unwrap(),
+            ]
+        }));
+        let mut space = PlanSpace::new(&q, &r);
+        let count = space.count_safe_plans();
+        let plans = space.enumerate_safe_plans(1000);
+        assert_eq!(plans.len() as u128, count);
+        assert!(count >= 10, "4-cycle with full schemes has many safe plans");
+        for p in &plans {
+            let verdict = check_plan(&q, &r, p).expect("valid plan");
+            assert!(verdict.safe, "enumerated plan {p} must be safe");
+        }
+        // Safe count never exceeds the total count.
+        assert!(count <= space.count_all_plans());
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        use cjq_core::query::JoinPredicate;
+        use cjq_core::scheme::PunctuationScheme;
+        use cjq_core::schema::{Catalog, StreamSchema};
+        let mut cat = Catalog::new();
+        for name in ["S1", "S2", "S3", "S4"] {
+            cat.add_stream(StreamSchema::new(name, ["X"]).unwrap());
+        }
+        // Star on one shared attribute, all punctuatable: everything safe.
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 0, 1, 0).unwrap(),
+                JoinPredicate::between(0, 0, 2, 0).unwrap(),
+                JoinPredicate::between(0, 0, 3, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes(
+            (0..4).map(|s| PunctuationScheme::on(s, &[0]).unwrap()),
+        );
+        let space = PlanSpace::new(&q, &r);
+        let plans = space.enumerate_safe_plans(3);
+        assert_eq!(plans.len(), 3);
+    }
+}

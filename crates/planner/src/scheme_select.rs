@@ -1,0 +1,174 @@
+//! Punctuation-scheme selection (paper §5.2, Plan Parameter I).
+//!
+//! "We may (a) either choose to use all punctuation schemes available to us,
+//! or (b) use only the minimum number of punctuation schemes that will keep
+//! the punctuation graph strongly connected. Option (a) is likely to reduce
+//! the memory usage for data; but it will increase the memory usage (and the
+//! processing cost) for punctuations."
+//!
+//! This module finds the scheme subsets realizing option (b): all *minimal*
+//! safe subsets (no scheme can be removed without losing safety) via exact
+//! subset search for small `|ℜ|`, and a greedy-removal heuristic for larger
+//! sets.
+
+use cjq_core::query::Cjq;
+use cjq_core::safety;
+use cjq_core::scheme::SchemeSet;
+
+/// Exact search threshold: `2^|ℜ|` subsets are enumerated below this size.
+pub const EXACT_LIMIT: usize = 16;
+
+/// Whether the query is safe when only the masked schemes are kept.
+fn safe_with(query: &Cjq, schemes: &SchemeSet, keep: &[bool]) -> bool {
+    safety::is_query_safe(query, &schemes.restricted(keep))
+}
+
+/// All minimal safe scheme subsets (as keep-masks over `schemes`), exact.
+///
+/// Returns an empty list when even the full set is unsafe. Panics if
+/// `|ℜ| >= EXACT_LIMIT` — use [`greedy_minimal`] beyond that.
+#[must_use]
+pub fn minimal_safe_subsets(query: &Cjq, schemes: &SchemeSet) -> Vec<Vec<bool>> {
+    let m = schemes.len();
+    assert!(m < EXACT_LIMIT, "exact search limited to |ℜ| < {EXACT_LIMIT}");
+    if !safe_with(query, schemes, &vec![true; m]) {
+        return Vec::new();
+    }
+    let mut safe_masks: Vec<u32> = Vec::new();
+    for mask in 0..(1u32 << m) {
+        let keep: Vec<bool> = (0..m).map(|i| mask & (1 << i) != 0).collect();
+        if safe_with(query, schemes, &keep) {
+            safe_masks.push(mask);
+        }
+    }
+    // Keep the minimal ones (no safe proper subset).
+    let minimal: Vec<u32> = safe_masks
+        .iter()
+        .copied()
+        .filter(|&mask| {
+            !safe_masks
+                .iter()
+                .any(|&other| other != mask && other & mask == other)
+        })
+        .collect();
+    minimal
+        .into_iter()
+        .map(|mask| (0..m).map(|i| mask & (1 << i) != 0).collect())
+        .collect()
+}
+
+/// One minimum-cardinality safe subset (exact), if any.
+#[must_use]
+pub fn minimum_safe_subset(query: &Cjq, schemes: &SchemeSet) -> Option<SchemeSet> {
+    minimal_safe_subsets(query, schemes)
+        .into_iter()
+        .min_by_key(|keep| keep.iter().filter(|&&k| k).count())
+        .map(|keep| schemes.restricted(&keep))
+}
+
+/// Greedy heuristic: repeatedly drop any scheme whose removal keeps the
+/// query safe. Produces *a* minimal subset (not necessarily minimum) in
+/// `O(|ℜ|²)` safety checks; works for any `|ℜ|`.
+#[must_use]
+pub fn greedy_minimal(query: &Cjq, schemes: &SchemeSet) -> Option<SchemeSet> {
+    let m = schemes.len();
+    let mut keep = vec![true; m];
+    if !safe_with(query, schemes, &keep) {
+        return None;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..m {
+            if !keep[i] {
+                continue;
+            }
+            keep[i] = false;
+            if safe_with(query, schemes, &keep) {
+                changed = true;
+            } else {
+                keep[i] = true;
+            }
+        }
+    }
+    Some(schemes.restricted(&keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::fixtures;
+    use cjq_core::scheme::PunctuationScheme;
+
+    #[test]
+    fn fig5_minimal_set_is_the_full_cycle() {
+        // All three schemes are needed: dropping any one breaks the cycle.
+        let (q, r) = fixtures::fig5();
+        let minimal = minimal_safe_subsets(&q, &r);
+        assert_eq!(minimal, vec![vec![true, true, true]]);
+        let min = minimum_safe_subset(&q, &r).unwrap();
+        assert_eq!(min.len(), 3);
+        assert_eq!(greedy_minimal(&q, &r).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn redundant_schemes_are_dropped() {
+        // Auction with an extra useless scheme (bid.bidderid) and a redundant
+        // duplicate-ish scheme (bid.itemid twice can't happen — SchemeSet
+        // dedups — so add item.sellerid instead).
+        let (q, mut r) = fixtures::auction();
+        r.add(PunctuationScheme::on(1, &[0]).unwrap()); // bid.bidderid: useless
+        r.add(PunctuationScheme::on(0, &[0]).unwrap()); // item.sellerid: useless
+        let minimal = minimal_safe_subsets(&q, &r);
+        assert_eq!(minimal.len(), 1);
+        assert_eq!(minimal[0], vec![true, true, false, false]);
+        let min = minimum_safe_subset(&q, &r).unwrap();
+        assert_eq!(min.len(), 2);
+        let greedy = greedy_minimal(&q, &r).unwrap();
+        assert_eq!(greedy.len(), 2);
+    }
+
+    #[test]
+    fn unsafe_queries_have_no_safe_subset() {
+        let (q, r) = fixtures::fig3();
+        assert!(minimal_safe_subsets(&q, &r).is_empty());
+        assert!(minimum_safe_subset(&q, &r).is_none());
+        assert!(greedy_minimal(&q, &r).is_none());
+    }
+
+    #[test]
+    fn multiple_minimal_subsets() {
+        // Fig. 8's set: {S1.B, S2.B, S2.C, S3(A,C)}. The B-cycle needs S1.B
+        // and S2.B; S3 must be reached via the hyper edge (S3(A,C)) and must
+        // reach back via S2.C. All four are necessary... verify by exactness:
+        let (q, r) = fixtures::fig8();
+        let minimal = minimal_safe_subsets(&q, &r);
+        assert!(!minimal.is_empty());
+        for keep in &minimal {
+            // Each minimal subset is safe and loses safety on any removal.
+            assert!(safe_with(&q, &r, keep));
+            for i in 0..keep.len() {
+                if keep[i] {
+                    let mut fewer = keep.clone();
+                    fewer[i] = false;
+                    assert!(!safe_with(&q, &r, &fewer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_result_is_minimal() {
+        let (q, mut r) = fixtures::fig8();
+        // Add noise schemes.
+        r.add(PunctuationScheme::on(0, &[0]).unwrap());
+        r.add(PunctuationScheme::on(2, &[1]).unwrap());
+        let greedy = greedy_minimal(&q, &r).unwrap();
+        assert!(safety::is_query_safe(&q, &greedy));
+        // Removing any remaining scheme breaks safety.
+        for i in 0..greedy.len() {
+            let keep: Vec<bool> = (0..greedy.len()).map(|j| j != i).collect();
+            assert!(!safety::is_query_safe(&q, &greedy.restricted(&keep)));
+        }
+    }
+}

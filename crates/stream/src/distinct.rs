@@ -1,0 +1,217 @@
+//! Punctuation-aware duplicate elimination (paper §7, future work (iii):
+//! "extend the current safety checking framework ... for adapting other
+//! relational operators to the streaming punctuation semantics").
+//!
+//! `DISTINCT` over a stream is *stateful*: it must remember every key it has
+//! emitted to suppress repeats, so its seen-set grows with the number of
+//! distinct keys — unbounded on unbounded domains. Punctuations make it
+//! safe: once a punctuation guarantees that a key (combination) can never
+//! appear again, its seen-set entry is dead and can be dropped. The safety
+//! condition mirrors the join case in miniature: the operator's state on
+//! key attributes `K` is purgeable iff some punctuation scheme's
+//! punctuatable attributes are a subset of `K` (a scheme constraining a
+//! non-key attribute can never retire a key: tuples with the same key but a
+//! different non-key value could still arrive).
+
+use std::collections::HashMap;
+
+use cjq_core::punctuation::Punctuation;
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
+use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::value::Value;
+
+/// Counters of a distinct operator's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistinctStats {
+    /// Input tuples consumed.
+    pub tuples_in: u64,
+    /// Tuples passed through (first occurrence of their key).
+    pub emitted: u64,
+    /// Duplicates suppressed.
+    pub suppressed: u64,
+    /// Seen-set entries retired by punctuations.
+    pub retired: u64,
+}
+
+/// Streaming `DISTINCT` on a subset of a stream's attributes.
+#[derive(Debug)]
+pub struct Distinct {
+    stream: StreamId,
+    key: Vec<AttrId>,
+    /// Schemes whose punctuatable attributes are all key attributes — the
+    /// ones that can retire seen-set entries.
+    usable_schemes: Vec<PunctuationScheme>,
+    seen: HashMap<Vec<Value>, ()>,
+    /// Statistics.
+    pub stats: DistinctStats,
+}
+
+impl Distinct {
+    /// Creates a distinct operator keyed on `key` attributes of `stream`,
+    /// registering the usable schemes from `ℜ`.
+    #[must_use]
+    pub fn new(stream: StreamId, key: &[AttrId], schemes: &SchemeSet) -> Self {
+        let mut key = key.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        let usable_schemes = schemes
+            .for_stream(stream)
+            .filter(|s| s.punctuatable().iter().all(|a| key.contains(a)))
+            .cloned()
+            .collect();
+        Distinct {
+            stream,
+            key,
+            usable_schemes,
+            seen: HashMap::new(),
+            stats: DistinctStats::default(),
+        }
+    }
+
+    /// Safety in the Definition 1 sense: can the seen-set be purged at all
+    /// under the registered schemes?
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        !self.usable_schemes.is_empty()
+    }
+
+    /// Current seen-set size (the operator's state).
+    #[must_use]
+    pub fn state_size(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Processes a tuple; returns whether it should be emitted (first
+    /// occurrence of its key).
+    pub fn process_tuple(&mut self, values: &[Value]) -> bool {
+        self.stats.tuples_in += 1;
+        let key: Vec<Value> = self.key.iter().map(|a| values[a.0].clone()).collect();
+        if self.seen.insert(key, ()).is_none() {
+            self.stats.emitted += 1;
+            true
+        } else {
+            self.stats.suppressed += 1;
+            false
+        }
+    }
+
+    /// Applies a punctuation: retires every seen key the punctuation proves
+    /// finished. Only punctuations instantiating a usable scheme (constants
+    /// within the key attributes) retire anything. Returns entries retired.
+    pub fn process_punctuation(&mut self, p: &Punctuation) -> usize {
+        debug_assert_eq!(p.stream, self.stream, "punctuation routed to wrong operator");
+        if !self.usable_schemes.iter().any(|s| s.is_instance(p)) {
+            return 0;
+        }
+        // Constants mapped onto key positions.
+        let required: Vec<(usize, &Value)> = p
+            .constant_attrs()
+            .map(|(attr, v)| {
+                let pos = self
+                    .key
+                    .iter()
+                    .position(|k| *k == attr)
+                    .expect("usable scheme constrains key attributes only");
+                (pos, v)
+            })
+            .collect();
+        let before = self.seen.len();
+        self.seen
+            .retain(|key, ()| !required.iter().all(|&(pos, v)| &key[pos] == v));
+        let retired = before - self.seen.len();
+        self.stats.retired += retired as u64;
+        retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ival(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// bid(bidderid, itemid, increase), DISTINCT on (bidderid, itemid).
+    fn distinct_with(schemes: SchemeSet) -> Distinct {
+        Distinct::new(StreamId(1), &[AttrId(0), AttrId(1)], &schemes)
+    }
+
+    #[test]
+    fn suppresses_duplicates() {
+        let schemes = SchemeSet::from_schemes([PunctuationScheme::on(1, &[1]).unwrap()]);
+        let mut d = distinct_with(schemes);
+        assert!(d.process_tuple(&[ival(3), ival(1), ival(5)]));
+        assert!(!d.process_tuple(&[ival(3), ival(1), ival(9)])); // same key
+        assert!(d.process_tuple(&[ival(4), ival(1), ival(5)])); // new bidder
+        assert_eq!(d.stats.emitted, 2);
+        assert_eq!(d.stats.suppressed, 1);
+        assert_eq!(d.state_size(), 2);
+    }
+
+    #[test]
+    fn key_subset_schemes_retire_entries() {
+        // Scheme on itemid (a key attribute): closing item 1 retires every
+        // (bidder, 1) entry.
+        let schemes = SchemeSet::from_schemes([PunctuationScheme::on(1, &[1]).unwrap()]);
+        let mut d = distinct_with(schemes);
+        assert!(d.is_safe());
+        d.process_tuple(&[ival(3), ival(1), ival(5)]);
+        d.process_tuple(&[ival(4), ival(1), ival(5)]);
+        d.process_tuple(&[ival(3), ival(2), ival(5)]);
+        let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(1))]);
+        assert_eq!(d.process_punctuation(&p), 2);
+        assert_eq!(d.state_size(), 1);
+        assert_eq!(d.stats.retired, 2);
+    }
+
+    #[test]
+    fn non_key_schemes_cannot_retire() {
+        // Scheme on increase (not a key attribute): a punctuation with a
+        // constant increase says nothing about future (bidder, item) pairs.
+        let schemes = SchemeSet::from_schemes([PunctuationScheme::on(1, &[2]).unwrap()]);
+        let mut d = distinct_with(schemes);
+        assert!(!d.is_safe(), "no scheme within the key: DISTINCT is unsafe");
+        d.process_tuple(&[ival(3), ival(1), ival(5)]);
+        let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(2), ival(5))]);
+        assert_eq!(d.process_punctuation(&p), 0);
+        assert_eq!(d.state_size(), 1);
+    }
+
+    #[test]
+    fn multi_attribute_key_scheme() {
+        // Scheme on (bidderid, itemid): exactly the key.
+        let schemes = SchemeSet::from_schemes([PunctuationScheme::on(1, &[0, 1]).unwrap()]);
+        let mut d = distinct_with(schemes);
+        assert!(d.is_safe());
+        d.process_tuple(&[ival(3), ival(1), ival(5)]);
+        d.process_tuple(&[ival(4), ival(1), ival(5)]);
+        let p = Punctuation::with_constants(
+            StreamId(1),
+            3,
+            &[(AttrId(0), ival(3)), (AttrId(1), ival(1))],
+        );
+        assert_eq!(d.process_punctuation(&p), 1);
+        assert_eq!(d.state_size(), 1);
+    }
+
+    #[test]
+    fn bounded_under_punctuated_feed() {
+        let schemes = SchemeSet::from_schemes([PunctuationScheme::on(1, &[1]).unwrap()]);
+        let mut d = distinct_with(schemes);
+        let mut peak = 0;
+        for item in 0..100i64 {
+            for bidder in 0..5i64 {
+                d.process_tuple(&[ival(bidder), ival(item), ival(1)]);
+                d.process_tuple(&[ival(bidder), ival(item), ival(2)]); // dup
+            }
+            peak = peak.max(d.state_size());
+            let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(item))]);
+            d.process_punctuation(&p);
+        }
+        assert_eq!(d.state_size(), 0);
+        assert_eq!(peak, 5, "one open item at a time");
+        assert_eq!(d.stats.emitted, 500);
+        assert_eq!(d.stats.suppressed, 500);
+    }
+}

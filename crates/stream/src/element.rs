@@ -1,0 +1,96 @@
+//! Stream elements: the unified item type flowing through feeds — either a
+//! data tuple or a punctuation (punctuations travel in-band, as in \[12\]).
+
+use std::fmt;
+
+use cjq_core::punctuation::Punctuation;
+use cjq_core::schema::StreamId;
+
+use crate::tuple::Tuple;
+
+/// One element of a punctuated data stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamElement {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// A punctuation: no future tuple of its stream matches its patterns.
+    Punctuation(Punctuation),
+}
+
+impl StreamElement {
+    /// The stream this element belongs to.
+    #[must_use]
+    pub fn stream(&self) -> StreamId {
+        match self {
+            StreamElement::Tuple(t) => t.stream,
+            StreamElement::Punctuation(p) => p.stream,
+        }
+    }
+
+    /// Whether this is a punctuation.
+    #[must_use]
+    pub fn is_punctuation(&self) -> bool {
+        matches!(self, StreamElement::Punctuation(_))
+    }
+
+    /// The tuple, if this is a data element.
+    #[must_use]
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            StreamElement::Tuple(t) => Some(t),
+            StreamElement::Punctuation(_) => None,
+        }
+    }
+
+    /// The punctuation, if this is one.
+    #[must_use]
+    pub fn as_punctuation(&self) -> Option<&Punctuation> {
+        match self {
+            StreamElement::Tuple(_) => None,
+            StreamElement::Punctuation(p) => Some(p),
+        }
+    }
+}
+
+impl fmt::Display for StreamElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamElement::Tuple(t) => write!(f, "{t}"),
+            StreamElement::Punctuation(p) => write!(f, "†{p}"),
+        }
+    }
+}
+
+impl From<Tuple> for StreamElement {
+    fn from(t: Tuple) -> Self {
+        StreamElement::Tuple(t)
+    }
+}
+
+impl From<Punctuation> for StreamElement {
+    fn from(p: Punctuation) -> Self {
+        StreamElement::Punctuation(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::schema::AttrId;
+    use cjq_core::value::Value;
+
+    #[test]
+    fn accessors() {
+        let t: StreamElement = Tuple::of(0, [Value::Int(1)]).into();
+        assert!(!t.is_punctuation());
+        assert!(t.as_tuple().is_some());
+        assert!(t.as_punctuation().is_none());
+        assert_eq!(t.stream(), StreamId(0));
+
+        let p: StreamElement =
+            Punctuation::with_constants(StreamId(2), 2, &[(AttrId(0), Value::Int(5))]).into();
+        assert!(p.is_punctuation());
+        assert_eq!(p.stream(), StreamId(2));
+        assert_eq!(p.to_string(), "†S3(5, *)");
+    }
+}

@@ -1,0 +1,815 @@
+//! Executor: compiles an execution plan into an operator tree and drives it
+//! over a punctuated feed.
+//!
+//! The executor owns the [`PurgeEngine`] (raw mirror + punctuation stores),
+//! the [`JoinOperator`] tree, and an optional [`GroupBy`] stage over the root
+//! output (the paper's Figure 1 pipeline). Purge cycles run eagerly (after
+//! every punctuation), lazily (batched), or never, per [`PurgeCadence`] —
+//! the Plan-Parameter-II knob of §5.2.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cjq_core::error::{CoreError, CoreResult};
+use cjq_core::plan::Plan;
+use cjq_core::punctuation::Punctuation;
+use cjq_core::query::Cjq;
+use cjq_core::scheme::SchemeSet;
+use cjq_core::schema::{AttrRef, StreamId};
+use cjq_core::value::Value;
+
+use crate::element::StreamElement;
+use crate::groupby::{Aggregate, GroupBy};
+use crate::join::JoinOperator;
+use crate::metrics::{Metrics, StatePoint};
+use crate::purge::{PurgeEngine, PurgeScope};
+use crate::source::Feed;
+use crate::tuple::Tuple;
+
+/// When purge cycles run (Plan Parameter II of §5.2, after \[6\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PurgeCadence {
+    /// Never purge (the no-punctuation baseline: state grows unboundedly).
+    Never,
+    /// Purge after every punctuation arrival (minimal memory, more work).
+    #[default]
+    Eager,
+    /// Purge every `batch` elements (better throughput, more memory).
+    Lazy {
+        /// Elements between purge cycles.
+        batch: usize,
+    },
+    /// Self-tuning cadence (the §5.2 "adaptive query processing" direction):
+    /// starts at `initial` elements per cycle and adapts to the observed
+    /// purge yield — a cycle that purges most of the state means the engine
+    /// waited too long (halve the batch); a cycle that purges almost nothing
+    /// means cycles are wasted work (grow the batch). Clamped to [8, 4096].
+    Adaptive {
+        /// Initial elements between purge cycles.
+        initial: usize,
+    },
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Purge model: per-operator (plan-dependent) or query-level.
+    pub scope: PurgeScope,
+    /// Purge cadence.
+    pub cadence: PurgeCadence,
+    /// §5.1 punctuation lifespan (sequence ticks), if any.
+    pub punct_lifespan: Option<u64>,
+    /// §5.1 punctuation purging (punctuations purging punctuations).
+    pub purge_punctuations: bool,
+    /// Sliding-window semantics: tuples older than this many elements are
+    /// evicted regardless of punctuations (the window-join baseline of
+    /// \[3, 7\]). `None` = pure punctuation semantics. Window eviction can
+    /// drop tuples that would still join: results may be incomplete — that
+    /// is the baseline's defining trade-off.
+    pub window: Option<u64>,
+    /// Sample state sizes every this many elements.
+    pub sample_every: usize,
+    /// Conservative bound on required-combination enumeration per purge step.
+    pub coverage_limit: usize,
+    /// Keep result tuples in memory (disable for large benches).
+    pub record_outputs: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            scope: PurgeScope::Operator,
+            cadence: PurgeCadence::Eager,
+            punct_lifespan: None,
+            purge_punctuations: false,
+            window: None,
+            sample_every: 64,
+            coverage_limit: 100_000,
+            record_outputs: true,
+        }
+    }
+}
+
+/// Final per-operator state snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorSnapshot {
+    /// The streams the operator spans.
+    pub span: Vec<StreamId>,
+    /// Live tuples per input port at the end of the run.
+    pub port_live: Vec<usize>,
+    /// The operator's activity counters.
+    pub stats: crate::join::OperatorStats,
+}
+
+/// Result of running a feed to completion.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Result tuples (root-operator outputs), if recorded.
+    pub outputs: Vec<Vec<Value>>,
+    /// Aggregate rows emitted by the group-by stage (punctuation-closed).
+    pub aggregates: Vec<Vec<Value>>,
+    /// Execution metrics.
+    pub metrics: Metrics,
+    /// Per-operator snapshots, bottom-up (root last).
+    pub operators: Vec<OperatorSnapshot>,
+}
+
+/// A compiled, runnable execution plan.
+#[derive(Debug)]
+pub struct Executor {
+    query: Cjq,
+    engine: PurgeEngine,
+    /// Operators in bottom-up order (children before parents; root last).
+    ops: Vec<JoinOperator>,
+    /// Parent link per operator: `(parent op index, parent port)`.
+    parent: Vec<Option<(usize, usize)>>,
+    /// Leaf routing: stream → (op index, port).
+    leaf_route: HashMap<StreamId, (usize, usize)>,
+    groupby: Option<GroupBy>,
+    /// Punctuations awaiting delivery to the group-by stage: a punctuation
+    /// may only close groups once no *stored* tuple of its stream can still
+    /// produce matching outputs (the punctuation-propagation condition of
+    /// [12]/[6]); until then it is pending.
+    pending_group_puncts: Vec<Punctuation>,
+    cfg: ExecConfig,
+    clock: u64,
+    since_purge: usize,
+    /// Current batch size under [`PurgeCadence::Adaptive`].
+    adaptive_batch: usize,
+    outputs: Vec<Vec<Value>>,
+    aggregates: Vec<Vec<Value>>,
+    metrics: Metrics,
+}
+
+impl Executor {
+    /// Compiles `plan` (validated against `query`) into an operator tree.
+    ///
+    /// The plan may be unsafe — unpurgeable ports simply get no recipe and
+    /// grow, which is exactly what the state-growth experiments measure.
+    pub fn compile(
+        query: &Cjq,
+        schemes: &SchemeSet,
+        plan: &Plan,
+        cfg: ExecConfig,
+    ) -> CoreResult<Self> {
+        Executor::compile_weighted(query, schemes, plan, cfg, None)
+    }
+
+    /// Like [`Executor::compile`], with optional per-scheme punctuation-lag
+    /// weights (aligned with `schemes.schemes()`): purge recipes then prefer
+    /// low-lag schemes (§5.2 Plan Parameter I).
+    pub fn compile_weighted(
+        query: &Cjq,
+        schemes: &SchemeSet,
+        plan: &Plan,
+        cfg: ExecConfig,
+        weights: Option<&[f64]>,
+    ) -> CoreResult<Self> {
+        plan.validate(query)?;
+        if matches!(plan, Plan::Leaf(_)) {
+            return Err(CoreError::InvalidPlan(
+                "single-stream plans have no join to execute".into(),
+            ));
+        }
+        schemes.validate(query.catalog())?;
+        let engine = PurgeEngine::new_weighted(
+            query,
+            schemes,
+            cfg.punct_lifespan,
+            cfg.coverage_limit,
+            weights.map(<[f64]>::to_vec),
+        );
+        let mut ops = Vec::new();
+        let mut parent = Vec::new();
+        let mut leaf_route = HashMap::new();
+        build(
+            query, schemes, plan, cfg.scope, &engine, &mut ops, &mut parent, &mut leaf_route,
+        );
+        Ok(Executor {
+            query: query.clone(),
+            engine,
+            ops,
+            parent,
+            leaf_route,
+            groupby: None,
+            pending_group_puncts: Vec::new(),
+            adaptive_batch: match cfg.cadence {
+                PurgeCadence::Adaptive { initial } => initial.clamp(8, 4096),
+                _ => 0,
+            },
+            cfg,
+            clock: 0,
+            since_purge: 0,
+            outputs: Vec::new(),
+            aggregates: Vec::new(),
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// Attaches a group-by/aggregation stage over the root operator's output.
+    ///
+    /// The stage is join-equivalence aware ([`GroupBy::for_query`]): a
+    /// punctuation on any attribute join-equivalent to a grouping attribute
+    /// can close groups. Delivery is gated on the propagation condition (no
+    /// live stored tuple of the punctuated stream still matches), so closed
+    /// groups are guaranteed complete.
+    ///
+    /// # Panics
+    /// Panics if a grouping/aggregate attribute is not in the root layout.
+    #[must_use]
+    pub fn with_groupby(mut self, group_by: &[AttrRef], agg: Aggregate) -> Self {
+        let layout = self.ops.last().expect("at least one operator").out_layout().clone();
+        self.groupby = Some(GroupBy::for_query(&self.query, layout, group_by, agg));
+        self
+    }
+
+    /// The query this executor runs.
+    #[must_use]
+    pub fn query(&self) -> &Cjq {
+        &self.query
+    }
+
+    /// Total live join-state tuples across all operators.
+    #[must_use]
+    pub fn join_state_live(&self) -> usize {
+        self.ops.iter().map(JoinOperator::live).sum()
+    }
+
+    /// The purge engine (mirror + punctuation stores).
+    #[must_use]
+    pub fn engine(&self) -> &PurgeEngine {
+        &self.engine
+    }
+
+    /// The operators, bottom-up (root last).
+    #[must_use]
+    pub fn operators(&self) -> &[JoinOperator] {
+        &self.ops
+    }
+
+    /// Pushes one element through the pipeline.
+    pub fn push(&mut self, element: &StreamElement) {
+        let start = Instant::now();
+        self.clock += 1;
+        self.since_purge += 1;
+        match element {
+            StreamElement::Tuple(t) => self.push_tuple(t),
+            StreamElement::Punctuation(p) => self.push_punctuation(p),
+        }
+        match self.cfg.cadence {
+            PurgeCadence::Lazy { batch } if self.since_purge >= batch => self.purge_cycle(),
+            PurgeCadence::Adaptive { .. } if self.since_purge >= self.adaptive_batch => {
+                self.purge_cycle();
+            }
+            _ => {}
+        }
+        if let Some(window) = self.cfg.window {
+            let cutoff = self.clock.saturating_sub(window);
+            let mut evicted = 0;
+            for op in &mut self.ops {
+                evicted += op.evict_window(cutoff);
+            }
+            self.engine.evict_window(cutoff);
+            self.metrics.purged += evicted as u64;
+        }
+        if self.clock.is_multiple_of(self.cfg.sample_every as u64) {
+            self.sample();
+        }
+        self.metrics.elapsed_ns += start.elapsed().as_nanos();
+    }
+
+    fn push_tuple(&mut self, t: &Tuple) {
+        if !self.engine.observe_tuple_at(t, self.clock) {
+            self.metrics.violations += 1;
+            return;
+        }
+        self.metrics.tuples_in += 1;
+        let &(op, port) = self
+            .leaf_route
+            .get(&t.stream)
+            .unwrap_or_else(|| panic!("no leaf port for {}", t.stream));
+        let mut frontier = vec![(op, port, t.values.clone())];
+        while let Some((op, port, values)) = frontier.pop() {
+            let outs = self.ops[op].process_tuple_at(port, values, self.clock);
+            match self.parent[op] {
+                Some((pop, pport)) => {
+                    for o in outs {
+                        frontier.push((pop, pport, o));
+                    }
+                }
+                None => {
+                    for o in outs {
+                        self.metrics.outputs += 1;
+                        if let Some(g) = &mut self.groupby {
+                            g.process_tuple(&o);
+                        }
+                        if self.cfg.record_outputs {
+                            self.outputs.push(o);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_punctuation(&mut self, p: &Punctuation) {
+        self.metrics.puncts_in += 1;
+        self.engine.observe_punctuation(p, self.clock);
+        if self.groupby.is_some() {
+            self.pending_group_puncts.push(p.clone());
+        }
+        if self.cfg.cadence == PurgeCadence::Eager {
+            self.purge_cycle(); // retries pending deliveries at the end
+        } else {
+            self.deliver_group_punctuations();
+        }
+    }
+
+    /// Delivers pending punctuations to the group-by stage once safe: a
+    /// punctuation on stream `S` closes groups only when no live stored `S`
+    /// tuple matches it — otherwise that tuple could still join future data
+    /// and add members to an already-emitted group.
+    fn deliver_group_punctuations(&mut self) {
+        let Some(g) = &mut self.groupby else { return };
+        let engine = &self.engine;
+        let mut still_pending = Vec::new();
+        for p in self.pending_group_puncts.drain(..) {
+            let blocked = engine
+                .mirror_state(p.stream)
+                .iter_live()
+                .any(|(_, row)| p.matches(row));
+            if blocked {
+                still_pending.push(p);
+            } else {
+                let closed = g.process_punctuation(&p);
+                self.metrics.aggregates_out += closed.len() as u64;
+                self.aggregates.extend(closed);
+            }
+        }
+        self.pending_group_puncts = still_pending;
+    }
+
+    /// Runs one purge cycle: lifespan expiry, operator purge passes, mirror
+    /// purge, and optional §5.1 punctuation purging.
+    pub fn purge_cycle(&mut self) {
+        self.since_purge = 0;
+        self.metrics.purge_cycles += 1;
+        if self.cfg.punct_lifespan.is_some() {
+            self.engine.expire_punctuations(self.clock);
+        }
+        let live_before = self.join_state_live();
+        let mut purged = 0;
+        for op in &mut self.ops {
+            purged += op.purge_pass(&self.engine);
+        }
+        self.metrics.purged += purged as u64;
+        if matches!(self.cfg.cadence, PurgeCadence::Adaptive { .. }) && live_before > 0 {
+            // Yield-driven AIMD-style adjustment.
+            if purged * 2 >= live_before {
+                self.adaptive_batch = (self.adaptive_batch / 2).max(8);
+            } else if purged * 10 <= live_before {
+                self.adaptive_batch = (self.adaptive_batch * 2).min(4096);
+            }
+        }
+        self.engine.purge_mirror();
+        if self.cfg.purge_punctuations {
+            self.engine.purge_punctuations(&self.query);
+        }
+        self.deliver_group_punctuations();
+    }
+
+    fn sample(&mut self) {
+        let p = StatePoint {
+            at: self.clock,
+            join_state: self.join_state_live(),
+            mirror: self.engine.mirror_live(),
+            punct_entries: self.engine.punct_entries(),
+            groups: self.groupby.as_ref().map_or(0, GroupBy::open_groups),
+        };
+        self.metrics.sample(p);
+    }
+
+    /// Runs a whole feed and finishes (final purge cycle + sample).
+    pub fn run(mut self, feed: &Feed) -> RunResult {
+        for e in feed {
+            self.push(e);
+        }
+        self.finish()
+    }
+
+    /// Final purge cycle + sample, returning the accumulated results.
+    pub fn finish(mut self) -> RunResult {
+        self.purge_cycle();
+        self.sample();
+        self.metrics.mirror_purged = self.engine.mirror_purged;
+        self.metrics.punct_dropped = self.engine.punct_dropped;
+        let operators = self
+            .ops
+            .iter()
+            .map(|op| OperatorSnapshot {
+                span: op.span().to_vec(),
+                port_live: op.port_live(),
+                stats: op.stats,
+            })
+            .collect();
+        RunResult {
+            outputs: self.outputs,
+            aggregates: self.aggregates,
+            metrics: self.metrics,
+            operators,
+        }
+    }
+}
+
+/// Recursively builds operators bottom-up; returns each subtree's span.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    plan: &Plan,
+    scope: PurgeScope,
+    engine: &PurgeEngine,
+    ops: &mut Vec<JoinOperator>,
+    parent: &mut Vec<Option<(usize, usize)>>,
+    leaf_route: &mut HashMap<StreamId, (usize, usize)>,
+) -> Vec<StreamId> {
+    match plan {
+        Plan::Leaf(s) => vec![*s],
+        Plan::Join(children) => {
+            // Compile children first, remembering which are leaves.
+            let child_info: Vec<(Option<usize>, Vec<StreamId>)> = children
+                .iter()
+                .map(|c| {
+                    let span = build(query, schemes, c, scope, engine, ops, parent, leaf_route);
+                    let op_idx = match c {
+                        Plan::Leaf(_) => None,
+                        Plan::Join(_) => Some(ops.len() - 1),
+                    };
+                    (op_idx, span)
+                })
+                .collect();
+            let port_spans: Vec<Vec<StreamId>> =
+                child_info.iter().map(|(_, s)| s.clone()).collect();
+            let op = JoinOperator::new(query, schemes, port_spans, scope, engine);
+            let span = op.span().to_vec();
+            let my_idx = ops.len();
+            ops.push(op);
+            parent.push(None);
+            for (port, (child_op, child_span)) in child_info.into_iter().enumerate() {
+                match child_op {
+                    Some(ci) => parent[ci] = Some((my_idx, port)),
+                    None => {
+                        leaf_route.insert(child_span[0], (my_idx, port));
+                    }
+                }
+            }
+            span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::fixtures;
+    use cjq_core::schema::AttrId;
+
+    fn ival(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    fn item(itemid: i64) -> StreamElement {
+        Tuple::of(0, vec![ival(7), ival(itemid), "x".into(), ival(100)]).into()
+    }
+
+    fn bid(itemid: i64, incr: i64) -> StreamElement {
+        Tuple::of(1, vec![ival(3), ival(itemid), ival(incr)]).into()
+    }
+
+    fn bid_close(itemid: i64) -> StreamElement {
+        Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(itemid))]).into()
+    }
+
+    fn item_unique(itemid: i64) -> StreamElement {
+        Punctuation::with_constants(StreamId(0), 4, &[(AttrId(1), ival(itemid))]).into()
+    }
+
+    #[test]
+    fn auction_end_to_end_with_groupby() {
+        let (q, r) = fixtures::auction();
+        let plan = Plan::mjoin_all(&q);
+        let exec = Executor::compile(&q, &r, &plan, ExecConfig::default())
+            .unwrap()
+            .with_groupby(
+                &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
+                Aggregate::Sum(AttrRef { stream: StreamId(1), attr: AttrId(2) }),
+            );
+        let feed = Feed::from_elements(vec![
+            item(1),
+            item_unique(1),
+            bid(1, 5),
+            bid(1, 7),
+            item(2),
+            item_unique(2),
+            bid(2, 9),
+            bid_close(1), // auction 1 closes: group emitted, states purged
+            bid(2, 1),
+            bid_close(2),
+        ]);
+        let res = exec.run(&feed);
+        assert_eq!(res.metrics.tuples_in, 6);
+        assert_eq!(res.metrics.puncts_in, 4);
+        assert_eq!(res.metrics.outputs, 4, "each bid joins its item once");
+        // Aggregates: item 1 total 12, item 2 total 10, closed by punctuation.
+        assert_eq!(res.aggregates.len(), 2);
+        assert!(res.aggregates.contains(&vec![ival(1), ival(12)]));
+        assert!(res.aggregates.contains(&vec![ival(2), ival(10)]));
+        // After the final purge everything is dead.
+        assert_eq!(res.metrics.last().unwrap().join_state, 0);
+        assert_eq!(res.metrics.last().unwrap().groups, 0);
+    }
+
+    #[test]
+    fn safe_query_without_punctuations_grows() {
+        let (q, r) = fixtures::auction();
+        let plan = Plan::mjoin_all(&q);
+        let exec = Executor::compile(&q, &r, &plan, ExecConfig::default()).unwrap();
+        let mut feed = Feed::new();
+        for i in 0..100 {
+            feed.push(item(i));
+            feed.push(bid(i, 1));
+        }
+        let res = exec.run(&feed);
+        // No punctuations ever arrive: nothing can be purged.
+        assert_eq!(res.metrics.last().unwrap().join_state, 200);
+        assert_eq!(res.metrics.purged, 0);
+    }
+
+    #[test]
+    fn punctuations_bound_the_state() {
+        let (q, r) = fixtures::auction();
+        let plan = Plan::mjoin_all(&q);
+        let exec = Executor::compile(&q, &r, &plan, ExecConfig::default()).unwrap();
+        let mut feed = Feed::new();
+        for i in 0..100 {
+            feed.push(item(i));
+            feed.push(item_unique(i));
+            feed.push(bid(i, 1));
+            feed.push(bid_close(i));
+        }
+        let res = exec.run(&feed);
+        assert_eq!(res.metrics.outputs, 100);
+        assert_eq!(res.metrics.last().unwrap().join_state, 0);
+        // The state never holds more than the in-flight auctions.
+        assert!(
+            res.metrics.peak_join_state <= 4,
+            "peak {} should stay tiny",
+            res.metrics.peak_join_state
+        );
+    }
+
+    #[test]
+    fn unsafe_plan_grows_while_safe_plan_stays_bounded() {
+        // Figure 7: Fig. 5's query, MJoin plan vs (S1 ⋈ S2) ⋈ S3.
+        let (q, r) = fixtures::fig5();
+        let mk_feed = || {
+            let mut feed = Feed::new();
+            for i in 0..50i64 {
+                // S1(A,B), S2(B,C), S3(A,C): one fully-joining triple per i.
+                feed.push(Tuple::of(0, vec![ival(i), ival(i)]));
+                feed.push(Tuple::of(1, vec![ival(i), ival(i)]));
+                feed.push(Tuple::of(2, vec![ival(i), ival(i)]));
+                // Punctuations on every scheme, closing key i.
+                feed.push(StreamElement::Punctuation(Punctuation::with_constants(
+                    StreamId(0), 2, &[(AttrId(1), ival(i))],
+                )));
+                feed.push(StreamElement::Punctuation(Punctuation::with_constants(
+                    StreamId(1), 2, &[(AttrId(1), ival(i))],
+                )));
+                feed.push(StreamElement::Punctuation(Punctuation::with_constants(
+                    StreamId(2), 2, &[(AttrId(0), ival(i))],
+                )));
+            }
+            feed
+        };
+        let safe = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let res_safe = safe.run(&mk_feed());
+        assert_eq!(res_safe.metrics.last().unwrap().join_state, 0);
+        assert!(res_safe.metrics.peak_join_state <= 6);
+
+        let unsafe_plan = Plan::left_deep(&[StreamId(0), StreamId(1), StreamId(2)]);
+        let lower = Executor::compile(&q, &r, &unsafe_plan, ExecConfig::default()).unwrap();
+        let res_unsafe = lower.run(&mk_feed());
+        // The lower binary join can never purge its S1 input (no punctuation
+        // scheme on S2.B): that port alone retains all 50 S1 tuples forever.
+        assert!(
+            res_unsafe.metrics.last().unwrap().join_state >= 50,
+            "unsafe plan state = {}",
+            res_unsafe.metrics.last().unwrap().join_state
+        );
+        // Both plans produce identical results.
+        assert_eq!(res_safe.metrics.outputs, res_unsafe.metrics.outputs);
+        assert_eq!(res_safe.metrics.outputs, 50);
+    }
+
+    #[test]
+    fn query_scope_bounds_even_unsafe_plans() {
+        let (q, r) = fixtures::fig5();
+        let unsafe_plan = Plan::left_deep(&[StreamId(0), StreamId(1), StreamId(2)]);
+        let cfg = ExecConfig { scope: PurgeScope::Query, ..ExecConfig::default() };
+        let exec = Executor::compile(&q, &r, &unsafe_plan, cfg).unwrap();
+        let mut feed = Feed::new();
+        for i in 0..50i64 {
+            feed.push(Tuple::of(0, vec![ival(i), ival(i)]));
+            feed.push(Tuple::of(1, vec![ival(i), ival(i)]));
+            feed.push(Tuple::of(2, vec![ival(i), ival(i)]));
+            feed.push(StreamElement::Punctuation(Punctuation::with_constants(
+                StreamId(0), 2, &[(AttrId(1), ival(i))],
+            )));
+            feed.push(StreamElement::Punctuation(Punctuation::with_constants(
+                StreamId(1), 2, &[(AttrId(1), ival(i))],
+            )));
+            feed.push(StreamElement::Punctuation(Punctuation::with_constants(
+                StreamId(2), 2, &[(AttrId(0), ival(i))],
+            )));
+        }
+        let res = exec.run(&feed);
+        assert_eq!(res.metrics.outputs, 50);
+        // §2.4's separate-purge-engine model: plan-independent boundedness.
+        assert!(
+            res.metrics.peak_join_state <= 8,
+            "peak {} should stay bounded under Query scope",
+            res.metrics.peak_join_state
+        );
+    }
+
+    #[test]
+    fn lazy_cadence_purges_in_batches() {
+        let (q, r) = fixtures::auction();
+        let plan = Plan::mjoin_all(&q);
+        let cfg = ExecConfig {
+            cadence: PurgeCadence::Lazy { batch: 50 },
+            sample_every: 10, // sample densely enough to observe the sawtooth
+            ..ExecConfig::default()
+        };
+        let exec = Executor::compile(&q, &r, &plan, cfg).unwrap();
+        let mut feed = Feed::new();
+        for i in 0..30 {
+            feed.push(item(i));
+            feed.push(item_unique(i));
+            feed.push(bid(i, 1));
+            feed.push(bid_close(i));
+        }
+        let res = exec.run(&feed);
+        // 120 elements / batch 50 => 2 in-run cycles + 1 final.
+        assert_eq!(res.metrics.purge_cycles, 3);
+        assert_eq!(res.metrics.last().unwrap().join_state, 0);
+        // Lazy mode holds more state between cycles than eager mode would.
+        assert!(res.metrics.peak_join_state >= 20);
+    }
+
+    #[test]
+    fn adaptive_cadence_lands_between_eager_and_never() {
+        let (q, r) = fixtures::fig5();
+        let kcfg = cjq_workload_free_keyed(&q, &r, 400, 4);
+        let run = |cadence: PurgeCadence| {
+            let cfg = ExecConfig { cadence, sample_every: 16, record_outputs: false, ..ExecConfig::default() };
+            let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
+            exec.run(&kcfg).metrics
+        };
+        let eager = run(PurgeCadence::Eager);
+        let adaptive = run(PurgeCadence::Adaptive { initial: 256 });
+        let never = run(PurgeCadence::Never);
+        assert_eq!(adaptive.outputs, eager.outputs);
+        assert!(adaptive.peak_join_state >= eager.peak_join_state);
+        assert!(adaptive.peak_join_state < never.peak_join_state / 2);
+        assert!(adaptive.purge_cycles > 1);
+        assert!(adaptive.purge_cycles < eager.purge_cycles);
+    }
+
+    /// Inline round-keyed feed (the workload crate depends on this one).
+    fn cjq_workload_free_keyed(
+        q: &Cjq,
+        r: &SchemeSet,
+        rounds: usize,
+        lag: usize,
+    ) -> Feed {
+        let mut feed = Feed::new();
+        for round in 0..rounds + lag {
+            if round < rounds {
+                for s in q.stream_ids() {
+                    let arity = q.catalog().schema(s).unwrap().arity();
+                    feed.push(Tuple::new(s, vec![ival(round as i64); arity]));
+                }
+            }
+            if round >= lag {
+                let key = (round - lag) as i64;
+                for scheme in r.schemes() {
+                    let arity = q.catalog().schema(scheme.stream).unwrap().arity();
+                    let values = vec![ival(key); scheme.arity()];
+                    feed.push(StreamElement::Punctuation(
+                        scheme.instantiate(arity, &values).unwrap(),
+                    ));
+                }
+            }
+        }
+        feed
+    }
+
+    #[test]
+    fn never_cadence_disables_purging() {
+        let (q, r) = fixtures::auction();
+        let cfg = ExecConfig { cadence: PurgeCadence::Never, ..ExecConfig::default() };
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
+        let mut feed = Feed::new();
+        for i in 0..20 {
+            feed.push(item(i));
+            feed.push(item_unique(i));
+            feed.push(bid(i, 1));
+            feed.push(bid_close(i));
+        }
+        let mut exec = exec;
+        for e in &feed {
+            exec.push(e);
+        }
+        // Before finish(): nothing was purged along the way.
+        assert_eq!(exec.join_state_live(), 40);
+        let res = exec.finish();
+        // finish() runs one last cycle, which purges everything.
+        assert_eq!(res.metrics.last().unwrap().join_state, 0);
+    }
+
+    #[test]
+    fn window_semantics_bound_state_but_can_lose_results() {
+        let (q, r) = fixtures::auction();
+        // All 60 items posted first, then all bids: an item is 60..120
+        // elements older than its bid.
+        let mut feed = Feed::new();
+        for i in 0..60 {
+            feed.push(item(i));
+        }
+        for i in 0..60 {
+            feed.push(bid(i, 1));
+        }
+        let run = |window: Option<u64>| {
+            let cfg = ExecConfig { window, cadence: PurgeCadence::Never, ..ExecConfig::default() };
+            let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
+            exec.run(&feed).metrics
+        };
+        // No window, no punctuations: complete results, unbounded state.
+        let unbounded = run(None);
+        assert_eq!(unbounded.outputs, 60);
+        assert_eq!(unbounded.last().unwrap().join_state, 120);
+        // A window of 200 covers everything: complete and (trivially) bounded.
+        let wide = run(Some(200));
+        assert_eq!(wide.outputs, 60);
+        // A window of 30 keeps state small but evicts items before their
+        // bids arrive: results are LOST — the window-baseline trade-off.
+        let narrow = run(Some(30));
+        assert!(narrow.outputs < 60, "narrow window loses joins: {}", narrow.outputs);
+        assert!(narrow.peak_join_state <= 40);
+    }
+
+    #[test]
+    fn violating_tuples_are_rejected_and_counted() {
+        let (q, r) = fixtures::auction();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let feed = Feed::from_elements(vec![
+            item(1),
+            bid_close(1),
+            bid(1, 5), // violates the close punctuation
+            bid(2, 5),
+        ]);
+        let res = exec.run(&feed);
+        assert_eq!(res.metrics.violations, 1);
+        assert_eq!(res.metrics.tuples_in, 2);
+        assert_eq!(res.metrics.outputs, 0);
+    }
+
+    #[test]
+    fn run_result_reports_per_operator_snapshots() {
+        let (q, r) = fixtures::fig5();
+        let plan = Plan::left_deep(&[StreamId(0), StreamId(1), StreamId(2)]);
+        let exec = Executor::compile(&q, &r, &plan, ExecConfig::default()).unwrap();
+        let mut feed = Feed::new();
+        for i in 0..10i64 {
+            feed.push(Tuple::of(0, vec![ival(i), ival(i)]));
+            feed.push(Tuple::of(1, vec![ival(i), ival(i)]));
+            feed.push(Tuple::of(2, vec![ival(i), ival(i)]));
+        }
+        let res = exec.run(&feed);
+        assert_eq!(res.operators.len(), 2);
+        // Bottom-up: lower binary join first, root last.
+        assert_eq!(res.operators[0].span, vec![StreamId(0), StreamId(1)]);
+        assert_eq!(res.operators[1].span.len(), 3);
+        // Without punctuations, the lower join retains its 20 raw inputs.
+        assert_eq!(res.operators[0].port_live.iter().sum::<usize>(), 20);
+        assert_eq!(res.operators[1].stats.outputs, 10);
+    }
+
+    #[test]
+    fn compile_rejects_leaf_plans() {
+        let (q, r) = fixtures::auction();
+        assert!(Executor::compile(&q, &r, &Plan::leaf(0), ExecConfig::default()).is_err());
+    }
+}

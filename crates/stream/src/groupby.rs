@@ -1,0 +1,376 @@
+//! Punctuation-unblocked grouping/aggregation (the paper's Example 1:
+//! "track the difference between the final price and the initial price for
+//! each item" — a SUM per itemid that can only be emitted once the auction
+//! closes).
+//!
+//! Group-by is a *blocking* operator on unbounded streams: without extra
+//! knowledge it can never emit a group, because more members might arrive.
+//! Punctuations unblock it \[12\]: a punctuation whose constant attributes all
+//! map to grouping columns guarantees that the matching groups are complete,
+//! so they can be emitted and their state dropped.
+
+use std::collections::HashMap;
+
+use cjq_core::punctuation::Punctuation;
+use cjq_core::query::Cjq;
+use cjq_core::schema::AttrRef;
+use cjq_core::value::Value;
+
+use crate::layout::SpanLayout;
+
+/// The aggregate computed per group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Sum of an integer attribute.
+    Sum(AttrRef),
+    /// Count of members.
+    Count,
+    /// Minimum of an integer attribute (`Null` for empty groups).
+    Min(AttrRef),
+    /// Maximum of an integer attribute (`Null` for empty groups).
+    Max(AttrRef),
+}
+
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    sum: i64,
+    count: u64,
+    min: Option<i64>,
+    max: Option<i64>,
+}
+
+/// Counters of a group-by's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupByStats {
+    /// Input tuples consumed.
+    pub tuples_in: u64,
+    /// Groups emitted (closed by punctuations or flushed).
+    pub emitted: u64,
+    /// Groups closed specifically by punctuations.
+    pub closed_by_punctuation: u64,
+}
+
+/// A streaming group-by over composite tuples in a fixed layout.
+#[derive(Debug)]
+pub struct GroupBy {
+    layout: SpanLayout,
+    group_cols: Vec<usize>,
+    /// Per grouping column: the attribute references that determine its
+    /// value. With join-equivalence awareness this is the whole equivalence
+    /// class (e.g. both `item.itemid` and `bid.itemid`), so punctuations on
+    /// either side can close groups.
+    group_refs: Vec<Vec<AttrRef>>,
+    agg: Aggregate,
+    agg_col: Option<usize>,
+    groups: HashMap<Vec<Value>, GroupState>,
+    /// Statistics.
+    pub stats: GroupByStats,
+}
+
+impl GroupBy {
+    /// Creates a group-by over tuples laid out per `layout`, grouping on the
+    /// given raw attributes and computing `agg`.
+    ///
+    /// # Panics
+    /// Panics if a grouping or aggregate attribute is not in the layout.
+    #[must_use]
+    pub fn new(layout: SpanLayout, group_by: &[AttrRef], agg: Aggregate) -> Self {
+        let group_cols: Vec<usize> = group_by
+            .iter()
+            .map(|r| {
+                layout
+                    .pos(r.stream, r.attr)
+                    .unwrap_or_else(|| panic!("group attribute {r} not in layout"))
+            })
+            .collect();
+        let agg_col = match agg {
+            Aggregate::Sum(r) | Aggregate::Min(r) | Aggregate::Max(r) => Some(
+                layout
+                    .pos(r.stream, r.attr)
+                    .unwrap_or_else(|| panic!("aggregate attribute {r} not in layout")),
+            ),
+            Aggregate::Count => None,
+        };
+        GroupBy {
+            layout,
+            group_cols,
+            group_refs: group_by.iter().map(|r| vec![*r]).collect(),
+            agg,
+            agg_col,
+            groups: HashMap::new(),
+            stats: GroupByStats::default(),
+        }
+    }
+
+    /// Like [`GroupBy::new`], additionally treating attributes that are
+    /// join-equivalent to a grouping attribute (transitively, through the
+    /// query's equi-join predicates) as aliases of it. Every result tuple
+    /// carries equal values on join-equivalent positions, so a punctuation on
+    /// *any* alias guarantees group completeness — e.g. in the auction query,
+    /// both `bid.itemid` and `item.itemid` punctuations close item groups.
+    #[must_use]
+    pub fn for_query(query: &Cjq, layout: SpanLayout, group_by: &[AttrRef], agg: Aggregate) -> Self {
+        let mut gb = GroupBy::new(layout, group_by, agg);
+        for class in &mut gb.group_refs {
+            // Transitive closure over equi-join predicates within the layout.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for p in query.predicates() {
+                    for (a, b) in [(p.left, p.right), (p.right, p.left)] {
+                        if class.contains(&a) && !class.contains(&b) {
+                            class.push(b);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        gb
+    }
+
+    /// Number of open (unemitted) groups — the operator's blocking state.
+    #[must_use]
+    pub fn open_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Consumes one input tuple.
+    pub fn process_tuple(&mut self, values: &[Value]) {
+        self.stats.tuples_in += 1;
+        let key: Vec<Value> = self.group_cols.iter().map(|&c| values[c].clone()).collect();
+        let g = self.groups.entry(key).or_default();
+        g.count += 1;
+        if let Some(c) = self.agg_col {
+            if let Value::Int(v) = &values[c] {
+                g.sum += v;
+                g.min = Some(g.min.map_or(*v, |m| m.min(*v)));
+                g.max = Some(g.max.map_or(*v, |m| m.max(*v)));
+            }
+        }
+    }
+
+    /// Applies a punctuation: closes and emits every group whose key is
+    /// guaranteed complete. Returns the emitted `key ++ [aggregate]` rows.
+    ///
+    /// A punctuation closes groups when **every** constant attribute maps to
+    /// a grouping column (otherwise future inputs could still land in the
+    /// group with different non-group values).
+    pub fn process_punctuation(&mut self, p: &Punctuation) -> Vec<Vec<Value>> {
+        // Map each constant attr to a grouping column (directly or through a
+        // join-equivalence alias); bail if one is not a group column.
+        let mut required: Vec<(usize, &Value)> = Vec::new();
+        for (attr, value) in p.constant_attrs() {
+            let Some(pos) = self.group_refs.iter().position(|class| {
+                class.iter().any(|r| r.stream == p.stream && r.attr == attr)
+            }) else {
+                return Vec::new();
+            };
+            required.push((pos, value));
+        }
+        if required.is_empty() {
+            return Vec::new();
+        }
+        let closing: Vec<Vec<Value>> = self
+            .groups
+            .keys()
+            .filter(|key| required.iter().all(|&(pos, v)| &key[pos] == v))
+            .cloned()
+            .collect();
+        let mut out = Vec::with_capacity(closing.len());
+        for key in closing {
+            let g = self.groups.remove(&key).expect("listed key exists");
+            out.push(self.render(key, &g));
+            self.stats.closed_by_punctuation += 1;
+        }
+        self.stats.emitted += out.len() as u64;
+        out
+    }
+
+    /// Emits all still-open groups (end-of-stream flush for finite feeds).
+    pub fn flush(&mut self) -> Vec<Vec<Value>> {
+        let mut keys: Vec<Vec<Value>> = self.groups.keys().cloned().collect();
+        keys.sort();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let g = self.groups.remove(&key).expect("listed key exists");
+            out.push(self.render(key, &g));
+        }
+        self.stats.emitted += out.len() as u64;
+        out
+    }
+
+    fn render(&self, mut key: Vec<Value>, g: &GroupState) -> Vec<Value> {
+        key.push(match self.agg {
+            Aggregate::Sum(_) => Value::Int(g.sum),
+            Aggregate::Count => Value::Int(g.count as i64),
+            Aggregate::Min(_) => g.min.map_or(Value::Null, Value::Int),
+            Aggregate::Max(_) => g.max.map_or(Value::Null, Value::Int),
+        });
+        key
+    }
+
+    /// The input layout.
+    #[must_use]
+    pub fn layout(&self) -> &SpanLayout {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::fixtures;
+    use cjq_core::schema::{AttrId, StreamId};
+
+    fn ival(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// Group-by over item ⋈ bid outputs: key = bid.itemid, agg = sum(increase).
+    fn auction_groupby() -> GroupBy {
+        let (q, _) = fixtures::auction();
+        let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
+        GroupBy::new(
+            layout,
+            &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
+            Aggregate::Sum(AttrRef { stream: StreamId(1), attr: AttrId(2) }),
+        )
+    }
+
+    fn joined(itemid: i64, increase: i64) -> Vec<Value> {
+        // item(seller, itemid, name, price) ++ bid(bidder, itemid, incr)
+        vec![
+            ival(7),
+            ival(itemid),
+            "x".into(),
+            ival(100),
+            ival(3),
+            ival(itemid),
+            ival(increase),
+        ]
+    }
+
+    #[test]
+    fn groups_blocked_until_punctuation() {
+        let mut g = auction_groupby();
+        g.process_tuple(&joined(1, 5));
+        g.process_tuple(&joined(1, 7));
+        g.process_tuple(&joined(2, 9));
+        assert_eq!(g.open_groups(), 2);
+
+        // Irrelevant punctuation (bidderid) closes nothing.
+        let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(0), ival(3))]);
+        assert!(g.process_punctuation(&p).is_empty());
+
+        // Auction for item 1 closes: emits sum 12.
+        let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(1))]);
+        let out = g.process_punctuation(&p);
+        assert_eq!(out, vec![vec![ival(1), ival(12)]]);
+        assert_eq!(g.open_groups(), 1);
+        assert_eq!(g.stats.closed_by_punctuation, 1);
+
+        // Flush emits the rest.
+        let out = g.flush();
+        assert_eq!(out, vec![vec![ival(2), ival(9)]]);
+        assert_eq!(g.open_groups(), 0);
+        assert_eq!(g.stats.emitted, 2);
+    }
+
+    #[test]
+    fn join_equivalent_punctuations_close_groups() {
+        // GROUP BY bid.itemid; item.itemid is join-equivalent, so the
+        // item-side uniqueness punctuation also closes the group... wait:
+        // item.itemid punctuations guarantee no further item tuples with
+        // that id, hence no further join outputs carrying it.
+        let (q, _) = fixtures::auction();
+        let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
+        let mut g = GroupBy::for_query(
+            &q,
+            layout,
+            &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
+            Aggregate::Sum(AttrRef { stream: StreamId(1), attr: AttrId(2) }),
+        );
+        g.process_tuple(&joined(1, 5));
+        // Punctuation on ITEM.itemid (stream 0), not on the group column's
+        // own stream: closes the group through the equivalence class.
+        let p = Punctuation::with_constants(StreamId(0), 4, &[(AttrId(1), ival(1))]);
+        assert_eq!(g.process_punctuation(&p), vec![vec![ival(1), ival(5)]]);
+        assert_eq!(g.open_groups(), 0);
+        // Plain `new` (no equivalences) would NOT close it.
+        let (q, _) = fixtures::auction();
+        let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
+        let mut plain = GroupBy::new(
+            layout,
+            &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
+            Aggregate::Count,
+        );
+        plain.process_tuple(&joined(1, 5));
+        let p = Punctuation::with_constants(StreamId(0), 4, &[(AttrId(1), ival(1))]);
+        assert!(plain.process_punctuation(&p).is_empty());
+    }
+
+    #[test]
+    fn count_aggregate() {
+        let (q, _) = fixtures::auction();
+        let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
+        let mut g = GroupBy::new(
+            layout,
+            &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
+            Aggregate::Count,
+        );
+        g.process_tuple(&joined(4, 1));
+        g.process_tuple(&joined(4, 1));
+        let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(4))]);
+        assert_eq!(g.process_punctuation(&p), vec![vec![ival(4), ival(2)]]);
+    }
+
+    #[test]
+    fn min_max_aggregates() {
+        let (q, _) = fixtures::auction();
+        let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
+        let key = AttrRef { stream: StreamId(1), attr: AttrId(1) };
+        let incr = AttrRef { stream: StreamId(1), attr: AttrId(2) };
+        let mut mn = GroupBy::new(layout.clone(), &[key], Aggregate::Min(incr));
+        let mut mx = GroupBy::new(layout, &[key], Aggregate::Max(incr));
+        for inc in [7, 3, 9] {
+            mn.process_tuple(&joined(1, inc));
+            mx.process_tuple(&joined(1, inc));
+        }
+        let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(1))]);
+        assert_eq!(mn.process_punctuation(&p), vec![vec![ival(1), ival(3)]]);
+        assert_eq!(mx.process_punctuation(&p), vec![vec![ival(1), ival(9)]]);
+    }
+
+    #[test]
+    fn punctuation_with_extra_constants_cannot_close() {
+        let mut g = auction_groupby();
+        g.process_tuple(&joined(1, 5));
+        // Constants on itemid AND bidderid: bidderid is not a group column,
+        // so other bidders could still bid on item 1.
+        let p = Punctuation::with_constants(
+            StreamId(1),
+            3,
+            &[(AttrId(0), ival(3)), (AttrId(1), ival(1))],
+        );
+        assert!(g.process_punctuation(&p).is_empty());
+        assert_eq!(g.open_groups(), 1);
+    }
+
+    #[test]
+    fn all_wildcard_punctuation_closes_nothing() {
+        let mut g = auction_groupby();
+        g.process_tuple(&joined(1, 5));
+        let p = Punctuation::with_constants(StreamId(1), 3, &[]);
+        assert!(g.process_punctuation(&p).is_empty());
+    }
+
+    #[test]
+    fn punctuation_for_unknown_group_emits_nothing() {
+        let mut g = auction_groupby();
+        g.process_tuple(&joined(1, 5));
+        let p = Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(99))]);
+        assert!(g.process_punctuation(&p).is_empty());
+        assert_eq!(g.open_groups(), 1);
+    }
+}

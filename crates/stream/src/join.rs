@@ -1,0 +1,535 @@
+//! The n-ary symmetric join operator with punctuation-driven purging.
+//!
+//! One [`JoinOperator`] implements both the binary symmetric hash join
+//! (PJoin-style, \[6, 14\]) and the MJoin operator \[13\]: it has `n ≥ 2` input
+//! ports, stores every arriving (possibly composite) tuple in the port's
+//! join state, and probes the other ports' states on arrival so every result
+//! combination is emitted exactly once — when its last constituent arrives.
+//!
+//! Purging follows the chained purge strategy via compiled recipes evaluated
+//! by the [`PurgeEngine`]; the operator only owns
+//! the join states and the probe machinery.
+
+use std::collections::HashMap;
+
+use cjq_core::query::Cjq;
+use cjq_core::scheme::SchemeSet;
+use cjq_core::schema::StreamId;
+use cjq_core::value::Value;
+
+use crate::layout::SpanLayout;
+use crate::purge::{CompiledRecipe, PurgeEngine, PurgeScope};
+use crate::state::PortState;
+
+/// A cross-port equi-join condition resolved to flat columns.
+#[derive(Debug, Clone, Copy)]
+struct CrossPred {
+    port_a: usize,
+    col_a: usize,
+    port_b: usize,
+    col_b: usize,
+}
+
+/// Counters of one operator's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorStats {
+    /// Tuples received across all ports.
+    pub tuples_in: u64,
+    /// Result tuples emitted.
+    pub outputs: u64,
+    /// Stored tuples purged.
+    pub purged: u64,
+    /// Purge-pass candidate checks that failed (tuple kept).
+    pub kept: u64,
+}
+
+/// An n-ary symmetric join operator.
+#[derive(Debug)]
+pub struct JoinOperator {
+    span: Vec<StreamId>,
+    out_layout: SpanLayout,
+    ports: Vec<PortState>,
+    port_spans: Vec<Vec<StreamId>>,
+    preds: Vec<CrossPred>,
+    /// For each port, the order in which the remaining ports are probed
+    /// (each connected to the already-bound set).
+    probe_orders: Vec<Vec<usize>>,
+    /// Per port: compiled purge recipe, or `None` if the port's state is not
+    /// purgeable under the configured scope.
+    recipes: Vec<Option<CompiledRecipe>>,
+    /// Statistics.
+    pub stats: OperatorStats,
+}
+
+impl JoinOperator {
+    /// Builds an operator joining the given child spans.
+    ///
+    /// `scope` selects the purge model (see [`PurgeScope`]); recipes are
+    /// compiled against `engine`'s punctuation stores. `all_streams` is the
+    /// query's full stream list (used for [`PurgeScope::Query`] recipes).
+    ///
+    /// # Panics
+    /// Panics if fewer than two ports are given or a port span is empty.
+    #[must_use]
+    pub fn new(
+        query: &Cjq,
+        schemes: &SchemeSet,
+        port_spans: Vec<Vec<StreamId>>,
+        scope: PurgeScope,
+        engine: &PurgeEngine,
+    ) -> Self {
+        assert!(port_spans.len() >= 2, "join operator needs >= 2 inputs");
+        let mut span: Vec<StreamId> = port_spans.iter().flatten().copied().collect();
+        span.sort_unstable();
+        span.dedup();
+        assert_eq!(
+            span.len(),
+            port_spans.iter().map(Vec::len).sum::<usize>(),
+            "port spans must be disjoint"
+        );
+        let out_layout = SpanLayout::new(query.catalog(), &span);
+
+        // Cross-port predicates, resolved to flat columns per port layout.
+        let layouts: Vec<SpanLayout> = port_spans
+            .iter()
+            .map(|ps| SpanLayout::new(query.catalog(), ps))
+            .collect();
+        let port_of_stream: HashMap<StreamId, usize> = port_spans
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ps)| ps.iter().map(move |&s| (s, i)))
+            .collect();
+        let mut preds = Vec::new();
+        for p in query.predicates() {
+            let (Some(&pa), Some(&pb)) = (
+                port_of_stream.get(&p.left.stream),
+                port_of_stream.get(&p.right.stream),
+            ) else {
+                continue;
+            };
+            if pa == pb {
+                continue; // consumed inside a child
+            }
+            preds.push(CrossPred {
+                port_a: pa,
+                col_a: layouts[pa].pos(p.left.stream, p.left.attr).expect("in span"),
+                port_b: pb,
+                col_b: layouts[pb].pos(p.right.stream, p.right.attr).expect("in span"),
+            });
+        }
+
+        // Index every column used by a cross predicate.
+        let mut indexed: Vec<Vec<usize>> = vec![Vec::new(); port_spans.len()];
+        for cp in &preds {
+            indexed[cp.port_a].push(cp.col_a);
+            indexed[cp.port_b].push(cp.col_b);
+        }
+        let ports: Vec<PortState> = layouts
+            .iter()
+            .zip(&indexed)
+            .map(|(l, cols)| PortState::new(l.clone(), cols))
+            .collect();
+
+        // Probe orders: BFS over the port-connectivity graph from each port.
+        let n = port_spans.len();
+        let probe_orders = (0..n)
+            .map(|start| {
+                let mut order = Vec::new();
+                let mut bound = vec![false; n];
+                bound[start] = true;
+                loop {
+                    let next = (0..n).find(|&j| {
+                        !bound[j]
+                            && preds.iter().any(|cp| {
+                                (cp.port_a == j && bound[cp.port_b])
+                                    || (cp.port_b == j && bound[cp.port_a])
+                            })
+                    });
+                    match next {
+                        Some(j) => {
+                            bound[j] = true;
+                            order.push(j);
+                        }
+                        None => break,
+                    }
+                }
+                assert_eq!(
+                    order.len(),
+                    n - 1,
+                    "operator's port graph must be connected (no cross products)"
+                );
+                order
+            })
+            .collect();
+
+        // Purge recipes per port.
+        let all_streams: Vec<StreamId> = query.stream_ids().collect();
+        let scope_span: &[StreamId] = match scope {
+            PurgeScope::Operator => &span,
+            PurgeScope::Query => &all_streams,
+        };
+        let recipes = port_spans
+            .iter()
+            .map(|roots| engine.compile_port_recipe(query, schemes, scope_span, roots))
+            .collect();
+
+        JoinOperator {
+            span,
+            out_layout,
+            ports,
+            port_spans,
+            preds,
+            probe_orders,
+            recipes,
+            stats: OperatorStats::default(),
+        }
+    }
+
+    /// The streams this operator spans (sorted).
+    #[must_use]
+    pub fn span(&self) -> &[StreamId] {
+        &self.span
+    }
+
+    /// The output layout (all spanned streams, sorted, flattened).
+    #[must_use]
+    pub fn out_layout(&self) -> &SpanLayout {
+        &self.out_layout
+    }
+
+    /// The spans of the input ports.
+    #[must_use]
+    pub fn port_spans(&self) -> &[Vec<StreamId>] {
+        &self.port_spans
+    }
+
+    /// Live stored tuples per port.
+    #[must_use]
+    pub fn port_live(&self) -> Vec<usize> {
+        self.ports.iter().map(PortState::live).collect()
+    }
+
+    /// Total live stored tuples (the operator's join-state size).
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.ports.iter().map(PortState::live).sum()
+    }
+
+    /// Whether the port has a purge recipe under the configured scope.
+    #[must_use]
+    pub fn port_purgeable(&self, port: usize) -> bool {
+        self.recipes[port].is_some()
+    }
+
+    /// Processes a tuple arriving on `port`: probes the other ports for
+    /// result combinations, then stores the tuple. Returns the emitted
+    /// result tuples in the operator's output layout.
+    pub fn process_tuple(&mut self, port: usize, values: Vec<Value>) -> Vec<Vec<Value>> {
+        self.process_tuple_at(port, values, 0)
+    }
+
+    /// Like [`JoinOperator::process_tuple`], stamping the stored tuple with an
+    /// arrival time (for sliding-window eviction).
+    pub fn process_tuple_at(
+        &mut self,
+        port: usize,
+        values: Vec<Value>,
+        now: u64,
+    ) -> Vec<Vec<Value>> {
+        self.stats.tuples_in += 1;
+        let mut outputs = Vec::new();
+        // DFS over the probe order with per-port candidate filtering.
+        let order = &self.probe_orders[port];
+        let mut assignment: Vec<Option<&[Value]>> = vec![None; self.ports.len()];
+        assignment[port] = Some(&values);
+
+        // Recursive expansion without recursion: stack of (depth, slot iter).
+        #[allow(clippy::too_many_arguments)]
+        fn extend<'s>(
+            ports: &'s [PortState],
+            preds: &[CrossPred],
+            order: &[usize],
+            depth: usize,
+            assignment: &mut Vec<Option<&'s [Value]>>,
+            out_layout: &SpanLayout,
+            port_layout_spans: &[Vec<StreamId>],
+            outputs: &mut Vec<Vec<Value>>,
+        ) {
+            if depth == order.len() {
+                let mut row = vec![Value::Null; out_layout.width()];
+                for (pi, vals) in assignment.iter().enumerate() {
+                    let vals = vals.expect("full assignment");
+                    for &s in &port_layout_spans[pi] {
+                        out_layout.copy_stream(&mut row, s, ports[pi].layout(), vals);
+                    }
+                }
+                outputs.push(row);
+                return;
+            }
+            let j = order[depth];
+            // Predicates connecting port j to already-bound ports.
+            let relevant: Vec<(usize, usize, usize)> = preds
+                .iter()
+                .filter_map(|cp| {
+                    if cp.port_a == j && assignment[cp.port_b].is_some() {
+                        Some((cp.col_a, cp.port_b, cp.col_b))
+                    } else if cp.port_b == j && assignment[cp.port_a].is_some() {
+                        Some((cp.col_b, cp.port_a, cp.col_a))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            debug_assert!(!relevant.is_empty(), "probe order keeps connectivity");
+            // Use the first predicate's hash index, filter with the rest.
+            let (jcol, bport, bcol) = relevant[0];
+            let key = &assignment[bport].expect("bound")[bcol];
+            let candidates: Vec<usize> = ports[j].probe(jcol, key).to_vec();
+            for slot in candidates {
+                let Some(cand) = ports[j].get(slot) else {
+                    continue;
+                };
+                let ok = relevant[1..].iter().all(|&(jc, bp, bc)| {
+                    cand[jc] == assignment[bp].expect("bound")[bc]
+                });
+                if ok {
+                    assignment[j] = Some(cand);
+                    extend(
+                        ports,
+                        preds,
+                        order,
+                        depth + 1,
+                        assignment,
+                        out_layout,
+                        port_layout_spans,
+                        outputs,
+                    );
+                    assignment[j] = None;
+                }
+            }
+        }
+
+        extend(
+            &self.ports,
+            &self.preds,
+            order,
+            0,
+            &mut assignment,
+            &self.out_layout,
+            &self.port_spans,
+            &mut outputs,
+        );
+        drop(assignment);
+        self.ports[port].insert_at(values, now);
+        self.stats.outputs += outputs.len() as u64;
+        outputs
+    }
+
+    /// Sliding-window eviction across all ports: drops tuples that arrived
+    /// before `cutoff` (the window-join baseline of [3, 7] — boundedness by
+    /// time rather than by punctuations). Returns the number evicted.
+    pub fn evict_window(&mut self, cutoff: u64) -> usize {
+        let evicted: usize = self
+            .ports
+            .iter_mut()
+            .map(|p| p.evict_older_than(cutoff))
+            .sum();
+        self.stats.purged += evicted as u64;
+        evicted
+    }
+
+    /// One purge pass: evaluates every live tuple of every purgeable port
+    /// against its recipe using the engine's mirror and punctuation stores.
+    /// Returns the number of tuples purged.
+    pub fn purge_pass(&mut self, engine: &PurgeEngine) -> usize {
+        let mut total = 0;
+        for port in 0..self.ports.len() {
+            let Some(recipe) = &self.recipes[port] else {
+                continue;
+            };
+            let layout = self.ports[port].layout().clone();
+            let candidates: Vec<(usize, Vec<Value>)> = self.ports[port]
+                .iter_live()
+                .map(|(slot, row)| (slot, row.to_vec()))
+                .collect();
+            for (slot, row) in candidates {
+                let roots: HashMap<StreamId, Vec<Value>> = recipe
+                    .roots
+                    .iter()
+                    .map(|&s| (s, layout.slice(&row, s).expect("root in span").to_vec()))
+                    .collect();
+                if engine.check(recipe, &roots) {
+                    self.ports[port].purge(slot);
+                    total += 1;
+                } else {
+                    self.stats.kept += 1;
+                }
+            }
+        }
+        self.stats.purged += total as u64;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::fixtures;
+    use cjq_core::punctuation::Punctuation;
+    use cjq_core::schema::AttrId;
+    use crate::tuple::Tuple;
+
+    fn ival(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    fn setup_auction() -> (Cjq, SchemeSet, PurgeEngine, JoinOperator) {
+        let (q, r) = fixtures::auction();
+        let engine = PurgeEngine::new(&q, &r, None, 10_000);
+        let op = JoinOperator::new(
+            &q,
+            &r,
+            vec![vec![StreamId(0)], vec![StreamId(1)]],
+            PurgeScope::Operator,
+            &engine,
+        );
+        (q, r, engine, op)
+    }
+
+    #[test]
+    fn binary_symmetric_join_emits_each_combo_once() {
+        let (_, _, _, mut op) = setup_auction();
+        // item(seller, itemid, name, price); bid(bidder, itemid, incr).
+        let out = op.process_tuple(0, vec![ival(7), ival(1), "tv".into(), ival(100)]);
+        assert!(out.is_empty(), "no bids yet");
+        let out = op.process_tuple(1, vec![ival(3), ival(1), ival(5)]);
+        assert_eq!(out.len(), 1);
+        // Output layout: item columns then bid columns.
+        assert_eq!(out[0].len(), 7);
+        assert_eq!(out[0][1], ival(1)); // item.itemid
+        assert_eq!(out[0][5], ival(1)); // bid.itemid
+        let out = op.process_tuple(1, vec![ival(4), ival(2), ival(9)]);
+        assert!(out.is_empty(), "no item 2 yet");
+        let out = op.process_tuple(0, vec![ival(8), ival(2), "pc".into(), ival(50)]);
+        assert_eq!(out.len(), 1, "late item joins the stored bid exactly once");
+        assert_eq!(op.stats.outputs, 2);
+        assert_eq!(op.live(), 4);
+    }
+
+    #[test]
+    fn purge_pass_uses_engine_punctuations() {
+        let (_, _, mut engine, mut op) = setup_auction();
+        let item1 = Tuple::of(0, vec![ival(7), ival(1), "tv".into(), ival(100)]);
+        let bid1 = Tuple::of(1, vec![ival(3), ival(1), ival(5)]);
+        engine.observe_tuple(&item1);
+        engine.observe_tuple(&bid1);
+        op.process_tuple(0, item1.values.clone());
+        op.process_tuple(1, bid1.values.clone());
+        assert_eq!(op.purge_pass(&engine), 0);
+
+        // Close auction 1 on both sides.
+        engine.observe_punctuation(
+            &Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(1))]),
+            0,
+        );
+        engine.observe_punctuation(
+            &Punctuation::with_constants(StreamId(0), 4, &[(AttrId(1), ival(1))]),
+            1,
+        );
+        assert_eq!(op.purge_pass(&engine), 2);
+        assert_eq!(op.live(), 0);
+        assert_eq!(op.stats.purged, 2);
+    }
+
+    #[test]
+    fn three_way_mjoin_probes_through_the_chain() {
+        let (q, r) = fixtures::fig3();
+        let engine = PurgeEngine::new(&q, &r, None, 10_000);
+        let mut op = JoinOperator::new(
+            &q,
+            &r,
+            vec![vec![StreamId(0)], vec![StreamId(1)], vec![StreamId(2)]],
+            PurgeScope::Operator,
+            &engine,
+        );
+        // S1(A,B), S2(B,C), S3(C,A): S1.B=S2.B, S2.C=S3.C.
+        assert!(op.process_tuple(0, vec![ival(100), ival(1)]).is_empty());
+        assert!(op.process_tuple(2, vec![ival(10), ival(200)]).is_empty());
+        // The middle tuple completes the combination.
+        let out = op.process_tuple(1, vec![ival(1), ival(10)]);
+        assert_eq!(out.len(), 1);
+        let row = &out[0];
+        // Layout: S1(A,B) S2(B,C) S3(C,A).
+        assert_eq!(row.as_slice(), &[ival(100), ival(1), ival(1), ival(10), ival(10), ival(200)]);
+        // A second S1 tuple with the same B joins the stored pair.
+        let out = op.process_tuple(0, vec![ival(101), ival(1)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(op.stats.outputs, 2);
+    }
+
+    #[test]
+    fn operator_scope_unpurgeable_ports_have_no_recipe() {
+        // Fig. 5, lower binary join (S1, S2): not purgeable under Operator
+        // scope, but purgeable under Query scope (the whole query is safe).
+        let (q, r) = fixtures::fig5();
+        let engine = PurgeEngine::new(&q, &r, None, 10_000);
+        let local = JoinOperator::new(
+            &q,
+            &r,
+            vec![vec![StreamId(0)], vec![StreamId(1)]],
+            PurgeScope::Operator,
+            &engine,
+        );
+        // S1's state cannot reach S2 (S2.B is not punctuatable), while S2's
+        // state CAN be purged via the edge S2 -> S1 (S1.B is punctuatable):
+        // the operator is unpurgeable because not every state is.
+        assert!(!local.port_purgeable(0));
+        assert!(local.port_purgeable(1));
+        let global = JoinOperator::new(
+            &q,
+            &r,
+            vec![vec![StreamId(0)], vec![StreamId(1)]],
+            PurgeScope::Query,
+            &engine,
+        );
+        assert!(global.port_purgeable(0));
+        assert!(global.port_purgeable(1));
+    }
+
+    #[test]
+    fn composite_port_join() {
+        // Upper operator of ((S1 ⋈ S2) ⋈ S3) in Fig. 3's query.
+        let (q, r) = fixtures::fig3();
+        let engine = PurgeEngine::new(&q, &r, None, 10_000);
+        let mut upper = JoinOperator::new(
+            &q,
+            &r,
+            vec![vec![StreamId(0), StreamId(1)], vec![StreamId(2)]],
+            PurgeScope::Query,
+            &engine,
+        );
+        // Composite (S1 ⋈ S2) arrives: [a, b, b, c] = [100, 1, 1, 10].
+        assert!(upper
+            .process_tuple(0, vec![ival(100), ival(1), ival(1), ival(10)])
+            .is_empty());
+        let out = upper.process_tuple(1, vec![ival(10), ival(200)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 6);
+        assert_eq!(out[0][3], ival(10)); // S2.C
+        assert_eq!(out[0][4], ival(10)); // S3.C
+    }
+
+    #[test]
+    #[should_panic(expected = "port spans must be disjoint")]
+    fn overlapping_ports_rejected() {
+        let (q, r) = fixtures::fig3();
+        let engine = PurgeEngine::new(&q, &r, None, 10_000);
+        let _ = JoinOperator::new(
+            &q,
+            &r,
+            vec![vec![StreamId(0)], vec![StreamId(0), StreamId(1)]],
+            PurgeScope::Operator,
+            &engine,
+        );
+    }
+}

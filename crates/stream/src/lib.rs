@@ -1,0 +1,60 @@
+//! # cjq-stream — punctuated data-stream runtime
+//!
+//! The execution substrate for the safety-checking theory in [`cjq_core`]:
+//! a push-based streaming engine with
+//!
+//! * punctuations as in-band data ([`element`], [`punct_store`]);
+//! * symmetric hash joins of any arity — binary PJoin-style joins and MJoin
+//!   operators are the same [`join::JoinOperator`] with 2 or n ports;
+//! * the **chained purge strategy** (paper §3.2.1/§4.2) executed at runtime
+//!   by the [`purge::PurgeEngine`], under either the per-operator (plan-
+//!   dependent) or the query-level (plan-independent) model of §2.4;
+//! * punctuation-unblocked group-by ([`groupby`]) for the paper's Example 1,
+//!   and punctuation-aware duplicate elimination ([`distinct`]);
+//! * an [`exec::Executor`] that compiles a [`cjq_core::plan::Plan`] into an
+//!   operator tree and reports state-size time series ([`metrics`]) — the
+//!   observable form of the paper's bounded-state safety guarantee.
+//!
+//! ```
+//! use cjq_core::fixtures;
+//! use cjq_core::plan::Plan;
+//! use cjq_stream::exec::{ExecConfig, Executor};
+//! use cjq_stream::source::Feed;
+//!
+//! let (query, schemes) = fixtures::fig5();
+//! let plan = Plan::mjoin_all(&query);
+//! let exec = Executor::compile(&query, &schemes, &plan, ExecConfig::default()).unwrap();
+//! let result = exec.run(&Feed::new());
+//! assert_eq!(result.metrics.outputs, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod disjoin;
+pub mod distinct;
+pub mod element;
+pub mod exec;
+pub mod groupby;
+pub mod join;
+pub mod layout;
+pub mod metrics;
+pub mod punct_store;
+pub mod purge;
+pub mod source;
+pub mod state;
+pub mod tuple;
+
+/// Convenient re-exports of the most common types.
+pub mod prelude {
+    pub use crate::distinct::Distinct;
+    pub use crate::element::StreamElement;
+    pub use crate::exec::{ExecConfig, Executor, PurgeCadence, RunResult};
+    pub use crate::groupby::{Aggregate, GroupBy};
+    pub use crate::join::JoinOperator;
+    pub use crate::metrics::{Metrics, StatePoint};
+    pub use crate::punct_store::PunctStore;
+    pub use crate::purge::{CheckOutcome, PurgeEngine, PurgeScope};
+    pub use crate::source::Feed;
+    pub use crate::tuple::Tuple;
+}

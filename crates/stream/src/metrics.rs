@@ -1,0 +1,127 @@
+//! Execution metrics: state-size time series and activity counters.
+//!
+//! The paper's safety notion is about *bounded join state*; the metrics make
+//! that observable: a safe execution shows a flat (sawtooth) join-state
+//! curve, an unsafe one grows linearly with the stream length.
+
+/// One sample of the executor's state sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatePoint {
+    /// Sequence time (elements processed so far).
+    pub at: u64,
+    /// Total live tuples across all operator join states (the paper's `Υ`).
+    pub join_state: usize,
+    /// Live raw tuples in the purge engine's mirror.
+    pub mirror: usize,
+    /// Punctuation-store entries.
+    pub punct_entries: usize,
+    /// Open (blocked) groups in the aggregation stage, if any.
+    pub groups: usize,
+}
+
+/// Aggregated metrics of one execution.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Periodic samples, in time order.
+    pub series: Vec<StatePoint>,
+    /// Peak total join-state size.
+    pub peak_join_state: usize,
+    /// Peak mirror size.
+    pub peak_mirror: usize,
+    /// Peak punctuation-store size.
+    pub peak_punct_entries: usize,
+    /// Data tuples consumed.
+    pub tuples_in: u64,
+    /// Punctuations consumed.
+    pub puncts_in: u64,
+    /// Feed tuples rejected for violating an earlier punctuation.
+    pub violations: u64,
+    /// Final result tuples emitted by the root operator.
+    pub outputs: u64,
+    /// Aggregate rows emitted by the group-by stage.
+    pub aggregates_out: u64,
+    /// Join-state tuples purged across all operators.
+    pub purged: u64,
+    /// Raw mirror tuples purged.
+    pub mirror_purged: u64,
+    /// Punctuation-store entries dropped (lifespans + §5.1 purging).
+    pub punct_dropped: u64,
+    /// Number of purge cycles run.
+    pub purge_cycles: u64,
+    /// Wall-clock processing time in nanoseconds (push calls only).
+    pub elapsed_ns: u128,
+}
+
+impl Metrics {
+    /// Records a sample and updates peaks.
+    pub fn sample(&mut self, p: StatePoint) {
+        self.peak_join_state = self.peak_join_state.max(p.join_state);
+        self.peak_mirror = self.peak_mirror.max(p.mirror);
+        self.peak_punct_entries = self.peak_punct_entries.max(p.punct_entries);
+        self.series.push(p);
+    }
+
+    /// The final sample, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&StatePoint> {
+        self.series.last()
+    }
+
+    /// Renders the sample series as CSV (`at,join_state,mirror,punct_entries,groups`)
+    /// for plotting state curves.
+    #[must_use]
+    pub fn series_csv(&self) -> String {
+        let mut out = String::from("at,join_state,mirror,punct_entries,groups\n");
+        for p in &self.series {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                p.at, p.join_state, p.mirror, p.punct_entries, p.groups
+            ));
+        }
+        out
+    }
+
+    /// Throughput in elements per second (0 if nothing timed).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        let elems = self.tuples_in + self.puncts_in;
+        elems as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_track_samples() {
+        let mut m = Metrics::default();
+        m.sample(StatePoint { at: 1, join_state: 5, mirror: 3, punct_entries: 1, groups: 0 });
+        m.sample(StatePoint { at: 2, join_state: 2, mirror: 9, punct_entries: 4, groups: 2 });
+        assert_eq!(m.peak_join_state, 5);
+        assert_eq!(m.peak_mirror, 9);
+        assert_eq!(m.peak_punct_entries, 4);
+        assert_eq!(m.last().unwrap().at, 2);
+        assert_eq!(m.series.len(), 2);
+    }
+
+    #[test]
+    fn series_csv_renders_rows() {
+        let mut m = Metrics::default();
+        m.sample(StatePoint { at: 5, join_state: 2, mirror: 3, punct_entries: 1, groups: 0 });
+        let csv = m.series_csv();
+        assert_eq!(csv, "at,join_state,mirror,punct_entries,groups\n5,2,3,1,0\n");
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let mut m = Metrics::default();
+        assert_eq!(m.throughput(), 0.0);
+        m.tuples_in = 1000;
+        m.elapsed_ns = 1_000_000_000;
+        assert!((m.throughput() - 1000.0).abs() < 1e-9);
+    }
+}

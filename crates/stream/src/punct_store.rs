@@ -1,0 +1,331 @@
+//! Per-stream punctuation stores.
+//!
+//! Punctuations must be kept after use: they purge not only current join
+//! state but also *future* tuples' purge checks (paper §5.1). The store keeps
+//! each scheme's instantiations as a value-combination index, supports the
+//! coverage queries the chained purge strategy needs, and implements the two
+//! practical mitigation mechanisms of §5.1 — *lifespans* (entries expire
+//! after a configurable age) and *punctuation purging* (entries dropped once
+//! punctuations from partner streams make them unnecessary; driven by the
+//! operator, which knows the join topology).
+
+use std::collections::HashMap;
+
+use cjq_core::punctuation::Punctuation;
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
+use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::value::Value;
+
+/// Outcome of inserting a punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The punctuation instantiates the scheme with this index; its constant
+    /// combination was added (or refreshed) in the index.
+    Matched(usize),
+    /// No registered scheme matches; kept in the unmatched list (usable for
+    /// tuple-consistency checks but not for purging).
+    Unmatched,
+}
+
+/// Punctuation store for one raw stream.
+#[derive(Debug, Clone)]
+pub struct PunctStore {
+    stream: StreamId,
+    schemes: Vec<PunctuationScheme>,
+    /// Per scheme: constant combination (in scheme attribute order) → arrival
+    /// sequence number (for lifespan expiry).
+    entries: Vec<HashMap<Vec<Value>, u64>>,
+    /// Per scheme: the running maximum heartbeat bound (ordered schemes
+    /// only) and its arrival time. One threshold covers the whole prefix —
+    /// O(1) store state per ordered scheme.
+    thresholds: Vec<Option<(Value, u64)>>,
+    unmatched: Vec<Punctuation>,
+    lifespan: Option<u64>,
+}
+
+impl PunctStore {
+    /// Creates a store for `stream`, registering the schemes `ℜ` declares for
+    /// it. `lifespan` enables §5.1 expiry: entries older than this many
+    /// sequence ticks are dropped by [`PunctStore::expire`].
+    #[must_use]
+    pub fn new(stream: StreamId, schemes: &SchemeSet, lifespan: Option<u64>) -> Self {
+        let schemes: Vec<PunctuationScheme> = schemes.for_stream(stream).cloned().collect();
+        let entries = vec![HashMap::new(); schemes.len()];
+        let thresholds = vec![None; schemes.len()];
+        PunctStore { stream, schemes, entries, thresholds, unmatched: Vec::new(), lifespan }
+    }
+
+    /// The stream this store serves.
+    #[must_use]
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// The registered schemes.
+    #[must_use]
+    pub fn schemes(&self) -> &[PunctuationScheme] {
+        &self.schemes
+    }
+
+    /// Index of `scheme` among the registered ones.
+    #[must_use]
+    pub fn scheme_index(&self, scheme: &PunctuationScheme) -> Option<usize> {
+        self.schemes.iter().position(|s| s == scheme)
+    }
+
+    /// Inserts a punctuation observed at sequence time `now`.
+    pub fn insert(&mut self, p: &Punctuation, now: u64) -> InsertOutcome {
+        debug_assert_eq!(p.stream, self.stream, "punctuation routed to wrong store");
+        for (i, scheme) in self.schemes.iter().enumerate() {
+            if scheme.is_instance(p) {
+                if scheme.is_ordered() {
+                    let bound = p.patterns[scheme.punctuatable()[0].0]
+                        .bound()
+                        .expect("ordered instance carries a bound")
+                        .clone();
+                    let advance = self
+                        .thresholds[i]
+                        .as_ref()
+                        .is_none_or(|(cur, _)| *cur < bound);
+                    if advance {
+                        self.thresholds[i] = Some((bound, now));
+                    } else if let Some((_, at)) = &mut self.thresholds[i] {
+                        *at = now; // refresh the lifespan clock
+                    }
+                } else {
+                    let combo: Vec<Value> = scheme
+                        .punctuatable()
+                        .iter()
+                        .map(|a| {
+                            p.patterns[a.0]
+                                .constant()
+                                .expect("instance has constants on punctuatable attrs")
+                                .clone()
+                        })
+                        .collect();
+                    self.entries[i].insert(combo, now);
+                }
+                return InsertOutcome::Matched(i);
+            }
+        }
+        self.unmatched.push(p.clone());
+        InsertOutcome::Unmatched
+    }
+
+    /// Whether the value combination `combo` (in scheme attribute order) has
+    /// been punctuated under scheme `scheme_idx` (for ordered schemes: the
+    /// value is at or below the heartbeat threshold).
+    #[must_use]
+    pub fn covers(&self, scheme_idx: usize, combo: &[Value]) -> bool {
+        if self.schemes[scheme_idx].is_ordered() {
+            return self.thresholds[scheme_idx]
+                .as_ref()
+                .is_some_and(|(t, _)| &combo[0] <= t);
+        }
+        self.entries[scheme_idx].contains_key(combo)
+    }
+
+    /// Whether some *single-attribute* scheme on `attr` has punctuated
+    /// `value` (the binary-join purge test of §3.1; ordered schemes cover
+    /// every value at or below their threshold).
+    #[must_use]
+    pub fn covers_single(&self, attr: AttrId, value: &Value) -> bool {
+        self.schemes.iter().enumerate().any(|(i, s)| {
+            s.arity() == 1
+                && s.punctuatable()[0] == attr
+                && self.covers(i, std::slice::from_ref(value))
+        })
+    }
+
+    /// Whether any stored punctuation forbids this tuple (i.e. the tuple
+    /// would violate a previously seen punctuation — used for feed
+    /// consistency checking and for group-closing).
+    #[must_use]
+    pub fn matches_tuple(&self, values: &[Value]) -> bool {
+        let scheme_hit = self.schemes.iter().enumerate().any(|(i, s)| {
+            let combo: Vec<Value> = s
+                .punctuatable()
+                .iter()
+                .map(|a| values[a.0].clone())
+                .collect();
+            self.covers(i, &combo)
+        });
+        scheme_hit || self.unmatched.iter().any(|p| p.matches(values))
+    }
+
+    /// Drops entries older than the configured lifespan (§5.1: e.g. TCP
+    /// sequence numbers cycle every ~4.55 h, after which their punctuations
+    /// expire). Returns the number of dropped entries. No-op without a
+    /// lifespan.
+    pub fn expire(&mut self, now: u64) -> usize {
+        let Some(lifespan) = self.lifespan else {
+            return 0;
+        };
+        let mut dropped = 0;
+        for m in &mut self.entries {
+            let before = m.len();
+            m.retain(|_, at| now.saturating_sub(*at) <= lifespan);
+            dropped += before - m.len();
+        }
+        for t in &mut self.thresholds {
+            if t.as_ref().is_some_and(|(_, at)| now.saturating_sub(*at) > lifespan) {
+                *t = None;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Removes one entry (used by §5.1 punctuation purging). Returns whether
+    /// it was present.
+    pub fn remove(&mut self, scheme_idx: usize, combo: &[Value]) -> bool {
+        self.entries[scheme_idx].remove(combo).is_some()
+    }
+
+    /// Iterates the stored combinations of scheme `scheme_idx`.
+    pub fn combos(&self, scheme_idx: usize) -> impl Iterator<Item = &Vec<Value>> {
+        self.entries[scheme_idx].keys()
+    }
+
+    /// Total number of stored entries (scheme instantiations + heartbeat
+    /// thresholds + unmatched).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(HashMap::len).sum::<usize>()
+            + self.thresholds.iter().flatten().count()
+            + self.unmatched.len()
+    }
+
+    /// Whether the store holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid_store(lifespan: Option<u64>) -> PunctStore {
+        // bid(bidderid, itemid, increase) with schemes on itemid and on
+        // (bidderid, itemid).
+        let schemes = SchemeSet::from_schemes([
+            PunctuationScheme::on(1, &[1]).unwrap(),
+            PunctuationScheme::on(1, &[0, 1]).unwrap(),
+        ]);
+        PunctStore::new(StreamId(1), &schemes, lifespan)
+    }
+
+    fn punct(consts: &[(usize, i64)]) -> Punctuation {
+        let pairs: Vec<(AttrId, Value)> = consts
+            .iter()
+            .map(|&(a, v)| (AttrId(a), Value::Int(v)))
+            .collect();
+        Punctuation::with_constants(StreamId(1), 3, &pairs)
+    }
+
+    #[test]
+    fn insert_matches_schemes() {
+        let mut store = bid_store(None);
+        assert_eq!(store.insert(&punct(&[(1, 7)]), 0), InsertOutcome::Matched(0));
+        assert_eq!(
+            store.insert(&punct(&[(0, 3), (1, 7)]), 1),
+            InsertOutcome::Matched(1)
+        );
+        // Constants on `increase` match no scheme.
+        assert_eq!(store.insert(&punct(&[(2, 5)]), 2), InsertOutcome::Unmatched);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn coverage_queries() {
+        let mut store = bid_store(None);
+        store.insert(&punct(&[(1, 7)]), 0);
+        store.insert(&punct(&[(0, 3), (1, 8)]), 0);
+        assert!(store.covers(0, &[Value::Int(7)]));
+        assert!(!store.covers(0, &[Value::Int(8)]));
+        assert!(store.covers(1, &[Value::Int(3), Value::Int(8)]));
+        assert!(store.covers_single(AttrId(1), &Value::Int(7)));
+        assert!(!store.covers_single(AttrId(1), &Value::Int(8)));
+        // The multi-attribute scheme never answers covers_single.
+        assert!(!store.covers_single(AttrId(0), &Value::Int(3)));
+    }
+
+    #[test]
+    fn matches_tuple_detects_violations() {
+        let mut store = bid_store(None);
+        store.insert(&punct(&[(1, 7)]), 0);
+        store.insert(&punct(&[(2, 99)]), 0); // unmatched, still checked
+        assert!(store.matches_tuple(&[Value::Int(1), Value::Int(7), Value::Int(5)]));
+        assert!(!store.matches_tuple(&[Value::Int(1), Value::Int(8), Value::Int(5)]));
+        assert!(store.matches_tuple(&[Value::Int(1), Value::Int(8), Value::Int(99)]));
+    }
+
+    #[test]
+    fn lifespan_expiry() {
+        let mut store = bid_store(Some(10));
+        store.insert(&punct(&[(1, 1)]), 0);
+        store.insert(&punct(&[(1, 2)]), 5);
+        assert_eq!(store.expire(8), 0);
+        assert_eq!(store.expire(12), 1); // entry from t=0 is older than 10
+        assert!(!store.covers(0, &[Value::Int(1)]));
+        assert!(store.covers(0, &[Value::Int(2)]));
+        // Without lifespan nothing expires.
+        let mut forever = bid_store(None);
+        forever.insert(&punct(&[(1, 1)]), 0);
+        assert_eq!(forever.expire(1_000_000), 0);
+    }
+
+    #[test]
+    fn remove_and_counts() {
+        let mut store = bid_store(None);
+        store.insert(&punct(&[(1, 7)]), 0);
+        assert!(store.remove(0, &[Value::Int(7)]));
+        assert!(!store.remove(0, &[Value::Int(7)]));
+        assert!(store.is_empty());
+        assert_eq!(store.combos(0).count(), 0);
+    }
+
+    #[test]
+    fn ordered_thresholds_cover_prefixes_in_constant_space() {
+        let schemes = SchemeSet::from_schemes([
+            PunctuationScheme::ordered_on(1, 1).unwrap(), // bid.itemid, ordered
+        ]);
+        let mut store = PunctStore::new(StreamId(1), &schemes, None);
+        for bound in [5i64, 3, 9] {
+            // Out-of-order heartbeats: the threshold only advances.
+            let hb = Punctuation::heartbeat(StreamId(1), 3, AttrId(1), Value::Int(bound));
+            assert_eq!(store.insert(&hb, 0), InsertOutcome::Matched(0));
+        }
+        assert_eq!(store.len(), 1, "one threshold, not one entry per heartbeat");
+        assert!(store.covers(0, &[Value::Int(9)]));
+        assert!(store.covers(0, &[Value::Int(-100)]));
+        assert!(!store.covers(0, &[Value::Int(10)]));
+        assert!(store.covers_single(AttrId(1), &Value::Int(4)));
+        assert!(!store.covers_single(AttrId(1), &Value::Int(10)));
+        // Tuples at or below the watermark are dead.
+        assert!(store.matches_tuple(&[Value::Int(1), Value::Int(9), Value::Int(0)]));
+        assert!(!store.matches_tuple(&[Value::Int(1), Value::Int(10), Value::Int(0)]));
+    }
+
+    #[test]
+    fn ordered_thresholds_expire_with_lifespans() {
+        let schemes =
+            SchemeSet::from_schemes([PunctuationScheme::ordered_on(1, 1).unwrap()]);
+        let mut store = PunctStore::new(StreamId(1), &schemes, Some(10));
+        store.insert(&Punctuation::heartbeat(StreamId(1), 3, AttrId(1), Value::Int(5)), 0);
+        assert_eq!(store.expire(5), 0);
+        assert_eq!(store.expire(20), 1);
+        assert!(!store.covers(0, &[Value::Int(1)]));
+    }
+
+    #[test]
+    fn reinsert_refreshes_arrival_time() {
+        let mut store = bid_store(Some(10));
+        store.insert(&punct(&[(1, 1)]), 0);
+        store.insert(&punct(&[(1, 1)]), 9);
+        assert_eq!(store.expire(12), 0); // refreshed at 9, age 3 <= 10
+        assert!(store.covers(0, &[Value::Int(1)]));
+    }
+}

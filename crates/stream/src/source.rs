@@ -1,0 +1,215 @@
+//! Feeds: finite, ordered sequences of stream elements driving an execution.
+//!
+//! The paper's input manager (Fig. 2) buffers per-stream arrivals and hands
+//! the query processor one interleaved sequence. A [`Feed`] is that sequence;
+//! builders interleave per-stream scripts deterministically so experiments
+//! are reproducible.
+
+use cjq_core::schema::StreamId;
+
+use crate::element::StreamElement;
+
+/// A finite, ordered sequence of elements from any number of streams.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Feed {
+    items: Vec<StreamElement>,
+}
+
+impl Feed {
+    /// Creates an empty feed.
+    #[must_use]
+    pub fn new() -> Self {
+        Feed::default()
+    }
+
+    /// Wraps an explicit element sequence.
+    #[must_use]
+    pub fn from_elements(items: Vec<StreamElement>) -> Self {
+        Feed { items }
+    }
+
+    /// Appends one element.
+    pub fn push(&mut self, e: impl Into<StreamElement>) {
+        self.items.push(e.into());
+    }
+
+    /// Interleaves several per-stream scripts round-robin, one element from
+    /// each non-exhausted script per cycle. Order within a script is kept.
+    #[must_use]
+    pub fn round_robin(scripts: Vec<Vec<StreamElement>>) -> Self {
+        let mut iters: Vec<std::vec::IntoIter<StreamElement>> =
+            scripts.into_iter().map(Vec::into_iter).collect();
+        let mut items = Vec::new();
+        loop {
+            let mut progressed = false;
+            for it in &mut iters {
+                if let Some(e) = it.next() {
+                    items.push(e);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Feed { items }
+    }
+
+    /// Interleaves per-stream scripts with relative `weights` (a rate-based
+    /// arrival model): each step deterministically picks the script with the
+    /// largest accumulated credit, so a weight-2 script emits twice as often
+    /// as a weight-1 script. Order within a script is kept.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != scripts.len()` or a weight is 0.
+    #[must_use]
+    pub fn weighted(scripts: Vec<Vec<StreamElement>>, weights: &[u32]) -> Self {
+        assert_eq!(scripts.len(), weights.len(), "one weight per script");
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        let mut iters: Vec<std::iter::Peekable<std::vec::IntoIter<StreamElement>>> =
+            scripts.into_iter().map(|s| s.into_iter().peekable()).collect();
+        let mut credit: Vec<u64> = vec![0; iters.len()];
+        let mut items = Vec::new();
+        loop {
+            // Accrue credit only for non-exhausted scripts; pick the richest.
+            let mut best: Option<usize> = None;
+            for (i, it) in iters.iter_mut().enumerate() {
+                if it.peek().is_some() {
+                    credit[i] += u64::from(weights[i]);
+                    if best.is_none_or(|b| credit[i] > credit[b]) {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            credit[i] = 0;
+            items.push(iters[i].next().expect("peeked"));
+        }
+        Feed { items }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the feed is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The elements in order.
+    #[must_use]
+    pub fn elements(&self) -> &[StreamElement] {
+        &self.items
+    }
+
+    /// Counts elements belonging to `stream`.
+    #[must_use]
+    pub fn count_for(&self, stream: StreamId) -> usize {
+        self.items.iter().filter(|e| e.stream() == stream).count()
+    }
+
+    /// Counts punctuations in the feed.
+    #[must_use]
+    pub fn punctuation_count(&self) -> usize {
+        self.items.iter().filter(|e| e.is_punctuation()).count()
+    }
+}
+
+impl IntoIterator for Feed {
+    type Item = StreamElement;
+    type IntoIter = std::vec::IntoIter<StreamElement>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Feed {
+    type Item = &'a StreamElement;
+    type IntoIter = std::slice::Iter<'a, StreamElement>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl FromIterator<StreamElement> for Feed {
+    fn from_iter<T: IntoIterator<Item = StreamElement>>(iter: T) -> Self {
+        Feed {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use cjq_core::value::Value;
+
+    fn t(stream: usize, v: i64) -> StreamElement {
+        Tuple::of(stream, [Value::Int(v)]).into()
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let feed = Feed::round_robin(vec![
+            vec![t(0, 1), t(0, 2)],
+            vec![t(1, 10), t(1, 20), t(1, 30)],
+        ]);
+        let order: Vec<usize> = feed.elements().iter().map(|e| e.stream().0).collect();
+        assert_eq!(order, vec![0, 1, 0, 1, 1]);
+        assert_eq!(feed.count_for(StreamId(1)), 3);
+        assert_eq!(feed.punctuation_count(), 0);
+    }
+
+    #[test]
+    fn weighted_interleaving_respects_rates() {
+        // Stream 1 at weight 3, stream 0 at weight 1: among any window the
+        // heavy stream appears ~3x as often until it runs out.
+        let feed = Feed::weighted(
+            vec![
+                (0..10).map(|i| t(0, i)).collect(),
+                (0..30).map(|i| t(1, i)).collect(),
+            ],
+            &[1, 3],
+        );
+        assert_eq!(feed.len(), 40);
+        let first_20: Vec<usize> = feed.elements()[..20].iter().map(|e| e.stream().0).collect();
+        let heavy = first_20.iter().filter(|&&s| s == 1).count();
+        assert!((13..=17).contains(&heavy), "heavy stream count {heavy}");
+        // Relative order within each script is preserved.
+        let s0: Vec<&StreamElement> =
+            feed.elements().iter().filter(|e| e.stream() == StreamId(0)).collect();
+        for (i, e) in s0.iter().enumerate() {
+            assert_eq!(**e, t(0, i as i64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn weighted_rejects_zero_weights() {
+        let _ = Feed::weighted(vec![vec![]], &[0]);
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut feed = Feed::new();
+        assert!(feed.is_empty());
+        feed.push(Tuple::of(0, [Value::Int(1)]));
+        feed.push(cjq_core::punctuation::Punctuation::with_constants(
+            StreamId(0),
+            1,
+            &[],
+        ));
+        assert_eq!(feed.len(), 2);
+        assert_eq!(feed.punctuation_count(), 1);
+        let collected: Feed = feed.clone().into_iter().collect();
+        assert_eq!(collected, feed);
+        assert_eq!((&feed).into_iter().count(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Join-state storage for one operator input port (the paper's `Υ_S`).
+//!
+//! A symmetric (M)join must store every input until punctuations prove it
+//! dead. [`PortState`] keeps composite tuples in an arena with tombstones and
+//! maintains hash indexes on the flat columns used by the operator's join
+//! predicates, so probing is hash-based as in the symmetric hash join \[14\].
+
+use std::collections::HashMap;
+
+use cjq_core::value::Value;
+
+use crate::layout::SpanLayout;
+
+/// Storage + hash indexes for one input port.
+#[derive(Debug, Clone)]
+pub struct PortState {
+    layout: SpanLayout,
+    tuples: Vec<Option<Vec<Value>>>,
+    /// Arrival time of each slot (monotone, since slots are append-only) —
+    /// used by sliding-window eviction.
+    arrivals: Vec<u64>,
+    /// Slots before this index are all dead (window-eviction frontier).
+    evict_front: usize,
+    live: usize,
+    inserted: u64,
+    purged: u64,
+    /// Flat column → value → slot indexes (live only; maintained on purge).
+    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl PortState {
+    /// Creates a state with hash indexes on `indexed_cols` (flat positions).
+    #[must_use]
+    pub fn new(layout: SpanLayout, indexed_cols: &[usize]) -> Self {
+        let mut indexes = HashMap::new();
+        for &c in indexed_cols {
+            assert!(c < layout.width(), "indexed column out of range");
+            indexes.entry(c).or_insert_with(HashMap::new);
+        }
+        PortState {
+            layout,
+            tuples: Vec::new(),
+            arrivals: Vec::new(),
+            evict_front: 0,
+            live: 0,
+            inserted: 0,
+            purged: 0,
+            indexes,
+        }
+    }
+
+    /// The port's layout.
+    #[must_use]
+    pub fn layout(&self) -> &SpanLayout {
+        &self.layout
+    }
+
+    /// Stores a composite tuple, returning its slot index.
+    pub fn insert(&mut self, values: Vec<Value>) -> usize {
+        self.insert_at(values, 0)
+    }
+
+    /// Stores a composite tuple with an arrival timestamp (must be
+    /// non-decreasing across calls for window eviction to be exact).
+    pub fn insert_at(&mut self, values: Vec<Value>, now: u64) -> usize {
+        debug_assert_eq!(values.len(), self.layout.width());
+        debug_assert!(
+            self.arrivals.last().is_none_or(|&t| t <= now),
+            "arrival timestamps must be monotone"
+        );
+        self.arrivals.push(now);
+        let idx = self.tuples.len();
+        for (&col, index) in &mut self.indexes {
+            index.entry(values[col].clone()).or_default().push(idx);
+        }
+        self.tuples.push(Some(values));
+        self.live += 1;
+        self.inserted += 1;
+        idx
+    }
+
+    /// The tuple in `slot`, if still live.
+    #[must_use]
+    pub fn get(&self, slot: usize) -> Option<&[Value]> {
+        self.tuples.get(slot).and_then(|t| t.as_deref())
+    }
+
+    /// Whether the given flat column has a hash index.
+    #[must_use]
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Live slots whose `col` equals `value` (requires an index on `col`).
+    #[must_use]
+    pub fn probe(&self, col: usize, value: &Value) -> &[usize] {
+        self.indexes
+            .get(&col)
+            .unwrap_or_else(|| panic!("no index on column {col}"))
+            .get(value)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Purges the tuple in `slot`. Returns whether it was live.
+    pub fn purge(&mut self, slot: usize) -> bool {
+        let Some(values) = self.tuples.get_mut(slot).and_then(Option::take) else {
+            return false;
+        };
+        for (&col, index) in &mut self.indexes {
+            if let Some(bucket) = index.get_mut(&values[col]) {
+                if let Some(pos) = bucket.iter().position(|&i| i == slot) {
+                    bucket.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    index.remove(&values[col]);
+                }
+            }
+        }
+        self.live -= 1;
+        self.purged += 1;
+        true
+    }
+
+    /// Number of live tuples.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total tuples ever inserted.
+    #[must_use]
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Total tuples purged.
+    #[must_use]
+    pub fn purged(&self) -> u64 {
+        self.purged
+    }
+
+    /// Iterates live tuples as `(slot, values)`.
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, &[Value])> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_deref().map(|v| (i, v)))
+    }
+
+    /// Sliding-window eviction: purges every live tuple that arrived strictly
+    /// before `cutoff`. Amortized O(1) per stored tuple over the state's
+    /// lifetime (a frontier pointer advances monotonically). Returns the
+    /// number evicted.
+    pub fn evict_older_than(&mut self, cutoff: u64) -> usize {
+        let mut evicted = 0;
+        while self.evict_front < self.tuples.len() && self.arrivals[self.evict_front] < cutoff {
+            if self.purge(self.evict_front) {
+                evicted += 1;
+            }
+            self.evict_front += 1;
+        }
+        evicted
+    }
+
+    /// Distinct live values of a flat column.
+    #[must_use]
+    pub fn distinct(&self, col: usize) -> Vec<&Value> {
+        if let Some(index) = self.indexes.get(&col) {
+            let mut out: Vec<&Value> = index.keys().collect();
+            out.sort_unstable();
+            return out;
+        }
+        let mut out: Vec<&Value> = self.iter_live().map(|(_, v)| &v[col]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::schema::{Catalog, StreamId, StreamSchema};
+
+    fn state() -> PortState {
+        let mut cat = Catalog::new();
+        cat.add_stream(StreamSchema::new("S1", ["A", "B"]).unwrap());
+        let layout = SpanLayout::new(&cat, &[StreamId(0)]);
+        PortState::new(layout, &[0])
+    }
+
+    fn row(a: i64, b: i64) -> Vec<Value> {
+        vec![Value::Int(a), Value::Int(b)]
+    }
+
+    #[test]
+    fn insert_probe_purge() {
+        let mut s = state();
+        let i0 = s.insert(row(1, 10));
+        let i1 = s.insert(row(1, 11));
+        let i2 = s.insert(row(2, 20));
+        assert_eq!(s.live(), 3);
+        assert_eq!(s.probe(0, &Value::Int(1)), &[i0, i1]);
+        assert_eq!(s.probe(0, &Value::Int(9)), &[] as &[usize]);
+
+        assert!(s.purge(i0));
+        assert!(!s.purge(i0), "double purge is a no-op");
+        assert_eq!(s.live(), 2);
+        assert_eq!(s.probe(0, &Value::Int(1)), &[i1]);
+        assert!(s.get(i0).is_none());
+        assert_eq!(s.get(i2).unwrap()[1], Value::Int(20));
+        assert_eq!(s.inserted(), 3);
+        assert_eq!(s.purged(), 1);
+    }
+
+    #[test]
+    fn iter_live_skips_tombstones() {
+        let mut s = state();
+        s.insert(row(1, 10));
+        let dead = s.insert(row(2, 20));
+        s.insert(row(3, 30));
+        s.purge(dead);
+        let live: Vec<usize> = s.iter_live().map(|(i, _)| i).collect();
+        assert_eq!(live, vec![0, 2]);
+    }
+
+    #[test]
+    fn distinct_uses_index_or_scan() {
+        let mut s = state();
+        s.insert(row(1, 10));
+        s.insert(row(1, 11));
+        s.insert(row(2, 10));
+        // Indexed column 0.
+        assert_eq!(s.distinct(0), vec![&Value::Int(1), &Value::Int(2)]);
+        // Unindexed column 1 falls back to a scan.
+        assert!(!s.has_index(1));
+        assert_eq!(s.distinct(1), vec![&Value::Int(10), &Value::Int(11)]);
+    }
+
+    #[test]
+    fn window_eviction_advances_frontier() {
+        let mut s = state();
+        s.insert_at(row(1, 10), 1);
+        s.insert_at(row(2, 20), 3);
+        let manually_purged = s.insert_at(row(3, 30), 5);
+        s.insert_at(row(4, 40), 7);
+        s.purge(manually_purged);
+        // Evict everything older than t=6: slots at t=1,3 (t=5 already dead).
+        assert_eq!(s.evict_older_than(6), 2);
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.probe(0, &Value::Int(4)).len(), 1);
+        // Idempotent for the same cutoff; later cutoffs evict the rest.
+        assert_eq!(s.evict_older_than(6), 0);
+        assert_eq!(s.evict_older_than(100), 1);
+        assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no index on column")]
+    fn probe_without_index_panics() {
+        let s = state();
+        let _ = s.probe(1, &Value::Int(1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Stream tuples.
+
+use std::fmt;
+
+use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::value::Value;
+
+/// A data tuple of one raw input stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    /// The stream the tuple belongs to.
+    pub stream: StreamId,
+    /// Attribute values in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from raw parts.
+    #[must_use]
+    pub fn new(stream: StreamId, values: Vec<Value>) -> Self {
+        Tuple { stream, values }
+    }
+
+    /// Convenience constructor from a stream index and `Into<Value>` items.
+    #[must_use]
+    pub fn of(stream: usize, values: impl IntoIterator<Item = Value>) -> Self {
+        Tuple {
+            stream: StreamId(stream),
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value of attribute `attr`, if in range.
+    #[must_use]
+    pub fn get(&self, attr: AttrId) -> Option<&Value> {
+        self.values.get(attr.0)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}⟨", self.stream)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::of(1, [Value::Int(7), Value::from("x")]);
+        assert_eq!(t.stream, StreamId(1));
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(AttrId(0)), Some(&Value::Int(7)));
+        assert_eq!(t.get(AttrId(2)), None);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::of(0, [Value::Int(1), Value::Int(2)]);
+        assert_eq!(t.to_string(), "S1⟨1, 2⟩");
+    }
+}

@@ -1,0 +1,211 @@
+//! The online-auction workload (paper Example 1 / Figure 1).
+//!
+//! `item(sellerid, itemid, name, initialprice)` and
+//! `bid(bidderid, itemid, increase)` streams, joined on `itemid`, with two
+//! punctuation sources:
+//!
+//! * each `itemid` is unique in the item stream — once the item tuple has
+//!   arrived, an item-side punctuation `(*, itemid, *, *)` is valid;
+//! * when an auction closes, no more bids arrive — a bid-side punctuation
+//!   `(*, itemid, *)` is emitted.
+//!
+//! The generator interleaves a configurable number of concurrently-open
+//! auctions and controls the *punctuation lag* (how long after the last bid
+//! the close punctuation arrives) — the knob that determines how much join
+//! state accumulates.
+
+use cjq_core::punctuation::Punctuation;
+use cjq_core::query::Cjq;
+use cjq_core::scheme::SchemeSet;
+use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::value::Value;
+use cjq_stream::element::StreamElement;
+use cjq_stream::source::Feed;
+use cjq_stream::tuple::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stream id of the item stream in the auction fixture.
+pub const ITEM: StreamId = StreamId(0);
+/// Stream id of the bid stream in the auction fixture.
+pub const BID: StreamId = StreamId(1);
+
+/// Auction workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AuctionConfig {
+    /// Total auctions in the feed.
+    pub n_items: usize,
+    /// Bids per auction.
+    pub bids_per_item: usize,
+    /// Auctions open concurrently (staggered starts).
+    pub concurrent: usize,
+    /// Emit item-side uniqueness punctuations.
+    pub item_punctuations: bool,
+    /// Emit bid-side auction-close punctuations.
+    pub bid_punctuations: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        AuctionConfig {
+            n_items: 100,
+            bids_per_item: 5,
+            concurrent: 4,
+            item_punctuations: true,
+            bid_punctuations: true,
+            seed: 7,
+        }
+    }
+}
+
+/// The auction query and scheme set (same as `cjq_core::fixtures::auction`).
+#[must_use]
+pub fn auction_query() -> (Cjq, SchemeSet) {
+    cjq_core::fixtures::auction()
+}
+
+/// Generates the auction feed: `concurrent` auctions run at a time; each
+/// posts its item (followed by the uniqueness punctuation if enabled), then
+/// its bids round-robin with the other open auctions, then the close
+/// punctuation (if enabled).
+#[must_use]
+pub fn generate(cfg: &AuctionConfig) -> Feed {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut feed = Feed::new();
+    let concurrent = cfg.concurrent.max(1);
+
+    // Process auctions in waves of `concurrent`.
+    let mut next_item = 0usize;
+    while next_item < cfg.n_items {
+        let wave: Vec<usize> =
+            (next_item..(next_item + concurrent).min(cfg.n_items)).collect();
+        next_item += wave.len();
+        // Post all items of the wave.
+        for &item in &wave {
+            feed.push(item_tuple(&mut rng, item as i64));
+            if cfg.item_punctuations {
+                feed.push(item_close(item as i64));
+            }
+        }
+        // Interleave the bids round-robin.
+        for round in 0..cfg.bids_per_item {
+            for &item in &wave {
+                feed.push(bid_tuple(&mut rng, item as i64));
+                let last_round = round + 1 == cfg.bids_per_item;
+                if last_round && cfg.bid_punctuations {
+                    feed.push(bid_close(item as i64));
+                }
+            }
+        }
+    }
+    feed
+}
+
+fn item_tuple(rng: &mut StdRng, itemid: i64) -> StreamElement {
+    Tuple::new(
+        ITEM,
+        vec![
+            Value::Int(rng.random_range(0..1000)),
+            Value::Int(itemid),
+            Value::Str(format!("item-{itemid}")),
+            Value::Int(rng.random_range(1..500)),
+        ],
+    )
+    .into()
+}
+
+fn bid_tuple(rng: &mut StdRng, itemid: i64) -> StreamElement {
+    Tuple::new(
+        BID,
+        vec![
+            Value::Int(rng.random_range(0..10_000)),
+            Value::Int(itemid),
+            Value::Int(rng.random_range(1..100)),
+        ],
+    )
+    .into()
+}
+
+/// The item-side uniqueness punctuation `(*, itemid, *, *)`.
+#[must_use]
+pub fn item_close(itemid: i64) -> StreamElement {
+    Punctuation::with_constants(ITEM, 4, &[(AttrId(1), Value::Int(itemid))]).into()
+}
+
+/// The bid-side auction-close punctuation `(*, itemid, *)`.
+#[must_use]
+pub fn bid_close(itemid: i64) -> StreamElement {
+    Punctuation::with_constants(BID, 3, &[(AttrId(1), Value::Int(itemid))]).into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::plan::Plan;
+    use cjq_stream::exec::{ExecConfig, Executor};
+
+    #[test]
+    fn feed_shape_matches_config() {
+        let cfg = AuctionConfig { n_items: 10, bids_per_item: 3, ..AuctionConfig::default() };
+        let feed = generate(&cfg);
+        assert_eq!(feed.count_for(ITEM), 10 + 10); // items + item punctuations
+        assert_eq!(feed.count_for(BID), 30 + 10); // bids + close punctuations
+        assert_eq!(feed.punctuation_count(), 20);
+    }
+
+    #[test]
+    fn punctuations_can_be_disabled() {
+        let cfg = AuctionConfig {
+            n_items: 5,
+            bids_per_item: 2,
+            item_punctuations: false,
+            bid_punctuations: false,
+            ..AuctionConfig::default()
+        };
+        let feed = generate(&cfg);
+        assert_eq!(feed.punctuation_count(), 0);
+        assert_eq!(feed.len(), 5 + 10);
+    }
+
+    #[test]
+    fn generated_feed_is_punctuation_consistent_and_bounded() {
+        let (q, r) = auction_query();
+        let cfg = AuctionConfig { n_items: 50, bids_per_item: 4, ..AuctionConfig::default() };
+        let feed = generate(&cfg);
+        let exec =
+            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let res = exec.run(&feed);
+        assert_eq!(res.metrics.violations, 0, "generator must respect punctuations");
+        assert_eq!(res.metrics.outputs, 200, "every bid joins its item exactly once");
+        assert_eq!(res.metrics.last().unwrap().join_state, 0);
+        // Bounded by the concurrent window, not the feed length.
+        assert!(res.metrics.peak_join_state <= 3 * (cfg.concurrent + 1));
+    }
+
+    #[test]
+    fn without_punctuations_state_grows_linearly() {
+        let (q, r) = auction_query();
+        let cfg = AuctionConfig {
+            n_items: 50,
+            bids_per_item: 4,
+            item_punctuations: false,
+            bid_punctuations: false,
+            ..AuctionConfig::default()
+        };
+        let feed = generate(&cfg);
+        let exec =
+            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let res = exec.run(&feed);
+        assert_eq!(res.metrics.last().unwrap().join_state, 250);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = AuctionConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = AuctionConfig { seed: 8, ..cfg };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+}

@@ -1,0 +1,37 @@
+//! # cjq-workload — workload generators for punctuated-stream experiments
+//!
+//! Deterministic, seeded generators for every experiment family:
+//!
+//! * [`auction`] — the paper's Example 1 (items/bids with uniqueness and
+//!   auction-close punctuations);
+//! * [`network`] — the §5.1 network-monitoring scenario (conjunctive
+//!   `(src, seqno)` joins, multi-attribute punctuations, sequence-number
+//!   cycling that motivates punctuation lifespans);
+//! * [`sensor`] — a sensor-network scenario (3-way join on `(sensor, epoch)`
+//!   with multi-attribute punctuations only);
+//! * [`trades`] — market data with heartbeat/watermark punctuations (ordered
+//!   `ts ≤ T` schemes, after Srivastava & Widom \[11\]);
+//! * [`keyed`] — generic round-keyed feeds for any fixture query, with a
+//!   punctuation-lag knob controlling steady-state state size;
+//! * [`random_query`] — random query/scheme-set families (plus
+//!   guaranteed-safe/unsafe instances) for safety-checker scaling benches.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod auction;
+pub mod keyed;
+pub mod network;
+pub mod random_query;
+pub mod sensor;
+pub mod trades;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::auction::{auction_query, AuctionConfig};
+    pub use crate::keyed::KeyedConfig;
+    pub use crate::network::{network_query, NetworkConfig};
+    pub use crate::sensor::{sensor_query, SensorConfig};
+    pub use crate::trades::{trades_query, TradesConfig};
+    pub use crate::random_query::{RandomQueryConfig, Topology};
+}

@@ -1,0 +1,270 @@
+//! Random query / scheme-set generation for safety-checker benchmarking.
+//!
+//! The paper claims a linear-time check for simple schemes (Theorem 2) and a
+//! polynomial-time check for arbitrary schemes (Theorem 5). To measure those
+//! claims we need parameterized families of instances: join-graph topologies
+//! of growing size, scheme sets of varying density and arity, and both
+//! guaranteed-safe and guaranteed-unsafe instances (so benchmarks exercise
+//! both the accepting and the rejecting path).
+
+use cjq_core::query::{Cjq, JoinPredicate};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
+use cjq_core::schema::{AttrRef, Catalog, StreamSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Join-graph topology of generated queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `S1 - S2 - ... - Sn` (each consecutive pair joined).
+    Path,
+    /// `S1` joined to every other stream.
+    Star,
+    /// A ring.
+    Cycle,
+    /// Random spanning tree plus this many extra random edges.
+    Random {
+        /// Extra edges beyond the spanning tree.
+        extra_edges: usize,
+    },
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomQueryConfig {
+    /// Number of streams.
+    pub n_streams: usize,
+    /// Attributes per stream.
+    pub arity: usize,
+    /// Topology of the join graph.
+    pub topology: Topology,
+    /// Probability that a stream's incident join attribute gets a
+    /// single-attribute scheme.
+    pub scheme_density: f64,
+    /// Probability that an added scheme covers two join attributes instead
+    /// of one (exercising the GPG/TPG machinery).
+    pub multi_attr_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomQueryConfig {
+    fn default() -> Self {
+        RandomQueryConfig {
+            n_streams: 6,
+            arity: 3,
+            topology: Topology::Random { extra_edges: 3 },
+            scheme_density: 0.7,
+            multi_attr_prob: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a random connected query and a random scheme set.
+#[must_use]
+pub fn generate(cfg: &RandomQueryConfig) -> (Cjq, SchemeSet) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let query = random_query(cfg, &mut rng);
+    let schemes = random_schemes(cfg, &query, &mut rng);
+    (query, schemes)
+}
+
+fn catalog(cfg: &RandomQueryConfig) -> Catalog {
+    let mut cat = Catalog::new();
+    for i in 0..cfg.n_streams {
+        let attrs: Vec<String> = (0..cfg.arity).map(|a| format!("a{a}")).collect();
+        cat.add_stream(StreamSchema::new(format!("S{}", i + 1), attrs).unwrap());
+    }
+    cat
+}
+
+fn random_query(cfg: &RandomQueryConfig, rng: &mut StdRng) -> Cjq {
+    let n = cfg.n_streams;
+    assert!(n >= 2, "need at least two streams");
+    let mut preds: Vec<JoinPredicate> = Vec::new();
+    let push = |preds: &mut Vec<JoinPredicate>, a: usize, b: usize, rng: &mut StdRng| {
+        let p = JoinPredicate::new(
+            AttrRef::new(a, rng.random_range(0..cfg.arity)),
+            AttrRef::new(b, rng.random_range(0..cfg.arity)),
+        )
+        .expect("distinct streams");
+        if !preds.contains(&p) {
+            preds.push(p);
+        }
+    };
+    match cfg.topology {
+        Topology::Path => {
+            for i in 1..n {
+                push(&mut preds, i - 1, i, rng);
+            }
+        }
+        Topology::Star => {
+            for i in 1..n {
+                push(&mut preds, 0, i, rng);
+            }
+        }
+        Topology::Cycle => {
+            for i in 0..n {
+                push(&mut preds, i, (i + 1) % n, rng);
+            }
+        }
+        Topology::Random { extra_edges } => {
+            for i in 1..n {
+                let parent = rng.random_range(0..i);
+                push(&mut preds, parent, i, rng);
+            }
+            for _ in 0..extra_edges {
+                let a = rng.random_range(0..n);
+                let b = rng.random_range(0..n);
+                if a != b {
+                    push(&mut preds, a, b, rng);
+                }
+            }
+        }
+    }
+    Cjq::new(catalog(cfg), preds).expect("topologies are connected")
+}
+
+fn random_schemes(cfg: &RandomQueryConfig, query: &Cjq, rng: &mut StdRng) -> SchemeSet {
+    let mut set = SchemeSet::new();
+    for s in query.stream_ids() {
+        let join_attrs = query.join_attrs(s);
+        for &attr in &join_attrs {
+            if !rng.random_bool(cfg.scheme_density) {
+                continue;
+            }
+            if rng.random_bool(cfg.multi_attr_prob) && join_attrs.len() >= 2 {
+                let other = join_attrs[rng.random_range(0..join_attrs.len())];
+                if other != attr {
+                    set.add(PunctuationScheme::new(s, [attr, other]).unwrap());
+                    continue;
+                }
+            }
+            set.add(PunctuationScheme::new(s, [attr]).unwrap());
+        }
+    }
+    set
+}
+
+/// Generates a query (per `cfg`) with a scheme set constructed to make the
+/// punctuation graph strongly connected — the safety check must accept.
+///
+/// Every join attribute of every stream gets a single-attribute scheme; by
+/// symmetry the punctuation graph then contains both directions of every
+/// join-graph edge, and connectivity of the join graph gives strong
+/// connection.
+#[must_use]
+pub fn generate_safe(cfg: &RandomQueryConfig) -> (Cjq, SchemeSet) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let query = random_query(cfg, &mut rng);
+    let mut set = SchemeSet::new();
+    for s in query.stream_ids() {
+        for attr in query.join_attrs(s) {
+            set.add(PunctuationScheme::new(s, [attr]).unwrap());
+        }
+    }
+    (query, set)
+}
+
+/// Generates a query with a scheme set that is safe *except* that one stream
+/// has no schemes at all — it can be reached but never guards anyone, so
+/// every other stream fails to reach it and the check must reject.
+#[must_use]
+pub fn generate_unsafe(cfg: &RandomQueryConfig) -> (Cjq, SchemeSet) {
+    let (query, full) = generate_safe(cfg);
+    let victim = cjq_core::schema::StreamId(cfg.n_streams - 1);
+    let keep: Vec<bool> = full
+        .schemes()
+        .iter()
+        .map(|s| s.stream != victim)
+        .collect();
+    let set = full.restricted(&keep);
+    (query, set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::safety;
+
+    #[test]
+    fn topologies_have_expected_edge_counts() {
+        for (topo, expected) in [
+            (Topology::Path, 5),
+            (Topology::Star, 5),
+            (Topology::Cycle, 6),
+        ] {
+            let cfg = RandomQueryConfig { n_streams: 6, topology: topo, ..Default::default() };
+            let (q, _) = generate(&cfg);
+            // Predicates may dedup on collision, so expected is an upper
+            // bound; at least a spanning tree must exist.
+            assert!(q.predicates().len() <= expected);
+            assert!(q.predicates().len() >= 5);
+            assert!(q.is_connected());
+        }
+    }
+
+    #[test]
+    fn generate_safe_is_safe_across_topologies_and_sizes() {
+        for topo in [Topology::Path, Topology::Star, Topology::Cycle, Topology::Random { extra_edges: 4 }] {
+            for n in [2usize, 4, 8, 12] {
+                let cfg = RandomQueryConfig {
+                    n_streams: n,
+                    topology: topo,
+                    seed: n as u64,
+                    ..Default::default()
+                };
+                let (q, r) = generate_safe(&cfg);
+                assert!(safety::is_query_safe(&q, &r), "n={n}, {topo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generate_unsafe_is_unsafe() {
+        for n in [2usize, 4, 8, 12] {
+            let cfg = RandomQueryConfig {
+                n_streams: n,
+                topology: Topology::Path,
+                seed: n as u64,
+                ..Default::default()
+            };
+            let (q, r) = generate_unsafe(&cfg);
+            assert!(!safety::is_query_safe(&q, &r), "n={n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = RandomQueryConfig::default();
+        let (q1, r1) = generate(&cfg);
+        let (q2, r2) = generate(&cfg);
+        assert_eq!(q1.predicates(), q2.predicates());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn multi_attr_probability_produces_multi_attr_schemes() {
+        let cfg = RandomQueryConfig {
+            n_streams: 10,
+            multi_attr_prob: 1.0,
+            scheme_density: 1.0,
+            topology: Topology::Cycle,
+            ..Default::default()
+        };
+        let (_, r) = generate(&cfg);
+        assert!(r.schemes().iter().any(|s| s.arity() >= 2));
+    }
+
+    #[test]
+    fn schemes_only_cover_join_attributes() {
+        let (q, r) = generate(&RandomQueryConfig::default());
+        for s in r.schemes() {
+            let join_attrs = q.join_attrs(s.stream);
+            for a in s.punctuatable() {
+                assert!(join_attrs.contains(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Plan exploration (§5.2): enumerate the safe plans of a query, cost them,
+//! pick the best under different objectives, and find minimal scheme sets.
+//!
+//! Uses the paper's Figure 5/7 query — where only the MJoin plan is safe —
+//! and a 4-cycle query with rich punctuation coverage, where many plans are
+//! safe and the cost model has real choices to make.
+//!
+//! ```sh
+//! cargo run --example plan_explorer
+//! ```
+
+use punctuated_cjq::core::prelude::*;
+use punctuated_cjq::planner::choose::{choose_plan, Objective};
+use punctuated_cjq::planner::cost::{CostModel, Stats};
+use punctuated_cjq::planner::enumerate::PlanSpace;
+use punctuated_cjq::planner::scheme_select;
+
+fn explore(query: &Cjq, schemes: &SchemeSet, stats: Stats, label: &str) {
+    println!("=== {label} ===");
+    let mut space = PlanSpace::new(query, schemes);
+    let all = space.count_all_plans();
+    let safe = space.count_safe_plans();
+    println!("plans: {all} total (cross-product-free), {safe} safe");
+
+    if safe == 0 {
+        println!("no safe plan: the query register must reject this query\n");
+        return;
+    }
+    let model = CostModel::new(query, schemes, stats.clone());
+    for plan in space.enumerate_safe_plans(8) {
+        let cost = model.estimate(&plan);
+        println!(
+            "  {:<40} data-mem {:>8.1}  punct-mem {:>7.1}  work {:>8.2}",
+            plan.to_string(),
+            cost.data_memory,
+            cost.punct_memory,
+            cost.work
+        );
+    }
+    for objective in [Objective::MinDataMemory, Objective::MinTotalMemory, Objective::MaxThroughput]
+    {
+        let chosen = choose_plan(query, schemes, stats.clone(), objective, 500).unwrap();
+        println!(
+            "  best under {:?}: {} (of {} safe plans)",
+            objective, chosen.plan, chosen.considered
+        );
+    }
+
+    // Plan Parameter I: which schemes are actually needed?
+    match scheme_select::minimum_safe_subset(query, schemes) {
+        Some(min) => println!(
+            "  minimal scheme set: {} of {} schemes suffice: {min}",
+            min.len(),
+            schemes.len()
+        ),
+        None => println!("  no scheme subset keeps the query safe"),
+    }
+    println!();
+}
+
+fn four_cycle() -> (Cjq, SchemeSet) {
+    let mut cat = Catalog::new();
+    for name in ["orders", "payments", "shipments", "invoices"] {
+        cat.add_stream(StreamSchema::new(name, ["id", "next"]).unwrap());
+    }
+    let q = Cjq::new(
+        cat,
+        vec![
+            JoinPredicate::between(0, 1, 1, 0).unwrap(),
+            JoinPredicate::between(1, 1, 2, 0).unwrap(),
+            JoinPredicate::between(2, 1, 3, 0).unwrap(),
+            JoinPredicate::between(3, 1, 0, 0).unwrap(),
+        ],
+    )
+    .unwrap();
+    let r = SchemeSet::from_schemes((0..4).flat_map(|s| {
+        [
+            PunctuationScheme::on(s, &[0]).unwrap(),
+            PunctuationScheme::on(s, &[1]).unwrap(),
+        ]
+    }));
+    (q, r)
+}
+
+fn main() {
+    // Figure 5/7: safe query, but only one safe plan shape.
+    let (q, r) = punctuated_cjq::core::fixtures::fig5();
+    explore(&q, &r, Stats::uniform(3, 1.0, 10.0, 0.1, 0.2), "Figure 5 triangle");
+
+    // Figure 3's scheme set: unsafe — must be rejected.
+    let (q, r) = punctuated_cjq::core::fixtures::fig3();
+    explore(&q, &r, Stats::uniform(3, 1.0, 10.0, 0.1, 0.2), "Figure 3 (unsafe scheme set)");
+
+    // A 4-cycle with full coverage: many safe plans; skewed rates matter.
+    let (q, r) = four_cycle();
+    let mut stats = Stats::uniform(4, 1.0, 10.0, 0.1, 0.1);
+    stats.rate[2] = 50.0; // shipments is hot
+    explore(&q, &r, stats, "4-cycle with one hot stream");
+}

@@ -1,0 +1,144 @@
+//! `cjq-check` — the query register as a command-line tool.
+//!
+//! Reads a query specification (see [`punctuated_cjq::parse`] for the
+//! format) from a file or stdin and prints the full safety analysis: the
+//! Theorem 2/4 verdict, per-stream purgeability with unsafety witnesses,
+//! chained purge recipes, safe-plan counts, and minimal scheme sets.
+//!
+//! ```sh
+//! cargo run --bin cjq-check -- query.cjq
+//! echo 'stream a(x) ...' | cargo run --bin cjq-check
+//! cargo run --bin cjq-check -- --dot query.cjq | dot -Tsvg > pg.svg
+//! ```
+//!
+//! `--dot` prints the (generalized) punctuation graph in Graphviz format
+//! instead of the textual report. `--plan` additionally runs the optimizer
+//! and prints the register's chosen safe plan with its cost estimate.
+//! Exit code: 0 if the query is safe, 1 if unsafe, 2 on parse errors.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use punctuated_cjq::core::prelude::*;
+use punctuated_cjq::core::{purge_plan, safety};
+use punctuated_cjq::parse::parse_spec;
+use punctuated_cjq::planner::enumerate::PlanSpace;
+use punctuated_cjq::planner::scheme_select;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let dot = args.iter().any(|a| a == "--dot");
+    let want_plan = args.iter().any(|a| a == "--plan");
+    args.retain(|a| a != "--dot" && a != "--plan");
+    let input = match args.first().map(String::as_str) {
+        Some("-h") | Some("--help") => {
+            eprintln!("usage: cjq-check [--dot] [FILE]   (reads stdin without FILE)");
+            eprintln!("see src/parse.rs for the specification format");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cjq-check: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("cjq-check: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+
+    let (query, schemes) = match parse_spec(&input) {
+        Ok(qs) => qs,
+        Err(e) => {
+            eprintln!("cjq-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if dot {
+        let gpg = punctuated_cjq::core::gpg::GeneralizedPunctuationGraph::of_query(
+            &query, &schemes,
+        );
+        print!(
+            "{}",
+            punctuated_cjq::core::dot::generalized_punctuation_graph(&query, &gpg)
+        );
+        return if safety::is_query_safe(&query, &schemes) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    report(&query, &schemes, want_plan)
+}
+
+fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
+    let cat = query.catalog();
+    println!("query: {} streams, {} predicates", query.n_streams(), query.predicates().len());
+    for p in query.predicates() {
+        println!("  join {}", query.display_predicate(p));
+    }
+    println!("schemes ({}):", schemes.len());
+    for s in schemes.schemes() {
+        let schema = cat.schema(s.stream).expect("validated");
+        let attrs: Vec<&str> = s
+            .punctuatable()
+            .iter()
+            .filter_map(|a| schema.attr_name(*a))
+            .collect();
+        println!("  punctuate {}({})", schema.name(), attrs.join(", "));
+    }
+    println!();
+
+    let result = safety::check_query(query, schemes);
+    print!("{}", result.render(query));
+    // Attach the chained purge recipe under each purgeable stream.
+    let streams: Vec<StreamId> = query.stream_ids().collect();
+    for p in &result.per_stream {
+        if p.purgeable {
+            let recipe = purge_plan::derive_recipe(query, schemes, &streams, p.stream)
+                .expect("purgeable implies recipe");
+            let name = cat.schema(p.stream).expect("validated").name();
+            println!("  recipe for {name}:");
+            for line in recipe.explain(query).lines().skip(1) {
+                println!("  {line}");
+            }
+        }
+    }
+    println!();
+
+    if query.n_streams() <= punctuated_cjq::planner::enumerate::MAX_STREAMS {
+        let mut space = PlanSpace::new(query, schemes);
+        println!(
+            "plans: {} safe of {} cross-product-free",
+            space.count_safe_plans(),
+            space.count_all_plans()
+        );
+        for plan in space.enumerate_safe_plans(5) {
+            println!("  safe plan: {plan}");
+        }
+    }
+    if result.safe && schemes.len() < punctuated_cjq::planner::scheme_select::EXACT_LIMIT {
+        if let Some(min) = scheme_select::minimum_safe_subset(query, schemes) {
+            println!("minimal scheme set: {} of {} schemes suffice", min.len(), schemes.len());
+        }
+    }
+    if want_plan && result.safe {
+        let register = punctuated_cjq::register::Register::new(schemes.clone());
+        match register.register(query.clone()) {
+            Ok(registered) => println!("chosen plan: {}", registered.plan()),
+            Err(e) => println!("plan selection failed: {}", e.reason),
+        }
+    }
+
+    if result.safe {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,49 @@
+//! # punctuated-cjq
+//!
+//! A faithful, executable reproduction of *Li, Chen, Tatemura, Agrawal,
+//! Candan, Hsiung: "Safety Guarantee of Continuous Join Queries over
+//! Punctuated Data Streams" (VLDB 2006)*, plus the runtime substrate the
+//! paper presupposes.
+//!
+//! The workspace splits into four crates, re-exported here:
+//!
+//! * [`core`] ([`cjq_core`]) — the paper's contribution: punctuation
+//!   schemes, punctuation graphs (plain / generalized / transformed), the
+//!   safety theorems (1–5), plan-level safety, and chained purge recipes.
+//! * [`stream`] ([`cjq_stream`]) — a punctuated stream runtime: symmetric
+//!   hash joins of any arity, the chained purge strategy executed against
+//!   live state, punctuation stores with §5.1 lifespans/purging, group-by
+//!   unblocking, and a metrics-reporting executor.
+//! * [`planner`] ([`cjq_planner`]) — §5.2 made concrete: safe-plan
+//!   enumeration from strongly connected punctuation-graph blocks, a cost
+//!   model, minimal scheme-set selection, and objective-driven plan choice.
+//! * [`workload`] ([`cjq_workload`]) — deterministic generators: the online
+//!   auction (Example 1), network monitoring (§5.1), round-keyed feeds, and
+//!   random query families for checker benchmarking.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use punctuated_cjq::core::prelude::*;
+//! use punctuated_cjq::core::safety;
+//!
+//! // Figure 5's query: a 3-way predicate triangle.
+//! let (query, schemes) = punctuated_cjq::core::fixtures::fig5();
+//!
+//! // Theorem 2: safe iff the punctuation graph is strongly connected.
+//! assert!(safety::is_query_safe(&query, &schemes));
+//!
+//! // ... yet no binary-join tree is safe (Figure 7):
+//! let binary = Plan::left_deep(&[StreamId(0), StreamId(1), StreamId(2)]);
+//! assert!(!check_plan(&query, &schemes, &binary).unwrap().safe);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod parse;
+pub mod register;
+
+pub use cjq_core as core;
+pub use cjq_planner as planner;
+pub use cjq_stream as stream;
+pub use cjq_workload as workload;

@@ -1,0 +1,373 @@
+//! A small text format for declaring queries and punctuation schemes, used
+//! by the `cjq-check` command-line tool.
+//!
+//! ```text
+//! # The paper's running example.
+//! stream item(sellerid, itemid, name, initialprice)
+//! stream bid(bidderid, itemid, increase)
+//! join item.itemid = bid.itemid
+//! punctuate item(itemid)
+//! punctuate bid(itemid)
+//! ```
+//!
+//! Grammar (line-oriented; `#` starts a comment):
+//!
+//! * `stream NAME(attr, attr, ...)` — declare a stream and its schema;
+//! * `join A.x = B.y` — an equi-join predicate (repeat for conjunctions);
+//! * `punctuate NAME(attr, ...)` — a punctuation scheme; several attributes
+//!   make a multi-attribute scheme; a stream may have several schemes;
+//! * `heartbeat NAME(attr)` — an *ordered* scheme: instances are watermark
+//!   punctuations `attr ≤ T` (single attribute only).
+
+use std::fmt;
+
+use cjq_core::error::CoreError;
+use cjq_core::query::{Cjq, JoinPredicate};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
+use cjq_core::schema::{Catalog, StreamSchema};
+
+/// A parse failure with its (1-based) line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the error occurred (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+impl From<CoreError> for ParseError {
+    fn from(e: CoreError) -> Self {
+        err(0, e.to_string())
+    }
+}
+
+/// Parses a query specification. Returns the validated query and scheme set.
+pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
+    let mut catalog = Catalog::new();
+    let mut predicates: Vec<JoinPredicate> = Vec::new();
+    let mut scheme_decls: Vec<(usize, String, Vec<String>, bool)> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(lineno, format!("expected arguments after `{line}`")))?;
+        let rest = rest.trim();
+        match keyword {
+            "stream" => {
+                let (name, attrs) = parse_call(rest, lineno)?;
+                if catalog.stream_by_name(&name).is_some() {
+                    return Err(err(lineno, format!("stream `{name}` declared twice")));
+                }
+                let schema = StreamSchema::new(name, attrs)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+                catalog.add_stream(schema);
+            }
+            "join" => {
+                let (lhs, rhs) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err(lineno, "expected `A.x = B.y`"))?;
+                let l = parse_attr_ref(lhs.trim(), &catalog, lineno)?;
+                let r = parse_attr_ref(rhs.trim(), &catalog, lineno)?;
+                let p = JoinPredicate::new(l, r).map_err(|e| err(lineno, e.to_string()))?;
+                predicates.push(p);
+            }
+            "punctuate" | "heartbeat" => {
+                let ordered = keyword == "heartbeat";
+                let (name, attrs) = parse_call(rest, lineno)?;
+                if attrs.is_empty() {
+                    return Err(err(lineno, "a scheme needs at least one attribute"));
+                }
+                if ordered && attrs.len() != 1 {
+                    return Err(err(lineno, "heartbeat schemes take exactly one attribute"));
+                }
+                scheme_decls.push((lineno, name, attrs, ordered));
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    format!(
+                        "unknown keyword `{other}` (expected stream/join/punctuate/heartbeat)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Resolve schemes after all streams are known (allows any declaration
+    // order).
+    let mut schemes = SchemeSet::new();
+    for (lineno, name, attrs, ordered) in scheme_decls {
+        let stream = catalog
+            .stream_by_name(&name)
+            .ok_or_else(|| err(lineno, format!("unknown stream `{name}`")))?;
+        let schema = catalog.schema(stream).expect("just resolved");
+        let ids: Result<Vec<_>, _> = attrs
+            .iter()
+            .map(|a| {
+                schema
+                    .attr_by_name(a)
+                    .ok_or_else(|| err(lineno, format!("unknown attribute `{name}.{a}`")))
+            })
+            .collect();
+        let ids = ids?;
+        let scheme = if ordered {
+            PunctuationScheme::ordered_on(stream.0, ids[0].0)
+                .map_err(|e| err(lineno, e.to_string()))?
+        } else {
+            PunctuationScheme::new(stream, ids).map_err(|e| err(lineno, e.to_string()))?
+        };
+        schemes.add(scheme);
+    }
+
+    let query = Cjq::new(catalog, predicates)?;
+    schemes.validate(query.catalog())?;
+    Ok((query, schemes))
+}
+
+/// Parses `name(a, b, c)` into the name and argument list.
+fn parse_call(s: &str, lineno: usize) -> Result<(String, Vec<String>), ParseError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(lineno, format!("expected `name(...)`, got `{s}`")))?;
+    if !s.ends_with(')') {
+        return Err(err(lineno, format!("missing `)` in `{s}`")));
+    }
+    let name = s[..open].trim();
+    if name.is_empty() || !is_ident(name) {
+        return Err(err(lineno, format!("invalid name `{name}`")));
+    }
+    let args: Vec<String> = s[open + 1..s.len() - 1]
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(str::to_owned)
+        .collect();
+    for a in &args {
+        if !is_ident(a) {
+            return Err(err(lineno, format!("invalid attribute name `{a}`")));
+        }
+    }
+    Ok((name.to_owned(), args))
+}
+
+/// Parses `stream.attr` against the catalog.
+fn parse_attr_ref(
+    s: &str,
+    catalog: &Catalog,
+    lineno: usize,
+) -> Result<cjq_core::schema::AttrRef, ParseError> {
+    let (stream, attr) = s
+        .split_once('.')
+        .ok_or_else(|| err(lineno, format!("expected `stream.attr`, got `{s}`")))?;
+    catalog
+        .resolve(stream.trim(), attr.trim())
+        .map_err(|e| err(lineno, e.to_string()))
+}
+
+/// Serializes a query + scheme set back into the text format (round-trips
+/// through [`parse_spec`]; catalog names are preserved).
+#[must_use]
+pub fn to_spec(query: &Cjq, schemes: &SchemeSet) -> String {
+    use std::fmt::Write as _;
+    let cat = query.catalog();
+    let mut out = String::new();
+    for (_, schema) in cat.streams() {
+        let attrs: Vec<&str> = schema.attrs().map(|(_, name)| name).collect();
+        let _ = writeln!(out, "stream {}({})", schema.name(), attrs.join(", "));
+    }
+    for p in query.predicates() {
+        let _ = writeln!(out, "join {}", query.display_predicate(p));
+    }
+    for s in schemes.schemes() {
+        let schema = cat.schema(s.stream).expect("validated scheme");
+        let attrs: Vec<&str> = s
+            .punctuatable()
+            .iter()
+            .filter_map(|a| schema.attr_name(*a))
+            .collect();
+        let keyword = if s.is_ordered() { "heartbeat" } else { "punctuate" };
+        let _ = writeln!(out, "{keyword} {}({})", schema.name(), attrs.join(", "));
+    }
+    out
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.chars().next().unwrap().is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::safety;
+    use cjq_core::schema::{AttrId, StreamId};
+
+    const AUCTION: &str = "\
+# The paper's running example.
+stream item(sellerid, itemid, name, initialprice)
+stream bid(bidderid, itemid, increase)
+join item.itemid = bid.itemid
+punctuate item(itemid)
+punctuate bid(itemid)
+";
+
+    #[test]
+    fn parses_the_auction_spec() {
+        let (q, r) = parse_spec(AUCTION).unwrap();
+        assert_eq!(q.n_streams(), 2);
+        assert_eq!(q.predicates().len(), 1);
+        assert_eq!(r.len(), 2);
+        assert!(safety::is_query_safe(&q, &r));
+    }
+
+    #[test]
+    fn parses_multi_attribute_schemes_and_conjunctions() {
+        let spec = "\
+stream pkt(src, seqno, len)
+stream ack(src, seqno, rtt)
+join pkt.src = ack.src
+join pkt.seqno = ack.seqno
+punctuate pkt(src, seqno)
+punctuate ack(src, seqno)
+";
+        let (q, r) = parse_spec(spec).unwrap();
+        assert_eq!(q.predicates().len(), 2);
+        assert!(r.schemes().iter().all(|s| s.arity() == 2));
+        assert!(safety::is_query_safe(&q, &r));
+    }
+
+    #[test]
+    fn declaration_order_is_flexible() {
+        let spec = "\
+punctuate b(x)
+stream a(x)
+stream b(x)
+join a.x = b.x
+";
+        let (q, r) = parse_spec(spec).unwrap();
+        assert_eq!(r.schemes()[0].stream, StreamId(1));
+        assert_eq!(r.schemes()[0].punctuatable(), &[AttrId(0)]);
+        let _ = q;
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec = "
+# leading comment
+
+stream a(x)  # trailing comment
+stream b(x)
+join a.x = b.x   # join them
+";
+        assert!(parse_spec(spec).is_ok());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = parse_spec("stream a(x)\nfrobnicate a(x)\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+
+        let e = parse_spec("stream a(x\n").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse_spec("stream a(x)\njoin a.x = b.y\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains('b'));
+
+        let e = parse_spec("stream a(x)\nstream a(y)\n").unwrap_err();
+        assert!(e.to_string().contains("twice"));
+
+        let e = parse_spec("stream a(x)\npunctuate z(x)\n").unwrap_err();
+        assert!(e.to_string().contains("unknown stream"));
+
+        let e = parse_spec("stream a(x)\npunctuate a(q)\n").unwrap_err();
+        assert!(e.to_string().contains("a.q"));
+    }
+
+    #[test]
+    fn rejects_malformed_joins_and_names() {
+        assert!(parse_spec("stream a(x)\nstream b(x)\njoin a.x b.x\n").is_err());
+        assert!(parse_spec("stream 1a(x)\n").is_err());
+        assert!(parse_spec("stream a(x, 2y)\n").is_err());
+        assert!(parse_spec("stream a()\n").is_err());
+        assert!(parse_spec("stream\n").is_err());
+        // Self-join predicate.
+        assert!(parse_spec("stream a(x, y)\njoin a.x = a.y\n").is_err());
+    }
+
+    #[test]
+    fn to_spec_round_trips() {
+        let (q1, r1) = parse_spec(AUCTION).unwrap();
+        let rendered = to_spec(&q1, &r1);
+        let (q2, r2) = parse_spec(&rendered).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(r1, r2);
+        // A richer query with conjunctions and multi-attribute schemes.
+        let spec = "\
+stream pkt(src, seqno, len)
+stream ack(src, seqno, rtt)
+join pkt.src = ack.src
+join pkt.seqno = ack.seqno
+punctuate pkt(src, seqno)
+punctuate ack(src, seqno)
+";
+        let (q1, r1) = parse_spec(spec).unwrap();
+        let (q2, r2) = parse_spec(&to_spec(&q1, &r1)).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn heartbeat_keyword_builds_ordered_schemes() {
+        let spec = "\
+stream trade(ts, sym, px)
+stream quote(ts, sym, bid)
+join trade.ts = quote.ts
+join trade.sym = quote.sym
+heartbeat trade(ts)
+heartbeat quote(ts)
+";
+        let (q, r) = parse_spec(spec).unwrap();
+        assert!(r.schemes().iter().all(|s| s.is_ordered()));
+        assert!(safety::is_query_safe(&q, &r));
+        // Round-trips through to_spec.
+        let (q2, r2) = parse_spec(&to_spec(&q, &r)).unwrap();
+        assert_eq!(q, q2);
+        assert_eq!(r, r2);
+        // Multi-attribute heartbeats are rejected.
+        let bad = "stream a(x, y)\nstream b(x)\njoin a.x = b.x\nheartbeat a(x, y)\n";
+        assert!(parse_spec(bad).unwrap_err().to_string().contains("exactly one"));
+    }
+
+    #[test]
+    fn query_level_validation_still_applies() {
+        // Disconnected join graph is rejected by Cjq::new.
+        let e = parse_spec("stream a(x)\nstream b(x)\nstream c(x)\njoin a.x = b.x\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("connected"));
+    }
+}

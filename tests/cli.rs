@@ -1,0 +1,134 @@
+//! Integration tests for the `cjq-check` command-line tool.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(input: &str) -> (String, String, Option<i32>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cjq-check"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cjq-check");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write spec");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+const SAFE_SPEC: &str = "\
+stream item(sellerid, itemid, name, initialprice)
+stream bid(bidderid, itemid, increase)
+join item.itemid = bid.itemid
+punctuate item(itemid)
+punctuate bid(itemid)
+";
+
+const UNSAFE_SPEC: &str = "\
+stream item(sellerid, itemid, name, initialprice)
+stream bid(bidderid, itemid, increase)
+join item.itemid = bid.itemid
+punctuate bid(bidderid)
+";
+
+#[test]
+fn safe_spec_exits_zero_with_report() {
+    let (stdout, _, code) = run_cli(SAFE_SPEC);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("verdict: SAFE"));
+    assert!(stdout.contains("item: purgeable"));
+    assert!(stdout.contains("bid: purgeable"));
+    assert!(stdout.contains("1 safe of 1"));
+    assert!(stdout.contains("minimal scheme set: 2 of 2"));
+}
+
+#[test]
+fn unsafe_spec_exits_one_with_witness() {
+    let (stdout, _, code) = run_cli(UNSAFE_SPEC);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("verdict: UNSAFE"));
+    assert!(stdout.contains("NOT purgeable"));
+    assert!(stdout.contains("0 safe of 1"));
+}
+
+#[test]
+fn parse_errors_exit_two_with_line_number() {
+    let (_, stderr, code) = run_cli("stream a(x)\nfrobnicate\n");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+}
+
+#[test]
+fn file_argument_and_missing_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("cjq_check_cli_test.cjq");
+    std::fs::write(&path, SAFE_SPEC).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_cjq-check"))
+        .arg(&path)
+        .output()
+        .expect("run with file");
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_file(&path).ok();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cjq-check"))
+        .arg("/nonexistent/definitely_missing.cjq")
+        .output()
+        .expect("run with missing file");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn plan_flag_prints_the_chosen_plan() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_cjq-check"))
+        .arg("--plan")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .and_then(|mut c| {
+            use std::io::Write as _;
+            c.stdin.as_mut().unwrap().write_all(SAFE_SPEC.as_bytes())?;
+            c.wait_with_output()
+        })
+        .expect("run cjq-check --plan");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chosen plan: (S1 ⋈ S2)"), "stdout: {stdout}");
+}
+
+#[test]
+fn heartbeat_spec_parses_and_checks() {
+    let spec = "\
+stream trade(ts, sym, px)
+stream quote(ts, sym, bid)
+join trade.ts = quote.ts
+join trade.sym = quote.sym
+heartbeat trade(ts)
+heartbeat quote(ts)
+";
+    let (stdout, _, code) = run_cli(spec);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("verdict: SAFE"));
+}
+
+#[test]
+fn multi_attribute_spec_uses_generalized_check() {
+    let spec = "\
+stream pkt(src, seqno, len)
+stream ack(src, seqno, rtt)
+join pkt.src = ack.src
+join pkt.seqno = ack.seqno
+punctuate pkt(src, seqno)
+punctuate ack(src, seqno)
+";
+    let (stdout, _, code) = run_cli(spec);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("Generalized check"));
+    assert!(stdout.contains("verdict: SAFE"));
+}
