@@ -24,7 +24,11 @@ fn bench_purge_pass_cost(c: &mut Criterion) {
     // One purge cycle at the end of feeds of different sizes: the single
     // pass scans all accumulated state.
     for rounds in [50usize, 200, 800] {
-        let kcfg = KeyedConfig { rounds, lag: 1, ..Default::default() };
+        let kcfg = KeyedConfig {
+            rounds,
+            lag: 1,
+            ..Default::default()
+        };
         let feed = keyed::generate(&q, &r, &kcfg);
         group.bench_with_input(BenchmarkId::new("single_pass", rounds), &rounds, |b, _| {
             b.iter(|| {
@@ -49,7 +53,12 @@ fn bench_coverage_limit(c: &mut Criterion) {
     let (q, r) = cjq_core::fixtures::fig3();
     // Fan-out: several tuples per key per round inflate the chained
     // requirement products.
-    let kcfg = KeyedConfig { rounds: 80, lag: 2, tuples_per_round: 3, ..Default::default() };
+    let kcfg = KeyedConfig {
+        rounds: 80,
+        lag: 2,
+        tuples_per_round: 3,
+        ..Default::default()
+    };
     let feed = keyed::generate(&q, &r, &kcfg);
     let mut group = c.benchmark_group("coverage_limit");
     for limit in [1usize, 16, 100_000] {
@@ -70,14 +79,25 @@ fn bench_coverage_limit(c: &mut Criterion) {
 
 fn bench_purge_scope(c: &mut Criterion) {
     let (q, r) = cjq_core::fixtures::fig5();
-    let kcfg = KeyedConfig { rounds: 200, lag: 2, ..Default::default() };
+    let kcfg = KeyedConfig {
+        rounds: 200,
+        lag: 2,
+        ..Default::default()
+    };
     let feed = keyed::generate(&q, &r, &kcfg);
     let plan = Plan::left_deep(&[StreamId(0), StreamId(1), StreamId(2)]);
     let mut group = c.benchmark_group("purge_scope");
-    for (label, scope) in [("operator", PurgeScope::Operator), ("query", PurgeScope::Query)] {
+    for (label, scope) in [
+        ("operator", PurgeScope::Operator),
+        ("query", PurgeScope::Query),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let cfg = ExecConfig { scope, record_outputs: false, ..ExecConfig::default() };
+                let cfg = ExecConfig {
+                    scope,
+                    record_outputs: false,
+                    ..ExecConfig::default()
+                };
                 let exec = Executor::compile(&q, &r, &plan, cfg).unwrap();
                 black_box(exec.run(&feed).metrics.outputs)
             });

@@ -24,15 +24,11 @@ fn bench_checkers(c: &mut Criterion) {
         };
         let (q, r) = random_query::generate_safe(&cfg);
         group.bench_with_input(BenchmarkId::new("pg", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(PunctuationGraph::of_query(&q, &r).is_strongly_connected())
-            });
+            b.iter(|| black_box(PunctuationGraph::of_query(&q, &r).is_strongly_connected()));
         });
         group.bench_with_input(BenchmarkId::new("gpg_fixpoint", n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    GeneralizedPunctuationGraph::of_query(&q, &r).is_strongly_connected(),
-                )
+                black_box(GeneralizedPunctuationGraph::of_query(&q, &r).is_strongly_connected())
             });
         });
         group.bench_with_input(BenchmarkId::new("tpg", n), &n, |b, _| {
@@ -55,9 +51,7 @@ fn bench_checkers(c: &mut Criterion) {
         let (q, r) = random_query::generate(&cfg);
         group.bench_with_input(BenchmarkId::new("gpg_fixpoint", n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    GeneralizedPunctuationGraph::of_query(&q, &r).is_strongly_connected(),
-                )
+                black_box(GeneralizedPunctuationGraph::of_query(&q, &r).is_strongly_connected())
             });
         });
         group.bench_with_input(BenchmarkId::new("tpg", n), &n, |b, _| {

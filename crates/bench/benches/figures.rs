@@ -45,7 +45,10 @@ fn bench_figures(c: &mut Criterion) {
         bids_per_item: 5,
         ..AuctionConfig::default()
     });
-    let cfg = ExecConfig { record_outputs: false, ..ExecConfig::default() };
+    let cfg = ExecConfig {
+        record_outputs: false,
+        ..ExecConfig::default()
+    };
     group.bench_function("fig1_auction_pipeline", |b| {
         b.iter(|| {
             let exec = Executor::compile(&qa, &ra, &Plan::mjoin_all(&qa), cfg).unwrap();

@@ -16,7 +16,11 @@ use cjq_workload::keyed::{self, KeyedConfig};
 
 fn bench_cadence(c: &mut Criterion) {
     let (q, r) = cjq_core::fixtures::fig5();
-    let kcfg = KeyedConfig { rounds: 400, lag: 4, ..Default::default() };
+    let kcfg = KeyedConfig {
+        rounds: 400,
+        lag: 4,
+        ..Default::default()
+    };
     let feed = keyed::generate(&q, &r, &kcfg);
     let mut group = c.benchmark_group("cadence");
     for (label, cadence) in [
@@ -25,7 +29,11 @@ fn bench_cadence(c: &mut Criterion) {
         ("lazy_512", PurgeCadence::Lazy { batch: 512 }),
         ("never", PurgeCadence::Never),
     ] {
-        let cfg = ExecConfig { cadence, record_outputs: false, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            cadence,
+            record_outputs: false,
+            ..ExecConfig::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| {
                 let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();

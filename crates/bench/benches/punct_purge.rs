@@ -40,7 +40,10 @@ fn bench_punct_purge(c: &mut Criterion) {
         seq_space: 32,
         ..NetworkConfig::default()
     });
-    for (label, lifespan) in [("network_keep_forever", None), ("network_lifespan", Some(120))] {
+    for (label, lifespan) in [
+        ("network_keep_forever", None),
+        ("network_lifespan", Some(120)),
+    ] {
         let cfg = ExecConfig {
             punct_lifespan: lifespan,
             record_outputs: false,

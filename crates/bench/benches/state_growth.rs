@@ -17,14 +17,24 @@ fn bench_growth(c: &mut Criterion) {
     let (q, r) = cjq_core::fixtures::fig5();
     let mut group = c.benchmark_group("state_growth");
     for rounds in [100usize, 400] {
-        let kcfg = KeyedConfig { rounds, lag: 2, ..Default::default() };
+        let kcfg = KeyedConfig {
+            rounds,
+            lag: 2,
+            ..Default::default()
+        };
         let feed = keyed::generate(&q, &r, &kcfg);
         let feed_nopunct = keyed::generate(
             &q,
             &r,
-            &KeyedConfig { punctuate: false, ..kcfg },
+            &KeyedConfig {
+                punctuate: false,
+                ..kcfg
+            },
         );
-        let cfg = ExecConfig { record_outputs: false, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            record_outputs: false,
+            ..ExecConfig::default()
+        };
 
         group.bench_with_input(BenchmarkId::new("safe_mjoin", rounds), &rounds, |b, _| {
             b.iter(|| {
@@ -33,18 +43,26 @@ fn bench_growth(c: &mut Criterion) {
             });
         });
         let binary = Plan::left_deep(&[StreamId(0), StreamId(1), StreamId(2)]);
-        group.bench_with_input(BenchmarkId::new("unsafe_binary", rounds), &rounds, |b, _| {
-            b.iter(|| {
-                let exec = Executor::compile(&q, &r, &binary, cfg).unwrap();
-                black_box(exec.run(&feed).metrics.outputs)
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("no_punctuations", rounds), &rounds, |b, _| {
-            b.iter(|| {
-                let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
-                black_box(exec.run(&feed_nopunct).metrics.outputs)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unsafe_binary", rounds),
+            &rounds,
+            |b, _| {
+                b.iter(|| {
+                    let exec = Executor::compile(&q, &r, &binary, cfg).unwrap();
+                    black_box(exec.run(&feed).metrics.outputs)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_punctuations", rounds),
+            &rounds,
+            |b, _| {
+                b.iter(|| {
+                    let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
+                    black_box(exec.run(&feed_nopunct).metrics.outputs)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,167 @@
+//! E8 (Criterion): sequential vs hash-partitioned sharded execution.
+//!
+//! Runs the auction and sensor workloads through the sequential [`Executor`]
+//! and through [`ShardedExecutor`] at P ∈ {1, 2, 4, 8} under the eager purge
+//! cadence, and records elements/second into `BENCH_throughput.json` at the
+//! repository root.
+//!
+//! Why sharding wins even on one core: both workloads punctuate with a
+//! constant on the partition attribute, so every punctuation routes to a
+//! single shard and each eager purge cycle scans `~live/P` candidates
+//! instead of the full state. The total purge work — the dominant cost at
+//! high concurrency — drops by roughly the shard count; no parallel hardware
+//! is required for the effect.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cjq_core::plan::Plan;
+use cjq_core::query::Cjq;
+use cjq_core::scheme::SchemeSet;
+use cjq_stream::exec::{ExecConfig, Executor};
+use cjq_stream::parallel::ShardedExecutor;
+use cjq_stream::source::Feed;
+use cjq_workload::auction::{self, AuctionConfig};
+use cjq_workload::sensor::{self, SensorConfig};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SAMPLES: usize = 5;
+
+fn bench_cfg() -> ExecConfig {
+    ExecConfig {
+        record_outputs: false,
+        ..ExecConfig::default()
+    }
+}
+
+/// Median wall-clock elements/second over `SAMPLES` runs of `f`.
+fn median_eps(elements: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    elements as f64 / times[SAMPLES / 2]
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    elements: usize,
+    sequential_eps: f64,
+    /// `(shards, eps)` per shard count.
+    sharded: Vec<(usize, f64)>,
+}
+
+fn run_workload(
+    c: &mut Criterion,
+    name: &'static str,
+    query: &Cjq,
+    schemes: &SchemeSet,
+    feed: &Feed,
+) -> WorkloadReport {
+    let plan = Plan::mjoin_all(query);
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group(name);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let exec = Executor::compile(query, schemes, &plan, cfg).unwrap();
+            black_box(exec.run(feed).metrics.outputs)
+        });
+    });
+    let sequential_eps = median_eps(feed.len(), || {
+        let exec = Executor::compile(query, schemes, &plan, cfg).unwrap();
+        black_box(exec.run(feed).metrics.outputs);
+    });
+
+    let mut sharded = Vec::new();
+    for p in SHARD_COUNTS {
+        let exec = ShardedExecutor::compile(query, schemes, &plan, cfg, p).unwrap();
+        group.bench_function(format!("sharded_p{p}"), |b| {
+            b.iter(|| black_box(exec.run(feed).metrics.outputs));
+        });
+        let eps = median_eps(feed.len(), || {
+            black_box(exec.run(feed).metrics.outputs);
+        });
+        sharded.push((p, eps));
+    }
+    group.finish();
+    WorkloadReport {
+        name,
+        elements: feed.len(),
+        sequential_eps,
+        sharded,
+    }
+}
+
+fn write_report(reports: &[WorkloadReport]) {
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"throughput\",\n");
+    json.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    json.push_str(
+        "  \"note\": \"single-core container: sharded gains come from targeted punctuation \
+         routing (each eager purge cycle scans ~live/P candidates), not parallel hardware\",\n",
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        json.push_str(&format!("      \"elements\": {},\n", r.elements));
+        json.push_str(&format!(
+            "      \"sequential_eps\": {:.1},\n",
+            r.sequential_eps
+        ));
+        json.push_str("      \"sharded\": [\n");
+        for (j, (p, eps)) in r.sharded.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{ \"shards\": {}, \"eps\": {:.1}, \"speedup\": {:.2} }}{}\n",
+                p,
+                eps,
+                eps / r.sequential_eps,
+                if j + 1 < r.sharded.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      ]\n");
+        json.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, json).expect("write BENCH_throughput.json");
+    eprintln!("wrote {path}");
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let (aq, ar) = auction::auction_query();
+    let afeed = auction::generate(&AuctionConfig {
+        n_items: 400,
+        bids_per_item: 4,
+        concurrent: 96,
+        ..AuctionConfig::default()
+    });
+    let auction_report = run_workload(c, "auction", &aq, &ar, &afeed);
+
+    let (sq, sr) = sensor::sensor_query();
+    let (sfeed, _) = sensor::generate(&SensorConfig {
+        n_sensors: 16,
+        epochs: 40,
+        readings_per_epoch: 3,
+        ..SensorConfig::default()
+    });
+    let sensor_report = run_workload(c, "sensor", &sq, &sr, &sfeed);
+
+    write_report(&[auction_report, sensor_report]);
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -15,15 +15,12 @@ use cjq_bench::{enumeration, figures, growth, params, punct, scaling, window};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|i| {
-            let dir = args.get(i + 1).expect("--csv needs a directory").clone();
-            args.drain(i..=i + 1);
-            std::fs::create_dir_all(&dir).expect("create csv dir");
-            std::path::PathBuf::from(dir)
-        });
+    let csv_dir = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args.get(i + 1).expect("--csv needs a directory").clone();
+        args.drain(i..=i + 1);
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        std::path::PathBuf::from(dir)
+    });
     let args: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
     let write_csv = |name: &str, content: String| {
@@ -47,7 +44,9 @@ fn main() {
     }
     if want("e3") {
         println!("== E3: join-state growth, safe vs. unsafe plans (Fig. 5 query) ==");
-        println!("expected shape: safe MJoin flat; unsafe binary linear; query-scope purge rescues it");
+        println!(
+            "expected shape: safe MJoin flat; unsafe binary linear; query-scope purge rescues it"
+        );
         let rows = growth::run(&[50, 100, 200, 400, 800]);
         print!("{}", growth::render(&rows));
         write_csv("e3_state_growth.csv", growth::to_csv(&rows));
@@ -55,7 +54,9 @@ fn main() {
     }
     if want("e4") {
         println!("== E4: Plan Parameter I — all vs. minimal punctuation schemes ==");
-        println!("expected shape: all-schemes purge earlier (less data state) at more punctuation cost");
+        println!(
+            "expected shape: all-schemes purge earlier (less data state) at more punctuation cost"
+        );
         let rows = params::scheme_choice(400, 12);
         print!("{}", params::render_schemes(&rows));
         write_csv("e4_scheme_choice.csv", params::schemes_to_csv(&rows));
@@ -71,7 +72,9 @@ fn main() {
     }
     if want("e6") {
         println!("== E6: plan enumeration — safe vs. all plans ==");
-        println!("expected shape: full coverage => all plans safe; one bare stream => zero safe plans");
+        println!(
+            "expected shape: full coverage => all plans safe; one bare stream => zero safe plans"
+        );
         let rows = enumeration::run(&[3, 4, 5, 6, 7, 8], 5);
         print!("{}", enumeration::render(&rows));
         write_csv("e6_plan_enum.csv", enumeration::to_csv(&rows));

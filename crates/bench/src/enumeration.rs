@@ -49,27 +49,38 @@ pub fn run(sizes: &[usize], iters: usize) -> Vec<EnumRow> {
                 let mut s = PlanSpace::new(&q, &r);
                 std::hint::black_box(s.count_safe_plans());
             });
-            rows.push(EnumRow { n, coverage, all_plans, safe_plans, count_ns });
+            rows.push(EnumRow {
+                n,
+                coverage,
+                all_plans,
+                safe_plans,
+                count_ns,
+            });
         }
     }
     rows
 }
 
 fn table_data_render(rows: &[EnumRow]) -> (&'static [&'static str], Vec<Vec<String>>) {
-    let header: &'static [&'static str] = &["n", "coverage", "all plans", "safe plans", "count time (µs)"];
+    let header: &'static [&'static str] = &[
+        "n",
+        "coverage",
+        "all plans",
+        "safe plans",
+        "count time (µs)",
+    ];
     let data = rows
-
-            .iter()
-            .map(|r| {
-                vec![
-                    r.n.to_string(),
-                    r.coverage.to_string(),
-                    r.all_plans.to_string(),
-                    r.safe_plans.to_string(),
-                    format!("{:.1}", r.count_ns as f64 / 1e3),
-                ]
-            })
-            .collect::<Vec<_>>();
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.coverage.to_string(),
+                r.all_plans.to_string(),
+                r.safe_plans.to_string(),
+                format!("{:.1}", r.count_ns as f64 / 1e3),
+            ]
+        })
+        .collect::<Vec<_>>();
     (header, data)
 }
 

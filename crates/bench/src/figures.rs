@@ -20,7 +20,11 @@ use cjq_workload::auction::{self, AuctionConfig, BID};
 #[must_use]
 pub fn figure1() -> String {
     let (q, r) = auction::auction_query();
-    let cfg = AuctionConfig { n_items: 200, bids_per_item: 5, ..AuctionConfig::default() };
+    let cfg = AuctionConfig {
+        n_items: 200,
+        bids_per_item: 5,
+        ..AuctionConfig::default()
+    };
     let run = |with_puncts: bool| {
         let cfg = AuctionConfig {
             item_punctuations: with_puncts,
@@ -30,8 +34,14 @@ pub fn figure1() -> String {
         let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default())
             .unwrap()
             .with_groupby(
-                &[AttrRef { stream: BID, attr: AttrId(1) }],
-                Aggregate::Sum(AttrRef { stream: BID, attr: AttrId(2) }),
+                &[AttrRef {
+                    stream: BID,
+                    attr: AttrId(1),
+                }],
+                Aggregate::Sum(AttrRef {
+                    stream: BID,
+                    attr: AttrId(2),
+                }),
             );
         exec.run(&auction::generate(&cfg))
     };
@@ -59,7 +69,11 @@ pub fn figure2() -> String {
     let registered = Register::new(safe_r.clone())
         .register(safe_q)
         .expect("Fig. 5 query is admitted");
-    assert!(check_plan(registered.query(), &safe_r, registered.plan()).unwrap().safe);
+    assert!(
+        check_plan(registered.query(), &safe_r, registered.plan())
+            .unwrap()
+            .safe
+    );
 
     let (unsafe_q, unsafe_r) = fixtures::fig3();
     let rejection = Register::new(unsafe_r).register(unsafe_q).unwrap_err();
@@ -126,7 +140,11 @@ pub fn figure7() -> String {
     assert!(mjoin_safe);
 
     // Behavioral confirmation on a round-keyed feed.
-    let cfg = cjq_workload::keyed::KeyedConfig { rounds: 150, lag: 2, ..Default::default() };
+    let cfg = cjq_workload::keyed::KeyedConfig {
+        rounds: 150,
+        lag: 2,
+        ..Default::default()
+    };
     let feed = cjq_workload::keyed::generate(&q, &r, &cfg);
     let run = |plan: &Plan| {
         Executor::compile(&q, &r, plan, ExecConfig::default())

@@ -7,8 +7,8 @@
 
 use cjq_core::plan::Plan;
 use cjq_core::query::Cjq;
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::StreamId;
+use cjq_core::scheme::SchemeSet;
 use cjq_stream::exec::{ExecConfig, Executor};
 use cjq_stream::metrics::Metrics;
 use cjq_stream::purge::PurgeScope;
@@ -37,7 +37,12 @@ fn run_metrics(
     rounds: usize,
     punctuate: bool,
 ) -> Metrics {
-    let kcfg = KeyedConfig { rounds, lag: 2, punctuate, ..Default::default() };
+    let kcfg = KeyedConfig {
+        rounds,
+        lag: 2,
+        punctuate,
+        ..Default::default()
+    };
     let feed = keyed::generate(query, schemes, &kcfg);
     let mut exec = Executor::compile(query, schemes, plan, cfg).unwrap();
     // Track final-state-before-flush by pushing manually.
@@ -64,14 +69,27 @@ pub fn run(round_sizes: &[usize]) -> Vec<GrowthRow> {
     for &rounds in round_sizes {
         let configs: [(&'static str, &Plan, ExecConfig, bool); 4] = [
             ("safe MJoin", &mjoin, ExecConfig::default(), true),
-            ("unsafe binary (operator purge)", &binary, ExecConfig::default(), true),
+            (
+                "unsafe binary (operator purge)",
+                &binary,
+                ExecConfig::default(),
+                true,
+            ),
             (
                 "unsafe binary (query-scope purge)",
                 &binary,
-                ExecConfig { scope: PurgeScope::Query, ..ExecConfig::default() },
+                ExecConfig {
+                    scope: PurgeScope::Query,
+                    ..ExecConfig::default()
+                },
                 true,
             ),
-            ("safe MJoin, no punctuations", &mjoin, ExecConfig::default(), false),
+            (
+                "safe MJoin, no punctuations",
+                &mjoin,
+                ExecConfig::default(),
+                false,
+            ),
         ];
         for (label, plan, cfg, punctuate) in configs {
             let m = run_metrics(&q, &r, plan, cfg, rounds, punctuate);
@@ -88,20 +106,25 @@ pub fn run(round_sizes: &[usize]) -> Vec<GrowthRow> {
 }
 
 fn table_data_render(rows: &[GrowthRow]) -> (&'static [&'static str], Vec<Vec<String>>) {
-    let header: &'static [&'static str] = &["rounds", "configuration", "peak state", "final state", "outputs"];
+    let header: &'static [&'static str] = &[
+        "rounds",
+        "configuration",
+        "peak state",
+        "final state",
+        "outputs",
+    ];
     let data = rows
-
-            .iter()
-            .map(|r| {
-                vec![
-                    r.rounds.to_string(),
-                    r.config.to_string(),
-                    r.peak_state.to_string(),
-                    r.final_state.to_string(),
-                    r.outputs.to_string(),
-                ]
-            })
-            .collect::<Vec<_>>();
+        .iter()
+        .map(|r| {
+            vec![
+                r.rounds.to_string(),
+                r.config.to_string(),
+                r.peak_state.to_string(),
+                r.final_state.to_string(),
+                r.outputs.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
     (header, data)
 }
 

@@ -11,8 +11,8 @@
 
 use cjq_core::plan::Plan;
 use cjq_core::query::{Cjq, JoinPredicate};
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{Catalog, StreamSchema};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_stream::exec::{ExecConfig, Executor, PurgeCadence};
 use cjq_stream::source::Feed;
 use cjq_workload::keyed::{self, KeyedConfig};
@@ -77,7 +77,13 @@ pub fn scheme_choice(rounds: usize, slow_lag: usize) -> Vec<SchemeRow> {
     let lags_all: Vec<usize> = r_all
         .schemes()
         .iter()
-        .map(|s| if s.punctuatable()[0].0 == 0 { slow_lag } else { 1 })
+        .map(|s| {
+            if s.punctuatable()[0].0 == 0 {
+                slow_lag
+            } else {
+                1
+            }
+        })
         .collect();
     let lags_min: Vec<usize> = vec![slow_lag; r_min.len()];
 
@@ -105,8 +111,18 @@ pub fn scheme_choice(rounds: usize, slow_lag: usize) -> Vec<SchemeRow> {
     let feed_all = keyed::generate_with_scheme_lags(&q, &r_all, rounds, &lags_all, 1);
     let feed_min = keyed::generate_with_scheme_lags(&q, &r_min, rounds, &lags_min, 1);
     vec![
-        run(&r_all, &lags_all, &feed_all, "all schemes (redundant lag 1)"),
-        run(&r_min, &lags_min, &feed_min, "minimal schemes (core lag only)"),
+        run(
+            &r_all,
+            &lags_all,
+            &feed_all,
+            "all schemes (redundant lag 1)",
+        ),
+        run(
+            &r_min,
+            &lags_min,
+            &feed_min,
+            "minimal schemes (core lag only)",
+        ),
     ]
 }
 
@@ -127,14 +143,21 @@ pub struct CadenceRow {
 #[must_use]
 pub fn purge_cadence(rounds: usize) -> Vec<CadenceRow> {
     let (q, r) = cjq_core::fixtures::fig5();
-    let kcfg = KeyedConfig { rounds, lag: 4, ..Default::default() };
+    let kcfg = KeyedConfig {
+        rounds,
+        lag: 4,
+        ..Default::default()
+    };
     let feed = keyed::generate(&q, &r, &kcfg);
     let mut rows = Vec::new();
     for (cadence, label) in [
         (PurgeCadence::Eager, "eager".to_owned()),
         (PurgeCadence::Lazy { batch: 64 }, "lazy(64)".to_owned()),
         (PurgeCadence::Lazy { batch: 512 }, "lazy(512)".to_owned()),
-        (PurgeCadence::Adaptive { initial: 256 }, "adaptive(256)".to_owned()),
+        (
+            PurgeCadence::Adaptive { initial: 256 },
+            "adaptive(256)".to_owned(),
+        ),
         (PurgeCadence::Never, "never".to_owned()),
     ] {
         let cfg = ExecConfig {
@@ -156,20 +179,25 @@ pub fn purge_cadence(rounds: usize) -> Vec<CadenceRow> {
 }
 
 fn table_data_render_schemes(rows: &[SchemeRow]) -> (&'static [&'static str], Vec<Vec<String>>) {
-    let header: &'static [&'static str] = &["configuration", "schemes", "puncts in", "peak state", "peak punct store"];
+    let header: &'static [&'static str] = &[
+        "configuration",
+        "schemes",
+        "puncts in",
+        "peak state",
+        "peak punct store",
+    ];
     let data = rows
-
-            .iter()
-            .map(|r| {
-                vec![
-                    r.config.to_string(),
-                    r.schemes_used.to_string(),
-                    r.puncts_in.to_string(),
-                    r.peak_state.to_string(),
-                    r.peak_punct.to_string(),
-                ]
-            })
-            .collect::<Vec<_>>();
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                r.schemes_used.to_string(),
+                r.puncts_in.to_string(),
+                r.peak_state.to_string(),
+                r.peak_punct.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
     (header, data)
 }
 
@@ -188,19 +216,23 @@ pub fn schemes_to_csv(rows: &[SchemeRow]) -> String {
 }
 
 fn table_data_render_cadence(rows: &[CadenceRow]) -> (&'static [&'static str], Vec<Vec<String>>) {
-    let header: &'static [&'static str] = &["cadence", "peak state", "purge cycles", "throughput (elem/s)"];
+    let header: &'static [&'static str] = &[
+        "cadence",
+        "peak state",
+        "purge cycles",
+        "throughput (elem/s)",
+    ];
     let data = rows
-
-            .iter()
-            .map(|r| {
-                vec![
-                    r.cadence.clone(),
-                    r.peak_state.to_string(),
-                    r.purge_cycles.to_string(),
-                    format!("{:.0}", r.throughput),
-                ]
-            })
-            .collect::<Vec<_>>();
+        .iter()
+        .map(|r| {
+            vec![
+                r.cadence.clone(),
+                r.peak_state.to_string(),
+                r.purge_cycles.to_string(),
+                format!("{:.0}", r.throughput),
+            ]
+        })
+        .collect::<Vec<_>>();
     (header, data)
 }
 
@@ -228,7 +260,10 @@ mod tests {
         let all = &rows[0];
         let min = &rows[1];
         assert!(all.schemes_used > min.schemes_used);
-        assert!(all.puncts_in > min.puncts_in, "all-schemes processes more punctuations");
+        assert!(
+            all.puncts_in > min.puncts_in,
+            "all-schemes processes more punctuations"
+        );
         assert!(
             all.peak_state < min.peak_state,
             "redundant fast schemes purge earlier: {} vs {}",

@@ -35,11 +35,18 @@ pub struct PunctRow {
 #[must_use]
 pub fn auction_rows(n_items: usize) -> Vec<PunctRow> {
     let (q, r) = auction::auction_query();
-    let cfg = AuctionConfig { n_items, bids_per_item: 4, ..AuctionConfig::default() };
+    let cfg = AuctionConfig {
+        n_items,
+        bids_per_item: 4,
+        ..AuctionConfig::default()
+    };
     let feed = auction::generate(&cfg);
     let mut rows = Vec::new();
     for (label, purge_punct) in [("keep forever", false), ("§5.1 punctuation purging", true)] {
-        let exec_cfg = ExecConfig { purge_punctuations: purge_punct, ..ExecConfig::default() };
+        let exec_cfg = ExecConfig {
+            purge_punctuations: purge_punct,
+            ..ExecConfig::default()
+        };
         let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), exec_cfg).unwrap();
         let m = exec.run(&feed).metrics;
         rows.push(PunctRow {
@@ -71,7 +78,10 @@ pub fn network_rows(n_flows: usize) -> Vec<PunctRow> {
     let feed = network::generate(&cfg);
     let mut rows = Vec::new();
     for (label, lifespan) in [("keep forever", None), ("lifespan 120", Some(120u64))] {
-        let exec_cfg = ExecConfig { punct_lifespan: lifespan, ..ExecConfig::default() };
+        let exec_cfg = ExecConfig {
+            punct_lifespan: lifespan,
+            ..ExecConfig::default()
+        };
         let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), exec_cfg).unwrap();
         let m = exec.run(&feed).metrics;
         rows.push(PunctRow {
@@ -87,21 +97,27 @@ pub fn network_rows(n_flows: usize) -> Vec<PunctRow> {
 }
 
 fn table_data_render(rows: &[PunctRow]) -> (&'static [&'static str], Vec<Vec<String>>) {
-    let header: &'static [&'static str] = &["configuration", "elements", "peak punct", "final punct", "dropped", "rejected tuples"];
+    let header: &'static [&'static str] = &[
+        "configuration",
+        "elements",
+        "peak punct",
+        "final punct",
+        "dropped",
+        "rejected tuples",
+    ];
     let data = rows
-
-            .iter()
-            .map(|r| {
-                vec![
-                    r.config.clone(),
-                    r.elements.to_string(),
-                    r.peak_punct.to_string(),
-                    r.final_punct.to_string(),
-                    r.dropped.to_string(),
-                    r.violations.to_string(),
-                ]
-            })
-            .collect::<Vec<_>>();
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.elements.to_string(),
+                r.peak_punct.to_string(),
+                r.final_punct.to_string(),
+                r.dropped.to_string(),
+                r.violations.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
     (header, data)
 }
 
@@ -110,21 +126,23 @@ fn table_data_render(rows: &[PunctRow]) -> (&'static [&'static str], Vec<Vec<Str
 /// instead of one entry per closed key.
 #[must_use]
 pub fn trades_rows(ticks: usize) -> Vec<PunctRow> {
-    use cjq_core::scheme::{PunctuationScheme, SchemeSet};
     use cjq_core::schema::AttrId;
+    use cjq_core::scheme::{PunctuationScheme, SchemeSet};
     use cjq_core::value::Value;
     use cjq_stream::element::StreamElement;
     use cjq_workload::trades::{self, TradesConfig};
 
-    let cfg = TradesConfig { ticks, ..TradesConfig::default() };
+    let cfg = TradesConfig {
+        ticks,
+        ..TradesConfig::default()
+    };
     let mut rows = Vec::new();
 
     // Heartbeat (ordered) configuration.
     {
         let (q, r) = trades::trades_query();
         let (feed, _) = trades::generate(&cfg);
-        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default())
-            .unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let m = exec.run(&feed).metrics;
         rows.push(PunctRow {
             config: "trades / heartbeats (ordered ts ≤ T)".into(),
@@ -144,7 +162,10 @@ pub fn trades_rows(ticks: usize) -> Vec<PunctRow> {
             PunctuationScheme::on(0, &[0]).unwrap(),
             PunctuationScheme::on(1, &[0]).unwrap(),
         ]);
-        let base = TradesConfig { heartbeats: false, ..cfg };
+        let base = TradesConfig {
+            heartbeats: false,
+            ..cfg
+        };
         let (plain, _) = trades::generate(&base);
         // Rebuild the feed, inserting per-tick equality punctuations with the
         // same lateness.
@@ -170,8 +191,7 @@ pub fn trades_rows(ticks: usize) -> Vec<PunctRow> {
             }
             feed.push(e.clone());
         }
-        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default())
-            .unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let m = exec.run(&feed).metrics;
         rows.push(PunctRow {
             config: "trades / per-tick equality punctuations".into(),
@@ -223,7 +243,10 @@ mod tests {
         let rows = network_rows(48);
         let forever = &rows[0];
         let lifespan = &rows[1];
-        assert!(forever.violations > 0, "cycling seqnos break forever semantics");
+        assert!(
+            forever.violations > 0,
+            "cycling seqnos break forever semantics"
+        );
         assert_eq!(lifespan.violations, 0);
         assert!(lifespan.dropped > 0);
         assert!(lifespan.peak_punct <= forever.peak_punct);
@@ -241,7 +264,11 @@ mod tests {
         let eq = &rows[1];
         assert_eq!(hb.violations, 0);
         assert_eq!(eq.violations, 0);
-        assert!(hb.peak_punct <= 2, "one threshold per stream: {}", hb.peak_punct);
+        assert!(
+            hb.peak_punct <= 2,
+            "one threshold per stream: {}",
+            hb.peak_punct
+        );
         assert!(
             eq.peak_punct > 10 * hb.peak_punct,
             "equality punctuations accumulate: {} vs {}",

@@ -89,7 +89,14 @@ pub fn run(sizes: &[usize], iters: usize) -> Vec<ScalingRow> {
             for safe in [true, false] {
                 let (q, r) = instance(n, topology, safe, false);
                 let (pg_ns, gpg_ns, tpg_ns) = measure(&q, &r, iters);
-                rows.push(ScalingRow { n, topology: label, safe, pg_ns, gpg_ns, tpg_ns });
+                rows.push(ScalingRow {
+                    n,
+                    topology: label,
+                    safe,
+                    pg_ns,
+                    gpg_ns,
+                    tpg_ns,
+                });
             }
         }
     }
@@ -97,21 +104,27 @@ pub fn run(sizes: &[usize], iters: usize) -> Vec<ScalingRow> {
 }
 
 fn table_data_render(rows: &[ScalingRow]) -> (&'static [&'static str], Vec<Vec<String>>) {
-    let header: &'static [&'static str] = &["n", "topology", "safe", "PG (µs)", "GPG fixpoint (µs)", "TPG (µs)"];
+    let header: &'static [&'static str] = &[
+        "n",
+        "topology",
+        "safe",
+        "PG (µs)",
+        "GPG fixpoint (µs)",
+        "TPG (µs)",
+    ];
     let data = rows
-
-            .iter()
-            .map(|r| {
-                vec![
-                    r.n.to_string(),
-                    r.topology.to_string(),
-                    r.safe.to_string(),
-                    format!("{:.1}", r.pg_ns as f64 / 1e3),
-                    format!("{:.1}", r.gpg_ns as f64 / 1e3),
-                    format!("{:.1}", r.tpg_ns as f64 / 1e3),
-                ]
-            })
-            .collect::<Vec<_>>();
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.topology.to_string(),
+                r.safe.to_string(),
+                format!("{:.1}", r.pg_ns as f64 / 1e3),
+                format!("{:.1}", r.gpg_ns as f64 / 1e3),
+                format!("{:.1}", r.tpg_ns as f64 / 1e3),
+            ]
+        })
+        .collect::<Vec<_>>();
     (header, data)
 }
 

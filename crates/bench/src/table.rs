@@ -42,7 +42,11 @@ pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
             s.to_owned()
         }
     }
-    let mut out = header.iter().map(|h| field(h)).collect::<Vec<_>>().join(",");
+    let mut out = header
+        .iter()
+        .map(|h| field(h))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
     for row in rows {
         assert_eq!(row.len(), header.len(), "row arity mismatch");

@@ -30,8 +30,8 @@ use std::collections::{HashMap, HashSet};
 use crate::error::{CoreError, CoreResult};
 use crate::graph::DiGraph;
 use crate::query::JoinPredicate;
-use crate::scheme::SchemeSet;
 use crate::schema::{Catalog, StreamId};
+use crate::scheme::SchemeSet;
 
 /// One disjunctive group: `alt₁ ∨ alt₂ ∨ ...`, all between one stream pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,11 +184,7 @@ pub fn disjunctive_pg(query: &DisjunctiveCjq, schemes: &SchemeSet) -> DiGraph {
 /// Purgeability of one join state (Theorem 1 lifted to disjunction):
 /// `stream` reaches every other vertex in the disjunctive punctuation graph.
 #[must_use]
-pub fn stream_purgeable(
-    query: &DisjunctiveCjq,
-    schemes: &SchemeSet,
-    stream: StreamId,
-) -> bool {
+pub fn stream_purgeable(query: &DisjunctiveCjq, schemes: &SchemeSet, stream: StreamId) -> bool {
     let g = disjunctive_pg(query, schemes);
     stream.0 < g.n() && g.reachable_from(stream.0).len() == g.n()
 }
@@ -208,8 +204,8 @@ pub fn is_query_safe(query: &DisjunctiveCjq, schemes: &SchemeSet) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::PunctuationScheme;
     use crate::schema::StreamSchema;
+    use crate::scheme::PunctuationScheme;
 
     /// Two streams joined by `a.x = b.x ∨ a.y = b.y`.
     fn or_query() -> DisjunctiveCjq {
@@ -346,8 +342,7 @@ mod tests {
         let g = DisjunctiveGroup::new(vec![JoinPredicate::between(0, 0, 1, 0).unwrap()]).unwrap();
         assert!(DisjunctiveCjq::new(cat.clone(), vec![g.clone()]).is_err());
         // Out-of-range attribute.
-        let bad =
-            DisjunctiveGroup::new(vec![JoinPredicate::between(0, 7, 1, 0).unwrap()]).unwrap();
+        let bad = DisjunctiveGroup::new(vec![JoinPredicate::between(0, 7, 1, 0).unwrap()]).unwrap();
         assert!(DisjunctiveCjq::new(cat, vec![bad, g]).is_err());
     }
 }

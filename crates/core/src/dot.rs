@@ -33,8 +33,7 @@ pub fn join_graph(query: &Cjq, jg: &JoinGraph) -> String {
         for &b in &jg.nodes()[i + 1..] {
             let preds = jg.predicates_between(a, b);
             if !preds.is_empty() {
-                let label: Vec<String> =
-                    preds.iter().map(|p| query.display_predicate(p)).collect();
+                let label: Vec<String> = preds.iter().map(|p| query.display_predicate(p)).collect();
                 let _ = writeln!(
                     out,
                     "  {} -- {} [label=\"{}\"];",
@@ -97,13 +96,16 @@ pub fn generalized_punctuation_graph(query: &Cjq, gpg: &GeneralizedPunctuationGr
         sources.sort_unstable();
         sources.dedup();
         for s in sources {
-            let _ = writeln!(out, "  {} -> {junction} [style=dashed, arrowhead=none];", s.0);
+            let _ = writeln!(
+                out,
+                "  {} -> {junction} [style=dashed, arrowhead=none];",
+                s.0
+            );
         }
         let _ = writeln!(
             out,
             "  {junction} -> {} [label=\"{}\"];",
-            edge.target.0,
-            edge.scheme
+            edge.target.0, edge.scheme
         );
     }
     out.push_str("}\n");

@@ -69,7 +69,9 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("bid") && msg.contains("foo"));
-        assert!(CoreError::UnknownStream("x".into()).to_string().contains('x'));
+        assert!(CoreError::UnknownStream("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! Each fixture returns `(query, scheme set)` matching a figure of the paper.
 
 use crate::query::{Cjq, JoinPredicate};
-use crate::scheme::{PunctuationScheme, SchemeSet};
 use crate::schema::{Catalog, StreamSchema};
+use crate::scheme::{PunctuationScheme, SchemeSet};
 
 /// Example 1 / Figure 1: the online-auction binary join
 /// `item(sellerid, itemid, name, initialprice) ⋈ bid(bidderid, itemid, increase)`

@@ -1,0 +1,147 @@
+//! Fast non-cryptographic hashing for hot-path hash maps.
+//!
+//! Stream-join probe indexes, punctuation-store entries, and purge-chain
+//! scratch maps hash [`crate::value::Value`] keys on every element. The
+//! standard library's SipHash is DoS-resistant but ~5–10× slower than needed
+//! for in-process, non-adversarial keys. This module implements the Fx hash
+//! function (the multiply-xor-rotate hash used by rustc's `FxHashMap`)
+//! locally, since the build environment cannot pull `rustc-hash`/`ahash`
+//! from a registry.
+//!
+//! Use [`FxHashMap`]/[`FxHashSet`] wherever the keys come from stream data;
+//! keep `std::collections::HashMap` for anything keyed by external input
+//! crossing a trust boundary (nothing in this workspace currently is).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiplicative constant from the Fibonacci-hashing family (same as rustc's).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: folds machine words with `rotate ^ word * SEED`.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (word, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(word.try_into().unwrap())));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_to_hash(v as u64);
+        self.add_to_hash((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hash function.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hash function.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash one value with the Fx function (used for shard routing).
+#[inline]
+#[must_use]
+pub fn fx_hash_one<T: Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(fx_hash_one(&42u64), fx_hash_one(&42u64));
+        assert_eq!(fx_hash_one(&"abc"), fx_hash_one(&"abc"));
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+    }
+
+    #[test]
+    fn maps_behave_like_std() {
+        let mut m: FxHashMap<&str, i32> = FxHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        m.insert("a", 3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["a"], 3);
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i % 97);
+        }
+        assert_eq!(s.len(), 97);
+    }
+
+    #[test]
+    fn byte_stream_chunking_is_consistent() {
+        // write() must consume any length without panicking and stay
+        // deterministic across calls.
+        for len in 0..32 {
+            let bytes: Vec<u8> = (0..len).collect();
+            let mut h1 = FxHasher::default();
+            h1.write(&bytes);
+            let mut h2 = FxHasher::default();
+            h2.write(&bytes);
+            assert_eq!(h1.finish(), h2.finish());
+        }
+    }
+}

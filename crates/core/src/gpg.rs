@@ -24,8 +24,8 @@ use std::collections::HashSet;
 
 use crate::pg::{EdgeReason, PunctuationGraph};
 use crate::query::Cjq;
-use crate::scheme::{PunctuationScheme, SchemeSet};
 use crate::schema::{AttrId, StreamId};
+use crate::scheme::{PunctuationScheme, SchemeSet};
 
 /// One punctuatable attribute of a hyper edge and the partner streams that can
 /// supply its values.
@@ -132,7 +132,11 @@ impl GeneralizedPunctuationGraph {
                     }
                     requirements.push(AttrRequirement { attr, candidates });
                 }
-                let edge = HyperEdge { target: s, scheme: scheme.clone(), requirements };
+                let edge = HyperEdge {
+                    target: s,
+                    scheme: scheme.clone(),
+                    requirements,
+                };
                 if !hyper.contains(&edge) {
                     hyper.push(edge);
                 }
@@ -190,7 +194,11 @@ impl GeneralizedPunctuationGraph {
                     let v = self.pg.streams()[vi];
                     if reached.insert(v) {
                         let reason = self.pg.edge_reasons(u, v)[0];
-                        trace.push(ReachStep::Plain { added: v, from: u, reason });
+                        trace.push(ReachStep::Plain {
+                            added: v,
+                            from: u,
+                            reason,
+                        });
                         frontier.push(v);
                     }
                 }
@@ -212,7 +220,11 @@ impl GeneralizedPunctuationGraph {
                         })
                         .collect();
                     reached.insert(edge.target);
-                    trace.push(ReachStep::Hyper { added: edge.target, edge: ei, chosen });
+                    trace.push(ReachStep::Hyper {
+                        added: edge.target,
+                        edge: ei,
+                        chosen,
+                    });
                     frontier.push(edge.target);
                     progressed = true;
                 }
@@ -321,7 +333,11 @@ mod tests {
         // S2 enters via the plain edge S1 -> S2, then S3 via {S1,S2} -> S3.
         assert!(matches!(
             trace[0],
-            ReachStep::Plain { added: StreamId(1), from: StreamId(0), .. }
+            ReachStep::Plain {
+                added: StreamId(1),
+                from: StreamId(0),
+                ..
+            }
         ));
         match &trace[1] {
             ReachStep::Hyper { added, chosen, .. } => {
@@ -426,6 +442,12 @@ mod tests {
         );
         // The hyper step must come last (after both S2 and S3 are in R).
         let trace = gpg.reach_trace(StreamId(0));
-        assert!(matches!(trace.last(), Some(ReachStep::Hyper { added: StreamId(3), .. })));
+        assert!(matches!(
+            trace.last(),
+            Some(ReachStep::Hyper {
+                added: StreamId(3),
+                ..
+            })
+        ));
     }
 }

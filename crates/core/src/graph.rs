@@ -15,7 +15,9 @@ impl DiGraph {
     /// Creates a graph with `n` nodes and no edges.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        DiGraph { adj: vec![Vec::new(); n] }
+        DiGraph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.

@@ -226,7 +226,10 @@ mod tests {
         let jg = JoinGraph::of_query(&fig3());
         // From S1: S2 hangs off S1, S3 hangs off S2.
         let t = jg.spanning_tree(StreamId(0)).unwrap();
-        assert_eq!(t, vec![(StreamId(1), StreamId(0)), (StreamId(2), StreamId(1))]);
+        assert_eq!(
+            t,
+            vec![(StreamId(1), StreamId(0)), (StreamId(2), StreamId(1))]
+        );
         // From S2: both others are direct children.
         let t = jg.spanning_tree(StreamId(1)).unwrap();
         assert_eq!(t.len(), 2);

@@ -47,6 +47,7 @@ pub mod disjunctive;
 pub mod dot;
 pub mod error;
 pub mod fixtures;
+pub mod fxhash;
 pub mod gpg;
 pub mod graph;
 pub mod join_graph;
@@ -56,8 +57,8 @@ pub mod punctuation;
 pub mod purge_plan;
 pub mod query;
 pub mod safety;
-pub mod scheme;
 pub mod schema;
+pub mod scheme;
 pub mod tpg;
 pub mod value;
 
@@ -72,8 +73,8 @@ pub mod prelude {
     pub use crate::purge_plan::{derive_recipe, PurgeRecipe, PurgeStep, ValueBinding};
     pub use crate::query::{Cjq, JoinPredicate};
     pub use crate::safety::{check_query, is_query_safe, CheckMethod, SafetyReport};
-    pub use crate::scheme::{PunctuationScheme, SchemeSet};
     pub use crate::schema::{AttrId, AttrRef, Catalog, StreamId, StreamSchema};
+    pub use crate::scheme::{PunctuationScheme, SchemeSet};
     pub use crate::tpg::{transform_query, TransformedPunctuationGraph};
-    pub use crate::value::Value;
+    pub use crate::value::{Sym, Value};
 }

@@ -20,8 +20,8 @@ use std::collections::HashMap;
 
 use crate::graph::DiGraph;
 use crate::query::{Cjq, JoinPredicate};
-use crate::scheme::SchemeSet;
 use crate::schema::StreamId;
+use crate::scheme::SchemeSet;
 
 /// Why a punctuation-graph edge exists: the predicate that relates the two
 /// streams and the punctuatable endpoint that licensed the edge.
@@ -87,7 +87,12 @@ impl PunctuationGraph {
                 });
             }
         }
-        PunctuationGraph { streams, index, graph, reasons }
+        PunctuationGraph {
+            streams,
+            index,
+            graph,
+            reasons,
+        }
     }
 
     /// The vertices (streams), sorted ascending.
@@ -170,8 +175,8 @@ impl PunctuationGraph {
 mod tests {
     use super::*;
     use crate::query::JoinPredicate;
-    use crate::scheme::PunctuationScheme;
     use crate::schema::{Catalog, StreamSchema};
+    use crate::scheme::PunctuationScheme;
 
     use crate::fixtures::fig5;
 

@@ -18,8 +18,8 @@ use std::fmt;
 use crate::error::{CoreError, CoreResult};
 use crate::query::Cjq;
 use crate::safety::{self, SafetyReport};
-use crate::scheme::SchemeSet;
 use crate::schema::StreamId;
+use crate::scheme::SchemeSet;
 
 /// A node of an execution-plan tree.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -54,7 +54,10 @@ impl Plan {
     /// `left_deep(&[a, b, c])` builds `((a ⋈ b) ⋈ c)`.
     #[must_use]
     pub fn left_deep(order: &[StreamId]) -> Plan {
-        assert!(order.len() >= 2, "left-deep plan needs at least two streams");
+        assert!(
+            order.len() >= 2,
+            "left-deep plan needs at least two streams"
+        );
         let mut plan = Plan::Join(vec![Plan::Leaf(order[0]), Plan::Leaf(order[1])]);
         for &s in &order[2..] {
             plan = Plan::Join(vec![plan, Plan::Leaf(s)]);
@@ -98,9 +101,7 @@ impl Plan {
     pub fn operator_count(&self) -> usize {
         match self {
             Plan::Leaf(_) => 0,
-            Plan::Join(children) => {
-                1 + children.iter().map(Plan::operator_count).sum::<usize>()
-            }
+            Plan::Join(children) => 1 + children.iter().map(Plan::operator_count).sum::<usize>(),
         }
     }
 
@@ -205,8 +206,8 @@ pub fn check_plan(query: &Cjq, schemes: &SchemeSet, plan: &Plan) -> CoreResult<P
 mod tests {
     use super::*;
     use crate::query::JoinPredicate;
-    use crate::scheme::PunctuationScheme;
     use crate::schema::{Catalog, StreamSchema};
+    use crate::scheme::PunctuationScheme;
 
     fn fig5() -> (Cjq, SchemeSet) {
         let mut cat = Catalog::new();
@@ -340,14 +341,12 @@ mod tests {
             ],
         )
         .unwrap();
-        let r = SchemeSet::from_schemes(
-            (0..4).flat_map(|s| {
-                [
-                    PunctuationScheme::on(s, &[0]).unwrap(),
-                    PunctuationScheme::on(s, &[1]).unwrap(),
-                ]
-            }),
-        );
+        let r = SchemeSet::from_schemes((0..4).flat_map(|s| {
+            [
+                PunctuationScheme::on(s, &[0]).unwrap(),
+                PunctuationScheme::on(s, &[1]).unwrap(),
+            ]
+        }));
         let bushy = Plan::join(vec![
             Plan::join(vec![Plan::leaf(0), Plan::leaf(1)]),
             Plan::join(vec![Plan::leaf(2), Plan::leaf(3)]),

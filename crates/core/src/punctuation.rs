@@ -111,14 +111,10 @@ impl Punctuation {
     /// Builds a punctuation that is all-wildcard except for the given
     /// `(attribute, value)` constants.
     #[must_use]
-    pub fn with_constants(
-        stream: StreamId,
-        arity: usize,
-        constants: &[(AttrId, Value)],
-    ) -> Self {
+    pub fn with_constants(stream: StreamId, arity: usize, constants: &[(AttrId, Value)]) -> Self {
         let mut patterns = vec![Pattern::Wildcard; arity];
         for (attr, value) in constants {
-            patterns[attr.0] = Pattern::Constant(value.clone());
+            patterns[attr.0] = Pattern::Constant(*value);
         }
         Punctuation { stream, patterns }
     }
@@ -152,9 +148,10 @@ impl Punctuation {
 
     /// The attributes constrained with constants (the non-`*` positions).
     pub fn constant_attrs(&self) -> impl Iterator<Item = (AttrId, &Value)> {
-        self.patterns.iter().enumerate().filter_map(|(i, p)| {
-            p.constant().map(|v| (AttrId(i), v))
-        })
+        self.patterns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.constant().map(|v| (AttrId(i), v)))
     }
 
     /// Whether this punctuation subsumes `other` (forbids at least as much):

@@ -12,8 +12,8 @@
 
 use crate::gpg::{GeneralizedPunctuationGraph, ReachStep};
 use crate::query::Cjq;
-use crate::scheme::{PunctuationScheme, SchemeSet};
 use crate::schema::{AttrId, StreamId};
+use crate::scheme::{PunctuationScheme, SchemeSet};
 
 /// Where the values for one punctuatable attribute of a purge step come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,7 +148,11 @@ pub fn derive_port_recipe(
     let steps = trace
         .iter()
         .map(|step| match step {
-            ReachStep::Plain { added, from, reason } => {
+            ReachStep::Plain {
+                added,
+                from,
+                reason,
+            } => {
                 // The plain edge was licensed by a single-attribute scheme on
                 // `added` covering the predicate's endpoint.
                 let scheme = schemes
@@ -171,7 +175,11 @@ pub fn derive_port_recipe(
                     }],
                 }
             }
-            ReachStep::Hyper { added, edge, chosen } => {
+            ReachStep::Hyper {
+                added,
+                edge,
+                chosen,
+            } => {
                 let hyper = &gpg.hyper_edges()[*edge];
                 let bindings = chosen
                     .iter()
@@ -186,10 +194,18 @@ pub fn derive_port_recipe(
                             .and_then(|p| p.endpoint_opposite(*added))
                             .expect("hyper requirement implies such a predicate")
                             .attr;
-                        ValueBinding { target_attr, source: partner, source_attr }
+                        ValueBinding {
+                            target_attr,
+                            source: partner,
+                            source_attr,
+                        }
                     })
                     .collect();
-                PurgeStep { target: *added, scheme: hyper.scheme.clone(), bindings }
+                PurgeStep {
+                    target: *added,
+                    scheme: hyper.scheme.clone(),
+                    bindings,
+                }
             }
         })
         .collect();
@@ -304,12 +320,20 @@ pub fn derive_port_recipe_weighted(
                         .and_then(|p| p.endpoint_opposite(edge.target))
                         .expect("requirement implies predicate")
                         .attr;
-                    ValueBinding { target_attr, source: partner, source_attr }
+                    ValueBinding {
+                        target_attr,
+                        source: partner,
+                        source_attr,
+                    }
                 })
                 .collect();
             consider(
                 scheme_weight(&edge.scheme),
-                PurgeStep { target: edge.target, scheme: edge.scheme.clone(), bindings },
+                PurgeStep {
+                    target: edge.target,
+                    scheme: edge.scheme.clone(),
+                    bindings,
+                },
             );
         }
         let (_, step) = best?; // no usable step left: not purgeable
@@ -447,7 +471,11 @@ mod tests {
 
     #[test]
     fn weighted_matches_unweighted_purgeability() {
-        for (q, r) in [crate::fixtures::fig3(), crate::fixtures::fig5(), crate::fixtures::fig8()] {
+        for (q, r) in [
+            crate::fixtures::fig3(),
+            crate::fixtures::fig5(),
+            crate::fixtures::fig8(),
+        ] {
             let streams: Vec<StreamId> = q.stream_ids().collect();
             let uniform = vec![1.0; r.len()];
             for s in q.stream_ids() {

@@ -112,7 +112,10 @@ impl Cjq {
                 )));
             }
         }
-        let q = Cjq { catalog, predicates };
+        let q = Cjq {
+            catalog,
+            predicates,
+        };
         if q.n_streams() > 1 && !q.is_connected() {
             return Err(CoreError::InvalidQuery(
                 "join graph is not connected (cross products are not supported)".into(),
@@ -310,7 +313,10 @@ mod tests {
         assert_eq!(q.join_attrs(StreamId(1)), vec![AttrId(0), AttrId(1)]); // S2.B, S2.C
         assert_eq!(q.partners_of(StreamId(1), AttrId(0)), vec![StreamId(0)]);
         assert_eq!(q.partners_of(StreamId(1), AttrId(1)), vec![StreamId(2)]);
-        assert_eq!(q.partners_of(StreamId(1), AttrId(9)), Vec::<StreamId>::new());
+        assert_eq!(
+            q.partners_of(StreamId(1), AttrId(9)),
+            Vec::<StreamId>::new()
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 use crate::gpg::GeneralizedPunctuationGraph;
 use crate::pg::PunctuationGraph;
 use crate::query::Cjq;
-use crate::scheme::SchemeSet;
 use crate::schema::StreamId;
+use crate::scheme::SchemeSet;
 use crate::tpg;
 
 /// Which algorithm produced a [`SafetyReport`].
@@ -94,8 +94,7 @@ impl SafetyReport {
             if p.purgeable {
                 let _ = writeln!(out, "  {}: purgeable", name(p.stream));
             } else {
-                let blockers: Vec<String> =
-                    p.unreachable.iter().map(|s| name(*s)).collect();
+                let blockers: Vec<String> = p.unreachable.iter().map(|s| name(*s)).collect();
                 let _ = writeln!(
                     out,
                     "  {}: NOT purgeable — no punctuations can guard it against \
@@ -193,15 +192,19 @@ pub fn check_operator(query: &Cjq, schemes: &SchemeSet, streams: &[StreamId]) ->
         is_operator_purgeable(query, schemes, streams),
         "Theorem 5: fixpoint and TPG checks must agree"
     );
-    SafetyReport { safe, method, per_stream }
+    SafetyReport {
+        safe,
+        method,
+        per_stream,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::query::JoinPredicate;
-    use crate::scheme::PunctuationScheme;
     use crate::schema::{Catalog, StreamSchema};
+    use crate::scheme::PunctuationScheme;
 
     /// The auction example (Example 1): item ⋈ bid on itemid.
     fn auction() -> Cjq {

@@ -156,7 +156,10 @@ impl Catalog {
     /// Looks up a stream by name.
     #[must_use]
     pub fn stream_by_name(&self, name: &str) -> Option<StreamId> {
-        self.streams.iter().position(|s| s.name() == name).map(StreamId)
+        self.streams
+            .iter()
+            .position(|s| s.name() == name)
+            .map(StreamId)
     }
 
     /// Iterates over `(StreamId, schema)` pairs.
@@ -179,7 +182,10 @@ impl Catalog {
                 stream: stream.to_owned(),
                 attr: attr.to_owned(),
             })?;
-        Ok(AttrRef { stream: sid, attr: aid })
+        Ok(AttrRef {
+            stream: sid,
+            attr: aid,
+        })
     }
 
     /// Validates that `r` points to an existing stream/attribute.
@@ -245,7 +251,13 @@ mod tests {
         assert_eq!(cat.len(), 2);
         assert_eq!(cat.stream_by_name("bid"), Some(bid));
         let r = cat.resolve("item", "itemid").unwrap();
-        assert_eq!(r, AttrRef { stream: item, attr: AttrId(1) });
+        assert_eq!(
+            r,
+            AttrRef {
+                stream: item,
+                attr: AttrId(1)
+            }
+        );
         assert!(cat.resolve("item", "nope").is_err());
         assert!(cat.resolve("nope", "itemid").is_err());
         assert_eq!(cat.display_ref(r), "item.itemid");
@@ -255,10 +267,23 @@ mod tests {
     fn catalog_check_ref() {
         let mut cat = Catalog::new();
         let s = cat.add_stream(abc());
-        assert!(cat.check_ref(AttrRef { stream: s, attr: AttrId(2) }).is_ok());
-        assert!(cat.check_ref(AttrRef { stream: s, attr: AttrId(3) }).is_err());
         assert!(cat
-            .check_ref(AttrRef { stream: StreamId(5), attr: AttrId(0) })
+            .check_ref(AttrRef {
+                stream: s,
+                attr: AttrId(2)
+            })
+            .is_ok());
+        assert!(cat
+            .check_ref(AttrRef {
+                stream: s,
+                attr: AttrId(3)
+            })
+            .is_err());
+        assert!(cat
+            .check_ref(AttrRef {
+                stream: StreamId(5),
+                attr: AttrId(0)
+            })
             .is_err());
     }
 

@@ -46,7 +46,11 @@ impl PunctuationScheme {
                 "a scheme needs at least one punctuatable attribute".into(),
             ));
         }
-        Ok(PunctuationScheme { stream, punctuatable, ordered: false })
+        Ok(PunctuationScheme {
+            stream,
+            punctuatable,
+            ordered: false,
+        })
     }
 
     /// Convenience constructor from raw indices.
@@ -126,12 +130,15 @@ impl PunctuationScheme {
                 )));
             }
             patterns[a.0] = if self.ordered {
-                Pattern::UpTo(v.clone())
+                Pattern::UpTo(*v)
             } else {
-                Pattern::Constant(v.clone())
+                Pattern::Constant(*v)
             };
         }
-        Ok(Punctuation { stream: self.stream, patterns })
+        Ok(Punctuation {
+            stream: self.stream,
+            patterns,
+        })
     }
 
     /// Whether a punctuation is an instantiation of this scheme: constants

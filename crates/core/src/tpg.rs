@@ -29,8 +29,8 @@ use std::collections::HashMap;
 
 use crate::graph::DiGraph;
 use crate::query::Cjq;
-use crate::scheme::SchemeSet;
 use crate::schema::StreamId;
+use crate::scheme::SchemeSet;
 
 /// One iteration snapshot of the transformation (for inspection/figures).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,7 +120,11 @@ pub fn transform_over(
         rounds += 1;
     }
 
-    TransformedPunctuationGraph { nodes, rounds, history }
+    TransformedPunctuationGraph {
+        nodes,
+        rounds,
+        history,
+    }
 }
 
 /// Builds the iteration graph over the current virtual nodes.
@@ -208,8 +212,8 @@ mod tests {
     use super::*;
     use crate::gpg::GeneralizedPunctuationGraph;
     use crate::query::JoinPredicate;
-    use crate::scheme::PunctuationScheme;
     use crate::schema::{Catalog, StreamSchema};
+    use crate::scheme::PunctuationScheme;
 
     use crate::fixtures::fig8;
 
@@ -222,7 +226,11 @@ mod tests {
         let tpg = transform_query(&q, &r);
         assert!(tpg.is_single_node());
         assert_eq!(tpg.nodes, vec![vec![StreamId(0), StreamId(1), StreamId(2)]]);
-        assert!(tpg.rounds >= 1 && tpg.rounds <= 2, "rounds = {}", tpg.rounds);
+        assert!(
+            tpg.rounds >= 1 && tpg.rounds <= 2,
+            "rounds = {}",
+            tpg.rounds
+        );
         // First snapshot: three singleton nodes.
         assert_eq!(tpg.history[0].nodes.len(), 3);
     }
@@ -316,7 +324,10 @@ mod tests {
         assert!(gpg.is_strongly_connected());
         let tpg = transform_query(&q, &r);
         assert!(tpg.is_single_node());
-        assert!(tpg.rounds >= 2, "needs a merge before the virtual edge fires");
+        assert!(
+            tpg.rounds >= 2,
+            "needs a merge before the virtual edge fires"
+        );
     }
 
     #[test]

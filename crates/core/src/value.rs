@@ -3,14 +3,106 @@
 //! The paper treats attribute values abstractly (equi-joins only need equality
 //! and hashing). We provide a small dynamically-typed value so workloads can mix
 //! integer keys, strings, and booleans without generics leaking into every API.
+//!
+//! String payloads are **interned** ([`Sym`]): each distinct string is stored
+//! once for the process lifetime and values carry a `(u32 id, &'static str)`
+//! pair. Hot-path equality and hashing on string keys is therefore
+//! integer-sized (the id), there is no per-tuple `String` allocation, and
+//! [`Value`] is `Copy` — the join runtime moves values through probe indexes,
+//! purge chains, and shard channels without cloning heap data.
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::fxhash::FxHashMap;
+
+/// An interned string: equality and hashing by 32-bit id, ordering by content.
+///
+/// Interning is global and permanent: the backing storage is leaked, which is
+/// the right trade for stream workloads where the set of distinct string keys
+/// is bounded (item names, flow ids...) while the tuple count is not.
+#[derive(Clone, Copy)]
+pub struct Sym {
+    id: u32,
+    text: &'static str,
+}
+
+fn interner() -> &'static Mutex<FxHashMap<&'static str, Sym>> {
+    static INTERNER: OnceLock<Mutex<FxHashMap<&'static str, Sym>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+impl Sym {
+    /// Intern `text`, returning the canonical symbol for it.
+    #[must_use]
+    pub fn new(text: &str) -> Sym {
+        let mut table = interner().lock().expect("interner poisoned");
+        if let Some(sym) = table.get(text) {
+            return *sym;
+        }
+        let id = u32::try_from(table.len()).expect("interner overflow");
+        let stored: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let sym = Sym { id, text: stored };
+        table.insert(stored, sym);
+        sym
+    }
+
+    /// The interned string content.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        self.text
+    }
+}
+
+impl PartialEq for Sym {
+    #[inline]
+    fn eq(&self, other: &Sym) -> bool {
+        // Single global interner: equal content <=> equal id.
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl std::hash::Hash for Sym {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl PartialOrd for Sym {
+    #[inline]
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    #[inline]
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        // Order by content so Value's documented lexicographic ordering holds.
+        self.text.cmp(other.text)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.text, f)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
 
 /// A single attribute value.
 ///
 /// Values are totally ordered (`Null < Bool < Int < Str`) so they can key
 /// ordered collections; equality is exact (no numeric coercion).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// Absence of a value. Equi-join predicates never match `Null` (SQL-like).
     Null,
@@ -18,13 +110,14 @@ pub enum Value {
     Bool(bool),
     /// 64-bit signed integer (ids, sequence numbers, prices-in-cents...).
     Int(i64),
-    /// Owned string value.
-    Str(String),
+    /// Interned string value.
+    Str(Sym),
 }
 
 impl Value {
     /// Returns `true` when this value can participate in an equi-join match,
     /// i.e. it is not [`Value::Null`].
+    #[inline]
     #[must_use]
     pub fn is_joinable(&self) -> bool {
         !matches!(self, Value::Null)
@@ -39,6 +132,12 @@ impl Value {
             Value::Int(_) => "int",
             Value::Str(_) => "str",
         }
+    }
+
+    /// Interned-string value (shorthand for `Value::Str(Sym::new(text))`).
+    #[must_use]
+    pub fn str(text: &str) -> Value {
+        Value::Str(Sym::new(text))
     }
 }
 
@@ -73,13 +172,13 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(Sym::new(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(Sym::new(&v))
     }
 }
 
@@ -92,7 +191,9 @@ mod tests {
         assert_eq!(Value::Int(3), Value::Int(3));
         assert_ne!(Value::Int(3), Value::Int(4));
         assert_ne!(Value::Int(1), Value::Bool(true));
-        assert_eq!(Value::from("a"), Value::Str("a".to_owned()));
+        assert_eq!(Value::from("a"), Value::Str(Sym::new("a")));
+        assert_eq!(Value::from("a"), Value::from(String::from("a")));
+        assert_ne!(Value::from("a"), Value::from("b"));
     }
 
     #[test]
@@ -152,5 +253,27 @@ mod tests {
         set.insert(Value::from("7"));
         assert_eq!(set.len(), 2);
         assert!(set.contains(&Value::Int(7)));
+    }
+
+    #[test]
+    fn interning_is_canonical_and_ordered() {
+        let a1 = Sym::new("alpha");
+        let a2 = Sym::new("alpha");
+        let b = Sym::new("beta");
+        assert_eq!(a1, a2);
+        assert_eq!(a1.as_str() as *const str, a2.as_str() as *const str);
+        assert!(a1 < b);
+        assert_eq!(a1.as_str(), "alpha");
+        // Debug formats like a plain string.
+        assert_eq!(format!("{a1:?}"), "\"alpha\"");
+    }
+
+    #[test]
+    fn interning_from_threads_is_consistent() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| Sym::new("shared-key")))
+            .collect();
+        let syms: Vec<Sym> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
     }
 }

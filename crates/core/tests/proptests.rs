@@ -14,8 +14,8 @@ use cjq_core::plan::{check_plan, Plan};
 use cjq_core::purge_plan;
 use cjq_core::query::{Cjq, JoinPredicate};
 use cjq_core::safety;
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{AttrId, Catalog, StreamId, StreamSchema};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::tpg;
 
 /// A randomly generated, always-valid test instance.
@@ -36,7 +36,7 @@ fn instance(max_streams: usize) -> impl Strategy<Value = Instance> {
         })
         .prop_flat_map(|(n, arities)| {
             // Spanning-tree parent choices + attribute picks, plus extra edges.
-            let tree_choices = prop::collection::vec((any::<prop::sample::Index>(),) , n - 1);
+            let tree_choices = prop::collection::vec((any::<prop::sample::Index>(),), n - 1);
             let extra_edges = prop::collection::vec(
                 (any::<prop::sample::Index>(), any::<prop::sample::Index>()),
                 0..=n,
@@ -46,11 +46,25 @@ fn instance(max_streams: usize) -> impl Strategy<Value = Instance> {
                 (any::<prop::sample::Index>(), any::<u64>(), 1..=2usize),
                 0..=2 * n,
             );
-            (Just(arities), tree_choices, extra_edges, attr_seeds, scheme_seeds)
+            (
+                Just(arities),
+                tree_choices,
+                extra_edges,
+                attr_seeds,
+                scheme_seeds,
+            )
         })
-        .prop_map(|(arities, tree_choices, extra_edges, attr_seeds, scheme_seeds)| {
-            build_instance(&arities, &tree_choices, &extra_edges, &attr_seeds, &scheme_seeds)
-        })
+        .prop_map(
+            |(arities, tree_choices, extra_edges, attr_seeds, scheme_seeds)| {
+                build_instance(
+                    &arities,
+                    &tree_choices,
+                    &extra_edges,
+                    &attr_seeds,
+                    &scheme_seeds,
+                )
+            },
+        )
 }
 
 fn build_instance(
@@ -67,7 +81,8 @@ fn build_instance(
         cat.add_stream(StreamSchema::new(format!("S{}", i + 1), names).unwrap());
     }
     let mut seed_iter = attr_seeds.iter().copied().cycle();
-    let mut pick_attr = |stream: usize| AttrId(seed_iter.next().unwrap() as usize % arities[stream]);
+    let mut pick_attr =
+        |stream: usize| AttrId(seed_iter.next().unwrap() as usize % arities[stream]);
 
     let mut predicates = Vec::new();
     // Random spanning tree: stream i (1..n) attaches to a random earlier one.
@@ -75,8 +90,14 @@ fn build_instance(
         let child = i + 1;
         let parent = parent_idx.index(child); // in 0..child
         let p = JoinPredicate::new(
-            cjq_core::schema::AttrRef { stream: StreamId(parent), attr: pick_attr(parent) },
-            cjq_core::schema::AttrRef { stream: StreamId(child), attr: pick_attr(child) },
+            cjq_core::schema::AttrRef {
+                stream: StreamId(parent),
+                attr: pick_attr(parent),
+            },
+            cjq_core::schema::AttrRef {
+                stream: StreamId(child),
+                attr: pick_attr(child),
+            },
         )
         .unwrap();
         if !predicates.contains(&p) {
@@ -91,8 +112,14 @@ fn build_instance(
             continue;
         }
         let p = JoinPredicate::new(
-            cjq_core::schema::AttrRef { stream: StreamId(a), attr: pick_attr(a) },
-            cjq_core::schema::AttrRef { stream: StreamId(b), attr: pick_attr(b) },
+            cjq_core::schema::AttrRef {
+                stream: StreamId(a),
+                attr: pick_attr(a),
+            },
+            cjq_core::schema::AttrRef {
+                stream: StreamId(b),
+                attr: pick_attr(b),
+            },
         )
         .unwrap();
         if !predicates.contains(&p) {

@@ -49,11 +49,13 @@ pub fn choose_plan(
     }
     let model = CostModel::new(query, schemes, stats);
     let considered = plans.len();
-    let scored: Vec<(Plan, PlanCost)> =
-        plans.into_iter().map(|p| {
+    let scored: Vec<(Plan, PlanCost)> = plans
+        .into_iter()
+        .map(|p| {
             let c = model.estimate(&p);
             (p, c)
-        }).collect();
+        })
+        .collect();
     let key = |c: &PlanCost| match objective {
         Objective::MinDataMemory => c.data_memory,
         Objective::MinTotalMemory => c.total_memory(),
@@ -62,7 +64,11 @@ pub fn choose_plan(
     scored
         .into_iter()
         .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("finite costs"))
-        .map(|(plan, cost)| ChosenPlan { plan, cost, considered })
+        .map(|(plan, cost)| ChosenPlan {
+            plan,
+            cost,
+            considered,
+        })
 }
 
 #[cfg(test)]
@@ -74,8 +80,14 @@ mod tests {
     #[test]
     fn fig5_chooses_the_only_safe_plan() {
         let (q, r) = fixtures::fig5();
-        let chosen = choose_plan(&q, &r, Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
-                                 Objective::MinDataMemory, 100).unwrap();
+        let chosen = choose_plan(
+            &q,
+            &r,
+            Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
+            Objective::MinDataMemory,
+            100,
+        )
+        .unwrap();
         assert_eq!(chosen.plan, Plan::mjoin_all(&q));
         assert_eq!(chosen.considered, 1);
         assert!(chosen.cost.bounded());
@@ -84,15 +96,21 @@ mod tests {
     #[test]
     fn unsafe_query_yields_none() {
         let (q, r) = fixtures::fig3();
-        assert!(choose_plan(&q, &r, Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
-                            Objective::MinDataMemory, 100).is_none());
+        assert!(choose_plan(
+            &q,
+            &r,
+            Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
+            Objective::MinDataMemory,
+            100
+        )
+        .is_none());
     }
 
     #[test]
     fn chosen_plan_is_always_safe() {
         use cjq_core::query::JoinPredicate;
-        use cjq_core::scheme::PunctuationScheme;
         use cjq_core::schema::{Catalog, StreamSchema};
+        use cjq_core::scheme::PunctuationScheme;
         let mut cat = Catalog::new();
         for name in ["S1", "S2", "S3", "S4"] {
             cat.add_stream(StreamSchema::new(name, ["X", "Y"]).unwrap());
@@ -118,9 +136,14 @@ mod tests {
             Objective::MinTotalMemory,
             Objective::MaxThroughput,
         ] {
-            let chosen =
-                choose_plan(&q, &r, Stats::uniform(4, 1.0, 10.0, 0.1, 0.2), objective, 500)
-                    .unwrap();
+            let chosen = choose_plan(
+                &q,
+                &r,
+                Stats::uniform(4, 1.0, 10.0, 0.1, 0.2),
+                objective,
+                500,
+            )
+            .unwrap();
             assert!(chosen.considered > 1);
             assert!(check_plan(&q, &r, &chosen.plan).unwrap().safe);
         }
@@ -130,8 +153,8 @@ mod tests {
     fn skewed_rates_change_the_choice() {
         // Star query: center S1 joins S2, S3 on the same attr; all schemes.
         use cjq_core::query::JoinPredicate;
-        use cjq_core::scheme::PunctuationScheme;
         use cjq_core::schema::{Catalog, StreamSchema};
+        use cjq_core::scheme::PunctuationScheme;
         let mut cat = Catalog::new();
         for name in ["C", "A", "B"] {
             cat.add_stream(StreamSchema::new(name, ["X"]).unwrap());
@@ -144,16 +167,13 @@ mod tests {
             ],
         )
         .unwrap();
-        let r = SchemeSet::from_schemes(
-            (0..3).map(|s| PunctuationScheme::on(s, &[0]).unwrap()),
-        );
+        let r = SchemeSet::from_schemes((0..3).map(|s| PunctuationScheme::on(s, &[0]).unwrap()));
         // With a very hot stream B (index 2), plans that keep B's state
         // longest should lose; the optimizer must still return a safe plan
         // whose cost is minimal among those considered.
         let mut stats = Stats::uniform(3, 1.0, 10.0, 0.1, 0.5);
         stats.rate[2] = 100.0;
-        let chosen =
-            choose_plan(&q, &r, stats.clone(), Objective::MinDataMemory, 100).unwrap();
+        let chosen = choose_plan(&q, &r, stats.clone(), Objective::MinDataMemory, 100).unwrap();
         let model = CostModel::new(&q, &r, stats);
         let space = PlanSpace::new(&q, &r);
         for p in space.enumerate_safe_plans(100) {

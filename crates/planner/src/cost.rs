@@ -29,8 +29,8 @@ use std::collections::HashMap;
 use cjq_core::plan::Plan;
 use cjq_core::purge_plan;
 use cjq_core::query::{Cjq, JoinPredicate};
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::StreamId;
+use cjq_core::scheme::SchemeSet;
 
 /// Per-stream and per-predicate workload statistics.
 #[derive(Debug, Clone)]
@@ -110,7 +110,11 @@ impl<'q> CostModel<'q> {
         assert_eq!(stats.rate.len(), query.n_streams());
         assert_eq!(stats.punct_lag.len(), query.n_streams());
         assert_eq!(stats.punct_rate.len(), query.n_streams());
-        CostModel { query, schemes, stats }
+        CostModel {
+            query,
+            schemes,
+            stats,
+        }
     }
 
     /// Output rate of a subtree spanning `span`.
@@ -150,7 +154,9 @@ impl<'q> CostModel<'q> {
         let mut data_memory = 0.0f64;
         let mut work = 0.0f64;
         for (op, span) in plan.operators() {
-            let Plan::Join(children) = op else { unreachable!("operators() yields joins") };
+            let Plan::Join(children) = op else {
+                unreachable!("operators() yields joins")
+            };
             for child in children {
                 let roots = child.span();
                 data_memory += self.port_memory(&span, &roots);
@@ -176,7 +182,11 @@ impl<'q> CostModel<'q> {
             .iter()
             .map(|s| self.stats.punct_rate[s.stream.0] * horizon)
             .sum();
-        PlanCost { data_memory, punct_memory, work }
+        PlanCost {
+            data_memory,
+            punct_memory,
+            work,
+        }
     }
 }
 

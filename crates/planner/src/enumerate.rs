@@ -19,8 +19,8 @@ use std::collections::HashMap;
 use cjq_core::plan::Plan;
 use cjq_core::query::Cjq;
 use cjq_core::safety;
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::StreamId;
+use cjq_core::scheme::SchemeSet;
 
 /// Maximum streams supported by the bitmask DP.
 pub const MAX_STREAMS: usize = 20;
@@ -45,7 +45,10 @@ impl PlanSpace {
     #[must_use]
     pub fn new(query: &Cjq, schemes: &SchemeSet) -> Self {
         let n = query.n_streams();
-        assert!(n <= MAX_STREAMS, "plan enumeration supports up to {MAX_STREAMS} streams");
+        assert!(
+            n <= MAX_STREAMS,
+            "plan enumeration supports up to {MAX_STREAMS} streams"
+        );
         let full = 1u32 << n;
         let mut connected = vec![false; full as usize];
         let mut safe_block = vec![false; full as usize];
@@ -53,8 +56,8 @@ impl PlanSpace {
             let streams = streams_of(mask);
             connected[mask as usize] = query.is_connected_over(&streams);
             if connected[mask as usize] {
-                safe_block[mask as usize] = streams.len() == 1
-                    || safety::is_operator_purgeable(query, schemes, &streams);
+                safe_block[mask as usize] =
+                    streams.len() == 1 || safety::is_operator_purgeable(query, schemes, &streams);
             }
         }
         PlanSpace {
@@ -104,7 +107,11 @@ impl PlanSpace {
         if mask.count_ones() == 1 {
             return 1;
         }
-        let memo = if safe_only { &self.counts_safe } else { &self.counts_all };
+        let memo = if safe_only {
+            &self.counts_safe
+        } else {
+            &self.counts_all
+        };
         if let Some(&c) = memo.get(&mask) {
             return c;
         }
@@ -132,7 +139,11 @@ impl PlanSpace {
         } else {
             0
         };
-        let memo = if safe_only { &mut self.counts_safe } else { &mut self.counts_all };
+        let memo = if safe_only {
+            &mut self.counts_safe
+        } else {
+            &mut self.counts_all
+        };
         memo.insert(mask, total);
         total
     }
@@ -296,8 +307,8 @@ mod tests {
         // A 4-cycle with full punctuation coverage: many safe plans; each
         // must validate and check safe via the independent plan checker.
         use cjq_core::query::JoinPredicate;
-        use cjq_core::scheme::PunctuationScheme;
         use cjq_core::schema::{Catalog, StreamSchema};
+        use cjq_core::scheme::PunctuationScheme;
         let mut cat = Catalog::new();
         for name in ["S1", "S2", "S3", "S4"] {
             cat.add_stream(StreamSchema::new(name, ["X", "Y"]).unwrap());
@@ -334,8 +345,8 @@ mod tests {
     #[test]
     fn enumeration_respects_limit() {
         use cjq_core::query::JoinPredicate;
-        use cjq_core::scheme::PunctuationScheme;
         use cjq_core::schema::{Catalog, StreamSchema};
+        use cjq_core::scheme::PunctuationScheme;
         let mut cat = Catalog::new();
         for name in ["S1", "S2", "S3", "S4"] {
             cat.add_stream(StreamSchema::new(name, ["X"]).unwrap());
@@ -350,9 +361,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let r = SchemeSet::from_schemes(
-            (0..4).map(|s| PunctuationScheme::on(s, &[0]).unwrap()),
-        );
+        let r = SchemeSet::from_schemes((0..4).map(|s| PunctuationScheme::on(s, &[0]).unwrap()));
         let space = PlanSpace::new(&q, &r);
         let plans = space.enumerate_safe_plans(3);
         assert_eq!(plans.len(), 3);

@@ -30,7 +30,10 @@ fn safe_with(query: &Cjq, schemes: &SchemeSet, keep: &[bool]) -> bool {
 #[must_use]
 pub fn minimal_safe_subsets(query: &Cjq, schemes: &SchemeSet) -> Vec<Vec<bool>> {
     let m = schemes.len();
-    assert!(m < EXACT_LIMIT, "exact search limited to |ℜ| < {EXACT_LIMIT}");
+    assert!(
+        m < EXACT_LIMIT,
+        "exact search limited to |ℜ| < {EXACT_LIMIT}"
+    );
     if !safe_with(query, schemes, &vec![true; m]) {
         return Vec::new();
     }

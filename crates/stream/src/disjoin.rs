@@ -11,8 +11,8 @@
 
 use cjq_core::disjunctive::DisjunctiveCjq;
 use cjq_core::punctuation::Punctuation;
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
@@ -77,18 +77,10 @@ impl DisjunctiveJoin {
             })
             .collect();
         // Index every column any alternative touches, per side.
-        let mut lcols: Vec<usize> = groups
-            .iter()
-            .flatten()
-            .map(|a| a.left_attr.0)
-            .collect();
+        let mut lcols: Vec<usize> = groups.iter().flatten().map(|a| a.left_attr.0).collect();
         lcols.sort_unstable();
         lcols.dedup();
-        let mut rcols: Vec<usize> = groups
-            .iter()
-            .flatten()
-            .map(|a| a.right_attr.0)
-            .collect();
+        let mut rcols: Vec<usize> = groups.iter().flatten().map(|a| a.right_attr.0).collect();
         rcols.sort_unstable();
         rcols.dedup();
         let states = [
@@ -99,7 +91,14 @@ impl DisjunctiveJoin {
             PunctStore::new(left, schemes, None),
             PunctStore::new(right, schemes, None),
         ];
-        DisjunctiveJoin { left, right, groups, states, puncts, stats: DisjoinStats::default() }
+        DisjunctiveJoin {
+            left,
+            right,
+            groups,
+            states,
+            puncts,
+            stats: DisjoinStats::default(),
+        }
     }
 
     /// Total live stored tuples.
@@ -121,7 +120,11 @@ impl DisjunctiveJoin {
     /// Processes a tuple; returns `left ++ right` result rows.
     pub fn process_tuple(&mut self, t: &Tuple) -> Vec<Vec<Value>> {
         self.stats.tuples_in += 1;
-        let (side, other) = if t.stream == self.left { (0, 1) } else { (1, 0) };
+        let (side, other) = if t.stream == self.left {
+            (0, 1)
+        } else {
+            (1, 0)
+        };
         debug_assert!(t.stream == self.left || t.stream == self.right);
         // Candidate slots: union of index probes over group 0's alternatives.
         let mut slots: Vec<usize> = Vec::new();
@@ -140,8 +143,14 @@ impl DisjunctiveJoin {
         slots.dedup();
         let mut outputs = Vec::new();
         for slot in slots {
-            let Some(cand) = self.states[other].get(slot) else { continue };
-            let (lvals, rvals) = if side == 0 { (&t.values[..], cand) } else { (cand, &t.values[..]) };
+            let Some(cand) = self.states[other].get(slot) else {
+                continue;
+            };
+            let (lvals, rvals) = if side == 0 {
+                (&t.values[..], cand)
+            } else {
+                (cand, &t.values[..])
+            };
             if self.matches(lvals, rvals) {
                 let mut row = lvals.to_vec();
                 row.extend_from_slice(rvals);
@@ -198,8 +207,8 @@ mod tests {
     use super::*;
     use cjq_core::disjunctive::{DisjunctiveCjq, DisjunctiveGroup};
     use cjq_core::query::JoinPredicate;
-    use cjq_core::scheme::PunctuationScheme;
     use cjq_core::schema::{Catalog, StreamSchema};
+    use cjq_core::scheme::PunctuationScheme;
 
     fn ival(v: i64) -> Value {
         Value::Int(v)
@@ -227,7 +236,9 @@ mod tests {
     fn matches_through_either_alternative_exactly_once() {
         let (q, r) = or_join();
         let mut j = DisjunctiveJoin::new(&q, &r);
-        assert!(j.process_tuple(&Tuple::of(0, [ival(1), ival(2)])).is_empty());
+        assert!(j
+            .process_tuple(&Tuple::of(0, [ival(1), ival(2)]))
+            .is_empty());
         // Matches via x only.
         assert_eq!(j.process_tuple(&Tuple::of(1, [ival(1), ival(9)])).len(), 1);
         // Matches via y only.
@@ -235,7 +246,9 @@ mod tests {
         // Matches via BOTH alternatives: still one result (union, not bag).
         assert_eq!(j.process_tuple(&Tuple::of(1, [ival(1), ival(2)])).len(), 1);
         // Matches via neither.
-        assert!(j.process_tuple(&Tuple::of(1, [ival(8), ival(9)])).is_empty());
+        assert!(j
+            .process_tuple(&Tuple::of(1, [ival(8), ival(9)]))
+            .is_empty());
         assert_eq!(j.stats.outputs, 3);
     }
 
@@ -276,7 +289,9 @@ mod tests {
             1,
         );
         // A consistent future b tuple (x != 1, y != 2) cannot match anyway.
-        assert!(j.process_tuple(&Tuple::of(1, [ival(7), ival(7)])).is_empty());
+        assert!(j
+            .process_tuple(&Tuple::of(1, [ival(7), ival(7)]))
+            .is_empty());
     }
 
     #[test]
@@ -300,9 +315,15 @@ mod tests {
         let mut j = DisjunctiveJoin::new(&q, &r);
         j.process_tuple(&Tuple::of(0, [ival(1), ival(2), ival(5)]));
         // x matches but z does not: no result.
-        assert!(j.process_tuple(&Tuple::of(1, [ival(1), ival(9), ival(6)])).is_empty());
+        assert!(j
+            .process_tuple(&Tuple::of(1, [ival(1), ival(9), ival(6)]))
+            .is_empty());
         // y and z match: result.
-        assert_eq!(j.process_tuple(&Tuple::of(1, [ival(8), ival(2), ival(5)])).len(), 1);
+        assert_eq!(
+            j.process_tuple(&Tuple::of(1, [ival(8), ival(2), ival(5)]))
+                .len(),
+            1
+        );
         // Purging via the singleton z group alone works (one guarded group
         // extinguishes the conjunction).
         j.process_punctuation(
@@ -344,6 +365,8 @@ mod tests {
         let (q, r) = or_join();
         let mut j = DisjunctiveJoin::new(&q, &r);
         j.process_tuple(&Tuple::of(0, [Value::Null, Value::Null]));
-        assert!(j.process_tuple(&Tuple::of(1, [Value::Null, Value::Null])).is_empty());
+        assert!(j
+            .process_tuple(&Tuple::of(1, [Value::Null, Value::Null]))
+            .is_empty());
     }
 }

@@ -16,8 +16,8 @@
 use std::collections::HashMap;
 
 use cjq_core::punctuation::Punctuation;
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::value::Value;
 
 /// Counters of a distinct operator's activity.
@@ -85,7 +85,7 @@ impl Distinct {
     /// occurrence of its key).
     pub fn process_tuple(&mut self, values: &[Value]) -> bool {
         self.stats.tuples_in += 1;
-        let key: Vec<Value> = self.key.iter().map(|a| values[a.0].clone()).collect();
+        let key: Vec<Value> = self.key.iter().map(|a| values[a.0]).collect();
         if self.seen.insert(key, ()).is_none() {
             self.stats.emitted += 1;
             true
@@ -99,7 +99,10 @@ impl Distinct {
     /// finished. Only punctuations instantiating a usable scheme (constants
     /// within the key attributes) retire anything. Returns entries retired.
     pub fn process_punctuation(&mut self, p: &Punctuation) -> usize {
-        debug_assert_eq!(p.stream, self.stream, "punctuation routed to wrong operator");
+        debug_assert_eq!(
+            p.stream, self.stream,
+            "punctuation routed to wrong operator"
+        );
         if !self.usable_schemes.iter().any(|s| s.is_instance(p)) {
             return 0;
         }

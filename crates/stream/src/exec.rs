@@ -7,15 +7,16 @@
 //! every punctuation), lazily (batched), or never, per [`PurgeCadence`] —
 //! the Plan-Parameter-II knob of §5.2.
 
-use std::collections::HashMap;
 use std::time::Instant;
+
+use cjq_core::fxhash::FxHashMap;
 
 use cjq_core::error::{CoreError, CoreResult};
 use cjq_core::plan::Plan;
 use cjq_core::punctuation::Punctuation;
 use cjq_core::query::Cjq;
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::{AttrRef, StreamId};
+use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::element::StreamElement;
@@ -101,6 +102,19 @@ pub struct OperatorSnapshot {
     pub stats: crate::join::OperatorStats,
 }
 
+/// End-of-run live-slot ids for every operator port and every mirror stream.
+///
+/// Slot ids are per-shard-deterministic: two executors fed the same element
+/// subsequence assign identical slot ids, which is what lets the sharded
+/// merge union replicated (broadcast) state by slot id.
+#[derive(Debug, Clone, Default)]
+pub struct LiveStateSnapshot {
+    /// Per operator (bottom-up, root last), per port: live slot ids.
+    pub op_port_slots: Vec<Vec<Vec<usize>>>,
+    /// Per stream (indexed by `StreamId.0`): live mirror slot ids.
+    pub mirror_slots: Vec<Vec<usize>>,
+}
+
 /// Result of running a feed to completion.
 #[derive(Debug, Clone, Default)]
 pub struct RunResult {
@@ -124,7 +138,7 @@ pub struct Executor {
     /// Parent link per operator: `(parent op index, parent port)`.
     parent: Vec<Option<(usize, usize)>>,
     /// Leaf routing: stream → (op index, port).
-    leaf_route: HashMap<StreamId, (usize, usize)>,
+    leaf_route: FxHashMap<StreamId, (usize, usize)>,
     groupby: Option<GroupBy>,
     /// Punctuations awaiting delivery to the group-by stage: a punctuation
     /// may only close groups once no *stored* tuple of its stream can still
@@ -181,9 +195,16 @@ impl Executor {
         );
         let mut ops = Vec::new();
         let mut parent = Vec::new();
-        let mut leaf_route = HashMap::new();
+        let mut leaf_route = FxHashMap::default();
         build(
-            query, schemes, plan, cfg.scope, &engine, &mut ops, &mut parent, &mut leaf_route,
+            query,
+            schemes,
+            plan,
+            cfg.scope,
+            &engine,
+            &mut ops,
+            &mut parent,
+            &mut leaf_route,
         );
         Ok(Executor {
             query: query.clone(),
@@ -218,7 +239,12 @@ impl Executor {
     /// Panics if a grouping/aggregate attribute is not in the root layout.
     #[must_use]
     pub fn with_groupby(mut self, group_by: &[AttrRef], agg: Aggregate) -> Self {
-        let layout = self.ops.last().expect("at least one operator").out_layout().clone();
+        let layout = self
+            .ops
+            .last()
+            .expect("at least one operator")
+            .out_layout()
+            .clone();
         self.groupby = Some(GroupBy::for_query(&self.query, layout, group_by, agg));
         self
     }
@@ -280,7 +306,7 @@ impl Executor {
 
     fn push_tuple(&mut self, t: &Tuple) {
         if !self.engine.observe_tuple_at(t, self.clock) {
-            self.metrics.violations += 1;
+            self.metrics.count_violation(t.stream.0);
             return;
         }
         self.metrics.tuples_in += 1;
@@ -398,7 +424,15 @@ impl Executor {
     }
 
     /// Final purge cycle + sample, returning the accumulated results.
-    pub fn finish(mut self) -> RunResult {
+    pub fn finish(self) -> RunResult {
+        self.finish_detailed().0
+    }
+
+    /// Like [`Executor::finish`], additionally returning the live-slot
+    /// snapshot of every port and mirror. The sharded executor merges these
+    /// per-shard snapshots into one logical state count: partitioned state is
+    /// disjoint across shards (sum), broadcast state is replicated (union).
+    pub fn finish_detailed(mut self) -> (RunResult, LiveStateSnapshot) {
         self.purge_cycle();
         self.sample();
         self.metrics.mirror_purged = self.engine.mirror_purged;
@@ -412,12 +446,21 @@ impl Executor {
                 stats: op.stats,
             })
             .collect();
-        RunResult {
+        let snapshot = LiveStateSnapshot {
+            op_port_slots: self.ops.iter().map(JoinOperator::port_live_slots).collect(),
+            mirror_slots: self
+                .query
+                .stream_ids()
+                .map(|s| self.engine.mirror_state(s).live_slots())
+                .collect(),
+        };
+        let result = RunResult {
             outputs: self.outputs,
             aggregates: self.aggregates,
             metrics: self.metrics,
             operators,
-        }
+        };
+        (result, snapshot)
     }
 }
 
@@ -431,7 +474,7 @@ fn build(
     engine: &PurgeEngine,
     ops: &mut Vec<JoinOperator>,
     parent: &mut Vec<Option<(usize, usize)>>,
-    leaf_route: &mut HashMap<StreamId, (usize, usize)>,
+    leaf_route: &mut FxHashMap<StreamId, (usize, usize)>,
 ) -> Vec<StreamId> {
     match plan {
         Plan::Leaf(s) => vec![*s],
@@ -501,8 +544,14 @@ mod tests {
         let exec = Executor::compile(&q, &r, &plan, ExecConfig::default())
             .unwrap()
             .with_groupby(
-                &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
-                Aggregate::Sum(AttrRef { stream: StreamId(1), attr: AttrId(2) }),
+                &[AttrRef {
+                    stream: StreamId(1),
+                    attr: AttrId(1),
+                }],
+                Aggregate::Sum(AttrRef {
+                    stream: StreamId(1),
+                    attr: AttrId(2),
+                }),
             );
         let feed = Feed::from_elements(vec![
             item(1),
@@ -581,13 +630,19 @@ mod tests {
                 feed.push(Tuple::of(2, vec![ival(i), ival(i)]));
                 // Punctuations on every scheme, closing key i.
                 feed.push(StreamElement::Punctuation(Punctuation::with_constants(
-                    StreamId(0), 2, &[(AttrId(1), ival(i))],
+                    StreamId(0),
+                    2,
+                    &[(AttrId(1), ival(i))],
                 )));
                 feed.push(StreamElement::Punctuation(Punctuation::with_constants(
-                    StreamId(1), 2, &[(AttrId(1), ival(i))],
+                    StreamId(1),
+                    2,
+                    &[(AttrId(1), ival(i))],
                 )));
                 feed.push(StreamElement::Punctuation(Punctuation::with_constants(
-                    StreamId(2), 2, &[(AttrId(0), ival(i))],
+                    StreamId(2),
+                    2,
+                    &[(AttrId(0), ival(i))],
                 )));
             }
             feed
@@ -616,7 +671,10 @@ mod tests {
     fn query_scope_bounds_even_unsafe_plans() {
         let (q, r) = fixtures::fig5();
         let unsafe_plan = Plan::left_deep(&[StreamId(0), StreamId(1), StreamId(2)]);
-        let cfg = ExecConfig { scope: PurgeScope::Query, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            scope: PurgeScope::Query,
+            ..ExecConfig::default()
+        };
         let exec = Executor::compile(&q, &r, &unsafe_plan, cfg).unwrap();
         let mut feed = Feed::new();
         for i in 0..50i64 {
@@ -624,13 +682,19 @@ mod tests {
             feed.push(Tuple::of(1, vec![ival(i), ival(i)]));
             feed.push(Tuple::of(2, vec![ival(i), ival(i)]));
             feed.push(StreamElement::Punctuation(Punctuation::with_constants(
-                StreamId(0), 2, &[(AttrId(1), ival(i))],
+                StreamId(0),
+                2,
+                &[(AttrId(1), ival(i))],
             )));
             feed.push(StreamElement::Punctuation(Punctuation::with_constants(
-                StreamId(1), 2, &[(AttrId(1), ival(i))],
+                StreamId(1),
+                2,
+                &[(AttrId(1), ival(i))],
             )));
             feed.push(StreamElement::Punctuation(Punctuation::with_constants(
-                StreamId(2), 2, &[(AttrId(0), ival(i))],
+                StreamId(2),
+                2,
+                &[(AttrId(0), ival(i))],
             )));
         }
         let res = exec.run(&feed);
@@ -673,7 +737,12 @@ mod tests {
         let (q, r) = fixtures::fig5();
         let kcfg = cjq_workload_free_keyed(&q, &r, 400, 4);
         let run = |cadence: PurgeCadence| {
-            let cfg = ExecConfig { cadence, sample_every: 16, record_outputs: false, ..ExecConfig::default() };
+            let cfg = ExecConfig {
+                cadence,
+                sample_every: 16,
+                record_outputs: false,
+                ..ExecConfig::default()
+            };
             let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
             exec.run(&kcfg).metrics
         };
@@ -688,12 +757,7 @@ mod tests {
     }
 
     /// Inline round-keyed feed (the workload crate depends on this one).
-    fn cjq_workload_free_keyed(
-        q: &Cjq,
-        r: &SchemeSet,
-        rounds: usize,
-        lag: usize,
-    ) -> Feed {
+    fn cjq_workload_free_keyed(q: &Cjq, r: &SchemeSet, rounds: usize, lag: usize) -> Feed {
         let mut feed = Feed::new();
         for round in 0..rounds + lag {
             if round < rounds {
@@ -719,7 +783,10 @@ mod tests {
     #[test]
     fn never_cadence_disables_purging() {
         let (q, r) = fixtures::auction();
-        let cfg = ExecConfig { cadence: PurgeCadence::Never, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            cadence: PurgeCadence::Never,
+            ..ExecConfig::default()
+        };
         let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
         let mut feed = Feed::new();
         for i in 0..20 {
@@ -752,7 +819,11 @@ mod tests {
             feed.push(bid(i, 1));
         }
         let run = |window: Option<u64>| {
-            let cfg = ExecConfig { window, cadence: PurgeCadence::Never, ..ExecConfig::default() };
+            let cfg = ExecConfig {
+                window,
+                cadence: PurgeCadence::Never,
+                ..ExecConfig::default()
+            };
             let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
             exec.run(&feed).metrics
         };
@@ -766,7 +837,11 @@ mod tests {
         // A window of 30 keeps state small but evicts items before their
         // bids arrive: results are LOST — the window-baseline trade-off.
         let narrow = run(Some(30));
-        assert!(narrow.outputs < 60, "narrow window loses joins: {}", narrow.outputs);
+        assert!(
+            narrow.outputs < 60,
+            "narrow window loses joins: {}",
+            narrow.outputs
+        );
         assert!(narrow.peak_join_state <= 40);
     }
 

@@ -109,7 +109,12 @@ impl GroupBy {
     /// *any* alias guarantees group completeness — e.g. in the auction query,
     /// both `bid.itemid` and `item.itemid` punctuations close item groups.
     #[must_use]
-    pub fn for_query(query: &Cjq, layout: SpanLayout, group_by: &[AttrRef], agg: Aggregate) -> Self {
+    pub fn for_query(
+        query: &Cjq,
+        layout: SpanLayout,
+        group_by: &[AttrRef],
+        agg: Aggregate,
+    ) -> Self {
         let mut gb = GroupBy::new(layout, group_by, agg);
         for class in &mut gb.group_refs {
             // Transitive closure over equi-join predicates within the layout.
@@ -138,7 +143,7 @@ impl GroupBy {
     /// Consumes one input tuple.
     pub fn process_tuple(&mut self, values: &[Value]) {
         self.stats.tuples_in += 1;
-        let key: Vec<Value> = self.group_cols.iter().map(|&c| values[c].clone()).collect();
+        let key: Vec<Value> = self.group_cols.iter().map(|&c| values[c]).collect();
         let g = self.groups.entry(key).or_default();
         g.count += 1;
         if let Some(c) = self.agg_col {
@@ -161,9 +166,11 @@ impl GroupBy {
         // join-equivalence alias); bail if one is not a group column.
         let mut required: Vec<(usize, &Value)> = Vec::new();
         for (attr, value) in p.constant_attrs() {
-            let Some(pos) = self.group_refs.iter().position(|class| {
-                class.iter().any(|r| r.stream == p.stream && r.attr == attr)
-            }) else {
+            let Some(pos) = self
+                .group_refs
+                .iter()
+                .position(|class| class.iter().any(|r| r.stream == p.stream && r.attr == attr))
+            else {
                 return Vec::new();
             };
             required.push((pos, value));
@@ -233,8 +240,14 @@ mod tests {
         let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
         GroupBy::new(
             layout,
-            &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
-            Aggregate::Sum(AttrRef { stream: StreamId(1), attr: AttrId(2) }),
+            &[AttrRef {
+                stream: StreamId(1),
+                attr: AttrId(1),
+            }],
+            Aggregate::Sum(AttrRef {
+                stream: StreamId(1),
+                attr: AttrId(2),
+            }),
         )
     }
 
@@ -288,8 +301,14 @@ mod tests {
         let mut g = GroupBy::for_query(
             &q,
             layout,
-            &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
-            Aggregate::Sum(AttrRef { stream: StreamId(1), attr: AttrId(2) }),
+            &[AttrRef {
+                stream: StreamId(1),
+                attr: AttrId(1),
+            }],
+            Aggregate::Sum(AttrRef {
+                stream: StreamId(1),
+                attr: AttrId(2),
+            }),
         );
         g.process_tuple(&joined(1, 5));
         // Punctuation on ITEM.itemid (stream 0), not on the group column's
@@ -302,7 +321,10 @@ mod tests {
         let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
         let mut plain = GroupBy::new(
             layout,
-            &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
+            &[AttrRef {
+                stream: StreamId(1),
+                attr: AttrId(1),
+            }],
             Aggregate::Count,
         );
         plain.process_tuple(&joined(1, 5));
@@ -316,7 +338,10 @@ mod tests {
         let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
         let mut g = GroupBy::new(
             layout,
-            &[AttrRef { stream: StreamId(1), attr: AttrId(1) }],
+            &[AttrRef {
+                stream: StreamId(1),
+                attr: AttrId(1),
+            }],
             Aggregate::Count,
         );
         g.process_tuple(&joined(4, 1));
@@ -329,8 +354,14 @@ mod tests {
     fn min_max_aggregates() {
         let (q, _) = fixtures::auction();
         let layout = SpanLayout::new(q.catalog(), &[StreamId(0), StreamId(1)]);
-        let key = AttrRef { stream: StreamId(1), attr: AttrId(1) };
-        let incr = AttrRef { stream: StreamId(1), attr: AttrId(2) };
+        let key = AttrRef {
+            stream: StreamId(1),
+            attr: AttrId(1),
+        };
+        let incr = AttrRef {
+            stream: StreamId(1),
+            attr: AttrId(2),
+        };
         let mut mn = GroupBy::new(layout.clone(), &[key], Aggregate::Min(incr));
         let mut mx = GroupBy::new(layout, &[key], Aggregate::Max(incr));
         for inc in [7, 3, 9] {

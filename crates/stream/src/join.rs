@@ -10,11 +10,10 @@
 //! by the [`PurgeEngine`]; the operator only owns
 //! the join states and the probe machinery.
 
-use std::collections::HashMap;
-
+use cjq_core::fxhash::FxHashMap;
 use cjq_core::query::Cjq;
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::StreamId;
+use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
@@ -29,6 +28,10 @@ struct CrossPred {
     port_b: usize,
     col_b: usize,
 }
+
+/// One probe step: the probed port plus the `(probed column, bound port,
+/// bound column)` predicate triples connecting it to the already-bound set.
+type ProbeStep = (usize, Vec<(usize, usize, usize)>);
 
 /// Counters of one operator's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,10 +53,9 @@ pub struct JoinOperator {
     out_layout: SpanLayout,
     ports: Vec<PortState>,
     port_spans: Vec<Vec<StreamId>>,
-    preds: Vec<CrossPred>,
-    /// For each port, the order in which the remaining ports are probed
-    /// (each connected to the already-bound set).
-    probe_orders: Vec<Vec<usize>>,
+    /// For each origin port, the probe steps in depth order. Precomputed so
+    /// the per-tuple probe loop allocates nothing.
+    probe_plans: Vec<Vec<ProbeStep>>,
     /// Per port: compiled purge recipe, or `None` if the port's state is not
     /// purgeable under the configured scope.
     recipes: Vec<Option<CompiledRecipe>>,
@@ -94,7 +96,7 @@ impl JoinOperator {
             .iter()
             .map(|ps| SpanLayout::new(query.catalog(), ps))
             .collect();
-        let port_of_stream: HashMap<StreamId, usize> = port_spans
+        let port_of_stream: FxHashMap<StreamId, usize> = port_spans
             .iter()
             .enumerate()
             .flat_map(|(i, ps)| ps.iter().map(move |&s| (s, i)))
@@ -112,9 +114,13 @@ impl JoinOperator {
             }
             preds.push(CrossPred {
                 port_a: pa,
-                col_a: layouts[pa].pos(p.left.stream, p.left.attr).expect("in span"),
+                col_a: layouts[pa]
+                    .pos(p.left.stream, p.left.attr)
+                    .expect("in span"),
                 port_b: pb,
-                col_b: layouts[pb].pos(p.right.stream, p.right.attr).expect("in span"),
+                col_b: layouts[pb]
+                    .pos(p.right.stream, p.right.attr)
+                    .expect("in span"),
             });
         }
 
@@ -131,6 +137,8 @@ impl JoinOperator {
             .collect();
 
         // Probe orders: BFS over the port-connectivity graph from each port.
+        // Only needed to build the probe plans below; each plan entry carries
+        // its probed port.
         let n = port_spans.len();
         let probe_orders = (0..n)
             .map(|start| {
@@ -160,6 +168,35 @@ impl JoinOperator {
                 );
                 order
             })
+            .collect::<Vec<Vec<usize>>>();
+
+        // Precompute, for every origin port and probe depth, which predicates
+        // connect the probed port to the set bound so far.
+        let probe_plans: Vec<Vec<ProbeStep>> = (0..n)
+            .map(|start| {
+                let mut bound = vec![false; n];
+                bound[start] = true;
+                probe_orders[start]
+                    .iter()
+                    .map(|&j| {
+                        let relevant: Vec<(usize, usize, usize)> = preds
+                            .iter()
+                            .filter_map(|cp| {
+                                if cp.port_a == j && bound[cp.port_b] {
+                                    Some((cp.col_a, cp.port_b, cp.col_b))
+                                } else if cp.port_b == j && bound[cp.port_a] {
+                                    Some((cp.col_b, cp.port_a, cp.col_a))
+                                } else {
+                                    None
+                                }
+                            })
+                            .collect();
+                        debug_assert!(!relevant.is_empty(), "probe order keeps connectivity");
+                        bound[j] = true;
+                        (j, relevant)
+                    })
+                    .collect()
+            })
             .collect();
 
         // Purge recipes per port.
@@ -178,8 +215,7 @@ impl JoinOperator {
             out_layout,
             ports,
             port_spans,
-            preds,
-            probe_orders,
+            probe_plans,
             recipes,
             stats: OperatorStats::default(),
         }
@@ -207,6 +243,13 @@ impl JoinOperator {
     #[must_use]
     pub fn port_live(&self) -> Vec<usize> {
         self.ports.iter().map(PortState::live).collect()
+    }
+
+    /// Live slot ids per port, in slot order (used by the sharded executor to
+    /// merge replicated port state without double counting).
+    #[must_use]
+    pub fn port_live_slots(&self) -> Vec<Vec<usize>> {
+        self.ports.iter().map(PortState::live_slots).collect()
     }
 
     /// Total live stored tuples (the operator's join-state size).
@@ -238,24 +281,23 @@ impl JoinOperator {
     ) -> Vec<Vec<Value>> {
         self.stats.tuples_in += 1;
         let mut outputs = Vec::new();
-        // DFS over the probe order with per-port candidate filtering.
-        let order = &self.probe_orders[port];
+        // DFS over the precomputed probe plan with per-port candidate
+        // filtering; the probe loop itself is allocation-free (candidates are
+        // iterated straight out of the hash index, rows are borrowed slices).
+        let plan = &self.probe_plans[port];
         let mut assignment: Vec<Option<&[Value]>> = vec![None; self.ports.len()];
         assignment[port] = Some(&values);
 
-        // Recursive expansion without recursion: stack of (depth, slot iter).
-        #[allow(clippy::too_many_arguments)]
         fn extend<'s>(
             ports: &'s [PortState],
-            preds: &[CrossPred],
-            order: &[usize],
+            plan: &[ProbeStep],
             depth: usize,
             assignment: &mut Vec<Option<&'s [Value]>>,
             out_layout: &SpanLayout,
             port_layout_spans: &[Vec<StreamId>],
             outputs: &mut Vec<Vec<Value>>,
         ) {
-            if depth == order.len() {
+            if depth == plan.len() {
                 let mut row = vec![Value::Null; out_layout.width()];
                 for (pi, vals) in assignment.iter().enumerate() {
                     let vals = vals.expect("full assignment");
@@ -266,38 +308,23 @@ impl JoinOperator {
                 outputs.push(row);
                 return;
             }
-            let j = order[depth];
-            // Predicates connecting port j to already-bound ports.
-            let relevant: Vec<(usize, usize, usize)> = preds
-                .iter()
-                .filter_map(|cp| {
-                    if cp.port_a == j && assignment[cp.port_b].is_some() {
-                        Some((cp.col_a, cp.port_b, cp.col_b))
-                    } else if cp.port_b == j && assignment[cp.port_a].is_some() {
-                        Some((cp.col_b, cp.port_a, cp.col_a))
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            debug_assert!(!relevant.is_empty(), "probe order keeps connectivity");
+            let (j, relevant) = &plan[depth];
+            let j = *j;
             // Use the first predicate's hash index, filter with the rest.
             let (jcol, bport, bcol) = relevant[0];
             let key = &assignment[bport].expect("bound")[bcol];
-            let candidates: Vec<usize> = ports[j].probe(jcol, key).to_vec();
-            for slot in candidates {
+            for &slot in ports[j].probe(jcol, key) {
                 let Some(cand) = ports[j].get(slot) else {
                     continue;
                 };
-                let ok = relevant[1..].iter().all(|&(jc, bp, bc)| {
-                    cand[jc] == assignment[bp].expect("bound")[bc]
-                });
+                let ok = relevant[1..]
+                    .iter()
+                    .all(|&(jc, bp, bc)| cand[jc] == assignment[bp].expect("bound")[bc]);
                 if ok {
                     assignment[j] = Some(cand);
                     extend(
                         ports,
-                        preds,
-                        order,
+                        plan,
                         depth + 1,
                         assignment,
                         out_layout,
@@ -311,8 +338,7 @@ impl JoinOperator {
 
         extend(
             &self.ports,
-            &self.preds,
-            order,
+            plan,
             0,
             &mut assignment,
             &self.out_layout,
@@ -347,23 +373,29 @@ impl JoinOperator {
             let Some(recipe) = &self.recipes[port] else {
                 continue;
             };
-            let layout = self.ports[port].layout().clone();
-            let candidates: Vec<(usize, Vec<Value>)> = self.ports[port]
-                .iter_live()
-                .map(|(slot, row)| (slot, row.to_vec()))
-                .collect();
-            for (slot, row) in candidates {
-                let roots: HashMap<StreamId, Vec<Value>> = recipe
-                    .roots
-                    .iter()
-                    .map(|&s| (s, layout.slice(&row, s).expect("root in span").to_vec()))
-                    .collect();
-                if engine.check(recipe, &roots) {
-                    self.ports[port].purge(slot);
-                    total += 1;
-                } else {
-                    self.stats.kept += 1;
+            // Two-phase to satisfy the borrow checker without cloning every
+            // live row: decide on borrowed slices, then purge by slot.
+            let mut to_purge: Vec<usize> = Vec::new();
+            {
+                let state = &self.ports[port];
+                let layout = state.layout();
+                let mut roots_buf: Vec<(StreamId, &[Value])> =
+                    Vec::with_capacity(recipe.roots.len());
+                for (slot, row) in state.iter_live() {
+                    roots_buf.clear();
+                    for &s in &recipe.roots {
+                        roots_buf.push((s, layout.slice(row, s).expect("root in span")));
+                    }
+                    if engine.check_roots(recipe, &roots_buf) {
+                        to_purge.push(slot);
+                    } else {
+                        self.stats.kept += 1;
+                    }
                 }
+            }
+            for slot in to_purge {
+                self.ports[port].purge(slot);
+                total += 1;
             }
         }
         self.stats.purged += total as u64;
@@ -374,10 +406,10 @@ impl JoinOperator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tuple::Tuple;
     use cjq_core::fixtures;
     use cjq_core::punctuation::Punctuation;
     use cjq_core::schema::AttrId;
-    use crate::tuple::Tuple;
 
     fn ival(v: i64) -> Value {
         Value::Int(v)
@@ -460,7 +492,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         let row = &out[0];
         // Layout: S1(A,B) S2(B,C) S3(C,A).
-        assert_eq!(row.as_slice(), &[ival(100), ival(1), ival(1), ival(10), ival(10), ival(200)]);
+        assert_eq!(
+            row.as_slice(),
+            &[ival(100), ival(1), ival(1), ival(10), ival(10), ival(200)]
+        );
         // A second S1 tuple with the same B joins the stored pair.
         let out = op.process_tuple(0, vec![ival(101), ival(1)]);
         assert_eq!(out.len(), 1);

@@ -44,7 +44,12 @@ impl SpanLayout {
             offsets.push(width);
             width += a;
         }
-        SpanLayout { streams, offsets, arities, width }
+        SpanLayout {
+            streams,
+            offsets,
+            arities,
+            width,
+        }
     }
 
     /// The streams of the span, sorted ascending.
@@ -85,7 +90,13 @@ impl SpanLayout {
     ///
     /// # Panics
     /// Panics if `stream` is missing from either layout.
-    pub fn copy_stream(&self, out: &mut [Value], stream: StreamId, from: &SpanLayout, src: &[Value]) {
+    pub fn copy_stream(
+        &self,
+        out: &mut [Value],
+        stream: StreamId,
+        from: &SpanLayout,
+        src: &[Value],
+    ) {
         let part = from
             .slice(src, stream)
             .unwrap_or_else(|| panic!("{stream} not in source layout"));

@@ -39,6 +39,7 @@ pub mod groupby;
 pub mod join;
 pub mod layout;
 pub mod metrics;
+pub mod parallel;
 pub mod punct_store;
 pub mod purge;
 pub mod source;
@@ -53,6 +54,7 @@ pub mod prelude {
     pub use crate::groupby::{Aggregate, GroupBy};
     pub use crate::join::JoinOperator;
     pub use crate::metrics::{Metrics, StatePoint};
+    pub use crate::parallel::{Partitioning, ShardedExecutor, ShardedRunResult};
     pub use crate::punct_store::PunctStore;
     pub use crate::purge::{CheckOutcome, PurgeEngine, PurgeScope};
     pub use crate::source::Feed;

@@ -36,6 +36,11 @@ pub struct Metrics {
     pub puncts_in: u64,
     /// Feed tuples rejected for violating an earlier punctuation.
     pub violations: u64,
+    /// Violations broken down by stream (indexed by `StreamId.0`; grown on
+    /// demand). The sharded executor needs the per-stream split: broadcast
+    /// streams see every violation in every shard, partitioned streams see
+    /// each violation exactly once.
+    pub violations_by_stream: Vec<u64>,
     /// Final result tuples emitted by the root operator.
     pub outputs: u64,
     /// Aggregate rows emitted by the group-by stage.
@@ -59,6 +64,15 @@ impl Metrics {
         self.peak_mirror = self.peak_mirror.max(p.mirror);
         self.peak_punct_entries = self.peak_punct_entries.max(p.punct_entries);
         self.series.push(p);
+    }
+
+    /// Counts one punctuation-violating tuple on `stream`.
+    pub fn count_violation(&mut self, stream: usize) {
+        self.violations += 1;
+        if self.violations_by_stream.len() <= stream {
+            self.violations_by_stream.resize(stream + 1, 0);
+        }
+        self.violations_by_stream[stream] += 1;
     }
 
     /// The final sample, if any.
@@ -99,8 +113,20 @@ mod tests {
     #[test]
     fn peaks_track_samples() {
         let mut m = Metrics::default();
-        m.sample(StatePoint { at: 1, join_state: 5, mirror: 3, punct_entries: 1, groups: 0 });
-        m.sample(StatePoint { at: 2, join_state: 2, mirror: 9, punct_entries: 4, groups: 2 });
+        m.sample(StatePoint {
+            at: 1,
+            join_state: 5,
+            mirror: 3,
+            punct_entries: 1,
+            groups: 0,
+        });
+        m.sample(StatePoint {
+            at: 2,
+            join_state: 2,
+            mirror: 9,
+            punct_entries: 4,
+            groups: 2,
+        });
         assert_eq!(m.peak_join_state, 5);
         assert_eq!(m.peak_mirror, 9);
         assert_eq!(m.peak_punct_entries, 4);
@@ -111,9 +137,18 @@ mod tests {
     #[test]
     fn series_csv_renders_rows() {
         let mut m = Metrics::default();
-        m.sample(StatePoint { at: 5, join_state: 2, mirror: 3, punct_entries: 1, groups: 0 });
+        m.sample(StatePoint {
+            at: 5,
+            join_state: 2,
+            mirror: 3,
+            punct_entries: 1,
+            groups: 0,
+        });
         let csv = m.series_csv();
-        assert_eq!(csv, "at,join_state,mirror,punct_entries,groups\n5,2,3,1,0\n");
+        assert_eq!(
+            csv,
+            "at,join_state,mirror,punct_entries,groups\n5,2,3,1,0\n"
+        );
     }
 
     #[test]

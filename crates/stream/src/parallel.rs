@@ -1,0 +1,508 @@
+//! Hash-partitioned parallel execution of a compiled plan.
+//!
+//! A [`ShardedExecutor`] runs `P` independent single-threaded [`Executor`]
+//! shards, each an unmodified sequential engine, and routes the feed across
+//! them:
+//!
+//! * **Tuples** of a *partitioned* stream go to the one shard selected by
+//!   hashing the stream's partition attribute; tuples of *broadcast* streams
+//!   go to every shard.
+//! * **Punctuations** on a partitioned stream whose pattern pins the
+//!   partition attribute to a constant `c` go only to shard `h(c)`; every
+//!   other punctuation is broadcast.
+//!
+//! The partition attributes are one join-attribute **equivalence class**
+//! (union-find over the query's equi-join predicates): in any fully-joining
+//! combination all class attributes carry the same value, so every
+//! contributing partitioned tuple lands in the same shard and each result is
+//! emitted by exactly one shard. Streams with no attribute in the chosen
+//! class fall back to broadcast.
+//!
+//! Per-shard purging stays safe: each shard is a sequential executor over a
+//! consistent subsequence of the feed, and its purge decisions only ever
+//! consume real punctuations — global promises about the stream — so a purge
+//! that is sound for the whole stream is a fortiori sound for the shard's
+//! slice of it (Theorem 1 applies shard-locally). Targeted routing also keeps
+//! shards *able* to purge: any chained-purge requirement a shard derives
+//! binds the partition attribute from shard-local rows, whose class values
+//! hash to that very shard — so the covering punctuation is routed there.
+//!
+//! The payoff on purge-dominated workloads is that a targeted punctuation
+//! triggers a purge cycle in **one** shard scanning `~live/P` candidates
+//! instead of one cycle scanning all live state, cutting total purge work by
+//! roughly the shard count — independent of how many cores execute the
+//! shards.
+//!
+//! The sharded executor does not support a group-by stage (aggregation
+//! requires a global view of each group); use the sequential [`Executor`]
+//! for aggregating queries.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use cjq_core::error::CoreResult;
+use cjq_core::fxhash::{fx_hash_one, FxHashMap, FxHashSet};
+use cjq_core::plan::Plan;
+use cjq_core::query::Cjq;
+use cjq_core::schema::{AttrId, AttrRef, StreamId};
+use cjq_core::scheme::SchemeSet;
+use cjq_core::value::Value;
+
+use crate::element::StreamElement;
+use crate::exec::{ExecConfig, Executor, LiveStateSnapshot, RunResult};
+use crate::metrics::Metrics;
+use crate::source::Feed;
+
+/// Elements per routed batch (amortizes channel synchronization).
+const ROUTE_BATCH: usize = 256;
+
+/// How the feed's streams are split across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Per stream (indexed by `StreamId.0`): the hash-partition attribute,
+    /// or `None` when the stream is broadcast to every shard.
+    pub attr: Vec<Option<AttrId>>,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+fn uf_find(parent: &mut [usize], x: usize) -> usize {
+    let mut root = x;
+    while parent[root] != root {
+        root = parent[root];
+    }
+    let mut cur = x;
+    while parent[cur] != root {
+        let next = parent[cur];
+        parent[cur] = root;
+        cur = next;
+    }
+    root
+}
+
+impl Partitioning {
+    /// Computes the partitioning for `query` over `shards` shards.
+    ///
+    /// Join attributes are grouped into equivalence classes by union-find
+    /// over the equi-join predicates. The class touching the most streams
+    /// wins (deterministic tiebreak: smallest `(stream, attr)` member); each
+    /// stream with an attribute in the winning class is partitioned on its
+    /// smallest such attribute, all other streams broadcast.
+    #[must_use]
+    pub fn for_query(query: &Cjq, shards: usize) -> Partitioning {
+        assert!(shards >= 1, "need at least one shard");
+        let mut ids: FxHashMap<AttrRef, usize> = FxHashMap::default();
+        let mut nodes: Vec<AttrRef> = Vec::new();
+        let mut parent: Vec<usize> = Vec::new();
+        let mut node = |r: AttrRef, parent: &mut Vec<usize>, nodes: &mut Vec<AttrRef>| {
+            *ids.entry(r).or_insert_with(|| {
+                nodes.push(r);
+                parent.push(parent.len());
+                parent.len() - 1
+            })
+        };
+        for p in query.predicates() {
+            let a = node(p.left, &mut parent, &mut nodes);
+            let b = node(p.right, &mut parent, &mut nodes);
+            let (ra, rb) = (uf_find(&mut parent, a), uf_find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        // Group members by class root.
+        let mut classes: FxHashMap<usize, Vec<AttrRef>> = FxHashMap::default();
+        for (i, &node) in nodes.iter().enumerate() {
+            let root = uf_find(&mut parent, i);
+            classes.entry(root).or_default().push(node);
+        }
+        // Winner: most distinct streams, then smallest (stream, attr) member.
+        let mut best: Option<(usize, AttrRef, &Vec<AttrRef>)> = None;
+        for members in classes.values() {
+            let streams: FxHashSet<StreamId> = members.iter().map(|r| r.stream).collect();
+            let min = *members.iter().min().expect("class is non-empty");
+            let better = match &best {
+                None => true,
+                Some((n, m, _)) => streams.len() > *n || (streams.len() == *n && min < *m),
+            };
+            if better {
+                best = Some((streams.len(), min, members));
+            }
+        }
+        let mut attr: Vec<Option<AttrId>> = vec![None; query.n_streams()];
+        if let Some((_, _, members)) = best {
+            for r in members {
+                let slot = &mut attr[r.stream.0];
+                *slot = Some(slot.map_or(r.attr, |a| a.min(r.attr)));
+            }
+        }
+        Partitioning { attr, shards }
+    }
+
+    /// Whether `stream` is hash-partitioned (as opposed to broadcast).
+    #[inline]
+    #[must_use]
+    pub fn is_partitioned(&self, stream: StreamId) -> bool {
+        self.attr[stream.0].is_some()
+    }
+
+    /// The shard a partition-attribute value routes to.
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, v: &Value) -> usize {
+        (fx_hash_one(v) % self.shards as u64) as usize
+    }
+
+    /// Where an element goes: `Some(shard)` for a targeted element, `None`
+    /// for broadcast.
+    #[must_use]
+    pub fn route(&self, e: &StreamElement) -> Option<usize> {
+        match e {
+            StreamElement::Tuple(t) => self.attr[t.stream.0].map(|a| self.shard_of(&t.values[a.0])),
+            StreamElement::Punctuation(p) => self.attr[p.stream.0].and_then(|a| {
+                p.constant_attrs()
+                    .find(|(pa, _)| *pa == a)
+                    .map(|(_, v)| self.shard_of(v))
+            }),
+        }
+    }
+}
+
+/// Result of a sharded run.
+///
+/// Physical counters (`metrics.purged`, peaks, `purge_cycles`...) are summed
+/// across shards — broadcast state is replicated, so they can exceed a
+/// sequential run's. The *logical* fields deduplicate: broadcast state,
+/// inserted identically in every shard, is unioned by (deterministic) slot
+/// id; partitioned state is disjoint across shards and summed.
+#[derive(Debug)]
+pub struct ShardedRunResult {
+    /// Merged result tuples. Each result is produced by exactly one shard
+    /// (the one its partition-class value hashes to), so this is the same
+    /// multiset a sequential run emits, in per-shard order.
+    pub outputs: Vec<Vec<Value>>,
+    /// Merged metrics. `tuples_in`/`puncts_in`/`violations`/`outputs` are
+    /// logical feed-level counts; purge/peak counters are physical sums;
+    /// `elapsed_ns` is the wall-clock time of the whole sharded run; the
+    /// sample series is left empty (see the per-shard results).
+    pub metrics: Metrics,
+    /// Logical live join-state tuples at end of run.
+    pub logical_join_state: usize,
+    /// Logical live mirror tuples at end of run.
+    pub logical_mirror: usize,
+    /// Per-shard results (their `outputs` were moved into the merged vec;
+    /// everything else, including the sample series, is intact).
+    pub shards: Vec<RunResult>,
+}
+
+/// A compiled plan, runnable over `P` hash-partitioned shards.
+#[derive(Debug)]
+pub struct ShardedExecutor {
+    query: Cjq,
+    schemes: SchemeSet,
+    plan: Plan,
+    cfg: ExecConfig,
+    partitioning: Partitioning,
+    /// Per operator (bottom-up), per port: the port's span. Used to classify
+    /// each port as disjoint (spans a partitioned stream) or replicated.
+    port_spans: Vec<Vec<Vec<StreamId>>>,
+}
+
+impl ShardedExecutor {
+    /// Compiles `plan` for sharded execution over `shards` shards.
+    ///
+    /// Validation matches [`Executor::compile`]; the partitioning is derived
+    /// from the query alone (see [`Partitioning::for_query`]).
+    pub fn compile(
+        query: &Cjq,
+        schemes: &SchemeSet,
+        plan: &Plan,
+        cfg: ExecConfig,
+        shards: usize,
+    ) -> CoreResult<Self> {
+        let template = Executor::compile(query, schemes, plan, cfg)?;
+        let port_spans = template
+            .operators()
+            .iter()
+            .map(|op| op.port_spans().to_vec())
+            .collect();
+        Ok(ShardedExecutor {
+            query: query.clone(),
+            schemes: schemes.clone(),
+            plan: plan.clone(),
+            cfg,
+            partitioning: Partitioning::for_query(query, shards),
+            port_spans,
+        })
+    }
+
+    /// The stream-to-shard partitioning in effect.
+    #[must_use]
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Runs the whole feed through `P` shard workers and merges the results.
+    ///
+    /// The router walks the feed once, sending element *indices* in batches
+    /// over bounded channels; workers borrow the feed directly, so no element
+    /// is copied on the way in. Each worker is a plain sequential
+    /// [`Executor`] fed a subsequence of the feed in order.
+    ///
+    /// # Panics
+    /// Panics if the feed exceeds `u32::MAX` elements or a worker panics.
+    #[must_use]
+    pub fn run(&self, feed: &Feed) -> ShardedRunResult {
+        let p = self.partitioning.shards;
+        assert!(u32::try_from(feed.len()).is_ok(), "feed too long to route");
+        let start = Instant::now();
+        let execs: Vec<Executor> = (0..p)
+            .map(|_| {
+                Executor::compile(&self.query, &self.schemes, &self.plan, self.cfg)
+                    .expect("validated in ShardedExecutor::compile")
+            })
+            .collect();
+
+        let mut router_tuples = 0u64;
+        let mut router_puncts = 0u64;
+        let finished: Vec<(RunResult, LiveStateSnapshot)> = std::thread::scope(|scope| {
+            let elements = feed.elements();
+            let mut senders = Vec::with_capacity(p);
+            let mut handles = Vec::with_capacity(p);
+            for exec in execs {
+                let (tx, rx) = mpsc::sync_channel::<Vec<u32>>(4);
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut exec = exec;
+                    while let Ok(batch) = rx.recv() {
+                        for idx in batch {
+                            exec.push(&elements[idx as usize]);
+                        }
+                    }
+                    exec.finish_detailed()
+                }));
+            }
+            let mut buffers: Vec<Vec<u32>> = vec![Vec::with_capacity(ROUTE_BATCH); p];
+            let mut send_to = |shard: usize, idx: u32| {
+                let buf = &mut buffers[shard];
+                buf.push(idx);
+                if buf.len() >= ROUTE_BATCH {
+                    let full = std::mem::replace(buf, Vec::with_capacity(ROUTE_BATCH));
+                    senders[shard].send(full).expect("shard worker hung up");
+                }
+            };
+            for (i, e) in elements.iter().enumerate() {
+                if e.is_punctuation() {
+                    router_puncts += 1;
+                } else {
+                    router_tuples += 1;
+                }
+                let idx = i as u32;
+                match self.partitioning.route(e) {
+                    Some(shard) => send_to(shard, idx),
+                    None => (0..p).for_each(|shard| send_to(shard, idx)),
+                }
+            }
+            for (shard, buf) in buffers.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    senders[shard].send(buf).expect("shard worker hung up");
+                }
+            }
+            drop(senders); // close channels: workers drain, purge, and report
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        let (mut shards, snapshots): (Vec<RunResult>, Vec<LiveStateSnapshot>) =
+            finished.into_iter().unzip();
+        let outputs: Vec<Vec<Value>> = shards
+            .iter_mut()
+            .flat_map(|r| std::mem::take(&mut r.outputs))
+            .collect();
+
+        let n_streams = self.query.n_streams();
+        let mut metrics = Metrics::default();
+        let mut violations_by_stream = vec![0u64; n_streams];
+        for (s, out) in violations_by_stream.iter_mut().enumerate() {
+            let per_shard =
+                |r: &RunResult| r.metrics.violations_by_stream.get(s).copied().unwrap_or(0);
+            *out = if self.partitioning.attr[s].is_some() {
+                // Each violating tuple is routed (and rejected) exactly once.
+                shards.iter().map(per_shard).sum()
+            } else {
+                // Broadcast streams replay identically in every shard.
+                per_shard(&shards[0])
+            };
+        }
+        metrics.violations = violations_by_stream.iter().sum();
+        metrics.violations_by_stream = violations_by_stream;
+        metrics.tuples_in = router_tuples - metrics.violations;
+        metrics.puncts_in = router_puncts;
+        metrics.outputs = outputs.len() as u64;
+        for r in &shards {
+            metrics.purged += r.metrics.purged;
+            metrics.mirror_purged += r.metrics.mirror_purged;
+            metrics.punct_dropped += r.metrics.punct_dropped;
+            metrics.purge_cycles += r.metrics.purge_cycles;
+            metrics.peak_join_state += r.metrics.peak_join_state;
+            metrics.peak_mirror += r.metrics.peak_mirror;
+            metrics.peak_punct_entries += r.metrics.peak_punct_entries;
+        }
+        metrics.elapsed_ns = start.elapsed().as_nanos();
+
+        let merge = |slot_lists: Vec<&Vec<usize>>, disjoint: bool| -> usize {
+            if disjoint {
+                slot_lists.iter().map(|l| l.len()).sum()
+            } else {
+                let union: FxHashSet<usize> =
+                    slot_lists.iter().flat_map(|l| l.iter().copied()).collect();
+                union.len()
+            }
+        };
+        let mut logical_join_state = 0usize;
+        for (op, ports) in self.port_spans.iter().enumerate() {
+            for (port, span) in ports.iter().enumerate() {
+                let disjoint = span.iter().any(|&s| self.partitioning.is_partitioned(s));
+                let lists = snapshots
+                    .iter()
+                    .map(|s| &s.op_port_slots[op][port])
+                    .collect();
+                logical_join_state += merge(lists, disjoint);
+            }
+        }
+        let mut logical_mirror = 0usize;
+        for s in 0..n_streams {
+            let disjoint = self.partitioning.attr[s].is_some();
+            let lists = snapshots.iter().map(|snap| &snap.mirror_slots[s]).collect();
+            logical_mirror += merge(lists, disjoint);
+        }
+
+        ShardedRunResult {
+            outputs,
+            metrics,
+            logical_join_state,
+            logical_mirror,
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use cjq_core::fixtures;
+    use cjq_core::punctuation::Punctuation;
+    use cjq_core::schema::AttrId;
+
+    fn ival(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    #[test]
+    fn auction_partitions_both_streams_on_itemid() {
+        let (q, _) = fixtures::auction();
+        let part = Partitioning::for_query(&q, 4);
+        assert_eq!(part.attr, vec![Some(AttrId(1)), Some(AttrId(1))]);
+        assert!(part.is_partitioned(StreamId(0)));
+    }
+
+    #[test]
+    fn fig5_partitions_the_a_class_and_broadcasts_s2() {
+        // Classes: {S1.A,S3.A}, {S1.B,S2.B}, {S2.C,S3.C} — all touch two
+        // streams; the tiebreak picks the one containing (S1, A).
+        let (q, _) = fixtures::fig5();
+        let part = Partitioning::for_query(&q, 2);
+        assert_eq!(part.attr[0], Some(AttrId(0)));
+        assert_eq!(part.attr[1], None, "S2 has no attribute in the A-class");
+        assert_eq!(part.attr[2], Some(AttrId(0)));
+    }
+
+    #[test]
+    fn routing_targets_constants_on_the_partition_attribute() {
+        let (q, _) = fixtures::auction();
+        let part = Partitioning::for_query(&q, 4);
+        let t = StreamElement::from(Tuple::of(1, vec![ival(9), ival(42), ival(1)]));
+        let shard = part.route(&t).expect("partitioned stream is targeted");
+        // A punctuation pinning itemid=42 goes to the same shard.
+        let p = StreamElement::from(Punctuation::with_constants(
+            StreamId(1),
+            3,
+            &[(AttrId(1), ival(42))],
+        ));
+        assert_eq!(part.route(&p), Some(shard));
+        // A punctuation not pinning the partition attribute broadcasts.
+        let wild = StreamElement::from(Punctuation::with_constants(
+            StreamId(1),
+            3,
+            &[(AttrId(0), ival(9))],
+        ));
+        assert_eq!(part.route(&wild), None);
+    }
+
+    #[test]
+    fn sharded_auction_matches_sequential() {
+        let (q, r) = fixtures::auction();
+        let plan = Plan::mjoin_all(&q);
+        let mut feed = Feed::new();
+        for i in 0..60i64 {
+            feed.push(Tuple::of(
+                0,
+                vec![ival(7), ival(i), Value::str("x"), ival(100)],
+            ));
+            feed.push(Tuple::of(1, vec![ival(3), ival(i), ival(1)]));
+            feed.push(Tuple::of(1, vec![ival(4), ival(i), ival(2)]));
+            feed.push(StreamElement::Punctuation(Punctuation::with_constants(
+                StreamId(0),
+                4,
+                &[(AttrId(1), ival(i))],
+            )));
+            feed.push(StreamElement::Punctuation(Punctuation::with_constants(
+                StreamId(1),
+                3,
+                &[(AttrId(1), ival(i))],
+            )));
+        }
+        let seq = Executor::compile(&q, &r, &plan, ExecConfig::default())
+            .unwrap()
+            .run(&feed);
+        for p in [1, 3] {
+            let sharded = ShardedExecutor::compile(&q, &r, &plan, ExecConfig::default(), p)
+                .unwrap()
+                .run(&feed);
+            let mut a = seq.outputs.clone();
+            let mut b = sharded.outputs.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "P={p} output multiset differs");
+            assert_eq!(sharded.metrics.outputs, seq.metrics.outputs);
+            assert_eq!(sharded.metrics.tuples_in, seq.metrics.tuples_in);
+            assert_eq!(sharded.metrics.puncts_in, seq.metrics.puncts_in);
+            // Fully punctuation-closed feed: all state purged everywhere.
+            assert_eq!(sharded.logical_join_state, 0);
+            assert_eq!(seq.metrics.last().unwrap().join_state, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_run_counts_violations_once() {
+        let (q, r) = fixtures::auction();
+        let plan = Plan::mjoin_all(&q);
+        let feed = Feed::from_elements(vec![
+            StreamElement::Punctuation(Punctuation::with_constants(
+                StreamId(1),
+                3,
+                &[(AttrId(1), ival(5))],
+            )),
+            // Violates the punctuation above — rejected by exactly one shard.
+            Tuple::of(1, vec![ival(1), ival(5), ival(1)]).into(),
+            Tuple::of(1, vec![ival(1), ival(6), ival(1)]).into(),
+        ]);
+        let sharded = ShardedExecutor::compile(&q, &r, &plan, ExecConfig::default(), 4)
+            .unwrap()
+            .run(&feed);
+        assert_eq!(sharded.metrics.violations, 1);
+        assert_eq!(sharded.metrics.tuples_in, 1);
+    }
+}

@@ -9,11 +9,11 @@
 //! punctuations from partner streams make them unnecessary; driven by the
 //! operator, which knows the join topology).
 
-use std::collections::HashMap;
+use cjq_core::fxhash::FxHashMap;
 
 use cjq_core::punctuation::Punctuation;
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::value::Value;
 
 /// Outcome of inserting a punctuation.
@@ -34,7 +34,7 @@ pub struct PunctStore {
     schemes: Vec<PunctuationScheme>,
     /// Per scheme: constant combination (in scheme attribute order) → arrival
     /// sequence number (for lifespan expiry).
-    entries: Vec<HashMap<Vec<Value>, u64>>,
+    entries: Vec<FxHashMap<Vec<Value>, u64>>,
     /// Per scheme: the running maximum heartbeat bound (ordered schemes
     /// only) and its arrival time. One threshold covers the whole prefix —
     /// O(1) store state per ordered scheme.
@@ -50,9 +50,16 @@ impl PunctStore {
     #[must_use]
     pub fn new(stream: StreamId, schemes: &SchemeSet, lifespan: Option<u64>) -> Self {
         let schemes: Vec<PunctuationScheme> = schemes.for_stream(stream).cloned().collect();
-        let entries = vec![HashMap::new(); schemes.len()];
+        let entries = vec![FxHashMap::default(); schemes.len()];
         let thresholds = vec![None; schemes.len()];
-        PunctStore { stream, schemes, entries, thresholds, unmatched: Vec::new(), lifespan }
+        PunctStore {
+            stream,
+            schemes,
+            entries,
+            thresholds,
+            unmatched: Vec::new(),
+            lifespan,
+        }
     }
 
     /// The stream this store serves.
@@ -79,12 +86,10 @@ impl PunctStore {
         for (i, scheme) in self.schemes.iter().enumerate() {
             if scheme.is_instance(p) {
                 if scheme.is_ordered() {
-                    let bound = p.patterns[scheme.punctuatable()[0].0]
+                    let bound = *p.patterns[scheme.punctuatable()[0].0]
                         .bound()
-                        .expect("ordered instance carries a bound")
-                        .clone();
-                    let advance = self
-                        .thresholds[i]
+                        .expect("ordered instance carries a bound");
+                    let advance = self.thresholds[i]
                         .as_ref()
                         .is_none_or(|(cur, _)| *cur < bound);
                     if advance {
@@ -97,10 +102,9 @@ impl PunctStore {
                         .punctuatable()
                         .iter()
                         .map(|a| {
-                            p.patterns[a.0]
+                            *p.patterns[a.0]
                                 .constant()
                                 .expect("instance has constants on punctuatable attrs")
-                                .clone()
                         })
                         .collect();
                     self.entries[i].insert(combo, now);
@@ -143,11 +147,7 @@ impl PunctStore {
     #[must_use]
     pub fn matches_tuple(&self, values: &[Value]) -> bool {
         let scheme_hit = self.schemes.iter().enumerate().any(|(i, s)| {
-            let combo: Vec<Value> = s
-                .punctuatable()
-                .iter()
-                .map(|a| values[a.0].clone())
-                .collect();
+            let combo: Vec<Value> = s.punctuatable().iter().map(|a| values[a.0]).collect();
             self.covers(i, &combo)
         });
         scheme_hit || self.unmatched.iter().any(|p| p.matches(values))
@@ -168,7 +168,9 @@ impl PunctStore {
             dropped += before - m.len();
         }
         for t in &mut self.thresholds {
-            if t.as_ref().is_some_and(|(_, at)| now.saturating_sub(*at) > lifespan) {
+            if t.as_ref()
+                .is_some_and(|(_, at)| now.saturating_sub(*at) > lifespan)
+            {
                 *t = None;
                 dropped += 1;
             }
@@ -191,7 +193,7 @@ impl PunctStore {
     /// thresholds + unmatched).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.iter().map(HashMap::len).sum::<usize>()
+        self.entries.iter().map(FxHashMap::len).sum::<usize>()
             + self.thresholds.iter().flatten().count()
             + self.unmatched.len()
     }
@@ -228,7 +230,10 @@ mod tests {
     #[test]
     fn insert_matches_schemes() {
         let mut store = bid_store(None);
-        assert_eq!(store.insert(&punct(&[(1, 7)]), 0), InsertOutcome::Matched(0));
+        assert_eq!(
+            store.insert(&punct(&[(1, 7)]), 0),
+            InsertOutcome::Matched(0)
+        );
         assert_eq!(
             store.insert(&punct(&[(0, 3), (1, 7)]), 1),
             InsertOutcome::Matched(1)
@@ -311,10 +316,12 @@ mod tests {
 
     #[test]
     fn ordered_thresholds_expire_with_lifespans() {
-        let schemes =
-            SchemeSet::from_schemes([PunctuationScheme::ordered_on(1, 1).unwrap()]);
+        let schemes = SchemeSet::from_schemes([PunctuationScheme::ordered_on(1, 1).unwrap()]);
         let mut store = PunctStore::new(StreamId(1), &schemes, Some(10));
-        store.insert(&Punctuation::heartbeat(StreamId(1), 3, AttrId(1), Value::Int(5)), 0);
+        store.insert(
+            &Punctuation::heartbeat(StreamId(1), 3, AttrId(1), Value::Int(5)),
+            0,
+        );
         assert_eq!(store.expire(5), 0);
         assert_eq!(store.expire(20), 1);
         assert!(!store.covers(0, &[Value::Int(1)]));

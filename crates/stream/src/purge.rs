@@ -34,13 +34,14 @@
 //! must be computed against the raw arrival history (minus query-level-dead
 //! tuples, which can never contribute again).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
+use cjq_core::fxhash::{FxHashMap, FxHashSet};
 use cjq_core::punctuation::Punctuation;
 use cjq_core::purge_plan::{self, PurgeRecipe};
 use cjq_core::query::Cjq;
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::StreamId;
+use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
@@ -280,6 +281,16 @@ impl PurgeEngine {
     /// dead (purgeable now).
     #[must_use]
     pub fn check(&self, recipe: &CompiledRecipe, roots: &HashMap<StreamId, Vec<Value>>) -> bool {
+        let roots: Vec<(StreamId, &[Value])> =
+            roots.iter().map(|(&s, row)| (s, row.as_slice())).collect();
+        self.check_impl(recipe, &roots, false).is_purgeable()
+    }
+
+    /// Like [`PurgeEngine::check`] with borrowed root rows — the purge-pass
+    /// hot path (no per-candidate map or row clones).
+    #[inline]
+    #[must_use]
+    pub fn check_roots(&self, recipe: &CompiledRecipe, roots: &[(StreamId, &[Value])]) -> bool {
         self.check_impl(recipe, roots, false).is_purgeable()
     }
 
@@ -292,32 +303,35 @@ impl PurgeEngine {
         recipe: &CompiledRecipe,
         roots: &HashMap<StreamId, Vec<Value>>,
     ) -> CheckOutcome {
-        self.check_impl(recipe, roots, true)
+        let roots: Vec<(StreamId, &[Value])> =
+            roots.iter().map(|(&s, row)| (s, row.as_slice())).collect();
+        self.check_impl(recipe, &roots, true)
     }
 
-    fn check_impl(
-        &self,
+    fn check_impl<'a>(
+        &'a self,
         recipe: &CompiledRecipe,
-        roots: &HashMap<StreamId, Vec<Value>>,
+        roots: &[(StreamId, &'a [Value])],
         collect: bool,
     ) -> CheckOutcome {
-        // chain: stream -> joinable raw rows (the paper's T_t[Υ_S]).
-        let mut chain: HashMap<StreamId, Vec<Vec<Value>>> = roots
-            .iter()
-            .map(|(&s, row)| (s, vec![row.clone()]))
-            .collect();
+        // chain: stream -> joinable raw rows (the paper's T_t[Υ_S]). Rows are
+        // borrowed from the caller (roots) or from the mirror states — the
+        // whole walk copies no tuple data.
+        let mut chain: FxHashMap<StreamId, Vec<&'a [Value]>> =
+            roots.iter().map(|&(s, row)| (s, vec![row])).collect();
         for (step_idx, step) in recipe.steps.iter().enumerate() {
             // Required combinations: cartesian product of the per-binding
             // distinct value sets drawn from the chain.
-            let sets: Vec<Vec<&Value>> = step
+            let sets: Vec<Vec<Value>> = step
                 .bindings
                 .iter()
                 .map(|&(src, col)| {
-                    let mut vals: Vec<&Value> =
-                        chain[&src].iter().map(|row| &row[col]).collect();
-                    vals.sort_unstable();
-                    vals.dedup();
-                    vals
+                    let mut seen = FxHashSet::default();
+                    chain[&src]
+                        .iter()
+                        .map(|row| row[col])
+                        .filter(|v| seen.insert(*v))
+                        .collect()
                 })
                 .collect();
             let total: usize = sets.iter().map(Vec::len).product();
@@ -332,13 +346,12 @@ impl PurgeEngine {
             if total > 0 {
                 let store = &self.puncts[step.target.0];
                 let mut combo = vec![0usize; sets.len()];
+                let mut values: Vec<Value> = vec![Value::Null; sets.len()];
                 let mut missing: Vec<Vec<Value>> = Vec::new();
                 'outer: loop {
-                    let values: Vec<Value> = combo
-                        .iter()
-                        .zip(&sets)
-                        .map(|(&i, set)| set[i].clone())
-                        .collect();
+                    for (pos, &i) in combo.iter().enumerate() {
+                        values[pos] = sets[pos][i];
+                    }
                     if !store.covers(step.scheme_idx, &values) {
                         if !collect {
                             return CheckOutcome::MissingCoverage {
@@ -347,7 +360,7 @@ impl PurgeEngine {
                                 missing: Vec::new(),
                             };
                         }
-                        missing.push(values);
+                        missing.push(values.clone());
                         if missing.len() >= 3 {
                             break 'outer;
                         }
@@ -374,12 +387,11 @@ impl PurgeEngine {
             }
             // Next chain set: mirror tuples of `target` that semi-join the
             // chain on every in-span predicate towards reached streams.
-            let filter_sets: Vec<(usize, HashSet<&Value>)> = step
+            let filter_sets: Vec<(usize, FxHashSet<Value>)> = step
                 .filters
                 .iter()
                 .map(|&(tcol, src, scol)| {
-                    let set: HashSet<&Value> =
-                        chain[&src].iter().map(|row| &row[scol]).collect();
+                    let set: FxHashSet<Value> = chain[&src].iter().map(|row| row[scol]).collect();
                     (tcol, set)
                 })
                 .collect();
@@ -390,12 +402,10 @@ impl PurgeEngine {
             let probe_with = filter_sets
                 .iter()
                 .enumerate()
-                .filter(|(_, (tcol, set))| {
-                    state.has_index(*tcol) && set.len() * 4 < state.live()
-                })
+                .filter(|(_, (tcol, set))| state.has_index(*tcol) && set.len() * 4 < state.live())
                 .min_by_key(|(_, (_, set))| set.len())
                 .map(|(i, _)| i);
-            let rows: Vec<Vec<Value>> = if let Some(fi) = probe_with {
+            let rows: Vec<&'a [Value]> = if let Some(fi) = probe_with {
                 let (tcol, values) = &filter_sets[fi];
                 let mut slots: Vec<usize> = values
                     .iter()
@@ -406,12 +416,7 @@ impl PurgeEngine {
                 slots
                     .into_iter()
                     .filter_map(|slot| state.get(slot))
-                    .filter(|row| {
-                        filter_sets
-                            .iter()
-                            .all(|(tc, set)| set.contains(&row[*tc]))
-                    })
-                    .map(<[Value]>::to_vec)
+                    .filter(|row| filter_sets.iter().all(|(tc, set)| set.contains(&row[*tc])))
                     .collect()
             } else {
                 state
@@ -421,7 +426,7 @@ impl PurgeEngine {
                             .iter()
                             .all(|(tcol, set)| set.contains(&row[*tcol]))
                     })
-                    .map(|(_, row)| row.to_vec())
+                    .map(|(_, row)| row)
                     .collect()
             };
             chain.insert(step.target, rows);
@@ -434,20 +439,20 @@ impl PurgeEngine {
     pub fn purge_mirror(&mut self) -> usize {
         let mut purged_total = 0;
         for s in 0..self.states.len() {
-            let Some(recipe) = self.mirror_recipes[s].clone() else {
+            let Some(recipe) = &self.mirror_recipes[s] else {
                 continue;
             };
             let stream = StreamId(s);
-            let candidates: Vec<(usize, Vec<Value>)> = self.states[s]
+            // Decide on borrowed rows (the check reads other mirror states,
+            // never mutates), then purge by slot.
+            let to_purge: Vec<usize> = self.states[s]
                 .iter_live()
-                .map(|(slot, row)| (slot, row.to_vec()))
+                .filter(|&(_, row)| self.check_roots(recipe, &[(stream, row)]))
+                .map(|(slot, _)| slot)
                 .collect();
-            for (slot, row) in candidates {
-                let roots = HashMap::from([(stream, row)]);
-                if self.check(&recipe, &roots) {
-                    self.states[s].purge(slot);
-                    purged_total += 1;
-                }
+            purged_total += to_purge.len();
+            for slot in to_purge {
+                self.states[s].purge(slot);
             }
         }
         self.mirror_purged += purged_total as u64;
@@ -520,7 +525,7 @@ fn compile_recipe(
     puncts: &[PunctStore],
 ) -> CompiledRecipe {
     let mut reached: Vec<StreamId> = recipe.roots.clone();
-    let in_span: HashSet<StreamId> = span.iter().copied().collect();
+    let in_span: FxHashSet<StreamId> = span.iter().copied().collect();
     let steps = recipe
         .steps
         .iter()
@@ -543,10 +548,18 @@ fn compile_recipe(
                 })
                 .collect();
             reached.push(step.target);
-            CompiledStep { target: step.target, scheme_idx, bindings, filters }
+            CompiledStep {
+                target: step.target,
+                scheme_idx,
+                bindings,
+                filters,
+            }
         })
         .collect();
-    CompiledRecipe { roots: recipe.roots.clone(), steps }
+    CompiledRecipe {
+        roots: recipe.roots.clone(),
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -637,7 +650,15 @@ mod tests {
     fn mirror_purge_drops_dead_tuples() {
         let (_q, _r, mut e) = engine(fixtures::auction);
         // Two items; punctuations close item 1's bids and certify unique ids.
-        e.observe_tuple(&Tuple::of(0, [Value::Int(7), Value::Int(1), Value::from("tv"), Value::Int(100)]));
+        e.observe_tuple(&Tuple::of(
+            0,
+            [
+                Value::Int(7),
+                Value::Int(1),
+                Value::from("tv"),
+                Value::Int(100),
+            ],
+        ));
         e.observe_tuple(&Tuple::of(1, [Value::Int(3), Value::Int(1), Value::Int(5)]));
         e.observe_tuple(&Tuple::of(1, [Value::Int(4), Value::Int(2), Value::Int(9)]));
         assert_eq!(e.mirror_live(), 3);
@@ -673,7 +694,11 @@ mod tests {
 
         // Nothing punctuated: step 0 (guard S2) blocks, missing b=1.
         match e.explain(&recipe, &roots) {
-            CheckOutcome::MissingCoverage { step, target, missing } => {
+            CheckOutcome::MissingCoverage {
+                step,
+                target,
+                missing,
+            } => {
                 assert_eq!(step, 0);
                 assert_eq!(target, StreamId(1));
                 assert_eq!(missing, vec![vec![Value::Int(1)]]);
@@ -683,7 +708,11 @@ mod tests {
         // Guard S2: now step 1 (guard S3) blocks, missing c=10.
         e.observe_punctuation(&punct(1, 2, &[(0, 1)]), 0);
         match e.explain(&recipe, &roots) {
-            CheckOutcome::MissingCoverage { step, target, missing } => {
+            CheckOutcome::MissingCoverage {
+                step,
+                target,
+                missing,
+            } => {
                 assert_eq!(step, 1);
                 assert_eq!(target, StreamId(2));
                 assert_eq!(missing, vec![vec![Value::Int(10)]]);
@@ -707,7 +736,11 @@ mod tests {
         e.observe_punctuation(&punct(1, 2, &[(0, 1)]), 0);
         let roots = HashMap::from([(StreamId(0), vec![Value::Int(1), Value::Int(1)])]);
         match e.explain(&recipe, &roots) {
-            CheckOutcome::TooManyCombinations { step, target, required } => {
+            CheckOutcome::TooManyCombinations {
+                step,
+                target,
+                required,
+            } => {
                 assert_eq!(step, 1);
                 assert_eq!(target, StreamId(2));
                 assert_eq!(required, 2);
@@ -752,8 +785,8 @@ mod tests {
         // A live S2 tuple with B=1 blocks purging even with the certificate.
         e8.observe_tuple(&Tuple::of(1, [Value::Int(1), Value::Int(9)]));
         e8.observe_punctuation(&punct(1, 2, &[(0, 1)]), 1); // S2(+,_): B = 1
-        // S1.B entry: partner S2 has live tuple with B=1 -> keep. S2.B entry:
-        // partner S1 has no live tuple and S1.B covers 1 -> droppable.
+                                                            // S1.B entry: partner S2 has live tuple with B=1 -> keep. S2.B entry:
+                                                            // partner S1 has no live tuple and S1.B covers 1 -> droppable.
         assert_eq!(e8.purge_punctuations(&q8), 1);
         let _ = (q, r); // fig. 5 fixture only used for the negative case
     }

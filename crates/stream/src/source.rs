@@ -66,8 +66,10 @@ impl Feed {
     pub fn weighted(scripts: Vec<Vec<StreamElement>>, weights: &[u32]) -> Self {
         assert_eq!(scripts.len(), weights.len(), "one weight per script");
         assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
-        let mut iters: Vec<std::iter::Peekable<std::vec::IntoIter<StreamElement>>> =
-            scripts.into_iter().map(|s| s.into_iter().peekable()).collect();
+        let mut iters: Vec<std::iter::Peekable<std::vec::IntoIter<StreamElement>>> = scripts
+            .into_iter()
+            .map(|s| s.into_iter().peekable())
+            .collect();
         let mut credit: Vec<u64> = vec![0; iters.len()];
         let mut items = Vec::new();
         loop {
@@ -183,8 +185,11 @@ mod tests {
         let heavy = first_20.iter().filter(|&&s| s == 1).count();
         assert!((13..=17).contains(&heavy), "heavy stream count {heavy}");
         // Relative order within each script is preserved.
-        let s0: Vec<&StreamElement> =
-            feed.elements().iter().filter(|e| e.stream() == StreamId(0)).collect();
+        let s0: Vec<&StreamElement> = feed
+            .elements()
+            .iter()
+            .filter(|e| e.stream() == StreamId(0))
+            .collect();
         for (i, e) in s0.iter().enumerate() {
             assert_eq!(**e, t(0, i as i64));
         }

@@ -1,12 +1,15 @@
 //! Join-state storage for one operator input port (the paper's `Υ_S`).
 //!
 //! A symmetric (M)join must store every input until punctuations prove it
-//! dead. [`PortState`] keeps composite tuples in an arena with tombstones and
-//! maintains hash indexes on the flat columns used by the operator's join
-//! predicates, so probing is hash-based as in the symmetric hash join \[14\].
+//! dead. [`PortState`] keeps composite tuples in a **flat arena** — one
+//! `Vec<Value>` with a fixed stride per tuple plus a live-bitmap of
+//! tombstones — and maintains hash indexes on the flat columns used by the
+//! operator's join predicates, so probing is hash-based as in the symmetric
+//! hash join \[14\]. The arena layout makes probe lookups, purge scans, and
+//! window eviction cache-linear: a full-state scan walks one contiguous
+//! allocation instead of chasing a `Vec<Option<Vec<Value>>>` box per row.
 
-use std::collections::HashMap;
-
+use cjq_core::fxhash::FxHashMap;
 use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
@@ -15,7 +18,13 @@ use crate::layout::SpanLayout;
 #[derive(Debug, Clone)]
 pub struct PortState {
     layout: SpanLayout,
-    tuples: Vec<Option<Vec<Value>>>,
+    /// Fixed row stride (cached `layout.width()`).
+    stride: usize,
+    /// Stride-packed rows; row `i` occupies `arena[i*stride .. (i+1)*stride]`.
+    /// Purged rows keep their cells (interned/`Copy` values hold no heap).
+    arena: Vec<Value>,
+    /// Tombstone bitmap: bit `i` set iff slot `i` is live.
+    live_bits: Vec<u64>,
     /// Arrival time of each slot (monotone, since slots are append-only) —
     /// used by sliding-window eviction.
     arrivals: Vec<u64>,
@@ -25,21 +34,25 @@ pub struct PortState {
     inserted: u64,
     purged: u64,
     /// Flat column → value → slot indexes (live only; maintained on purge).
-    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    indexes: FxHashMap<usize, FxHashMap<Value, Vec<usize>>>,
 }
 
 impl PortState {
     /// Creates a state with hash indexes on `indexed_cols` (flat positions).
     #[must_use]
     pub fn new(layout: SpanLayout, indexed_cols: &[usize]) -> Self {
-        let mut indexes = HashMap::new();
+        let stride = layout.width();
+        assert!(stride > 0, "port layout must have at least one column");
+        let mut indexes = FxHashMap::default();
         for &c in indexed_cols {
-            assert!(c < layout.width(), "indexed column out of range");
-            indexes.entry(c).or_insert_with(HashMap::new);
+            assert!(c < stride, "indexed column out of range");
+            indexes.entry(c).or_insert_with(FxHashMap::default);
         }
         PortState {
             layout,
-            tuples: Vec::new(),
+            stride,
+            arena: Vec::new(),
+            live_bits: Vec::new(),
             arrivals: Vec::new(),
             evict_front: 0,
             live: 0,
@@ -55,6 +68,20 @@ impl PortState {
         &self.layout
     }
 
+    /// Number of slots ever allocated (live + tombstoned).
+    #[inline]
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    #[inline]
+    fn is_live(&self, slot: usize) -> bool {
+        self.live_bits
+            .get(slot / 64)
+            .is_some_and(|w| w & (1 << (slot % 64)) != 0)
+    }
+
     /// Stores a composite tuple, returning its slot index.
     pub fn insert(&mut self, values: Vec<Value>) -> usize {
         self.insert_at(values, 0)
@@ -62,36 +89,48 @@ impl PortState {
 
     /// Stores a composite tuple with an arrival timestamp (must be
     /// non-decreasing across calls for window eviction to be exact).
+    #[inline]
     pub fn insert_at(&mut self, values: Vec<Value>, now: u64) -> usize {
-        debug_assert_eq!(values.len(), self.layout.width());
+        debug_assert_eq!(values.len(), self.stride);
         debug_assert!(
             self.arrivals.last().is_none_or(|&t| t <= now),
             "arrival timestamps must be monotone"
         );
+        let idx = self.arrivals.len();
         self.arrivals.push(now);
-        let idx = self.tuples.len();
         for (&col, index) in &mut self.indexes {
-            index.entry(values[col].clone()).or_default().push(idx);
+            index.entry(values[col]).or_default().push(idx);
         }
-        self.tuples.push(Some(values));
+        self.arena.extend_from_slice(&values);
+        if idx.is_multiple_of(64) {
+            self.live_bits.push(0);
+        }
+        self.live_bits[idx / 64] |= 1 << (idx % 64);
         self.live += 1;
         self.inserted += 1;
         idx
     }
 
     /// The tuple in `slot`, if still live.
+    #[inline]
     #[must_use]
     pub fn get(&self, slot: usize) -> Option<&[Value]> {
-        self.tuples.get(slot).and_then(|t| t.as_deref())
+        if self.is_live(slot) {
+            Some(&self.arena[slot * self.stride..(slot + 1) * self.stride])
+        } else {
+            None
+        }
     }
 
     /// Whether the given flat column has a hash index.
+    #[inline]
     #[must_use]
     pub fn has_index(&self, col: usize) -> bool {
         self.indexes.contains_key(&col)
     }
 
     /// Live slots whose `col` equals `value` (requires an index on `col`).
+    #[inline]
     #[must_use]
     pub fn probe(&self, col: usize, value: &Value) -> &[usize] {
         self.indexes
@@ -103,16 +142,18 @@ impl PortState {
 
     /// Purges the tuple in `slot`. Returns whether it was live.
     pub fn purge(&mut self, slot: usize) -> bool {
-        let Some(values) = self.tuples.get_mut(slot).and_then(Option::take) else {
+        if !self.is_live(slot) {
             return false;
-        };
+        }
+        self.live_bits[slot / 64] &= !(1 << (slot % 64));
+        let row = &self.arena[slot * self.stride..(slot + 1) * self.stride];
         for (&col, index) in &mut self.indexes {
-            if let Some(bucket) = index.get_mut(&values[col]) {
+            if let Some(bucket) = index.get_mut(&row[col]) {
                 if let Some(pos) = bucket.iter().position(|&i| i == slot) {
                     bucket.swap_remove(pos);
                 }
                 if bucket.is_empty() {
-                    index.remove(&values[col]);
+                    index.remove(&row[col]);
                 }
             }
         }
@@ -122,6 +163,7 @@ impl PortState {
     }
 
     /// Number of live tuples.
+    #[inline]
     #[must_use]
     pub fn live(&self) -> usize {
         self.live
@@ -139,12 +181,18 @@ impl PortState {
         self.purged
     }
 
-    /// Iterates live tuples as `(slot, values)`.
+    /// Iterates live tuples as `(slot, values)` in slot order.
     pub fn iter_live(&self) -> impl Iterator<Item = (usize, &[Value])> {
-        self.tuples
-            .iter()
+        self.arena
+            .chunks_exact(self.stride)
             .enumerate()
-            .filter_map(|(i, t)| t.as_deref().map(|v| (i, v)))
+            .filter(|(i, _)| self.is_live(*i))
+    }
+
+    /// Slot ids of all live tuples, in slot order.
+    #[must_use]
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.slots()).filter(|&i| self.is_live(i)).collect()
     }
 
     /// Sliding-window eviction: purges every live tuple that arrived strictly
@@ -153,7 +201,7 @@ impl PortState {
     /// number evicted.
     pub fn evict_older_than(&mut self, cutoff: u64) -> usize {
         let mut evicted = 0;
-        while self.evict_front < self.tuples.len() && self.arrivals[self.evict_front] < cutoff {
+        while self.evict_front < self.arrivals.len() && self.arrivals[self.evict_front] < cutoff {
             if self.purge(self.evict_front) {
                 evicted += 1;
             }
@@ -162,18 +210,19 @@ impl PortState {
         evicted
     }
 
-    /// Distinct live values of a flat column.
+    /// Distinct live values of a flat column. Order is unspecified: with an
+    /// index on `col` this is just the index's key set (no sort, no extra
+    /// dedup pass); without one it is a single hashing scan.
     #[must_use]
     pub fn distinct(&self, col: usize) -> Vec<&Value> {
         if let Some(index) = self.indexes.get(&col) {
-            let mut out: Vec<&Value> = index.keys().collect();
-            out.sort_unstable();
-            return out;
+            return index.keys().collect();
         }
-        let mut out: Vec<&Value> = self.iter_live().map(|(_, v)| &v[col]).collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        let mut seen = cjq_core::fxhash::FxHashSet::default();
+        self.iter_live()
+            .map(|(_, v)| &v[col])
+            .filter(|v| seen.insert(**v))
+            .collect()
     }
 }
 
@@ -222,6 +271,7 @@ mod tests {
         s.purge(dead);
         let live: Vec<usize> = s.iter_live().map(|(i, _)| i).collect();
         assert_eq!(live, vec![0, 2]);
+        assert_eq!(s.live_slots(), vec![0, 2]);
     }
 
     #[test]
@@ -230,11 +280,15 @@ mod tests {
         s.insert(row(1, 10));
         s.insert(row(1, 11));
         s.insert(row(2, 10));
-        // Indexed column 0.
-        assert_eq!(s.distinct(0), vec![&Value::Int(1), &Value::Int(2)]);
+        // Indexed column 0 (order unspecified — sort to compare).
+        let mut d0 = s.distinct(0);
+        d0.sort_unstable();
+        assert_eq!(d0, vec![&Value::Int(1), &Value::Int(2)]);
         // Unindexed column 1 falls back to a scan.
         assert!(!s.has_index(1));
-        assert_eq!(s.distinct(1), vec![&Value::Int(10), &Value::Int(11)]);
+        let mut d1 = s.distinct(1);
+        d1.sort_unstable();
+        assert_eq!(d1, vec![&Value::Int(10), &Value::Int(11)]);
     }
 
     #[test]
@@ -253,6 +307,25 @@ mod tests {
         assert_eq!(s.evict_older_than(6), 0);
         assert_eq!(s.evict_older_than(100), 1);
         assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn arena_spans_many_bitmap_words() {
+        let mut s = state();
+        for i in 0..200 {
+            s.insert(row(i % 5, i));
+        }
+        assert_eq!(s.live(), 200);
+        for i in (0..200).step_by(2) {
+            assert!(s.purge(i));
+        }
+        assert_eq!(s.live(), 100);
+        assert_eq!(s.iter_live().count(), 100);
+        assert!(s.iter_live().all(|(i, _)| i % 2 == 1));
+        // Probe buckets only contain live odd slots now.
+        for v in 0..5 {
+            assert!(s.probe(0, &Value::Int(v)).iter().all(|&slot| slot % 2 == 1));
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use cjq_core::disjunctive::{DisjunctiveCjq, DisjunctiveGroup};
 use cjq_core::punctuation::Punctuation;
 use cjq_core::query::JoinPredicate;
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{AttrId, Catalog, StreamId, StreamSchema};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::value::Value;
 use cjq_stream::disjoin::DisjunctiveJoin;
 use cjq_stream::tuple::Tuple;
@@ -42,8 +42,16 @@ enum Action {
 
 fn build_actions(seeds: &[(u8, u64)], domain: i64) -> Vec<Action> {
     // dead[stream][attr] = punctuated values.
-    let mut dead = [[std::collections::HashSet::new(), std::collections::HashSet::new()],
-                    [std::collections::HashSet::new(), std::collections::HashSet::new()]];
+    let mut dead = [
+        [
+            std::collections::HashSet::new(),
+            std::collections::HashSet::new(),
+        ],
+        [
+            std::collections::HashSet::new(),
+            std::collections::HashSet::new(),
+        ],
+    ];
     let mut out = Vec::new();
     let mut state = 0xA5A5_5A5A_1234_5678u64;
     let mut next = |seed: u64| {
@@ -71,7 +79,10 @@ fn build_actions(seeds: &[(u8, u64)], domain: i64) -> Vec<Action> {
                 if dead[stream][0].contains(&x) || dead[stream][1].contains(&y) {
                     continue 'attempt;
                 }
-                out.push(Action::Tuple(Tuple::of(stream, [Value::Int(x), Value::Int(y)])));
+                out.push(Action::Tuple(Tuple::of(
+                    stream,
+                    [Value::Int(x), Value::Int(y)],
+                )));
                 break;
             }
         }

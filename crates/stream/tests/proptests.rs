@@ -14,13 +14,13 @@ use cjq_core::fixtures;
 use cjq_core::plan::Plan;
 use cjq_core::punctuation::Punctuation;
 use cjq_core::query::Cjq;
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
+use cjq_stream::element::StreamElement;
 use cjq_stream::exec::{ExecConfig, Executor, PurgeCadence};
 use cjq_stream::purge::PurgeScope;
 use cjq_stream::source::Feed;
-use cjq_stream::element::StreamElement;
 use cjq_stream::tuple::Tuple;
 
 /// Deterministically expands raw action seeds into a punctuation-consistent
@@ -67,11 +67,8 @@ fn build_feed(query: &Cjq, schemes: &SchemeSet, seeds: &[(u8, u64)], domain: i64
                     if scheme.stream != stream {
                         continue;
                     }
-                    let combo: Vec<Value> = scheme
-                        .punctuatable()
-                        .iter()
-                        .map(|a| values[a.0].clone())
-                        .collect();
+                    let combo: Vec<Value> =
+                        scheme.punctuatable().iter().map(|a| values[a.0]).collect();
                     if dead[si].contains(&combo) {
                         continue 'attempt;
                     }
@@ -112,7 +109,12 @@ fn run_with(
     cadence: PurgeCadence,
     scope: PurgeScope,
 ) -> Vec<Vec<Value>> {
-    let cfg = ExecConfig { cadence, scope, sample_every: 16, ..ExecConfig::default() };
+    let cfg = ExecConfig {
+        cadence,
+        scope,
+        sample_every: 16,
+        ..ExecConfig::default()
+    };
     let exec = Executor::compile(query, schemes, plan, cfg).expect("compiles");
     sorted_outputs(exec.run(feed).outputs)
 }
@@ -125,7 +127,14 @@ fn check_purging_preserves_outputs(
     let (query, schemes) = fixture();
     let feed = build_feed(&query, &schemes, seeds, domain);
     for plan in plans_for(&query) {
-        let baseline = run_with(&query, &schemes, &plan, &feed, PurgeCadence::Never, PurgeScope::Operator);
+        let baseline = run_with(
+            &query,
+            &schemes,
+            &plan,
+            &feed,
+            PurgeCadence::Never,
+            PurgeScope::Operator,
+        );
         for cadence in [PurgeCadence::Eager, PurgeCadence::Lazy { batch: 7 }] {
             for scope in [PurgeScope::Operator, PurgeScope::Query] {
                 let purged = run_with(&query, &schemes, &plan, &feed, cadence, scope);
@@ -333,11 +342,11 @@ proptest! {
         let mut totals: std::collections::HashMap<Value, i64> = std::collections::HashMap::new();
         for row in &res.outputs {
             let Value::Int(inc) = row[6] else { panic!("int increase") };
-            *totals.entry(row[5].clone()).or_insert(0) += inc;
+            *totals.entry(row[5]).or_insert(0) += inc;
         }
         let mut seen_keys = HashSet::new();
         for agg in &res.aggregates {
-            prop_assert!(seen_keys.insert(agg[0].clone()), "group {} emitted twice", agg[0]);
+            prop_assert!(seen_keys.insert(agg[0]), "group {} emitted twice", agg[0]);
             let Value::Int(sum) = agg[1] else { panic!("int sum") };
             prop_assert_eq!(
                 Some(&sum),

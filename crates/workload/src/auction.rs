@@ -16,8 +16,8 @@
 
 use cjq_core::punctuation::Punctuation;
 use cjq_core::query::Cjq;
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::{AttrId, StreamId};
+use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 use cjq_stream::element::StreamElement;
 use cjq_stream::source::Feed;
@@ -79,8 +79,7 @@ pub fn generate(cfg: &AuctionConfig) -> Feed {
     // Process auctions in waves of `concurrent`.
     let mut next_item = 0usize;
     while next_item < cfg.n_items {
-        let wave: Vec<usize> =
-            (next_item..(next_item + concurrent).min(cfg.n_items)).collect();
+        let wave: Vec<usize> = (next_item..(next_item + concurrent).min(cfg.n_items)).collect();
         next_item += wave.len();
         // Post all items of the wave.
         for &item in &wave {
@@ -109,7 +108,7 @@ fn item_tuple(rng: &mut StdRng, itemid: i64) -> StreamElement {
         vec![
             Value::Int(rng.random_range(0..1000)),
             Value::Int(itemid),
-            Value::Str(format!("item-{itemid}")),
+            Value::from(format!("item-{itemid}")),
             Value::Int(rng.random_range(1..500)),
         ],
     )
@@ -148,7 +147,11 @@ mod tests {
 
     #[test]
     fn feed_shape_matches_config() {
-        let cfg = AuctionConfig { n_items: 10, bids_per_item: 3, ..AuctionConfig::default() };
+        let cfg = AuctionConfig {
+            n_items: 10,
+            bids_per_item: 3,
+            ..AuctionConfig::default()
+        };
         let feed = generate(&cfg);
         assert_eq!(feed.count_for(ITEM), 10 + 10); // items + item punctuations
         assert_eq!(feed.count_for(BID), 30 + 10); // bids + close punctuations
@@ -172,13 +175,22 @@ mod tests {
     #[test]
     fn generated_feed_is_punctuation_consistent_and_bounded() {
         let (q, r) = auction_query();
-        let cfg = AuctionConfig { n_items: 50, bids_per_item: 4, ..AuctionConfig::default() };
+        let cfg = AuctionConfig {
+            n_items: 50,
+            bids_per_item: 4,
+            ..AuctionConfig::default()
+        };
         let feed = generate(&cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
-        assert_eq!(res.metrics.violations, 0, "generator must respect punctuations");
-        assert_eq!(res.metrics.outputs, 200, "every bid joins its item exactly once");
+        assert_eq!(
+            res.metrics.violations, 0,
+            "generator must respect punctuations"
+        );
+        assert_eq!(
+            res.metrics.outputs, 200,
+            "every bid joins its item exactly once"
+        );
         assert_eq!(res.metrics.last().unwrap().join_state, 0);
         // Bounded by the concurrent window, not the feed length.
         assert!(res.metrics.peak_join_state <= 3 * (cfg.concurrent + 1));
@@ -195,8 +207,7 @@ mod tests {
             ..AuctionConfig::default()
         };
         let feed = generate(&cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.last().unwrap().join_state, 250);
     }

@@ -30,7 +30,12 @@ pub struct KeyedConfig {
 
 impl Default for KeyedConfig {
     fn default() -> Self {
-        KeyedConfig { rounds: 100, lag: 2, punctuate: true, tuples_per_round: 1 }
+        KeyedConfig {
+            rounds: 100,
+            lag: 2,
+            punctuate: true,
+            tuples_per_round: 1,
+        }
     }
 }
 
@@ -119,10 +124,13 @@ mod tests {
     #[test]
     fn each_round_produces_one_result_and_purges() {
         let (q, r) = fixtures::fig5();
-        let cfg = KeyedConfig { rounds: 40, lag: 3, ..Default::default() };
+        let cfg = KeyedConfig {
+            rounds: 40,
+            lag: 3,
+            ..Default::default()
+        };
         let feed = generate(&q, &r, &cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.violations, 0);
         assert_eq!(res.metrics.outputs, expected_outputs(&q, &cfg));
@@ -137,24 +145,33 @@ mod tests {
         let peaks: Vec<usize> = [1usize, 5, 20]
             .iter()
             .map(|&lag| {
-                let cfg = KeyedConfig { rounds: 60, lag, ..Default::default() };
+                let cfg = KeyedConfig {
+                    rounds: 60,
+                    lag,
+                    ..Default::default()
+                };
                 let feed = generate(&q, &r, &cfg);
                 let exec =
-                    Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default())
-                        .unwrap();
+                    Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
                 exec.run(&feed).metrics.peak_join_state
             })
             .collect();
-        assert!(peaks[0] < peaks[1] && peaks[1] < peaks[2], "peaks {peaks:?}");
+        assert!(
+            peaks[0] < peaks[1] && peaks[1] < peaks[2],
+            "peaks {peaks:?}"
+        );
     }
 
     #[test]
     fn no_punctuations_no_purging() {
         let (q, r) = fixtures::fig8();
-        let cfg = KeyedConfig { rounds: 30, punctuate: false, ..Default::default() };
+        let cfg = KeyedConfig {
+            rounds: 30,
+            punctuate: false,
+            ..Default::default()
+        };
         let feed = generate(&q, &r, &cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.last().unwrap().join_state, 90);
     }
@@ -162,10 +179,13 @@ mod tests {
     #[test]
     fn multi_attr_schemes_instantiate() {
         let (q, r) = fixtures::fig8();
-        let cfg = KeyedConfig { rounds: 25, lag: 2, ..Default::default() };
+        let cfg = KeyedConfig {
+            rounds: 25,
+            lag: 2,
+            ..Default::default()
+        };
         let feed = generate(&q, &r, &cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.violations, 0);
         assert_eq!(res.metrics.outputs, 25);
@@ -193,11 +213,15 @@ mod tests {
     #[test]
     fn fan_out_multiplies_outputs() {
         let (q, r) = fixtures::auction();
-        let cfg = KeyedConfig { rounds: 10, lag: 1, tuples_per_round: 2, ..Default::default() };
+        let cfg = KeyedConfig {
+            rounds: 10,
+            lag: 1,
+            tuples_per_round: 2,
+            ..Default::default()
+        };
         let feed = generate(&q, &r, &cfg);
         assert_eq!(expected_outputs(&q, &cfg), 40);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.outputs, 40);
     }

@@ -31,7 +31,7 @@ pub mod prelude {
     pub use crate::auction::{auction_query, AuctionConfig};
     pub use crate::keyed::KeyedConfig;
     pub use crate::network::{network_query, NetworkConfig};
+    pub use crate::random_query::{RandomQueryConfig, Topology};
     pub use crate::sensor::{sensor_query, SensorConfig};
     pub use crate::trades::{trades_query, TradesConfig};
-    pub use crate::random_query::{RandomQueryConfig, Topology};
 }

@@ -15,8 +15,8 @@
 //! E7).
 
 use cjq_core::query::{Cjq, JoinPredicate};
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{Catalog, StreamId, StreamSchema};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::value::Value;
 use cjq_stream::element::StreamElement;
 use cjq_stream::source::Feed;
@@ -178,10 +178,12 @@ mod tests {
             ..NetworkConfig::default()
         };
         let feed = generate(&cfg);
-        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default())
-            .unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
-        assert!(res.metrics.violations > 0, "reused seqnos violate stale punctuations");
+        assert!(
+            res.metrics.violations > 0,
+            "reused seqnos violate stale punctuations"
+        );
     }
 
     #[test]
@@ -199,10 +201,16 @@ mod tests {
         // A lifespan shorter than the reuse distance (16 packets + 32
         // punctuations per 2 flows ≈ 34 elements per wrap-relevant window;
         // use a tight lifespan) expires entries before reuse.
-        let cfg_exec = ExecConfig { punct_lifespan: Some(20), ..ExecConfig::default() };
+        let cfg_exec = ExecConfig {
+            punct_lifespan: Some(20),
+            ..ExecConfig::default()
+        };
         let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg_exec).unwrap();
         let res = exec.run(&feed);
-        assert_eq!(res.metrics.violations, 0, "expired punctuations no longer forbid reuse");
+        assert_eq!(
+            res.metrics.violations, 0,
+            "expired punctuations no longer forbid reuse"
+        );
         assert!(res.metrics.punct_dropped > 0);
     }
 
@@ -218,8 +226,7 @@ mod tests {
             ..NetworkConfig::default()
         };
         let feed = generate(&cfg);
-        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default())
-            .unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.violations, 0);
         assert_eq!(res.metrics.outputs, 48, "every packet acked exactly once");

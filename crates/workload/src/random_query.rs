@@ -8,8 +8,8 @@
 //! both the accepting and the rejecting path).
 
 use cjq_core::query::{Cjq, JoinPredicate};
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{AttrRef, Catalog, StreamSchema};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -174,11 +174,7 @@ pub fn generate_safe(cfg: &RandomQueryConfig) -> (Cjq, SchemeSet) {
 pub fn generate_unsafe(cfg: &RandomQueryConfig) -> (Cjq, SchemeSet) {
     let (query, full) = generate_safe(cfg);
     let victim = cjq_core::schema::StreamId(cfg.n_streams - 1);
-    let keep: Vec<bool> = full
-        .schemes()
-        .iter()
-        .map(|s| s.stream != victim)
-        .collect();
+    let keep: Vec<bool> = full.schemes().iter().map(|s| s.stream != victim).collect();
     let set = full.restricted(&keep);
     (query, set)
 }
@@ -195,7 +191,11 @@ mod tests {
             (Topology::Star, 5),
             (Topology::Cycle, 6),
         ] {
-            let cfg = RandomQueryConfig { n_streams: 6, topology: topo, ..Default::default() };
+            let cfg = RandomQueryConfig {
+                n_streams: 6,
+                topology: topo,
+                ..Default::default()
+            };
             let (q, _) = generate(&cfg);
             // Predicates may dedup on collision, so expected is an upper
             // bound; at least a spanning tree must exist.
@@ -207,7 +207,12 @@ mod tests {
 
     #[test]
     fn generate_safe_is_safe_across_topologies_and_sizes() {
-        for topo in [Topology::Path, Topology::Star, Topology::Cycle, Topology::Random { extra_edges: 4 }] {
+        for topo in [
+            Topology::Path,
+            Topology::Star,
+            Topology::Cycle,
+            Topology::Random { extra_edges: 4 },
+        ] {
             for n in [2usize, 4, 8, 12] {
                 let cfg = RandomQueryConfig {
                     n_streams: n,

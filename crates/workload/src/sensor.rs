@@ -16,8 +16,8 @@
 
 use cjq_core::punctuation::Punctuation;
 use cjq_core::query::{Cjq, JoinPredicate};
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{AttrId, Catalog, StreamId, StreamSchema};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::value::Value;
 use cjq_stream::element::StreamElement;
 use cjq_stream::source::Feed;
@@ -101,19 +101,19 @@ pub fn generate(cfg: &SensorConfig) -> (Feed, usize) {
             let e = Value::Int(epoch as i64);
             feed.push(Tuple::new(
                 CALIB,
-                vec![s.clone(), e.clone(), Value::Int(rng.random_range(-5..5))],
+                vec![s, e, Value::Int(rng.random_range(-5..5))],
             ));
             for _ in 0..cfg.readings_per_epoch {
                 feed.push(Tuple::new(
                     READING,
-                    vec![s.clone(), e.clone(), Value::Int(rng.random_range(0..100))],
+                    vec![s, e, Value::Int(rng.random_range(0..100))],
                 ));
             }
             if rng.random_bool(cfg.alert_prob) {
                 alert_epochs += 1;
                 feed.push(Tuple::new(
                     ALERT,
-                    vec![s.clone(), e.clone(), Value::Int(rng.random_range(1..4))],
+                    vec![s, e, Value::Int(rng.random_range(1..4))],
                 ));
             }
             if cfg.punctuations {
@@ -132,7 +132,10 @@ pub fn end_of_epoch(stream: StreamId, sensor: i64, epoch: i64) -> StreamElement 
     Punctuation::with_constants(
         stream,
         3,
-        &[(AttrId(0), Value::Int(sensor)), (AttrId(1), Value::Int(epoch))],
+        &[
+            (AttrId(0), Value::Int(sensor)),
+            (AttrId(1), Value::Int(epoch)),
+        ],
     )
     .into()
 }
@@ -149,7 +152,10 @@ mod tests {
         let (q, r) = sensor_query();
         assert!(!safety::all_schemes_simple(&r));
         // The plain PG has no edges at all.
-        assert_eq!(cjq_core::pg::PunctuationGraph::of_query(&q, &r).edge_count(), 0);
+        assert_eq!(
+            cjq_core::pg::PunctuationGraph::of_query(&q, &r).edge_count(),
+            0
+        );
         assert!(safety::is_query_safe(&q, &r));
         let report = safety::check_query(&q, &r);
         assert_eq!(report.method, safety::CheckMethod::Generalized);
@@ -161,8 +167,7 @@ mod tests {
         let (q, r) = sensor_query();
         let cfg = SensorConfig::default();
         let (feed, alert_epochs) = generate(&cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.violations, 0);
         assert_eq!(
@@ -178,10 +183,12 @@ mod tests {
     #[test]
     fn without_punctuations_state_is_linear() {
         let (q, r) = sensor_query();
-        let cfg = SensorConfig { punctuations: false, ..SensorConfig::default() };
+        let cfg = SensorConfig {
+            punctuations: false,
+            ..SensorConfig::default()
+        };
         let (feed, _) = generate(&cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         let tuples = res.metrics.tuples_in as usize;
         assert_eq!(res.metrics.last().unwrap().join_state, tuples);

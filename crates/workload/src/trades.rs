@@ -11,8 +11,8 @@
 
 use cjq_core::punctuation::Punctuation;
 use cjq_core::query::{Cjq, JoinPredicate};
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{AttrId, Catalog, StreamId, StreamSchema};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::value::Value;
 use cjq_stream::element::StreamElement;
 use cjq_stream::source::Feed;
@@ -144,8 +144,7 @@ mod tests {
         let (q, r) = trades_query();
         let cfg = TradesConfig::default();
         let (feed, expected) = generate(&cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.violations, 0);
         assert_eq!(res.metrics.outputs, expected);
@@ -164,12 +163,17 @@ mod tests {
     #[test]
     fn without_heartbeats_state_grows() {
         let (q, r) = trades_query();
-        let cfg = TradesConfig { heartbeats: false, ..TradesConfig::default() };
+        let cfg = TradesConfig {
+            heartbeats: false,
+            ..TradesConfig::default()
+        };
         let (feed, _) = generate(&cfg);
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
-        assert_eq!(res.metrics.last().unwrap().join_state, res.metrics.tuples_in as usize);
+        assert_eq!(
+            res.metrics.last().unwrap().join_state,
+            res.metrics.tuples_in as usize
+        );
     }
 
     #[test]
@@ -187,8 +191,7 @@ mod tests {
             TRADE,
             vec![Value::Int(11), Value::Int(0), Value::Int(100)],
         ));
-        let exec =
-            Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.violations, 1);
         assert_eq!(res.metrics.tuples_in, 1);

@@ -21,8 +21,14 @@ fn run(cfg: &AuctionConfig, label: &str) {
         .unwrap()
         .with_groupby(
             // GROUP BY bid.itemid, SUM(bid.increase)
-            &[AttrRef { stream: BID, attr: AttrId(1) }],
-            Aggregate::Sum(AttrRef { stream: BID, attr: AttrId(2) }),
+            &[AttrRef {
+                stream: BID,
+                attr: AttrId(1),
+            }],
+            Aggregate::Sum(AttrRef {
+                stream: BID,
+                attr: AttrId(2),
+            }),
         );
     let feed = auction::generate(cfg);
     let result = exec.run(&feed);
@@ -74,7 +80,11 @@ fn main() {
 
     // With punctuations: bounded state, groups emitted as auctions close.
     run(
-        &AuctionConfig { n_items: 300, bids_per_item: 5, ..AuctionConfig::default() },
+        &AuctionConfig {
+            n_items: 300,
+            bids_per_item: 5,
+            ..AuctionConfig::default()
+        },
         "with punctuations (safe, bounded)",
     );
 

@@ -67,12 +67,18 @@ fn disjunctive_demo() {
         &Punctuation::with_constants(StreamId(1), 2, &[(AttrId(0), ival(7))]),
         0,
     );
-    println!("after device=7 punctuation: live = {} (session alt still open)", join.live());
+    println!(
+        "after device=7 punctuation: live = {} (session alt still open)",
+        join.live()
+    );
     join.process_punctuation(
         &Punctuation::with_constants(StreamId(1), 2, &[(AttrId(1), ival(100))]),
         1,
     );
-    println!("after session=100 punctuation: live = {} (purged)", join.live());
+    println!(
+        "after session=100 punctuation: live = {} (purged)",
+        join.live()
+    );
     println!();
 }
 
@@ -81,7 +87,10 @@ fn distinct_demo() {
     // Distinct bidders per item; itemid punctuations retire closed auctions.
     let schemes = SchemeSet::from_schemes([PunctuationScheme::on(1, &[1]).unwrap()]);
     let mut d = Distinct::new(StreamId(1), &[AttrId(0), AttrId(1)], &schemes);
-    println!("DISTINCT(bidderid, itemid) safe under itemid punctuations: {}", d.is_safe());
+    println!(
+        "DISTINCT(bidderid, itemid) safe under itemid punctuations: {}",
+        d.is_safe()
+    );
     let mut peak = 0;
     for item in 0..1000i64 {
         for bidder in 0..3 {
@@ -97,7 +106,10 @@ fn distinct_demo() {
     }
     println!(
         "6000 tuples: {} emitted, {} suppressed, peak seen-set {} (bounded), final {}",
-        d.stats.emitted, d.stats.suppressed, peak, d.state_size()
+        d.stats.emitted,
+        d.stats.suppressed,
+        peak,
+        d.state_size()
     );
     println!();
 }
@@ -114,7 +126,11 @@ fn window_demo() {
         feed.push(Tuple::of(1, vec![ival(2), ival(i), ival(5)]));
     }
     for window in [None, Some(300u64), Some(50)] {
-        let cfg = ExecConfig { window, cadence: PurgeCadence::Never, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            window,
+            cadence: PurgeCadence::Never,
+            ..ExecConfig::default()
+        };
         let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
         let m = exec.run(&feed).metrics;
         println!(
@@ -124,7 +140,9 @@ fn window_demo() {
             m.peak_join_state
         );
     }
-    println!("(punctuations purge by semantics; windows purge by age and can silently lose results)");
+    println!(
+        "(punctuations purge by semantics; windows purge by age and can silently lose results)"
+    );
 }
 
 fn watermark_demo() {

@@ -28,7 +28,10 @@ fn run(lifespan: Option<u64>, label: &str) {
         ..NetworkConfig::default()
     };
     let feed = network::generate(&cfg);
-    let exec_cfg = ExecConfig { punct_lifespan: lifespan, ..ExecConfig::default() };
+    let exec_cfg = ExecConfig {
+        punct_lifespan: lifespan,
+        ..ExecConfig::default()
+    };
     let exec = Executor::compile(&query, &schemes, &Plan::mjoin_all(&query), exec_cfg).unwrap();
     let result = exec.run(&feed);
     println!("--- {label} ---");
@@ -65,9 +68,15 @@ fn main() {
     println!();
 
     // Forever semantics: stale (src, seqno) punctuations break reuse.
-    run(None, "forever punctuations (semantics break on seqno reuse)");
+    run(
+        None,
+        "forever punctuations (semantics break on seqno reuse)",
+    );
 
     // Lifespan shorter than the sequence-number reuse distance (a source
     // reuses a seqno after ~250 feed elements here): correct and bounded.
-    run(Some(120), "with punctuation lifespan (correct + bounded stores)");
+    run(
+        Some(120),
+        "with punctuation lifespan (correct + bounded stores)",
+    );
 }

@@ -37,8 +37,11 @@ fn explore(query: &Cjq, schemes: &SchemeSet, stats: Stats, label: &str) {
             cost.work
         );
     }
-    for objective in [Objective::MinDataMemory, Objective::MinTotalMemory, Objective::MaxThroughput]
-    {
+    for objective in [
+        Objective::MinDataMemory,
+        Objective::MinTotalMemory,
+        Objective::MaxThroughput,
+    ] {
         let chosen = choose_plan(query, schemes, stats.clone(), objective, 500).unwrap();
         println!(
             "  best under {:?}: {} (of {} safe plans)",
@@ -85,11 +88,21 @@ fn four_cycle() -> (Cjq, SchemeSet) {
 fn main() {
     // Figure 5/7: safe query, but only one safe plan shape.
     let (q, r) = punctuated_cjq::core::fixtures::fig5();
-    explore(&q, &r, Stats::uniform(3, 1.0, 10.0, 0.1, 0.2), "Figure 5 triangle");
+    explore(
+        &q,
+        &r,
+        Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
+        "Figure 5 triangle",
+    );
 
     // Figure 3's scheme set: unsafe — must be rejected.
     let (q, r) = punctuated_cjq::core::fixtures::fig3();
-    explore(&q, &r, Stats::uniform(3, 1.0, 10.0, 0.1, 0.2), "Figure 3 (unsafe scheme set)");
+    explore(
+        &q,
+        &r,
+        Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
+        "Figure 3 (unsafe scheme set)",
+    );
 
     // A 4-cycle with full coverage: many safe plans; skewed rates matter.
     let (q, r) = four_cycle();

@@ -19,11 +19,19 @@ use punctuated_cjq::core::purge_plan;
 use punctuated_cjq::stream::purge::{CheckOutcome, PurgeEngine};
 use punctuated_cjq::stream::tuple::Tuple;
 
-fn show(engine: &PurgeEngine, recipe: &punctuated_cjq::stream::purge::CompiledRecipe,
-        roots: &HashMap<StreamId, Vec<Value>>, when: &str) {
+fn show(
+    engine: &PurgeEngine,
+    recipe: &punctuated_cjq::stream::purge::CompiledRecipe,
+    roots: &HashMap<StreamId, Vec<Value>>,
+    when: &str,
+) {
     match engine.explain(recipe, roots) {
         CheckOutcome::Purgeable => println!("{when}: t is provably dead -> PURGE"),
-        CheckOutcome::MissingCoverage { step, target, missing } => {
+        CheckOutcome::MissingCoverage {
+            step,
+            target,
+            missing,
+        } => {
             let combos: Vec<String> = missing
                 .iter()
                 .map(|c| {
@@ -38,7 +46,11 @@ fn show(engine: &PurgeEngine, recipe: &punctuated_cjq::stream::purge::CompiledRe
                 combos.join(", ")
             );
         }
-        CheckOutcome::TooManyCombinations { step, target, required } => {
+        CheckOutcome::TooManyCombinations {
+            step,
+            target,
+            required,
+        } => {
             println!(
                 "{when}: KEEP — step {} would need {required} combinations from {target} \
                  (over the configured limit)",
@@ -94,7 +106,12 @@ fn main() {
         &Punctuation::with_constants(StreamId(2), 2, &[(AttrId(0), Value::Int(30))]),
         2,
     );
-    show(&engine, &compiled, &roots, "after S3 punctuates c=30 (irrelevant)");
+    show(
+        &engine,
+        &compiled,
+        &roots,
+        "after S3 punctuates c=30 (irrelevant)",
+    );
 
     // Step 2 fully satisfied: (c=20, *).
     engine.observe_punctuation(

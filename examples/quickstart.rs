@@ -49,10 +49,18 @@ fn main() {
     for id in 0..5i64 {
         feed.push(Tuple::of(0, [Value::Int(id), Value::from("alice")]));
         // The order stream certifies order ids are unique.
-        feed.push(Punctuation::with_constants(StreamId(0), 2, &[(AttrId(0), Value::Int(id))]));
+        feed.push(Punctuation::with_constants(
+            StreamId(0),
+            2,
+            &[(AttrId(0), Value::Int(id))],
+        ));
         feed.push(Tuple::of(1, [Value::Int(id), Value::from("acme")]));
         // Shipping for the order completes.
-        feed.push(Punctuation::with_constants(StreamId(1), 2, &[(AttrId(0), Value::Int(id))]));
+        feed.push(Punctuation::with_constants(
+            StreamId(1),
+            2,
+            &[(AttrId(0), Value::Int(id))],
+        ));
     }
     let result = exec.run(&feed);
     println!(

@@ -61,9 +61,8 @@ fn main() -> ExitCode {
         }
     };
     if dot {
-        let gpg = punctuated_cjq::core::gpg::GeneralizedPunctuationGraph::of_query(
-            &query, &schemes,
-        );
+        let gpg =
+            punctuated_cjq::core::gpg::GeneralizedPunctuationGraph::of_query(&query, &schemes);
         print!(
             "{}",
             punctuated_cjq::core::dot::generalized_punctuation_graph(&query, &gpg)
@@ -79,7 +78,11 @@ fn main() -> ExitCode {
 
 fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
     let cat = query.catalog();
-    println!("query: {} streams, {} predicates", query.n_streams(), query.predicates().len());
+    println!(
+        "query: {} streams, {} predicates",
+        query.n_streams(),
+        query.predicates().len()
+    );
     for p in query.predicates() {
         println!("  join {}", query.display_predicate(p));
     }
@@ -125,7 +128,11 @@ fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
     }
     if result.safe && schemes.len() < punctuated_cjq::planner::scheme_select::EXACT_LIMIT {
         if let Some(min) = scheme_select::minimum_safe_subset(query, schemes) {
-            println!("minimal scheme set: {} of {} schemes suffice", min.len(), schemes.len());
+            println!(
+                "minimal scheme set: {} of {} schemes suffice",
+                min.len(),
+                schemes.len()
+            );
         }
     }
     if want_plan && result.safe {

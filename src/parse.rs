@@ -23,8 +23,8 @@ use std::fmt;
 
 use cjq_core::error::CoreError;
 use cjq_core::query::{Cjq, JoinPredicate};
-use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::schema::{Catalog, StreamSchema};
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 
 /// A parse failure with its (1-based) line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +48,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 impl From<CoreError> for ParseError {
@@ -79,8 +82,8 @@ pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
                 if catalog.stream_by_name(&name).is_some() {
                     return Err(err(lineno, format!("stream `{name}` declared twice")));
                 }
-                let schema = StreamSchema::new(name, attrs)
-                    .map_err(|e| err(lineno, e.to_string()))?;
+                let schema =
+                    StreamSchema::new(name, attrs).map_err(|e| err(lineno, e.to_string()))?;
                 catalog.add_stream(schema);
             }
             "join" => {
@@ -106,9 +109,7 @@ pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
             other => {
                 return Err(err(
                     lineno,
-                    format!(
-                        "unknown keyword `{other}` (expected stream/join/punctuate/heartbeat)"
-                    ),
+                    format!("unknown keyword `{other}` (expected stream/join/punctuate/heartbeat)"),
                 ));
             }
         }
@@ -206,7 +207,11 @@ pub fn to_spec(query: &Cjq, schemes: &SchemeSet) -> String {
             .iter()
             .filter_map(|a| schema.attr_name(*a))
             .collect();
-        let keyword = if s.is_ordered() { "heartbeat" } else { "punctuate" };
+        let keyword = if s.is_ordered() {
+            "heartbeat"
+        } else {
+            "punctuate"
+        };
         let _ = writeln!(out, "{keyword} {}({})", schema.name(), attrs.join(", "));
     }
     out
@@ -214,8 +219,7 @@ pub fn to_spec(query: &Cjq, schemes: &SchemeSet) -> String {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !s.chars().next().unwrap().is_ascii_digit()
 }
 
@@ -360,14 +364,16 @@ heartbeat quote(ts)
         assert_eq!(r, r2);
         // Multi-attribute heartbeats are rejected.
         let bad = "stream a(x, y)\nstream b(x)\njoin a.x = b.x\nheartbeat a(x, y)\n";
-        assert!(parse_spec(bad).unwrap_err().to_string().contains("exactly one"));
+        assert!(parse_spec(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("exactly one"));
     }
 
     #[test]
     fn query_level_validation_still_applies() {
         // Disconnected join graph is rejected by Cjq::new.
-        let e = parse_spec("stream a(x)\nstream b(x)\nstream c(x)\njoin a.x = b.x\n")
-            .unwrap_err();
+        let e = parse_spec("stream a(x)\nstream b(x)\nstream c(x)\njoin a.x = b.x\n").unwrap_err();
         assert!(e.to_string().contains("connected"));
     }
 }

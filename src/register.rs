@@ -14,8 +14,8 @@
 use cjq_core::plan::Plan;
 use cjq_core::query::Cjq;
 use cjq_core::safety::{self, SafetyReport};
-use cjq_core::scheme::SchemeSet;
 use cjq_core::schema::StreamId;
+use cjq_core::scheme::SchemeSet;
 use cjq_planner::choose::{choose_plan, Objective};
 use cjq_planner::cost::Stats;
 use cjq_stream::exec::{ExecConfig, Executor};
@@ -125,27 +125,37 @@ impl Register {
                 name(witness.0),
                 name(witness.1)
             );
-            return Err(Box::new(Rejection { report, witness, reason }));
+            return Err(Box::new(Rejection {
+                report,
+                witness,
+                reason,
+            }));
         }
         let plan = if query.n_streams() <= cjq_planner::enumerate::MAX_STREAMS {
             let mut stats = self.stats.clone();
             // Resize uniform stats to the query if the caller didn't.
             if stats.rate.len() != query.n_streams() {
-                stats = Stats::uniform(
-                    query.n_streams(),
-                    1.0,
-                    10.0,
-                    0.1,
-                    stats.default_selectivity,
-                );
+                stats =
+                    Stats::uniform(query.n_streams(), 1.0, 10.0, 0.1, stats.default_selectivity);
             }
-            choose_plan(&query, &self.schemes, stats, self.objective, self.plan_limit)
-                .map(|c| c.plan)
-                .unwrap_or_else(|| Plan::mjoin_all(&query))
+            choose_plan(
+                &query,
+                &self.schemes,
+                stats,
+                self.objective,
+                self.plan_limit,
+            )
+            .map(|c| c.plan)
+            .unwrap_or_else(|| Plan::mjoin_all(&query))
         } else {
             Plan::mjoin_all(&query)
         };
-        Ok(RegisteredQuery { query, schemes: self.schemes.clone(), plan, report })
+        Ok(RegisteredQuery {
+            query,
+            schemes: self.schemes.clone(),
+            plan,
+            report,
+        })
     }
 }
 
@@ -163,14 +173,20 @@ mod tests {
         let register = Register::new(schemes.clone());
         let registered = register.register(query).expect("fig5 is safe");
         assert!(registered.report.safe);
-        assert!(check_plan(registered.query(), &schemes, registered.plan())
-            .unwrap()
-            .safe);
+        assert!(
+            check_plan(registered.query(), &schemes, registered.plan())
+                .unwrap()
+                .safe
+        );
         // Executors spawn and run.
         let feed = keyed::generate(
             registered.query(),
             &schemes,
-            &KeyedConfig { rounds: 30, lag: 2, ..Default::default() },
+            &KeyedConfig {
+                rounds: 30,
+                lag: 2,
+                ..Default::default()
+            },
         );
         let exec = registered.executor(ExecConfig::default()).unwrap();
         let res = exec.run(&feed);

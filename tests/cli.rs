@@ -99,7 +99,10 @@ fn plan_flag_prints_the_chosen_plan() {
         })
         .expect("run cjq-check --plan");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("chosen plan: (S1 ⋈ S2)"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("chosen plan: (S1 ⋈ S2)"),
+        "stdout: {stdout}"
+    );
 }
 
 #[test]

@@ -36,7 +36,15 @@ fn register_check_choose_execute() {
     assert!(check_plan(&query, &schemes, &chosen.plan).unwrap().safe);
 
     // 3. Execute the chosen plan on a punctuated feed.
-    let feed = keyed::generate(&query, &schemes, &KeyedConfig { rounds: 200, lag: 3, ..Default::default() });
+    let feed = keyed::generate(
+        &query,
+        &schemes,
+        &KeyedConfig {
+            rounds: 200,
+            lag: 3,
+            ..Default::default()
+        },
+    );
     let exec = Executor::compile(&query, &schemes, &chosen.plan, ExecConfig::default()).unwrap();
     let result = exec.run(&feed);
     assert_eq!(result.metrics.outputs, 200);
@@ -63,7 +71,10 @@ fn register_rejects_unsafe_queries() {
     // The report names a witness the register can show the user.
     let report = safety::check_query(&query, &schemes);
     let (from, _to) = report.witness().unwrap();
-    assert!(report.per_stream.iter().any(|p| p.stream == from && !p.purgeable));
+    assert!(report
+        .per_stream
+        .iter()
+        .any(|p| p.stream == from && !p.purgeable));
 }
 
 /// The full auction pipeline of Example 1: join + group-by + punctuations,
@@ -75,17 +86,33 @@ fn auction_example_full_pipeline() {
     let exec = Executor::compile(&query, &schemes, &plan, ExecConfig::default())
         .unwrap()
         .with_groupby(
-            &[AttrRef { stream: BID, attr: AttrId(1) }],
-            Aggregate::Sum(AttrRef { stream: BID, attr: AttrId(2) }),
+            &[AttrRef {
+                stream: BID,
+                attr: AttrId(1),
+            }],
+            Aggregate::Sum(AttrRef {
+                stream: BID,
+                attr: AttrId(2),
+            }),
         );
-    let cfg = AuctionConfig { n_items: 120, bids_per_item: 6, ..AuctionConfig::default() };
+    let cfg = AuctionConfig {
+        n_items: 120,
+        bids_per_item: 6,
+        ..AuctionConfig::default()
+    };
     let feed = auction::generate(&cfg);
     let result = exec.run(&feed);
     assert_eq!(result.metrics.outputs, 720);
-    assert_eq!(result.aggregates.len(), 120, "every auction closed by punctuation");
+    assert_eq!(
+        result.aggregates.len(),
+        120,
+        "every auction closed by punctuation"
+    );
     // Aggregate = sum of 6 increases in 1..100 each: plausible range check.
     for row in &result.aggregates {
-        let Value::Int(total) = row[1] else { panic!("sum is an int") };
+        let Value::Int(total) = row[1] else {
+            panic!("sum is an int")
+        };
         assert!((6..600).contains(&total));
     }
     assert_eq!(result.metrics.last().unwrap().join_state, 0);
@@ -101,9 +128,22 @@ fn minimal_schemes_still_bound_execution() {
     assert!(minimal.len() <= schemes.len());
     assert!(safety::is_query_safe(&query, &minimal));
 
-    let feed = keyed::generate(&query, &minimal, &KeyedConfig { rounds: 120, lag: 2, ..Default::default() });
-    let exec = Executor::compile(&query, &minimal, &Plan::mjoin_all(&query), ExecConfig::default())
-        .unwrap();
+    let feed = keyed::generate(
+        &query,
+        &minimal,
+        &KeyedConfig {
+            rounds: 120,
+            lag: 2,
+            ..Default::default()
+        },
+    );
+    let exec = Executor::compile(
+        &query,
+        &minimal,
+        &Plan::mjoin_all(&query),
+        ExecConfig::default(),
+    )
+    .unwrap();
     let result = exec.run(&feed);
     assert_eq!(result.metrics.outputs, 120);
     assert_eq!(result.metrics.last().unwrap().join_state, 0);
@@ -122,7 +162,10 @@ fn network_scenario_with_lifespans() {
         ack_prob: 1.0,
         ..NetworkConfig::default()
     });
-    let cfg = ExecConfig { punct_lifespan: Some(100), ..ExecConfig::default() };
+    let cfg = ExecConfig {
+        punct_lifespan: Some(100),
+        ..ExecConfig::default()
+    };
     let exec = Executor::compile(&query, &schemes, &Plan::mjoin_all(&query), cfg).unwrap();
     let result = exec.run(&feed);
     assert_eq!(result.metrics.violations, 0);
@@ -146,9 +189,22 @@ fn random_safe_queries_run_bounded() {
         };
         let (query, schemes) = random_query::generate_safe(&cfg);
         assert!(safety::is_query_safe(&query, &schemes));
-        let feed = keyed::generate(&query, &schemes, &KeyedConfig { rounds: 80, lag: 2, ..Default::default() });
-        let exec = Executor::compile(&query, &schemes, &Plan::mjoin_all(&query), ExecConfig::default())
-            .unwrap();
+        let feed = keyed::generate(
+            &query,
+            &schemes,
+            &KeyedConfig {
+                rounds: 80,
+                lag: 2,
+                ..Default::default()
+            },
+        );
+        let exec = Executor::compile(
+            &query,
+            &schemes,
+            &Plan::mjoin_all(&query),
+            ExecConfig::default(),
+        )
+        .unwrap();
         let result = exec.run(&feed);
         assert_eq!(result.metrics.violations, 0, "{topology:?}");
         assert_eq!(result.metrics.outputs, 80, "{topology:?}");
@@ -178,14 +234,24 @@ fn six_way_mixed_plan_scales_bounded() {
     ]);
     plan.validate(&query).unwrap();
     let verdict = check_plan(&query, &schemes, &plan).unwrap();
-    assert!(verdict.safe, "full scheme coverage makes every operator purgeable");
+    assert!(
+        verdict.safe,
+        "full scheme coverage makes every operator purgeable"
+    );
 
     let feed = keyed::generate(
         &query,
         &schemes,
-        &KeyedConfig { rounds: 500, lag: 3, ..Default::default() },
+        &KeyedConfig {
+            rounds: 500,
+            lag: 3,
+            ..Default::default()
+        },
     );
-    let cfg_exec = ExecConfig { record_outputs: false, ..ExecConfig::default() };
+    let cfg_exec = ExecConfig {
+        record_outputs: false,
+        ..ExecConfig::default()
+    };
     let exec = Executor::compile(&query, &schemes, &plan, cfg_exec).unwrap();
     let res = exec.run(&feed);
     assert_eq!(res.metrics.violations, 0);
@@ -211,7 +277,12 @@ fn weighted_arrivals_stay_bounded() {
             vec![
                 punctuated_cjq::stream::element::StreamElement::from(Tuple::of(
                     0,
-                    vec![Value::Int(1), Value::Int(i), Value::from("x"), Value::Int(1)],
+                    vec![
+                        Value::Int(1),
+                        Value::Int(i),
+                        Value::from("x"),
+                        Value::Int(1),
+                    ],
                 )),
                 punctuated_cjq::workload::auction::item_close(i),
             ]
@@ -237,7 +308,11 @@ fn weighted_arrivals_stay_bounded() {
     let res = exec.run(&feed);
     assert_eq!(res.metrics.violations, 0);
     assert_eq!(res.metrics.outputs, 500);
-    assert!(res.metrics.peak_join_state < 250, "peak {}", res.metrics.peak_join_state);
+    assert!(
+        res.metrics.peak_join_state < 250,
+        "peak {}",
+        res.metrics.peak_join_state
+    );
 }
 
 /// Theorem 2's constructive direction at runtime: whenever the query is
@@ -246,7 +321,15 @@ fn weighted_arrivals_stay_bounded() {
 #[test]
 fn plan_safety_predicts_runtime_boundedness() {
     let (query, schemes) = punctuated_cjq::core::fixtures::fig5();
-    let feed = keyed::generate(&query, &schemes, &KeyedConfig { rounds: 150, lag: 2, ..Default::default() });
+    let feed = keyed::generate(
+        &query,
+        &schemes,
+        &KeyedConfig {
+            rounds: 150,
+            lag: 2,
+            ..Default::default()
+        },
+    );
     let space = PlanSpace::new(&query, &schemes);
     let mut checked = 0;
     for plan in [
