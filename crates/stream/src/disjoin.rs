@@ -177,25 +177,20 @@ impl DisjunctiveJoin {
         let mut purged = 0;
         for side in [0usize, 1] {
             let other = 1 - side;
-            let candidates: Vec<(usize, Vec<Value>)> = self.states[side]
-                .iter_live()
-                .map(|(slot, vals)| (slot, vals.to_vec()))
-                .collect();
-            for (slot, vals) in candidates {
-                let dead = self.groups.iter().any(|g| {
+            let (groups, puncts) = (&self.groups, &self.puncts[other]);
+            let sweep = self.states[side].collect_matching(None, |_, vals| {
+                groups.iter().any(|g| {
                     g.iter().all(|a| {
                         let (my_attr, their_attr) = if side == 0 {
                             (a.left_attr, a.right_attr)
                         } else {
                             (a.right_attr, a.left_attr)
                         };
-                        self.puncts[other].covers_single(their_attr, &vals[my_attr.0])
+                        puncts.covers_single(their_attr, &vals[my_attr.0])
                     })
-                });
-                if dead && self.states[side].purge(slot) {
-                    purged += 1;
-                }
-            }
+                })
+            });
+            purged += self.states[side].purge_slots(&sweep.slots);
         }
         self.stats.purged += purged as u64;
         purged

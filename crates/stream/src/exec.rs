@@ -23,7 +23,7 @@ use crate::element::StreamElement;
 use crate::groupby::{Aggregate, GroupBy};
 use crate::join::JoinOperator;
 use crate::metrics::{Metrics, StatePoint};
-use crate::purge::{PurgeEngine, PurgeScope};
+use crate::purge::{PurgeEngine, PurgeScope, PurgeStrategy};
 use crate::source::Feed;
 use crate::tuple::Tuple;
 
@@ -58,6 +58,9 @@ pub struct ExecConfig {
     pub scope: PurgeScope,
     /// Purge cadence.
     pub cadence: PurgeCadence,
+    /// How purge passes find purgeable tuples: full state scans (the
+    /// correctness oracle) or delta-driven index probes.
+    pub purge_strategy: PurgeStrategy,
     /// §5.1 punctuation lifespan (sequence ticks), if any.
     pub punct_lifespan: Option<u64>,
     /// §5.1 punctuation purging (punctuations purging punctuations).
@@ -81,6 +84,7 @@ impl Default for ExecConfig {
         ExecConfig {
             scope: PurgeScope::Operator,
             cadence: PurgeCadence::Eager,
+            purge_strategy: PurgeStrategy::default(),
             punct_lifespan: None,
             purge_punctuations: false,
             window: None,
@@ -360,10 +364,18 @@ impl Executor {
         let engine = &self.engine;
         let mut still_pending = Vec::new();
         for p in self.pending_group_puncts.drain(..) {
-            let blocked = engine
-                .mirror_state(p.stream)
-                .iter_live()
-                .any(|(_, row)| p.matches(row));
+            let state = engine.mirror_state(p.stream);
+            // Probe a mirror hash index when the punctuation pins a constant
+            // on an indexed column — O(matching) instead of O(live).
+            let indexed_probe = p.constant_attrs().find(|(attr, _)| state.has_index(attr.0));
+            let blocked = match indexed_probe {
+                Some((attr, value)) => state
+                    .probe(attr.0, value)
+                    .iter()
+                    .filter_map(|&slot| state.get(slot))
+                    .any(|row| p.matches(row)),
+                None => state.iter_live().any(|(_, row)| p.matches(row)),
+            };
             if blocked {
                 still_pending.push(p);
             } else {
@@ -384,11 +396,16 @@ impl Executor {
             self.engine.expire_punctuations(self.clock);
         }
         let live_before = self.join_state_live();
-        let mut purged = 0;
+        let strategy = self.cfg.purge_strategy;
+        // Retractions logged before this cycle are fully consumed by its end;
+        // ones logged *during* it feed operator trackers only next cycle.
+        let retire_marks = self.engine.retire_marks();
+        let mut work = crate::purge::PurgeWork::default();
         for op in &mut self.ops {
-            purged += op.purge_pass(&self.engine);
+            work.add(op.purge_pass(&self.engine, strategy));
         }
-        self.metrics.purged += purged as u64;
+        self.metrics.purged += work.purged;
+        let purged = work.purged as usize;
         if matches!(self.cfg.cadence, PurgeCadence::Adaptive { .. }) && live_before > 0 {
             // Yield-driven AIMD-style adjustment.
             if purged * 2 >= live_before {
@@ -397,10 +414,15 @@ impl Executor {
                 self.adaptive_batch = (self.adaptive_batch * 2).min(4096);
             }
         }
-        self.engine.purge_mirror();
+        work.add(self.engine.purge_mirror_with(strategy));
+        self.metrics.purge_candidates_examined += work.examined;
         if self.cfg.purge_punctuations {
             self.engine.purge_punctuations(&self.query);
         }
+        // All trackers (operator ports and mirrors) have consumed the cycle's
+        // punctuation deltas; drop them so the log stays delta-sized.
+        self.engine.trim_punct_deltas();
+        self.engine.trim_retired(&retire_marks);
         self.deliver_group_punctuations();
     }
 

@@ -17,7 +17,9 @@ use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
-use crate::purge::{CompiledRecipe, PurgeEngine, PurgeScope};
+use crate::purge::{
+    Candidates, CompiledRecipe, PurgeEngine, PurgeScope, PurgeStrategy, PurgeTracker, PurgeWork,
+};
 use crate::state::PortState;
 
 /// A cross-port equi-join condition resolved to flat columns.
@@ -42,8 +44,13 @@ pub struct OperatorStats {
     pub outputs: u64,
     /// Stored tuples purged.
     pub purged: u64,
-    /// Purge-pass candidate checks that failed (tuple kept).
+    /// Candidates examined but kept by the *most recent* purge pass (a
+    /// snapshot, not a running sum: accumulating it across Eager passes
+    /// re-counts every surviving tuple per pass and means nothing).
     pub kept: u64,
+    /// Cumulative purge-pass candidate checks across all passes. With
+    /// [`PurgeStrategy::Indexed`] this stays far below `passes × live`.
+    pub scan_candidates: u64,
 }
 
 /// An n-ary symmetric join operator.
@@ -59,6 +66,9 @@ pub struct JoinOperator {
     /// Per port: compiled purge recipe, or `None` if the port's state is not
     /// purgeable under the configured scope.
     recipes: Vec<Option<CompiledRecipe>>,
+    /// Per port: delta tracker driving [`PurgeStrategy::Indexed`] passes
+    /// (present exactly where a recipe is).
+    trackers: Vec<Option<PurgeTracker>>,
     /// Statistics.
     pub stats: OperatorStats,
 }
@@ -130,7 +140,7 @@ impl JoinOperator {
             indexed[cp.port_a].push(cp.col_a);
             indexed[cp.port_b].push(cp.col_b);
         }
-        let ports: Vec<PortState> = layouts
+        let mut ports: Vec<PortState> = layouts
             .iter()
             .zip(&indexed)
             .map(|(l, cols)| PortState::new(l.clone(), cols))
@@ -205,9 +215,14 @@ impl JoinOperator {
             PurgeScope::Operator => &span,
             PurgeScope::Query => &all_streams,
         };
-        let recipes = port_spans
+        let recipes: Vec<Option<CompiledRecipe>> = port_spans
             .iter()
             .map(|roots| engine.compile_port_recipe(query, schemes, scope_span, roots))
+            .collect();
+        let trackers = recipes
+            .iter()
+            .zip(&mut ports)
+            .map(|(recipe, state)| recipe.as_ref().map(|r| PurgeTracker::new(r, state)))
             .collect();
 
         JoinOperator {
@@ -217,6 +232,7 @@ impl JoinOperator {
             port_spans,
             probe_plans,
             recipes,
+            trackers,
             stats: OperatorStats::default(),
         }
     }
@@ -364,42 +380,54 @@ impl JoinOperator {
         evicted
     }
 
-    /// One purge pass: evaluates every live tuple of every purgeable port
+    /// One purge pass: evaluates candidate tuples of every purgeable port
     /// against its recipe using the engine's mirror and punctuation stores.
-    /// Returns the number of tuples purged.
-    pub fn purge_pass(&mut self, engine: &PurgeEngine) -> usize {
-        let mut total = 0;
+    ///
+    /// Under [`PurgeStrategy::FullScan`] every live tuple is a candidate;
+    /// under [`PurgeStrategy::Indexed`] the port's [`PurgeTracker`] narrows
+    /// candidates to rows touched by punctuation deltas since the last pass
+    /// (falling back to a full scan when mirror shrinkage may have relaxed
+    /// chained requirements). Both strategies purge the exact same rows.
+    pub fn purge_pass(&mut self, engine: &PurgeEngine, strategy: PurgeStrategy) -> PurgeWork {
+        let mut work = PurgeWork::default();
+        let mut pass_kept = 0u64;
         for port in 0..self.ports.len() {
             let Some(recipe) = &self.recipes[port] else {
                 continue;
             };
+            let candidates: Option<Vec<usize>> = match strategy {
+                PurgeStrategy::FullScan => None,
+                PurgeStrategy::Indexed => {
+                    let tracker = self.trackers[port].as_mut().expect("tracker per recipe");
+                    match tracker.collect_against(recipe, &self.ports[port], engine) {
+                        Candidates::All => None,
+                        Candidates::Slots(slots) => Some(slots),
+                    }
+                }
+            };
             // Two-phase to satisfy the borrow checker without cloning every
-            // live row: decide on borrowed slices, then purge by slot.
-            let mut to_purge: Vec<usize> = Vec::new();
-            {
+            // candidate row: decide on borrowed slices, then purge by slot.
+            let sweep = {
                 let state = &self.ports[port];
                 let layout = state.layout();
                 let mut roots_buf: Vec<(StreamId, &[Value])> =
                     Vec::with_capacity(recipe.roots.len());
-                for (slot, row) in state.iter_live() {
+                state.collect_matching(candidates.as_deref(), |_, row| {
                     roots_buf.clear();
                     for &s in &recipe.roots {
                         roots_buf.push((s, layout.slice(row, s).expect("root in span")));
                     }
-                    if engine.check_roots(recipe, &roots_buf) {
-                        to_purge.push(slot);
-                    } else {
-                        self.stats.kept += 1;
-                    }
-                }
-            }
-            for slot in to_purge {
-                self.ports[port].purge(slot);
-                total += 1;
-            }
+                    engine.check_roots(recipe, &roots_buf)
+                })
+            };
+            work.examined += sweep.examined as u64;
+            pass_kept += (sweep.examined - sweep.slots.len()) as u64;
+            work.purged += self.ports[port].purge_slots(&sweep.slots) as u64;
         }
-        self.stats.purged += total as u64;
-        total
+        self.stats.purged += work.purged;
+        self.stats.scan_candidates += work.examined;
+        self.stats.kept = pass_kept;
+        work
     }
 }
 
@@ -450,27 +478,32 @@ mod tests {
 
     #[test]
     fn purge_pass_uses_engine_punctuations() {
-        let (_, _, mut engine, mut op) = setup_auction();
-        let item1 = Tuple::of(0, vec![ival(7), ival(1), "tv".into(), ival(100)]);
-        let bid1 = Tuple::of(1, vec![ival(3), ival(1), ival(5)]);
-        engine.observe_tuple(&item1);
-        engine.observe_tuple(&bid1);
-        op.process_tuple(0, item1.values.clone());
-        op.process_tuple(1, bid1.values.clone());
-        assert_eq!(op.purge_pass(&engine), 0);
+        for strategy in [PurgeStrategy::FullScan, PurgeStrategy::Indexed] {
+            let (_, _, mut engine, mut op) = setup_auction();
+            let item1 = Tuple::of(0, vec![ival(7), ival(1), "tv".into(), ival(100)]);
+            let bid1 = Tuple::of(1, vec![ival(3), ival(1), ival(5)]);
+            engine.observe_tuple(&item1);
+            engine.observe_tuple(&bid1);
+            op.process_tuple(0, item1.values.clone());
+            op.process_tuple(1, bid1.values.clone());
+            assert_eq!(op.purge_pass(&engine, strategy).purged, 0);
+            assert_eq!(op.stats.kept, 2, "both tuples survive the first pass");
 
-        // Close auction 1 on both sides.
-        engine.observe_punctuation(
-            &Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(1))]),
-            0,
-        );
-        engine.observe_punctuation(
-            &Punctuation::with_constants(StreamId(0), 4, &[(AttrId(1), ival(1))]),
-            1,
-        );
-        assert_eq!(op.purge_pass(&engine), 2);
-        assert_eq!(op.live(), 0);
-        assert_eq!(op.stats.purged, 2);
+            // Close auction 1 on both sides.
+            engine.observe_punctuation(
+                &Punctuation::with_constants(StreamId(1), 3, &[(AttrId(1), ival(1))]),
+                0,
+            );
+            engine.observe_punctuation(
+                &Punctuation::with_constants(StreamId(0), 4, &[(AttrId(1), ival(1))]),
+                1,
+            );
+            assert_eq!(op.purge_pass(&engine, strategy).purged, 2);
+            assert_eq!(op.live(), 0);
+            assert_eq!(op.stats.purged, 2);
+            assert_eq!(op.stats.kept, 0, "kept is a per-pass snapshot");
+            assert_eq!(op.stats.scan_candidates, 4, "{strategy:?}");
+        }
     }
 
     #[test]

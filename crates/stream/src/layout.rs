@@ -77,6 +77,14 @@ impl SpanLayout {
         (attr.0 < self.arities[i]).then(|| self.offsets[i] + attr.0)
     }
 
+    /// Flat column range occupied by `stream`, if the span contains it.
+    /// Lets hot loops slice rows without per-attribute `pos` lookups.
+    #[must_use]
+    pub fn stream_range(&self, stream: StreamId) -> Option<std::ops::Range<usize>> {
+        let i = self.streams.binary_search(&stream).ok()?;
+        Some(self.offsets[i]..self.offsets[i] + self.arities[i])
+    }
+
     /// The slice of a composite tuple's values belonging to `stream`.
     #[must_use]
     pub fn slice<'a>(&self, values: &'a [Value], stream: StreamId) -> Option<&'a [Value]> {
@@ -133,6 +141,9 @@ mod tests {
         assert_eq!(l.pos(StreamId(1), AttrId(0)), None);
         assert!(l.contains(StreamId(2)));
         assert!(!l.contains(StreamId(1)));
+        assert_eq!(l.stream_range(StreamId(0)), Some(0..2));
+        assert_eq!(l.stream_range(StreamId(2)), Some(2..5));
+        assert_eq!(l.stream_range(StreamId(1)), None);
     }
 
     #[test]

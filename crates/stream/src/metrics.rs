@@ -53,6 +53,11 @@ pub struct Metrics {
     pub punct_dropped: u64,
     /// Number of purge cycles run.
     pub purge_cycles: u64,
+    /// Candidate rows examined by purge passes (operator ports + mirror).
+    /// Under `PurgeStrategy::FullScan` this is Σ live-state-per-cycle; under
+    /// `Indexed` it shrinks to the punctuation-delta-proportional candidate
+    /// count — the purge engine's asymptotic win, compared against `purged`.
+    pub purge_candidates_examined: u64,
     /// Wall-clock processing time in nanoseconds (push calls only).
     pub elapsed_ns: u128,
 }

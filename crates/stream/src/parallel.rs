@@ -345,6 +345,7 @@ impl ShardedExecutor {
             metrics.mirror_purged += r.metrics.mirror_purged;
             metrics.punct_dropped += r.metrics.punct_dropped;
             metrics.purge_cycles += r.metrics.purge_cycles;
+            metrics.purge_candidates_examined += r.metrics.purge_candidates_examined;
             metrics.peak_join_state += r.metrics.peak_join_state;
             metrics.peak_mirror += r.metrics.peak_mirror;
             metrics.peak_punct_entries += r.metrics.peak_punct_entries;

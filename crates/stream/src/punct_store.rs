@@ -16,6 +16,46 @@ use cjq_core::schema::{AttrId, StreamId};
 use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 use cjq_core::value::Value;
 
+/// One coverage-*expanding* change to a store: the only events that can
+/// flip a tuple's purge check from "keep" to "purgeable". The indexed purge
+/// path replays these instead of re-checking all live state; refreshes
+/// (re-inserted entries, non-advancing heartbeats) change no coverage and
+/// are deliberately not logged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PunctDelta {
+    /// A new constant combination under scheme `scheme_idx` (in scheme
+    /// attribute order).
+    Entry {
+        /// Index of the scheme within the store.
+        scheme_idx: usize,
+        /// The newly covered combination.
+        combo: Vec<Value>,
+    },
+    /// The ordered scheme's threshold advanced: values in `(above, upto]`
+    /// became covered (`above = None` means the threshold appeared, covering
+    /// everything up to `upto`).
+    Advance {
+        /// Index of the (ordered) scheme within the store.
+        scheme_idx: usize,
+        /// The previous threshold, exclusive lower bound of the new range.
+        above: Option<Value>,
+        /// The new threshold, inclusive upper bound.
+        upto: Value,
+    },
+}
+
+impl PunctDelta {
+    /// The scheme this delta belongs to.
+    #[must_use]
+    pub fn scheme_idx(&self) -> usize {
+        match self {
+            PunctDelta::Entry { scheme_idx, .. } | PunctDelta::Advance { scheme_idx, .. } => {
+                *scheme_idx
+            }
+        }
+    }
+}
+
 /// Outcome of inserting a punctuation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
@@ -41,6 +81,10 @@ pub struct PunctStore {
     thresholds: Vec<Option<(Value, u64)>>,
     unmatched: Vec<Punctuation>,
     lifespan: Option<u64>,
+    /// Coverage deltas since the log was last trimmed, in arrival order.
+    delta_log: Vec<PunctDelta>,
+    /// Absolute sequence number of `delta_log[0]` (total deltas ever trimmed).
+    delta_base: u64,
 }
 
 impl PunctStore {
@@ -59,6 +103,8 @@ impl PunctStore {
             thresholds,
             unmatched: Vec::new(),
             lifespan,
+            delta_log: Vec::new(),
+            delta_base: 0,
         }
     }
 
@@ -89,11 +135,15 @@ impl PunctStore {
                     let bound = *p.patterns[scheme.punctuatable()[0].0]
                         .bound()
                         .expect("ordered instance carries a bound");
-                    let advance = self.thresholds[i]
-                        .as_ref()
-                        .is_none_or(|(cur, _)| *cur < bound);
+                    let prev = self.thresholds[i].as_ref().map(|(cur, _)| *cur);
+                    let advance = prev.is_none_or(|cur| cur < bound);
                     if advance {
                         self.thresholds[i] = Some((bound, now));
+                        self.delta_log.push(PunctDelta::Advance {
+                            scheme_idx: i,
+                            above: prev,
+                            upto: bound,
+                        });
                     } else if let Some((_, at)) = &mut self.thresholds[i] {
                         *at = now; // refresh the lifespan clock
                     }
@@ -107,13 +157,41 @@ impl PunctStore {
                                 .expect("instance has constants on punctuatable attrs")
                         })
                         .collect();
-                    self.entries[i].insert(combo, now);
+                    if self.entries[i].insert(combo.clone(), now).is_none() {
+                        self.delta_log.push(PunctDelta::Entry {
+                            scheme_idx: i,
+                            combo,
+                        });
+                    }
                 }
                 return InsertOutcome::Matched(i);
             }
         }
         self.unmatched.push(p.clone());
         InsertOutcome::Unmatched
+    }
+
+    /// Absolute sequence number just past the newest delta — the cursor a
+    /// consumer should hold after processing everything.
+    #[must_use]
+    pub fn delta_end(&self) -> u64 {
+        self.delta_base + self.delta_log.len() as u64
+    }
+
+    /// Coverage deltas with sequence numbers `>= cursor`, oldest first. A
+    /// cursor older than the trimmed prefix is clamped to the log base: the
+    /// consumer then sees every retained delta (a safe over-approximation).
+    #[must_use]
+    pub fn deltas_since(&self, cursor: u64) -> &[PunctDelta] {
+        let skip = cursor.saturating_sub(self.delta_base) as usize;
+        &self.delta_log[skip.min(self.delta_log.len())..]
+    }
+
+    /// Drops the retained delta log (advancing the base so cursors keep
+    /// their meaning). Called once every consumer has caught up.
+    pub fn trim_deltas(&mut self) {
+        self.delta_base += self.delta_log.len() as u64;
+        self.delta_log.clear();
     }
 
     /// Whether the value combination `combo` (in scheme attribute order) has
@@ -325,6 +403,65 @@ mod tests {
         assert_eq!(store.expire(5), 0);
         assert_eq!(store.expire(20), 1);
         assert!(!store.covers(0, &[Value::Int(1)]));
+    }
+
+    #[test]
+    fn delta_log_records_only_coverage_growth() {
+        let mut store = bid_store(None);
+        assert_eq!(store.delta_end(), 0);
+        store.insert(&punct(&[(1, 7)]), 0);
+        store.insert(&punct(&[(1, 7)]), 1); // refresh: no new coverage
+        store.insert(&punct(&[(0, 3), (1, 7)]), 2);
+        store.insert(&punct(&[(2, 5)]), 3); // unmatched: no coverage at all
+        let deltas = store.deltas_since(0);
+        assert_eq!(
+            deltas,
+            &[
+                PunctDelta::Entry {
+                    scheme_idx: 0,
+                    combo: vec![Value::Int(7)],
+                },
+                PunctDelta::Entry {
+                    scheme_idx: 1,
+                    combo: vec![Value::Int(3), Value::Int(7)],
+                },
+            ]
+        );
+        assert_eq!(store.deltas_since(1).len(), 1);
+        assert_eq!(store.delta_end(), 2);
+        // Trimming preserves cursor meaning; stale cursors are clamped.
+        store.trim_deltas();
+        assert_eq!(store.delta_end(), 2);
+        assert!(store.deltas_since(0).is_empty());
+        store.insert(&punct(&[(1, 8)]), 4);
+        assert_eq!(store.deltas_since(2).len(), 1);
+        assert_eq!(store.deltas_since(0).len(), 1, "clamped to the log base");
+    }
+
+    #[test]
+    fn delta_log_tracks_threshold_advances() {
+        let schemes = SchemeSet::from_schemes([PunctuationScheme::ordered_on(1, 1).unwrap()]);
+        let mut store = PunctStore::new(StreamId(1), &schemes, None);
+        for bound in [5i64, 3, 9] {
+            let hb = Punctuation::heartbeat(StreamId(1), 3, AttrId(1), Value::Int(bound));
+            store.insert(&hb, 0);
+        }
+        // 3 never advanced the threshold: two deltas, ranges chaining.
+        assert_eq!(
+            store.deltas_since(0),
+            &[
+                PunctDelta::Advance {
+                    scheme_idx: 0,
+                    above: None,
+                    upto: Value::Int(5),
+                },
+                PunctDelta::Advance {
+                    scheme_idx: 0,
+                    above: Some(Value::Int(5)),
+                    upto: Value::Int(9),
+                },
+            ]
+        );
     }
 
     #[test]

@@ -45,9 +45,42 @@ use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
-use crate::punct_store::PunctStore;
+use crate::punct_store::{PunctDelta, PunctStore};
 use crate::state::PortState;
 use crate::tuple::Tuple;
+
+/// How purge cycles find candidate rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PurgeStrategy {
+    /// Re-evaluate every live row against its recipe each cycle — the
+    /// original O(live-state) path, kept as the correctness oracle.
+    FullScan,
+    /// Delta-driven: each cycle visits only *candidate* rows — rows whose
+    /// indexed recipe-root values match a punctuation entry (or fall under a
+    /// threshold range) newly recorded since the last cycle, plus rows
+    /// inserted since then. Falls back to a full scan of a state only when a
+    /// coverage delta cannot be mapped to rows (non-root-resolvable step) or
+    /// a chain-source mirror shrank (requirement sets may have relaxed).
+    #[default]
+    Indexed,
+}
+
+/// Work accounting of one purge pass (operator ports or mirror).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PurgeWork {
+    /// Live candidate rows examined (recipe checks executed).
+    pub examined: u64,
+    /// Rows purged.
+    pub purged: u64,
+}
+
+impl PurgeWork {
+    /// Accumulates another pass's counters.
+    pub fn add(&mut self, other: PurgeWork) {
+        self.examined += other.examined;
+        self.purged += other.purged;
+    }
+}
 
 /// Which span purge recipes are derived over (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,6 +107,8 @@ struct CompiledStep {
     target: StreamId,
     /// Index of the recipe's scheme within the target's punctuation store.
     scheme_idx: usize,
+    /// Whether that scheme is ordered (heartbeat thresholds, not entries).
+    ordered: bool,
     /// Per punctuatable attribute (in scheme order): where required values
     /// come from — `(source stream, column within the source's raw row)`.
     bindings: Vec<(StreamId, usize)>,
@@ -81,6 +116,238 @@ struct CompiledStep {
     /// stream, chain column)` for every predicate between the target and an
     /// already-reached stream within the recipe's span.
     filters: Vec<(usize, StreamId, usize)>,
+}
+
+/// Candidate set produced by [`PurgeTracker::collect`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Candidates {
+    /// A delta could not be localized: re-check every live row this cycle.
+    All,
+    /// Only these slots can have flipped to purgeable (sorted, deduped).
+    Slots(Vec<usize>),
+}
+
+/// Incremental purge bookkeeping for one (state, recipe) pair.
+///
+/// The tracker registers a purge index on the tracked [`PortState`] for every
+/// recipe step whose required values are *root-resolvable* — drawn from the
+/// candidate row itself, either directly (the binding's source is a root) or
+/// transitively (the source is a chain stream whose bound column is pinned to
+/// a root column by the step's equality filters). For such steps, a step's
+/// requirement for a given row is the singleton key read from the row, so a
+/// new punctuation entry (or threshold advance) maps to exactly the rows the
+/// index returns for that key (or key range).
+///
+/// A live row's check outcome can flip from "keep" to "purgeable" only when
+/// (a) coverage grows on some step's `(target, scheme)` — replayed from the
+/// [`PunctStore`] delta log via per-step cursors — or (b) a *chain-source*
+/// mirror state shrinks, relaxing downstream requirement sets (including
+/// un-blocking `TooManyCombinations` verdicts). Shrinkage is replayed from
+/// the mirror states' retraction logs: a purged chain row `r` can only
+/// relax rows whose chain set contained `r`, i.e. rows matching `r` on the
+/// step's (root-resolved) filter columns — found by probing a second purge
+/// index over those columns. Only when a step's filters are not fully
+/// root-resolvable does a retraction degrade that cycle to a full scan.
+/// Rows inserted since the last collect have never been checked and are
+/// always candidates (`fresh_from` watermark). Coverage *loss* (lifespan
+/// expiry, §5.1 punctuation purging) and mirror *growth* only flip
+/// "purgeable" to "keep", which is safe because every candidate is
+/// re-checked against the live stores before purging.
+#[derive(Debug, Clone)]
+pub(crate) struct PurgeTracker {
+    /// Per step: purge-index id in the tracked state, or `None` when the
+    /// step is not root-resolvable (its deltas force a full scan).
+    step_index: Vec<Option<usize>>,
+    /// Per step: delta-log cursor into the target's punctuation store.
+    cursors: Vec<u64>,
+    /// Mirror streams whose shrinkage can relax this recipe's requirements
+    /// (targets of non-final steps).
+    shrink_sources: Vec<ShrinkSource>,
+    /// Slots at or past this watermark have never been checked.
+    fresh_from: usize,
+}
+
+/// One chain-source mirror stream a tracker watches for shrinkage.
+#[derive(Debug, Clone)]
+struct ShrinkSource {
+    stream: StreamId,
+    /// Retraction-log cursor into that mirror state.
+    cursor: u64,
+    /// One probe per recipe step chaining through this stream.
+    probes: Vec<ShrinkProbe>,
+}
+
+/// Localizes one step's shrinkage: rows affected by a purged chain row `r`
+/// are exactly those matching `r[tcols]` on the tracked state's `index`.
+#[derive(Debug, Clone)]
+struct ShrinkProbe {
+    /// Purge-index id over the step's root-resolved filter columns, or
+    /// `None` when the filters don't resolve (retraction → full scan).
+    index: Option<usize>,
+    /// For each filter, the chain row's column forming the probe key.
+    tcols: Vec<usize>,
+}
+
+impl PurgeTracker {
+    /// Builds the tracker, registering purge indexes on `state` for every
+    /// root-resolvable step. Cursors and shrink counters start at zero —
+    /// correct for freshly compiled engines, and safely over-approximate
+    /// (first collect degrades towards a full scan) otherwise.
+    pub(crate) fn new(recipe: &CompiledRecipe, state: &mut PortState) -> Self {
+        // Root resolution: (stream, raw attr) → flat column of the tracked
+        // state. Seeded by the roots; extended through each step's equality
+        // filters — every chain row of the step's target has its filtered
+        // column equal to the resolved root column (or the chain is empty,
+        // making later requirements vacuous).
+        let mut resolved: FxHashMap<(StreamId, usize), usize> = FxHashMap::default();
+        for &root in &recipe.roots {
+            if let Some(range) = state.layout().stream_range(root) {
+                for (attr, flat) in range.enumerate() {
+                    resolved.insert((root, attr), flat);
+                }
+            }
+        }
+        let mut step_index = Vec::with_capacity(recipe.steps.len());
+        let mut shrink_sources: Vec<ShrinkSource> = Vec::new();
+        for (i, step) in recipe.steps.iter().enumerate() {
+            let cols: Option<Vec<usize>> = step
+                .bindings
+                .iter()
+                .map(|&(src, col)| resolved.get(&(src, col)).copied())
+                .collect();
+            step_index.push(cols.map(|cols| state.add_purge_index(&cols, step.ordered)));
+            if i + 1 < recipe.steps.len() {
+                // Non-final step: its target's mirror rows form a chain set,
+                // so that mirror's shrinkage can relax this recipe. Localize
+                // it with an index over the root-resolved filter columns.
+                let filter_cols: Option<Vec<usize>> = step
+                    .filters
+                    .iter()
+                    .map(|&(_, src, scol)| resolved.get(&(src, scol)).copied())
+                    .collect();
+                let probe = match filter_cols {
+                    Some(cols) if !cols.is_empty() => ShrinkProbe {
+                        index: Some(state.add_purge_index(&cols, false)),
+                        tcols: step.filters.iter().map(|&(tcol, _, _)| tcol).collect(),
+                    },
+                    // Unresolvable (or unconstrained: every row chains
+                    // through): any retraction forces a full scan.
+                    _ => ShrinkProbe {
+                        index: None,
+                        tcols: Vec::new(),
+                    },
+                };
+                match shrink_sources.iter_mut().find(|s| s.stream == step.target) {
+                    Some(src) => src.probes.push(probe),
+                    None => shrink_sources.push(ShrinkSource {
+                        stream: step.target,
+                        cursor: 0,
+                        probes: vec![probe],
+                    }),
+                }
+            }
+            for &(tcol, src, scol) in &step.filters {
+                if let Some(&flat) = resolved.get(&(src, scol)) {
+                    resolved.entry((step.target, tcol)).or_insert(flat);
+                }
+            }
+        }
+        PurgeTracker {
+            step_index,
+            cursors: vec![0; recipe.steps.len()],
+            shrink_sources,
+            fresh_from: 0,
+        }
+    }
+
+    /// Collects the candidate slots for one purge pass, advancing the delta
+    /// cursors, shrink counters, and fresh-slot watermark.
+    pub(crate) fn collect(
+        &mut self,
+        recipe: &CompiledRecipe,
+        state: &PortState,
+        puncts: &[PunctStore],
+        mirrors: &[PortState],
+    ) -> Candidates {
+        let mut full = false;
+        let mut slots: Vec<usize> = Vec::new();
+        let mut key: Vec<Value> = Vec::new();
+        for src in &mut self.shrink_sources {
+            let mirror = &mirrors[src.stream.0];
+            let retired = mirror.retired_since(src.cursor);
+            src.cursor = mirror.retire_end();
+            if retired.is_empty() {
+                continue;
+            }
+            for probe in &src.probes {
+                match probe.index {
+                    None => full = true,
+                    Some(idx) => {
+                        for &gone in retired {
+                            let row = mirror.raw_row(gone);
+                            key.clear();
+                            key.extend(probe.tcols.iter().map(|&c| row[c]));
+                            slots.extend_from_slice(state.purge_index_eq(idx, &key));
+                        }
+                    }
+                }
+            }
+        }
+        for (i, step) in recipe.steps.iter().enumerate() {
+            let store = &puncts[step.target.0];
+            let deltas = store.deltas_since(self.cursors[i]);
+            self.cursors[i] = store.delta_end();
+            if deltas.is_empty() {
+                continue;
+            }
+            match self.step_index[i] {
+                None => {
+                    if deltas.iter().any(|d| d.scheme_idx() == step.scheme_idx) {
+                        full = true;
+                    }
+                }
+                Some(idx) if !full => {
+                    for d in deltas {
+                        match d {
+                            PunctDelta::Entry { scheme_idx, combo }
+                                if *scheme_idx == step.scheme_idx =>
+                            {
+                                slots.extend_from_slice(state.purge_index_eq(idx, combo));
+                            }
+                            PunctDelta::Advance {
+                                scheme_idx,
+                                above,
+                                upto,
+                            } if *scheme_idx == step.scheme_idx => {
+                                state.purge_index_range(idx, above.as_ref(), upto, &mut slots);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        let fresh_from = std::mem::replace(&mut self.fresh_from, state.slots());
+        if full {
+            return Candidates::All;
+        }
+        slots.extend((fresh_from..state.slots()).filter(|&slot| state.get(slot).is_some()));
+        slots.sort_unstable();
+        slots.dedup();
+        Candidates::Slots(slots)
+    }
+
+    /// [`PurgeTracker::collect`] against an engine's punctuation stores and
+    /// mirror states (the operator-port entry point).
+    pub(crate) fn collect_against(
+        &mut self,
+        recipe: &CompiledRecipe,
+        state: &PortState,
+        engine: &PurgeEngine,
+    ) -> Candidates {
+        self.collect(recipe, state, &engine.puncts, &engine.states)
+    }
 }
 
 /// Why a purge check failed (or didn't) — the engine's explanation of a
@@ -129,6 +396,8 @@ pub struct PurgeEngine {
     puncts: Vec<PunctStore>,
     /// Per stream: query-scope recipe for purging the mirror itself.
     mirror_recipes: Vec<Option<CompiledRecipe>>,
+    /// Per stream: incremental bookkeeping for the indexed mirror purge.
+    mirror_trackers: Vec<Option<PurgeTracker>>,
     /// Upper bound on required-combination enumeration per step; checks whose
     /// requirement product exceeds it conservatively report "not purgeable".
     coverage_limit: usize,
@@ -167,7 +436,7 @@ impl PurgeEngine {
         weights: Option<Vec<f64>>,
     ) -> Self {
         let all: Vec<StreamId> = query.stream_ids().collect();
-        let states = all
+        let mut states: Vec<PortState> = all
             .iter()
             .map(|&s| {
                 let layout = SpanLayout::new(query.catalog(), &[s]);
@@ -183,14 +452,25 @@ impl PurgeEngine {
             Some(w) => purge_plan::derive_port_recipe_weighted(query, schemes, &all, roots, w),
             None => purge_plan::derive_port_recipe(query, schemes, &all, roots),
         };
-        let mirror_recipes = all
+        let mirror_recipes: Vec<Option<CompiledRecipe>> = all
             .iter()
             .map(|&s| derive(&[s]).map(|r| compile_recipe(query, &r, &all, &puncts)))
+            .collect();
+        // Mirror states feed the purge trackers' shrinkage probes (theirs
+        // and the operator ports'), so every mirror purge must be logged.
+        for state in &mut states {
+            state.enable_retirement_log();
+        }
+        let mirror_trackers = mirror_recipes
+            .iter()
+            .zip(&mut states)
+            .map(|(recipe, state)| recipe.as_ref().map(|r| PurgeTracker::new(r, state)))
             .collect();
         PurgeEngine {
             states,
             puncts,
             mirror_recipes,
+            mirror_trackers,
             coverage_limit,
             weights,
             punct_dropped: 0,
@@ -434,29 +714,74 @@ impl PurgeEngine {
         CheckOutcome::Purgeable
     }
 
-    /// One purge pass over the raw mirror: drops every raw tuple whose
-    /// query-scope recipe proves it dead. Returns the number purged.
+    /// One full-scan purge pass over the raw mirror: drops every raw tuple
+    /// whose query-scope recipe proves it dead. Returns the number purged.
     pub fn purge_mirror(&mut self) -> usize {
-        let mut purged_total = 0;
+        self.purge_mirror_with(PurgeStrategy::FullScan).purged as usize
+    }
+
+    /// One purge pass over the raw mirror under the given strategy. Streams
+    /// are processed in id order with earlier purges visible to later checks
+    /// under both strategies: the indexed path re-reads each stream's
+    /// chain-source purge counters at collect time, so a stream purged
+    /// earlier in the same pass degrades its dependents to a full scan —
+    /// exactly what the full scan would re-examine.
+    pub fn purge_mirror_with(&mut self, strategy: PurgeStrategy) -> PurgeWork {
+        let mut work = PurgeWork::default();
         for s in 0..self.states.len() {
             let Some(recipe) = &self.mirror_recipes[s] else {
                 continue;
             };
+            let candidates: Option<Vec<usize>> = match strategy {
+                PurgeStrategy::FullScan => None,
+                PurgeStrategy::Indexed => {
+                    let tracker = self.mirror_trackers[s]
+                        .as_mut()
+                        .expect("tracker per recipe");
+                    match tracker.collect(recipe, &self.states[s], &self.puncts, &self.states) {
+                        Candidates::All => None,
+                        Candidates::Slots(slots) => Some(slots),
+                    }
+                }
+            };
             let stream = StreamId(s);
             // Decide on borrowed rows (the check reads other mirror states,
             // never mutates), then purge by slot.
-            let to_purge: Vec<usize> = self.states[s]
-                .iter_live()
-                .filter(|&(_, row)| self.check_roots(recipe, &[(stream, row)]))
-                .map(|(slot, _)| slot)
-                .collect();
-            purged_total += to_purge.len();
-            for slot in to_purge {
-                self.states[s].purge(slot);
-            }
+            let sweep = self.states[s].collect_matching(candidates.as_deref(), |_, row| {
+                self.check_roots(recipe, &[(stream, row)])
+            });
+            work.examined += sweep.examined as u64;
+            work.purged += self.states[s].purge_slots(&sweep.slots) as u64;
         }
-        self.mirror_purged += purged_total as u64;
-        purged_total
+        self.mirror_purged += work.purged;
+        work
+    }
+
+    /// Drops every store's retained delta log. The executor calls this at
+    /// the end of a purge cycle, once all per-port and mirror trackers have
+    /// advanced their cursors past the retained deltas.
+    pub fn trim_punct_deltas(&mut self) {
+        for p in &mut self.puncts {
+            p.trim_deltas();
+        }
+    }
+
+    /// Per-stream retraction-log positions (for [`PurgeEngine::trim_retired`]).
+    ///
+    /// Taken at the *start* of a purge cycle, these are a safe trim floor at
+    /// its end: every tracker's retraction cursor has passed them by then,
+    /// while retractions logged *during* the cycle (consumed by operator
+    /// trackers only next cycle) stay retained.
+    #[must_use]
+    pub fn retire_marks(&self) -> Vec<u64> {
+        self.states.iter().map(PortState::retire_end).collect()
+    }
+
+    /// Drops mirror retractions below the given per-stream marks.
+    pub fn trim_retired(&mut self, marks: &[u64]) {
+        for (state, &mark) in self.states.iter_mut().zip(marks) {
+            state.trim_retired_to(mark);
+        }
     }
 
     /// §5.1 lifespan expiry across all stores at sequence time `now`.
@@ -496,10 +821,15 @@ impl PurgeEngine {
                         if !self.puncts[other.stream.0].covers_single(other.attr, c) {
                             continue 'combo;
                         }
-                        // (ii) no live partner tuples with value c.
-                        let live_hit = self.states[other.stream.0]
-                            .iter_live()
-                            .any(|(_, row)| &row[other.attr.0] == c);
+                        // (ii) no live partner tuples with value c. Join
+                        // attributes are indexed in the mirror, so this is a
+                        // hash probe, not an O(mirror) scan.
+                        let partner = &self.states[other.stream.0];
+                        let live_hit = if partner.has_index(other.attr.0) {
+                            !partner.probe(other.attr.0, c).is_empty()
+                        } else {
+                            partner.iter_live().any(|(_, row)| &row[other.attr.0] == c)
+                        };
                         if live_hit {
                             continue 'combo;
                         }
@@ -533,6 +863,7 @@ fn compile_recipe(
             let scheme_idx = puncts[step.target.0]
                 .scheme_index(&step.scheme)
                 .expect("recipe scheme is registered");
+            let ordered = step.scheme.is_ordered();
             let bindings: Vec<(StreamId, usize)> = step
                 .bindings
                 .iter()
@@ -551,6 +882,7 @@ fn compile_recipe(
             CompiledStep {
                 target: step.target,
                 scheme_idx,
+                ordered,
                 bindings,
                 filters,
             }
@@ -672,6 +1004,58 @@ mod tests {
         assert_eq!(purged, 2, "item 1 and bid on item 1 die");
         assert_eq!(e.mirror_live(), 1); // bid on item 2 remains
         assert_eq!(e.mirror_purged, 2);
+    }
+
+    #[test]
+    fn indexed_mirror_purge_matches_full_scan_and_examines_less() {
+        let feed_engine = |e: &mut PurgeEngine| {
+            for item in 0..20i64 {
+                e.observe_tuple(&Tuple::of(
+                    0,
+                    [
+                        Value::Int(7),
+                        Value::Int(item),
+                        Value::from("x"),
+                        Value::Int(100),
+                    ],
+                ));
+                e.observe_tuple(&Tuple::of(
+                    1,
+                    [Value::Int(3), Value::Int(item), Value::Int(5)],
+                ));
+            }
+        };
+        let (q, r) = fixtures::auction();
+        let mut full = PurgeEngine::new(&q, &r, None, 10_000);
+        let mut indexed = PurgeEngine::new(&q, &r, None, 10_000);
+        feed_engine(&mut full);
+        feed_engine(&mut indexed);
+        // Close item 3 on both sides; purge under each strategy.
+        for e in [&mut full, &mut indexed] {
+            e.observe_punctuation(&punct(1, 3, &[(1, 3)]), 0);
+            e.observe_punctuation(&punct(0, 4, &[(1, 3)]), 1);
+        }
+        let fw = full.purge_mirror_with(PurgeStrategy::FullScan);
+        let iw = indexed.purge_mirror_with(PurgeStrategy::Indexed);
+        assert_eq!(fw.purged, 2, "item 3 and its bid die");
+        assert_eq!(iw.purged, fw.purged);
+        assert_eq!(full.mirror_live(), indexed.mirror_live());
+        // The full scan examines all 40 live rows; the indexed first pass is
+        // bounded by the fresh backlog. Shrinkage from its own purges is
+        // localized by the retraction probes, so the tracker is quiescent
+        // immediately afterwards.
+        assert_eq!(fw.examined, 40);
+        assert!(iw.examined <= fw.examined);
+        indexed.trim_punct_deltas();
+        let idle = indexed.purge_mirror_with(PurgeStrategy::Indexed);
+        assert_eq!((idle.examined, idle.purged), (0, 0));
+        // A new closing punctuation drives candidates off the index: only
+        // item 7's two rows are examined, not the 38 still live.
+        indexed.observe_punctuation(&punct(1, 3, &[(1, 7)]), 2);
+        indexed.observe_punctuation(&punct(0, 4, &[(1, 7)]), 3);
+        let delta = indexed.purge_mirror_with(PurgeStrategy::Indexed);
+        assert_eq!(delta.purged, 2);
+        assert_eq!(delta.examined, 2, "only item 7's rows are candidates");
     }
 
     #[test]

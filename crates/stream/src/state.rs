@@ -9,10 +9,41 @@
 //! window eviction cache-linear: a full-state scan walks one contiguous
 //! allocation instead of chasing a `Vec<Option<Vec<Value>>>` box per row.
 
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
 use cjq_core::fxhash::FxHashMap;
 use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
+
+/// Key storage of one purge index.
+#[derive(Debug, Clone)]
+enum PurgeKeys {
+    /// Equality lookup on a (possibly multi-column) key.
+    Hash(FxHashMap<Vec<Value>, Vec<usize>>),
+    /// Range lookup on a single column (ordered/heartbeat schemes need
+    /// "all slots with value ≤ threshold").
+    Range(BTreeMap<Value, Vec<usize>>),
+}
+
+/// A secondary index over a purge recipe's key columns (live slots only,
+/// maintained on insert/purge like the probe indexes).
+#[derive(Debug, Clone)]
+struct PurgeIndex {
+    cols: Vec<usize>,
+    keys: PurgeKeys,
+}
+
+/// Outcome of [`PortState::collect_matching`]: the matched slots plus how
+/// many live candidate rows were examined to find them.
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    /// Slots whose rows satisfied the predicate.
+    pub slots: Vec<usize>,
+    /// Live candidate rows examined.
+    pub examined: usize,
+}
 
 /// Storage + hash indexes for one input port.
 #[derive(Debug, Clone)]
@@ -35,6 +66,18 @@ pub struct PortState {
     purged: u64,
     /// Flat column → value → slot indexes (live only; maintained on purge).
     indexes: FxHashMap<usize, FxHashMap<Value, Vec<usize>>>,
+    /// Secondary indexes over purge-recipe key columns (see
+    /// [`PortState::add_purge_index`]).
+    purge_indexes: Vec<PurgeIndex>,
+    /// When enabled, slot ids of purged rows, oldest first — the retraction
+    /// log purge trackers consume to find rows whose chained requirement
+    /// sets shrank. Values stay readable via [`PortState::raw_row`] (the
+    /// arena is append-only).
+    retired: Vec<usize>,
+    /// Absolute sequence number of `retired[0]` (grows on trim so consumer
+    /// cursors keep their meaning).
+    retired_base: u64,
+    log_retired: bool,
 }
 
 impl PortState {
@@ -59,6 +102,123 @@ impl PortState {
             inserted: 0,
             purged: 0,
             indexes,
+            purge_indexes: Vec::new(),
+            retired: Vec::new(),
+            retired_base: 0,
+            log_retired: false,
+        }
+    }
+
+    /// Turns on the retraction log: from now on every purged slot id is
+    /// recorded for [`PortState::retired_since`] consumers.
+    pub(crate) fn enable_retirement_log(&mut self) {
+        self.log_retired = true;
+    }
+
+    /// One past the absolute sequence number of the newest retraction.
+    #[must_use]
+    pub(crate) fn retire_end(&self) -> u64 {
+        self.retired_base + self.retired.len() as u64
+    }
+
+    /// Slot ids retired at sequence numbers `>= cursor`, oldest first. A
+    /// cursor older than the trimmed prefix is clamped to the log base.
+    #[must_use]
+    pub(crate) fn retired_since(&self, cursor: u64) -> &[usize] {
+        let skip = cursor.saturating_sub(self.retired_base) as usize;
+        &self.retired[skip.min(self.retired.len())..]
+    }
+
+    /// Drops retractions below absolute sequence number `upto` (call once
+    /// every consumer's cursor has passed it).
+    pub(crate) fn trim_retired_to(&mut self, upto: u64) {
+        let k = (upto.saturating_sub(self.retired_base) as usize).min(self.retired.len());
+        self.retired.drain(..k);
+        self.retired_base += k as u64;
+    }
+
+    /// The values stored in `slot` regardless of liveness — purged rows keep
+    /// their arena cells, which is what lets the retraction log carry slot
+    /// ids instead of cloned rows.
+    #[inline]
+    #[must_use]
+    pub(crate) fn raw_row(&self, slot: usize) -> &[Value] {
+        &self.arena[slot * self.stride..(slot + 1) * self.stride]
+    }
+
+    /// Registers a purge index over `cols` (flat positions), backfilling it
+    /// from current live state. `ordered` selects a range-capable B-tree
+    /// (single column only) instead of a hash map. Identical registrations
+    /// are deduplicated; returns the index id for
+    /// [`PortState::purge_index_eq`] / [`PortState::purge_index_range`].
+    pub(crate) fn add_purge_index(&mut self, cols: &[usize], ordered: bool) -> usize {
+        assert!(
+            !ordered || cols.len() == 1,
+            "range index needs a single column"
+        );
+        assert!(
+            cols.iter().all(|&c| c < self.stride),
+            "purge-index column out of range"
+        );
+        if let Some(i) = self
+            .purge_indexes
+            .iter()
+            .position(|ix| ix.cols == cols && matches!(ix.keys, PurgeKeys::Range(_)) == ordered)
+        {
+            return i;
+        }
+        let mut keys = if ordered {
+            PurgeKeys::Range(BTreeMap::new())
+        } else {
+            PurgeKeys::Hash(FxHashMap::default())
+        };
+        for (slot, row) in self.iter_live() {
+            match &mut keys {
+                PurgeKeys::Hash(m) => m
+                    .entry(cols.iter().map(|&c| row[c]).collect())
+                    .or_default()
+                    .push(slot),
+                PurgeKeys::Range(m) => m.entry(row[cols[0]]).or_default().push(slot),
+            }
+        }
+        self.purge_indexes.push(PurgeIndex {
+            cols: cols.to_vec(),
+            keys,
+        });
+        self.purge_indexes.len() - 1
+    }
+
+    /// Live slots whose purge-index key equals `key`.
+    #[must_use]
+    pub(crate) fn purge_index_eq(&self, id: usize, key: &[Value]) -> &[usize] {
+        match &self.purge_indexes[id].keys {
+            PurgeKeys::Hash(m) => m.get(key).map_or(&[], Vec::as_slice),
+            PurgeKeys::Range(m) => {
+                debug_assert_eq!(key.len(), 1);
+                m.get(&key[0]).map_or(&[], Vec::as_slice)
+            }
+        }
+    }
+
+    /// Appends to `out` the live slots whose (single) purge-index key falls
+    /// in `(above, upto]` — the slice of state a threshold advance newly
+    /// covers.
+    ///
+    /// # Panics
+    /// Panics if the index is not range-capable.
+    pub(crate) fn purge_index_range(
+        &self,
+        id: usize,
+        above: Option<&Value>,
+        upto: &Value,
+        out: &mut Vec<usize>,
+    ) {
+        let PurgeKeys::Range(m) = &self.purge_indexes[id].keys else {
+            panic!("range probe on a hash purge index");
+        };
+        let lower = above.map_or(Bound::Unbounded, Bound::Excluded);
+        for slots in m.range((lower, Bound::Included(upto))).map(|(_, s)| s) {
+            out.extend_from_slice(slots);
         }
     }
 
@@ -100,6 +260,15 @@ impl PortState {
         self.arrivals.push(now);
         for (&col, index) in &mut self.indexes {
             index.entry(values[col]).or_default().push(idx);
+        }
+        for PurgeIndex { cols, keys } in &mut self.purge_indexes {
+            match keys {
+                PurgeKeys::Hash(m) => m
+                    .entry(cols.iter().map(|&c| values[c]).collect())
+                    .or_default()
+                    .push(idx),
+                PurgeKeys::Range(m) => m.entry(values[cols[0]]).or_default().push(idx),
+            }
         }
         self.arena.extend_from_slice(&values);
         if idx.is_multiple_of(64) {
@@ -157,8 +326,37 @@ impl PortState {
                 }
             }
         }
+        for PurgeIndex { cols, keys } in &mut self.purge_indexes {
+            match keys {
+                PurgeKeys::Hash(m) => {
+                    let key: Vec<Value> = cols.iter().map(|&c| row[c]).collect();
+                    if let Some(bucket) = m.get_mut(&key) {
+                        if let Some(pos) = bucket.iter().position(|&i| i == slot) {
+                            bucket.swap_remove(pos);
+                        }
+                        if bucket.is_empty() {
+                            m.remove(&key);
+                        }
+                    }
+                }
+                PurgeKeys::Range(m) => {
+                    let key = &row[cols[0]];
+                    if let Some(bucket) = m.get_mut(key) {
+                        if let Some(pos) = bucket.iter().position(|&i| i == slot) {
+                            bucket.swap_remove(pos);
+                        }
+                        if bucket.is_empty() {
+                            m.remove(key);
+                        }
+                    }
+                }
+            }
+        }
         self.live -= 1;
         self.purged += 1;
+        if self.log_retired {
+            self.retired.push(slot);
+        }
         true
     }
 
@@ -193,6 +391,45 @@ impl PortState {
     #[must_use]
     pub fn live_slots(&self) -> Vec<usize> {
         (0..self.slots()).filter(|&i| self.is_live(i)).collect()
+    }
+
+    /// Phase one of the two-phase "collect, then purge" pattern shared by
+    /// the join operators and the purge engine: evaluates `pred` over live
+    /// candidate rows — all live rows when `candidates` is `None`, otherwise
+    /// only the given slots (dead ones are skipped) — and returns the
+    /// matching slots plus the examined count. Rows are borrowed straight
+    /// from the arena (no clones); pair with [`PortState::purge_slots`].
+    pub fn collect_matching<'s>(
+        &'s self,
+        candidates: Option<&[usize]>,
+        mut pred: impl FnMut(usize, &'s [Value]) -> bool,
+    ) -> Sweep {
+        let mut sweep = Sweep::default();
+        match candidates {
+            None => {
+                for (slot, row) in self.iter_live() {
+                    sweep.examined += 1;
+                    if pred(slot, row) {
+                        sweep.slots.push(slot);
+                    }
+                }
+            }
+            Some(slots) => {
+                for &slot in slots {
+                    let Some(row) = self.get(slot) else { continue };
+                    sweep.examined += 1;
+                    if pred(slot, row) {
+                        sweep.slots.push(slot);
+                    }
+                }
+            }
+        }
+        sweep
+    }
+
+    /// Phase two: purges the given slots, returning how many were live.
+    pub fn purge_slots(&mut self, slots: &[usize]) -> usize {
+        slots.iter().filter(|&&slot| self.purge(slot)).count()
     }
 
     /// Sliding-window eviction: purges every live tuple that arrived strictly
@@ -333,5 +570,94 @@ mod tests {
     fn probe_without_index_panics() {
         let s = state();
         let _ = s.probe(1, &Value::Int(1));
+    }
+
+    #[test]
+    fn purge_index_backfills_and_tracks_mutations() {
+        let mut s = state();
+        let s0 = s.insert(row(1, 10));
+        s.insert(row(2, 10));
+        // Registered after inserts: must be backfilled from live state.
+        let id = s.add_purge_index(&[0, 1], false);
+        assert_eq!(
+            s.purge_index_eq(id, &[Value::Int(1), Value::Int(10)]),
+            &[s0]
+        );
+        // Identical registration is deduplicated.
+        assert_eq!(s.add_purge_index(&[0, 1], false), id);
+        let s2 = s.insert(row(1, 10));
+        assert_eq!(
+            s.purge_index_eq(id, &[Value::Int(1), Value::Int(10)]),
+            &[s0, s2]
+        );
+        s.purge(s0);
+        assert_eq!(
+            s.purge_index_eq(id, &[Value::Int(1), Value::Int(10)]),
+            &[s2]
+        );
+        assert!(s
+            .purge_index_eq(id, &[Value::Int(9), Value::Int(9)])
+            .is_empty());
+    }
+
+    #[test]
+    fn range_purge_index_answers_threshold_slices() {
+        let mut s = state();
+        let slots: Vec<usize> = (1..=5).map(|i| s.insert(row(i, 0))).collect();
+        let id = s.add_purge_index(&[0], true);
+        let mut out = Vec::new();
+        // (-inf, 3]: first threshold appearance.
+        s.purge_index_range(id, None, &Value::Int(3), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, slots[..3]);
+        // (3, 5]: a later advance covers only the new slice.
+        out.clear();
+        s.purge_index_range(id, Some(&Value::Int(3)), &Value::Int(5), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, slots[3..]);
+        // Purged slots drop out of the range answer.
+        s.purge(slots[4]);
+        out.clear();
+        s.purge_index_range(id, Some(&Value::Int(3)), &Value::Int(5), &mut out);
+        assert_eq!(out, &[slots[3]]);
+    }
+
+    #[test]
+    fn retirement_log_records_purges_and_trims() {
+        let mut s = state();
+        let s0 = s.insert(row(1, 10));
+        let s1 = s.insert(row(2, 20));
+        s.purge(s0); // before enabling: not logged
+        s.enable_retirement_log();
+        assert_eq!(s.retire_end(), 0);
+        s.purge(s1);
+        let s2 = s.insert(row(3, 30));
+        s.purge(s2);
+        assert_eq!(s.retire_end(), 2);
+        assert_eq!(s.retired_since(0), &[s1, s2]);
+        assert_eq!(s.retired_since(1), &[s2]);
+        // Purged rows keep readable cells for retraction consumers.
+        assert_eq!(s.raw_row(s1), &row(2, 20)[..]);
+        s.trim_retired_to(1);
+        assert_eq!(s.retired_since(0), &[s2], "stale cursor clamps to base");
+        assert_eq!(s.retire_end(), 2);
+    }
+
+    #[test]
+    fn collect_matching_and_purge_slots() {
+        let mut s = state();
+        let s0 = s.insert(row(1, 10));
+        let s1 = s.insert(row(2, 20));
+        let s2 = s.insert(row(3, 30));
+        s.purge(s1);
+        // Full scan: only live rows are examined.
+        let sweep = s.collect_matching(None, |_, r| r[0] >= Value::Int(3));
+        assert_eq!((sweep.examined, &sweep.slots[..]), (2, &[s2][..]));
+        // Candidate-driven: dead candidates are skipped, not examined.
+        let sweep = s.collect_matching(Some(&[s0, s1, s2]), |_, _| true);
+        assert_eq!(sweep.examined, 2);
+        assert_eq!(s.purge_slots(&sweep.slots), 2);
+        assert_eq!(s.purge_slots(&sweep.slots), 0, "already dead");
+        assert_eq!(s.live(), 0);
     }
 }
