@@ -17,6 +17,7 @@ use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
 use crate::punct_store::PunctStore;
+use crate::sink::OutputBuffer;
 use crate::state::PortState;
 use crate::tuple::Tuple;
 
@@ -117,8 +118,23 @@ impl DisjunctiveJoin {
         })
     }
 
+    /// Width of the emitted result rows: left arity plus right arity.
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.states[0].layout().width() + self.states[1].layout().width()
+    }
+
     /// Processes a tuple; returns `left ++ right` result rows.
     pub fn process_tuple(&mut self, t: &Tuple) -> Vec<Vec<Value>> {
+        let mut buf = OutputBuffer::new(self.out_width());
+        self.process_tuple_into(t, &mut buf);
+        buf.rows().map(<[Value]>::to_vec).collect()
+    }
+
+    /// Like [`DisjunctiveJoin::process_tuple`], appending `left ++ right`
+    /// result rows to a columnar buffer instead of allocating per-row `Vec`s.
+    /// Returns the number of results emitted.
+    pub fn process_tuple_into(&mut self, t: &Tuple, out: &mut OutputBuffer) -> usize {
         self.stats.tuples_in += 1;
         let (side, other) = if t.stream == self.left {
             (0, 1)
@@ -141,7 +157,7 @@ impl DisjunctiveJoin {
         }
         slots.sort_unstable();
         slots.dedup();
-        let mut outputs = Vec::new();
+        let mut emitted = 0;
         for slot in slots {
             let Some(cand) = self.states[other].get(slot) else {
                 continue;
@@ -152,14 +168,15 @@ impl DisjunctiveJoin {
                 (cand, &t.values[..])
             };
             if self.matches(lvals, rvals) {
-                let mut row = lvals.to_vec();
-                row.extend_from_slice(rvals);
-                outputs.push(row);
+                let row = out.alloc_row(0);
+                row[..lvals.len()].copy_from_slice(lvals);
+                row[lvals.len()..].copy_from_slice(rvals);
+                emitted += 1;
             }
         }
         self.states[side].insert(t.values.clone());
-        self.stats.outputs += outputs.len() as u64;
-        outputs
+        self.stats.outputs += emitted as u64;
+        emitted
     }
 
     /// Processes a punctuation (stored for purging) and runs an eager purge

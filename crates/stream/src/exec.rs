@@ -24,7 +24,8 @@ use crate::groupby::{Aggregate, GroupBy};
 use crate::join::JoinOperator;
 use crate::metrics::{Metrics, StatePoint};
 use crate::purge::{PurgeEngine, PurgeScope, PurgeStrategy};
-use crate::source::Feed;
+use crate::sink::{CollectSink, CountSink, OutputBuffer, ResultSink};
+use crate::source::{BatchItem, ElementBatch, Feed};
 use crate::tuple::Tuple;
 
 /// When purge cycles run (Plan Parameter II of §5.2, after \[6\]).
@@ -77,6 +78,13 @@ pub struct ExecConfig {
     pub coverage_limit: usize,
     /// Keep result tuples in memory (disable for large benches).
     pub record_outputs: bool,
+    /// Elements per micro-batch on the batched data path
+    /// ([`Executor::run_with_sink`] and friends). Larger batches amortize
+    /// dispatch and widen probe-key deduplication windows; purge cadence,
+    /// sampling, and window eviction still happen at exactly the same element
+    /// positions as the per-element path (runs are capped at those
+    /// boundaries), so results and metrics are batch-size independent.
+    pub batch_size: usize,
 }
 
 impl Default for ExecConfig {
@@ -91,6 +99,7 @@ impl Default for ExecConfig {
             sample_every: 64,
             coverage_limit: 100_000,
             record_outputs: true,
+            batch_size: 256,
         }
     }
 }
@@ -157,6 +166,12 @@ pub struct Executor {
     outputs: Vec<Vec<Value>>,
     aggregates: Vec<Vec<Value>>,
     metrics: Metrics,
+    /// Reusable columnar buffers ping-ponged through the operator cascade by
+    /// the batched path (current level's output / next level's output).
+    batch_bufs: (OutputBuffer, OutputBuffer),
+    /// Reusable per-run scratch: indices of tuples that survived the
+    /// punctuation-violation check.
+    scratch_survivors: Vec<u32>,
 }
 
 impl Executor {
@@ -228,6 +243,8 @@ impl Executor {
             outputs: Vec::new(),
             aggregates: Vec::new(),
             metrics: Metrics::default(),
+            batch_bufs: (OutputBuffer::default(), OutputBuffer::default()),
+            scratch_survivors: Vec::new(),
         })
     }
 
@@ -286,6 +303,16 @@ impl Executor {
             StreamElement::Tuple(t) => self.push_tuple(t),
             StreamElement::Punctuation(p) => self.push_punctuation(p),
         }
+        self.post_element();
+        self.metrics.elapsed_ns += start.elapsed().as_nanos();
+    }
+
+    /// Per-element bookkeeping shared by the per-element and batched paths:
+    /// cadence-driven purge cycles, window eviction, state sampling. The
+    /// batched path calls this once per capped sub-run — [`Executor::run_cap`]
+    /// guarantees the clock positions where anything fires are identical to
+    /// the per-element path.
+    fn post_element(&mut self) {
         match self.cfg.cadence {
             PurgeCadence::Lazy { batch } if self.since_purge >= batch => self.purge_cycle(),
             PurgeCadence::Adaptive { .. } if self.since_purge >= self.adaptive_batch => {
@@ -305,7 +332,141 @@ impl Executor {
         if self.clock.is_multiple_of(self.cfg.sample_every as u64) {
             self.sample();
         }
+    }
+
+    /// How many more tuples may be processed as one uninterrupted run before
+    /// some per-element event (purge cycle, sample, window eviction) is due.
+    /// Always at least 1.
+    fn run_cap(&self) -> usize {
+        if self.cfg.window.is_some() {
+            return 1; // window eviction is per-element
+        }
+        let mut cap = match self.cfg.cadence {
+            PurgeCadence::Lazy { batch } => batch.saturating_sub(self.since_purge),
+            PurgeCadence::Adaptive { .. } => self.adaptive_batch.saturating_sub(self.since_purge),
+            _ => usize::MAX,
+        };
+        let every = self.cfg.sample_every as u64;
+        if every > 0 {
+            cap = cap.min((every - self.clock % every) as usize);
+        }
+        cap.max(1)
+    }
+
+    /// Pushes a gathered micro-batch through the pipeline, draining root
+    /// results into `sink`.
+    ///
+    /// Equivalent to [`Executor::push`]-ing the batch's elements one at a
+    /// time: runs of consecutive same-stream tuples flow through the operator
+    /// cascade as columnar buffers (capped at purge/sample boundaries by
+    /// [`Executor::run_cap`]), punctuations are processed individually in
+    /// order.
+    pub fn push_batch(&mut self, batch: &ElementBatch<'_>, sink: &mut dyn ResultSink) {
+        let start = Instant::now();
+        for item in batch.items() {
+            match *item {
+                BatchItem::Punct(p) => {
+                    self.clock += 1;
+                    self.since_purge += 1;
+                    self.push_punctuation(p);
+                    self.post_element();
+                }
+                BatchItem::Run {
+                    stream,
+                    width,
+                    start: flat_start,
+                    rows,
+                } => {
+                    let mut off = 0;
+                    while off < rows {
+                        let take = (rows - off).min(self.run_cap());
+                        self.push_run(
+                            stream,
+                            width,
+                            &batch.arena()[flat_start + off * width..],
+                            take,
+                            sink,
+                        );
+                        self.post_element();
+                        off += take;
+                    }
+                }
+            }
+        }
+        self.metrics.batches_processed += 1;
         self.metrics.elapsed_ns += start.elapsed().as_nanos();
+    }
+
+    /// Processes `take` same-stream rows (stride-packed at the front of
+    /// `arena`) as one uninterrupted run: per-row punctuation-violation
+    /// checks and mirror inserts, then one batched cascade through the
+    /// operator tree, then root delivery to `sink` and the group-by stage.
+    fn push_run(
+        &mut self,
+        stream: StreamId,
+        width: usize,
+        arena: &[Value],
+        take: usize,
+        sink: &mut dyn ResultSink,
+    ) {
+        let base = self.clock;
+        self.clock += take as u64;
+        self.since_purge += take;
+        // Observe phase. Punctuation stores only change on punctuation
+        // arrival — impossible mid-run — so per-row checks against the
+        // frozen stores match the per-element path exactly.
+        let mut survivors = std::mem::take(&mut self.scratch_survivors);
+        survivors.clear();
+        for i in 0..take {
+            let row = &arena[i * width..(i + 1) * width];
+            if self.engine.observe_row_at(stream, row, base + i as u64 + 1) {
+                self.metrics.tuples_in += 1;
+                survivors.push(i as u32);
+            } else {
+                self.metrics.count_violation(stream.0);
+            }
+        }
+        if !survivors.is_empty() {
+            let &(op0, port0) = self
+                .leaf_route
+                .get(&stream)
+                .unwrap_or_else(|| panic!("no leaf port for {stream}"));
+            let (mut cur, mut nxt) = std::mem::take(&mut self.batch_bufs);
+            cur.reset(self.ops[op0].out_layout().width());
+            let saved = self.ops[op0].process_batch(
+                port0,
+                survivors.iter().map(|&i| {
+                    let i = i as usize;
+                    (&arena[i * width..(i + 1) * width], base + i as u64 + 1)
+                }),
+                &mut cur,
+            );
+            self.metrics.probe_keys_deduped += saved;
+            // Walk the cascade: every composite row a level emits enters the
+            // same parent port, so each level is itself one same-port run.
+            let mut cur_op = op0;
+            while let Some((pop, pport)) = self.parent[cur_op] {
+                if cur.is_empty() {
+                    break;
+                }
+                nxt.reset(self.ops[pop].out_layout().width());
+                let saved = self.ops[pop].process_batch(pport, cur.iter_with_now(), &mut nxt);
+                self.metrics.probe_keys_deduped += saved;
+                std::mem::swap(&mut cur, &mut nxt);
+                cur_op = pop;
+            }
+            if !cur.is_empty() {
+                self.metrics.outputs += cur.len() as u64;
+                if let Some(g) = &mut self.groupby {
+                    for row in cur.rows() {
+                        g.process_tuple(row);
+                    }
+                }
+                sink.accept(&cur);
+            }
+            self.batch_bufs = (cur, nxt);
+        }
+        self.scratch_survivors = survivors;
     }
 
     fn push_tuple(&mut self, t: &Tuple) {
@@ -363,6 +524,7 @@ impl Executor {
         let Some(g) = &mut self.groupby else { return };
         let engine = &self.engine;
         let mut still_pending = Vec::new();
+        let mut buf = OutputBuffer::new(g.out_width());
         for p in self.pending_group_puncts.drain(..) {
             let state = engine.mirror_state(p.stream);
             // Probe a mirror hash index when the punctuation pins a constant
@@ -379,9 +541,10 @@ impl Executor {
             if blocked {
                 still_pending.push(p);
             } else {
-                let closed = g.process_punctuation(&p);
-                self.metrics.aggregates_out += closed.len() as u64;
-                self.aggregates.extend(closed);
+                buf.clear();
+                let closed = g.process_punctuation_into(&p, &mut buf);
+                self.metrics.aggregates_out += closed as u64;
+                self.aggregates.extend(buf.rows().map(<[Value]>::to_vec));
             }
         }
         self.pending_group_puncts = still_pending;
@@ -443,6 +606,48 @@ impl Executor {
             self.push(e);
         }
         self.finish()
+    }
+
+    /// Runs a whole feed through the batched data path, streaming root
+    /// results into `sink` (`RunResult::outputs` stays empty — the sink owns
+    /// the results). One [`ElementBatch`] of [`ExecConfig::batch_size`]
+    /// elements is reused across the run, so the steady state allocates
+    /// nothing per element.
+    pub fn run_with_sink(self, feed: &Feed, sink: &mut dyn ResultSink) -> RunResult {
+        self.run_with_sink_detailed(feed, sink).0
+    }
+
+    /// Like [`Executor::run_with_sink`], additionally returning the live-slot
+    /// snapshot (see [`Executor::finish_detailed`]).
+    pub fn run_with_sink_detailed(
+        mut self,
+        feed: &Feed,
+        sink: &mut dyn ResultSink,
+    ) -> (RunResult, LiveStateSnapshot) {
+        let size = self.cfg.batch_size.max(1);
+        let mut batch = ElementBatch::new();
+        for chunk in feed.elements().chunks(size) {
+            batch.gather(chunk);
+            self.push_batch(&batch, sink);
+        }
+        sink.finish();
+        self.finish_detailed()
+    }
+
+    /// Runs a whole feed through the batched data path with the default
+    /// sinks: results are collected into `RunResult::outputs` when
+    /// [`ExecConfig::record_outputs`] is set, and merely counted otherwise —
+    /// a drop-in, faster replacement for [`Executor::run`].
+    pub fn run_batched(self, feed: &Feed) -> RunResult {
+        if self.cfg.record_outputs {
+            let mut sink = CollectSink::new();
+            let (mut result, _) = self.run_with_sink_detailed(feed, &mut sink);
+            result.outputs = sink.rows;
+            result
+        } else {
+            let mut sink = CountSink::new();
+            self.run_with_sink(feed, &mut sink)
+        }
     }
 
     /// Final purge cycle + sample, returning the accumulated results.

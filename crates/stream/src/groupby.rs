@@ -17,6 +17,7 @@ use cjq_core::schema::AttrRef;
 use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
+use crate::sink::OutputBuffer;
 
 /// The aggregate computed per group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +156,14 @@ impl GroupBy {
         }
     }
 
+    /// Width of the emitted aggregate rows: grouping columns plus one
+    /// aggregate column. Size [`OutputBuffer`]s for the `_into` methods with
+    /// this.
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.group_cols.len() + 1
+    }
+
     /// Applies a punctuation: closes and emits every group whose key is
     /// guaranteed complete. Returns the emitted `key ++ [aggregate]` rows.
     ///
@@ -162,6 +171,15 @@ impl GroupBy {
     /// a grouping column (otherwise future inputs could still land in the
     /// group with different non-group values).
     pub fn process_punctuation(&mut self, p: &Punctuation) -> Vec<Vec<Value>> {
+        let mut buf = OutputBuffer::new(self.out_width());
+        self.process_punctuation_into(p, &mut buf);
+        buf.rows().map(<[Value]>::to_vec).collect()
+    }
+
+    /// Like [`GroupBy::process_punctuation`], appending the emitted rows to a
+    /// columnar buffer instead of allocating per-row `Vec`s. Returns the
+    /// number of groups closed.
+    pub fn process_punctuation_into(&mut self, p: &Punctuation, out: &mut OutputBuffer) -> usize {
         // Map each constant attr to a grouping column (directly or through a
         // join-equivalence alias); bail if one is not a group column.
         let mut required: Vec<(usize, &Value)> = Vec::new();
@@ -171,12 +189,12 @@ impl GroupBy {
                 .iter()
                 .position(|class| class.iter().any(|r| r.stream == p.stream && r.attr == attr))
             else {
-                return Vec::new();
+                return 0;
             };
             required.push((pos, value));
         }
         if required.is_empty() {
-            return Vec::new();
+            return 0;
         }
         let closing: Vec<Vec<Value>> = self
             .groups
@@ -184,37 +202,45 @@ impl GroupBy {
             .filter(|key| required.iter().all(|&(pos, v)| &key[pos] == v))
             .cloned()
             .collect();
-        let mut out = Vec::with_capacity(closing.len());
+        let closed = closing.len();
         for key in closing {
             let g = self.groups.remove(&key).expect("listed key exists");
-            out.push(self.render(key, &g));
+            self.render_into(&key, &g, out.alloc_row(0));
             self.stats.closed_by_punctuation += 1;
         }
-        self.stats.emitted += out.len() as u64;
-        out
+        self.stats.emitted += closed as u64;
+        closed
     }
 
     /// Emits all still-open groups (end-of-stream flush for finite feeds).
     pub fn flush(&mut self) -> Vec<Vec<Value>> {
-        let mut keys: Vec<Vec<Value>> = self.groups.keys().cloned().collect();
-        keys.sort();
-        let mut out = Vec::with_capacity(keys.len());
-        for key in keys {
-            let g = self.groups.remove(&key).expect("listed key exists");
-            out.push(self.render(key, &g));
-        }
-        self.stats.emitted += out.len() as u64;
-        out
+        let mut buf = OutputBuffer::new(self.out_width());
+        self.flush_into(&mut buf);
+        buf.rows().map(<[Value]>::to_vec).collect()
     }
 
-    fn render(&self, mut key: Vec<Value>, g: &GroupState) -> Vec<Value> {
-        key.push(match self.agg {
+    /// Like [`GroupBy::flush`], appending into a columnar buffer. Returns the
+    /// number of groups emitted.
+    pub fn flush_into(&mut self, out: &mut OutputBuffer) -> usize {
+        let mut keys: Vec<Vec<Value>> = self.groups.keys().cloned().collect();
+        keys.sort();
+        let flushed = keys.len();
+        for key in keys {
+            let g = self.groups.remove(&key).expect("listed key exists");
+            self.render_into(&key, &g, out.alloc_row(0));
+        }
+        self.stats.emitted += flushed as u64;
+        flushed
+    }
+
+    fn render_into(&self, key: &[Value], g: &GroupState, row: &mut [Value]) {
+        row[..key.len()].copy_from_slice(key);
+        row[key.len()] = match self.agg {
             Aggregate::Sum(_) => Value::Int(g.sum),
             Aggregate::Count => Value::Int(g.count as i64),
             Aggregate::Min(_) => g.min.map_or(Value::Null, Value::Int),
             Aggregate::Max(_) => g.max.map_or(Value::Null, Value::Int),
-        });
-        key
+        };
     }
 
     /// The input layout.

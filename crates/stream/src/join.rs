@@ -18,8 +18,10 @@ use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
 use crate::purge::{
-    Candidates, CompiledRecipe, PurgeEngine, PurgeScope, PurgeStrategy, PurgeTracker, PurgeWork,
+    Candidates, CheckScratch, CompiledRecipe, PurgeEngine, PurgeScope, PurgeStrategy, PurgeTracker,
+    PurgeWork,
 };
+use crate::sink::OutputBuffer;
 use crate::state::PortState;
 
 /// A cross-port equi-join condition resolved to flat columns.
@@ -69,6 +71,13 @@ pub struct JoinOperator {
     /// Per port: delta tracker driving [`PurgeStrategy::Indexed`] passes
     /// (present exactly where a recipe is).
     trackers: Vec<Option<PurgeTracker>>,
+    /// Batched-path probe cache: depth-0 key -> `(start, len)` range of
+    /// `scratch_slots`. Cleared per batch, kept to reuse the allocations.
+    scratch_keys: FxHashMap<Value, (usize, usize)>,
+    /// Slot arena backing `scratch_keys` ranges.
+    scratch_slots: Vec<usize>,
+    /// Reused purge-check buffers for [`JoinOperator::purge_pass`].
+    scratch_check: CheckScratch,
     /// Statistics.
     pub stats: OperatorStats,
 }
@@ -233,6 +242,9 @@ impl JoinOperator {
             probe_plans,
             recipes,
             trackers,
+            scratch_keys: FxHashMap::default(),
+            scratch_slots: Vec::new(),
+            scratch_check: CheckScratch::default(),
             stats: OperatorStats::default(),
         }
     }
@@ -367,6 +379,89 @@ impl JoinOperator {
         outputs
     }
 
+    /// Processes a run of same-port tuples arriving on `port`, appending the
+    /// emitted result rows to `out` (in input-row order) without per-row
+    /// allocations.
+    ///
+    /// Within a run the probed ports' states are immutable — probes only hit
+    /// *other* ports, and same-port tuples never join each other — so the
+    /// depth-0 hash index is looked up once per *distinct* probe key instead
+    /// of once per tuple, and all inserts are deferred to the end of the run.
+    /// This is exactly equivalent to feeding the tuples one at a time.
+    /// Returns the number of index lookups saved by the deduplication.
+    ///
+    /// # Panics
+    /// Panics if `out`'s row width differs from the operator's output layout.
+    pub fn process_batch<'a, I>(&mut self, port: usize, rows: I, out: &mut OutputBuffer) -> u64
+    where
+        I: Iterator<Item = (&'a [Value], u64)> + Clone,
+    {
+        assert_eq!(out.width(), self.out_layout.width(), "sink width mismatch");
+        let mut keymap = std::mem::take(&mut self.scratch_keys);
+        let mut slots = std::mem::take(&mut self.scratch_slots);
+        keymap.clear();
+        slots.clear();
+
+        let inserts = rows.clone();
+        let plan = &self.probe_plans[port];
+        let (j0, rel0) = &plan[0];
+        let (jcol0, _, kcol0) = rel0[0];
+        let before = out.len();
+        let mut n_rows = 0u64;
+        {
+            let mut assignment: Vec<Option<&[Value]>> = vec![None; self.ports.len()];
+            for (row, now) in rows {
+                n_rows += 1;
+                // Depth 0 by hand: resolve the probe through the per-batch
+                // key cache, filter with the remaining depth-0 predicates
+                // (all bound to the origin row), then recurse as usual.
+                let key = row[kcol0];
+                let &mut (start, len) = keymap.entry(key).or_insert_with(|| {
+                    let s = slots.len();
+                    slots.extend_from_slice(self.ports[*j0].probe(jcol0, &key));
+                    (s, slots.len() - s)
+                });
+                if len == 0 {
+                    continue;
+                }
+                assignment[port] = Some(row);
+                for &slot in &slots[start..start + len] {
+                    let Some(cand) = self.ports[*j0].get(slot) else {
+                        continue;
+                    };
+                    let ok = rel0[1..].iter().all(|&(jc, _, bc)| cand[jc] == row[bc]);
+                    if ok {
+                        assignment[*j0] = Some(cand);
+                        extend_into(
+                            &self.ports,
+                            plan,
+                            1,
+                            &mut assignment,
+                            &self.out_layout,
+                            &self.port_spans,
+                            now,
+                            out,
+                        );
+                        assignment[*j0] = None;
+                    }
+                }
+                assignment[port] = None;
+            }
+        }
+        // Deferred inserts: same-port tuples never probe their own port, so
+        // storing them after the whole run emits is equivalent to interleaved
+        // insertion — and keeps the probed indexes frozen for the key cache.
+        for (row, now) in inserts {
+            self.ports[port].insert_slice_at(row, now);
+        }
+        self.stats.tuples_in += n_rows;
+        self.stats.outputs += (out.len() - before) as u64;
+        let saved = n_rows.saturating_sub(keymap.len() as u64);
+        self.scratch_keys = keymap;
+        self.scratch_slots = slots;
+        saved
+    }
+
     /// Sliding-window eviction across all ports: drops tuples that arrived
     /// before `cutoff` (the window-join baseline of [3, 7] — boundedness by
     /// time rather than by punctuations). Returns the number evicted.
@@ -410,6 +505,7 @@ impl JoinOperator {
             let sweep = {
                 let state = &self.ports[port];
                 let layout = state.layout();
+                let scratch = &mut self.scratch_check;
                 let mut roots_buf: Vec<(StreamId, &[Value])> =
                     Vec::with_capacity(recipe.roots.len());
                 state.collect_matching(candidates.as_deref(), |_, row| {
@@ -417,7 +513,7 @@ impl JoinOperator {
                     for &s in &recipe.roots {
                         roots_buf.push((s, layout.slice(row, s).expect("root in span")));
                     }
-                    engine.check_roots(recipe, &roots_buf)
+                    engine.check_roots_with(recipe, &roots_buf, scratch)
                 })
             };
             work.examined += sweep.examined as u64;
@@ -428,6 +524,59 @@ impl JoinOperator {
         self.stats.scan_candidates += work.examined;
         self.stats.kept = pass_kept;
         work
+    }
+}
+
+/// DFS over `plan[depth..]` emitting every completed assignment as one row of
+/// `out` — the batched counterpart of the nested `extend` in
+/// [`JoinOperator::process_tuple_at`], writing into the columnar buffer
+/// instead of pushing owned `Vec<Value>` rows.
+#[allow(clippy::too_many_arguments)]
+fn extend_into<'s>(
+    ports: &'s [PortState],
+    plan: &[ProbeStep],
+    depth: usize,
+    assignment: &mut Vec<Option<&'s [Value]>>,
+    out_layout: &SpanLayout,
+    port_layout_spans: &[Vec<StreamId>],
+    now: u64,
+    out: &mut OutputBuffer,
+) {
+    if depth == plan.len() {
+        let row = out.alloc_row(now);
+        for (pi, vals) in assignment.iter().enumerate() {
+            let vals = vals.expect("full assignment");
+            for &s in &port_layout_spans[pi] {
+                out_layout.copy_stream(row, s, ports[pi].layout(), vals);
+            }
+        }
+        return;
+    }
+    let (j, relevant) = &plan[depth];
+    let j = *j;
+    let (jcol, bport, bcol) = relevant[0];
+    let key = &assignment[bport].expect("bound")[bcol];
+    for &slot in ports[j].probe(jcol, key) {
+        let Some(cand) = ports[j].get(slot) else {
+            continue;
+        };
+        let ok = relevant[1..]
+            .iter()
+            .all(|&(jc, bp, bc)| cand[jc] == assignment[bp].expect("bound")[bc]);
+        if ok {
+            assignment[j] = Some(cand);
+            extend_into(
+                ports,
+                plan,
+                depth + 1,
+                assignment,
+                out_layout,
+                port_layout_spans,
+                now,
+                out,
+            );
+            assignment[j] = None;
+        }
     }
 }
 

@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod punct_store;
 pub mod purge;
+pub mod sink;
 pub mod source;
 pub mod state;
 pub mod tuple;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::parallel::{Partitioning, ShardedExecutor, ShardedRunResult};
     pub use crate::punct_store::PunctStore;
     pub use crate::purge::{CheckOutcome, PurgeEngine, PurgeScope};
-    pub use crate::source::Feed;
+    pub use crate::sink::{CallbackSink, CollectSink, CountSink, OutputBuffer, ResultSink};
+    pub use crate::source::{ElementBatch, Feed};
     pub use crate::tuple::Tuple;
 }

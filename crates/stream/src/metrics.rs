@@ -58,6 +58,14 @@ pub struct Metrics {
     /// `Indexed` it shrinks to the punctuation-delta-proportional candidate
     /// count — the purge engine's asymptotic win, compared against `purged`.
     pub purge_candidates_examined: u64,
+    /// Micro-batches pushed through the batched data plane (one per
+    /// `Executor::push_batch` call; 0 on the legacy per-element path).
+    pub batches_processed: u64,
+    /// Join-index probe lookups saved by within-run probe-key deduplication:
+    /// for every run of consecutive same-port tuples, the probed index is hit
+    /// once per *distinct* depth-0 key instead of once per tuple. Compare
+    /// against `tuples_in` to see batching effectiveness.
+    pub probe_keys_deduped: u64,
     /// Wall-clock processing time in nanoseconds (push calls only).
     pub elapsed_ns: u128,
 }

@@ -51,7 +51,8 @@ use cjq_core::value::Value;
 use crate::element::StreamElement;
 use crate::exec::{ExecConfig, Executor, LiveStateSnapshot, RunResult};
 use crate::metrics::Metrics;
-use crate::source::Feed;
+use crate::sink::{CollectSink, CountSink, ResultSink};
+use crate::source::{ElementBatch, Feed};
 
 /// Elements per routed batch (amortizes channel synchronization).
 const ROUTE_BATCH: usize = 256;
@@ -176,9 +177,13 @@ impl Partitioning {
 /// id; partitioned state is disjoint across shards and summed.
 #[derive(Debug)]
 pub struct ShardedRunResult {
-    /// Merged result tuples. Each result is produced by exactly one shard
-    /// (the one its partition-class value hashes to), so this is the same
-    /// multiset a sequential run emits, in per-shard order.
+    /// Merged result tuples, concatenated from the per-shard sinks by
+    /// [`ShardedExecutor::run`] when [`ExecConfig::record_outputs`] is set
+    /// (empty otherwise, and empty from
+    /// [`ShardedExecutor::run_with_sinks`] — there the caller owns the
+    /// sinks). Each result is produced by exactly one shard (the one its
+    /// partition-class value hashes to), so this is the same multiset a
+    /// sequential run emits, in per-shard order.
     pub outputs: Vec<Vec<Value>>,
     /// Merged metrics. `tuples_in`/`puncts_in`/`violations`/`outputs` are
     /// logical feed-level counts; purge/peak counters are physical sums;
@@ -189,8 +194,9 @@ pub struct ShardedRunResult {
     pub logical_join_state: usize,
     /// Logical live mirror tuples at end of run.
     pub logical_mirror: usize,
-    /// Per-shard results (their `outputs` were moved into the merged vec;
-    /// everything else, including the sample series, is intact).
+    /// Per-shard results (their `outputs` are empty — results flow to the
+    /// per-shard sinks; everything else, including the sample series, is
+    /// intact).
     pub shards: Vec<RunResult>,
 }
 
@@ -243,42 +249,97 @@ impl ShardedExecutor {
 
     /// Runs the whole feed through `P` shard workers and merges the results.
     ///
-    /// The router walks the feed once, sending element *indices* in batches
-    /// over bounded channels; workers borrow the feed directly, so no element
-    /// is copied on the way in. Each worker is a plain sequential
-    /// [`Executor`] fed a subsequence of the feed in order.
+    /// Results are collected per shard into [`CollectSink`]s when
+    /// [`ExecConfig::record_outputs`] is set (and concatenated into
+    /// `ShardedRunResult::outputs`), or merely counted otherwise. See
+    /// [`ShardedExecutor::run_with_sinks`] for the routing details and for
+    /// custom sinks.
     ///
     /// # Panics
     /// Panics if the feed exceeds `u32::MAX` elements or a worker panics.
     #[must_use]
     pub fn run(&self, feed: &Feed) -> ShardedRunResult {
+        if self.cfg.record_outputs {
+            let (mut result, sinks) = self.run_with_sinks(feed, |_| CollectSink::new());
+            result.outputs = sinks.into_iter().flat_map(|s| s.rows).collect();
+            result
+        } else {
+            self.run_with_sinks(feed, |_| CountSink::new()).0
+        }
+    }
+
+    /// Runs the whole feed through `P` shard workers, streaming each shard's
+    /// results into its own sink (`make_sink(shard)`), and merges the
+    /// metrics. Returns the per-shard sinks alongside — every result row is
+    /// emitted by exactly one shard, so their union is the sequential result
+    /// multiset.
+    ///
+    /// With `P = 1` the router and channels are bypassed entirely: the one
+    /// shard is a plain sequential [`Executor`] fed the whole feed through
+    /// the batched data path, so single-shard runs cost the same as
+    /// [`Executor::run_with_sink`]. With `P >= 2` the router walks the feed
+    /// once, sending element *indices* in batches over bounded channels;
+    /// workers borrow the feed directly and gather their routed subsequences
+    /// into reusable [`ElementBatch`]es, so no element is copied on the way
+    /// in.
+    ///
+    /// # Panics
+    /// Panics if the feed exceeds `u32::MAX` elements or a worker panics.
+    pub fn run_with_sinks<S, F>(&self, feed: &Feed, make_sink: F) -> (ShardedRunResult, Vec<S>)
+    where
+        S: ResultSink + Send,
+        F: Fn(usize) -> S,
+    {
         let p = self.partitioning.shards;
-        assert!(u32::try_from(feed.len()).is_ok(), "feed too long to route");
         let start = Instant::now();
-        let execs: Vec<Executor> = (0..p)
+        let mut execs: Vec<Executor> = (0..p)
             .map(|_| {
                 Executor::compile(&self.query, &self.schemes, &self.plan, self.cfg)
                     .expect("validated in ShardedExecutor::compile")
             })
             .collect();
 
+        if p == 1 {
+            // Single shard: everything routes to it, in feed order. Skip the
+            // router, the channels, and the worker thread.
+            let mut sink = make_sink(0);
+            let (result, snapshot) = execs
+                .pop()
+                .expect("one shard")
+                .run_with_sink_detailed(feed, &mut sink);
+            let router_tuples = result.metrics.tuples_in + result.metrics.violations;
+            let router_puncts = result.metrics.puncts_in;
+            let merged = self.merge(
+                vec![(result, snapshot)],
+                router_tuples,
+                router_puncts,
+                start,
+            );
+            return (merged, vec![sink]);
+        }
+
+        assert!(u32::try_from(feed.len()).is_ok(), "feed too long to route");
         let mut router_tuples = 0u64;
         let mut router_puncts = 0u64;
-        let finished: Vec<(RunResult, LiveStateSnapshot)> = std::thread::scope(|scope| {
+        let finished: Vec<(RunResult, LiveStateSnapshot, S)> = std::thread::scope(|scope| {
             let elements = feed.elements();
             let mut senders = Vec::with_capacity(p);
             let mut handles = Vec::with_capacity(p);
-            for exec in execs {
+            for (shard, exec) in execs.into_iter().enumerate() {
                 let (tx, rx) = mpsc::sync_channel::<Vec<u32>>(4);
                 senders.push(tx);
+                let sink = make_sink(shard);
                 handles.push(scope.spawn(move || {
                     let mut exec = exec;
-                    while let Ok(batch) = rx.recv() {
-                        for idx in batch {
-                            exec.push(&elements[idx as usize]);
-                        }
+                    let mut sink = sink;
+                    let mut batch = ElementBatch::new();
+                    while let Ok(idxs) = rx.recv() {
+                        batch.gather_indexed(elements, &idxs);
+                        exec.push_batch(&batch, &mut sink);
                     }
-                    exec.finish_detailed()
+                    sink.finish();
+                    let (result, snapshot) = exec.finish_detailed();
+                    (result, snapshot, sink)
                 }));
             }
             let mut buffers: Vec<Vec<u32>> = vec![Vec::with_capacity(ROUTE_BATCH); p];
@@ -314,13 +375,27 @@ impl ShardedExecutor {
                 .collect()
         });
 
-        let (mut shards, snapshots): (Vec<RunResult>, Vec<LiveStateSnapshot>) =
-            finished.into_iter().unzip();
-        let outputs: Vec<Vec<Value>> = shards
-            .iter_mut()
-            .flat_map(|r| std::mem::take(&mut r.outputs))
-            .collect();
+        let mut shards_snaps = Vec::with_capacity(p);
+        let mut sinks = Vec::with_capacity(p);
+        for (result, snapshot, sink) in finished {
+            shards_snaps.push((result, snapshot));
+            sinks.push(sink);
+        }
+        let merged = self.merge(shards_snaps, router_tuples, router_puncts, start);
+        (merged, sinks)
+    }
 
+    /// Merges per-shard results into one [`ShardedRunResult`] (with empty
+    /// `outputs` — the caller owns the sinks).
+    fn merge(
+        &self,
+        shards_snaps: Vec<(RunResult, LiveStateSnapshot)>,
+        router_tuples: u64,
+        router_puncts: u64,
+        start: Instant,
+    ) -> ShardedRunResult {
+        let (shards, snapshots): (Vec<RunResult>, Vec<LiveStateSnapshot>) =
+            shards_snaps.into_iter().unzip();
         let n_streams = self.query.n_streams();
         let mut metrics = Metrics::default();
         let mut violations_by_stream = vec![0u64; n_streams];
@@ -339,13 +414,17 @@ impl ShardedExecutor {
         metrics.violations_by_stream = violations_by_stream;
         metrics.tuples_in = router_tuples - metrics.violations;
         metrics.puncts_in = router_puncts;
-        metrics.outputs = outputs.len() as u64;
         for r in &shards {
+            // Each result row is emitted by exactly one shard, so the sum is
+            // the logical output count even when no sink keeps the rows.
+            metrics.outputs += r.metrics.outputs;
             metrics.purged += r.metrics.purged;
             metrics.mirror_purged += r.metrics.mirror_purged;
             metrics.punct_dropped += r.metrics.punct_dropped;
             metrics.purge_cycles += r.metrics.purge_cycles;
             metrics.purge_candidates_examined += r.metrics.purge_candidates_examined;
+            metrics.batches_processed += r.metrics.batches_processed;
+            metrics.probe_keys_deduped += r.metrics.probe_keys_deduped;
             metrics.peak_join_state += r.metrics.peak_join_state;
             metrics.peak_mirror += r.metrics.peak_mirror;
             metrics.peak_punct_entries += r.metrics.peak_punct_entries;
@@ -380,7 +459,7 @@ impl ShardedExecutor {
         }
 
         ShardedRunResult {
-            outputs,
+            outputs: Vec::new(),
             metrics,
             logical_join_state,
             logical_mirror,

@@ -224,9 +224,20 @@ impl PunctStore {
     /// consistency checking and for group-closing).
     #[must_use]
     pub fn matches_tuple(&self, values: &[Value]) -> bool {
+        // Per-tuple hot path (every observed tuple checks every scheme):
+        // build the combo on the stack for the common small arities.
+        let mut stack = [Value::Null; 8];
         let scheme_hit = self.schemes.iter().enumerate().any(|(i, s)| {
-            let combo: Vec<Value> = s.punctuatable().iter().map(|a| values[a.0]).collect();
-            self.covers(i, &combo)
+            let attrs = s.punctuatable();
+            if attrs.len() <= stack.len() {
+                for (j, a) in attrs.iter().enumerate() {
+                    stack[j] = values[a.0];
+                }
+                self.covers(i, &stack[..attrs.len()])
+            } else {
+                let combo: Vec<Value> = attrs.iter().map(|a| values[a.0]).collect();
+                self.covers(i, &combo)
+            }
         });
         scheme_hit || self.unmatched.iter().any(|p| p.matches(values))
     }

@@ -82,6 +82,45 @@ impl PurgeWork {
     }
 }
 
+/// Reusable buffers for the allocation-free purge-check hot path
+/// ([`PurgeEngine::check_roots_with`]).
+///
+/// A purge cycle evaluates the same recipe over many candidate rows; one
+/// scratch reused across them amortizes every chain-walk allocation (chain
+/// sets, distinct-value sets, the coverage odometer) to zero in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct CheckScratch {
+    /// Per stream id: the current chain set.
+    chain: Vec<ChainSet>,
+    /// Slot pool backing [`ChainSet::Slots`] ranges (mirror-state slots).
+    slots: Vec<usize>,
+    /// Distinct-value builder reused per binding.
+    seen: FxHashSet<Value>,
+    /// Per-binding distinct value sets (outer reused, inners cleared).
+    sets: Vec<Vec<Value>>,
+    /// Coverage-odometer counters.
+    combo: Vec<usize>,
+    /// Coverage-odometer current combination.
+    values: Vec<Value>,
+    /// Per-filter semi-join value sets.
+    filters: Vec<FxHashSet<Value>>,
+    /// Probe-slot staging area (sorted/deduped before the filter pass).
+    probe_tmp: Vec<usize>,
+}
+
+/// One stream's chain set inside a [`CheckScratch`]: the candidate's own row
+/// (a root) or a range of mirror-state slots in the shared pool.
+#[derive(Debug, Clone, Copy, Default)]
+enum ChainSet {
+    /// Stream not reached by the walk (yet).
+    #[default]
+    Unset,
+    /// Index into the caller's root rows.
+    Root(usize),
+    /// `slots[start..start + len]` of the stream's mirror state.
+    Slots { start: usize, len: usize },
+}
+
 /// Which span purge recipes are derived over (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PurgeScope {
@@ -408,6 +447,8 @@ pub struct PurgeEngine {
     pub punct_dropped: u64,
     /// Raw tuples purged from the mirror.
     pub mirror_purged: u64,
+    /// Reused check buffers for the mirror purge pass.
+    check_scratch: CheckScratch,
 }
 
 impl PurgeEngine {
@@ -475,6 +516,7 @@ impl PurgeEngine {
             weights,
             punct_dropped: 0,
             mirror_purged: 0,
+            check_scratch: CheckScratch::default(),
         }
     }
 
@@ -508,11 +550,17 @@ impl PurgeEngine {
     /// Like [`PurgeEngine::observe_tuple`], stamping the mirror entry with an
     /// arrival time (for sliding-window eviction).
     pub fn observe_tuple_at(&mut self, t: &Tuple, now: u64) -> bool {
-        let s = t.stream.0;
-        if self.puncts[s].matches_tuple(&t.values) {
+        self.observe_row_at(t.stream, &t.values, now)
+    }
+
+    /// Like [`PurgeEngine::observe_tuple_at`] from a borrowed row — the
+    /// batched data plane's entry point (no clone on the mirror insert).
+    pub fn observe_row_at(&mut self, stream: StreamId, row: &[Value], now: u64) -> bool {
+        let s = stream.0;
+        if self.puncts[s].matches_tuple(row) {
             return false;
         }
-        self.states[s].insert_at(t.values.clone(), now);
+        self.states[s].insert_slice_at(row, now);
         true
     }
 
@@ -572,6 +620,167 @@ impl PurgeEngine {
     #[must_use]
     pub fn check_roots(&self, recipe: &CompiledRecipe, roots: &[(StreamId, &[Value])]) -> bool {
         self.check_impl(recipe, roots, false).is_purgeable()
+    }
+
+    /// Like [`PurgeEngine::check_roots`] with caller-provided scratch
+    /// buffers: the chain walk allocates nothing once the scratch has warmed
+    /// up, which is what purge passes (one recipe, many candidate rows) want.
+    /// Decision-equivalent to [`PurgeEngine::check_roots`].
+    ///
+    /// # Panics
+    /// Panics if a recipe step draws values from a stream the walk has not
+    /// reached (a malformed recipe; [`PurgeEngine::check_roots`] panics too).
+    #[must_use]
+    pub fn check_roots_with(
+        &self,
+        recipe: &CompiledRecipe,
+        roots: &[(StreamId, &[Value])],
+        scratch: &mut CheckScratch,
+    ) -> bool {
+        scratch.chain.clear();
+        scratch.chain.resize(self.states.len(), ChainSet::Unset);
+        scratch.slots.clear();
+        for (i, &(s, _)) in roots.iter().enumerate() {
+            scratch.chain[s.0] = ChainSet::Root(i);
+        }
+        for step in &recipe.steps {
+            // Required combinations: cartesian product of the per-binding
+            // distinct value sets drawn from the chain.
+            if scratch.sets.len() < step.bindings.len() {
+                scratch.sets.resize_with(step.bindings.len(), Vec::new);
+            }
+            let mut total: usize = 1;
+            for (bi, &(src, col)) in step.bindings.iter().enumerate() {
+                let set = &mut scratch.sets[bi];
+                set.clear();
+                match scratch.chain[src.0] {
+                    ChainSet::Root(ri) => set.push(roots[ri].1[col]),
+                    ChainSet::Slots { start, len } => {
+                        scratch.seen.clear();
+                        let state = &self.states[src.0];
+                        for &slot in &scratch.slots[start..start + len] {
+                            if let Some(row) = state.get(slot) {
+                                let v = row[col];
+                                if scratch.seen.insert(v) {
+                                    set.push(v);
+                                }
+                            }
+                        }
+                    }
+                    ChainSet::Unset => panic!("recipe step binds an unreached stream"),
+                }
+                total = total.saturating_mul(set.len());
+            }
+            if total > self.coverage_limit {
+                return false; // conservatively keep (TooManyCombinations)
+            }
+            if total > 0 {
+                let store = &self.puncts[step.target.0];
+                let k = step.bindings.len();
+                debug_assert!(k > 0, "punctuation schemes have at least one attribute");
+                scratch.combo.clear();
+                scratch.combo.resize(k, 0);
+                scratch.values.clear();
+                scratch.values.resize(k, Value::Null);
+                'outer: loop {
+                    for pos in 0..k {
+                        scratch.values[pos] = scratch.sets[pos][scratch.combo[pos]];
+                    }
+                    if !store.covers(step.scheme_idx, &scratch.values) {
+                        return false; // missing coverage
+                    }
+                    // Odometer increment.
+                    for pos in (0..k).rev() {
+                        scratch.combo[pos] += 1;
+                        if scratch.combo[pos] < scratch.sets[pos].len() {
+                            continue 'outer;
+                        }
+                        scratch.combo[pos] = 0;
+                        if pos == 0 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            // Next chain set: mirror tuples of `target` that semi-join the
+            // chain on every in-span predicate towards reached streams.
+            if scratch.filters.len() < step.filters.len() {
+                scratch
+                    .filters
+                    .resize_with(step.filters.len(), FxHashSet::default);
+            }
+            for (fi, &(_, src, scol)) in step.filters.iter().enumerate() {
+                let set = &mut scratch.filters[fi];
+                set.clear();
+                match scratch.chain[src.0] {
+                    ChainSet::Root(ri) => {
+                        set.insert(roots[ri].1[scol]);
+                    }
+                    ChainSet::Slots { start, len } => {
+                        let state = &self.states[src.0];
+                        for &slot in &scratch.slots[start..start + len] {
+                            if let Some(row) = state.get(slot) {
+                                set.insert(row[scol]);
+                            }
+                        }
+                    }
+                    ChainSet::Unset => panic!("recipe filter reads an unreached stream"),
+                }
+            }
+            let state = &self.states[step.target.0];
+            // Prefer probing the target's hash index when the smallest filter
+            // set is much smaller than the live state (same policy as
+            // `check_impl`).
+            let probe_with = step
+                .filters
+                .iter()
+                .enumerate()
+                .filter(|&(fi, &(tcol, _, _))| {
+                    state.has_index(tcol) && scratch.filters[fi].len() * 4 < state.live()
+                })
+                .min_by_key(|&(fi, _)| scratch.filters[fi].len())
+                .map(|(fi, _)| fi);
+            let start = scratch.slots.len();
+            match probe_with {
+                Some(fi) => {
+                    let (tcol, _, _) = step.filters[fi];
+                    scratch.probe_tmp.clear();
+                    for v in &scratch.filters[fi] {
+                        scratch.probe_tmp.extend_from_slice(state.probe(tcol, v));
+                    }
+                    scratch.probe_tmp.sort_unstable();
+                    scratch.probe_tmp.dedup();
+                    for &slot in &scratch.probe_tmp {
+                        if let Some(row) = state.get(slot) {
+                            let ok =
+                                step.filters.iter().enumerate().all(|(fj, &(tc, _, _))| {
+                                    scratch.filters[fj].contains(&row[tc])
+                                });
+                            if ok {
+                                scratch.slots.push(slot);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for (slot, row) in state.iter_live() {
+                        let ok = step
+                            .filters
+                            .iter()
+                            .enumerate()
+                            .all(|(fj, &(tc, _, _))| scratch.filters[fj].contains(&row[tc]));
+                        if ok {
+                            scratch.slots.push(slot);
+                        }
+                    }
+                }
+            }
+            scratch.chain[step.target.0] = ChainSet::Slots {
+                start,
+                len: scratch.slots.len() - start,
+            };
+        }
+        true
     }
 
     /// Like [`PurgeEngine::check`], but explains a negative verdict: which
@@ -746,10 +955,13 @@ impl PurgeEngine {
             };
             let stream = StreamId(s);
             // Decide on borrowed rows (the check reads other mirror states,
-            // never mutates), then purge by slot.
+            // never mutates), then purge by slot. The scratch is taken out
+            // for the pass so the shared engine borrow stays clean.
+            let mut scratch = std::mem::take(&mut self.check_scratch);
             let sweep = self.states[s].collect_matching(candidates.as_deref(), |_, row| {
-                self.check_roots(recipe, &[(stream, row)])
+                self.check_roots_with(recipe, &[(stream, row)], &mut scratch)
             });
+            self.check_scratch = scratch;
             work.examined += sweep.examined as u64;
             work.purged += self.states[s].purge_slots(&sweep.slots) as u64;
         }

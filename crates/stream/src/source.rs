@@ -5,9 +5,124 @@
 //! builders interleave per-stream scripts deterministically so experiments
 //! are reproducible.
 
+use cjq_core::punctuation::Punctuation;
 use cjq_core::schema::StreamId;
+use cjq_core::value::Value;
 
 use crate::element::StreamElement;
+
+/// One item of an [`ElementBatch`]: a run of consecutive same-stream tuples
+/// (their rows live contiguously in the batch arena) or one punctuation.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchItem<'a> {
+    /// `rows` consecutive tuples of `stream`, stored stride-packed in the
+    /// batch arena starting at flat offset `start` with `width` columns each.
+    Run {
+        /// The tuples' stream.
+        stream: StreamId,
+        /// Columns per row.
+        width: usize,
+        /// Flat arena offset of the first row.
+        start: usize,
+        /// Number of rows in the run.
+        rows: usize,
+    },
+    /// A punctuation, borrowed from the feed (punctuations are not copied).
+    Punct(&'a Punctuation),
+}
+
+/// A micro-batch of feed elements in arrival order, with tuple rows gathered
+/// into one flat value arena.
+///
+/// Gathering groups maximal runs of consecutive same-stream tuples so the
+/// executor can drive each run through the operator cascade in one go
+/// (`Value` is `Copy`: the gather copy is a flat `memcpy`, and rows are read
+/// back as borrowed `&[Value]` slices — no per-row `Vec` anywhere).
+/// `gather` reuses the arena and item allocations across calls.
+#[derive(Debug, Clone, Default)]
+pub struct ElementBatch<'a> {
+    arena: Vec<Value>,
+    items: Vec<BatchItem<'a>>,
+    elements: usize,
+}
+
+impl<'a> ElementBatch<'a> {
+    /// Creates an empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        ElementBatch::default()
+    }
+
+    /// Number of feed elements gathered (tuples + punctuations).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements
+    }
+
+    /// Whether the batch holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements == 0
+    }
+
+    /// The gathered items in arrival order.
+    #[must_use]
+    pub fn items(&self) -> &[BatchItem<'a>] {
+        &self.items
+    }
+
+    /// The flat value arena backing the tuple runs.
+    #[must_use]
+    pub fn arena(&self) -> &[Value] {
+        &self.arena
+    }
+
+    /// Refills the batch from a contiguous element slice (clears first).
+    pub fn gather(&mut self, elements: &'a [StreamElement]) {
+        self.clear();
+        for e in elements {
+            self.push_element(e);
+        }
+    }
+
+    /// Refills the batch from the elements selected by `indices`, in index
+    /// order (the sharded executor routes element indices, not elements).
+    pub fn gather_indexed(&mut self, elements: &'a [StreamElement], indices: &[u32]) {
+        self.clear();
+        for &i in indices {
+            self.push_element(&elements[i as usize]);
+        }
+    }
+
+    /// Drops all gathered elements, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.items.clear();
+        self.elements = 0;
+    }
+
+    fn push_element(&mut self, e: &'a StreamElement) {
+        match e {
+            StreamElement::Tuple(t) => {
+                let width = t.values.len();
+                match self.items.last_mut() {
+                    Some(BatchItem::Run { stream, rows, .. }) if *stream == t.stream => {
+                        *rows += 1;
+                    }
+                    _ => self.items.push(BatchItem::Run {
+                        stream: t.stream,
+                        width,
+                        start: self.arena.len(),
+                        rows: 1,
+                    }),
+                }
+                self.arena.extend_from_slice(&t.values);
+            }
+            StreamElement::Punctuation(p) => self.items.push(BatchItem::Punct(p)),
+        }
+        self.elements += 1;
+    }
+}
 
 /// A finite, ordered sequence of elements from any number of streams.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -108,6 +223,21 @@ impl Feed {
         &self.items
     }
 
+    /// Yields the feed as [`ElementBatch`]es of at most `size` elements, in
+    /// order. Each batch is freshly gathered; executors that want to reuse
+    /// one batch allocation should gather over `elements()` chunks instead.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn batches(&self, size: usize) -> impl Iterator<Item = ElementBatch<'_>> {
+        assert!(size > 0, "batch size must be positive");
+        self.items.chunks(size).map(|chunk| {
+            let mut batch = ElementBatch::new();
+            batch.gather(chunk);
+            batch
+        })
+    }
+
     /// Counts elements belonging to `stream`.
     #[must_use]
     pub fn count_for(&self, stream: StreamId) -> usize {
@@ -199,6 +329,58 @@ mod tests {
     #[should_panic(expected = "weights must be positive")]
     fn weighted_rejects_zero_weights() {
         let _ = Feed::weighted(vec![vec![]], &[0]);
+    }
+
+    #[test]
+    fn gather_groups_runs_and_borrows_punctuations() {
+        use cjq_core::punctuation::Punctuation;
+        let mut feed = Feed::new();
+        feed.push(Tuple::of(0, [Value::Int(1)]));
+        feed.push(Tuple::of(0, [Value::Int(2)]));
+        feed.push(Tuple::of(1, [Value::Int(3), Value::Int(4)]));
+        feed.push(Punctuation::with_constants(StreamId(0), 1, &[]));
+        feed.push(Tuple::of(0, [Value::Int(5)]));
+
+        let mut batch = ElementBatch::new();
+        batch.gather(feed.elements());
+        assert_eq!(batch.len(), 5);
+        let items = batch.items();
+        assert_eq!(items.len(), 4, "two runs merge, punct splits the third");
+        match items[0] {
+            BatchItem::Run {
+                stream,
+                width,
+                start,
+                rows,
+            } => {
+                assert_eq!((stream, width, start, rows), (StreamId(0), 1, 0, 2));
+                assert_eq!(
+                    &batch.arena()[start..start + rows * width],
+                    &[Value::Int(1), Value::Int(2)]
+                );
+            }
+            BatchItem::Punct(_) => panic!("expected a run"),
+        }
+        assert!(matches!(
+            items[1],
+            BatchItem::Run {
+                stream: StreamId(1),
+                width: 2,
+                rows: 1,
+                ..
+            }
+        ));
+        assert!(matches!(items[2], BatchItem::Punct(_)));
+        assert!(matches!(items[3], BatchItem::Run { rows: 1, .. }));
+
+        // Reuse: gathering indices keeps index order and resets state.
+        batch.gather_indexed(feed.elements(), &[4, 0]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.items().len(), 1, "both stream-0 tuples form one run");
+
+        // Feed::batches splits on the size boundary.
+        let sizes: Vec<usize> = feed.batches(2).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
     }
 
     #[test]

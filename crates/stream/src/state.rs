@@ -251,6 +251,14 @@ impl PortState {
     /// non-decreasing across calls for window eviction to be exact).
     #[inline]
     pub fn insert_at(&mut self, values: Vec<Value>, now: u64) -> usize {
+        self.insert_slice_at(&values, now)
+    }
+
+    /// Like [`PortState::insert_at`] from a borrowed row — the batched data
+    /// plane's entry point: rows live in a batch arena (`Value` is `Copy`),
+    /// so storing one is a flat copy with no per-row allocation.
+    #[inline]
+    pub fn insert_slice_at(&mut self, values: &[Value], now: u64) -> usize {
         debug_assert_eq!(values.len(), self.stride);
         debug_assert!(
             self.arrivals.last().is_none_or(|&t| t <= now),
@@ -270,7 +278,7 @@ impl PortState {
                 PurgeKeys::Range(m) => m.entry(values[cols[0]]).or_default().push(idx),
             }
         }
-        self.arena.extend_from_slice(&values);
+        self.arena.extend_from_slice(values);
         if idx.is_multiple_of(64) {
             self.live_bits.push(0);
         }

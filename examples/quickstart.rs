@@ -8,6 +8,7 @@
 use punctuated_cjq::core::prelude::*;
 use punctuated_cjq::core::{purge_plan, safety};
 use punctuated_cjq::stream::exec::{ExecConfig, Executor};
+use punctuated_cjq::stream::sink::CallbackSink;
 use punctuated_cjq::stream::source::Feed;
 use punctuated_cjq::stream::tuple::Tuple;
 
@@ -42,7 +43,10 @@ fn main() {
     let recipe = purge_plan::derive_recipe(&query, &schemes, &all, StreamId(0)).unwrap();
     print!("{}", recipe.explain(&query));
 
-    // 6. Run a small punctuated feed end-to-end.
+    // 6. Run a small punctuated feed end-to-end through the vectorized
+    //    micro-batch path, streaming each result row into a sink as it is
+    //    produced (swap in a `CollectSink` to keep the rows, or a
+    //    `CountSink` to only count them).
     let plan = Plan::mjoin_all(&query);
     let exec = Executor::compile(&query, &schemes, &plan, ExecConfig::default()).unwrap();
     let mut feed = Feed::new();
@@ -62,7 +66,8 @@ fn main() {
             &[(AttrId(0), Value::Int(id))],
         ));
     }
-    let result = exec.run(&feed);
+    let mut sink = CallbackSink::new(|row: &[Value]| println!("  result: {row:?}"));
+    let result = exec.run_with_sink(&feed, &mut sink);
     println!(
         "processed {} tuples + {} punctuations -> {} results",
         result.metrics.tuples_in, result.metrics.puncts_in, result.metrics.outputs

@@ -15,6 +15,7 @@ use std::time::Instant;
 use punctuated_cjq::core::prelude::*;
 use punctuated_cjq::stream::exec::{ExecConfig, Executor};
 use punctuated_cjq::stream::parallel::{Partitioning, ShardedExecutor};
+use punctuated_cjq::stream::sink::CollectSink;
 use punctuated_cjq::workload::auction::{self, AuctionConfig};
 
 fn main() {
@@ -42,16 +43,21 @@ fn main() {
         }
     }
 
+    // Sequential, through the vectorized micro-batch path: results stream
+    // into a caller-chosen sink instead of accumulating in the run result.
     let t = Instant::now();
+    let mut seq_sink = CollectSink::new();
     let seq = Executor::compile(&query, &schemes, &plan, cfg)
         .unwrap()
-        .run(&feed);
+        .run_with_sink(&feed, &mut seq_sink);
     let seq_elapsed = t.elapsed();
 
+    // Sharded: one sink per shard (each result row is produced by exactly
+    // one shard, so concatenating the sinks yields the full result set).
     let t = Instant::now();
-    let shd = ShardedExecutor::compile(&query, &schemes, &plan, cfg, shards)
+    let (shd, shard_sinks) = ShardedExecutor::compile(&query, &schemes, &plan, cfg, shards)
         .unwrap()
-        .run(&feed);
+        .run_with_sinks(&feed, |_shard| CollectSink::new());
     let shd_elapsed = t.elapsed();
 
     println!(
@@ -70,8 +76,8 @@ fn main() {
         shd.metrics.outputs, shd.logical_join_state, shd_elapsed
     );
 
-    let mut a = seq.outputs.clone();
-    let mut b = shd.outputs.clone();
+    let mut a = seq_sink.rows;
+    let mut b: Vec<_> = shard_sinks.into_iter().flat_map(|s| s.rows).collect();
     a.sort_unstable();
     b.sort_unstable();
     assert_eq!(a, b, "sharded output multiset must match sequential");

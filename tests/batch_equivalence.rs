@@ -1,0 +1,403 @@
+//! Batched/legacy equivalence: the vectorized micro-batch data path
+//! ([`Executor::run_batched`] / [`Executor::run_with_sink`], and the sharded
+//! executor's batched workers) must be observationally identical to the
+//! legacy per-element path ([`Executor::push`]):
+//!
+//! * the same output multiset (and, per sink contract, the same rows reach
+//!   every [`ResultSink`]);
+//! * the same logical counters (tuples in, punctuations, violations,
+//!   outputs, aggregates);
+//! * the same purge behavior — cycle count, purge totals, and the *entire
+//!   state-size sample series*, point for point. Runs are capped at purge /
+//!   sample / window boundaries, so batch size must be unobservable.
+
+use proptest::prelude::*;
+
+use punctuated_cjq::core::plan::Plan;
+use punctuated_cjq::core::prelude::*;
+use punctuated_cjq::core::schema::AttrId;
+use punctuated_cjq::stream::exec::{ExecConfig, Executor, PurgeCadence, RunResult};
+use punctuated_cjq::stream::groupby::Aggregate;
+use punctuated_cjq::stream::parallel::ShardedExecutor;
+use punctuated_cjq::stream::sink::{CallbackSink, CollectSink, CountSink};
+use punctuated_cjq::stream::source::Feed;
+use punctuated_cjq::stream::tuple::Tuple;
+use punctuated_cjq::workload::auction::{self, AuctionConfig};
+use punctuated_cjq::workload::keyed::{self, KeyedConfig};
+use punctuated_cjq::workload::network::{self, NetworkConfig};
+use punctuated_cjq::workload::random_query::{self, RandomQueryConfig, Topology};
+use punctuated_cjq::workload::sensor::{self, SensorConfig};
+use punctuated_cjq::workload::trades::{self, TradesConfig};
+
+fn sorted_outputs(outputs: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut sorted = outputs.to_vec();
+    sorted.sort_unstable();
+    sorted
+}
+
+/// Runs `feed` on the legacy per-element path and on the batched path at
+/// several batch sizes, asserting full observational equivalence. Returns
+/// the legacy result.
+fn assert_batched_equivalent(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    plan: &Plan,
+    cfg: ExecConfig,
+    feed: &Feed,
+) -> RunResult {
+    let legacy = Executor::compile(query, schemes, plan, cfg)
+        .expect("compile")
+        .run(feed);
+    let expected = sorted_outputs(&legacy.outputs);
+    for batch_size in [1usize, 7, 256] {
+        let bcfg = ExecConfig { batch_size, ..cfg };
+        let batched = Executor::compile(query, schemes, plan, bcfg)
+            .expect("compile batched")
+            .run_batched(feed);
+        let tag = format!("batch_size={batch_size}");
+        assert_eq!(
+            sorted_outputs(&batched.outputs),
+            expected,
+            "{tag}: output multiset"
+        );
+        assert_eq!(
+            sorted_outputs(&batched.aggregates),
+            sorted_outputs(&legacy.aggregates),
+            "{tag}: aggregates"
+        );
+        let (b, l) = (&batched.metrics, &legacy.metrics);
+        assert_eq!(b.tuples_in, l.tuples_in, "{tag}: tuples_in");
+        assert_eq!(b.puncts_in, l.puncts_in, "{tag}: puncts_in");
+        assert_eq!(b.violations, l.violations, "{tag}: violations");
+        assert_eq!(
+            b.violations_by_stream, l.violations_by_stream,
+            "{tag}: violations_by_stream"
+        );
+        assert_eq!(b.outputs, l.outputs, "{tag}: outputs");
+        assert_eq!(b.aggregates_out, l.aggregates_out, "{tag}: aggregates_out");
+        assert_eq!(b.purged, l.purged, "{tag}: purged");
+        assert_eq!(b.mirror_purged, l.mirror_purged, "{tag}: mirror_purged");
+        assert_eq!(b.purge_cycles, l.purge_cycles, "{tag}: purge_cycles");
+        assert_eq!(b.series, l.series, "{tag}: state-size sample series");
+        assert_eq!(b.peak_join_state, l.peak_join_state, "{tag}: peak state");
+        assert_eq!(b.peak_mirror, l.peak_mirror, "{tag}: peak mirror");
+        assert!(b.batches_processed > 0, "{tag}: batched path was used");
+        // Per-operator stats agree too (inputs, outputs, purge totals).
+        let strip = |r: &RunResult| {
+            r.operators
+                .iter()
+                .map(|o| (o.span.clone(), o.port_live.clone(), o.stats))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&batched), strip(&legacy), "{tag}: operator snapshots");
+    }
+    legacy
+}
+
+#[test]
+fn auction_equivalence_across_cadences() {
+    let (query, schemes) = auction::auction_query();
+    let plan = Plan::mjoin_all(&query);
+    let feed = auction::generate(&AuctionConfig {
+        n_items: 80,
+        bids_per_item: 3,
+        concurrent: 8,
+        ..AuctionConfig::default()
+    });
+    for cadence in [
+        PurgeCadence::Eager,
+        PurgeCadence::Lazy { batch: 16 },
+        PurgeCadence::Adaptive { initial: 64 },
+        PurgeCadence::Never,
+    ] {
+        let cfg = ExecConfig {
+            cadence,
+            ..ExecConfig::default()
+        };
+        assert_batched_equivalent(&query, &schemes, &plan, cfg, &feed);
+    }
+}
+
+#[test]
+fn sensor_network_and_trades_equivalence() {
+    let (query, schemes) = sensor::sensor_query();
+    let (feed, _) = sensor::generate(&SensorConfig {
+        n_sensors: 8,
+        epochs: 12,
+        ..SensorConfig::default()
+    });
+    assert_batched_equivalent(
+        &query,
+        &schemes,
+        &Plan::mjoin_all(&query),
+        ExecConfig::default(),
+        &feed,
+    );
+
+    let (query, schemes) = network::network_query();
+    let feed = network::generate(&NetworkConfig::default());
+    assert_batched_equivalent(
+        &query,
+        &schemes,
+        &Plan::mjoin_all(&query),
+        ExecConfig::default(),
+        &feed,
+    );
+
+    let (query, schemes) = trades::trades_query();
+    let (feed, _) = trades::generate(&TradesConfig::default());
+    assert_batched_equivalent(
+        &query,
+        &schemes,
+        &Plan::mjoin_all(&query),
+        ExecConfig::default(),
+        &feed,
+    );
+}
+
+#[test]
+fn window_semantics_equivalence() {
+    // Window eviction is per-element; the batched path must cap runs at 1
+    // and reproduce the same (lossy) results and eviction totals.
+    let (query, schemes) = auction::auction_query();
+    let plan = Plan::mjoin_all(&query);
+    let feed = auction::generate(&AuctionConfig {
+        n_items: 60,
+        bids_per_item: 2,
+        concurrent: 20,
+        ..AuctionConfig::default()
+    });
+    let cfg = ExecConfig {
+        window: Some(30),
+        cadence: PurgeCadence::Never,
+        ..ExecConfig::default()
+    };
+    assert_batched_equivalent(&query, &schemes, &plan, cfg, &feed);
+}
+
+#[test]
+fn groupby_aggregates_equivalence() {
+    // Example 1's aggregation over the auction join, legacy vs batched.
+    let (query, schemes) = punctuated_cjq::core::fixtures::auction();
+    let plan = Plan::mjoin_all(&query);
+    let group = AttrRef {
+        stream: StreamId(1),
+        attr: AttrId(1),
+    };
+    let agg = Aggregate::Sum(AttrRef {
+        stream: StreamId(1),
+        attr: AttrId(2),
+    });
+    let mut feed = Feed::new();
+    for i in 0..40i64 {
+        feed.push(Tuple::of(
+            0,
+            vec![
+                Value::Int(7),
+                Value::Int(i),
+                Value::str("x"),
+                Value::Int(100),
+            ],
+        ));
+        feed.push(Tuple::of(
+            1,
+            vec![Value::Int(3), Value::Int(i), Value::Int(5)],
+        ));
+        feed.push(Tuple::of(
+            1,
+            vec![Value::Int(4), Value::Int(i), Value::Int(9)],
+        ));
+        feed.push(Punctuation::with_constants(
+            StreamId(0),
+            4,
+            &[(AttrId(1), Value::Int(i))],
+        ));
+        feed.push(Punctuation::with_constants(
+            StreamId(1),
+            3,
+            &[(AttrId(1), Value::Int(i))],
+        ));
+    }
+    let run = |batched: bool| {
+        let exec = Executor::compile(&query, &schemes, &plan, ExecConfig::default())
+            .expect("compile")
+            .with_groupby(&[group], agg);
+        if batched {
+            exec.run_batched(&feed)
+        } else {
+            exec.run(&feed)
+        }
+    };
+    let legacy = run(false);
+    let batched = run(true);
+    assert_eq!(legacy.aggregates.len(), 40);
+    assert_eq!(
+        sorted_outputs(&batched.aggregates),
+        sorted_outputs(&legacy.aggregates)
+    );
+    assert_eq!(
+        batched.metrics.aggregates_out,
+        legacy.metrics.aggregates_out
+    );
+    assert_eq!(
+        sorted_outputs(&batched.outputs),
+        sorted_outputs(&legacy.outputs)
+    );
+}
+
+#[test]
+fn sinks_see_exactly_the_result_rows() {
+    let (query, schemes) = auction::auction_query();
+    let plan = Plan::mjoin_all(&query);
+    let feed = auction::generate(&AuctionConfig {
+        n_items: 50,
+        bids_per_item: 3,
+        concurrent: 6,
+        ..AuctionConfig::default()
+    });
+    let legacy = Executor::compile(&query, &schemes, &plan, ExecConfig::default())
+        .expect("compile")
+        .run(&feed);
+    let expected = sorted_outputs(&legacy.outputs);
+
+    let mut collect = CollectSink::new();
+    let res = Executor::compile(&query, &schemes, &plan, ExecConfig::default())
+        .expect("compile")
+        .run_with_sink(&feed, &mut collect);
+    assert_eq!(sorted_outputs(&collect.rows), expected);
+    assert!(res.outputs.is_empty(), "the sink owns the results");
+    assert_eq!(res.metrics.outputs as usize, collect.rows.len());
+
+    let mut count = CountSink::new();
+    Executor::compile(&query, &schemes, &plan, ExecConfig::default())
+        .expect("compile")
+        .run_with_sink(&feed, &mut count);
+    assert_eq!(count.count as usize, expected.len());
+
+    let mut seen = Vec::new();
+    let mut callback = CallbackSink::new(|row: &[Value]| seen.push(row.to_vec()));
+    Executor::compile(&query, &schemes, &plan, ExecConfig::default())
+        .expect("compile")
+        .run_with_sink(&feed, &mut callback);
+    assert_eq!(sorted_outputs(&seen), expected);
+}
+
+#[test]
+fn sharded_batched_workers_match_sequential() {
+    let (query, schemes) = auction::auction_query();
+    let plan = Plan::mjoin_all(&query);
+    let feed = auction::generate(&AuctionConfig {
+        n_items: 80,
+        bids_per_item: 3,
+        concurrent: 8,
+        ..AuctionConfig::default()
+    });
+    for cadence in [PurgeCadence::Eager, PurgeCadence::Lazy { batch: 16 }] {
+        let cfg = ExecConfig {
+            cadence,
+            ..ExecConfig::default()
+        };
+        let seq = Executor::compile(&query, &schemes, &plan, cfg)
+            .expect("compile")
+            .run(&feed);
+        let expected = sorted_outputs(&seq.outputs);
+        for p in [1usize, 4] {
+            let sharded = ShardedExecutor::compile(&query, &schemes, &plan, cfg, p)
+                .expect("compile sharded")
+                .run(&feed);
+            assert_eq!(
+                sorted_outputs(&sharded.outputs),
+                expected,
+                "P={p}: output multiset"
+            );
+            assert_eq!(sharded.metrics.outputs, seq.metrics.outputs, "P={p}");
+            assert_eq!(sharded.metrics.tuples_in, seq.metrics.tuples_in, "P={p}");
+            assert_eq!(sharded.metrics.puncts_in, seq.metrics.puncts_in, "P={p}");
+            assert_eq!(sharded.metrics.violations, seq.metrics.violations, "P={p}");
+            assert_eq!(sharded.logical_join_state, 0, "P={p}: closed feed purges");
+        }
+        // record_outputs=false: counts must survive without materialized rows.
+        let quiet = ExecConfig {
+            record_outputs: false,
+            ..cfg
+        };
+        for p in [1usize, 4] {
+            let sharded = ShardedExecutor::compile(&query, &schemes, &plan, quiet, p)
+                .expect("compile sharded")
+                .run(&feed);
+            assert!(sharded.outputs.is_empty());
+            assert_eq!(sharded.metrics.outputs, seq.metrics.outputs, "P={p}: count");
+        }
+    }
+}
+
+#[test]
+fn consecutive_same_key_runs_dedupe_probes() {
+    // 1 item, then a run of 64 bids on it: the bid run probes the item index
+    // with one distinct key, so 63 lookups are saved — and every bid still
+    // joins.
+    let (query, schemes) = punctuated_cjq::core::fixtures::auction();
+    let plan = Plan::mjoin_all(&query);
+    let mut feed = Feed::new();
+    feed.push(Tuple::of(
+        0,
+        vec![
+            Value::Int(7),
+            Value::Int(1),
+            Value::str("x"),
+            Value::Int(100),
+        ],
+    ));
+    for b in 0..64i64 {
+        feed.push(Tuple::of(
+            1,
+            vec![Value::Int(b), Value::Int(1), Value::Int(1)],
+        ));
+    }
+    let cfg = ExecConfig {
+        batch_size: 128,
+        // Keep the run unsplit: no purge or sample boundary inside it.
+        cadence: PurgeCadence::Never,
+        sample_every: 1024,
+        ..ExecConfig::default()
+    };
+    let res = Executor::compile(&query, &schemes, &plan, cfg)
+        .expect("compile")
+        .run_batched(&feed);
+    assert_eq!(res.metrics.outputs, 64);
+    assert_eq!(res.metrics.probe_keys_deduped, 63);
+}
+
+#[test]
+fn random_safe_queries_batched_equivalence() {
+    let topologies = [
+        Topology::Path,
+        Topology::Star,
+        Topology::Cycle,
+        Topology::Random { extra_edges: 2 },
+    ];
+    proptest!(ProptestConfig::with_cases(12), |(
+        seed in 0u64..1000,
+        n in 2usize..6,
+        topo_ix in 0usize..4,
+        lazy in proptest::arbitrary::any::<bool>(),
+    )| {
+        let qcfg = RandomQueryConfig {
+            n_streams: n,
+            topology: topologies[topo_ix],
+            seed,
+            ..RandomQueryConfig::default()
+        };
+        let (query, schemes) = random_query::generate_safe(&qcfg);
+        let plan = Plan::mjoin_all(&query);
+        let cadence = if lazy { PurgeCadence::Lazy { batch: 7 } } else { PurgeCadence::Eager };
+        let cfg = ExecConfig { cadence, ..ExecConfig::default() };
+        let closed = keyed::generate(
+            &query,
+            &schemes,
+            &KeyedConfig { rounds: 20, lag: 2, ..KeyedConfig::default() },
+        );
+        let legacy = assert_batched_equivalent(&query, &schemes, &plan, cfg, &closed);
+        prop_assert_eq!(legacy.metrics.last().unwrap().join_state, 0);
+    });
+}
