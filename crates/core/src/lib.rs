@@ -40,6 +40,7 @@
 //! assert!(cjq_core::safety::is_query_safe(&query, &schemes));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -74,6 +74,18 @@ impl SafetyReport {
             .map(|p| (p.stream, p.unreachable[0]))
     }
 
+    /// Every witness pair `(from, to)` proving unsafety: `from`'s join state
+    /// can never be fully purged because punctuations cannot guard it against
+    /// future `to` data. Empty when safe. The first entry equals
+    /// [`SafetyReport::witness`]; diagnostics enumerate them all.
+    #[must_use]
+    pub fn witnesses(&self) -> Vec<(StreamId, StreamId)> {
+        self.per_stream
+            .iter()
+            .flat_map(|p| p.unreachable.iter().map(|&t| (p.stream, t)))
+            .collect()
+    }
+
     /// Renders the report as human-readable text using the query's stream
     /// names (what `cjq-check` prints).
     #[must_use]
@@ -136,6 +148,27 @@ pub fn is_operator_purgeable(query: &Cjq, schemes: &SchemeSet, streams: &[Stream
     } else {
         tpg::transform_over(query, schemes, streams).is_single_node()
     }
+}
+
+/// Whether the join state of a *port* spanning `roots` inside the operator
+/// over `scope` is purgeable under `ℜ`: punctuations must (transitively)
+/// guard the port's partial results against every stream of the scope, i.e.
+/// the root set must reach all of `scope` in the GPG (the multi-root
+/// generalization of Theorems 1/3 that the chained purge-recipe derivation
+/// implements). This is the static verdict the `verify-certificates` runtime
+/// feature cross-checks against compiled recipes.
+#[must_use]
+pub fn port_purgeable(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    scope: &[StreamId],
+    roots: &[StreamId],
+) -> bool {
+    let gpg = GeneralizedPunctuationGraph::over(query, schemes, scope);
+    let reached = gpg.reachable_from_set(roots);
+    gpg.streams()
+        .iter()
+        .all(|s| reached.binary_search(s).is_ok())
 }
 
 /// Theorem 1 / Theorem 3: whether the join state of `stream` in the operator

@@ -55,12 +55,73 @@ pub struct TransformedPunctuationGraph {
     pub history: Vec<TpgIteration>,
 }
 
+/// A cut of the final (stuck) transformed punctuation graph explaining why a
+/// stream's join state cannot be purged: every virtual node reachable from
+/// the stream's node is on the `reachable` side, and — by construction of the
+/// reachability closure — no promoted or virtual edge crosses from the
+/// `reachable` side to the `blocked` side. Making the query safe requires a
+/// punctuation scheme that adds a crossing edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpgCut {
+    /// Virtual nodes (each a sorted set of streams) reachable from the
+    /// origin's node, origin included.
+    pub reachable: Vec<Vec<StreamId>>,
+    /// Virtual nodes no edge path reaches from the origin's node.
+    pub blocked: Vec<Vec<StreamId>>,
+}
+
 impl TransformedPunctuationGraph {
     /// Theorem 5: the GPG is strongly connected iff the transformation ends
     /// in a single (virtual) node.
     #[must_use]
     pub fn is_single_node(&self) -> bool {
         self.nodes.len() == 1
+    }
+
+    /// The last iteration snapshot: the (virtual-node) graph that stopped the
+    /// transformation — a single node for safe queries, the stuck partition
+    /// with its promoted/virtual edges otherwise.
+    ///
+    /// # Panics
+    /// Never: the transformation always records at least one snapshot.
+    #[must_use]
+    pub fn final_snapshot(&self) -> &TpgIteration {
+        self.history
+            .last()
+            .expect("at least one iteration snapshot")
+    }
+
+    /// The blocking cut for `origin` in the final snapshot: the side of the
+    /// stuck graph its virtual node can reach versus the side it cannot.
+    /// `None` when the transformation ended in a single node (safe) or
+    /// `origin` is not in scope.
+    #[must_use]
+    pub fn blocking_cut(&self, origin: StreamId) -> Option<TpgCut> {
+        if self.is_single_node() {
+            return None;
+        }
+        let snap = self.final_snapshot();
+        let start = snap.nodes.iter().position(|ss| ss.contains(&origin))?;
+        let mut seen = vec![false; snap.nodes.len()];
+        seen[start] = true;
+        let mut frontier = vec![start];
+        while let Some(n) = frontier.pop() {
+            for &(from, to) in &snap.edges {
+                if from == n && !seen[to] {
+                    seen[to] = true;
+                    frontier.push(to);
+                }
+            }
+        }
+        let (reachable, blocked): (Vec<_>, Vec<_>) =
+            snap.nodes.iter().enumerate().partition(|&(i, _)| seen[i]);
+        let strip = |side: Vec<(usize, &Vec<StreamId>)>| {
+            side.into_iter().map(|(_, ss)| ss.clone()).collect()
+        };
+        Some(TpgCut {
+            reachable: strip(reachable),
+            blocked: strip(blocked),
+        })
     }
 }
 

@@ -1,0 +1,60 @@
+//! Minimal JSON writing helpers.
+//!
+//! The build environment has no serde; the diagnostic JSON schema is small
+//! and fixed, so the renderer writes it by hand with these escaping helpers.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+#[must_use]
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a quoted JSON string.
+#[must_use]
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", esc(s))
+}
+
+/// Renders an array of strings on one line: `["a", "b"]`.
+#[must_use]
+pub fn string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| string(s)).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(string("x"), "\"x\"");
+    }
+
+    #[test]
+    fn arrays_join() {
+        assert_eq!(
+            string_array(&["a".into(), "b\"".into()]),
+            "[\"a\", \"b\\\"\"]"
+        );
+    }
+}

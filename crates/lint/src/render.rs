@@ -1,0 +1,84 @@
+//! Text and JSON rendering of [`LintReport`]s.
+//!
+//! Text follows the familiar `severity[CODE]: message` compiler-diagnostic
+//! shape with indented `= `-prefixed detail lines; JSON is a small fixed
+//! schema written by hand (see [`crate::json`]).
+
+use std::fmt::Write as _;
+
+use crate::json::{string, string_array};
+use crate::{LintReport, Severity};
+
+pub(crate) fn text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(
+            out,
+            "{}[{}]: {} ({})",
+            d.severity().as_str(),
+            d.code.as_str(),
+            d.message,
+            d.code.name(),
+        );
+        for note in &d.notes {
+            let _ = writeln!(out, "  = note: {note}");
+        }
+        if let Some(s) = &d.suggestion {
+            let _ = writeln!(out, "  = fix: {}", s.summary);
+            for line in &s.add {
+                let _ = writeln!(out, "  = add: {line}");
+            }
+            for line in &s.remove {
+                let _ = writeln!(out, "  = remove: {line}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "lint: {} — {} error(s), {} warning(s), {} suggestion(s)",
+        if report.safe { "SAFE" } else { "UNSAFE" },
+        report.error_count(),
+        report.warning_count(),
+        report.by_severity(Severity::Suggestion),
+    );
+    out
+}
+
+pub(crate) fn json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"safe\": {},", report.safe);
+    let _ = writeln!(out, "  \"errors\": {},", report.error_count());
+    let _ = writeln!(out, "  \"warnings\": {},", report.warning_count());
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"code\": {},", string(d.code.as_str()));
+        let _ = writeln!(out, "      \"name\": {},", string(d.code.name()));
+        let _ = writeln!(
+            out,
+            "      \"severity\": {},",
+            string(d.severity().as_str())
+        );
+        let _ = writeln!(out, "      \"message\": {},", string(&d.message));
+        let _ = write!(out, "      \"notes\": {}", string_array(&d.notes));
+        if let Some(s) = &d.suggestion {
+            out.push_str(",\n      \"suggestion\": {\n");
+            let _ = writeln!(out, "        \"summary\": {},", string(&s.summary));
+            let _ = writeln!(out, "        \"add\": {},", string_array(&s.add));
+            let _ = writeln!(out, "        \"remove\": {}", string_array(&s.remove));
+            out.push_str("      }\n");
+        } else {
+            out.push('\n');
+        }
+        out.push_str("    }");
+    }
+    out.push_str(if report.diagnostics.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}

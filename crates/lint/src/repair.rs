@@ -1,0 +1,176 @@
+//! S001 minimal-repair search: which single-attribute punctuation schemes,
+//! added to the declared set, make the TPG strongly connected?
+//!
+//! The candidate space is every `(stream, join attribute)` pair that is not
+//! already simple-punctuatable — exactly the edges the plain punctuation
+//! graph could still gain. The search is bounded: all candidate subsets of
+//! size ≤ [`EXACT_SIZE_LIMIT`] are tried in increasing-cardinality order
+//! (so the first hit is a *minimum*); beyond that the search falls back to a
+//! greedy shrink from the full candidate set, which yields a *minimal*
+//! (irreducible) repair. Scheme addition is monotone for safety — more
+//! schemes only add punctuation-graph edges — so "full candidate set still
+//! unsafe" proves no single-attribute repair exists.
+
+use cjq_core::query::Cjq;
+use cjq_core::safety;
+use cjq_core::scheme::{PunctuationScheme, SchemeSet};
+
+/// Largest repair cardinality the exhaustive phase tries before falling back
+/// to the greedy shrink.
+pub const EXACT_SIZE_LIMIT: usize = 4;
+
+/// Candidate repair schemes: one single-attribute scheme per
+/// `(stream, join attribute)` pair not already simple-punctuatable, in
+/// stream/attribute order.
+#[must_use]
+pub fn repair_candidates(query: &Cjq, schemes: &SchemeSet) -> Vec<PunctuationScheme> {
+    let mut out = Vec::new();
+    for s in query.stream_ids() {
+        for a in query.join_attrs(s) {
+            if !schemes.simple_punctuatable(s, a) {
+                out.push(PunctuationScheme::new(s, [a]).expect("single-attr scheme is valid"));
+            }
+        }
+    }
+    out
+}
+
+/// A minimal set of additional single-attribute schemes making the query
+/// safe. `Some(vec![])` when the query is already safe; `None` when no
+/// single-attribute repair exists (the join graph itself is the problem,
+/// e.g. a disconnected PG over multi-attribute-only schemes).
+#[must_use]
+pub fn minimal_repair(query: &Cjq, schemes: &SchemeSet) -> Option<Vec<PunctuationScheme>> {
+    if safety::is_query_safe(query, schemes) {
+        return Some(Vec::new());
+    }
+    let candidates = repair_candidates(query, schemes);
+    if !safe_with(query, schemes, &candidates, &vec![true; candidates.len()]) {
+        return None;
+    }
+
+    // Exhaustive, increasing cardinality: the first hit is a minimum repair.
+    let n = candidates.len();
+    for size in 1..=EXACT_SIZE_LIMIT.min(n) {
+        let mut pick: Vec<usize> = (0..size).collect();
+        loop {
+            let mut keep = vec![false; n];
+            for &i in &pick {
+                keep[i] = true;
+            }
+            if safe_with(query, schemes, &candidates, &keep) {
+                return Some(selected(&candidates, &keep));
+            }
+            if !next_combination(&mut pick, n) {
+                break;
+            }
+        }
+    }
+
+    // Greedy shrink from the full set: minimal (irreducible), not minimum.
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        keep[i] = false;
+        if !safe_with(query, schemes, &candidates, &keep) {
+            keep[i] = true;
+        }
+    }
+    Some(selected(&candidates, &keep))
+}
+
+fn selected(candidates: &[PunctuationScheme], keep: &[bool]) -> Vec<PunctuationScheme> {
+    candidates
+        .iter()
+        .zip(keep)
+        .filter(|&(_, &k)| k)
+        .map(|(c, _)| c.clone())
+        .collect()
+}
+
+fn safe_with(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    candidates: &[PunctuationScheme],
+    keep: &[bool],
+) -> bool {
+    let mut set = schemes.clone();
+    for (c, &k) in candidates.iter().zip(keep) {
+        if k {
+            set.add(c.clone());
+        }
+    }
+    safety::is_query_safe(query, &set)
+}
+
+/// Advances `pick` to the next size-`|pick|` combination of `0..n` in
+/// lexicographic order; `false` when exhausted.
+fn next_combination(pick: &mut [usize], n: usize) -> bool {
+    let k = pick.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if pick[i] < n - (k - i) {
+            pick[i] += 1;
+            for j in i + 1..k {
+                pick[j] = pick[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::fixtures;
+    use cjq_core::tpg;
+
+    #[test]
+    fn safe_query_needs_no_repair() {
+        let (q, r) = fixtures::fig5();
+        assert_eq!(minimal_repair(&q, &r), Some(Vec::new()));
+    }
+
+    #[test]
+    fn fig3_repair_is_minimal_and_certifies() {
+        let (q, r) = fixtures::fig3();
+        let repair = minimal_repair(&q, &r).expect("repairable");
+        assert!(!repair.is_empty());
+        let mut fixed = r.clone();
+        for s in &repair {
+            fixed.add(s.clone());
+        }
+        assert!(tpg::transform_query(&q, &fixed).is_single_node());
+        // Minimality: dropping any repair scheme loses safety again.
+        for skip in 0..repair.len() {
+            let mut partial = r.clone();
+            for (i, s) in repair.iter().enumerate() {
+                if i != skip {
+                    partial.add(s.clone());
+                }
+            }
+            assert!(!cjq_core::safety::is_query_safe(&q, &partial));
+        }
+    }
+
+    #[test]
+    fn combinations_enumerate_in_order() {
+        let mut pick = vec![0, 1];
+        let mut seen = vec![pick.clone()];
+        while next_combination(&mut pick, 4) {
+            seen.push(pick.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+}

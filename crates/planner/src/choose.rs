@@ -5,6 +5,7 @@
 use cjq_core::plan::Plan;
 use cjq_core::query::Cjq;
 use cjq_core::scheme::SchemeSet;
+use cjq_lint::LintReport;
 
 use crate::cost::{CostModel, PlanCost, Stats};
 use crate::enumerate::PlanSpace;
@@ -71,6 +72,44 @@ pub fn choose_plan(
         })
 }
 
+/// Why the optimizer found no safe plan: the static analyzer's diagnosis
+/// of the `(query, schemes)` pair (returned by [`choose_plan_explained`]).
+#[derive(Debug, Clone)]
+pub struct NoSafePlanExplanation {
+    /// Lint report over the query and its MJoin baseline plan: `E001`
+    /// diagnostics name every unreachable stream pair with its blocking
+    /// cut, and `S001` (when present) carries a minimal scheme repair.
+    pub lint: LintReport,
+}
+
+impl std::fmt::Display for NoSafePlanExplanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.lint.render_text())
+    }
+}
+
+/// Like [`choose_plan`], but a failure explains itself: when no safe plan
+/// exists the error carries the full lint report — which stream pairs are
+/// unreachable in the punctuation graph, the blocking cuts, and a minimal
+/// scheme repair if one exists.
+///
+/// # Errors
+/// Returns [`NoSafePlanExplanation`] when the query admits no safe plan
+/// (Theorem 2/4: the query itself is unsafe).
+pub fn choose_plan_explained(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    stats: Stats,
+    objective: Objective,
+    limit: usize,
+) -> Result<ChosenPlan, Box<NoSafePlanExplanation>> {
+    choose_plan(query, schemes, stats, objective, limit).ok_or_else(|| {
+        Box::new(NoSafePlanExplanation {
+            lint: cjq_lint::lint_plan(query, schemes, &Plan::mjoin_all(query)),
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +143,34 @@ mod tests {
             100
         )
         .is_none());
+    }
+
+    #[test]
+    fn explained_choice_diagnoses_unsafe_queries() {
+        use cjq_lint::Code;
+        let (q, r) = fixtures::fig3();
+        let err = choose_plan_explained(
+            &q,
+            &r,
+            Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
+            Objective::MinDataMemory,
+            100,
+        )
+        .unwrap_err();
+        assert!(!err.lint.safe);
+        assert!(err.lint.with_code(Code::UnsafeQuery).next().is_some());
+        assert!(err.to_string().contains("lint: UNSAFE"));
+
+        let (q, r) = fixtures::fig5();
+        let chosen = choose_plan_explained(
+            &q,
+            &r,
+            Stats::uniform(3, 1.0, 10.0, 0.1, 0.2),
+            Objective::MinDataMemory,
+            100,
+        )
+        .unwrap();
+        assert_eq!(chosen.plan, Plan::mjoin_all(&q));
     }
 
     #[test]

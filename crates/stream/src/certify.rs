@@ -1,0 +1,80 @@
+//! Runtime certificate verification: the paper's theorems as executable
+//! invariants.
+//!
+//! The static analysis (Theorems 1–5, `cjq_core::safety`, `cjq-lint`)
+//! *certifies* which join states are purgeable; the runtime *acts* on that
+//! certificate by compiling purge recipes exactly for the certified ports.
+//! With [`crate::exec::ExecConfig::verify_certificates`] enabled (the
+//! default under the `verify-certificates` cargo feature) the executor
+//! cross-checks the two layers:
+//!
+//! 1. **Compile time** ([`static_certificates`]): every operator port and
+//!    every mirror stream must hold a compiled recipe *iff* the static
+//!    checker proves the port purgeable over the configured purge scope —
+//!    a recipe without a certificate (or a certificate without a recipe)
+//!    means recipe derivation and graph reachability have drifted apart.
+//! 2. **Every purge cycle**: the allocation-free purge checker
+//!    (`PurgeEngine::check_roots_with`) is re-run against the allocating
+//!    explaining oracle (`PurgeEngine::explain`) on a sample of live rows;
+//!    any disagreement panics.
+//! 3. **Punctuation-quiescent points** (`Executor::finish`): purge cycles
+//!    are driven to a fixpoint and the executor asserts that *no live row
+//!    is provably dead* — for a certified-safe query this is exactly the
+//!    bounded-state guarantee: every tuple whose chained requirements are
+//!    covered by punctuations has left the state.
+//!
+//! All checks panic on violation; they are assertions, not recoverable
+//! errors — a failure means the engine no longer implements the theorems.
+
+use cjq_core::query::Cjq;
+use cjq_core::safety;
+use cjq_core::schema::StreamId;
+use cjq_core::scheme::SchemeSet;
+
+use crate::join::JoinOperator;
+use crate::purge::{PurgeEngine, PurgeScope};
+
+/// Rows per port on which each purge cycle re-checks the fast path against
+/// the explaining oracle.
+pub const ORACLE_SAMPLE: usize = 8;
+
+/// Checks that compiled recipes agree with the static purgeability verdicts
+/// (Corollary 1 at port granularity, Theorems 1/3 for the mirror). Returns a
+/// description of the first mismatch, `None` when every certificate matches.
+#[must_use]
+pub fn static_certificates(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    scope: PurgeScope,
+    ops: &[JoinOperator],
+    engine: &PurgeEngine,
+) -> Option<String> {
+    let all: Vec<StreamId> = query.stream_ids().collect();
+    for (oi, op) in ops.iter().enumerate() {
+        let scope_span: &[StreamId] = match scope {
+            PurgeScope::Operator => op.span(),
+            PurgeScope::Query => &all,
+        };
+        for (pi, roots) in op.port_spans().iter().enumerate() {
+            let certified = safety::port_purgeable(query, schemes, scope_span, roots);
+            let has_recipe = op.port_purgeable(pi);
+            if certified != has_recipe {
+                return Some(format!(
+                    "operator {oi} port {pi} (roots {roots:?}): static certificate says \
+                     purgeable={certified} but compiled recipe present={has_recipe}"
+                ));
+            }
+        }
+    }
+    for &s in &all {
+        let certified = safety::port_purgeable(query, schemes, &all, &[s]);
+        let has_recipe = engine.mirror_recipe(s).is_some();
+        if certified != has_recipe {
+            return Some(format!(
+                "mirror stream {s:?}: static certificate says purgeable={certified} \
+                 but compiled recipe present={has_recipe}"
+            ));
+        }
+    }
+    None
+}

@@ -85,6 +85,14 @@ pub struct ExecConfig {
     /// positions as the per-element path (runs are capped at those
     /// boundaries), so results and metrics are batch-size independent.
     pub batch_size: usize,
+    /// Runtime certificate verification (see [`crate::certify`]): assert at
+    /// compile time that compiled purge recipes match the static
+    /// purgeability certificates, re-check a sample of purge verdicts
+    /// against the explaining oracle every cycle, and assert at finish
+    /// (a punctuation-quiescent point, after driving purge cycles to a
+    /// fixpoint) that no provably-dead tuple is still live. Defaults to the
+    /// `verify-certificates` cargo feature.
+    pub verify_certificates: bool,
 }
 
 impl Default for ExecConfig {
@@ -100,6 +108,7 @@ impl Default for ExecConfig {
             coverage_limit: 100_000,
             record_outputs: true,
             batch_size: 256,
+            verify_certificates: cfg!(feature = "verify-certificates"),
         }
     }
 }
@@ -225,6 +234,13 @@ impl Executor {
             &mut parent,
             &mut leaf_route,
         );
+        if cfg.verify_certificates {
+            if let Some(mismatch) =
+                crate::certify::static_certificates(query, schemes, cfg.scope, &ops, &engine)
+            {
+                panic!("static certificate violation: {mismatch}");
+            }
+        }
         Ok(Executor {
             query: query.clone(),
             engine,
@@ -587,6 +603,21 @@ impl Executor {
         self.engine.trim_punct_deltas();
         self.engine.trim_retired(&retire_marks);
         self.deliver_group_punctuations();
+        if self.cfg.verify_certificates {
+            // Per-cycle certificate check: the fast allocation-free verdict
+            // must agree with the explaining oracle on a sample of the rows
+            // that survived this cycle. (Completeness — "nothing provably
+            // dead is still live" — is only asserted at finish: a mirror
+            // purge within this cycle feeds operator trackers next cycle.)
+            let mut checked = 0u64;
+            for op in &self.ops {
+                checked += op.verify_against_oracle(&self.engine, crate::certify::ORACLE_SAMPLE);
+            }
+            checked += self
+                .engine
+                .verify_mirror_against_oracle(crate::certify::ORACLE_SAMPLE);
+            self.metrics.certificate_checks += checked;
+        }
     }
 
     fn sample(&mut self) {
@@ -661,6 +692,33 @@ impl Executor {
     /// disjoint across shards (sum), broadcast state is replicated (union).
     pub fn finish_detailed(mut self) -> (RunResult, LiveStateSnapshot) {
         self.purge_cycle();
+        if self.cfg.verify_certificates {
+            // Completeness at the quiescent point: no live row may be
+            // provably dead. A dead row right after one cycle is not yet a
+            // violation — a mirror purge in cycle k shrinks chained
+            // requirements that operator purge passes only consume in cycle
+            // k+1 — so run further cycles while they still purge; a cycle
+            // that purges nothing yet leaves a dead row behind is genuine.
+            loop {
+                let dead_op = self.ops.iter().enumerate().find_map(|(oi, op)| {
+                    op.find_purgeable_live_row(&self.engine)
+                        .map(|(port, slot)| (oi, port, slot))
+                });
+                let dead_mirror = self.engine.find_purgeable_mirror_row();
+                if dead_op.is_none() && dead_mirror.is_none() {
+                    break;
+                }
+                let before = self.metrics.purged + self.engine.mirror_purged;
+                self.purge_cycle();
+                if self.metrics.purged + self.engine.mirror_purged == before {
+                    panic!(
+                        "certificate violation at finish: provably-dead rows are \
+                         still live after a purge fixpoint (operator {dead_op:?}, \
+                         mirror {dead_mirror:?})"
+                    );
+                }
+            }
+        }
         self.sample();
         self.metrics.mirror_purged = self.engine.mirror_purged;
         self.metrics.punct_dropped = self.engine.punct_dropped;
@@ -803,6 +861,48 @@ mod tests {
         // After the final purge everything is dead.
         assert_eq!(res.metrics.last().unwrap().join_state, 0);
         assert_eq!(res.metrics.last().unwrap().groups, 0);
+    }
+
+    #[test]
+    fn certificate_verifier_samples_rows_and_passes() {
+        let (q, r) = fixtures::auction();
+        let cfg = ExecConfig {
+            verify_certificates: true,
+            ..ExecConfig::default()
+        };
+        let exec = Executor::compile(&q, &r, &Plan::mjoin_all(&q), cfg).unwrap();
+        let mut feed = Feed::new();
+        for i in 0..20 {
+            feed.push(item(i));
+            feed.push(item_unique(i));
+            feed.push(bid(i, 1));
+            feed.push(bid_close(i));
+        }
+        let res = exec.run(&feed);
+        assert!(
+            res.metrics.certificate_checks > 0,
+            "verifier must re-check rows against the oracle"
+        );
+        assert_eq!(res.metrics.last().unwrap().join_state, 0);
+    }
+
+    #[test]
+    fn verifier_accepts_unsafe_plans_with_uncertified_ports() {
+        // Fig. 7: a safe query whose left-deep binary plan has unpurgeable
+        // ports. The static certificates agree (no recipe, no certificate),
+        // so verification passes even though some state grows.
+        let (q, r) = fixtures::fig5();
+        let cfg = ExecConfig {
+            verify_certificates: true,
+            ..ExecConfig::default()
+        };
+        let plan = Plan::left_deep(&[StreamId(0), StreamId(1), StreamId(2)]);
+        let exec = Executor::compile(&q, &r, &plan, cfg).unwrap();
+        assert!(exec
+            .operators()
+            .iter()
+            .any(|op| { (0..op.port_spans().len()).any(|p| !op.port_purgeable(p)) }));
+        exec.finish();
     }
 
     #[test]

@@ -525,6 +525,69 @@ impl JoinOperator {
         self.stats.kept = pass_kept;
         work
     }
+
+    /// Re-checks up to `sample` live rows per purgeable port with both the
+    /// allocation-free fast path and the allocating explaining oracle.
+    /// Returns the number of rows checked.
+    ///
+    /// # Panics
+    /// Panics if the two paths disagree on any verdict (see
+    /// [`PurgeEngine::check_roots_with`]).
+    pub fn verify_against_oracle(&self, engine: &PurgeEngine, sample: usize) -> u64 {
+        let mut checked = 0u64;
+        let mut scratch = CheckScratch::default();
+        let mut roots_buf: Vec<(StreamId, &[Value])> = Vec::new();
+        for (port, state) in self.ports.iter().enumerate() {
+            let Some(recipe) = &self.recipes[port] else {
+                continue;
+            };
+            let layout = state.layout();
+            for (slot, row) in state.iter_live().take(sample) {
+                roots_buf.clear();
+                for &s in &recipe.roots {
+                    roots_buf.push((s, layout.slice(row, s).expect("root in span")));
+                }
+                let fast = engine.check_roots_with(recipe, &roots_buf, &mut scratch);
+                let roots: std::collections::HashMap<StreamId, Vec<Value>> = roots_buf
+                    .iter()
+                    .map(|&(s, vals)| (s, vals.to_vec()))
+                    .collect();
+                let oracle = engine.explain(recipe, &roots).is_purgeable();
+                assert_eq!(
+                    fast, oracle,
+                    "certificate violation: fast purge check says {fast} but the \
+                     oracle says {oracle} for slot {slot} of port {port} (span {:?})",
+                    self.span
+                );
+                checked += 1;
+            }
+        }
+        checked
+    }
+
+    /// Finds a live stored row that the purge checker proves dead, if any —
+    /// at a purge fixpoint there must be none.
+    #[must_use]
+    pub fn find_purgeable_live_row(&self, engine: &PurgeEngine) -> Option<(usize, usize)> {
+        let mut scratch = CheckScratch::default();
+        let mut roots_buf: Vec<(StreamId, &[Value])> = Vec::new();
+        for (port, state) in self.ports.iter().enumerate() {
+            let Some(recipe) = &self.recipes[port] else {
+                continue;
+            };
+            let layout = state.layout();
+            for (slot, row) in state.iter_live() {
+                roots_buf.clear();
+                for &s in &recipe.roots {
+                    roots_buf.push((s, layout.slice(row, s).expect("root in span")));
+                }
+                if engine.check_roots_with(recipe, &roots_buf, &mut scratch) {
+                    return Some((port, slot));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// DFS over `plan[depth..]` emitting every completed assignment as one row of

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod certify;
 pub mod disjoin;
 pub mod distinct;
 pub mod element;

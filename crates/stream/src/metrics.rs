@@ -66,6 +66,10 @@ pub struct Metrics {
     /// once per *distinct* depth-0 key instead of once per tuple. Compare
     /// against `tuples_in` to see batching effectiveness.
     pub probe_keys_deduped: u64,
+    /// Rows re-checked by the runtime certificate verifier (fast purge check
+    /// vs. explaining oracle; see `crate::certify`). Stays 0 unless
+    /// `ExecConfig::verify_certificates` is on.
+    pub certificate_checks: u64,
     /// Wall-clock processing time in nanoseconds (push calls only).
     pub elapsed_ns: u128,
 }

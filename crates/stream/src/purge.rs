@@ -592,6 +592,65 @@ impl PurgeEngine {
         &self.states[stream.0]
     }
 
+    /// The compiled mirror purge recipe for `stream`: `Some` exactly when
+    /// recipe derivation certified the stream purgeable over the whole query.
+    #[must_use]
+    pub fn mirror_recipe(&self, stream: StreamId) -> Option<&CompiledRecipe> {
+        self.mirror_recipes[stream.0].as_ref()
+    }
+
+    /// Re-checks up to `sample` live mirror rows per stream with both the
+    /// allocation-free fast path ([`PurgeEngine::check_roots_with`]) and the
+    /// allocating explaining oracle ([`PurgeEngine::explain`]). Returns the
+    /// number of rows checked.
+    ///
+    /// # Panics
+    /// Panics if the two paths disagree on any verdict — they are documented
+    /// to be decision-equivalent.
+    pub fn verify_mirror_against_oracle(&self, sample: usize) -> u64 {
+        let mut checked = 0u64;
+        let mut scratch = CheckScratch::default();
+        for (idx, state) in self.states.iter().enumerate() {
+            let stream = StreamId(idx);
+            let Some(recipe) = self.mirror_recipes[idx].as_ref() else {
+                continue;
+            };
+            for (slot, row) in state.iter_live().take(sample) {
+                let fast = self.check_roots_with(recipe, &[(stream, row)], &mut scratch);
+                let mut roots = HashMap::new();
+                roots.insert(stream, row.to_vec());
+                let oracle = self.explain(recipe, &roots).is_purgeable();
+                assert_eq!(
+                    fast, oracle,
+                    "certificate violation: fast purge check says {fast} but the \
+                     oracle says {oracle} for mirror row {slot} of stream {stream:?}"
+                );
+                checked += 1;
+            }
+        }
+        checked
+    }
+
+    /// Finds a live mirror row that the purge checker proves dead, if any —
+    /// at a purge fixpoint (no punctuation or tuple arrivals since the last
+    /// [`PurgeEngine::purge_mirror`]) there must be none.
+    #[must_use]
+    pub fn find_purgeable_mirror_row(&self) -> Option<(StreamId, usize)> {
+        let mut scratch = CheckScratch::default();
+        for (idx, state) in self.states.iter().enumerate() {
+            let stream = StreamId(idx);
+            let Some(recipe) = self.mirror_recipes[idx].as_ref() else {
+                continue;
+            };
+            for (slot, row) in state.iter_live() {
+                if self.check_roots_with(recipe, &[(stream, row)], &mut scratch) {
+                    return Some((stream, slot));
+                }
+            }
+        }
+        None
+    }
+
     /// Total live raw tuples across the mirror.
     #[must_use]
     pub fn mirror_live(&self) -> usize {

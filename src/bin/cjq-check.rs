@@ -9,30 +9,52 @@
 //! cargo run --bin cjq-check -- query.cjq
 //! echo 'stream a(x) ...' | cargo run --bin cjq-check
 //! cargo run --bin cjq-check -- --dot query.cjq | dot -Tsvg > pg.svg
+//! cargo run --bin cjq-check -- lint query.cjq
+//! cargo run --bin cjq-check -- lint --json query.cjq
 //! ```
+//!
+//! The `lint` subcommand runs the [`punctuated_cjq::lint`] static analyzer
+//! instead of the report: structured diagnostics (`E001` unsafe query with
+//! blocking cuts, `E002` unpurgeable plan ports, `W1xx` scheme hygiene,
+//! `S001` minimal repair), rendered as text or `--json`.
 //!
 //! `--dot` prints the (generalized) punctuation graph in Graphviz format
 //! instead of the textual report. `--plan` additionally runs the optimizer
-//! and prints the register's chosen safe plan with its cost estimate.
-//! Exit code: 0 if the query is safe, 1 if unsafe, 2 on parse errors.
+//! and prints the register's chosen safe plan with its cost estimate;
+//! under `lint` it lints the chosen plan's ports instead of the MJoin
+//! baseline. `--json` renders the machine-readable report on either path.
+//!
+//! Exit codes: **0** safe / lint-clean (warnings do not fail), **1** unsafe
+//! query or lint errors, **2** specification parse errors, **3** I/O errors.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use punctuated_cjq::core::prelude::*;
 use punctuated_cjq::core::{purge_plan, safety};
+use punctuated_cjq::lint::{self, json};
 use punctuated_cjq::parse::parse_spec;
 use punctuated_cjq::planner::enumerate::PlanSpace;
 use punctuated_cjq::planner::scheme_select;
 
+const EXIT_UNSAFE: u8 = 1;
+const EXIT_PARSE: u8 = 2;
+const EXIT_IO: u8 = 3;
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let lint_mode = args.first().map(String::as_str) == Some("lint");
+    if lint_mode {
+        args.remove(0);
+    }
     let dot = args.iter().any(|a| a == "--dot");
     let want_plan = args.iter().any(|a| a == "--plan");
-    args.retain(|a| a != "--dot" && a != "--plan");
+    let want_json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--dot" && a != "--plan" && a != "--json");
     let input = match args.first().map(String::as_str) {
         Some("-h") | Some("--help") => {
-            eprintln!("usage: cjq-check [--dot] [FILE]   (reads stdin without FILE)");
+            eprintln!("usage: cjq-check [lint] [--dot] [--plan] [--json] [FILE]");
+            eprintln!("       (reads stdin without FILE)");
             eprintln!("see src/parse.rs for the specification format");
             return ExitCode::SUCCESS;
         }
@@ -40,14 +62,14 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cjq-check: cannot read {path}: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_IO);
             }
         },
         None => {
             let mut s = String::new();
             if let Err(e) = std::io::stdin().read_to_string(&mut s) {
                 eprintln!("cjq-check: cannot read stdin: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_IO);
             }
             s
         }
@@ -57,9 +79,12 @@ fn main() -> ExitCode {
         Ok(qs) => qs,
         Err(e) => {
             eprintln!("cjq-check: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_PARSE);
         }
     };
+    if lint_mode {
+        return lint_report(&query, &schemes, want_plan, want_json);
+    }
     if dot {
         let gpg =
             punctuated_cjq::core::gpg::GeneralizedPunctuationGraph::of_query(&query, &schemes);
@@ -70,10 +95,75 @@ fn main() -> ExitCode {
         return if safety::is_query_safe(&query, &schemes) {
             ExitCode::SUCCESS
         } else {
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_UNSAFE)
         };
     }
+    if want_json {
+        return json_report(&query, &schemes);
+    }
     report(&query, &schemes, want_plan)
+}
+
+/// Runs the static analyzer: MJoin port lint by default, the optimizer's
+/// chosen plan under `--plan`.
+fn lint_report(query: &Cjq, schemes: &SchemeSet, want_plan: bool, want_json: bool) -> ExitCode {
+    let plan = if want_plan {
+        punctuated_cjq::register::Register::new(schemes.clone())
+            .register(query.clone())
+            .map(|r| r.plan().clone())
+            .unwrap_or_else(|_| Plan::mjoin_all(query))
+    } else {
+        Plan::mjoin_all(query)
+    };
+    let report = lint::lint_plan(query, schemes, &plan);
+    if want_json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.has_errors() {
+        ExitCode::from(EXIT_UNSAFE)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Machine-readable safety report for the plain check path.
+fn json_report(query: &Cjq, schemes: &SchemeSet) -> ExitCode {
+    let cat = query.catalog();
+    let name = |s: StreamId| cat.schema(s).expect("validated").name().to_owned();
+    let result = safety::check_query(query, schemes);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"safe\": {},\n", result.safe));
+    out.push_str(&format!(
+        "  \"method\": {},\n",
+        json::string(match result.method {
+            safety::CheckMethod::SimplePg => "simple-pg",
+            safety::CheckMethod::Generalized => "generalized",
+        })
+    ));
+    out.push_str("  \"streams\": [\n");
+    for (i, p) in result.per_stream.iter().enumerate() {
+        let unreachable: Vec<String> = p.unreachable.iter().map(|&t| name(t)).collect();
+        out.push_str(&format!(
+            "    {{\"stream\": {}, \"purgeable\": {}, \"unreachable\": {}}}{}\n",
+            json::string(&name(p.stream)),
+            p.purgeable,
+            json::string_array(&unreachable),
+            if i + 1 < result.per_stream.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+    if result.safe {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_UNSAFE)
+    }
 }
 
 fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
@@ -146,6 +236,6 @@ fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
     if result.safe {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_UNSAFE)
     }
 }

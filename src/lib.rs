@@ -20,6 +20,10 @@
 //! * [`workload`] ([`cjq_workload`]) — deterministic generators: the online
 //!   auction (Example 1), network monitoring (§5.1), round-keyed feeds, and
 //!   random query families for checker benchmarking.
+//! * [`lint`] ([`cjq_lint`]) — the static safety analyzer: structured
+//!   diagnostics with stable codes (`E001` unsafe query with blocking-cut
+//!   witnesses, `E002` unpurgeable plan ports, scheme-hygiene warnings) and
+//!   minimal-repair suggestions, surfaced by `cjq-check lint`.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@ pub mod parse;
 pub mod register;
 
 pub use cjq_core as core;
+pub use cjq_lint as lint;
 pub use cjq_planner as planner;
 pub use cjq_stream as stream;
 pub use cjq_workload as workload;

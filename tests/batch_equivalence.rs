@@ -45,6 +45,12 @@ fn assert_batched_equivalent(
     cfg: ExecConfig,
     feed: &Feed,
 ) -> RunResult {
+    // Exercise the runtime certificate verifier alongside the equivalence
+    // checks (recipes vs. static certificates, fast verdicts vs. oracle).
+    let cfg = ExecConfig {
+        verify_certificates: true,
+        ..cfg
+    };
     let legacy = Executor::compile(query, schemes, plan, cfg)
         .expect("compile")
         .run(feed);

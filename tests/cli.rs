@@ -4,7 +4,12 @@ use std::io::Write;
 use std::process::{Command, Stdio};
 
 fn run_cli(input: &str) -> (String, String, Option<i32>) {
+    run_cli_args(input, &[])
+}
+
+fn run_cli_args(input: &str, args: &[&str]) -> (String, String, Option<i32>) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_cjq-check"))
+        .args(args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -82,7 +87,7 @@ fn file_argument_and_missing_file() {
         .arg("/nonexistent/definitely_missing.cjq")
         .output()
         .expect("run with missing file");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3), "I/O errors exit 3, not 2");
 }
 
 #[test]
@@ -103,6 +108,58 @@ fn plan_flag_prints_the_chosen_plan() {
         stdout.contains("chosen plan: (S1 ⋈ S2)"),
         "stdout: {stdout}"
     );
+}
+
+#[test]
+fn json_flag_renders_machine_readable_verdict() {
+    let (stdout, _, code) = run_cli_args(SAFE_SPEC, &["--json"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"safe\": true"));
+    assert!(stdout.contains("\"purgeable\": true"));
+
+    let (stdout, _, code) = run_cli_args(UNSAFE_SPEC, &["--json"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"safe\": false"));
+    assert!(stdout.contains("\"unreachable\": [\"bid\"]"), "{stdout}");
+}
+
+#[test]
+fn lint_subcommand_is_clean_on_safe_specs() {
+    let (stdout, _, code) = run_cli_args(SAFE_SPEC, &["lint"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("lint: SAFE — 0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_subcommand_flags_unsafe_specs_with_repair() {
+    let (stdout, _, code) = run_cli_args(UNSAFE_SPEC, &["lint"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("error[E001]"), "{stdout}");
+    assert!(stdout.contains("blocking cut"), "{stdout}");
+    assert!(stdout.contains("suggestion[S001]"), "{stdout}");
+    assert!(stdout.contains("add: punctuate bid(itemid)"), "{stdout}");
+    assert!(stdout.contains("lint: UNSAFE"), "{stdout}");
+}
+
+#[test]
+fn lint_json_emits_stable_codes() {
+    let (stdout, _, code) = run_cli_args(UNSAFE_SPEC, &["lint", "--json"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"code\": \"E001\""), "{stdout}");
+    assert!(stdout.contains("\"code\": \"S001\""), "{stdout}");
+    assert!(stdout.contains("\"safe\": false"), "{stdout}");
+}
+
+#[test]
+fn lint_parse_and_io_errors_keep_distinct_exit_codes() {
+    let (_, stderr, code) = run_cli_args("stream a(x)\nfrobnicate\n", &["lint"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+    let out = Command::new(env!("CARGO_BIN_EXE_cjq-check"))
+        .args(["lint", "/nonexistent/definitely_missing.cjq"])
+        .output()
+        .expect("run lint with missing file");
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]

@@ -1,0 +1,133 @@
+//! Golden-file tests for the `cjq-lint` renderers over the bundled
+//! workloads: the text and JSON reports are snapshotted under
+//! `tests/golden/`, and the `examples/specs/*.cjq` files are kept in sync
+//! with the workload query constructors.
+//!
+//! Regenerate all snapshots with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test lint_golden
+//! ```
+
+use std::path::PathBuf;
+
+use punctuated_cjq::core::plan::Plan;
+use punctuated_cjq::core::prelude::*;
+use punctuated_cjq::lint::{lint_plan, Code, LintReport};
+use punctuated_cjq::parse::{parse_spec, to_spec};
+use punctuated_cjq::workload::random_query::{self, RandomQueryConfig, Topology};
+use punctuated_cjq::workload::{auction, network, sensor, trades};
+
+/// The linted corpus: every bundled workload plus a deterministic unsafe
+/// random query. The keyed workload generates feeds for fixture queries and
+/// has no query of its own — Figure 8 (its multi-attribute fixture) stands
+/// in for it.
+fn corpus() -> Vec<(&'static str, Cjq, SchemeSet)> {
+    let (kq, kr) = punctuated_cjq::core::fixtures::fig8();
+    let (uq, ur) = random_query::generate_unsafe(&RandomQueryConfig {
+        n_streams: 4,
+        arity: 2,
+        topology: Topology::Path,
+        seed: 7,
+        ..RandomQueryConfig::default()
+    });
+    let mut all = vec![("keyed", kq, kr), ("unsafe_random", uq, ur)];
+    for (name, (q, r)) in [
+        ("auction", auction::auction_query()),
+        ("sensor", sensor::sensor_query()),
+        ("network", network::network_query()),
+        ("trades", trades::trades_query()),
+    ] {
+        all.push((name, q, r));
+    }
+    all.sort_by_key(|(name, _, _)| *name);
+    all
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn update_golden() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some()
+}
+
+/// Compares `actual` against the golden file, rewriting it under
+/// `UPDATE_GOLDEN=1`.
+fn assert_golden(rel: &str, actual: &str) {
+    let path = repo_path(rel);
+    if update_golden() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {rel} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "{rel} is stale; rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+fn lint(query: &Cjq, schemes: &SchemeSet) -> LintReport {
+    lint_plan(query, schemes, &Plan::mjoin_all(query))
+}
+
+#[test]
+fn lint_reports_match_golden_snapshots() {
+    for (name, query, schemes) in corpus() {
+        let report = lint(&query, &schemes);
+        assert_golden(
+            &format!("tests/golden/lint_{name}.txt"),
+            &report.render_text(),
+        );
+        assert_golden(
+            &format!("tests/golden/lint_{name}.json"),
+            &(report.render_json() + "\n"),
+        );
+    }
+}
+
+#[test]
+fn bundled_workloads_lint_clean_and_unsafe_fixture_is_flagged() {
+    for (name, query, schemes) in corpus() {
+        let report = lint(&query, &schemes);
+        if name == "unsafe_random" {
+            assert!(!report.safe);
+            assert!(
+                report.with_code(Code::UnsafeQuery).next().is_some(),
+                "{name}: expected E001"
+            );
+            assert!(
+                report.with_code(Code::RepairSuggestion).next().is_some(),
+                "{name}: expected S001"
+            );
+        } else {
+            assert!(report.safe, "{name} must be safe");
+            assert!(
+                report.is_clean(),
+                "{name} must lint clean:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn example_specs_stay_in_sync_with_workload_constructors() {
+    for (name, query, schemes) in corpus() {
+        if name == "unsafe_random" {
+            continue; // random fixture, not shipped as an example spec
+        }
+        let spec = to_spec(&query, &schemes);
+        assert_golden(&format!("examples/specs/{name}.cjq"), &spec);
+        // And the shipped spec round-trips through the parser to the same
+        // safety verdict and lint report.
+        let (q2, r2) = parse_spec(&spec).expect("spec parses");
+        assert_eq!(
+            lint(&query, &schemes).render_json(),
+            lint(&q2, &r2).render_json(),
+            "{name}: round-tripped spec lints differently"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Repair acceptance: for unsafe random queries, the analyzer must (a) emit
+//! at least one `E001` carrying a blocking-cut witness, and (b) propose an
+//! `S001` repair whose application makes the TPG checker certify the query
+//! safe (Theorem 5: the transformed punctuation graph condenses to a single
+//! node).
+
+use punctuated_cjq::core::tpg;
+use punctuated_cjq::lint::{lint_query, minimal_repair, Code};
+use punctuated_cjq::workload::random_query::{self, RandomQueryConfig, Topology};
+
+fn unsafe_configs() -> Vec<RandomQueryConfig> {
+    let mut cfgs = Vec::new();
+    for topology in [
+        Topology::Path,
+        Topology::Star,
+        Topology::Cycle,
+        Topology::Random { extra_edges: 2 },
+    ] {
+        for seed in [1u64, 7, 23, 99] {
+            for n_streams in [3usize, 4, 5] {
+                cfgs.push(RandomQueryConfig {
+                    n_streams,
+                    arity: 2,
+                    topology,
+                    seed,
+                    ..RandomQueryConfig::default()
+                });
+            }
+        }
+    }
+    cfgs
+}
+
+#[test]
+fn every_unsafe_fixture_gets_e001_with_witness_cut() {
+    for cfg in unsafe_configs() {
+        let (query, schemes) = random_query::generate_unsafe(&cfg);
+        assert!(
+            !punctuated_cjq::core::safety::is_query_safe(&query, &schemes),
+            "fixture must be unsafe ({cfg:?})"
+        );
+        let report = lint_query(&query, &schemes);
+        assert!(!report.safe, "{cfg:?}");
+        let e001: Vec<_> = report.with_code(Code::UnsafeQuery).collect();
+        assert!(!e001.is_empty(), "{cfg:?}: expected at least one E001");
+        for d in &e001 {
+            assert!(
+                d.notes.iter().any(|n| n.contains("blocking cut")),
+                "{cfg:?}: E001 without a blocking-cut witness:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn applying_the_s001_repair_certifies_the_query_safe() {
+    for cfg in unsafe_configs() {
+        let (query, schemes) = random_query::generate_unsafe(&cfg);
+        let report = lint_query(&query, &schemes);
+        let s001: Vec<_> = report.with_code(Code::RepairSuggestion).collect();
+        assert_eq!(
+            s001.len(),
+            1,
+            "{cfg:?}: connected unsafe queries always admit a repair"
+        );
+        let repair = minimal_repair(&query, &schemes)
+            .expect("repairable")
+            .into_iter();
+        let mut fixed = schemes.clone();
+        let mut added = 0usize;
+        for scheme in repair {
+            fixed.add(scheme);
+            added += 1;
+        }
+        assert!(added > 0, "{cfg:?}: repair of an unsafe query is non-empty");
+        let suggestion = s001[0].suggestion.as_ref().expect("S001 carries a fix");
+        assert_eq!(
+            suggestion.add.len(),
+            added,
+            "{cfg:?}: suggestion lines match the computed repair"
+        );
+        assert!(
+            tpg::transform_query(&query, &fixed).is_single_node(),
+            "{cfg:?}: repaired query must be TPG-certified safe"
+        );
+        assert!(
+            lint_query(&query, &fixed).safe,
+            "{cfg:?}: repaired query must lint safe"
+        );
+    }
+}

@@ -39,6 +39,10 @@ fn run_with(
 ) -> RunResult {
     let cfg = ExecConfig {
         purge_strategy: strategy,
+        // The equivalence suite doubles as the certificate-verifier
+        // workout: recipes are checked against the static certificates and
+        // purge verdicts re-checked against the explaining oracle.
+        verify_certificates: true,
         ..cfg
     };
     Executor::compile(query, schemes, plan, cfg)
@@ -85,6 +89,7 @@ fn assert_equivalent(
         for strategy in [PurgeStrategy::FullScan, PurgeStrategy::Indexed] {
             let cfg = ExecConfig {
                 purge_strategy: strategy,
+                verify_certificates: true,
                 ..cfg
             };
             let res = ShardedExecutor::compile(query, schemes, plan, cfg, 4)

@@ -41,6 +41,12 @@ fn run_both(
     feed: &Feed,
     shard_counts: &[usize],
 ) -> (RunResult, Vec<ShardedRunResult>) {
+    // Exercise the runtime certificate verifier alongside the equivalence
+    // checks (recipes vs. static certificates, fast verdicts vs. oracle).
+    let cfg = ExecConfig {
+        verify_certificates: true,
+        ..cfg
+    };
     let seq = Executor::compile(query, schemes, plan, cfg)
         .expect("compile")
         .run(feed);
