@@ -1,0 +1,143 @@
+//! # cjq-chaos — chaos-testing harness for the punctuated-stream runtime
+//!
+//! Shared fixtures for the fault-injection suites under `tests/`: the
+//! bundled workloads (auction, sensor, network, trades, and a keyed Fig. 5
+//! feed with a broadcast stream), plus sequential/sharded run helpers that
+//! record outputs.
+//!
+//! The suites assert the robustness contract of the hardened runtime:
+//!
+//! * **Equivalence** — punctuation drop/duplication/delay and safe adjacent
+//!   reorders leave join outputs unchanged (punctuations only ever *remove*
+//!   future work), sequentially and across shards, under eager and lazy
+//!   purge cadences.
+//! * **Quarantine** — corrupted tuples are refused without losing any
+//!   result tuple: a feed with truncated tuples produces exactly the
+//!   outputs of the feed with those tuples dropped.
+//! * **Supervision** — an injected shard panic surfaces as a structured
+//!   [`cjq_stream::error::ExecError`], never a process abort, and the
+//!   surviving shards drain.
+//! * **Watchdog** — a state budget with load-shedding keeps the sampled
+//!   join-state peak at or under the budget.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use cjq_core::plan::Plan;
+use cjq_core::query::Cjq;
+use cjq_core::scheme::SchemeSet;
+use cjq_stream::exec::{ExecConfig, Executor, RunResult};
+use cjq_stream::parallel::{ShardedExecutor, ShardedRunResult};
+use cjq_stream::source::Feed;
+use cjq_workload::keyed::KeyedConfig;
+use cjq_workload::{auction, keyed, network, sensor, trades};
+
+/// One bundled workload: a query, its punctuation schemes, and a
+/// deterministic violation-free feed.
+pub struct Workload {
+    /// Short name for assertion messages.
+    pub name: &'static str,
+    /// The continuous join query.
+    pub query: Cjq,
+    /// Its punctuation schemes.
+    pub schemes: SchemeSet,
+    /// The generated feed.
+    pub feed: Feed,
+}
+
+/// Every bundled workload family, at chaos-suite sizes.
+#[must_use]
+pub fn bundled_workloads() -> Vec<Workload> {
+    let (aq, ar) = auction::auction_query();
+    let a_feed = auction::generate(&auction::AuctionConfig {
+        n_items: 60,
+        ..Default::default()
+    });
+    let (sq, sr) = sensor::sensor_query();
+    let (s_feed, _) = sensor::generate(&sensor::SensorConfig::default());
+    let (nq, nr) = network::network_query();
+    // Sequence space wider than any source's packet count: seqnos never
+    // cycle, so the feed is violation-free without punctuation lifespans —
+    // a precondition for fault-neutrality (with lifespans, punctuation
+    // *timing* changes coverage windows and the equivalence breaks by
+    // design).
+    let n_feed = network::generate(&network::NetworkConfig {
+        n_flows: 40,
+        pkts_per_flow: 6,
+        n_sources: 3,
+        seq_space: 512,
+        ..Default::default()
+    });
+    let (tq, tr) = trades::trades_query();
+    let (t_feed, _) = trades::generate(&trades::TradesConfig::default());
+    // Fig. 5 keyed: under sharding its middle stream broadcasts, covering
+    // the replicated-stream side of the quarantine merge.
+    let (fq, fr) = cjq_core::fixtures::fig5();
+    let f_feed = keyed::generate(
+        &fq,
+        &fr,
+        &KeyedConfig {
+            rounds: 60,
+            ..Default::default()
+        },
+    );
+    vec![
+        Workload {
+            name: "auction",
+            query: aq,
+            schemes: ar,
+            feed: a_feed,
+        },
+        Workload {
+            name: "sensor",
+            query: sq,
+            schemes: sr,
+            feed: s_feed,
+        },
+        Workload {
+            name: "network",
+            query: nq,
+            schemes: nr,
+            feed: n_feed,
+        },
+        Workload {
+            name: "trades",
+            query: tq,
+            schemes: tr,
+            feed: t_feed,
+        },
+        Workload {
+            name: "fig5-keyed",
+            query: fq,
+            schemes: fr,
+            feed: f_feed,
+        },
+    ]
+}
+
+/// Runs `feed` sequentially with outputs recorded.
+///
+/// # Panics
+/// Panics if the query fails to compile or execution fails.
+#[must_use]
+pub fn run_seq(w: &Workload, feed: &Feed, mut cfg: ExecConfig) -> RunResult {
+    cfg.record_outputs = true;
+    let plan = Plan::mjoin_all(&w.query);
+    Executor::compile(&w.query, &w.schemes, &plan, cfg)
+        .expect("workload query compiles")
+        .run(feed)
+}
+
+/// Runs `feed` through `p` shards with outputs recorded (concatenated in
+/// shard order).
+///
+/// # Panics
+/// Panics if the query fails to compile or a shard fails.
+#[must_use]
+pub fn run_sharded(w: &Workload, feed: &Feed, mut cfg: ExecConfig, p: usize) -> ShardedRunResult {
+    cfg.record_outputs = true;
+    let plan = Plan::mjoin_all(&w.query);
+    ShardedExecutor::compile(&w.query, &w.schemes, &plan, cfg, p)
+        .expect("workload query compiles")
+        .run(feed)
+}

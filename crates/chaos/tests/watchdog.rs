@@ -1,0 +1,107 @@
+//! Bounded-state watchdog and stall detector under hostile feeds.
+
+use cjq_core::plan::Plan;
+use cjq_stream::exec::{ExecConfig, Executor, StateBudget};
+use cjq_workload::auction::{auction_query, generate, AuctionConfig};
+
+/// An unpunctuated feed against a shedding budget: the watchdog keeps the
+/// sampled join-state peak at or under the ceiling and accounts for every
+/// evicted row.
+#[test]
+fn shedding_budget_bounds_peak_join_state() {
+    let (q, r) = auction_query();
+    let plan = Plan::mjoin_all(&q);
+    let feed = generate(&AuctionConfig {
+        n_items: 40,
+        item_punctuations: false,
+        bid_punctuations: false,
+        ..Default::default()
+    });
+    const BUDGET: usize = 48;
+    let cfg = ExecConfig {
+        state_budget: Some(StateBudget::shedding(BUDGET)),
+        sample_every: 1,
+        ..ExecConfig::default()
+    };
+    let result = Executor::compile(&q, &r, &plan, cfg)
+        .expect("compiles")
+        .try_run(&feed)
+        .expect("shedding never errors");
+    assert!(
+        result.metrics.peak_join_state <= BUDGET,
+        "peak {} exceeds budget {BUDGET}",
+        result.metrics.peak_join_state
+    );
+    assert!(result.metrics.rows_shed > 0, "watchdog never fired");
+    assert!(result.metrics.shed_events > 0);
+    // Shedding is lossy by design (the baseline trade-off): results may be
+    // incomplete, but execution completes and stays bounded.
+    assert!(result.metrics.tuples_in > 0);
+}
+
+/// The same feed under a comfortable budget sheds nothing and matches the
+/// unbudgeted run exactly.
+#[test]
+fn comfortable_budget_is_invisible() {
+    let (q, r) = auction_query();
+    let plan = Plan::mjoin_all(&q);
+    let feed = generate(&AuctionConfig::default());
+    let base_cfg = ExecConfig {
+        record_outputs: true,
+        sample_every: 1,
+        ..ExecConfig::default()
+    };
+    let base = Executor::compile(&q, &r, &plan, base_cfg)
+        .expect("compiles")
+        .run(&feed);
+    let budgeted_cfg = ExecConfig {
+        state_budget: Some(StateBudget::shedding(base.metrics.peak_join_state.max(1))),
+        record_outputs: true,
+        sample_every: 1,
+        ..ExecConfig::default()
+    };
+    let budgeted = Executor::compile(&q, &r, &plan, budgeted_cfg)
+        .expect("compiles")
+        .run(&feed);
+    assert_eq!(budgeted.metrics.rows_shed, 0, "nothing to shed");
+    assert_eq!(budgeted.outputs, base.outputs, "outputs must be untouched");
+}
+
+/// Streams whose punctuations stop arriving get flagged by the stall
+/// detector, and recover (unflag) when punctuations resume.
+#[test]
+fn stall_detector_flags_and_recovers() {
+    let (q, r) = auction_query();
+    let plan = Plan::mjoin_all(&q);
+    let silent = generate(&AuctionConfig {
+        n_items: 40,
+        item_punctuations: false,
+        bid_punctuations: false,
+        ..Default::default()
+    });
+    let cfg = ExecConfig {
+        stall_budget: Some(50),
+        ..ExecConfig::default()
+    };
+    let result = Executor::compile(&q, &r, &plan, cfg)
+        .expect("compiles")
+        .run(&silent);
+    assert_eq!(
+        result.metrics.stalled_streams,
+        vec![0, 1],
+        "both punctuated streams went silent"
+    );
+
+    let punctuated = generate(&AuctionConfig {
+        n_items: 40,
+        ..Default::default()
+    });
+    let result = Executor::compile(&q, &r, &plan, cfg)
+        .expect("compiles")
+        .run(&punctuated);
+    assert!(
+        result.metrics.stalled_streams.is_empty(),
+        "punctuations keep flowing: {:?}",
+        result.metrics.stalled_streams
+    );
+}

@@ -20,9 +20,12 @@ use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::element::StreamElement;
+use crate::error::{ExecError, ExecResult};
 use crate::groupby::{Aggregate, GroupBy};
+use crate::guard::{AdmissionFault, AdmissionGuard, AdmissionPolicy, DeadLetter};
 use crate::join::JoinOperator;
 use crate::metrics::{Metrics, StatePoint};
+use crate::punct_store::PunctClass;
 use crate::purge::{PurgeEngine, PurgeScope, PurgeStrategy};
 use crate::sink::{CollectSink, CountSink, OutputBuffer, ResultSink};
 use crate::source::{BatchItem, ElementBatch, Feed};
@@ -50,6 +53,48 @@ pub enum PurgeCadence {
         /// Initial elements between purge cycles.
         initial: usize,
     },
+}
+
+/// What the bounded-state watchdog does when live join state exceeds the
+/// budget (after trying a purge cycle first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPolicy {
+    /// Fail the run with [`ExecError::StateBudgetExceeded`].
+    #[default]
+    HardError,
+    /// Load-shed the oldest stored rows until the state fits again. Shed
+    /// rows were *not* proven dead — results may be incomplete, which is the
+    /// degradation trade-off; shed counts surface in `Metrics::rows_shed`.
+    Shed,
+}
+
+/// A hard ceiling on live join-state rows, enforced after every element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateBudget {
+    /// Maximum live rows across all operator join states.
+    pub max_rows: usize,
+    /// What to do on overrun.
+    pub policy: BudgetPolicy,
+}
+
+impl StateBudget {
+    /// A hard-error budget of `max_rows`.
+    #[must_use]
+    pub fn hard(max_rows: usize) -> Self {
+        StateBudget {
+            max_rows,
+            policy: BudgetPolicy::HardError,
+        }
+    }
+
+    /// A load-shedding budget of `max_rows`.
+    #[must_use]
+    pub fn shedding(max_rows: usize) -> Self {
+        StateBudget {
+            max_rows,
+            policy: BudgetPolicy::Shed,
+        }
+    }
 }
 
 /// Executor configuration.
@@ -93,6 +138,20 @@ pub struct ExecConfig {
     /// fixpoint) that no provably-dead tuple is still live. Defaults to the
     /// `verify-certificates` cargo feature.
     pub verify_certificates: bool,
+    /// Admission-guard policy for malformed or invariant-breaking elements
+    /// (see [`crate::guard`]). The default, [`AdmissionPolicy::Quarantine`],
+    /// preserves the legacy drop-and-count behavior for violating tuples and
+    /// additionally counts every refusal in `Metrics::quarantined`.
+    pub admission: AdmissionPolicy,
+    /// Bounded-state watchdog: a hard ceiling on live join-state rows,
+    /// checked after every element (the fallible `try_*` paths are required
+    /// for [`BudgetPolicy::HardError`] to surface as an error instead of a
+    /// panic). `None` disables the watchdog.
+    pub state_budget: Option<StateBudget>,
+    /// Stall detector: flag a punctuated stream in
+    /// `Metrics::stalled_streams` once this many elements pass without any
+    /// admitted punctuation on it. `None` disables detection.
+    pub stall_budget: Option<u64>,
 }
 
 impl Default for ExecConfig {
@@ -109,6 +168,9 @@ impl Default for ExecConfig {
             record_outputs: true,
             batch_size: 256,
             verify_certificates: cfg!(feature = "verify-certificates"),
+            admission: AdmissionPolicy::default(),
+            state_budget: None,
+            stall_budget: None,
         }
     }
 }
@@ -181,6 +243,19 @@ pub struct Executor {
     /// Reusable per-run scratch: indices of tuples that survived the
     /// punctuation-violation check.
     scratch_survivors: Vec<u32>,
+    /// Schema-shape admission validator (see [`crate::guard`]).
+    guard: AdmissionGuard,
+    /// Optional dead-letter routing for quarantined elements.
+    dead_letter: DeadLetter,
+    /// Per stream: clock of the last admitted punctuation (stall detector).
+    last_punct: Vec<u64>,
+    /// Per stream: whether the stall detector currently flags it.
+    stall_flagged: Vec<bool>,
+    /// Per stream: whether any punctuation scheme is registered (streams
+    /// without schemes are never expected to punctuate — not stall-checked).
+    has_schemes: Vec<bool>,
+    /// Reusable watchdog scratch: live-row arrival times.
+    shed_scratch: Vec<u64>,
 }
 
 impl Executor {
@@ -241,7 +316,18 @@ impl Executor {
                 panic!("static certificate violation: {mismatch}");
             }
         }
+        let n_streams = query.n_streams();
+        let has_schemes = query
+            .stream_ids()
+            .map(|s| !engine.punct_store(s).schemes().is_empty())
+            .collect();
         Ok(Executor {
+            guard: AdmissionGuard::new(query, cfg.admission),
+            dead_letter: DeadLetter::none(),
+            last_punct: vec![0; n_streams],
+            stall_flagged: vec![false; n_streams],
+            has_schemes,
+            shed_scratch: Vec::new(),
             query: query.clone(),
             engine,
             ops,
@@ -286,6 +372,15 @@ impl Executor {
         self
     }
 
+    /// Routes quarantined elements to `sink` (see [`crate::guard`]): each is
+    /// delivered as a row `[reason_code, stream_id, values...]`. Without a
+    /// dead-letter sink quarantined elements are only counted.
+    #[must_use]
+    pub fn with_dead_letter(mut self, sink: Box<dyn ResultSink + Send>) -> Self {
+        self.dead_letter = DeadLetter::to(sink);
+        self
+    }
+
     /// The query this executor runs.
     #[must_use]
     pub fn query(&self) -> &Cjq {
@@ -311,24 +406,37 @@ impl Executor {
     }
 
     /// Pushes one element through the pipeline.
+    ///
+    /// # Panics
+    /// Panics where [`Executor::try_push`] would return an error.
     pub fn push(&mut self, element: &StreamElement) {
+        self.try_push(element).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Executor::push`]: admission refusals under
+    /// [`AdmissionPolicy::Strict`], unroutable streams, and watchdog overruns
+    /// under [`BudgetPolicy::HardError`] come back as [`ExecError`]s. After
+    /// an error the executor is poisoned (the element was partially applied)
+    /// and must be discarded.
+    pub fn try_push(&mut self, element: &StreamElement) -> ExecResult<()> {
         let start = Instant::now();
         self.clock += 1;
         self.since_purge += 1;
         match element {
-            StreamElement::Tuple(t) => self.push_tuple(t),
-            StreamElement::Punctuation(p) => self.push_punctuation(p),
+            StreamElement::Tuple(t) => self.try_push_tuple(t)?,
+            StreamElement::Punctuation(p) => self.try_push_punctuation(p)?,
         }
-        self.post_element();
+        self.post_element()?;
         self.metrics.elapsed_ns += start.elapsed().as_nanos();
+        Ok(())
     }
 
     /// Per-element bookkeeping shared by the per-element and batched paths:
-    /// cadence-driven purge cycles, window eviction, state sampling. The
-    /// batched path calls this once per capped sub-run — [`Executor::run_cap`]
-    /// guarantees the clock positions where anything fires are identical to
-    /// the per-element path.
-    fn post_element(&mut self) {
+    /// cadence-driven purge cycles, window eviction, watchdog enforcement,
+    /// stall detection, state sampling. The batched path calls this once per
+    /// capped sub-run — [`Executor::run_cap`] guarantees the clock positions
+    /// where anything fires are identical to the per-element path.
+    fn post_element(&mut self) -> ExecResult<()> {
         match self.cfg.cadence {
             PurgeCadence::Lazy { batch } if self.since_purge >= batch => self.purge_cycle(),
             PurgeCadence::Adaptive { .. } if self.since_purge >= self.adaptive_batch => {
@@ -345,17 +453,102 @@ impl Executor {
             self.engine.evict_window(cutoff);
             self.metrics.purged += evicted as u64;
         }
+        // Budget before sampling, so sampled peaks respect the ceiling.
+        self.enforce_budget()?;
+        self.detect_stalls();
         if self.clock.is_multiple_of(self.cfg.sample_every as u64) {
             self.sample();
+        }
+        Ok(())
+    }
+
+    /// Bounded-state watchdog: when live join state exceeds the budget, try
+    /// to purge (proving rows dead is always preferable), then apply the
+    /// budget policy to whatever still doesn't fit.
+    fn enforce_budget(&mut self) -> ExecResult<()> {
+        let Some(budget) = self.cfg.state_budget else {
+            return Ok(());
+        };
+        if self.join_state_live() <= budget.max_rows {
+            return Ok(());
+        }
+        self.purge_cycle();
+        let live = self.join_state_live();
+        if live <= budget.max_rows {
+            return Ok(());
+        }
+        match budget.policy {
+            BudgetPolicy::HardError => Err(ExecError::StateBudgetExceeded {
+                live,
+                budget: budget.max_rows,
+                clock: self.clock,
+            }),
+            BudgetPolicy::Shed => {
+                // Shed the oldest rows: pick the arrival-time cutoff whose
+                // eviction removes at least the excess (ties may shed more —
+                // the budget is a ceiling, not a target).
+                let excess = live - budget.max_rows;
+                let mut arrivals = std::mem::take(&mut self.shed_scratch);
+                arrivals.clear();
+                for op in &self.ops {
+                    op.live_arrivals(&mut arrivals);
+                }
+                let k = excess.min(arrivals.len()).saturating_sub(1);
+                let (_, nth, _) = arrivals.select_nth_unstable(k);
+                let cutoff = *nth + 1;
+                let mut shed = 0;
+                for op in &mut self.ops {
+                    shed += op.shed_older_than(cutoff);
+                }
+                self.metrics.rows_shed += shed as u64;
+                self.metrics.shed_events += 1;
+                self.shed_scratch = arrivals;
+                Ok(())
+            }
+        }
+    }
+
+    /// Stall detector: flags punctuated streams whose punctuations stopped
+    /// arriving for more than the configured element budget. A later
+    /// punctuation clears the flag (so `Metrics::stalled_streams` reflects
+    /// streams still stalled at that point).
+    fn detect_stalls(&mut self) {
+        let Some(budget) = self.cfg.stall_budget else {
+            return;
+        };
+        for s in 0..self.last_punct.len() {
+            if self.has_schemes[s]
+                && !self.stall_flagged[s]
+                && self.clock.saturating_sub(self.last_punct[s]) > budget
+            {
+                self.stall_flagged[s] = true;
+                if let Err(pos) = self.metrics.stalled_streams.binary_search(&s) {
+                    self.metrics.stalled_streams.insert(pos, s);
+                }
+            }
+        }
+    }
+
+    /// Records punctuation progress on `stream` for the stall detector.
+    fn note_punct_progress(&mut self, stream: StreamId) {
+        if let Some(at) = self.last_punct.get_mut(stream.0) {
+            *at = self.clock;
+        }
+        if self.stall_flagged.get(stream.0) == Some(&true) {
+            self.stall_flagged[stream.0] = false;
+            self.metrics.stalled_streams.retain(|&s| s != stream.0);
         }
     }
 
     /// How many more tuples may be processed as one uninterrupted run before
-    /// some per-element event (purge cycle, sample, window eviction) is due.
-    /// Always at least 1.
+    /// some per-element event (purge cycle, sample, window eviction, budget
+    /// or stall check) is due. Always at least 1.
     fn run_cap(&self) -> usize {
-        if self.cfg.window.is_some() {
-            return 1; // window eviction is per-element
+        if self.cfg.window.is_some()
+            || self.cfg.state_budget.is_some()
+            || self.cfg.stall_budget.is_some()
+        {
+            return 1; // window eviction and watchdogs are per-element
         }
         let mut cap = match self.cfg.cadence {
             PurgeCadence::Lazy { batch } => batch.saturating_sub(self.since_purge),
@@ -378,14 +571,25 @@ impl Executor {
     /// [`Executor::run_cap`]), punctuations are processed individually in
     /// order.
     pub fn push_batch(&mut self, batch: &ElementBatch<'_>, sink: &mut dyn ResultSink) {
+        self.try_push_batch(batch, sink)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Executor::push_batch`] (see [`Executor::try_push`] for the
+    /// error contract).
+    pub fn try_push_batch(
+        &mut self,
+        batch: &ElementBatch<'_>,
+        sink: &mut dyn ResultSink,
+    ) -> ExecResult<()> {
         let start = Instant::now();
         for item in batch.items() {
             match *item {
                 BatchItem::Punct(p) => {
                     self.clock += 1;
                     self.since_purge += 1;
-                    self.push_punctuation(p);
-                    self.post_element();
+                    self.try_push_punctuation(p)?;
+                    self.post_element()?;
                 }
                 BatchItem::Run {
                     stream,
@@ -396,14 +600,14 @@ impl Executor {
                     let mut off = 0;
                     while off < rows {
                         let take = (rows - off).min(self.run_cap());
-                        self.push_run(
+                        self.try_push_run(
                             stream,
                             width,
                             &batch.arena()[flat_start + off * width..],
                             take,
                             sink,
-                        );
-                        self.post_element();
+                        )?;
+                        self.post_element()?;
                         off += take;
                     }
                 }
@@ -411,23 +615,44 @@ impl Executor {
         }
         self.metrics.batches_processed += 1;
         self.metrics.elapsed_ns += start.elapsed().as_nanos();
+        Ok(())
     }
 
     /// Processes `take` same-stream rows (stride-packed at the front of
     /// `arena`) as one uninterrupted run: per-row punctuation-violation
     /// checks and mirror inserts, then one batched cascade through the
     /// operator tree, then root delivery to `sink` and the group-by stage.
-    fn push_run(
+    fn try_push_run(
         &mut self,
         stream: StreamId,
         width: usize,
         arena: &[Value],
         take: usize,
         sink: &mut dyn ResultSink,
-    ) {
+    ) -> ExecResult<()> {
         let base = self.clock;
         self.clock += take as u64;
         self.since_purge += take;
+        // Admission shape check, once per run (the batch gatherer only
+        // coalesces width-homogeneous tuples into one run).
+        if let Some(fault) = self.guard.check_tuple_shape(stream, width) {
+            if self.guard.policy() == AdmissionPolicy::Strict {
+                return Err(ExecError::Admission {
+                    clock: base + 1,
+                    fault,
+                });
+            }
+            for i in 0..take {
+                self.metrics.count_quarantine_row(fault.code(), stream.0);
+                self.dead_letter.emit_tuple(
+                    &fault,
+                    stream,
+                    &arena[i * width..(i + 1) * width],
+                    base + i as u64 + 1,
+                );
+            }
+            return Ok(());
+        }
         // Observe phase. Punctuation stores only change on punctuation
         // arrival — impossible mid-run — so per-row checks against the
         // frozen stores match the per-element path exactly.
@@ -440,13 +665,24 @@ impl Executor {
                 survivors.push(i as u32);
             } else {
                 self.metrics.count_violation(stream.0);
+                let fault = AdmissionFault::PunctuationViolation { stream };
+                if self.guard.policy() == AdmissionPolicy::Strict {
+                    self.scratch_survivors = survivors;
+                    return Err(ExecError::Admission {
+                        clock: base + i as u64 + 1,
+                        fault,
+                    });
+                }
+                self.metrics.count_quarantine_row(fault.code(), stream.0);
+                self.dead_letter
+                    .emit_tuple(&fault, stream, row, base + i as u64 + 1);
             }
         }
         if !survivors.is_empty() {
-            let &(op0, port0) = self
-                .leaf_route
-                .get(&stream)
-                .unwrap_or_else(|| panic!("no leaf port for {stream}"));
+            let Some(&(op0, port0)) = self.leaf_route.get(&stream) else {
+                self.scratch_survivors = survivors;
+                return Err(ExecError::UnroutableStream(stream));
+            };
             let (mut cur, mut nxt) = std::mem::take(&mut self.batch_bufs);
             cur.reset(self.ops[op0].out_layout().width());
             let saved = self.ops[op0].process_batch(
@@ -483,18 +719,42 @@ impl Executor {
             self.batch_bufs = (cur, nxt);
         }
         self.scratch_survivors = survivors;
+        Ok(())
     }
 
-    fn push_tuple(&mut self, t: &Tuple) {
+    /// Refuses one tuple per the admission policy: `Strict` errors,
+    /// `Quarantine`/`Repair` count it and route it to the dead letter
+    /// (violating tuples have no sound repair).
+    fn refuse_tuple(
+        &mut self,
+        fault: AdmissionFault,
+        stream: StreamId,
+        row: &[Value],
+    ) -> ExecResult<()> {
+        if self.guard.policy() == AdmissionPolicy::Strict {
+            return Err(ExecError::Admission {
+                clock: self.clock,
+                fault,
+            });
+        }
+        self.metrics.count_quarantine_row(fault.code(), stream.0);
+        self.dead_letter.emit_tuple(&fault, stream, row, self.clock);
+        Ok(())
+    }
+
+    fn try_push_tuple(&mut self, t: &Tuple) -> ExecResult<()> {
+        if let Some(fault) = self.guard.check_tuple_shape(t.stream, t.values.len()) {
+            return self.refuse_tuple(fault, t.stream, &t.values);
+        }
         if !self.engine.observe_tuple_at(t, self.clock) {
             self.metrics.count_violation(t.stream.0);
-            return;
+            let fault = AdmissionFault::PunctuationViolation { stream: t.stream };
+            return self.refuse_tuple(fault, t.stream, &t.values);
         }
         self.metrics.tuples_in += 1;
-        let &(op, port) = self
-            .leaf_route
-            .get(&t.stream)
-            .unwrap_or_else(|| panic!("no leaf port for {}", t.stream));
+        let Some(&(op, port)) = self.leaf_route.get(&t.stream) else {
+            return Err(ExecError::UnroutableStream(t.stream));
+        };
         let mut frontier = vec![(op, port, t.values.clone())];
         while let Some((op, port, values)) = frontier.pop() {
             let outs = self.ops[op].process_tuple_at(port, values, self.clock);
@@ -517,10 +777,52 @@ impl Executor {
                 }
             }
         }
+        Ok(())
     }
 
-    fn push_punctuation(&mut self, p: &Punctuation) {
+    /// Refuses one punctuation per the admission policy.
+    fn refuse_punct(&mut self, fault: AdmissionFault, p: &Punctuation) -> ExecResult<()> {
+        if self.guard.policy() == AdmissionPolicy::Strict {
+            return Err(ExecError::Admission {
+                clock: self.clock,
+                fault,
+            });
+        }
+        self.metrics
+            .count_quarantine_punct(fault.code(), p.stream.0);
+        self.dead_letter.emit_punct(&fault, p, self.clock);
+        Ok(())
+    }
+
+    fn try_push_punctuation(&mut self, p: &Punctuation) -> ExecResult<()> {
         self.metrics.puncts_in += 1;
+        if let Some(fault) = self.guard.check_punct_shape(p) {
+            return self.refuse_punct(fault, p);
+        }
+        // Scheme-invariant admission: classify against the store's current
+        // coverage before inserting.
+        match self.engine.punct_store(p.stream).classify(p) {
+            PunctClass::Regressive => {
+                if self.guard.policy() != AdmissionPolicy::Repair {
+                    let fault = AdmissionFault::RegressiveBound { stream: p.stream };
+                    return self.refuse_punct(fault, p);
+                }
+                // Repair = clamp: admitting it only refreshes the threshold's
+                // lifespan clock (the store never regresses) — coverage, and
+                // hence every purge decision, is unchanged.
+                self.metrics.repaired += 1;
+            }
+            PunctClass::Duplicate if self.guard.policy() == AdmissionPolicy::Repair => {
+                // Repair = dedup: dropping an exact duplicate changes no
+                // coverage; it only skips a lifespan refresh, which can delay
+                // purges but never cause a wrong one.
+                self.metrics.repaired += 1;
+                self.note_punct_progress(p.stream);
+                return Ok(());
+            }
+            _ => {}
+        }
+        self.note_punct_progress(p.stream);
         self.engine.observe_punctuation(p, self.clock);
         if self.groupby.is_some() {
             self.pending_group_puncts.push(p.clone());
@@ -530,6 +832,7 @@ impl Executor {
         } else {
             self.deliver_group_punctuations();
         }
+        Ok(())
     }
 
     /// Delivers pending punctuations to the group-by stage once safe: a
@@ -632,11 +935,20 @@ impl Executor {
     }
 
     /// Runs a whole feed and finishes (final purge cycle + sample).
-    pub fn run(mut self, feed: &Feed) -> RunResult {
+    ///
+    /// # Panics
+    /// Panics where [`Executor::try_run`] would return an error.
+    pub fn run(self, feed: &Feed) -> RunResult {
+        self.try_run(feed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Executor::run`] (see [`Executor::try_push`] for the error
+    /// contract).
+    pub fn try_run(mut self, feed: &Feed) -> ExecResult<RunResult> {
         for e in feed {
-            self.push(e);
+            self.try_push(e)?;
         }
-        self.finish()
+        Ok(self.finish())
     }
 
     /// Runs a whole feed through the batched data path, streaming root
@@ -648,21 +960,41 @@ impl Executor {
         self.run_with_sink_detailed(feed, sink).0
     }
 
+    /// Fallible [`Executor::run_with_sink`].
+    pub fn try_run_with_sink(
+        self,
+        feed: &Feed,
+        sink: &mut dyn ResultSink,
+    ) -> ExecResult<RunResult> {
+        Ok(self.try_run_with_sink_detailed(feed, sink)?.0)
+    }
+
     /// Like [`Executor::run_with_sink`], additionally returning the live-slot
     /// snapshot (see [`Executor::finish_detailed`]).
     pub fn run_with_sink_detailed(
-        mut self,
+        self,
         feed: &Feed,
         sink: &mut dyn ResultSink,
     ) -> (RunResult, LiveStateSnapshot) {
+        self.try_run_with_sink_detailed(feed, sink)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Executor::run_with_sink_detailed`] (see
+    /// [`Executor::try_push`] for the error contract).
+    pub fn try_run_with_sink_detailed(
+        mut self,
+        feed: &Feed,
+        sink: &mut dyn ResultSink,
+    ) -> ExecResult<(RunResult, LiveStateSnapshot)> {
         let size = self.cfg.batch_size.max(1);
         let mut batch = ElementBatch::new();
         for chunk in feed.elements().chunks(size) {
             batch.gather(chunk);
-            self.push_batch(&batch, sink);
+            self.try_push_batch(&batch, sink)?;
         }
         sink.finish();
-        self.finish_detailed()
+        Ok(self.finish_detailed())
     }
 
     /// Runs a whole feed through the batched data path with the default
@@ -670,14 +1002,19 @@ impl Executor {
     /// [`ExecConfig::record_outputs`] is set, and merely counted otherwise —
     /// a drop-in, faster replacement for [`Executor::run`].
     pub fn run_batched(self, feed: &Feed) -> RunResult {
+        self.try_run_batched(feed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Executor::run_batched`].
+    pub fn try_run_batched(self, feed: &Feed) -> ExecResult<RunResult> {
         if self.cfg.record_outputs {
             let mut sink = CollectSink::new();
-            let (mut result, _) = self.run_with_sink_detailed(feed, &mut sink);
+            let (mut result, _) = self.try_run_with_sink_detailed(feed, &mut sink)?;
             result.outputs = sink.rows;
-            result
+            Ok(result)
         } else {
             let mut sink = CountSink::new();
-            self.run_with_sink(feed, &mut sink)
+            self.try_run_with_sink(feed, &mut sink)
         }
     }
 
@@ -691,6 +1028,7 @@ impl Executor {
     /// per-shard snapshots into one logical state count: partitioned state is
     /// disjoint across shards (sum), broadcast state is replicated (union).
     pub fn finish_detailed(mut self) -> (RunResult, LiveStateSnapshot) {
+        self.dead_letter.finish();
         self.purge_cycle();
         if self.cfg.verify_certificates {
             // Completeness at the quiescent point: no live row may be

@@ -1,0 +1,361 @@
+//! Deterministic fault injection for punctuated feeds.
+//!
+//! A [`FaultPlan`] is a seeded sequence of feed transformations — drop,
+//! duplicate, delay, reorder, corrupt — applied *before* execution, so two
+//! runs of the same plan see byte-identical faulty feeds. The chaos suite
+//! (`crates/chaos`) uses it to assert the paper's safety guarantee degrades
+//! gracefully: punctuation drop/duplication/delay leave join outputs
+//! untouched (only purge progress may lag), and quarantined garbage never
+//! costs a result tuple.
+//!
+//! Soundness of the punctuation faults on violation-free feeds: a
+//! punctuation only ever *removes* future work (purges state, rejects
+//! violating tuples). Dropping one, repeating one, or delivering one late —
+//! after tuples it already does not match — cannot change which tuples join,
+//! so the output sequence is unchanged; only state curves move.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::element::StreamElement;
+use crate::sink::{OutputBuffer, ResultSink};
+use crate::source::Feed;
+use crate::tuple::Tuple;
+
+/// One seeded feed transformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Drop each punctuation with probability `prob`.
+    DropPunctuations {
+        /// Per-punctuation drop probability.
+        prob: f64,
+    },
+    /// Emit each punctuation twice with probability `prob`.
+    DuplicatePunctuations {
+        /// Per-punctuation duplication probability.
+        prob: f64,
+    },
+    /// Move each punctuation `by` positions later with probability `prob`
+    /// (clamped to the feed end). Tuples never move.
+    DelayPunctuations {
+        /// Per-punctuation delay probability.
+        prob: f64,
+        /// Positions to move a delayed punctuation back.
+        by: usize,
+    },
+    /// Swap adjacent elements with probability `prob`, skipping unsafe
+    /// pairs: two same-stream elements are only swapped when both are
+    /// tuples (reordering a tuple across its own stream's punctuation could
+    /// turn it into a violation; cross-stream order never matters to a
+    /// join's result multiset).
+    ReorderAdjacent {
+        /// Per-adjacent-pair swap probability.
+        prob: f64,
+    },
+    /// Corrupt each tuple with probability `prob` by truncating its last
+    /// value — an arity fault the admission guard must catch.
+    TruncateTuples {
+        /// Per-tuple corruption probability.
+        prob: f64,
+    },
+    /// Drop each tuple with probability `prob`. Consumes randomness exactly
+    /// like [`Fault::TruncateTuples`], so a `DropTuples` plan under seed `s`
+    /// removes precisely the tuples a `TruncateTuples` plan under seed `s`
+    /// corrupts — the reference feed for quarantine-equivalence checks.
+    DropTuples {
+        /// Per-tuple drop probability.
+        prob: f64,
+    },
+}
+
+/// A seeded, ordered list of [`Fault`]s applied as successive passes.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan under `seed` (applies no faults until [`FaultPlan::with`]).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Appends a fault pass.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured passes.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Applies every pass in order to a copy of `feed`. Each pass draws from
+    /// its own RNG stream (`seed + pass index`), so inserting a pass does not
+    /// reshuffle the randomness of later ones.
+    #[must_use]
+    pub fn apply(&self, feed: &Feed) -> Feed {
+        let mut elements: Vec<StreamElement> = feed.elements().to_vec();
+        for (i, fault) in self.faults.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+            elements = apply_fault(*fault, elements, &mut rng);
+        }
+        Feed::from_elements(elements)
+    }
+}
+
+fn apply_fault(fault: Fault, elements: Vec<StreamElement>, rng: &mut StdRng) -> Vec<StreamElement> {
+    match fault {
+        Fault::DropPunctuations { prob } => elements
+            .into_iter()
+            .filter(|e| match e {
+                StreamElement::Punctuation(_) => !rng.random_bool(prob),
+                StreamElement::Tuple(_) => true,
+            })
+            .collect(),
+        Fault::DuplicatePunctuations { prob } => {
+            let mut out = Vec::with_capacity(elements.len());
+            for e in elements {
+                let dup = matches!(e, StreamElement::Punctuation(_)) && rng.random_bool(prob);
+                if dup {
+                    out.push(e.clone());
+                }
+                out.push(e);
+            }
+            out
+        }
+        Fault::DelayPunctuations { prob, by } => {
+            // pending[k] holds punctuations due for re-insertion after the
+            // k-th upcoming kept element.
+            let mut out = Vec::with_capacity(elements.len());
+            let mut pending: Vec<(usize, StreamElement)> = Vec::new();
+            for e in elements {
+                if matches!(e, StreamElement::Punctuation(_)) && rng.random_bool(prob) {
+                    pending.push((by.max(1), e));
+                    continue;
+                }
+                out.push(e);
+                for (left, _) in &mut pending {
+                    *left -= 1;
+                }
+                while let Some(pos) = pending.iter().position(|(left, _)| *left == 0) {
+                    out.push(pending.remove(pos).1);
+                }
+            }
+            // Feed end: flush whatever is still pending, original order.
+            out.extend(pending.into_iter().map(|(_, e)| e));
+            out
+        }
+        Fault::ReorderAdjacent { prob } => {
+            let mut out = elements;
+            let mut i = 0;
+            while i + 1 < out.len() {
+                if rng.random_bool(prob) && swap_is_safe(&out[i], &out[i + 1]) {
+                    out.swap(i, i + 1);
+                    i += 2; // never move one element twice in a pass
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        }
+        Fault::TruncateTuples { prob } => elements
+            .into_iter()
+            .map(|e| match e {
+                StreamElement::Tuple(t) if rng.random_bool(prob) => {
+                    let mut values = t.values;
+                    values.pop();
+                    StreamElement::Tuple(Tuple::new(t.stream, values))
+                }
+                other => other,
+            })
+            .collect(),
+        Fault::DropTuples { prob } => elements
+            .into_iter()
+            .filter(|e| match e {
+                StreamElement::Tuple(_) => !rng.random_bool(prob),
+                StreamElement::Punctuation(_) => true,
+            })
+            .collect(),
+    }
+}
+
+/// Whether swapping two adjacent elements provably preserves the result
+/// multiset: same-stream pairs are safe only when both are tuples (their
+/// relative order within one stream never matters to a symmetric join, but
+/// moving a tuple across its own stream's punctuation could create a
+/// violation where none existed).
+fn swap_is_safe(a: &StreamElement, b: &StreamElement) -> bool {
+    let (sa, sb) = (element_stream(a), element_stream(b));
+    sa != sb || matches!((a, b), (StreamElement::Tuple(_), StreamElement::Tuple(_)))
+}
+
+fn element_stream(e: &StreamElement) -> cjq_core::schema::StreamId {
+    match e {
+        StreamElement::Tuple(t) => t.stream,
+        StreamElement::Punctuation(p) => p.stream,
+    }
+}
+
+/// A [`ResultSink`] that panics on the first accepted row once armed — the
+/// chaos suite's shard-supervision probe: route it into exactly one shard
+/// and assert the executor reports `ExecError::ShardPanicked` instead of
+/// aborting the process.
+#[derive(Debug, Default)]
+pub struct PanicSink {
+    /// Whether the next accepted row should panic.
+    pub armed: bool,
+    /// Rows accepted so far (while unarmed).
+    pub count: u64,
+}
+
+impl PanicSink {
+    /// An armed sink.
+    #[must_use]
+    pub fn armed() -> Self {
+        PanicSink {
+            armed: true,
+            count: 0,
+        }
+    }
+}
+
+impl ResultSink for PanicSink {
+    fn accept(&mut self, buf: &OutputBuffer) {
+        if self.armed {
+            panic!("injected fault: PanicSink fired");
+        }
+        self.count += buf.len() as u64;
+    }
+
+    fn finish(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjq_core::punctuation::Punctuation;
+    use cjq_core::schema::{AttrId, StreamId};
+    use cjq_core::value::Value;
+
+    fn feed() -> Feed {
+        let mut f = Feed::new();
+        for i in 0..40i64 {
+            f.push(Tuple::of(0, vec![Value::Int(i)]));
+            f.push(Punctuation::with_constants(
+                StreamId(0),
+                1,
+                &[(AttrId(0), Value::Int(i))],
+            ));
+        }
+        f
+    }
+
+    fn count(feed: &Feed) -> (usize, usize) {
+        let mut tuples = 0;
+        let mut puncts = 0;
+        for e in feed {
+            match e {
+                StreamElement::Tuple(_) => tuples += 1,
+                StreamElement::Punctuation(_) => puncts += 1,
+            }
+        }
+        (tuples, puncts)
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let plan = FaultPlan::new(7)
+            .with(Fault::DropPunctuations { prob: 0.3 })
+            .with(Fault::ReorderAdjacent { prob: 0.2 });
+        let a = plan.apply(&feed());
+        let b = plan.apply(&feed());
+        assert_eq!(a, b, "same seed, same faults, same feed");
+        assert_ne!(a, feed(), "faults actually fired");
+    }
+
+    #[test]
+    fn drop_and_duplicate_change_only_punctuation_counts() {
+        let base = count(&feed());
+        let dropped = FaultPlan::new(1)
+            .with(Fault::DropPunctuations { prob: 0.5 })
+            .apply(&feed());
+        let (t, p) = count(&dropped);
+        assert_eq!(t, base.0);
+        assert!(p < base.1);
+
+        let duped = FaultPlan::new(1)
+            .with(Fault::DuplicatePunctuations { prob: 0.5 })
+            .apply(&feed());
+        let (t, p) = count(&duped);
+        assert_eq!(t, base.0);
+        assert!(p > base.1);
+    }
+
+    #[test]
+    fn delay_preserves_counts_and_moves_puncts_later() {
+        let delayed = FaultPlan::new(3)
+            .with(Fault::DelayPunctuations { prob: 0.5, by: 4 })
+            .apply(&feed());
+        assert_eq!(count(&delayed), count(&feed()));
+        assert_ne!(delayed, feed());
+    }
+
+    #[test]
+    fn reorder_never_moves_a_tuple_across_its_own_punctuation() {
+        let reordered = FaultPlan::new(9)
+            .with(Fault::ReorderAdjacent { prob: 0.9 })
+            .apply(&feed());
+        // In this feed tuple i is immediately followed by the punctuation
+        // that matches it: any same-stream tuple/punct swap would create a
+        // violation. Assert none did by checking every tuple still precedes
+        // its matching punctuation.
+        let elements = reordered.elements();
+        for (i, e) in elements.iter().enumerate() {
+            if let StreamElement::Tuple(t) = e {
+                let matching_punct = elements[..i].iter().any(|p| match p {
+                    StreamElement::Punctuation(p) => p.matches(&t.values),
+                    StreamElement::Tuple(_) => false,
+                });
+                assert!(!matching_punct, "tuple at {i} now violates a punctuation");
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_and_drop_consume_randomness_in_lockstep() {
+        let truncated = FaultPlan::new(5)
+            .with(Fault::TruncateTuples { prob: 0.4 })
+            .apply(&feed());
+        let dropped = FaultPlan::new(5)
+            .with(Fault::DropTuples { prob: 0.4 })
+            .apply(&feed());
+        // Every truncated tuple in one feed is exactly a dropped tuple in
+        // the other: the kept full-width tuples agree.
+        let kept_full = |f: &Feed| -> Vec<Tuple> {
+            f.elements()
+                .iter()
+                .filter_map(|e| match e {
+                    StreamElement::Tuple(t) if t.values.len() == 1 => Some(t.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(kept_full(&truncated), kept_full(&dropped));
+        assert!(kept_full(&truncated).len() < 40);
+    }
+}

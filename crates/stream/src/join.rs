@@ -286,6 +286,24 @@ impl JoinOperator {
         self.ports.iter().map(PortState::live).sum()
     }
 
+    /// Appends the arrival times of every live stored tuple across all ports
+    /// to `out` (used by the bounded-state watchdog to pick a shed cutoff).
+    pub fn live_arrivals(&self, out: &mut Vec<u64>) {
+        for p in &self.ports {
+            p.live_arrivals(out);
+        }
+    }
+
+    /// Load-shedding eviction: like [`JoinOperator::evict_window`] but
+    /// counted separately by the caller (`Metrics::rows_shed`, not
+    /// `purged` — shed rows were *not* proven dead). Returns rows evicted.
+    pub fn shed_older_than(&mut self, cutoff: u64) -> usize {
+        self.ports
+            .iter_mut()
+            .map(|p| p.evict_older_than(cutoff))
+            .sum()
+    }
+
     /// Whether the port has a purge recipe under the configured scope.
     #[must_use]
     pub fn port_purgeable(&self, port: usize) -> bool {

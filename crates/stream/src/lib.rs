@@ -13,7 +13,12 @@
 //!   and punctuation-aware duplicate elimination ([`distinct`]);
 //! * an [`exec::Executor`] that compiles a [`cjq_core::plan::Plan`] into an
 //!   operator tree and reports state-size time series ([`metrics`]) — the
-//!   observable form of the paper's bounded-state safety guarantee.
+//!   observable form of the paper's bounded-state safety guarantee;
+//! * a hardened runtime layer for hostile inputs: an admission [`guard`]
+//!   with strict/quarantine/repair policies, typed [`error::ExecError`]s on
+//!   the `try_*` execution paths, deterministic [`fault`] injection for
+//!   chaos testing, shard supervision in [`parallel`], and a bounded-state
+//!   watchdog ([`exec::ExecConfig::state_budget`]).
 //!
 //! ```
 //! use cjq_core::fixtures;
@@ -35,8 +40,11 @@ pub mod certify;
 pub mod disjoin;
 pub mod distinct;
 pub mod element;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod groupby;
+pub mod guard;
 pub mod join;
 pub mod layout;
 pub mod metrics;
@@ -52,8 +60,13 @@ pub mod tuple;
 pub mod prelude {
     pub use crate::distinct::Distinct;
     pub use crate::element::StreamElement;
-    pub use crate::exec::{ExecConfig, Executor, PurgeCadence, RunResult};
+    pub use crate::error::{ExecError, ExecResult};
+    pub use crate::exec::{
+        BudgetPolicy, ExecConfig, Executor, PurgeCadence, RunResult, StateBudget,
+    };
+    pub use crate::fault::{Fault, FaultPlan, PanicSink};
     pub use crate::groupby::{Aggregate, GroupBy};
+    pub use crate::guard::{AdmissionFault, AdmissionGuard, AdmissionPolicy};
     pub use crate::join::JoinOperator;
     pub use crate::metrics::{Metrics, StatePoint};
     pub use crate::parallel::{Partitioning, ShardedExecutor, ShardedRunResult};

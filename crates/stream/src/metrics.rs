@@ -70,6 +70,41 @@ pub struct Metrics {
     /// vs. explaining oracle; see `crate::certify`). Stays 0 unless
     /// `ExecConfig::verify_certificates` is on.
     pub certificate_checks: u64,
+    /// Elements refused by the admission guard under
+    /// `AdmissionPolicy::Quarantine` (routed to the dead-letter sink when one
+    /// is attached). Violating tuples are counted here *and* in
+    /// `violations` — the latter is the legacy per-stream feed-consistency
+    /// counter, this is the guard's disposition counter.
+    pub quarantined: u64,
+    /// Quarantined elements broken down by `AdmissionFault::code()` (grown on
+    /// demand).
+    pub quarantined_by_reason: Vec<u64>,
+    /// Quarantined elements broken down by stream (indexed by `StreamId.0`;
+    /// grown on demand).
+    pub quarantined_by_stream: Vec<u64>,
+    /// Quarantined *tuples* as a stream-major matrix with
+    /// [`AdmissionFault::REASONS`](crate::guard::AdmissionFault::REASONS)
+    /// columns (grown on demand, whole rows at a time). The sharded merge
+    /// needs the tuple-side `(stream, reason)` split: tuple quarantines merge
+    /// logically like `violations_by_stream` (each tuple of a partitioned
+    /// stream is routed — and refused — exactly once; broadcast streams
+    /// replay identically in every shard), while punctuation-side
+    /// quarantines (`quarantined_by_*` minus these rows) stay physical
+    /// per-shard counts.
+    pub quarantined_rows: Vec<u64>,
+    /// Elements repaired in place under `AdmissionPolicy::Repair` (clamped
+    /// regressive bounds, deduplicated punctuations).
+    pub repaired: u64,
+    /// Live join-state rows evicted by the bounded-state watchdog under
+    /// `BudgetPolicy::Shed` (not counted in `purged`, which tracks
+    /// punctuation/window-driven eviction).
+    pub rows_shed: u64,
+    /// Number of load-shedding events the watchdog triggered.
+    pub shed_events: u64,
+    /// Streams currently flagged by the stall detector: punctuations stopped
+    /// arriving for longer than `ExecConfig::stall_budget` elements (sorted,
+    /// deduped; a stream is unflagged when a punctuation shows up again).
+    pub stalled_streams: Vec<usize>,
     /// Wall-clock processing time in nanoseconds (push calls only).
     pub elapsed_ns: u128,
 }
@@ -90,6 +125,50 @@ impl Metrics {
             self.violations_by_stream.resize(stream + 1, 0);
         }
         self.violations_by_stream[stream] += 1;
+    }
+
+    /// Counts one quarantined *tuple* with admission-fault reason `code` on
+    /// `stream` (also tracked in the mergeable `quarantined_rows` matrix).
+    pub fn count_quarantine_row(&mut self, code: usize, stream: usize) {
+        self.count_quarantine(code, stream);
+        let w = crate::guard::AdmissionFault::REASONS;
+        if self.quarantined_rows.len() <= stream * w + code {
+            self.quarantined_rows.resize((stream + 1) * w, 0);
+        }
+        self.quarantined_rows[stream * w + code] += 1;
+    }
+
+    /// Counts one quarantined *punctuation* with admission-fault reason
+    /// `code` on `stream`.
+    pub fn count_quarantine_punct(&mut self, code: usize, stream: usize) {
+        self.count_quarantine(code, stream);
+    }
+
+    fn count_quarantine(&mut self, code: usize, stream: usize) {
+        self.quarantined += 1;
+        if self.quarantined_by_reason.len() <= code {
+            self.quarantined_by_reason.resize(code + 1, 0);
+        }
+        self.quarantined_by_reason[code] += 1;
+        if self.quarantined_by_stream.len() <= stream {
+            self.quarantined_by_stream.resize(stream + 1, 0);
+        }
+        self.quarantined_by_stream[stream] += 1;
+    }
+
+    /// Feed tuples refused for a *shape* fault (quarantined rows excluding
+    /// reason code 0, punctuation violations, which `violations` already
+    /// counts). Together with `tuples_in` and `violations` this accounts for
+    /// every tuple the feed offered.
+    #[must_use]
+    pub fn shape_refused_rows(&self) -> u64 {
+        let w = crate::guard::AdmissionFault::REASONS;
+        self.quarantined_rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % w != 0)
+            .map(|(_, v)| *v)
+            .sum()
     }
 
     /// The final sample, if any.

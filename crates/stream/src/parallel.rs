@@ -49,13 +49,26 @@ use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::element::StreamElement;
+use crate::error::{ExecError, ExecResult};
 use crate::exec::{ExecConfig, Executor, LiveStateSnapshot, RunResult};
+use crate::guard::AdmissionFault;
 use crate::metrics::Metrics;
 use crate::sink::{CollectSink, CountSink, ResultSink};
 use crate::source::{ElementBatch, Feed};
 
 /// Elements per routed batch (amortizes channel synchronization).
 const ROUTE_BATCH: usize = 256;
+
+/// Renders a caught panic payload for [`ExecError::ShardPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// How the feed's streams are split across shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,15 +168,28 @@ impl Partitioning {
 
     /// Where an element goes: `Some(shard)` for a targeted element, `None`
     /// for broadcast.
+    ///
+    /// Malformed elements route deterministically rather than panicking the
+    /// router: a tuple on an unknown stream broadcasts (every shard's
+    /// admission guard refuses it, and the merge deduplicates); a tuple too
+    /// short to carry its partition attribute goes to shard 0, which refuses
+    /// it exactly once.
     #[must_use]
     pub fn route(&self, e: &StreamElement) -> Option<usize> {
         match e {
-            StreamElement::Tuple(t) => self.attr[t.stream.0].map(|a| self.shard_of(&t.values[a.0])),
-            StreamElement::Punctuation(p) => self.attr[p.stream.0].and_then(|a| {
-                p.constant_attrs()
-                    .find(|(pa, _)| *pa == a)
-                    .map(|(_, v)| self.shard_of(v))
-            }),
+            StreamElement::Tuple(t) => self
+                .attr
+                .get(t.stream.0)
+                .copied()
+                .flatten()
+                .map(|a| t.values.get(a.0).map_or(0, |v| self.shard_of(v))),
+            StreamElement::Punctuation(p) => {
+                self.attr.get(p.stream.0).copied().flatten().and_then(|a| {
+                    p.constant_attrs()
+                        .find(|(pa, _)| *pa == a)
+                        .map(|(_, v)| self.shard_of(v))
+                })
+            }
         }
     }
 }
@@ -185,10 +211,13 @@ pub struct ShardedRunResult {
     /// partition-class value hashes to), so this is the same multiset a
     /// sequential run emits, in per-shard order.
     pub outputs: Vec<Vec<Value>>,
-    /// Merged metrics. `tuples_in`/`puncts_in`/`violations`/`outputs` are
-    /// logical feed-level counts; purge/peak counters are physical sums;
-    /// `elapsed_ns` is the wall-clock time of the whole sharded run; the
-    /// sample series is left empty (see the per-shard results).
+    /// Merged metrics. `tuples_in`/`puncts_in`/`violations`/`outputs` and
+    /// the tuple-side quarantine counts are logical feed-level counts;
+    /// purge/peak counters and punctuation-side quarantine/repair counts are
+    /// physical sums (broadcast punctuations are classified per shard);
+    /// `stalled_streams` is the union across shards; `elapsed_ns` is the
+    /// wall-clock time of the whole sharded run; the sample series is left
+    /// empty (see the per-shard results).
     pub metrics: Metrics,
     /// Logical live join-state tuples at end of run.
     pub logical_join_state: usize,
@@ -256,15 +285,23 @@ impl ShardedExecutor {
     /// custom sinks.
     ///
     /// # Panics
-    /// Panics if the feed exceeds `u32::MAX` elements or a worker panics.
+    /// Panics if the feed exceeds `u32::MAX` elements or a shard fails
+    /// (rendering the shard's [`ExecError`]); use
+    /// [`ShardedExecutor::try_run`] to handle shard failures as values.
     #[must_use]
     pub fn run(&self, feed: &Feed) -> ShardedRunResult {
+        self.try_run(feed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ShardedExecutor::run`]: shard panics and
+    /// per-shard execution errors surface as [`ExecError`]s.
+    pub fn try_run(&self, feed: &Feed) -> ExecResult<ShardedRunResult> {
         if self.cfg.record_outputs {
-            let (mut result, sinks) = self.run_with_sinks(feed, |_| CollectSink::new());
+            let (mut result, sinks) = self.try_run_with_sinks(feed, |_| CollectSink::new())?;
             result.outputs = sinks.into_iter().flat_map(|s| s.rows).collect();
-            result
+            Ok(result)
         } else {
-            self.run_with_sinks(feed, |_| CountSink::new()).0
+            Ok(self.try_run_with_sinks(feed, |_| CountSink::new())?.0)
         }
     }
 
@@ -273,6 +310,23 @@ impl ShardedExecutor {
     /// metrics. Returns the per-shard sinks alongside — every result row is
     /// emitted by exactly one shard, so their union is the sequential result
     /// multiset.
+    ///
+    /// # Panics
+    /// Panics if the feed exceeds `u32::MAX` elements or a shard fails
+    /// (rendering the shard's [`ExecError`]); use
+    /// [`ShardedExecutor::try_run_with_sinks`] to handle shard failures as
+    /// values.
+    pub fn run_with_sinks<S, F>(&self, feed: &Feed, make_sink: F) -> (ShardedRunResult, Vec<S>)
+    where
+        S: ResultSink + Send,
+        F: Fn(usize) -> S,
+    {
+        self.try_run_with_sinks(feed, make_sink)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ShardedExecutor::run_with_sinks`], with shard
+    /// supervision.
     ///
     /// With `P = 1` the router and channels are bypassed entirely: the one
     /// shard is a plain sequential [`Executor`] fed the whole feed through
@@ -283,9 +337,26 @@ impl ShardedExecutor {
     /// into reusable [`ElementBatch`]es, so no element is copied on the way
     /// in.
     ///
-    /// # Panics
-    /// Panics if the feed exceeds `u32::MAX` elements or a worker panics.
-    pub fn run_with_sinks<S, F>(&self, feed: &Feed, make_sink: F) -> (ShardedRunResult, Vec<S>)
+    /// **Supervision.** Each worker runs inside `catch_unwind`: a panic in a
+    /// shard (operator bug, poisoned sink, certificate-verifier trip) is
+    /// caught and reported as [`ExecError::ShardPanicked`] with the shard
+    /// index and panic message; a typed failure inside a shard (admission
+    /// under `Strict`, state-budget breach) comes back as
+    /// [`ExecError::Shard`] wrapping the source error. The process never
+    /// aborts. When a shard dies mid-feed its channel disconnects; the
+    /// router marks it dead and keeps feeding the survivors, so every
+    /// surviving shard drains, purges, and reports before the first failure
+    /// is returned. On failure the per-shard sinks are dropped — results
+    /// already streamed to external sinks may be partial.
+    ///
+    /// # Errors
+    /// The first failing shard's error, by shard index; surviving shards are
+    /// fully drained first.
+    pub fn try_run_with_sinks<S, F>(
+        &self,
+        feed: &Feed,
+        make_sink: F,
+    ) -> ExecResult<(ShardedRunResult, Vec<S>)>
     where
         S: ResultSink + Send,
         F: Fn(usize) -> S,
@@ -306,8 +377,14 @@ impl ShardedExecutor {
             let (result, snapshot) = execs
                 .pop()
                 .expect("one shard")
-                .run_with_sink_detailed(feed, &mut sink);
-            let router_tuples = result.metrics.tuples_in + result.metrics.violations;
+                .try_run_with_sink_detailed(feed, &mut sink)
+                .map_err(|e| ExecError::Shard {
+                    shard: 0,
+                    source: Box::new(e),
+                })?;
+            let router_tuples = result.metrics.tuples_in
+                + result.metrics.violations
+                + result.metrics.shape_refused_rows();
             let router_puncts = result.metrics.puncts_in;
             let merged = self.merge(
                 vec![(result, snapshot)],
@@ -315,74 +392,121 @@ impl ShardedExecutor {
                 router_puncts,
                 start,
             );
-            return (merged, vec![sink]);
+            return Ok((merged, vec![sink]));
         }
 
         assert!(u32::try_from(feed.len()).is_ok(), "feed too long to route");
         let mut router_tuples = 0u64;
         let mut router_puncts = 0u64;
-        let finished: Vec<(RunResult, LiveStateSnapshot, S)> = std::thread::scope(|scope| {
-            let elements = feed.elements();
-            let mut senders = Vec::with_capacity(p);
-            let mut handles = Vec::with_capacity(p);
-            for (shard, exec) in execs.into_iter().enumerate() {
-                let (tx, rx) = mpsc::sync_channel::<Vec<u32>>(4);
-                senders.push(tx);
-                let sink = make_sink(shard);
-                handles.push(scope.spawn(move || {
-                    let mut exec = exec;
-                    let mut sink = sink;
-                    let mut batch = ElementBatch::new();
-                    while let Ok(idxs) = rx.recv() {
-                        batch.gather_indexed(elements, &idxs);
-                        exec.push_batch(&batch, &mut sink);
+        let finished: Vec<ExecResult<(RunResult, LiveStateSnapshot, S)>> =
+            std::thread::scope(|scope| {
+                let elements = feed.elements();
+                let mut senders = Vec::with_capacity(p);
+                let mut handles = Vec::with_capacity(p);
+                for (shard, exec) in execs.into_iter().enumerate() {
+                    let (tx, rx) = mpsc::sync_channel::<Vec<u32>>(4);
+                    senders.push(tx);
+                    let sink = make_sink(shard);
+                    handles.push(scope.spawn(move || {
+                        // Everything the worker touches is moved in and either
+                        // returned or dropped on unwind — no state outlives a
+                        // caught panic, so the unwind-safety assertion holds.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            move || -> ExecResult<(RunResult, LiveStateSnapshot, S)> {
+                                let mut exec = exec;
+                                let mut sink = sink;
+                                let mut batch = ElementBatch::new();
+                                while let Ok(idxs) = rx.recv() {
+                                    batch.gather_indexed(elements, &idxs);
+                                    exec.try_push_batch(&batch, &mut sink)?;
+                                }
+                                sink.finish();
+                                let (result, snapshot) = exec.finish_detailed();
+                                Ok((result, snapshot, sink))
+                            },
+                        ));
+                        match caught {
+                            Ok(Ok(done)) => Ok(done),
+                            Ok(Err(e)) => Err(ExecError::Shard {
+                                shard,
+                                source: Box::new(e),
+                            }),
+                            Err(payload) => Err(ExecError::ShardPanicked {
+                                shard,
+                                message: panic_message(payload.as_ref()),
+                            }),
+                        }
+                    }));
+                }
+                let mut dead = vec![false; p];
+                let mut buffers: Vec<Vec<u32>> = vec![Vec::with_capacity(ROUTE_BATCH); p];
+                let mut send_to = |shard: usize, idx: u32| {
+                    if dead[shard] {
+                        return;
                     }
-                    sink.finish();
-                    let (result, snapshot) = exec.finish_detailed();
-                    (result, snapshot, sink)
-                }));
-            }
-            let mut buffers: Vec<Vec<u32>> = vec![Vec::with_capacity(ROUTE_BATCH); p];
-            let mut send_to = |shard: usize, idx: u32| {
-                let buf = &mut buffers[shard];
-                buf.push(idx);
-                if buf.len() >= ROUTE_BATCH {
-                    let full = std::mem::replace(buf, Vec::with_capacity(ROUTE_BATCH));
-                    senders[shard].send(full).expect("shard worker hung up");
+                    let buf = &mut buffers[shard];
+                    buf.push(idx);
+                    if buf.len() >= ROUTE_BATCH {
+                        let full = std::mem::replace(buf, Vec::with_capacity(ROUTE_BATCH));
+                        if senders[shard].send(full).is_err() {
+                            // The shard died and dropped its receiver. Stop
+                            // feeding it; the survivors keep running and the
+                            // failure surfaces from the join below.
+                            dead[shard] = true;
+                        }
+                    }
+                };
+                for (i, e) in elements.iter().enumerate() {
+                    if e.is_punctuation() {
+                        router_puncts += 1;
+                    } else {
+                        router_tuples += 1;
+                    }
+                    let idx = i as u32;
+                    match self.partitioning.route(e) {
+                        Some(shard) => send_to(shard, idx),
+                        None => (0..p).for_each(|shard| send_to(shard, idx)),
+                    }
                 }
-            };
-            for (i, e) in elements.iter().enumerate() {
-                if e.is_punctuation() {
-                    router_puncts += 1;
-                } else {
-                    router_tuples += 1;
+                for (shard, buf) in buffers.into_iter().enumerate() {
+                    if !dead[shard] && !buf.is_empty() {
+                        let _ = senders[shard].send(buf);
+                    }
                 }
-                let idx = i as u32;
-                match self.partitioning.route(e) {
-                    Some(shard) => send_to(shard, idx),
-                    None => (0..p).for_each(|shard| send_to(shard, idx)),
-                }
-            }
-            for (shard, buf) in buffers.into_iter().enumerate() {
-                if !buf.is_empty() {
-                    senders[shard].send(buf).expect("shard worker hung up");
-                }
-            }
-            drop(senders); // close channels: workers drain, purge, and report
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
+                drop(senders); // close channels: workers drain, purge, and report
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(shard, h)| {
+                        h.join().unwrap_or_else(|payload| {
+                            // The worker itself never unwinds (catch_unwind is
+                            // its whole body), but keep the join structured.
+                            Err(ExecError::ShardPanicked {
+                                shard,
+                                message: panic_message(payload.as_ref()),
+                            })
+                        })
+                    })
+                    .collect()
+            });
 
         let mut shards_snaps = Vec::with_capacity(p);
         let mut sinks = Vec::with_capacity(p);
-        for (result, snapshot, sink) in finished {
-            shards_snaps.push((result, snapshot));
-            sinks.push(sink);
+        let mut first_err: Option<ExecError> = None;
+        for res in finished {
+            match res {
+                Ok((result, snapshot, sink)) => {
+                    shards_snaps.push((result, snapshot));
+                    sinks.push(sink);
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let merged = self.merge(shards_snaps, router_tuples, router_puncts, start);
-        (merged, sinks)
+        Ok((merged, sinks))
     }
 
     /// Merges per-shard results into one [`ShardedRunResult`] (with empty
@@ -412,8 +536,95 @@ impl ShardedExecutor {
         }
         metrics.violations = violations_by_stream.iter().sum();
         metrics.violations_by_stream = violations_by_stream;
-        metrics.tuples_in = router_tuples - metrics.violations;
+
+        // Quarantine merge. Tuple-side quarantines merge *logically* via the
+        // (stream, reason) matrix: each tuple of a partitioned stream is
+        // routed — and refused — exactly once (sum the shards), a broadcast
+        // stream's tuples replay identically in every shard (take shard 0).
+        // Rows for unknown streams land past the partitioning table and are
+        // broadcast. Punctuation-side quarantines and repairs stay
+        // *physical* per-shard sums: a broadcast punctuation is classified
+        // independently against each shard's local punctuation store, so
+        // there is no shared logical count to deduplicate to.
+        let w = AdmissionFault::REASONS;
+        let rows_len = shards
+            .iter()
+            .map(|r| r.metrics.quarantined_rows.len())
+            .max()
+            .unwrap_or(0);
+        let mut matrix = vec![0u64; rows_len];
+        for (i, out) in matrix.iter_mut().enumerate() {
+            let s = i / w;
+            let per = |r: &RunResult| r.metrics.quarantined_rows.get(i).copied().unwrap_or(0);
+            *out = if self.partitioning.attr.get(s).copied().flatten().is_some() {
+                shards.iter().map(per).sum()
+            } else {
+                per(&shards[0])
+            };
+        }
+        let shard_punct_side = |r: &RunResult, s: usize| -> u64 {
+            let total = r.metrics.quarantined_by_stream.get(s).copied().unwrap_or(0);
+            let rows: u64 = (0..w)
+                .map(|c| {
+                    r.metrics
+                        .quarantined_rows
+                        .get(s * w + c)
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .sum();
+            total - rows
+        };
+        let q_streams = shards
+            .iter()
+            .map(|r| r.metrics.quarantined_by_stream.len())
+            .max()
+            .unwrap_or(0)
+            .max(rows_len / w);
+        let mut q_by_stream = vec![0u64; q_streams];
+        for (s, out) in q_by_stream.iter_mut().enumerate() {
+            let tuple_side: u64 = (0..w)
+                .map(|c| matrix.get(s * w + c).copied().unwrap_or(0))
+                .sum();
+            let punct_side: u64 = shards.iter().map(|r| shard_punct_side(r, s)).sum();
+            *out = tuple_side + punct_side;
+        }
+        let q_reasons = shards
+            .iter()
+            .map(|r| r.metrics.quarantined_by_reason.len())
+            .max()
+            .unwrap_or(0);
+        let mut q_by_reason = vec![0u64; q_reasons];
+        for (c, out) in q_by_reason.iter_mut().enumerate() {
+            let tuple_side: u64 = (0..rows_len / w)
+                .map(|s| matrix.get(s * w + c).copied().unwrap_or(0))
+                .sum();
+            let punct_side: u64 = shards
+                .iter()
+                .map(|r| {
+                    let total = r.metrics.quarantined_by_reason.get(c).copied().unwrap_or(0);
+                    let rows: u64 = (0..r.metrics.quarantined_rows.len() / w)
+                        .map(|s| r.metrics.quarantined_rows[s * w + c])
+                        .sum();
+                    total - rows
+                })
+                .sum();
+            *out = tuple_side + punct_side;
+        }
+        metrics.quarantined = q_by_stream.iter().sum();
+        let shape_refused: u64 = matrix
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % w != 0)
+            .map(|(_, v)| *v)
+            .sum();
+        metrics.quarantined_by_stream = q_by_stream;
+        metrics.quarantined_by_reason = q_by_reason;
+        metrics.quarantined_rows = matrix;
+
+        metrics.tuples_in = router_tuples - metrics.violations - shape_refused;
         metrics.puncts_in = router_puncts;
+        let mut stalled: Vec<usize> = Vec::new();
         for r in &shards {
             // Each result row is emitted by exactly one shard, so the sum is
             // the logical output count even when no sink keeps the rows.
@@ -428,7 +639,15 @@ impl ShardedExecutor {
             metrics.peak_join_state += r.metrics.peak_join_state;
             metrics.peak_mirror += r.metrics.peak_mirror;
             metrics.peak_punct_entries += r.metrics.peak_punct_entries;
+            metrics.certificate_checks += r.metrics.certificate_checks;
+            metrics.repaired += r.metrics.repaired;
+            metrics.rows_shed += r.metrics.rows_shed;
+            metrics.shed_events += r.metrics.shed_events;
+            stalled.extend(r.metrics.stalled_streams.iter().copied());
         }
+        stalled.sort_unstable();
+        stalled.dedup();
+        metrics.stalled_streams = stalled;
         metrics.elapsed_ns = start.elapsed().as_nanos();
 
         let merge = |slot_lists: Vec<&Vec<usize>>, disjoint: bool| -> usize {

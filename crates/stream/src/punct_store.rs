@@ -56,6 +56,21 @@ impl PunctDelta {
     }
 }
 
+/// Pre-insertion classification of a punctuation against the store's
+/// scheme invariants (the admission guard's view; see `crate::guard`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PunctClass {
+    /// Expands coverage (or matches no scheme): always admissible.
+    Fresh,
+    /// Repeats coverage the store already holds exactly. Admitting it only
+    /// refreshes the entry's lifespan clock; dropping it is sound.
+    Duplicate,
+    /// An ordered-scheme bound strictly below the current threshold — the
+    /// non-decreasing heartbeat invariant is broken. Admitting it as a
+    /// refresh (clamp) is sound; its literal content is not.
+    Regressive,
+}
+
 /// Outcome of inserting a punctuation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
@@ -124,6 +139,37 @@ impl PunctStore {
     #[must_use]
     pub fn scheme_index(&self, scheme: &PunctuationScheme) -> Option<usize> {
         self.schemes.iter().position(|s| s == scheme)
+    }
+
+    /// Classifies `p` against the store's current coverage without changing
+    /// anything. The first matching scheme decides (mirroring
+    /// [`PunctStore::insert`], which applies only the first match).
+    #[must_use]
+    pub fn classify(&self, p: &Punctuation) -> PunctClass {
+        for (i, scheme) in self.schemes.iter().enumerate() {
+            if scheme.is_instance(p) {
+                if scheme.is_ordered() {
+                    let Some(bound) = p.patterns[scheme.punctuatable()[0].0].bound() else {
+                        return PunctClass::Fresh;
+                    };
+                    return match self.thresholds[i].as_ref().map(|(cur, _)| cur) {
+                        Some(cur) if bound < cur => PunctClass::Regressive,
+                        Some(cur) if bound == cur => PunctClass::Duplicate,
+                        _ => PunctClass::Fresh,
+                    };
+                }
+                let combo: Vec<Value> = scheme
+                    .punctuatable()
+                    .iter()
+                    .filter_map(|a| p.patterns[a.0].constant().copied())
+                    .collect();
+                if combo.len() == scheme.arity() && self.entries[i].contains_key(&combo) {
+                    return PunctClass::Duplicate;
+                }
+                return PunctClass::Fresh;
+            }
+        }
+        PunctClass::Fresh
     }
 
     /// Inserts a punctuation observed at sequence time `now`.
@@ -473,6 +519,27 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn classify_flags_duplicates_and_regressions() {
+        let mut store = bid_store(None);
+        let p = punct(&[(1, 7)]);
+        assert_eq!(store.classify(&p), PunctClass::Fresh);
+        store.insert(&p, 0);
+        assert_eq!(store.classify(&p), PunctClass::Duplicate);
+        assert_eq!(store.classify(&punct(&[(1, 8)])), PunctClass::Fresh);
+        // Unmatched punctuations are always fresh.
+        assert_eq!(store.classify(&punct(&[(2, 5)])), PunctClass::Fresh);
+
+        let schemes = SchemeSet::from_schemes([PunctuationScheme::ordered_on(1, 1).unwrap()]);
+        let mut ordered = PunctStore::new(StreamId(1), &schemes, None);
+        let hb = |b: i64| Punctuation::heartbeat(StreamId(1), 3, AttrId(1), Value::Int(b));
+        assert_eq!(ordered.classify(&hb(5)), PunctClass::Fresh);
+        ordered.insert(&hb(5), 0);
+        assert_eq!(ordered.classify(&hb(5)), PunctClass::Duplicate);
+        assert_eq!(ordered.classify(&hb(3)), PunctClass::Regressive);
+        assert_eq!(ordered.classify(&hb(9)), PunctClass::Fresh);
     }
 
     #[test]

@@ -686,9 +686,9 @@ impl PurgeEngine {
     /// up, which is what purge passes (one recipe, many candidate rows) want.
     /// Decision-equivalent to [`PurgeEngine::check_roots`].
     ///
-    /// # Panics
-    /// Panics if a recipe step draws values from a stream the walk has not
-    /// reached (a malformed recipe; [`PurgeEngine::check_roots`] panics too).
+    /// A recipe step drawing values from a stream the walk has not reached is
+    /// a malformed recipe; debug builds assert, release builds conservatively
+    /// keep the row (answer `false`) — keeping is always safe.
     #[must_use]
     pub fn check_roots_with(
         &self,
@@ -726,7 +726,12 @@ impl PurgeEngine {
                             }
                         }
                     }
-                    ChainSet::Unset => panic!("recipe step binds an unreached stream"),
+                    ChainSet::Unset => {
+                        // Malformed recipe (a bug, not bad input): keep the
+                        // row — keeping is always safe, purging is not.
+                        debug_assert!(false, "recipe step binds an unreached stream");
+                        return false;
+                    }
                 }
                 total = total.saturating_mul(set.len());
             }
@@ -783,7 +788,10 @@ impl PurgeEngine {
                             }
                         }
                     }
-                    ChainSet::Unset => panic!("recipe filter reads an unreached stream"),
+                    ChainSet::Unset => {
+                        debug_assert!(false, "recipe filter reads an unreached stream");
+                        return false; // conservatively keep
+                    }
                 }
             }
             let state = &self.states[step.target.0];

@@ -106,7 +106,14 @@ impl<'a> ElementBatch<'a> {
             StreamElement::Tuple(t) => {
                 let width = t.values.len();
                 match self.items.last_mut() {
-                    Some(BatchItem::Run { stream, rows, .. }) if *stream == t.stream => {
+                    // Width must match too: a malformed-arity tuple folded
+                    // into an existing run would corrupt the arena stride.
+                    Some(BatchItem::Run {
+                        stream,
+                        width: run_width,
+                        rows,
+                        ..
+                    }) if *stream == t.stream && *run_width == width => {
                         *rows += 1;
                     }
                     _ => self.items.push(BatchItem::Run {

@@ -327,7 +327,13 @@ impl PortState {
         for (&col, index) in &mut self.indexes {
             if let Some(bucket) = index.get_mut(&row[col]) {
                 if let Some(pos) = bucket.iter().position(|&i| i == slot) {
-                    bucket.swap_remove(pos);
+                    // Order-preserving removal: probe buckets stay in
+                    // insertion order, so probe enumeration — and thus
+                    // result-tuple order — is independent of purge timing.
+                    // The chaos suite relies on this: punctuation
+                    // drop/delay/duplication must leave outputs
+                    // byte-identical, not just multiset-equal.
+                    bucket.remove(pos);
                 }
                 if bucket.is_empty() {
                     index.remove(&row[col]);
@@ -399,6 +405,16 @@ impl PortState {
     #[must_use]
     pub fn live_slots(&self) -> Vec<usize> {
         (0..self.slots()).filter(|&i| self.is_live(i)).collect()
+    }
+
+    /// Appends the arrival times of all live tuples to `out` (the
+    /// bounded-state watchdog's shed-cutoff selection input).
+    pub fn live_arrivals(&self, out: &mut Vec<u64>) {
+        out.extend(
+            (0..self.slots())
+                .filter(|&i| self.is_live(i))
+                .map(|i| self.arrivals[i]),
+        );
     }
 
     /// Phase one of the two-phase "collect, then purge" pattern shared by

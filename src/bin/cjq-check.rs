@@ -11,6 +11,7 @@
 //! cargo run --bin cjq-check -- --dot query.cjq | dot -Tsvg > pg.svg
 //! cargo run --bin cjq-check -- lint query.cjq
 //! cargo run --bin cjq-check -- lint --json query.cjq
+//! cargo run --bin cjq-check -- replay --faults --json auction
 //! ```
 //!
 //! The `lint` subcommand runs the [`punctuated_cjq::lint`] static analyzer
@@ -18,14 +19,26 @@
 //! blocking cuts, `E002` unpurgeable plan ports, `W1xx` scheme hygiene,
 //! `S001` minimal repair), rendered as text or `--json`.
 //!
+//! The `replay` subcommand executes a bundled workload (`auction`,
+//! `sensor`, `network`, `trades`) through the hardened runtime and reports
+//! the guard/quarantine statistics — admissions refused by reason and
+//! stream, repairs, load shedding, stalled streams. `--strict` /
+//! `--permissive` / `--repair` pick the admission policy (default
+//! permissive = quarantine), `--faults` injects a seeded fault plan
+//! (truncated tuples + dropped punctuations) to exercise the guard,
+//! `--shards N` runs the hash-partitioned executor, and `--json` renders
+//! the statistics machine-readably.
+//!
 //! `--dot` prints the (generalized) punctuation graph in Graphviz format
 //! instead of the textual report. `--plan` additionally runs the optimizer
 //! and prints the register's chosen safe plan with its cost estimate;
 //! under `lint` it lints the chosen plan's ports instead of the MJoin
 //! baseline. `--json` renders the machine-readable report on either path.
 //!
-//! Exit codes: **0** safe / lint-clean (warnings do not fail), **1** unsafe
-//! query or lint errors, **2** specification parse errors, **3** I/O errors.
+//! Exit codes: **0** safe / lint-clean (warnings do not fail) / replay
+//! completed, **1** unsafe query, lint errors, or a replay refused under
+//! `--strict`, **2** specification parse errors (reported with a
+//! line:column diagnostic) or bad usage, **3** I/O errors.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -43,6 +56,10 @@ const EXIT_IO: u8 = 3;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("replay") {
+        args.remove(0);
+        return replay::main(&args);
+    }
     let lint_mode = args.first().map(String::as_str) == Some("lint");
     if lint_mode {
         args.remove(0);
@@ -54,7 +71,10 @@ fn main() -> ExitCode {
     let input = match args.first().map(String::as_str) {
         Some("-h") | Some("--help") => {
             eprintln!("usage: cjq-check [lint] [--dot] [--plan] [--json] [FILE]");
-            eprintln!("       (reads stdin without FILE)");
+            eprintln!("       cjq-check replay [--strict|--permissive|--repair] [--faults]");
+            eprintln!("                        [--shards N] [--seed N] [--json] WORKLOAD");
+            eprintln!("       (reads stdin without FILE; WORKLOAD is one of");
+            eprintln!("        auction, sensor, network, trades)");
             eprintln!("see src/parse.rs for the specification format");
             return ExitCode::SUCCESS;
         }
@@ -237,5 +257,268 @@ fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(EXIT_UNSAFE)
+    }
+}
+
+/// The `replay` subcommand: execute a bundled workload through the hardened
+/// runtime and report the guard/quarantine statistics.
+mod replay {
+    use std::process::ExitCode;
+
+    use punctuated_cjq::core::plan::Plan;
+    use punctuated_cjq::core::query::Cjq;
+    use punctuated_cjq::core::scheme::SchemeSet;
+    use punctuated_cjq::lint::json;
+    use punctuated_cjq::stream::exec::{ExecConfig, Executor};
+    use punctuated_cjq::stream::fault::{Fault, FaultPlan};
+    use punctuated_cjq::stream::guard::{AdmissionFault, AdmissionPolicy};
+    use punctuated_cjq::stream::metrics::Metrics;
+    use punctuated_cjq::stream::parallel::ShardedExecutor;
+    use punctuated_cjq::stream::source::Feed;
+    use punctuated_cjq::workload::{auction, network, sensor, trades};
+
+    use super::{EXIT_PARSE, EXIT_UNSAFE};
+
+    /// Matches the chaos suite's seed so replayed faults line up with CI.
+    const DEFAULT_SEED: u64 = 0xC4A0_5EED;
+
+    struct Options {
+        policy: AdmissionPolicy,
+        faults: bool,
+        shards: usize,
+        seed: u64,
+        json: bool,
+        workload: String,
+    }
+
+    fn usage() -> ExitCode {
+        eprintln!("usage: cjq-check replay [--strict|--permissive|--repair] [--faults]");
+        eprintln!("                        [--shards N] [--seed N] [--json] WORKLOAD");
+        eprintln!("       WORKLOAD: auction | sensor | network | trades");
+        ExitCode::from(EXIT_PARSE)
+    }
+
+    fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
+        let mut opts = Options {
+            policy: AdmissionPolicy::Quarantine,
+            faults: false,
+            shards: 1,
+            seed: DEFAULT_SEED,
+            json: false,
+            workload: String::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "-h" | "--help" => {
+                    usage();
+                    return Err(ExitCode::SUCCESS);
+                }
+                "--strict" => opts.policy = AdmissionPolicy::Strict,
+                "--permissive" => opts.policy = AdmissionPolicy::Quarantine,
+                "--repair" => opts.policy = AdmissionPolicy::Repair,
+                "--faults" => opts.faults = true,
+                "--json" => opts.json = true,
+                "--shards" | "--seed" => {
+                    let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                        eprintln!("cjq-check: {arg} needs a numeric argument");
+                        return Err(usage());
+                    };
+                    if arg == "--shards" {
+                        opts.shards = (v as usize).max(1);
+                    } else {
+                        opts.seed = v;
+                    }
+                }
+                flag if flag.starts_with('-') => {
+                    eprintln!("cjq-check: unknown replay flag `{flag}`");
+                    return Err(usage());
+                }
+                name if opts.workload.is_empty() => opts.workload = name.to_owned(),
+                extra => {
+                    eprintln!("cjq-check: unexpected argument `{extra}`");
+                    return Err(usage());
+                }
+            }
+        }
+        if opts.workload.is_empty() {
+            eprintln!("cjq-check: replay needs a workload name");
+            return Err(usage());
+        }
+        Ok(opts)
+    }
+
+    fn workload(name: &str) -> Option<(Cjq, SchemeSet, Feed)> {
+        match name {
+            "auction" => {
+                let (q, r) = auction::auction_query();
+                let f = auction::generate(&auction::AuctionConfig::default());
+                Some((q, r, f))
+            }
+            "sensor" => {
+                let (q, r) = sensor::sensor_query();
+                let (f, _) = sensor::generate(&sensor::SensorConfig::default());
+                Some((q, r, f))
+            }
+            "network" => {
+                let (q, r) = network::network_query();
+                // Sized so sequence numbers never cycle: the base feed is
+                // violation-free without punctuation lifespans.
+                let f = network::generate(&network::NetworkConfig {
+                    n_flows: 40,
+                    pkts_per_flow: 6,
+                    n_sources: 3,
+                    seq_space: 512,
+                    ..Default::default()
+                });
+                Some((q, r, f))
+            }
+            "trades" => {
+                let (q, r) = trades::trades_query();
+                let (f, _) = trades::generate(&trades::TradesConfig::default());
+                Some((q, r, f))
+            }
+            _ => None,
+        }
+    }
+
+    fn policy_name(p: AdmissionPolicy) -> &'static str {
+        match p {
+            AdmissionPolicy::Strict => "strict",
+            AdmissionPolicy::Quarantine => "permissive",
+            AdmissionPolicy::Repair => "repair",
+        }
+    }
+
+    pub fn main(args: &[String]) -> ExitCode {
+        let opts = match parse_args(args) {
+            Ok(o) => o,
+            Err(code) => return code,
+        };
+        let Some((query, schemes, feed)) = workload(&opts.workload) else {
+            eprintln!(
+                "cjq-check: unknown workload `{}` (expected auction, sensor, network, trades)",
+                opts.workload
+            );
+            return ExitCode::from(EXIT_PARSE);
+        };
+        let feed = if opts.faults {
+            FaultPlan::new(opts.seed)
+                .with(Fault::TruncateTuples { prob: 0.15 })
+                .with(Fault::DropPunctuations { prob: 0.1 })
+                .apply(&feed)
+        } else {
+            feed
+        };
+        let cfg = ExecConfig {
+            admission: opts.policy,
+            ..ExecConfig::default()
+        };
+        let plan = Plan::mjoin_all(&query);
+        let run = if opts.shards <= 1 {
+            Executor::compile(&query, &schemes, &plan, cfg)
+                .map_err(|e| e.to_string())
+                .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
+                .map(|r| r.metrics)
+        } else {
+            ShardedExecutor::compile(&query, &schemes, &plan, cfg, opts.shards)
+                .map_err(|e| e.to_string())
+                .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
+                .map(|r| r.metrics)
+        };
+        let metrics = match run {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cjq-check: replay failed: {e}");
+                return ExitCode::from(EXIT_UNSAFE);
+            }
+        };
+        if opts.json {
+            print_json(&opts, &metrics);
+        } else {
+            print_text(&opts, &metrics);
+        }
+        ExitCode::SUCCESS
+    }
+
+    fn print_text(opts: &Options, m: &Metrics) {
+        println!(
+            "replay: {} (policy {}, {} shard{}, faults {})",
+            opts.workload,
+            policy_name(opts.policy),
+            opts.shards,
+            if opts.shards == 1 { "" } else { "s" },
+            if opts.faults { "on" } else { "off" },
+        );
+        println!("  tuples in:        {}", m.tuples_in);
+        println!("  punctuations in:  {}", m.puncts_in);
+        println!("  outputs:          {}", m.outputs);
+        println!("  violations:       {}", m.violations);
+        println!("  quarantined:      {}", m.quarantined);
+        for (code, &n) in m.quarantined_by_reason.iter().enumerate() {
+            if n > 0 {
+                println!("    {:22} {n}", AdmissionFault::code_name(code));
+            }
+        }
+        println!("  repaired:         {}", m.repaired);
+        println!(
+            "  rows shed:        {} ({} event{})",
+            m.rows_shed,
+            m.shed_events,
+            if m.shed_events == 1 { "" } else { "s" }
+        );
+        println!("  stalled streams:  {:?}", m.stalled_streams);
+        println!("  peak join state:  {}", m.peak_join_state);
+    }
+
+    fn print_json(opts: &Options, m: &Metrics) {
+        let by_reason: Vec<String> = (0..AdmissionFault::REASONS)
+            .map(|code| {
+                format!(
+                    "{}: {}",
+                    json::string(AdmissionFault::code_name(code)),
+                    m.quarantined_by_reason.get(code).copied().unwrap_or(0)
+                )
+            })
+            .collect();
+        let by_stream: Vec<String> = m.quarantined_by_stream.iter().map(u64::to_string).collect();
+        let stalled: Vec<String> = m.stalled_streams.iter().map(usize::to_string).collect();
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"workload\": {},\n",
+            json::string(&opts.workload)
+        ));
+        out.push_str(&format!(
+            "  \"policy\": {},\n",
+            json::string(policy_name(opts.policy))
+        ));
+        out.push_str(&format!("  \"shards\": {},\n", opts.shards));
+        out.push_str(&format!("  \"faults\": {},\n", opts.faults));
+        out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        out.push_str(&format!("  \"tuples_in\": {},\n", m.tuples_in));
+        out.push_str(&format!("  \"puncts_in\": {},\n", m.puncts_in));
+        out.push_str(&format!("  \"outputs\": {},\n", m.outputs));
+        out.push_str(&format!("  \"violations\": {},\n", m.violations));
+        out.push_str("  \"guard\": {\n");
+        out.push_str(&format!("    \"quarantined\": {},\n", m.quarantined));
+        out.push_str(&format!(
+            "    \"quarantined_by_reason\": {{{}}},\n",
+            by_reason.join(", ")
+        ));
+        out.push_str(&format!(
+            "    \"quarantined_by_stream\": [{}],\n",
+            by_stream.join(", ")
+        ));
+        out.push_str(&format!("    \"repaired\": {},\n", m.repaired));
+        out.push_str(&format!("    \"rows_shed\": {},\n", m.rows_shed));
+        out.push_str(&format!("    \"shed_events\": {},\n", m.shed_events));
+        out.push_str(&format!(
+            "    \"stalled_streams\": [{}]\n",
+            stalled.join(", ")
+        ));
+        out.push_str("  },\n");
+        out.push_str(&format!("  \"peak_join_state\": {}\n", m.peak_join_state));
+        out.push('}');
+        println!("{out}");
     }
 }

@@ -26,21 +26,24 @@ use cjq_core::query::{Cjq, JoinPredicate};
 use cjq_core::schema::{Catalog, StreamSchema};
 use cjq_core::scheme::{PunctuationScheme, SchemeSet};
 
-/// A parse failure with its (1-based) line number.
+/// A parse failure with its (1-based) line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line where the error occurred (0 for file-level errors).
     pub line: usize,
+    /// 1-based character column of the offending token (0 when the error
+    /// has no precise position within the line).
+    pub column: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line == 0 {
-            write!(f, "{}", self.message)
-        } else {
-            write!(f, "line {}: {}", self.line, self.message)
+        match (self.line, self.column) {
+            (0, _) => write!(f, "{}", self.message),
+            (l, 0) => write!(f, "line {l}: {}", self.message),
+            (l, c) => write!(f, "line {l}:{c}: {}", self.message),
         }
     }
 }
@@ -50,6 +53,7 @@ impl std::error::Error for ParseError {}
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
+        column: 0,
         message: message.into(),
     }
 }
@@ -60,55 +64,84 @@ impl From<CoreError> for ParseError {
     }
 }
 
+/// Position context for one raw spec line: computes 1-based character
+/// columns for error tokens, which must be sub-slices of `raw`.
+#[derive(Clone, Copy)]
+struct Pos<'a> {
+    line: usize,
+    raw: &'a str,
+}
+
+impl Pos<'_> {
+    /// Column of `sub` within the raw line (1-based, counted in chars).
+    /// Falls back to 0 if `sub` is not a sub-slice of the line.
+    fn col(&self, sub: &str) -> usize {
+        let off = (sub.as_ptr() as usize).wrapping_sub(self.raw.as_ptr() as usize);
+        if off <= self.raw.len() {
+            self.raw[..off].chars().count() + 1
+        } else {
+            0
+        }
+    }
+
+    fn err(&self, sub: &str, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            column: self.col(sub),
+            message: message.into(),
+        }
+    }
+}
+
 /// Parses a query specification. Returns the validated query and scheme set.
 pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
     let mut catalog = Catalog::new();
     let mut predicates: Vec<JoinPredicate> = Vec::new();
-    let mut scheme_decls: Vec<(usize, String, Vec<String>, bool)> = Vec::new();
+    let mut scheme_decls: Vec<(usize, usize, String, Vec<String>, bool)> = Vec::new();
 
     for (idx, raw) in input.lines().enumerate() {
-        let lineno = idx + 1;
+        let pos = Pos { line: idx + 1, raw };
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
         let (keyword, rest) = line
             .split_once(char::is_whitespace)
-            .ok_or_else(|| err(lineno, format!("expected arguments after `{line}`")))?;
+            .ok_or_else(|| pos.err(line, format!("expected arguments after `{line}`")))?;
         let rest = rest.trim();
         match keyword {
             "stream" => {
-                let (name, attrs) = parse_call(rest, lineno)?;
+                let (name, attrs) = parse_call(rest, pos)?;
                 if catalog.stream_by_name(&name).is_some() {
-                    return Err(err(lineno, format!("stream `{name}` declared twice")));
+                    return Err(pos.err(rest, format!("stream `{name}` declared twice")));
                 }
                 let schema =
-                    StreamSchema::new(name, attrs).map_err(|e| err(lineno, e.to_string()))?;
+                    StreamSchema::new(name, attrs).map_err(|e| pos.err(rest, e.to_string()))?;
                 catalog.add_stream(schema);
             }
             "join" => {
                 let (lhs, rhs) = rest
                     .split_once('=')
-                    .ok_or_else(|| err(lineno, "expected `A.x = B.y`"))?;
-                let l = parse_attr_ref(lhs.trim(), &catalog, lineno)?;
-                let r = parse_attr_ref(rhs.trim(), &catalog, lineno)?;
-                let p = JoinPredicate::new(l, r).map_err(|e| err(lineno, e.to_string()))?;
+                    .ok_or_else(|| pos.err(rest, "expected `A.x = B.y`"))?;
+                let l = parse_attr_ref(lhs.trim(), &catalog, pos)?;
+                let r = parse_attr_ref(rhs.trim(), &catalog, pos)?;
+                let p = JoinPredicate::new(l, r).map_err(|e| pos.err(rest, e.to_string()))?;
                 predicates.push(p);
             }
             "punctuate" | "heartbeat" => {
                 let ordered = keyword == "heartbeat";
-                let (name, attrs) = parse_call(rest, lineno)?;
+                let (name, attrs) = parse_call(rest, pos)?;
                 if attrs.is_empty() {
-                    return Err(err(lineno, "a scheme needs at least one attribute"));
+                    return Err(pos.err(rest, "a scheme needs at least one attribute"));
                 }
                 if ordered && attrs.len() != 1 {
-                    return Err(err(lineno, "heartbeat schemes take exactly one attribute"));
+                    return Err(pos.err(rest, "heartbeat schemes take exactly one attribute"));
                 }
-                scheme_decls.push((lineno, name, attrs, ordered));
+                scheme_decls.push((pos.line, pos.col(rest), name, attrs, ordered));
             }
             other => {
-                return Err(err(
-                    lineno,
+                return Err(pos.err(
+                    keyword,
                     format!("unknown keyword `{other}` (expected stream/join/punctuate/heartbeat)"),
                 ));
             }
@@ -118,25 +151,29 @@ pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
     // Resolve schemes after all streams are known (allows any declaration
     // order).
     let mut schemes = SchemeSet::new();
-    for (lineno, name, attrs, ordered) in scheme_decls {
+    for (lineno, column, name, attrs, ordered) in scheme_decls {
+        let at = |message: String| ParseError {
+            line: lineno,
+            column,
+            message,
+        };
         let stream = catalog
             .stream_by_name(&name)
-            .ok_or_else(|| err(lineno, format!("unknown stream `{name}`")))?;
+            .ok_or_else(|| at(format!("unknown stream `{name}`")))?;
         let schema = catalog.schema(stream).expect("just resolved");
         let ids: Result<Vec<_>, _> = attrs
             .iter()
             .map(|a| {
                 schema
                     .attr_by_name(a)
-                    .ok_or_else(|| err(lineno, format!("unknown attribute `{name}.{a}`")))
+                    .ok_or_else(|| at(format!("unknown attribute `{name}.{a}`")))
             })
             .collect();
         let ids = ids?;
         let scheme = if ordered {
-            PunctuationScheme::ordered_on(stream.0, ids[0].0)
-                .map_err(|e| err(lineno, e.to_string()))?
+            PunctuationScheme::ordered_on(stream.0, ids[0].0).map_err(|e| at(e.to_string()))?
         } else {
-            PunctuationScheme::new(stream, ids).map_err(|e| err(lineno, e.to_string()))?
+            PunctuationScheme::new(stream, ids).map_err(|e| at(e.to_string()))?
         };
         schemes.add(scheme);
     }
@@ -147,27 +184,27 @@ pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
 }
 
 /// Parses `name(a, b, c)` into the name and argument list.
-fn parse_call(s: &str, lineno: usize) -> Result<(String, Vec<String>), ParseError> {
+fn parse_call(s: &str, pos: Pos<'_>) -> Result<(String, Vec<String>), ParseError> {
     let open = s
         .find('(')
-        .ok_or_else(|| err(lineno, format!("expected `name(...)`, got `{s}`")))?;
+        .ok_or_else(|| pos.err(s, format!("expected `name(...)`, got `{s}`")))?;
     if !s.ends_with(')') {
-        return Err(err(lineno, format!("missing `)` in `{s}`")));
+        return Err(pos.err(s, format!("missing `)` in `{s}`")));
     }
     let name = s[..open].trim();
     if name.is_empty() || !is_ident(name) {
-        return Err(err(lineno, format!("invalid name `{name}`")));
+        return Err(pos.err(&s[..open], format!("invalid name `{name}`")));
     }
-    let args: Vec<String> = s[open + 1..s.len() - 1]
-        .split(',')
-        .map(str::trim)
-        .filter(|a| !a.is_empty())
-        .map(str::to_owned)
-        .collect();
-    for a in &args {
-        if !is_ident(a) {
-            return Err(err(lineno, format!("invalid attribute name `{a}`")));
+    let mut args: Vec<String> = Vec::new();
+    for a in s[open + 1..s.len() - 1].split(',') {
+        let a = a.trim();
+        if a.is_empty() {
+            continue;
         }
+        if !is_ident(a) {
+            return Err(pos.err(a, format!("invalid attribute name `{a}`")));
+        }
+        args.push(a.to_owned());
     }
     Ok((name.to_owned(), args))
 }
@@ -176,14 +213,14 @@ fn parse_call(s: &str, lineno: usize) -> Result<(String, Vec<String>), ParseErro
 fn parse_attr_ref(
     s: &str,
     catalog: &Catalog,
-    lineno: usize,
+    pos: Pos<'_>,
 ) -> Result<cjq_core::schema::AttrRef, ParseError> {
     let (stream, attr) = s
         .split_once('.')
-        .ok_or_else(|| err(lineno, format!("expected `stream.attr`, got `{s}`")))?;
+        .ok_or_else(|| pos.err(s, format!("expected `stream.attr`, got `{s}`")))?;
     catalog
         .resolve(stream.trim(), attr.trim())
-        .map_err(|e| err(lineno, e.to_string()))
+        .map_err(|e| pos.err(s, e.to_string()))
 }
 
 /// Serializes a query + scheme set back into the text format (round-trips
@@ -310,6 +347,29 @@ join a.x = b.x   # join them
 
         let e = parse_spec("stream a(x)\npunctuate a(q)\n").unwrap_err();
         assert!(e.to_string().contains("a.q"));
+    }
+
+    #[test]
+    fn error_messages_carry_columns() {
+        // The unknown keyword itself, at column 1.
+        let e = parse_spec("stream a(x)\nfrobnicate a(x)\n").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 1));
+        assert!(e.to_string().starts_with("line 2:1:"), "{e}");
+        // The unterminated call `a(x` starts at column 8.
+        let e = parse_spec("stream a(x\n").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 8));
+        // The unresolvable attr ref `b.y` sits at column 12.
+        let e = parse_spec("stream a(x)\njoin a.x = b.y\n").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 12));
+        // Scheme-resolution errors point back at the declaration call.
+        let e = parse_spec("stream a(x)\npunctuate z(x)\n").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 11));
+        // Leading whitespace counts toward the column.
+        let e = parse_spec("  badkw x\n").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 3));
+        // File-level errors keep the bare message.
+        let e = parse_spec("stream a(x)\nstream b(x)\nstream c(x)\njoin a.x = b.x\n").unwrap_err();
+        assert_eq!((e.line, e.column), (0, 0));
     }
 
     #[test]

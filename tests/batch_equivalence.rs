@@ -35,6 +35,23 @@ fn sorted_outputs(outputs: &[Vec<Value>]) -> Vec<Vec<Value>> {
     sorted
 }
 
+/// `CJQ_CHAOS=<seed>` re-runs the whole suite on fault-injected feeds:
+/// duplicated/delayed punctuations plus truncated tuples, admitted under
+/// the default `Quarantine` policy. Every side of every equivalence sees
+/// the same faulted feed, so the assertions are unchanged — CI uses this
+/// to prove output equivalence end to end under faults.
+fn chaos_feed(feed: &Feed) -> Feed {
+    use punctuated_cjq::stream::fault::{Fault, FaultPlan};
+    match std::env::var("CJQ_CHAOS") {
+        Ok(seed) => FaultPlan::new(seed.parse().unwrap_or(0xC4A0_5EED))
+            .with(Fault::DuplicatePunctuations { prob: 0.15 })
+            .with(Fault::DelayPunctuations { prob: 0.25, by: 3 })
+            .with(Fault::TruncateTuples { prob: 0.05 })
+            .apply(feed),
+        Err(_) => feed.clone(),
+    }
+}
+
 /// Runs `feed` on the legacy per-element path and on the batched path at
 /// several batch sizes, asserting full observational equivalence. Returns
 /// the legacy result.
@@ -51,6 +68,7 @@ fn assert_batched_equivalent(
         verify_certificates: true,
         ..cfg
     };
+    let feed = &chaos_feed(feed);
     let legacy = Executor::compile(query, schemes, plan, cfg)
         .expect("compile")
         .run(feed);

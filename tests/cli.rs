@@ -72,6 +72,18 @@ fn parse_errors_exit_two_with_line_number() {
 }
 
 #[test]
+fn parse_errors_carry_column_diagnostics() {
+    // The unterminated call `a(x` starts at column 8.
+    let (_, stderr, code) = run_cli("stream a(x\n");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("line 1:8:"), "stderr: {stderr}");
+    // The unresolvable attr ref `b.y` sits at column 12 of line 2.
+    let (_, stderr, code) = run_cli("stream a(x)\njoin a.x = b.y\n");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("line 2:12:"), "stderr: {stderr}");
+}
+
+#[test]
 fn file_argument_and_missing_file() {
     let dir = std::env::temp_dir();
     let path = dir.join("cjq_check_cli_test.cjq");
@@ -160,6 +172,73 @@ fn lint_parse_and_io_errors_keep_distinct_exit_codes() {
         .output()
         .expect("run lint with missing file");
     assert_eq!(out.status.code(), Some(3));
+}
+
+fn run_replay(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cjq-check"))
+        .arg("replay")
+        .args(args)
+        .output()
+        .expect("run cjq-check replay");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn replay_reports_guard_statistics_in_json() {
+    let (stdout, _, code) = run_replay(&["--faults", "--json", "auction"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"guard\""), "{stdout}");
+    assert!(stdout.contains("\"quarantined\""), "{stdout}");
+    assert!(stdout.contains("\"arity-mismatch\""), "{stdout}");
+    assert!(stdout.contains("\"quarantined_by_stream\""), "{stdout}");
+    // Truncation faults fire, so the quarantine count is nonzero.
+    assert!(
+        !stdout.contains("\"quarantined\": 0,"),
+        "faults must quarantine something: {stdout}"
+    );
+}
+
+#[test]
+fn replay_without_faults_is_clean() {
+    let (stdout, _, code) = run_replay(&["--json", "trades"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"quarantined\": 0,"), "{stdout}");
+    assert!(stdout.contains("\"violations\": 0,"), "{stdout}");
+}
+
+#[test]
+fn replay_strict_flag_fails_on_faulted_feeds() {
+    // Permissive (the default and via the explicit flag) quarantines and
+    // succeeds; strict turns the same fault into a failing run.
+    let (_, _, code) = run_replay(&["--permissive", "--faults", "auction"]);
+    assert_eq!(code, Some(0));
+    let (_, stderr, code) = run_replay(&["--strict", "--faults", "auction"]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("admission refused"), "stderr: {stderr}");
+}
+
+#[test]
+fn replay_sharded_matches_policy_flags() {
+    let (stdout, _, code) = run_replay(&["--shards", "4", "--faults", "--json", "sensor"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"shards\": 4"), "{stdout}");
+    assert!(stdout.contains("\"guard\""), "{stdout}");
+}
+
+#[test]
+fn replay_rejects_unknown_workloads_and_flags() {
+    let (_, stderr, code) = run_replay(&["nosuch"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown workload"), "stderr: {stderr}");
+    let (_, stderr, code) = run_replay(&["--frobnicate", "auction"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown replay flag"), "stderr: {stderr}");
+    let (_, _, code) = run_replay(&[]);
+    assert_eq!(code, Some(2), "missing workload is a usage error");
 }
 
 #[test]

@@ -1,0 +1,113 @@
+//! Fuzzing for the spec parser (`src/parse.rs`).
+//!
+//! Two invariants: `parse_spec` never panics, whatever bytes it is handed
+//! (errors are typed [`ParseError`]s with sane line/column positions), and
+//! `parse_spec` ∘ `to_spec` is the identity on valid specs (with `to_spec`
+//! a renderer fixpoint).
+
+use proptest::prelude::*;
+
+use punctuated_cjq::parse::{parse_spec, to_spec};
+use punctuated_cjq::workload::random_query::{self, RandomQueryConfig, Topology};
+
+#[test]
+fn arbitrary_bytes_never_panic_the_parser() {
+    proptest!(
+        ProptestConfig::with_cases(512),
+        |(bytes in prop::collection::vec(any::<u8>(), 0..256))| {
+            // Lossy decoding exercises replacement characters too.
+            let input = String::from_utf8_lossy(&bytes).into_owned();
+            if let Err(e) = parse_spec(&input) {
+                prop_assert!(e.line <= input.lines().count());
+            }
+        }
+    );
+}
+
+#[test]
+fn keyword_soup_never_panics_and_positions_stay_sane() {
+    // Structured-ish fragments reach much deeper into the grammar than raw
+    // bytes: keywords, near-miss calls, stray delimiters, multi-byte chars.
+    const FRAGMENTS: &[&str] = &[
+        "stream",
+        "join",
+        "punctuate",
+        "heartbeat",
+        "a",
+        "b",
+        "1x",
+        "(",
+        ")",
+        "(x)",
+        "(x,",
+        "()",
+        "a.x",
+        "a.",
+        ".x",
+        "=",
+        "==",
+        ",",
+        "# comment",
+        "a.x = b.y",
+        "(x, y)",
+        "é(ß)",
+        "(((",
+        "))",
+    ];
+    proptest!(
+        ProptestConfig::with_cases(512),
+        |(picks in prop::collection::vec(
+            (0usize..FRAGMENTS.len(), any::<bool>()),
+            0..40,
+        ))| {
+            let mut input = String::new();
+            for &(i, newline) in &picks {
+                input.push_str(FRAGMENTS[i]);
+                input.push(if newline { '\n' } else { ' ' });
+            }
+            if let Err(e) = parse_spec(&input) {
+                let lines: Vec<&str> = input.lines().collect();
+                prop_assert!(e.line <= lines.len(), "line {} of {}", e.line, lines.len());
+                if e.line > 0 && e.column > 0 {
+                    let width = lines[e.line - 1].chars().count();
+                    prop_assert!(
+                        e.column <= width + 1,
+                        "column {} past line width {width}",
+                        e.column
+                    );
+                }
+            }
+        }
+    );
+}
+
+#[test]
+fn valid_specs_round_trip_through_render() {
+    let topologies = [
+        Topology::Path,
+        Topology::Star,
+        Topology::Cycle,
+        Topology::Random { extra_edges: 1 },
+    ];
+    proptest!(
+        ProptestConfig::with_cases(64),
+        |(seed in 0u64..10_000, n in 2usize..6, topo_ix in 0usize..4)| {
+            let (q1, r1) = random_query::generate_safe(&RandomQueryConfig {
+                n_streams: n,
+                topology: topologies[topo_ix],
+                seed,
+                ..RandomQueryConfig::default()
+            });
+            let rendered = to_spec(&q1, &r1);
+            let (q2, r2) = match parse_spec(&rendered) {
+                Ok(qr) => qr,
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "rendered spec failed to parse: {e}\n{rendered}"
+                ))),
+            };
+            prop_assert_eq!(&q1, &q2, "query round-trip");
+            prop_assert_eq!(&r1, &r2, "scheme round-trip");
+            prop_assert_eq!(&rendered, &to_spec(&q2, &r2), "renderer fixpoint");
+        }
+    );
+}

@@ -29,6 +29,23 @@ fn sorted_outputs(outputs: &[Vec<Value>]) -> Vec<Vec<Value>> {
     sorted
 }
 
+/// `CJQ_CHAOS=<seed>` re-runs the whole suite on fault-injected feeds:
+/// duplicated/delayed punctuations plus truncated tuples, admitted under
+/// the default `Quarantine` policy. Every side of every equivalence sees
+/// the same faulted feed, so the assertions are unchanged — CI uses this
+/// to prove output equivalence end to end under faults.
+fn chaos_feed(feed: &Feed) -> Feed {
+    use punctuated_cjq::stream::fault::{Fault, FaultPlan};
+    match std::env::var("CJQ_CHAOS") {
+        Ok(seed) => FaultPlan::new(seed.parse().unwrap_or(0xC4A0_5EED))
+            .with(Fault::DuplicatePunctuations { prob: 0.15 })
+            .with(Fault::DelayPunctuations { prob: 0.25, by: 3 })
+            .with(Fault::TruncateTuples { prob: 0.05 })
+            .apply(feed),
+        Err(_) => feed.clone(),
+    }
+}
+
 fn run_with(
     query: &Cjq,
     schemes: &SchemeSet,
@@ -61,6 +78,7 @@ fn assert_equivalent(
     feed: &Feed,
     shard: bool,
 ) -> (RunResult, RunResult) {
+    let feed = &chaos_feed(feed);
     let full = run_with(query, schemes, plan, cfg, PurgeStrategy::FullScan, feed);
     let indexed = run_with(query, schemes, plan, cfg, PurgeStrategy::Indexed, feed);
     assert_eq!(
