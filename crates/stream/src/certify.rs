@@ -32,7 +32,7 @@ use cjq_core::schema::StreamId;
 use cjq_core::scheme::SchemeSet;
 
 use crate::join::JoinOperator;
-use crate::purge::{PurgeEngine, PurgeScope};
+use crate::purge::{CompiledRecipe, PurgeEngine, PurgeScope};
 
 /// Rows per port on which each purge cycle re-checks the fast path against
 /// the explaining oracle.
@@ -49,8 +49,27 @@ pub fn static_certificates(
     ops: &[JoinOperator],
     engine: &PurgeEngine,
 ) -> Option<String> {
+    static_certificates_with(query, schemes, scope, ops.iter(), |s| {
+        engine.mirror_recipe(s).is_some()
+    })
+}
+
+/// [`static_certificates`] over an arbitrary operator set: the registry's
+/// per-admission form. A tenant's operators live scattered in the shared
+/// node arena (only some nodes belong to each query), and its mirror
+/// recipes are compiled per query at admission rather than held by the
+/// engine — so the operator set comes in as an iterator and the mirror side
+/// as a has-recipe predicate.
+#[must_use]
+pub fn static_certificates_with<'a>(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    scope: PurgeScope,
+    ops: impl Iterator<Item = &'a JoinOperator>,
+    mirror_has_recipe: impl Fn(StreamId) -> bool,
+) -> Option<String> {
     let all: Vec<StreamId> = query.stream_ids().collect();
-    for (oi, op) in ops.iter().enumerate() {
+    for (oi, op) in ops.enumerate() {
         let scope_span: &[StreamId] = match scope {
             PurgeScope::Operator => op.span(),
             PurgeScope::Query => &all,
@@ -68,7 +87,7 @@ pub fn static_certificates(
     }
     for &s in &all {
         let certified = safety::port_purgeable(query, schemes, &all, &[s]);
-        let has_recipe = engine.mirror_recipe(s).is_some();
+        let has_recipe = mirror_has_recipe(s);
         if certified != has_recipe {
             return Some(format!(
                 "mirror stream {s:?}: static certificate says purgeable={certified} \
@@ -77,4 +96,18 @@ pub fn static_certificates(
         }
     }
     None
+}
+
+/// Checks a tenant's per-stream mirror recipes against the Theorem 1/3
+/// certificates (the mirror half of [`static_certificates_with`], usable
+/// directly on an admission's compiled recipe vector).
+#[must_use]
+pub fn mirror_certificates(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    mirror_recipes: &[Option<CompiledRecipe>],
+) -> Option<String> {
+    static_certificates_with(query, schemes, PurgeScope::Query, std::iter::empty(), |s| {
+        mirror_recipes[s.0].is_some()
+    })
 }

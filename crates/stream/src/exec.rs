@@ -550,16 +550,13 @@ impl Executor {
         {
             return 1; // window eviction and watchdogs are per-element
         }
-        let mut cap = match self.cfg.cadence {
-            PurgeCadence::Lazy { batch } => batch.saturating_sub(self.since_purge),
-            PurgeCadence::Adaptive { .. } => self.adaptive_batch.saturating_sub(self.since_purge),
-            _ => usize::MAX,
-        };
-        let every = self.cfg.sample_every as u64;
-        if every > 0 {
-            cap = cap.min((every - self.clock % every) as usize);
-        }
-        cap.max(1)
+        cadence_run_cap(
+            self.cfg.cadence,
+            self.adaptive_batch,
+            self.since_purge,
+            self.clock,
+            self.cfg.sample_every,
+        )
     }
 
     /// Pushes a gathered micro-batch through the pipeline, draining root
@@ -1085,6 +1082,30 @@ impl Executor {
         };
         (result, snapshot)
     }
+}
+
+/// Cadence/sample portion of the run-cap rule, shared by
+/// [`Executor::run_cap`] and the registry's batch router so both chunk a
+/// same-stream run at identical purge and sample boundaries — the
+/// prerequisite for byte-identical registry-vs-standalone equivalence.
+/// Always at least 1.
+pub(crate) fn cadence_run_cap(
+    cadence: PurgeCadence,
+    adaptive_batch: usize,
+    since_purge: usize,
+    clock: u64,
+    sample_every: usize,
+) -> usize {
+    let mut cap = match cadence {
+        PurgeCadence::Lazy { batch } => batch.saturating_sub(since_purge),
+        PurgeCadence::Adaptive { .. } => adaptive_batch.saturating_sub(since_purge),
+        _ => usize::MAX,
+    };
+    let every = sample_every as u64;
+    if every > 0 {
+        cap = cap.min((every - clock % every) as usize);
+    }
+    cap.max(1)
 }
 
 /// Recursively builds operators bottom-up; returns each subtree's span.

@@ -267,6 +267,15 @@ impl JoinOperator {
         &self.port_spans
     }
 
+    /// The input port whose span contains `stream`, if any. Ports span
+    /// disjoint stream sets, so the answer is unique; the registry's batch
+    /// router uses it to find where a same-stream run (or a shared child's
+    /// output) enters this operator.
+    #[must_use]
+    pub fn port_of(&self, stream: StreamId) -> Option<usize> {
+        self.port_spans.iter().position(|ps| ps.contains(&stream))
+    }
+
     /// Live stored tuples per port.
     #[must_use]
     pub fn port_live(&self) -> Vec<usize> {

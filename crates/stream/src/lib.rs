@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod punct_store;
 pub mod purge;
+pub mod registry;
 pub mod sink;
 pub mod source;
 pub mod state;
@@ -72,6 +73,10 @@ pub mod prelude {
     pub use crate::parallel::{Partitioning, ShardedExecutor, ShardedRunResult};
     pub use crate::punct_store::PunctStore;
     pub use crate::purge::{CheckOutcome, PurgeEngine, PurgeScope};
+    pub use crate::registry::{
+        QueryId, QueryRegistry, QueryRunResult, RegistryRejection, RegistryResult, ShardedRegistry,
+        ShardedRegistryResult,
+    };
     pub use crate::sink::{CallbackSink, CollectSink, CountSink, OutputBuffer, ResultSink};
     pub use crate::source::{ElementBatch, Feed};
     pub use crate::tuple::Tuple;

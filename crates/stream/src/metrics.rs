@@ -191,6 +191,69 @@ impl Metrics {
         out
     }
 
+    /// Folds another execution's counters into this one. This is the single
+    /// *physical* merge used by both the sharded executor and the registry
+    /// fan-out: every counter is summed (peaks included — shard peaks are
+    /// concurrent, so the total footprint is their sum), per-stream /
+    /// per-reason vectors are summed elementwise after growing to the longer
+    /// length (the quarantine matrix grows whole stream-major rows, so
+    /// elementwise addition keeps `(stream, reason)` cells aligned),
+    /// `stalled_streams` becomes the sorted union, and the sample series is
+    /// dropped (per-shard series are not comparable point-for-point).
+    ///
+    /// Associative and commutative by construction — see the unit test —
+    /// which is what makes shard merge order irrelevant. Callers that need
+    /// *logical* totals (e.g. deduplicating broadcast-stream violations)
+    /// overwrite the affected fields afterwards, as `parallel::merge` does.
+    pub fn merge_from(&mut self, other: &Metrics) {
+        fn add_vec(into: &mut Vec<u64>, from: &[u64]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), 0);
+            }
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += b;
+            }
+        }
+        self.series.clear();
+        self.peak_join_state += other.peak_join_state;
+        self.peak_mirror += other.peak_mirror;
+        self.peak_punct_entries += other.peak_punct_entries;
+        self.tuples_in += other.tuples_in;
+        self.puncts_in += other.puncts_in;
+        self.violations += other.violations;
+        add_vec(&mut self.violations_by_stream, &other.violations_by_stream);
+        self.outputs += other.outputs;
+        self.aggregates_out += other.aggregates_out;
+        self.purged += other.purged;
+        self.mirror_purged += other.mirror_purged;
+        self.punct_dropped += other.punct_dropped;
+        self.purge_cycles += other.purge_cycles;
+        self.purge_candidates_examined += other.purge_candidates_examined;
+        self.batches_processed += other.batches_processed;
+        self.probe_keys_deduped += other.probe_keys_deduped;
+        self.certificate_checks += other.certificate_checks;
+        self.quarantined += other.quarantined;
+        add_vec(
+            &mut self.quarantined_by_reason,
+            &other.quarantined_by_reason,
+        );
+        add_vec(
+            &mut self.quarantined_by_stream,
+            &other.quarantined_by_stream,
+        );
+        add_vec(&mut self.quarantined_rows, &other.quarantined_rows);
+        self.repaired += other.repaired;
+        self.rows_shed += other.rows_shed;
+        self.shed_events += other.shed_events;
+        for &s in &other.stalled_streams {
+            if !self.stalled_streams.contains(&s) {
+                self.stalled_streams.push(s);
+            }
+        }
+        self.stalled_streams.sort_unstable();
+        self.elapsed_ns += other.elapsed_ns;
+    }
+
     /// Throughput in elements per second (0 if nothing timed).
     #[must_use]
     pub fn throughput(&self) -> f64 {
@@ -245,6 +308,77 @@ mod tests {
             csv,
             "at,join_state,mirror,punct_entries,groups\n5,2,3,1,0\n"
         );
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        // Two deliberately ragged metrics: different vector lengths, disjoint
+        // quarantine reasons/streams, overlapping stall sets — every counter
+        // family added in the batched/guarded/shedding PRs is exercised.
+        let mut a = Metrics {
+            tuples_in: 10,
+            puncts_in: 3,
+            outputs: 4,
+            purged: 7,
+            mirror_purged: 2,
+            punct_dropped: 1,
+            purge_cycles: 5,
+            purge_candidates_examined: 40,
+            batches_processed: 2,
+            probe_keys_deduped: 9,
+            certificate_checks: 11,
+            peak_join_state: 6,
+            peak_mirror: 4,
+            peak_punct_entries: 3,
+            repaired: 1,
+            rows_shed: 8,
+            shed_events: 1,
+            violations: 2,
+            violations_by_stream: vec![2],
+            stalled_streams: vec![0, 2],
+            elapsed_ns: 1000,
+            ..Metrics::default()
+        };
+        a.count_quarantine_row(1, 0);
+        let mut b = Metrics {
+            tuples_in: 20,
+            puncts_in: 6,
+            outputs: 1,
+            purged: 3,
+            batches_processed: 5,
+            probe_keys_deduped: 2,
+            rows_shed: 4,
+            violations: 1,
+            violations_by_stream: vec![0, 0, 1],
+            stalled_streams: vec![1, 2],
+            elapsed_ns: 500,
+            ..Metrics::default()
+        };
+        b.count_quarantine_row(3, 2);
+        b.count_quarantine_punct(0, 1);
+        let mut c = Metrics::default();
+        c.count_quarantine_row(2, 1);
+        c.rows_shed = 1;
+
+        let merged = |x: &Metrics, y: &Metrics| {
+            let mut m = x.clone();
+            m.merge_from(y);
+            m
+        };
+        let eq = |x: &Metrics, y: &Metrics| {
+            // Metrics doesn't implement PartialEq (series are float-free but
+            // intentionally incomparable across shards); compare the debug
+            // rendering, which covers every field.
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        };
+        eq(&merged(&a, &b), &merged(&b, &a));
+        eq(&merged(&merged(&a, &b), &c), &merged(&a, &merged(&b, &c)));
+        let ab = merged(&a, &b);
+        assert_eq!(ab.tuples_in, 30);
+        assert_eq!(ab.violations_by_stream, vec![2, 0, 1]);
+        assert_eq!(ab.quarantined, 3);
+        assert_eq!(ab.stalled_streams, vec![0, 1, 2]);
+        assert_eq!(ab.shape_refused_rows(), 2);
     }
 
     #[test]

@@ -60,7 +60,7 @@ use crate::source::{ElementBatch, Feed};
 const ROUTE_BATCH: usize = 256;
 
 /// Renders a caught panic payload for [`ExecError::ShardPanicked`].
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -150,6 +150,19 @@ impl Partitioning {
             }
         }
         Partitioning { attr, shards }
+    }
+
+    /// The degenerate partitioning that broadcasts every stream to every
+    /// shard. The registry's sharded front-end falls back to this when its
+    /// tenants' per-query partitionings disagree: each shard then replays
+    /// the whole feed and holds the full (replicated) state.
+    #[must_use]
+    pub fn broadcast(n_streams: usize, shards: usize) -> Partitioning {
+        assert!(shards >= 1, "need at least one shard");
+        Partitioning {
+            attr: vec![None; n_streams],
+            shards,
+        }
     }
 
     /// Whether `stream` is hash-partitioned (as opposed to broadcast).
@@ -521,7 +534,16 @@ impl ShardedExecutor {
         let (shards, snapshots): (Vec<RunResult>, Vec<LiveStateSnapshot>) =
             shards_snaps.into_iter().unzip();
         let n_streams = self.query.n_streams();
+        // Physical accumulation first: every counter straight-summed through
+        // the associative [`Metrics::merge_from`] (outputs, purge work,
+        // batch/probe counters, peaks, repairs, shedding, stalls, ...).
+        // The *logical* fields — violations, the quarantine trio, and the
+        // router-side element counts — are recomputed below from the
+        // partitioning table and overwrite the physical sums.
         let mut metrics = Metrics::default();
+        for r in &shards {
+            metrics.merge_from(&r.metrics);
+        }
         let mut violations_by_stream = vec![0u64; n_streams];
         for (s, out) in violations_by_stream.iter_mut().enumerate() {
             let per_shard =
@@ -624,30 +646,6 @@ impl ShardedExecutor {
 
         metrics.tuples_in = router_tuples - metrics.violations - shape_refused;
         metrics.puncts_in = router_puncts;
-        let mut stalled: Vec<usize> = Vec::new();
-        for r in &shards {
-            // Each result row is emitted by exactly one shard, so the sum is
-            // the logical output count even when no sink keeps the rows.
-            metrics.outputs += r.metrics.outputs;
-            metrics.purged += r.metrics.purged;
-            metrics.mirror_purged += r.metrics.mirror_purged;
-            metrics.punct_dropped += r.metrics.punct_dropped;
-            metrics.purge_cycles += r.metrics.purge_cycles;
-            metrics.purge_candidates_examined += r.metrics.purge_candidates_examined;
-            metrics.batches_processed += r.metrics.batches_processed;
-            metrics.probe_keys_deduped += r.metrics.probe_keys_deduped;
-            metrics.peak_join_state += r.metrics.peak_join_state;
-            metrics.peak_mirror += r.metrics.peak_mirror;
-            metrics.peak_punct_entries += r.metrics.peak_punct_entries;
-            metrics.certificate_checks += r.metrics.certificate_checks;
-            metrics.repaired += r.metrics.repaired;
-            metrics.rows_shed += r.metrics.rows_shed;
-            metrics.shed_events += r.metrics.shed_events;
-            stalled.extend(r.metrics.stalled_streams.iter().copied());
-        }
-        stalled.sort_unstable();
-        stalled.dedup();
-        metrics.stalled_streams = stalled;
         metrics.elapsed_ns = start.elapsed().as_nanos();
 
         let merge = |slot_lists: Vec<&Vec<usize>>, disjoint: bool| -> usize {

@@ -1036,6 +1036,119 @@ impl PurgeEngine {
         work
     }
 
+    /// One full-scan purge pass over the raw mirror under the registry's
+    /// *recipe-meet* rule: a row of stream `s` is dropped only when **every**
+    /// registered query certifies `s` mirror-purgeable (has a compiled
+    /// query-scope recipe for it) **and** every such recipe proves the row
+    /// dead. With zero registered queries nothing is purged — an empty meet
+    /// certifies nothing. This is the conservative intersection of the
+    /// per-query purge sets, so the retained mirror is a superset of each
+    /// standalone executor's mirror and Theorem 3's soundness holds per
+    /// query.
+    ///
+    /// `queries[q]` is query `q`'s per-stream compiled mirror recipes,
+    /// indexed by stream id (as produced at admission). Always a full scan:
+    /// the engine's own delta trackers are keyed to *its* bootstrap query's
+    /// recipes, which under sharing certify only one subscriber.
+    pub(crate) fn purge_mirror_meet(&mut self, queries: &[&[Option<CompiledRecipe>]]) -> PurgeWork {
+        let mut work = PurgeWork::default();
+        if queries.is_empty() {
+            return work;
+        }
+        for s in 0..self.states.len() {
+            let Some(recipes) = queries
+                .iter()
+                .map(|q| q[s].as_ref())
+                .collect::<Option<Vec<_>>>()
+            else {
+                continue;
+            };
+            let stream = StreamId(s);
+            let mut scratch = std::mem::take(&mut self.check_scratch);
+            let sweep = self.states[s].collect_matching(None, |_, row| {
+                recipes
+                    .iter()
+                    .all(|recipe| self.check_roots_with(recipe, &[(stream, row)], &mut scratch))
+            });
+            self.check_scratch = scratch;
+            work.examined += sweep.examined as u64;
+            work.purged += self.states[s].purge_slots(&sweep.slots) as u64;
+        }
+        self.mirror_purged += work.purged;
+        work
+    }
+
+    /// Meet-rule analogue of [`PurgeEngine::find_purgeable_mirror_row`]: a
+    /// live mirror row every registered query proves dead, if any. At a
+    /// registry purge fixpoint there must be none.
+    #[must_use]
+    pub(crate) fn find_meet_purgeable_mirror_row(
+        &self,
+        queries: &[&[Option<CompiledRecipe>]],
+    ) -> Option<(StreamId, usize)> {
+        if queries.is_empty() {
+            return None;
+        }
+        let mut scratch = CheckScratch::default();
+        for (idx, state) in self.states.iter().enumerate() {
+            let stream = StreamId(idx);
+            let Some(recipes) = queries
+                .iter()
+                .map(|q| q[idx].as_ref())
+                .collect::<Option<Vec<_>>>()
+            else {
+                continue;
+            };
+            for (slot, row) in state.iter_live() {
+                if recipes
+                    .iter()
+                    .all(|recipe| self.check_roots_with(recipe, &[(stream, row)], &mut scratch))
+                {
+                    return Some((stream, slot));
+                }
+            }
+        }
+        None
+    }
+
+    /// Meet-rule analogue of [`PurgeEngine::verify_mirror_against_oracle`]:
+    /// re-checks up to `sample` live mirror rows per stream per registered
+    /// query with both the fast path and the explaining oracle. Returns the
+    /// number of (row, query) verdicts checked.
+    ///
+    /// # Panics
+    /// Panics if the two paths disagree on any per-query verdict.
+    pub(crate) fn verify_mirror_meet_against_oracle(
+        &self,
+        queries: &[&[Option<CompiledRecipe>]],
+        sample: usize,
+    ) -> u64 {
+        let mut checked = 0u64;
+        let mut scratch = CheckScratch::default();
+        for (idx, state) in self.states.iter().enumerate() {
+            let stream = StreamId(idx);
+            for recipes in queries {
+                let Some(recipe) = recipes[idx].as_ref() else {
+                    continue;
+                };
+                for (slot, row) in state.iter_live().take(sample) {
+                    let fast = self.check_roots_with(recipe, &[(stream, row)], &mut scratch);
+                    let mut roots = HashMap::new();
+                    roots.insert(stream, row.to_vec());
+                    let oracle = self.explain(recipe, &roots).is_purgeable();
+                    assert_eq!(
+                        fast, oracle,
+                        "certificate violation under sharing: fast purge check says \
+                         {fast} but the oracle says {oracle} for mirror row {slot} of \
+                         stream {stream:?}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        checked
+    }
+
     /// Drops every store's retained delta log. The executor calls this at
     /// the end of a purge cycle, once all per-port and mirror trackers have
     /// advanced their cursors past the retained deltas.

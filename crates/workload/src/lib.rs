@@ -13,6 +13,9 @@
 //!   `ts ≤ T` schemes, after Srivastava & Widom \[11\]);
 //! * [`keyed`] — generic round-keyed feeds for any fixture query, with a
 //!   punctuation-lag knob controlling steady-state state size;
+//! * [`multi`] — overlap-controlled multi-tenant query sets (a base chain
+//!   CJQ plus K derived queries sharing a configurable fraction of join
+//!   edges) for the shared-state registry bench and equivalence suite;
 //! * [`random_query`] — random query/scheme-set families (plus
 //!   guaranteed-safe/unsafe instances) for safety-checker scaling benches.
 
@@ -21,6 +24,7 @@
 
 pub mod auction;
 pub mod keyed;
+pub mod multi;
 pub mod network;
 pub mod random_query;
 pub mod sensor;
@@ -30,6 +34,7 @@ pub mod trades;
 pub mod prelude {
     pub use crate::auction::{auction_query, AuctionConfig};
     pub use crate::keyed::KeyedConfig;
+    pub use crate::multi::{MultiConfig, MultiTenant};
     pub use crate::network::{network_query, NetworkConfig};
     pub use crate::random_query::{RandomQueryConfig, Topology};
     pub use crate::sensor::{sensor_query, SensorConfig};

@@ -54,87 +54,162 @@ const EXIT_UNSAFE: u8 = 1;
 const EXIT_PARSE: u8 = 2;
 const EXIT_IO: u8 = 3;
 
+fn usage_main() {
+    eprintln!("usage: cjq-check [lint] [--dot] [--plan] [--json] [FILE...]");
+    eprintln!("       cjq-check replay [--strict|--permissive|--repair] [--faults]");
+    eprintln!("                        [--shards N] [--seed N] [--json] WORKLOAD...");
+    eprintln!("       cjq-check serve [--rounds N] [--lag N] [--shards N] [--json] SPEC...");
+    eprintln!("       (reads stdin without FILE; WORKLOAD is one of");
+    eprintln!("        auction, sensor, network, trades)");
+    eprintln!("see src/parse.rs for the specification format");
+}
+
+/// Reads every named spec (stdin when `files` is empty) and parses it.
+/// I/O and parse failures print a diagnostic and surface as exit codes.
+fn read_specs(files: &[String]) -> Result<Vec<(String, Cjq, SchemeSet)>, ExitCode> {
+    let mut specs = Vec::new();
+    if files.is_empty() {
+        let mut s = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+            eprintln!("cjq-check: cannot read stdin: {e}");
+            return Err(ExitCode::from(EXIT_IO));
+        }
+        match parse_spec(&s) {
+            Ok((q, r)) => specs.push(("<stdin>".to_owned(), q, r)),
+            Err(e) => {
+                eprintln!("cjq-check: {e}");
+                return Err(ExitCode::from(EXIT_PARSE));
+            }
+        }
+        return Ok(specs);
+    }
+    for path in files {
+        let input = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cjq-check: cannot read {path}: {e}");
+                return Err(ExitCode::from(EXIT_IO));
+            }
+        };
+        match parse_spec(&input) {
+            Ok((q, r)) => specs.push((path.clone(), q, r)),
+            Err(e) => {
+                eprintln!("cjq-check: {path}: {e}");
+                return Err(ExitCode::from(EXIT_PARSE));
+            }
+        }
+    }
+    Ok(specs)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("replay") {
         args.remove(0);
         return replay::main(&args);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        return serve::main(&args);
+    }
     let lint_mode = args.first().map(String::as_str) == Some("lint");
     if lint_mode {
         args.remove(0);
+    }
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        usage_main();
+        return ExitCode::SUCCESS;
     }
     let dot = args.iter().any(|a| a == "--dot");
     let want_plan = args.iter().any(|a| a == "--plan");
     let want_json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--dot" && a != "--plan" && a != "--json");
-    let input = match args.first().map(String::as_str) {
-        Some("-h") | Some("--help") => {
-            eprintln!("usage: cjq-check [lint] [--dot] [--plan] [--json] [FILE]");
-            eprintln!("       cjq-check replay [--strict|--permissive|--repair] [--faults]");
-            eprintln!("                        [--shards N] [--seed N] [--json] WORKLOAD");
-            eprintln!("       (reads stdin without FILE; WORKLOAD is one of");
-            eprintln!("        auction, sensor, network, trades)");
-            eprintln!("see src/parse.rs for the specification format");
-            return ExitCode::SUCCESS;
-        }
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cjq-check: cannot read {path}: {e}");
-                return ExitCode::from(EXIT_IO);
-            }
-        },
-        None => {
-            let mut s = String::new();
-            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
-                eprintln!("cjq-check: cannot read stdin: {e}");
-                return ExitCode::from(EXIT_IO);
-            }
-            s
-        }
+    let specs = match read_specs(&args) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
-
-    let (query, schemes) = match parse_spec(&input) {
-        Ok(qs) => qs,
-        Err(e) => {
-            eprintln!("cjq-check: {e}");
-            return ExitCode::from(EXIT_PARSE);
-        }
-    };
-    if lint_mode {
-        return lint_report(&query, &schemes, want_plan, want_json);
-    }
-    if dot {
-        let gpg =
-            punctuated_cjq::core::gpg::GeneralizedPunctuationGraph::of_query(&query, &schemes);
-        print!(
-            "{}",
-            punctuated_cjq::core::dot::generalized_punctuation_graph(&query, &gpg)
-        );
-        return if safety::is_query_safe(&query, &schemes) {
-            ExitCode::SUCCESS
+    let many = specs.len() > 1;
+    let mut worst = 0u8;
+    let mut json_reports: Vec<String> = Vec::new();
+    for (path, query, schemes) in &specs {
+        let code = if lint_mode {
+            if want_json {
+                let plan = lint_plan_of(query, schemes, want_plan);
+                let report = lint::lint_plan(query, schemes, &plan);
+                json_reports.push(report.render_json());
+                if report.has_errors() {
+                    ExitCode::from(EXIT_UNSAFE)
+                } else {
+                    ExitCode::SUCCESS
+                }
+            } else {
+                if many {
+                    println!("== {path} ==");
+                }
+                lint_report(query, schemes, want_plan, false)
+            }
+        } else if dot {
+            let gpg =
+                punctuated_cjq::core::gpg::GeneralizedPunctuationGraph::of_query(query, schemes);
+            print!(
+                "{}",
+                punctuated_cjq::core::dot::generalized_punctuation_graph(query, &gpg)
+            );
+            if safety::is_query_safe(query, schemes) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_UNSAFE)
+            }
+        } else if want_json {
+            let rendered = json_report_string(query, schemes);
+            json_reports.push(rendered.0);
+            rendered.1
         } else {
-            ExitCode::from(EXIT_UNSAFE)
+            if many {
+                println!("== {path} ==");
+            }
+            report(query, schemes, want_plan)
         };
+        // `ExitCode` has no accessor; recompute the severity for the max.
+        let severity = if code == ExitCode::SUCCESS {
+            0
+        } else {
+            EXIT_UNSAFE
+        };
+        worst = worst.max(severity);
     }
-    if want_json {
-        return json_report(&query, &schemes);
+    if want_json && !dot {
+        if many {
+            println!("[");
+            for (i, r) in json_reports.iter().enumerate() {
+                let sep = if i + 1 < json_reports.len() { "," } else { "" };
+                println!("{r}{sep}");
+            }
+            println!("]");
+        } else if let Some(r) = json_reports.first() {
+            println!("{r}");
+        }
     }
-    report(&query, &schemes, want_plan)
+    ExitCode::from(worst)
 }
 
-/// Runs the static analyzer: MJoin port lint by default, the optimizer's
-/// chosen plan under `--plan`.
-fn lint_report(query: &Cjq, schemes: &SchemeSet, want_plan: bool, want_json: bool) -> ExitCode {
-    let plan = if want_plan {
+/// The plan `lint` analyzes: the optimizer's choice under `--plan`, the
+/// MJoin baseline otherwise.
+fn lint_plan_of(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> Plan {
+    if want_plan {
         punctuated_cjq::register::Register::new(schemes.clone())
             .register(query.clone())
             .map(|r| r.plan().clone())
             .unwrap_or_else(|_| Plan::mjoin_all(query))
     } else {
         Plan::mjoin_all(query)
-    };
+    }
+}
+
+/// Runs the static analyzer: MJoin port lint by default, the optimizer's
+/// chosen plan under `--plan`.
+fn lint_report(query: &Cjq, schemes: &SchemeSet, want_plan: bool, want_json: bool) -> ExitCode {
+    let plan = lint_plan_of(query, schemes, want_plan);
     let report = lint::lint_plan(query, schemes, &plan);
     if want_json {
         println!("{}", report.render_json());
@@ -148,8 +223,9 @@ fn lint_report(query: &Cjq, schemes: &SchemeSet, want_plan: bool, want_json: boo
     }
 }
 
-/// Machine-readable safety report for the plain check path.
-fn json_report(query: &Cjq, schemes: &SchemeSet) -> ExitCode {
+/// Machine-readable safety report for the plain check path, rendered to a
+/// string so multi-spec runs can join reports into one array.
+fn json_report_string(query: &Cjq, schemes: &SchemeSet) -> (String, ExitCode) {
     let cat = query.catalog();
     let name = |s: StreamId| cat.schema(s).expect("validated").name().to_owned();
     let result = safety::check_query(query, schemes);
@@ -178,12 +254,12 @@ fn json_report(query: &Cjq, schemes: &SchemeSet) -> ExitCode {
         ));
     }
     out.push_str("  ]\n}");
-    println!("{out}");
-    if result.safe {
+    let code = if result.safe {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(EXIT_UNSAFE)
-    }
+    };
+    (out, code)
 }
 
 fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
@@ -288,13 +364,14 @@ mod replay {
         shards: usize,
         seed: u64,
         json: bool,
-        workload: String,
+        workloads: Vec<String>,
     }
 
     fn usage() -> ExitCode {
         eprintln!("usage: cjq-check replay [--strict|--permissive|--repair] [--faults]");
-        eprintln!("                        [--shards N] [--seed N] [--json] WORKLOAD");
+        eprintln!("                        [--shards N] [--seed N] [--json] WORKLOAD...");
         eprintln!("       WORKLOAD: auction | sensor | network | trades");
+        eprintln!("       with several workloads the exit code is the worst across them");
         ExitCode::from(EXIT_PARSE)
     }
 
@@ -305,7 +382,7 @@ mod replay {
             shards: 1,
             seed: DEFAULT_SEED,
             json: false,
-            workload: String::new(),
+            workloads: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -334,14 +411,10 @@ mod replay {
                     eprintln!("cjq-check: unknown replay flag `{flag}`");
                     return Err(usage());
                 }
-                name if opts.workload.is_empty() => opts.workload = name.to_owned(),
-                extra => {
-                    eprintln!("cjq-check: unexpected argument `{extra}`");
-                    return Err(usage());
-                }
+                name => opts.workloads.push(name.to_owned()),
             }
         }
-        if opts.workload.is_empty() {
+        if opts.workloads.is_empty() {
             eprintln!("cjq-check: replay needs a workload name");
             return Err(usage());
         }
@@ -395,56 +468,75 @@ mod replay {
             Ok(o) => o,
             Err(code) => return code,
         };
-        let Some((query, schemes, feed)) = workload(&opts.workload) else {
-            eprintln!(
-                "cjq-check: unknown workload `{}` (expected auction, sensor, network, trades)",
-                opts.workload
-            );
-            return ExitCode::from(EXIT_PARSE);
-        };
-        let feed = if opts.faults {
-            FaultPlan::new(opts.seed)
-                .with(Fault::TruncateTuples { prob: 0.15 })
-                .with(Fault::DropPunctuations { prob: 0.1 })
-                .apply(&feed)
-        } else {
-            feed
-        };
-        let cfg = ExecConfig {
-            admission: opts.policy,
-            ..ExecConfig::default()
-        };
-        let plan = Plan::mjoin_all(&query);
-        let run = if opts.shards <= 1 {
-            Executor::compile(&query, &schemes, &plan, cfg)
-                .map_err(|e| e.to_string())
-                .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
-                .map(|r| r.metrics)
-        } else {
-            ShardedExecutor::compile(&query, &schemes, &plan, cfg, opts.shards)
-                .map_err(|e| e.to_string())
-                .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
-                .map(|r| r.metrics)
-        };
-        let metrics = match run {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("cjq-check: replay failed: {e}");
-                return ExitCode::from(EXIT_UNSAFE);
+        let many = opts.workloads.len() > 1;
+        let mut worst = 0u8;
+        let mut json_reports: Vec<String> = Vec::new();
+        for name in &opts.workloads {
+            let Some((query, schemes, feed)) = workload(name) else {
+                eprintln!(
+                    "cjq-check: unknown workload `{name}` (expected auction, sensor, \
+                     network, trades)"
+                );
+                worst = worst.max(EXIT_PARSE);
+                continue;
+            };
+            let feed = if opts.faults {
+                FaultPlan::new(opts.seed)
+                    .with(Fault::TruncateTuples { prob: 0.15 })
+                    .with(Fault::DropPunctuations { prob: 0.1 })
+                    .apply(&feed)
+            } else {
+                feed
+            };
+            let cfg = ExecConfig {
+                admission: opts.policy,
+                ..ExecConfig::default()
+            };
+            let plan = Plan::mjoin_all(&query);
+            let run = if opts.shards <= 1 {
+                Executor::compile(&query, &schemes, &plan, cfg)
+                    .map_err(|e| e.to_string())
+                    .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
+                    .map(|r| r.metrics)
+            } else {
+                ShardedExecutor::compile(&query, &schemes, &plan, cfg, opts.shards)
+                    .map_err(|e| e.to_string())
+                    .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
+                    .map(|r| r.metrics)
+            };
+            let metrics = match run {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("cjq-check: replay of {name} failed: {e}");
+                    worst = worst.max(EXIT_UNSAFE);
+                    continue;
+                }
+            };
+            if opts.json {
+                json_reports.push(render_json(&opts, name, &metrics));
+            } else {
+                print_text(&opts, name, &metrics);
             }
-        };
-        if opts.json {
-            print_json(&opts, &metrics);
-        } else {
-            print_text(&opts, &metrics);
         }
-        ExitCode::SUCCESS
+        if opts.json {
+            if many {
+                println!("[");
+                for (i, r) in json_reports.iter().enumerate() {
+                    let sep = if i + 1 < json_reports.len() { "," } else { "" };
+                    println!("{r}{sep}");
+                }
+                println!("]");
+            } else if let Some(r) = json_reports.first() {
+                println!("{r}");
+            }
+        }
+        ExitCode::from(worst)
     }
 
-    fn print_text(opts: &Options, m: &Metrics) {
+    fn print_text(opts: &Options, workload: &str, m: &Metrics) {
         println!(
             "replay: {} (policy {}, {} shard{}, faults {})",
-            opts.workload,
+            workload,
             policy_name(opts.policy),
             opts.shards,
             if opts.shards == 1 { "" } else { "s" },
@@ -471,7 +563,7 @@ mod replay {
         println!("  peak join state:  {}", m.peak_join_state);
     }
 
-    fn print_json(opts: &Options, m: &Metrics) {
+    fn render_json(opts: &Options, workload: &str, m: &Metrics) -> String {
         let by_reason: Vec<String> = (0..AdmissionFault::REASONS)
             .map(|code| {
                 format!(
@@ -484,10 +576,7 @@ mod replay {
         let by_stream: Vec<String> = m.quarantined_by_stream.iter().map(u64::to_string).collect();
         let stalled: Vec<String> = m.stalled_streams.iter().map(usize::to_string).collect();
         let mut out = String::from("{\n");
-        out.push_str(&format!(
-            "  \"workload\": {},\n",
-            json::string(&opts.workload)
-        ));
+        out.push_str(&format!("  \"workload\": {},\n", json::string(workload)));
         out.push_str(&format!(
             "  \"policy\": {},\n",
             json::string(policy_name(opts.policy))
@@ -517,6 +606,343 @@ mod replay {
             stalled.join(", ")
         ));
         out.push_str("  },\n");
+        out.push_str(&format!("  \"peak_join_state\": {}\n", m.peak_join_state));
+        out.push('}');
+        out
+    }
+}
+
+/// The `serve` subcommand: a multi-query session over the shared-state
+/// [`punctuated_cjq::stream::registry::QueryRegistry`]. Every SPEC file is
+/// parsed, checked, and admitted into one registry (all specs must share a
+/// catalog — same `stream` declarations in the same order); a synthetic
+/// round-keyed feed then flows through the shared operator arena in a
+/// single pass, and the report shows per-query outputs/purges plus the
+/// sharing ratio (distinct shared operator nodes vs. total per-query
+/// subscriptions).
+mod serve {
+    use std::process::ExitCode;
+
+    use punctuated_cjq::core::plan::Plan;
+    use punctuated_cjq::core::query::Cjq;
+    use punctuated_cjq::core::scheme::SchemeSet;
+    use punctuated_cjq::core::value::Value;
+    use punctuated_cjq::lint::json;
+    use punctuated_cjq::parse::parse_spec;
+    use punctuated_cjq::stream::exec::ExecConfig;
+    use punctuated_cjq::stream::registry::{QueryRegistry, RegistryResult, ShardedRegistry};
+    use punctuated_cjq::stream::source::Feed;
+    use punctuated_cjq::stream::tuple::Tuple;
+
+    use super::{EXIT_IO, EXIT_PARSE, EXIT_UNSAFE};
+
+    struct Options {
+        rounds: u64,
+        lag: u64,
+        shards: usize,
+        json: bool,
+        specs: Vec<String>,
+    }
+
+    fn usage() -> ExitCode {
+        eprintln!("usage: cjq-check serve [--rounds N] [--lag N] [--shards N] [--json] SPEC...");
+        eprintln!("       admits every SPEC into one shared-state registry (specs must");
+        eprintln!("       declare identical streams) and replays a synthetic round-keyed");
+        eprintln!("       feed: one tuple per stream per round, punctuations trailing by");
+        eprintln!("       --lag rounds (default 2); --rounds controls feed length (default 64)");
+        ExitCode::from(EXIT_PARSE)
+    }
+
+    fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
+        let mut opts = Options {
+            rounds: 64,
+            lag: 2,
+            shards: 1,
+            json: false,
+            specs: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "-h" | "--help" => {
+                    usage();
+                    return Err(ExitCode::SUCCESS);
+                }
+                "--json" => opts.json = true,
+                "--rounds" | "--lag" | "--shards" => {
+                    let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                        eprintln!("cjq-check: {arg} needs a numeric argument");
+                        return Err(usage());
+                    };
+                    match arg.as_str() {
+                        "--rounds" => opts.rounds = v.max(1),
+                        "--lag" => opts.lag = v,
+                        _ => opts.shards = (v as usize).max(1),
+                    }
+                }
+                flag if flag.starts_with('-') => {
+                    eprintln!("cjq-check: unknown serve flag `{flag}`");
+                    return Err(usage());
+                }
+                path => opts.specs.push(path.to_owned()),
+            }
+        }
+        if opts.specs.is_empty() {
+            eprintln!("cjq-check: serve needs at least one spec file");
+            return Err(usage());
+        }
+        Ok(opts)
+    }
+
+    /// One tuple per stream per round (every attribute = the round key) and,
+    /// once the lag has elapsed, one punctuation per scheme promising that
+    /// round `r - lag` is closed. Every tuple's chained requirement is thus
+    /// eventually covered, so a safe query purges all state by `finish`.
+    fn round_keyed_feed(catalog_of: &Cjq, schemes: &SchemeSet, rounds: u64, lag: u64) -> Feed {
+        let cat = catalog_of.catalog();
+        let mut feed = Feed::new();
+        for r in 0..rounds {
+            for s in catalog_of.stream_ids() {
+                let arity = cat.schema(s).expect("validated").arity();
+                feed.push(Tuple::new(s, vec![Value::Int(r as i64); arity]));
+            }
+            if r >= lag {
+                push_puncts(&mut feed, catalog_of, schemes, r - lag);
+            }
+        }
+        // Close out the trailing rounds so the feed ends quiescent.
+        for r in rounds.saturating_sub(lag)..rounds {
+            push_puncts(&mut feed, catalog_of, schemes, r);
+        }
+        feed
+    }
+
+    fn push_puncts(feed: &mut Feed, catalog_of: &Cjq, schemes: &SchemeSet, key: u64) {
+        let cat = catalog_of.catalog();
+        for scheme in schemes.schemes() {
+            let arity = cat.schema(scheme.stream).expect("validated").arity();
+            let values = vec![Value::Int(key as i64); scheme.punctuatable().len()];
+            let p = scheme
+                .instantiate(arity, &values)
+                .expect("round-keyed values match scheme arity");
+            feed.push(p);
+        }
+    }
+
+    struct Admitted {
+        path: String,
+        query: Cjq,
+    }
+
+    pub fn main(args: &[String]) -> ExitCode {
+        let opts = match parse_args(args) {
+            Ok(o) => o,
+            Err(code) => return code,
+        };
+
+        // Parse every spec; all must share one catalog.
+        let mut parsed: Vec<(String, Cjq, SchemeSet)> = Vec::new();
+        for path in &opts.specs {
+            let input = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cjq-check: cannot read {path}: {e}");
+                    return ExitCode::from(EXIT_IO);
+                }
+            };
+            match parse_spec(&input) {
+                Ok((q, r)) => parsed.push((path.clone(), q, r)),
+                Err(e) => {
+                    eprintln!("cjq-check: {path}: {e}");
+                    return ExitCode::from(EXIT_PARSE);
+                }
+            }
+        }
+        let catalog_query = parsed[0].1.clone();
+        for (path, q, _) in &parsed[1..] {
+            if q.catalog() != catalog_query.catalog() {
+                eprintln!(
+                    "cjq-check: {path}: stream declarations differ from {}; serve \
+                     requires every spec to declare the same streams",
+                    parsed[0].0
+                );
+                return ExitCode::from(EXIT_PARSE);
+            }
+        }
+
+        // Union the punctuation schemes: the shared feed carries every
+        // promise any tenant relies on (SchemeSet::add dedups).
+        let mut schemes = SchemeSet::new();
+        for (_, _, r) in &parsed {
+            for s in r.schemes() {
+                schemes.add(s.clone());
+            }
+        }
+
+        // Admit each spec; unsafe ones are rejected with their witness but
+        // the session continues with whatever was admitted.
+        let cfg = ExecConfig::default();
+        let mut probe = QueryRegistry::new(schemes.clone(), cfg);
+        let mut admitted: Vec<Admitted> = Vec::new();
+        let mut rejected: Vec<(String, String)> = Vec::new();
+        for (path, query, _) in &parsed {
+            let plan = Plan::mjoin_all(query);
+            match probe.try_admit(query, &plan, None) {
+                Ok(_) => admitted.push(Admitted {
+                    path: path.clone(),
+                    query: query.clone(),
+                }),
+                Err(rej) => {
+                    eprintln!("cjq-check: {path}: {rej}");
+                    rejected.push((path.clone(), rej.reason.clone()));
+                }
+            }
+        }
+        if admitted.is_empty() {
+            eprintln!("cjq-check: serve admitted no queries");
+            return ExitCode::from(EXIT_UNSAFE);
+        }
+        let shared_nodes = probe.live_nodes();
+        let subscriptions = probe.subscribed_nodes();
+
+        let feed = round_keyed_feed(&admitted[0].query, &schemes, opts.rounds, opts.lag);
+        let run = if opts.shards <= 1 {
+            let mut reg = QueryRegistry::new(schemes.clone(), cfg);
+            for a in &admitted {
+                reg.try_admit(&a.query, &Plan::mjoin_all(&a.query), None)
+                    .expect("probe registry already admitted this query");
+            }
+            reg.try_run(&feed).map_err(|e| e.to_string())
+        } else {
+            let specs: Vec<(Cjq, Plan)> = admitted
+                .iter()
+                .map(|a| (a.query.clone(), Plan::mjoin_all(&a.query)))
+                .collect();
+            ShardedRegistry::compile(&specs, &schemes, cfg, opts.shards)
+                .map_err(|e| e.to_string())
+                .and_then(|reg| {
+                    reg.try_run(&feed)
+                        .map(|r| RegistryResult {
+                            queries: r.queries,
+                            metrics: r.metrics,
+                        })
+                        .map_err(|e| e.to_string())
+                })
+        };
+        let result = match run {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cjq-check: serve failed: {e}");
+                return ExitCode::from(EXIT_UNSAFE);
+            }
+        };
+
+        if opts.json {
+            print_json(
+                &opts,
+                &admitted,
+                &rejected,
+                shared_nodes,
+                subscriptions,
+                &result,
+            );
+        } else {
+            print_text(
+                &opts,
+                &admitted,
+                &rejected,
+                shared_nodes,
+                subscriptions,
+                &result,
+            );
+        }
+        if rejected.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(EXIT_UNSAFE)
+        }
+    }
+
+    fn print_text(
+        opts: &Options,
+        admitted: &[Admitted],
+        rejected: &[(String, String)],
+        shared_nodes: usize,
+        subscriptions: usize,
+        result: &RegistryResult,
+    ) {
+        println!(
+            "serve: {} quer{} admitted, {} rejected ({} rounds, lag {}, {} shard{})",
+            admitted.len(),
+            if admitted.len() == 1 { "y" } else { "ies" },
+            rejected.len(),
+            opts.rounds,
+            opts.lag,
+            opts.shards,
+            if opts.shards == 1 { "" } else { "s" },
+        );
+        println!(
+            "  sharing: {shared_nodes} shared operator node{} serving {subscriptions} \
+             subscription{}",
+            if shared_nodes == 1 { "" } else { "s" },
+            if subscriptions == 1 { "" } else { "s" },
+        );
+        for (a, q) in admitted.iter().zip(&result.queries) {
+            println!(
+                "  {:24} outputs {:8} purged {:8}",
+                a.path, q.stats.outputs, q.stats.purged
+            );
+        }
+        for (path, reason) in rejected {
+            println!("  {path:24} REJECTED: {reason}");
+        }
+        let m = &result.metrics;
+        println!("  tuples in:        {}", m.tuples_in);
+        println!("  punctuations in:  {}", m.puncts_in);
+        println!("  purged:           {}", m.purged);
+        println!("  peak join state:  {}", m.peak_join_state);
+    }
+
+    fn print_json(
+        opts: &Options,
+        admitted: &[Admitted],
+        rejected: &[(String, String)],
+        shared_nodes: usize,
+        subscriptions: usize,
+        result: &RegistryResult,
+    ) {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"rounds\": {},\n", opts.rounds));
+        out.push_str(&format!("  \"lag\": {},\n", opts.lag));
+        out.push_str(&format!("  \"shards\": {},\n", opts.shards));
+        out.push_str(&format!("  \"shared_nodes\": {shared_nodes},\n"));
+        out.push_str(&format!("  \"subscriptions\": {subscriptions},\n"));
+        out.push_str("  \"queries\": [\n");
+        for (i, (a, q)) in admitted.iter().zip(&result.queries).enumerate() {
+            out.push_str(&format!(
+                "    {{\"spec\": {}, \"outputs\": {}, \"purged\": {}}}{}\n",
+                json::string(&a.path),
+                q.stats.outputs,
+                q.stats.purged,
+                if i + 1 < admitted.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"rejected\": [\n");
+        for (i, (path, reason)) in rejected.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"spec\": {}, \"reason\": {}}}{}\n",
+                json::string(path),
+                json::string(reason),
+                if i + 1 < rejected.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let m = &result.metrics;
+        out.push_str(&format!("  \"tuples_in\": {},\n", m.tuples_in));
+        out.push_str(&format!("  \"puncts_in\": {},\n", m.puncts_in));
+        out.push_str(&format!("  \"outputs\": {},\n", m.outputs));
+        out.push_str(&format!("  \"purged\": {},\n", m.purged));
         out.push_str(&format!("  \"peak_join_state\": {}\n", m.peak_join_state));
         out.push('}');
         println!("{out}");

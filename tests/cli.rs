@@ -241,6 +241,178 @@ fn replay_rejects_unknown_workloads_and_flags() {
     assert_eq!(code, Some(2), "missing workload is a usage error");
 }
 
+/// Writes each spec to a temp file and returns the paths (kept alive by the
+/// returned guard struct, deleted on drop).
+struct SpecFiles {
+    paths: Vec<std::path::PathBuf>,
+}
+
+impl SpecFiles {
+    fn new(tag: &str, specs: &[&str]) -> Self {
+        let dir = std::env::temp_dir();
+        let paths: Vec<std::path::PathBuf> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let p = dir.join(format!("cjq_cli_{tag}_{i}.cjq"));
+                std::fs::write(&p, s).unwrap();
+                p
+            })
+            .collect();
+        SpecFiles { paths }
+    }
+
+    fn args(&self) -> Vec<&str> {
+        self.paths.iter().map(|p| p.to_str().unwrap()).collect()
+    }
+}
+
+impl Drop for SpecFiles {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+fn run_args(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cjq-check"))
+        .args(args)
+        .output()
+        .expect("run cjq-check");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn multi_spec_lint_exits_with_the_worst_verdict() {
+    let files = SpecFiles::new("lint_multi", &[SAFE_SPEC, UNSAFE_SPEC]);
+    let mut args = vec!["lint"];
+    args.extend(files.args());
+    let (stdout, _, code) = run_args(&args);
+    assert_eq!(code, Some(1), "{stdout}");
+    // Text mode headlines each spec.
+    assert!(stdout.contains("== "), "{stdout}");
+    assert!(stdout.contains("lint: SAFE"), "{stdout}");
+    assert!(stdout.contains("lint: UNSAFE"), "{stdout}");
+
+    let files = SpecFiles::new("lint_multi_safe", &[SAFE_SPEC, SAFE_SPEC]);
+    let mut args = vec!["lint"];
+    args.extend(files.args());
+    let (_, _, code) = run_args(&args);
+    assert_eq!(code, Some(0), "all-safe multi-spec lint exits 0");
+}
+
+#[test]
+fn multi_spec_json_emits_one_report_array() {
+    let files = SpecFiles::new("json_multi", &[SAFE_SPEC, UNSAFE_SPEC]);
+    let mut args = vec!["--json"];
+    args.extend(files.args());
+    let (stdout, _, code) = run_args(&args);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.trim_end().ends_with(']'), "{stdout}");
+    assert!(stdout.contains("\"safe\": true"), "{stdout}");
+    assert!(stdout.contains("\"safe\": false"), "{stdout}");
+
+    let mut args = vec!["lint", "--json"];
+    args.extend(files.args());
+    let (stdout, _, code) = run_args(&args);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"code\": \"E001\""), "{stdout}");
+}
+
+#[test]
+fn replay_accepts_multiple_workloads() {
+    let (stdout, _, code) = run_replay(&["auction", "trades"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("replay: auction"), "{stdout}");
+    assert!(stdout.contains("replay: trades"), "{stdout}");
+
+    let (stdout, _, code) = run_replay(&["--json", "auction", "sensor"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"workload\": \"auction\""), "{stdout}");
+    assert!(stdout.contains("\"workload\": \"sensor\""), "{stdout}");
+
+    // A bad name among good ones: worst exit code wins, good ones still run.
+    let (stdout, stderr, code) = run_replay(&["auction", "nosuch"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stdout.contains("replay: auction"), "{stdout}");
+    assert!(stderr.contains("unknown workload"), "{stderr}");
+}
+
+#[test]
+fn serve_runs_a_shared_registry_over_spec_files() {
+    let files = SpecFiles::new("serve_pair", &[SAFE_SPEC, SAFE_SPEC]);
+    let mut args = vec!["serve", "--rounds", "24"];
+    args.extend(files.args());
+    let (stdout, _, code) = run_args(&args);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("2 queries admitted"), "{stdout}");
+    // Two identical queries collapse onto one shared operator node.
+    assert!(
+        stdout.contains("1 shared operator node serving 2 subscriptions"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn serve_reports_rejections_and_exits_nonzero() {
+    // Serve admits against the *union* of all specs' schemes (the shared
+    // feed carries every promise), so SAFE_SPEC would repair UNSAFE_SPEC.
+    // This second query joins on attributes no scheme punctuates — unsafe
+    // under any union that the pair can produce.
+    let unsafe_even_unioned = "\
+stream item(sellerid, itemid, name, initialprice)
+stream bid(bidderid, itemid, increase)
+join item.sellerid = bid.bidderid
+punctuate bid(bidderid)
+";
+    let files = SpecFiles::new("serve_mixed", &[SAFE_SPEC, unsafe_even_unioned]);
+    let mut args = vec!["serve", "--rounds", "8"];
+    args.extend(files.args());
+    let (stdout, stderr, code) = run_args(&args);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("1 query admitted, 1 rejected"), "{stdout}");
+    assert!(stdout.contains("REJECTED"), "{stdout}");
+    assert!(stderr.contains("query rejected"), "{stderr}");
+}
+
+#[test]
+fn serve_json_and_shards() {
+    let files = SpecFiles::new("serve_json", &[SAFE_SPEC, SAFE_SPEC]);
+    let mut args = vec!["serve", "--rounds", "16", "--shards", "2", "--json"];
+    args.extend(files.args());
+    let (stdout, _, code) = run_args(&args);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"shared_nodes\": 1"), "{stdout}");
+    assert!(stdout.contains("\"subscriptions\": 2"), "{stdout}");
+    assert!(stdout.contains("\"shards\": 2"), "{stdout}");
+    assert!(stdout.contains("\"outputs\""), "{stdout}");
+}
+
+#[test]
+fn serve_requires_a_shared_catalog() {
+    let other = "\
+stream pkt(src, seqno)
+stream ack(src, seqno)
+join pkt.src = ack.src
+punctuate pkt(src)
+punctuate ack(src)
+";
+    let files = SpecFiles::new("serve_catalogs", &[SAFE_SPEC, other]);
+    let mut args = vec!["serve"];
+    args.extend(files.args());
+    let (_, stderr, code) = run_args(&args);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("stream declarations differ"), "{stderr}");
+}
+
 #[test]
 fn heartbeat_spec_parses_and_checks() {
     let spec = "\

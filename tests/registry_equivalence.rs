@@ -1,0 +1,270 @@
+//! Registry/standalone equivalence: the shared-state [`QueryRegistry`] must
+//! be *observationally invisible* — every admitted query's outputs must be
+//! byte-identical to what a dedicated [`Executor`] produces for that query
+//! alone, across overlap levels, purge cadences, and shard counts, with
+//! runtime certificate verification on throughout.
+//!
+//! Purge accounting is also checked: on punctuation-closed feeds the
+//! registry's per-query purge totals must equal each standalone run's
+//! (sharing changes *when* a row can go — the meet keeps a row until every
+//! subscriber's recipe proves it dead — but on a closed feed everything
+//! provably dead is gone by `finish`, so the totals meet), and the final
+//! live state must be zero on both sides.
+//!
+//! `CJQ_CHAOS=<seed>` re-runs the suite on fault-injected feeds like the
+//! other equivalence suites; output equivalence must survive unchanged.
+//! Purge-total and drained-state assertions are skipped under chaos (a
+//! faulted feed need not be punctuation-closed). A dedicated seeded fault
+//! test runs unconditionally.
+
+use punctuated_cjq::core::plan::Plan;
+use punctuated_cjq::core::prelude::*;
+use punctuated_cjq::planner::fingerprint;
+use punctuated_cjq::stream::exec::{ExecConfig, Executor, PurgeCadence, RunResult};
+use punctuated_cjq::stream::fault::{Fault, FaultPlan};
+use punctuated_cjq::stream::registry::{QueryRegistry, ShardedRegistry};
+use punctuated_cjq::stream::source::Feed;
+use punctuated_cjq::workload::multi::{self, MultiConfig};
+
+fn base_cfg(cadence: PurgeCadence) -> ExecConfig {
+    ExecConfig {
+        cadence,
+        record_outputs: true,
+        verify_certificates: true,
+        ..ExecConfig::default()
+    }
+}
+
+fn chaos() -> bool {
+    std::env::var("CJQ_CHAOS").is_ok()
+}
+
+/// Applies the suite-wide chaos plan when `CJQ_CHAOS` is set (same faults
+/// as the shard-equivalence suite, so CI seeds exercise both).
+fn chaos_feed(feed: &Feed) -> Feed {
+    match std::env::var("CJQ_CHAOS") {
+        Ok(seed) => FaultPlan::new(seed.parse().unwrap_or(0xC4A0_5EED))
+            .with(Fault::DuplicatePunctuations { prob: 0.15 })
+            .with(Fault::DelayPunctuations { prob: 0.25, by: 3 })
+            .with(Fault::TruncateTuples { prob: 0.05 })
+            .apply(feed),
+        Err(_) => feed.clone(),
+    }
+}
+
+fn standalone(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    plan: &Plan,
+    cfg: ExecConfig,
+    feed: &Feed,
+) -> RunResult {
+    Executor::compile(query, schemes, plan, cfg)
+        .expect("tenant queries are safe")
+        .run(feed)
+}
+
+fn sorted(outputs: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut s = outputs.to_vec();
+    s.sort_unstable();
+    s
+}
+
+/// The core matrix: overlap × cadence, sequential registry vs N dedicated
+/// executors, byte-identical outputs (ordering included) per query.
+#[test]
+fn registry_matches_standalones_across_overlap_and_cadence() {
+    for overlap in [0.0, 0.5, 1.0] {
+        for cadence in [PurgeCadence::Eager, PurgeCadence::Lazy { batch: 7 }] {
+            let mcfg = MultiConfig {
+                queries: 4,
+                overlap,
+                rounds: 30,
+                ..MultiConfig::default()
+            };
+            let tenant = multi::generate_queries(&mcfg);
+            let feed = chaos_feed(&multi::generate_feed(&mcfg));
+            let cfg = base_cfg(cadence);
+
+            let mut reg = QueryRegistry::new(tenant.schemes.clone(), cfg);
+            for (q, p) in &tenant.queries {
+                reg.try_admit(q, p, None)
+                    .expect("generated tenants are admissible");
+            }
+            reg.try_feed(&feed).expect("clean feed");
+            let result = reg.finish();
+
+            for ((q, p), reg_q) in tenant.queries.iter().zip(&result.queries) {
+                let solo = standalone(q, &tenant.schemes, p, cfg, &feed);
+                assert_eq!(
+                    reg_q.outputs, solo.outputs,
+                    "outputs must be byte-identical (overlap {overlap}, {cadence:?})"
+                );
+                assert_eq!(reg_q.stats.outputs, solo.metrics.outputs);
+                if !chaos() {
+                    assert_eq!(
+                        reg_q.stats.purged, solo.metrics.purged,
+                        "closed feeds drain both sides (overlap {overlap}, {cadence:?})"
+                    );
+                    assert_eq!(solo.metrics.last().unwrap().join_state, 0);
+                }
+            }
+            if !chaos() {
+                assert_eq!(
+                    result.metrics.last().unwrap().join_state,
+                    0,
+                    "registry must end drained on closed feeds"
+                );
+            }
+        }
+    }
+}
+
+/// Sharded registry (P=4) vs standalone executors: output multisets match
+/// per query (shards interleave, so order is not preserved).
+#[test]
+fn sharded_registry_matches_standalones() {
+    for overlap in [0.0, 1.0] {
+        let mcfg = MultiConfig {
+            queries: 3,
+            overlap,
+            rounds: 24,
+            ..MultiConfig::default()
+        };
+        let tenant = multi::generate_queries(&mcfg);
+        let feed = chaos_feed(&multi::generate_feed(&mcfg));
+        let cfg = base_cfg(PurgeCadence::Eager);
+
+        let sharded = ShardedRegistry::compile(&tenant.queries, &tenant.schemes, cfg, 4)
+            .expect("admissible")
+            .try_run(&feed)
+            .expect("clean feed");
+        for ((q, p), reg_q) in tenant.queries.iter().zip(&sharded.queries) {
+            let solo = standalone(q, &tenant.schemes, p, cfg, &feed);
+            assert_eq!(
+                sorted(&reg_q.outputs),
+                sorted(&solo.outputs),
+                "sharded output multiset (overlap {overlap})"
+            );
+        }
+    }
+}
+
+/// Mid-stream admission and retirement. With full overlap every tenant
+/// shares one node, so:
+/// * a query retired halfway has exactly the outputs of a standalone run
+///   over the feed prefix it saw;
+/// * a query admitted halfway has exactly the base query's outputs over the
+///   suffix (shared history included — its probe index predates it).
+#[test]
+fn mid_stream_admission_and_retirement() {
+    let mcfg = MultiConfig {
+        queries: 2,
+        overlap: 1.0,
+        rounds: 30,
+        ..MultiConfig::default()
+    };
+    let tenant = multi::generate_queries(&mcfg);
+    let feed = multi::generate_feed(&mcfg);
+    let cfg = base_cfg(PurgeCadence::Eager);
+    let split = feed.elements().len() / 2;
+
+    let (q0, p0) = &tenant.queries[0];
+    let (q1, p1) = &tenant.queries[1];
+    let mut reg = QueryRegistry::new(tenant.schemes.clone(), cfg);
+    let id0 = reg.try_admit(q0, p0, None).unwrap();
+    let id1 = reg.try_admit(q1, p1, None).unwrap();
+    for e in &feed.elements()[..split] {
+        reg.try_push(e).expect("clean feed");
+    }
+    let late_id = reg.try_admit(q0, p0, None).expect("re-admission is fine");
+    assert!(reg.retire(id1), "retiring a live query succeeds");
+    assert!(!reg.is_live(id1));
+    let prefix_outputs_q1 = reg.outputs(id1).unwrap().to_vec();
+    for e in &feed.elements()[split..] {
+        reg.try_push(e).expect("clean feed");
+    }
+    let result = reg.finish();
+
+    // Full-feed tenant: unchanged by its neighbors' churn.
+    let solo_full = standalone(q0, &tenant.schemes, p0, cfg, &feed);
+    assert_eq!(result.queries[id0.0].outputs, solo_full.outputs);
+
+    // Retired tenant == standalone over the prefix it processed.
+    let mut prefix_feed = Feed::new();
+    for e in &feed.elements()[..split] {
+        prefix_feed.push(e.clone());
+    }
+    let solo_prefix = standalone(q1, &tenant.schemes, p1, cfg, &prefix_feed);
+    assert_eq!(prefix_outputs_q1, solo_prefix.outputs);
+    assert_eq!(result.queries[id1.0].outputs, solo_prefix.outputs);
+
+    // Late tenant == the base tenant's post-admission suffix.
+    let late = &result.queries[late_id.0].outputs;
+    let full = &result.queries[id0.0].outputs;
+    assert!(late.len() <= full.len());
+    assert_eq!(late.as_slice(), &full[full.len() - late.len()..]);
+}
+
+/// Unconditional seeded fault run (the `replay --faults` plan): truncated
+/// tuples are quarantined identically on both sides and outputs still match
+/// byte for byte. Identical queries keep the purge meet degenerate, so the
+/// totals are comparable even though dropped punctuations leave the feed
+/// unclosed.
+#[test]
+fn seeded_fault_run_matches_standalones() {
+    let mcfg = MultiConfig {
+        queries: 3,
+        overlap: 1.0,
+        rounds: 40,
+        ..MultiConfig::default()
+    };
+    let tenant = multi::generate_queries(&mcfg);
+    let feed = FaultPlan::new(0xC4A0_5EED)
+        .with(Fault::TruncateTuples { prob: 0.15 })
+        .with(Fault::DropPunctuations { prob: 0.1 })
+        .apply(&multi::generate_feed(&mcfg));
+    let cfg = base_cfg(PurgeCadence::Eager);
+
+    let mut reg = QueryRegistry::new(tenant.schemes.clone(), cfg);
+    for (q, p) in &tenant.queries {
+        reg.try_admit(q, p, None).unwrap();
+    }
+    reg.try_feed(&feed).expect("quarantine admits the rest");
+    let result = reg.finish();
+
+    for ((q, p), reg_q) in tenant.queries.iter().zip(&result.queries) {
+        let solo = standalone(q, &tenant.schemes, p, cfg, &feed);
+        assert_eq!(reg_q.outputs, solo.outputs);
+        assert_eq!(reg_q.stats.purged, solo.metrics.purged);
+        assert_eq!(result.metrics.quarantined, solo.metrics.quarantined);
+    }
+}
+
+/// The planner's static sub-plan fingerprints must predict the registry's
+/// physical sharing exactly: distinct fingerprints == interned nodes,
+/// total fingerprints == per-query subscriptions.
+#[test]
+fn fingerprints_predict_registry_sharing() {
+    for overlap in [0.0, 0.5, 1.0] {
+        let mcfg = MultiConfig {
+            queries: 5,
+            overlap,
+            ..MultiConfig::default()
+        };
+        let tenant = multi::generate_queries(&mcfg);
+        let specs: Vec<(&Cjq, &Plan)> = tenant.queries.iter().map(|(q, p)| (q, p)).collect();
+        let predicted = fingerprint::sharing_report(&specs);
+
+        let mut reg = QueryRegistry::new(tenant.schemes.clone(), base_cfg(PurgeCadence::Eager));
+        for (q, p) in &tenant.queries {
+            reg.try_admit(q, p, None).unwrap();
+        }
+        assert_eq!(
+            predicted.shared_nodes,
+            reg.live_nodes(),
+            "overlap {overlap}: fingerprint interning must match the registry"
+        );
+        assert_eq!(predicted.subscriptions, reg.subscribed_nodes());
+    }
+}
