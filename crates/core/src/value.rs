@@ -27,9 +27,18 @@ pub struct Sym {
     text: &'static str,
 }
 
-fn interner() -> &'static Mutex<FxHashMap<&'static str, Sym>> {
-    static INTERNER: OnceLock<Mutex<FxHashMap<&'static str, Sym>>> = OnceLock::new();
-    INTERNER.get_or_init(|| Mutex::new(FxHashMap::default()))
+/// Interner storage: content → symbol plus the id → symbol reverse table
+/// that lets a serialized id (e.g. a spilled cold-tier row) round-trip back
+/// to its symbol within the same process.
+#[derive(Default)]
+struct Interner {
+    by_text: FxHashMap<&'static str, Sym>,
+    by_id: Vec<Sym>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner::default()))
 }
 
 impl Sym {
@@ -37,13 +46,14 @@ impl Sym {
     #[must_use]
     pub fn new(text: &str) -> Sym {
         let mut table = interner().lock().expect("interner poisoned");
-        if let Some(sym) = table.get(text) {
+        if let Some(sym) = table.by_text.get(text) {
             return *sym;
         }
-        let id = u32::try_from(table.len()).expect("interner overflow");
+        let id = u32::try_from(table.by_id.len()).expect("interner overflow");
         let stored: &'static str = Box::leak(text.to_owned().into_boxed_str());
         let sym = Sym { id, text: stored };
-        table.insert(stored, sym);
+        table.by_text.insert(stored, sym);
+        table.by_id.push(sym);
         sym
     }
 
@@ -51,6 +61,28 @@ impl Sym {
     #[must_use]
     pub fn as_str(&self) -> &'static str {
         self.text
+    }
+
+    /// This symbol's process-local intern id. Ids are dense (assigned in
+    /// interning order) and stable for the process lifetime, which makes them
+    /// a valid fixed-width on-disk encoding *within* one process — the
+    /// cold-tier spill format relies on exactly that.
+    #[inline]
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The symbol previously assigned `id`, or `None` if no such symbol was
+    /// interned in this process (decoding a foreign or corrupt id).
+    #[must_use]
+    pub fn from_id(id: u32) -> Option<Sym> {
+        interner()
+            .lock()
+            .expect("interner poisoned")
+            .by_id
+            .get(id as usize)
+            .copied()
     }
 }
 

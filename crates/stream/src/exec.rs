@@ -29,6 +29,7 @@ use crate::punct_store::PunctClass;
 use crate::purge::{PurgeEngine, PurgeScope, PurgeStrategy};
 use crate::sink::{CollectSink, CountSink, OutputBuffer, ResultSink};
 use crate::source::{BatchItem, ElementBatch, Feed};
+use crate::tier::{SpillStore, TierConfig, TierStats};
 use crate::tuple::Tuple;
 
 /// When purge cycles run (Plan Parameter II of §5.2, after \[6\]).
@@ -152,6 +153,15 @@ pub struct ExecConfig {
     /// `Metrics::stalled_streams` once this many elements pass without any
     /// admitted punctuation on it. `None` disables detection.
     pub stall_budget: Option<u64>,
+    /// Cold-tier state spilling (see [`crate::tier`]): when the
+    /// [`ExecConfig::state_budget`] trips and a purge cycle cannot shrink the
+    /// hot state under the cap, least-recently-probed rows are demoted into
+    /// on-disk columnar segments *before* the budget policy runs — the
+    /// lossless step between purging and shedding. Requires a state budget
+    /// to ever demote; incompatible with `window`, `punct_lifespan`, and
+    /// `purge_punctuations` (those evict or forget on wall-position grounds
+    /// the cold tier does not track). `None` disables tiering.
+    pub tiering: Option<TierConfig>,
 }
 
 impl Default for ExecConfig {
@@ -171,6 +181,7 @@ impl Default for ExecConfig {
             admission: AdmissionPolicy::default(),
             state_budget: None,
             stall_budget: None,
+            tiering: None,
         }
     }
 }
@@ -256,6 +267,8 @@ pub struct Executor {
     has_schemes: Vec<bool>,
     /// Reusable watchdog scratch: live-row arrival times.
     shed_scratch: Vec<u64>,
+    /// Cold-tier spill directory owner, present iff `cfg.tiering` is set.
+    spill: Option<SpillStore>,
 }
 
 impl Executor {
@@ -289,6 +302,16 @@ impl Executor {
             ));
         }
         schemes.validate(query.catalog())?;
+        if cfg.tiering.is_some()
+            && (cfg.window.is_some() || cfg.punct_lifespan.is_some() || cfg.purge_punctuations)
+        {
+            return Err(CoreError::InvalidPlan(
+                "tiering is incompatible with window eviction, punctuation \
+                 lifespans, and punctuation purging: those discard state or \
+                 coverage on grounds the cold tier does not track"
+                    .into(),
+            ));
+        }
         let engine = PurgeEngine::new_weighted(
             query,
             schemes,
@@ -316,12 +339,18 @@ impl Executor {
                 panic!("static certificate violation: {mismatch}");
             }
         }
+        if cfg.tiering.is_some() {
+            for op in &mut ops {
+                op.enable_tiering();
+            }
+        }
         let n_streams = query.n_streams();
         let has_schemes = query
             .stream_ids()
             .map(|s| !engine.punct_store(s).schemes().is_empty())
             .collect();
         Ok(Executor {
+            spill: cfg.tiering.map(|t| SpillStore::new(t.shard_tag)),
             guard: AdmissionGuard::new(query, cfg.admission),
             dead_letter: DeadLetter::none(),
             last_punct: vec![0; n_streams],
@@ -462,9 +491,10 @@ impl Executor {
         Ok(())
     }
 
-    /// Bounded-state watchdog: when live join state exceeds the budget, try
-    /// to purge (proving rows dead is always preferable), then apply the
-    /// budget policy to whatever still doesn't fit.
+    /// Bounded-state watchdog ladder: when live join state exceeds the
+    /// budget, try to purge (proving rows dead is always preferable), then —
+    /// with tiering enabled — demote cold rows to disk (lossless), and only
+    /// then apply the budget policy to whatever still doesn't fit.
     fn enforce_budget(&mut self) -> ExecResult<()> {
         let Some(budget) = self.cfg.state_budget else {
             return Ok(());
@@ -473,9 +503,39 @@ impl Executor {
             return Ok(());
         }
         self.purge_cycle();
-        let live = self.join_state_live();
+        let mut live = self.join_state_live();
         if live <= budget.max_rows {
             return Ok(());
+        }
+        if let Some(tier_cfg) = self.cfg.tiering {
+            // The lossless step between purging and shedding: demote the
+            // least-recently-probed rows into cold segments, down to the low
+            // watermark so steady-state inserts don't re-trip the budget
+            // every element. Probes fault matches back on demand.
+            let target = budget.max_rows * usize::from(tier_cfg.low_watermark_pct.min(100)) / 100;
+            let excess = live.saturating_sub(target);
+            if excess > 0 {
+                let mut touched = std::mem::take(&mut self.shed_scratch);
+                touched.clear();
+                for op in &self.ops {
+                    op.live_touched(&mut touched);
+                }
+                let k = excess.min(touched.len()).saturating_sub(1);
+                let (_, nth, _) = touched.select_nth_unstable(k);
+                let cutoff = *nth + 1;
+                self.shed_scratch = touched;
+                let spill = self
+                    .spill
+                    .as_mut()
+                    .expect("spill store exists iff tiering is configured");
+                for (oi, op) in self.ops.iter_mut().enumerate() {
+                    op.demote_colder_than(cutoff, spill, oi, tier_cfg.segment_rows);
+                }
+            }
+            live = self.join_state_live();
+            if live <= budget.max_rows {
+                return Ok(());
+            }
         }
         match budget.policy {
             BudgetPolicy::HardError => Err(ExecError::StateBudgetExceeded {
@@ -486,7 +546,10 @@ impl Executor {
             BudgetPolicy::Shed => {
                 // Shed the oldest rows: pick the arrival-time cutoff whose
                 // eviction removes at least the excess (ties may shed more —
-                // the budget is a ceiling, not a target).
+                // the budget is a ceiling, not a target). Each shed row is
+                // attributed to its operator port and routed to the
+                // dead-letter sink: shed rows were *not* proven dead, so the
+                // potentially lost results stay auditable.
                 let excess = live - budget.max_rows;
                 let mut arrivals = std::mem::take(&mut self.shed_scratch);
                 arrivals.clear();
@@ -497,8 +560,22 @@ impl Executor {
                 let (_, nth, _) = arrivals.select_nth_unstable(k);
                 let cutoff = *nth + 1;
                 let mut shed = 0;
+                let mut flat_port = 0;
+                let clock = self.clock;
                 for op in &mut self.ops {
-                    shed += op.shed_older_than(cutoff);
+                    let port_streams: Vec<StreamId> =
+                        op.port_spans().iter().map(|span| span[0]).collect();
+                    let dead_letter = &mut self.dead_letter;
+                    let by_port = op.shed_older_than_with(cutoff, &mut |port, row| {
+                        dead_letter.emit_shed(port_streams[port], row, clock);
+                    });
+                    for (port, &n) in by_port.iter().enumerate() {
+                        shed += n;
+                        if n > 0 {
+                            self.metrics.count_shed_rows(flat_port + port, n as u64);
+                        }
+                    }
+                    flat_port += by_port.len();
                 }
                 self.metrics.rows_shed += shed as u64;
                 self.metrics.shed_events += 1;
@@ -917,7 +994,25 @@ impl Executor {
                 .engine
                 .verify_mirror_against_oracle(crate::certify::ORACLE_SAMPLE);
             self.metrics.certificate_checks += checked;
+            // Cold-tier half of the invariant: a purge cycle must also have
+            // dropped every segment whose summaries a stored recipe covers —
+            // a covered segment surviving the cycle would be provably-dead
+            // rows outliving their certificate on disk.
+            for op in &self.ops {
+                assert!(
+                    !op.any_certified_cold_segment(&self.engine),
+                    "certificate violation: a punctuation-covered cold \
+                     segment survived a purge cycle"
+                );
+            }
         }
+    }
+
+    /// Rows currently resident in the cold (spilled) tier across all
+    /// operators (0 unless [`ExecConfig::tiering`] is set).
+    #[must_use]
+    pub fn cold_rows(&self) -> usize {
+        self.ops.iter().map(JoinOperator::cold_rows).sum()
     }
 
     fn sample(&mut self) {
@@ -927,6 +1022,7 @@ impl Executor {
             mirror: self.engine.mirror_live(),
             punct_entries: self.engine.punct_entries(),
             groups: self.groupby.as_ref().map_or(0, GroupBy::open_groups),
+            cold: self.cold_rows(),
         };
         self.metrics.sample(p);
     }
@@ -1026,6 +1122,15 @@ impl Executor {
     /// disjoint across shards (sum), broadcast state is replicated (union).
     pub fn finish_detailed(mut self) -> (RunResult, LiveStateSnapshot) {
         self.dead_letter.finish();
+        if self.cfg.tiering.is_some() {
+            // Rehydrate every cold row before the final purge cycle: the
+            // quiescent-point purge totals and the live snapshot then match
+            // a never-tiered run exactly (the tier-equivalence guarantee).
+            let clock = self.clock;
+            for op in &mut self.ops {
+                op.rehydrate_all(clock);
+            }
+        }
         self.purge_cycle();
         if self.cfg.verify_certificates {
             // Completeness at the quiescent point: no live row may be
@@ -1057,6 +1162,16 @@ impl Executor {
         self.sample();
         self.metrics.mirror_purged = self.engine.mirror_purged;
         self.metrics.punct_dropped = self.engine.punct_dropped;
+        if self.cfg.tiering.is_some() {
+            let mut ts = TierStats::default();
+            for op in &self.ops {
+                ts.add(&op.tier_stats());
+            }
+            self.metrics.rows_demoted = ts.rows_demoted;
+            self.metrics.rows_faulted = ts.rows_faulted;
+            self.metrics.segments_written = ts.segments_written;
+            self.metrics.segments_retired = ts.segments_retired;
+        }
         let operators = self
             .ops
             .iter()

@@ -10,7 +10,7 @@
 //! by the [`PurgeEngine`]; the operator only owns
 //! the join states and the probe machinery.
 
-use cjq_core::fxhash::FxHashMap;
+use cjq_core::fxhash::{FxHashMap, FxHashSet};
 use cjq_core::query::Cjq;
 use cjq_core::schema::StreamId;
 use cjq_core::scheme::SchemeSet;
@@ -18,11 +18,13 @@ use cjq_core::value::Value;
 
 use crate::layout::SpanLayout;
 use crate::purge::{
-    Candidates, CheckScratch, CompiledRecipe, PurgeEngine, PurgeScope, PurgeStrategy, PurgeTracker,
-    PurgeWork,
+    self, Candidates, CheckScratch, CompiledRecipe, PurgeEngine, PurgeScope, PurgeStrategy,
+    PurgeTracker, PurgeWork, StepSpec,
 };
+use crate::segment::StepSummary;
 use crate::sink::OutputBuffer;
 use crate::state::PortState;
+use crate::tier::{ColdTier, SpillStore, TierStats};
 
 /// A cross-port equi-join condition resolved to flat columns.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +73,11 @@ pub struct JoinOperator {
     /// Per port: delta tracker driving [`PurgeStrategy::Indexed`] passes
     /// (present exactly where a recipe is).
     trackers: Vec<Option<PurgeTracker>>,
+    /// Per port: the cold spill tier. Empty until
+    /// [`JoinOperator::enable_tiering`]; every port gets one then (ports
+    /// without a root-resolvable recipe still demote and fault back — their
+    /// segments just never certify for a bulk drop).
+    tiers: Vec<Option<ColdTier>>,
     /// Batched-path probe cache: depth-0 key -> `(start, len)` range of
     /// `scratch_slots`. Cleared per batch, kept to reuse the allocations.
     scratch_keys: FxHashMap<Value, (usize, usize)>,
@@ -242,6 +249,7 @@ impl JoinOperator {
             probe_plans,
             recipes,
             trackers,
+            tiers: Vec::new(),
             scratch_keys: FxHashMap::default(),
             scratch_slots: Vec::new(),
             scratch_check: CheckScratch::default(),
@@ -303,6 +311,16 @@ impl JoinOperator {
         }
     }
 
+    /// Appends the recency stamps (last-probed clock) of every live stored
+    /// tuple across all ports to `out` — the cold-tier demotion cutoff is
+    /// chosen over these, mirroring how the shed cutoff is chosen over
+    /// arrival times.
+    pub(crate) fn live_touched(&self, out: &mut Vec<u64>) {
+        for p in &self.ports {
+            p.live_touched(out);
+        }
+    }
+
     /// Load-shedding eviction: like [`JoinOperator::evict_window`] but
     /// counted separately by the caller (`Metrics::rows_shed`, not
     /// `purged` — shed rows were *not* proven dead). Returns rows evicted.
@@ -311,6 +329,212 @@ impl JoinOperator {
             .iter_mut()
             .map(|p| p.evict_older_than(cutoff))
             .sum()
+    }
+
+    /// Audited load shedding: like [`JoinOperator::shed_older_than`] but
+    /// reports each shed row to `on_shed(port, row)` *before* eviction and
+    /// returns the per-port shed counts, so lost results are attributable
+    /// (`Metrics::rows_shed_by_port`) and auditable via the dead-letter sink
+    /// instead of vanishing silently.
+    pub fn shed_older_than_with(
+        &mut self,
+        cutoff: u64,
+        on_shed: &mut dyn FnMut(usize, &[Value]),
+    ) -> Vec<usize> {
+        let mut by_port = Vec::with_capacity(self.ports.len());
+        for (port, state) in self.ports.iter_mut().enumerate() {
+            let slots = state.live_older_than(cutoff);
+            for &slot in &slots {
+                if let Some(row) = state.get(slot) {
+                    on_shed(port, row);
+                }
+            }
+            let shed = state.evict_older_than(cutoff);
+            debug_assert_eq!(shed, slots.len());
+            by_port.push(shed);
+        }
+        by_port
+    }
+
+    /// Attaches a cold tier to every port (idempotent). Ports whose recipe
+    /// is fully root-resolvable get per-step certification specs so covering
+    /// punctuations can drop their segments unread.
+    pub(crate) fn enable_tiering(&mut self) {
+        if !self.tiers.is_empty() {
+            return;
+        }
+        self.tiers = (0..self.ports.len())
+            .map(|port| {
+                let specs = self.recipes[port]
+                    .as_ref()
+                    .and_then(|r| purge::root_step_specs(r, self.ports[port].layout()));
+                Some(ColdTier::new(specs, self.ports[port].indexed_cols()))
+            })
+            .collect();
+    }
+
+    /// Whether tiering has been enabled on this operator.
+    #[must_use]
+    pub(crate) fn tiering_enabled(&self) -> bool {
+        !self.tiers.is_empty()
+    }
+
+    /// Rows currently resident in the cold tier across all ports.
+    #[must_use]
+    pub fn cold_rows(&self) -> usize {
+        self.tiers.iter().flatten().map(ColdTier::cold_rows).sum()
+    }
+
+    /// Cumulative tier counters summed over all ports.
+    #[must_use]
+    pub(crate) fn tier_stats(&self) -> TierStats {
+        let mut t = TierStats::default();
+        for tier in self.tiers.iter().flatten() {
+            t.add(&tier.stats);
+        }
+        t
+    }
+
+    #[inline]
+    fn has_cold(&self) -> bool {
+        self.tiers.iter().flatten().any(|t| t.cold_rows() > 0)
+    }
+
+    /// The correctness core of the tiered probe path: before any probing for
+    /// tuples entering `port`, fault back every cold row a DFS over the probe
+    /// plan *could* enumerate. One forward pass over the plan suffices: step
+    /// 0's probe keys come from the input rows themselves; a deeper step's
+    /// keys come from the rows of its bound port that the sweep already
+    /// matched (probe key only, filters ignored — a superset of the rows the
+    /// DFS will visit, so no cold row that could contribute to an output is
+    /// ever missed). Hot rows matched along the way are recency-stamped.
+    fn fault_sweep<'a, I>(&mut self, port: usize, rows: I, now: u64)
+    where
+        I: Iterator<Item = &'a [Value]> + Clone,
+    {
+        let mut matched: Vec<Option<Vec<usize>>> = vec![None; self.ports.len()];
+        let mut keys: FxHashSet<Value> = FxHashSet::default();
+        for depth in 0..self.probe_plans[port].len() {
+            let (j, relevant) = &self.probe_plans[port][depth];
+            let j = *j;
+            let (jcol, bport, bcol) = relevant[0];
+            keys.clear();
+            if bport == port {
+                for row in rows.clone() {
+                    keys.insert(row[bcol]);
+                }
+            } else {
+                let slots = matched[bport].as_ref().expect("probe order binds first");
+                for &slot in slots {
+                    if let Some(r) = self.ports[bport].get(slot) {
+                        keys.insert(r[bcol]);
+                    }
+                }
+            }
+            if let Some(tier) = &mut self.tiers[j] {
+                if tier.cold_rows() > 0 && !keys.is_empty() {
+                    for (seq, row) in tier.fault(jcol, &keys) {
+                        self.ports[j].insert_spilled_at(&row, now, seq);
+                    }
+                }
+            }
+            let mut hits = Vec::new();
+            for key in &keys {
+                hits.extend_from_slice(self.ports[j].probe(jcol, key));
+            }
+            for &slot in &hits {
+                self.ports[j].note_touched(slot, now);
+            }
+            matched[j] = Some(hits);
+        }
+    }
+
+    /// Demotes every live row last probed before `cutoff` into cold
+    /// segments, grouped by the first purge step's root key columns (tight
+    /// segment summaries) and chunked to `segment_rows`. Returns rows
+    /// demoted.
+    pub(crate) fn demote_colder_than(
+        &mut self,
+        cutoff: u64,
+        store: &mut SpillStore,
+        op_idx: usize,
+        segment_rows: usize,
+    ) -> u64 {
+        let mut total = 0u64;
+        for port in 0..self.ports.len() {
+            let Some(tier) = &mut self.tiers[port] else {
+                continue;
+            };
+            let state = &mut self.ports[port];
+            let group_cols: Vec<usize> = tier.group_cols().to_vec();
+            let mut victims: Vec<(Vec<Value>, u64, usize)> = (0..state.slots())
+                .filter(|&s| state.get(s).is_some() && state.touched_of(s) < cutoff)
+                .map(|s| {
+                    let row = state.get(s).expect("live victim");
+                    let key: Vec<Value> = group_cols.iter().map(|&c| row[c]).collect();
+                    (key, state.seq_of(s), s)
+                })
+                .collect();
+            if victims.is_empty() {
+                continue;
+            }
+            victims.sort_unstable();
+            for chunk in victims.chunks(segment_rows.max(1)) {
+                let rows: Vec<(u64, Vec<Value>)> = chunk
+                    .iter()
+                    .map(|&(_, seq, slot)| (seq, state.get(slot).expect("live").to_vec()))
+                    .collect();
+                tier.spill(store.alloc(op_idx, port), state.layout().width(), &rows);
+                for &(_, _, slot) in chunk {
+                    state.demote(slot);
+                }
+                total += rows.len() as u64;
+            }
+        }
+        total
+    }
+
+    /// Certified on-disk purge: drops every cold segment whose per-step key
+    /// summaries are fully covered by stored punctuations — the recipe
+    /// proves every row in it dead without reading the file. Returns rows
+    /// dropped (counted as purged).
+    fn drop_covered_segments(&mut self, engine: &PurgeEngine) -> u64 {
+        let mut dropped = 0u64;
+        for tier in self.tiers.iter_mut().flatten() {
+            dropped += tier.drop_covered(|spec, summary| step_covered(engine, spec, summary));
+        }
+        dropped
+    }
+
+    /// Whether any remaining cold segment is fully covered by stored
+    /// punctuations. After a purge cycle this must be `false` — the cold-tier
+    /// half of the certificate-verifier invariant that no provably-dead row
+    /// survives a cycle.
+    #[must_use]
+    pub(crate) fn any_certified_cold_segment(&self, engine: &PurgeEngine) -> bool {
+        self.tiers
+            .iter()
+            .flatten()
+            .any(|tier| tier.any_covered(|spec, summary| step_covered(engine, spec, summary)))
+    }
+
+    /// Faults every remaining cold row back into the hot arena (finish-time
+    /// rehydration): final purge totals and live state become identical to a
+    /// never-tiered run. Returns rows rehydrated.
+    pub(crate) fn rehydrate_all(&mut self, now: u64) -> u64 {
+        let mut n = 0u64;
+        for port in 0..self.ports.len() {
+            let Some(tier) = &mut self.tiers[port] else {
+                continue;
+            };
+            let mut rows = tier.rehydrate();
+            rows.sort_unstable_by_key(|&(seq, _)| seq);
+            for (seq, row) in &rows {
+                self.ports[port].insert_spilled_at(row, now, *seq);
+            }
+            n += rows.len() as u64;
+        }
+        n
     }
 
     /// Whether the port has a purge recipe under the configured scope.
@@ -335,6 +559,9 @@ impl JoinOperator {
         now: u64,
     ) -> Vec<Vec<Value>> {
         self.stats.tuples_in += 1;
+        if self.has_cold() {
+            self.fault_sweep(port, std::iter::once(&values[..]), now);
+        }
         let mut outputs = Vec::new();
         // DFS over the precomputed probe plan with per-port candidate
         // filtering; the probe loop itself is allocation-free (candidates are
@@ -401,6 +628,16 @@ impl JoinOperator {
             &mut outputs,
         );
         drop(assignment);
+        if self.tiering_enabled() {
+            if let Some((j, relevant)) = plan.first() {
+                let (jcol, bport, bcol) = relevant[0];
+                debug_assert_eq!(bport, port, "depth 0 binds to the origin");
+                let hits: Vec<usize> = self.ports[*j].probe(jcol, &values[bcol]).to_vec();
+                for slot in hits {
+                    self.ports[*j].note_touched(slot, now);
+                }
+            }
+        }
         self.ports[port].insert_at(values, now);
         self.stats.outputs += outputs.len() as u64;
         outputs
@@ -424,6 +661,11 @@ impl JoinOperator {
         I: Iterator<Item = (&'a [Value], u64)> + Clone,
     {
         assert_eq!(out.width(), self.out_layout.width(), "sink width mismatch");
+        if self.has_cold() {
+            if let Some((_, first_now)) = rows.clone().next() {
+                self.fault_sweep(port, rows.clone().map(|(r, _)| r), first_now);
+            }
+        }
         let mut keymap = std::mem::take(&mut self.scratch_keys);
         let mut slots = std::mem::take(&mut self.scratch_slots);
         keymap.clear();
@@ -435,10 +677,12 @@ impl JoinOperator {
         let (jcol0, _, kcol0) = rel0[0];
         let before = out.len();
         let mut n_rows = 0u64;
+        let mut batch_now = 0u64;
         {
             let mut assignment: Vec<Option<&[Value]>> = vec![None; self.ports.len()];
             for (row, now) in rows {
                 n_rows += 1;
+                batch_now = now;
                 // Depth 0 by hand: resolve the probe through the per-batch
                 // key cache, filter with the remaining depth-0 predicates
                 // (all bound to the origin row), then recurse as usual.
@@ -473,6 +717,15 @@ impl JoinOperator {
                     }
                 }
                 assignment[port] = None;
+            }
+        }
+        // Recency stamps for the cold tier, at key-bucket granularity: every
+        // depth-0 slot the batch enumerated was just probed.
+        if self.tiering_enabled() {
+            for &(start, len) in keymap.values() {
+                for &slot in &slots[start..start + len] {
+                    self.ports[*j0].note_touched(slot, batch_now);
+                }
             }
         }
         // Deferred inserts: same-port tuples never probe their own port, so
@@ -547,6 +800,9 @@ impl JoinOperator {
             pass_kept += (sweep.examined - sweep.slots.len()) as u64;
             work.purged += self.ports[port].purge_slots(&sweep.slots) as u64;
         }
+        // Cold tier: segments whose key summaries the recipes now fully
+        // cover are provably all-dead — drop them without reading the file.
+        work.purged += self.drop_covered_segments(engine);
         self.stats.purged += work.purged;
         self.stats.scan_candidates += work.examined;
         self.stats.kept = pass_kept;
@@ -614,6 +870,21 @@ impl JoinOperator {
             }
         }
         None
+    }
+}
+
+/// Whether stored punctuations of `spec.target` cover one segment step
+/// summary — the per-step certification primitive (see
+/// `purge::root_step_specs` for why covering every step's summary proves
+/// every summarized row dead). Ordered thresholds are downward-closed, so
+/// covering the summary's max covers the whole segment; hash coverage needs
+/// every distinct key combination present.
+fn step_covered(engine: &PurgeEngine, spec: &StepSpec, summary: &StepSummary) -> bool {
+    let store = engine.punct_store(spec.target);
+    match summary {
+        StepSummary::Max(v) => store.covers(spec.scheme_idx, std::slice::from_ref(v)),
+        StepSummary::Combos(combos) => combos.iter().all(|c| store.covers(spec.scheme_idx, c)),
+        StepSummary::Open => false,
     }
 }
 

@@ -52,9 +52,11 @@ pub mod parallel;
 pub mod punct_store;
 pub mod purge;
 pub mod registry;
+pub mod segment;
 pub mod sink;
 pub mod source;
 pub mod state;
+pub mod tier;
 pub mod tuple;
 
 /// Convenient re-exports of the most common types.
@@ -70,7 +72,7 @@ pub mod prelude {
     pub use crate::guard::{AdmissionFault, AdmissionGuard, AdmissionPolicy};
     pub use crate::join::JoinOperator;
     pub use crate::metrics::{Metrics, StatePoint};
-    pub use crate::parallel::{Partitioning, ShardedExecutor, ShardedRunResult};
+    pub use crate::parallel::{auto_shards, Partitioning, ShardedExecutor, ShardedRunResult};
     pub use crate::punct_store::PunctStore;
     pub use crate::purge::{CheckOutcome, PurgeEngine, PurgeScope};
     pub use crate::registry::{
@@ -79,5 +81,6 @@ pub mod prelude {
     };
     pub use crate::sink::{CallbackSink, CollectSink, CountSink, OutputBuffer, ResultSink};
     pub use crate::source::{ElementBatch, Feed};
+    pub use crate::tier::{SpillStore, TierConfig, TierStats};
     pub use crate::tuple::Tuple;
 }

@@ -17,6 +17,8 @@ pub struct StatePoint {
     pub punct_entries: usize,
     /// Open (blocked) groups in the aggregation stage, if any.
     pub groups: usize,
+    /// Rows resident in the cold (spilled) tier, if tiering is enabled.
+    pub cold: usize,
 }
 
 /// Aggregated metrics of one execution.
@@ -99,8 +101,27 @@ pub struct Metrics {
     /// `BudgetPolicy::Shed` (not counted in `purged`, which tracks
     /// punctuation/window-driven eviction).
     pub rows_shed: u64,
+    /// Shed rows broken down by operator port, flattened op-major in
+    /// bottom-up operator order (grown on demand): the audit trail that says
+    /// *which* join state lost rows, paired with the dead-letter records the
+    /// executor emits per shed row.
+    pub rows_shed_by_port: Vec<u64>,
     /// Number of load-shedding events the watchdog triggered.
     pub shed_events: u64,
+    /// Rows demoted from the hot arena into cold-tier segments.
+    pub rows_demoted: u64,
+    /// Cold rows faulted back into the hot arena (demand faults at probe
+    /// time plus finish-time rehydration).
+    pub rows_faulted: u64,
+    /// Cold-tier segments written to disk.
+    pub segments_written: u64,
+    /// Cold-tier segments removed: certified-dropped by a covering
+    /// punctuation recipe, fully drained by fault-back, or rehydrated at
+    /// finish.
+    pub segments_retired: u64,
+    /// Peak cold-tier resident rows (tracked with the sample series, like
+    /// the hot-state peaks).
+    pub cold_rows: usize,
     /// Streams currently flagged by the stall detector: punctuations stopped
     /// arriving for longer than `ExecConfig::stall_budget` elements (sorted,
     /// deduped; a stream is unflagged when a punctuation shows up again).
@@ -115,7 +136,17 @@ impl Metrics {
         self.peak_join_state = self.peak_join_state.max(p.join_state);
         self.peak_mirror = self.peak_mirror.max(p.mirror);
         self.peak_punct_entries = self.peak_punct_entries.max(p.punct_entries);
+        self.cold_rows = self.cold_rows.max(p.cold);
         self.series.push(p);
+    }
+
+    /// Counts `n` watchdog-shed rows on flattened operator port
+    /// `flat_port` (op-major, bottom-up operator order; grown on demand).
+    pub fn count_shed_rows(&mut self, flat_port: usize, n: u64) {
+        if self.rows_shed_by_port.len() <= flat_port {
+            self.rows_shed_by_port.resize(flat_port + 1, 0);
+        }
+        self.rows_shed_by_port[flat_port] += n;
     }
 
     /// Counts one punctuation-violating tuple on `stream`.
@@ -177,15 +208,16 @@ impl Metrics {
         self.series.last()
     }
 
-    /// Renders the sample series as CSV (`at,join_state,mirror,punct_entries,groups`)
-    /// for plotting state curves.
+    /// Renders the sample series as CSV
+    /// (`at,join_state,mirror,punct_entries,groups,cold`) for plotting state
+    /// curves.
     #[must_use]
     pub fn series_csv(&self) -> String {
-        let mut out = String::from("at,join_state,mirror,punct_entries,groups\n");
+        let mut out = String::from("at,join_state,mirror,punct_entries,groups,cold\n");
         for p in &self.series {
             out.push_str(&format!(
-                "{},{},{},{},{}\n",
-                p.at, p.join_state, p.mirror, p.punct_entries, p.groups
+                "{},{},{},{},{},{}\n",
+                p.at, p.join_state, p.mirror, p.punct_entries, p.groups, p.cold
             ));
         }
         out
@@ -244,7 +276,15 @@ impl Metrics {
         add_vec(&mut self.quarantined_rows, &other.quarantined_rows);
         self.repaired += other.repaired;
         self.rows_shed += other.rows_shed;
+        add_vec(&mut self.rows_shed_by_port, &other.rows_shed_by_port);
         self.shed_events += other.shed_events;
+        self.rows_demoted += other.rows_demoted;
+        self.rows_faulted += other.rows_faulted;
+        self.segments_written += other.segments_written;
+        self.segments_retired += other.segments_retired;
+        // Shard cold tiers are concurrent, so like the hot peaks the total
+        // cold footprint is their sum.
+        self.cold_rows += other.cold_rows;
         for &s in &other.stalled_streams {
             if !self.stalled_streams.contains(&s) {
                 self.stalled_streams.push(s);
@@ -278,6 +318,7 @@ mod tests {
             mirror: 3,
             punct_entries: 1,
             groups: 0,
+            cold: 7,
         });
         m.sample(StatePoint {
             at: 2,
@@ -285,10 +326,12 @@ mod tests {
             mirror: 9,
             punct_entries: 4,
             groups: 2,
+            cold: 3,
         });
         assert_eq!(m.peak_join_state, 5);
         assert_eq!(m.peak_mirror, 9);
         assert_eq!(m.peak_punct_entries, 4);
+        assert_eq!(m.cold_rows, 7);
         assert_eq!(m.last().unwrap().at, 2);
         assert_eq!(m.series.len(), 2);
     }
@@ -302,11 +345,12 @@ mod tests {
             mirror: 3,
             punct_entries: 1,
             groups: 0,
+            cold: 4,
         });
         let csv = m.series_csv();
         assert_eq!(
             csv,
-            "at,join_state,mirror,punct_entries,groups\n5,2,3,1,0\n"
+            "at,join_state,mirror,punct_entries,groups,cold\n5,2,3,1,0,4\n"
         );
     }
 
@@ -332,7 +376,13 @@ mod tests {
             peak_punct_entries: 3,
             repaired: 1,
             rows_shed: 8,
+            rows_shed_by_port: vec![5, 3],
             shed_events: 1,
+            rows_demoted: 12,
+            rows_faulted: 9,
+            segments_written: 3,
+            segments_retired: 2,
+            cold_rows: 6,
             violations: 2,
             violations_by_stream: vec![2],
             stalled_streams: vec![0, 2],
@@ -348,6 +398,12 @@ mod tests {
             batches_processed: 5,
             probe_keys_deduped: 2,
             rows_shed: 4,
+            rows_shed_by_port: vec![0, 1, 3],
+            rows_demoted: 2,
+            rows_faulted: 2,
+            segments_written: 1,
+            segments_retired: 1,
+            cold_rows: 2,
             violations: 1,
             violations_by_stream: vec![0, 0, 1],
             stalled_streams: vec![1, 2],
@@ -359,6 +415,7 @@ mod tests {
         let mut c = Metrics::default();
         c.count_quarantine_row(2, 1);
         c.rows_shed = 1;
+        c.count_shed_rows(1, 1);
 
         let merged = |x: &Metrics, y: &Metrics| {
             let mut m = x.clone();
@@ -379,6 +436,9 @@ mod tests {
         assert_eq!(ab.quarantined, 3);
         assert_eq!(ab.stalled_streams, vec![0, 1, 2]);
         assert_eq!(ab.shape_refused_rows(), 2);
+        assert_eq!(ab.rows_shed_by_port, vec![5, 4, 3]);
+        assert_eq!(ab.rows_demoted, 14);
+        assert_eq!(ab.cold_rows, 8);
     }
 
     #[test]

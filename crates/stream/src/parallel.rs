@@ -59,6 +59,20 @@ use crate::source::{ElementBatch, Feed};
 /// Elements per routed batch (amortizes channel synchronization).
 const ROUTE_BATCH: usize = 256;
 
+/// Caps a requested shard count at what the host can actually run
+/// concurrently. Shards are real threads: asking for more of them than the
+/// machine has cores buys no parallelism and still pays the routing,
+/// channel-synchronization, and replicated-broadcast-state costs — which is
+/// how `P = 4` ends up *slower* than `P = 2` on a two-core box. The floor of
+/// 2 keeps purge-locality wins available even on single-core hosts (a
+/// targeted punctuation still purges only one shard's slice). Never raises
+/// the request; always at least 1.
+#[must_use]
+pub fn auto_shards(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    requested.clamp(1, cores.max(2))
+}
+
 /// Renders a caught panic payload for [`ExecError::ShardPanicked`].
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -283,6 +297,19 @@ impl ShardedExecutor {
         })
     }
 
+    /// Like [`ShardedExecutor::compile`], but first caps `shards` at the
+    /// host's available cores via [`auto_shards`] — the right default for
+    /// throughput-sensitive callers that would otherwise oversubscribe.
+    pub fn compile_auto(
+        query: &Cjq,
+        schemes: &SchemeSet,
+        plan: &Plan,
+        cfg: ExecConfig,
+        shards: usize,
+    ) -> CoreResult<Self> {
+        ShardedExecutor::compile(query, schemes, plan, cfg, auto_shards(shards))
+    }
+
     /// The stream-to-shard partitioning in effect.
     #[must_use]
     pub fn partitioning(&self) -> &Partitioning {
@@ -377,8 +404,13 @@ impl ShardedExecutor {
         let p = self.partitioning.shards;
         let start = Instant::now();
         let mut execs: Vec<Executor> = (0..p)
-            .map(|_| {
-                Executor::compile(&self.query, &self.schemes, &self.plan, self.cfg)
+            .map(|shard| {
+                let mut cfg = self.cfg;
+                if let Some(t) = cfg.tiering.as_mut() {
+                    // Concurrent shards must never share segment files.
+                    t.shard_tag = shard as u32;
+                }
+                Executor::compile(&self.query, &self.schemes, &self.plan, cfg)
                     .expect("validated in ShardedExecutor::compile")
             })
             .collect();

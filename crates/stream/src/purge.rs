@@ -157,6 +157,67 @@ struct CompiledStep {
     filters: Vec<(usize, StreamId, usize)>,
 }
 
+/// Root-resolved key columns of one recipe step — the cold tier's
+/// segment-certification unit (see [`crate::tier`]).
+#[derive(Debug, Clone)]
+pub(crate) struct StepSpec {
+    /// The step's target stream (whose punctuation store is consulted).
+    pub target: StreamId,
+    /// Scheme index within the target's punctuation store.
+    pub scheme_idx: usize,
+    /// Ordered (threshold) vs. hash (entry) coverage.
+    pub ordered: bool,
+    /// Flat columns of the port layout carrying the step's required values.
+    pub cols: Vec<usize>,
+}
+
+/// Resolves every step of `recipe` to key columns of a port with `layout`,
+/// or `None` if any step's bindings fail to resolve.
+///
+/// Same root-resolution walk as [`PurgeTracker::new`], with a stronger
+/// requirement: *all* steps must resolve. When they do, a row's entire
+/// purgeability check is determined by its own cells — each step's
+/// requirement set is at most the singleton key read from the row (chain
+/// sets can only pin it to that key or be empty, which weakens the
+/// requirement to vacuous). Punctuation coverage of every row's key at every
+/// step therefore implies [`PurgeEngine::check_roots_with`] would declare
+/// every row purgeable — the property that lets a recipe certify a whole
+/// cold segment dead from its per-step key summaries alone, without
+/// rehydrating a single row.
+pub(crate) fn root_step_specs(
+    recipe: &CompiledRecipe,
+    layout: &SpanLayout,
+) -> Option<Vec<StepSpec>> {
+    let mut resolved: FxHashMap<(StreamId, usize), usize> = FxHashMap::default();
+    for &root in &recipe.roots {
+        if let Some(range) = layout.stream_range(root) {
+            for (attr, flat) in range.enumerate() {
+                resolved.insert((root, attr), flat);
+            }
+        }
+    }
+    let mut specs = Vec::with_capacity(recipe.steps.len());
+    for step in &recipe.steps {
+        let cols: Option<Vec<usize>> = step
+            .bindings
+            .iter()
+            .map(|&(src, col)| resolved.get(&(src, col)).copied())
+            .collect();
+        specs.push(StepSpec {
+            target: step.target,
+            scheme_idx: step.scheme_idx,
+            ordered: step.ordered,
+            cols: cols?,
+        });
+        for &(tcol, src, scol) in &step.filters {
+            if let Some(&flat) = resolved.get(&(src, scol)) {
+                resolved.entry((step.target, tcol)).or_insert(flat);
+            }
+        }
+    }
+    Some(specs)
+}
+
 /// Candidate set produced by [`PurgeTracker::collect`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Candidates {

@@ -57,7 +57,7 @@ use cjq_core::value::Value;
 use crate::certify;
 use crate::element::StreamElement;
 use crate::error::{ExecError, ExecResult};
-use crate::exec::{cadence_run_cap, ExecConfig, PurgeCadence};
+use crate::exec::{cadence_run_cap, BudgetPolicy, ExecConfig, PurgeCadence};
 use crate::guard::{AdmissionFault, AdmissionGuard, AdmissionPolicy};
 use crate::join::JoinOperator;
 use crate::metrics::{Metrics, StatePoint};
@@ -66,6 +66,7 @@ use crate::punct_store::PunctClass;
 use crate::purge::{CompiledRecipe, PurgeEngine, PurgeScope, PurgeWork};
 use crate::sink::{OutputBuffer, ResultSink};
 use crate::source::{BatchItem, ElementBatch, Feed};
+use crate::tier::{SpillStore, TierStats};
 
 /// Handle of an admitted query, stable for the registry's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -204,6 +205,10 @@ pub struct QueryRegistry {
     metrics: Metrics,
     scratch_survivors: Vec<u32>,
     scratch_row: Vec<Value>,
+    /// Cold-tier spill directory owner, present iff `cfg.tiering` is set.
+    spill: Option<SpillStore>,
+    /// Reusable demotion scratch: live-row recency stamps.
+    touch_scratch: Vec<u64>,
 }
 
 impl QueryRegistry {
@@ -211,14 +216,32 @@ impl QueryRegistry {
     ///
     /// # Panics
     /// Panics if `cfg` enables a single-query feature the shared engine
-    /// cannot honor per-tenant: windows, state/stall budgets, or
-    /// punctuation purging.
+    /// cannot honor per-tenant: windows, stall budgets, punctuation purging,
+    /// or a state budget without tiering — the registry never load-sheds
+    /// (lossy eviction in a shared arena would silently lose co-tenant
+    /// results), so a budget is honored only via lossless cold-tier
+    /// demotion under [`crate::exec::BudgetPolicy::HardError`].
     #[must_use]
     pub fn new(schemes: SchemeSet, cfg: ExecConfig) -> Self {
         assert!(
-            cfg.window.is_none() && cfg.state_budget.is_none() && cfg.stall_budget.is_none(),
-            "windows and watchdog budgets are per-query features; \
+            cfg.window.is_none() && cfg.stall_budget.is_none(),
+            "windows and stall budgets are per-query features; \
              run those queries on a dedicated Executor"
+        );
+        assert!(
+            cfg.state_budget.is_none()
+                || (cfg.tiering.is_some()
+                    && cfg
+                        .state_budget
+                        .is_some_and(|b| b.policy == BudgetPolicy::HardError)),
+            "a registry state budget requires tiering (lossless demotion) \
+             under BudgetPolicy::HardError: load shedding in a shared arena \
+             would silently lose co-tenant results"
+        );
+        assert!(
+            cfg.tiering.is_none() || cfg.punct_lifespan.is_none(),
+            "tiering is incompatible with punctuation lifespans (coverage \
+             the cold tier certified against may be forgotten)"
         );
         assert!(
             !cfg.purge_punctuations,
@@ -226,6 +249,8 @@ impl QueryRegistry {
              would starve co-tenants; disable it for registry runs"
         );
         QueryRegistry {
+            spill: cfg.tiering.map(|t| SpillStore::new(t.shard_tag)),
+            touch_scratch: Vec::new(),
             schemes,
             cfg,
             engine: None,
@@ -340,10 +365,14 @@ impl QueryRegistry {
             unreachable!("leaf plans rejected above");
         };
         for &n in &acc {
-            self.nodes[n]
-                .as_mut()
-                .expect("freshly interned")
-                .subscribers += 1;
+            let node = self.nodes[n].as_mut().expect("freshly interned");
+            node.subscribers += 1;
+            if self.cfg.tiering.is_some() {
+                // Shared nodes demote under the budget ladder; the node's
+                // own recipes certify its segments (node identity pins the
+                // predicate set, so every subscriber shares them).
+                node.op.enable_tiering();
+            }
         }
         let all: Vec<StreamId> = query.stream_ids().collect();
         let engine = self.engine.as_ref().expect("bootstrapped above");
@@ -499,13 +528,13 @@ impl QueryRegistry {
                 let res = self.try_push_run(t.stream, row.len().max(1), &row, 1);
                 self.scratch_row = row;
                 res?;
-                self.post_element();
+                self.post_element()?;
             }
             StreamElement::Punctuation(p) => {
                 self.clock += 1;
                 self.since_purge += 1;
                 self.try_push_punctuation(p)?;
-                self.post_element();
+                self.post_element()?;
             }
         }
         self.metrics.elapsed_ns += start.elapsed().as_nanos();
@@ -532,7 +561,7 @@ impl QueryRegistry {
                     self.clock += 1;
                     self.since_purge += 1;
                     self.try_push_punctuation(p)?;
-                    self.post_element();
+                    self.post_element()?;
                 }
                 BatchItem::Run {
                     stream,
@@ -549,7 +578,7 @@ impl QueryRegistry {
                             &batch.arena()[flat_start + off * width..],
                             take,
                         )?;
-                        self.post_element();
+                        self.post_element()?;
                         off += take;
                     }
                 }
@@ -602,6 +631,14 @@ impl QueryRegistry {
     /// certificate must hold for every tenant even under sharing.
     #[must_use]
     pub fn finish(mut self) -> RegistryResult {
+        if self.cfg.tiering.is_some() {
+            // Rehydrate every cold row before the final purge fixpoint so
+            // per-query purge attribution and outputs match untiered runs.
+            let clock = self.clock;
+            for node in self.nodes.iter_mut().flatten() {
+                node.op.rehydrate_all(clock);
+            }
+        }
         if self.engine.is_some() {
             self.purge_cycle();
             if self.cfg.verify_certificates {
@@ -642,6 +679,16 @@ impl QueryRegistry {
             self.metrics.mirror_purged = engine.mirror_purged;
             self.metrics.punct_dropped = engine.punct_dropped;
         }
+        if self.cfg.tiering.is_some() {
+            let mut ts = TierStats::default();
+            for node in self.nodes.iter().flatten() {
+                ts.add(&node.op.tier_stats());
+            }
+            self.metrics.rows_demoted = ts.rows_demoted;
+            self.metrics.rows_faulted = ts.rows_faulted;
+            self.metrics.segments_written = ts.segments_written;
+            self.metrics.segments_retired = ts.segments_retired;
+        }
         let queries = self
             .queries
             .into_iter()
@@ -667,6 +714,9 @@ impl QueryRegistry {
     /// purge cycle or sample is due (same rule as the single-query
     /// executor, the prerequisite for byte-identical equivalence).
     fn run_cap(&self) -> usize {
+        if self.cfg.state_budget.is_some() {
+            return 1; // the watchdog ladder is per-element
+        }
         cadence_run_cap(
             self.cfg.cadence,
             self.adaptive_batch,
@@ -676,8 +726,9 @@ impl QueryRegistry {
         )
     }
 
-    /// Per-element bookkeeping: cadence-driven purges and state samples.
-    fn post_element(&mut self) {
+    /// Per-element bookkeeping: cadence-driven purges, the shared budget
+    /// ladder, and state samples.
+    fn post_element(&mut self) -> ExecResult<()> {
         match self.cfg.cadence {
             PurgeCadence::Lazy { batch } if self.since_purge >= batch => self.purge_cycle(),
             PurgeCadence::Adaptive { .. } if self.since_purge >= self.adaptive_batch => {
@@ -685,9 +736,62 @@ impl QueryRegistry {
             }
             _ => {}
         }
+        self.enforce_budget()?;
         if self.clock.is_multiple_of(self.cfg.sample_every as u64) {
             self.sample();
         }
+        Ok(())
+    }
+
+    /// Shared-state budget ladder: purge (prove rows dead), then demote the
+    /// least-recently-probed rows into cold segments (lossless). The
+    /// registry never load-sheds — whatever still doesn't fit is a hard
+    /// error, per the [`QueryRegistry::new`] contract.
+    fn enforce_budget(&mut self) -> ExecResult<()> {
+        let Some(budget) = self.cfg.state_budget else {
+            return Ok(());
+        };
+        if self.join_state_live() <= budget.max_rows {
+            return Ok(());
+        }
+        self.purge_cycle();
+        let mut live = self.join_state_live();
+        if live <= budget.max_rows {
+            return Ok(());
+        }
+        let tier_cfg = self.cfg.tiering.expect("registry budgets require tiering");
+        let target = budget.max_rows * usize::from(tier_cfg.low_watermark_pct.min(100)) / 100;
+        let excess = live.saturating_sub(target);
+        if excess > 0 {
+            let mut touched = std::mem::take(&mut self.touch_scratch);
+            touched.clear();
+            for node in self.nodes.iter().flatten() {
+                node.op.live_touched(&mut touched);
+            }
+            let k = excess.min(touched.len()).saturating_sub(1);
+            let (_, nth, _) = touched.select_nth_unstable(k);
+            let cutoff = *nth + 1;
+            self.touch_scratch = touched;
+            let spill = self
+                .spill
+                .as_mut()
+                .expect("spill store exists iff tiering is configured");
+            for (ni, slot) in self.nodes.iter_mut().enumerate() {
+                if let Some(node) = slot {
+                    node.op
+                        .demote_colder_than(cutoff, spill, ni, tier_cfg.segment_rows);
+                }
+            }
+        }
+        live = self.join_state_live();
+        if live > budget.max_rows {
+            return Err(ExecError::StateBudgetExceeded {
+                live,
+                budget: budget.max_rows,
+                clock: self.clock,
+            });
+        }
+        Ok(())
     }
 
     fn sample(&mut self) {
@@ -697,6 +801,7 @@ impl QueryRegistry {
             mirror: self.engine.as_ref().map_or(0, PurgeEngine::mirror_live),
             punct_entries: self.engine.as_ref().map_or(0, PurgeEngine::punct_entries),
             groups: 0,
+            cold: self.nodes.iter().flatten().map(|n| n.op.cold_rows()).sum(),
         };
         self.metrics.sample(p);
     }
@@ -933,6 +1038,13 @@ impl QueryRegistry {
             checked +=
                 engine.verify_mirror_meet_against_oracle(&recipe_sets, certify::ORACLE_SAMPLE);
             self.metrics.certificate_checks += checked;
+            for node in self.nodes.iter().flatten() {
+                assert!(
+                    !node.op.any_certified_cold_segment(engine),
+                    "certificate violation: a punctuation-covered cold \
+                     segment survived a shared purge cycle"
+                );
+            }
         }
     }
 }
@@ -1093,8 +1205,13 @@ impl ShardedRegistry {
         self.consensus
     }
 
-    fn build_registry(&self) -> QueryRegistry {
-        let mut reg = QueryRegistry::new(self.schemes.clone(), self.cfg);
+    fn build_registry(&self, shard: usize) -> QueryRegistry {
+        let mut cfg = self.cfg;
+        if let Some(t) = cfg.tiering.as_mut() {
+            // Concurrent shard registries must never share segment files.
+            t.shard_tag = shard as u32;
+        }
+        let mut reg = QueryRegistry::new(self.schemes.clone(), cfg);
         for (q, p) in &self.specs {
             reg.try_admit(q, p, None)
                 .expect("validated in ShardedRegistry::compile");
@@ -1123,7 +1240,7 @@ impl ShardedRegistry {
         let p = self.partitioning.shards;
         let start = Instant::now();
         if p == 1 {
-            let mut reg = self.build_registry();
+            let mut reg = self.build_registry(0);
             reg.try_feed(feed).map_err(|e| ExecError::Shard {
                 shard: 0,
                 source: Box::new(e),
@@ -1146,7 +1263,7 @@ impl ShardedRegistry {
             for shard in 0..p {
                 let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u32>>(4);
                 senders.push(tx);
-                let reg = self.build_registry();
+                let reg = self.build_registry(shard);
                 handles.push(scope.spawn(move || {
                     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                         move || -> ExecResult<RegistryResult> {

@@ -59,11 +59,23 @@ pub struct PortState {
     /// Arrival time of each slot (monotone, since slots are append-only) —
     /// used by sliding-window eviction.
     arrivals: Vec<u64>,
+    /// Global insertion sequence of each slot. Unlike the slot id, a row's
+    /// sequence survives demotion to the cold tier and fault-back: probe
+    /// buckets are kept sorted by sequence, so probe enumeration order — and
+    /// thus output order — is identical whether or not a row ever spilled.
+    seqs: Vec<u64>,
+    next_seq: u64,
+    /// Last time each slot was probed (initialized to its arrival) — the
+    /// recency signal cold-tier demotion victimizes on.
+    touched: Vec<u64>,
     /// Slots before this index are all dead (window-eviction frontier).
     evict_front: usize,
     live: usize,
     inserted: u64,
     purged: u64,
+    /// Rows moved to the cold tier (detached but not dead — they may fault
+    /// back in under a fresh slot id with their original sequence).
+    demoted: u64,
     /// Flat column → value → slot indexes (live only; maintained on purge).
     indexes: FxHashMap<usize, FxHashMap<Value, Vec<usize>>>,
     /// Secondary indexes over purge-recipe key columns (see
@@ -97,10 +109,14 @@ impl PortState {
             arena: Vec::new(),
             live_bits: Vec::new(),
             arrivals: Vec::new(),
+            seqs: Vec::new(),
+            next_seq: 0,
+            touched: Vec::new(),
             evict_front: 0,
             live: 0,
             inserted: 0,
             purged: 0,
+            demoted: 0,
             indexes,
             purge_indexes: Vec::new(),
             retired: Vec::new(),
@@ -266,6 +282,12 @@ impl PortState {
         );
         let idx = self.arrivals.len();
         self.arrivals.push(now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seqs.push(seq);
+        self.touched.push(now);
+        // Sequences are assigned monotonically here, so appending keeps every
+        // probe bucket sorted by sequence (the invariant fault-back relies on).
         for (&col, index) in &mut self.indexes {
             index.entry(values[col]).or_default().push(idx);
         }
@@ -285,6 +307,47 @@ impl PortState {
         self.live_bits[idx / 64] |= 1 << (idx % 64);
         self.live += 1;
         self.inserted += 1;
+        idx
+    }
+
+    /// Re-admits a row faulted back from the cold tier under its **original**
+    /// insertion sequence `seq`. The row gets a fresh slot id (the arena is
+    /// append-only) and the current arrival time `now` (keeping arrivals
+    /// monotone), but probe buckets place it by `seq`, restoring the exact
+    /// enumeration position it held before demotion. Not counted in
+    /// [`PortState::inserted`] — it is a re-admission, not a new tuple.
+    pub(crate) fn insert_spilled_at(&mut self, values: &[Value], now: u64, seq: u64) -> usize {
+        debug_assert_eq!(values.len(), self.stride);
+        debug_assert!(
+            self.arrivals.last().is_none_or(|&t| t <= now),
+            "arrival timestamps must be monotone"
+        );
+        debug_assert!(seq < self.next_seq, "spilled row must predate the head");
+        let idx = self.arrivals.len();
+        self.arrivals.push(now);
+        self.seqs.push(seq);
+        self.touched.push(now);
+        let seqs = &self.seqs;
+        for (&col, index) in &mut self.indexes {
+            let bucket = index.entry(values[col]).or_default();
+            let pos = bucket.partition_point(|&s| seqs[s] < seq);
+            bucket.insert(pos, idx);
+        }
+        for PurgeIndex { cols, keys } in &mut self.purge_indexes {
+            match keys {
+                PurgeKeys::Hash(m) => m
+                    .entry(cols.iter().map(|&c| values[c]).collect())
+                    .or_default()
+                    .push(idx),
+                PurgeKeys::Range(m) => m.entry(values[cols[0]]).or_default().push(idx),
+            }
+        }
+        self.arena.extend_from_slice(values);
+        if idx.is_multiple_of(64) {
+            self.live_bits.push(0);
+        }
+        self.live_bits[idx / 64] |= 1 << (idx % 64);
+        self.live += 1;
         idx
     }
 
@@ -319,6 +382,32 @@ impl PortState {
 
     /// Purges the tuple in `slot`. Returns whether it was live.
     pub fn purge(&mut self, slot: usize) -> bool {
+        if !self.detach(slot) {
+            return false;
+        }
+        self.purged += 1;
+        if self.log_retired {
+            self.retired.push(slot);
+        }
+        true
+    }
+
+    /// Demotes the tuple in `slot` to the cold tier: identical arena/index
+    /// detachment to [`PortState::purge`], but the row is *not* dead — it is
+    /// not counted as purged and never enters the retraction log (demotion
+    /// must be invisible to purge trackers; the row's requirement sets did
+    /// not shrink). Returns whether it was live.
+    pub(crate) fn demote(&mut self, slot: usize) -> bool {
+        if !self.detach(slot) {
+            return false;
+        }
+        self.demoted += 1;
+        true
+    }
+
+    /// Shared detachment path for purge and demote: clears the live bit and
+    /// removes the slot from every probe and purge index.
+    fn detach(&mut self, slot: usize) -> bool {
         if !self.is_live(slot) {
             return false;
         }
@@ -367,10 +456,6 @@ impl PortState {
             }
         }
         self.live -= 1;
-        self.purged += 1;
-        if self.log_retired {
-            self.retired.push(slot);
-        }
         true
     }
 
@@ -391,6 +476,51 @@ impl PortState {
     #[must_use]
     pub fn purged(&self) -> u64 {
         self.purged
+    }
+
+    /// Total rows demoted to the cold tier (fault-back does not subtract).
+    #[must_use]
+    pub fn demoted(&self) -> u64 {
+        self.demoted
+    }
+
+    /// The global insertion sequence of `slot` (valid for live and detached
+    /// slots alike — sequences are append-only like the arena).
+    #[inline]
+    #[must_use]
+    pub(crate) fn seq_of(&self, slot: usize) -> u64 {
+        self.seqs[slot]
+    }
+
+    /// Stamps `slot` as probed at `now` (cold-tier recency signal).
+    #[inline]
+    pub(crate) fn note_touched(&mut self, slot: usize, now: u64) {
+        self.touched[slot] = now;
+    }
+
+    /// Last-probed time of `slot`.
+    #[inline]
+    #[must_use]
+    pub(crate) fn touched_of(&self, slot: usize) -> u64 {
+        self.touched[slot]
+    }
+
+    /// Appends the last-probed times of all live tuples to `out` (demotion's
+    /// cutoff-selection input, mirroring [`PortState::live_arrivals`]).
+    pub(crate) fn live_touched(&self, out: &mut Vec<u64>) {
+        out.extend(
+            (0..self.slots())
+                .filter(|&i| self.is_live(i))
+                .map(|i| self.touched[i]),
+        );
+    }
+
+    /// The flat columns carrying a probe hash index, in ascending order.
+    #[must_use]
+    pub(crate) fn indexed_cols(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.indexes.keys().copied().collect();
+        cols.sort_unstable();
+        cols
     }
 
     /// Iterates live tuples as `(slot, values)` in slot order.
@@ -415,6 +545,16 @@ impl PortState {
                 .filter(|&i| self.is_live(i))
                 .map(|i| self.arrivals[i]),
         );
+    }
+
+    /// Live slots that arrived strictly before `cutoff` — what
+    /// [`PortState::evict_older_than`] would evict, without evicting. The
+    /// audited shedding path reads the rows for dead-letter records first.
+    #[must_use]
+    pub(crate) fn live_older_than(&self, cutoff: u64) -> Vec<usize> {
+        (0..self.slots())
+            .filter(|&i| self.is_live(i) && self.arrivals[i] < cutoff)
+            .collect()
     }
 
     /// Phase one of the two-phase "collect, then purge" pattern shared by
@@ -665,6 +805,34 @@ mod tests {
         s.trim_retired_to(1);
         assert_eq!(s.retired_since(0), &[s2], "stale cursor clamps to base");
         assert_eq!(s.retire_end(), 2);
+    }
+
+    #[test]
+    fn demote_and_spilled_reinsert_restore_probe_order() {
+        let mut s = state();
+        let s0 = s.insert_at(row(1, 10), 1);
+        let s1 = s.insert_at(row(1, 11), 2);
+        let s2 = s.insert_at(row(1, 12), 3);
+        let seq1 = s.seq_of(s1);
+        assert!(s.demote(s1));
+        assert!(!s.demote(s1), "double demote is a no-op");
+        assert_eq!(s.live(), 2);
+        assert_eq!(s.demoted(), 1);
+        assert_eq!(s.purged(), 0, "demotion is not a purge");
+        assert_eq!(s.probe(0, &Value::Int(1)), &[s0, s2]);
+        // Fault the row back later: fresh slot id, original sequence — the
+        // probe bucket restores its pre-demotion enumeration position.
+        let s3 = s.insert_spilled_at(&row(1, 11), 9, seq1);
+        assert_eq!(s.probe(0, &Value::Int(1)), &[s0, s3, s2]);
+        assert_eq!(s.get(s3).unwrap()[1], Value::Int(11));
+        assert_eq!(s.inserted(), 3, "fault-back is not a new insert");
+        // Recency stamps update on probe-touch and feed live_touched.
+        s.note_touched(s0, 42);
+        assert_eq!(s.touched_of(s0), 42);
+        let mut touched = Vec::new();
+        s.live_touched(&mut touched);
+        assert_eq!(touched, vec![42, 3, 9]);
+        assert_eq!(s.indexed_cols(), vec![0]);
     }
 
     #[test]

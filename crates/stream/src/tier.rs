@@ -1,0 +1,314 @@
+//! Tiered join state: the cold tier beneath [`crate::state::PortState`].
+//!
+//! The bounded-state watchdog (PR 5) could only *shed* rows once a
+//! [`crate::exec::StateBudget`] was exceeded — silently losing join results.
+//! This module adds the lossless alternative the paper's safety theory
+//! enables: rows that punctuations have **not yet** proven dead, but that the
+//! hot arena has no room for, are demoted into on-disk columnar
+//! [`crate::segment::Segment`]s. Probes consult segment summaries and fault
+//! matching rows back; punctuation recipes that cover a whole segment's key
+//! summary drop it unread (the certified on-disk purge). The design follows
+//! the partially-stateful dataflow model (Noria's upquery/eviction split):
+//! eviction is a performance decision, never a correctness decision.
+//!
+//! Three pieces live here:
+//!
+//! * [`TierConfig`] — knobs carried in [`crate::exec::ExecConfig::tiering`];
+//! * [`SpillStore`] — owns one run's spill directory (per shard) and hands
+//!   out segment paths; the directory is removed on drop;
+//! * [`ColdTier`] — one port's set of segments plus demand-fault, certified
+//!   drop, and rehydration entry points, used by [`crate::join::JoinOperator`].
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cjq_core::fxhash::FxHashSet;
+use cjq_core::value::Value;
+
+use crate::purge::StepSpec;
+use crate::segment::{Segment, StepKey, StepSummary};
+
+/// Cold-tier knobs (carried by value inside `ExecConfig`, hence `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Rows per spilled segment. Smaller segments fault and certify at finer
+    /// grain; larger ones amortize file overhead.
+    pub segment_rows: usize,
+    /// Demotion target as a percentage of the state budget: when the budget
+    /// trips, demote down to this watermark rather than barely under the cap,
+    /// so steady-state inserts don't re-trip the budget every element.
+    pub low_watermark_pct: u8,
+    /// Tag mixed into the spill directory name; parallel shards set their
+    /// shard index so concurrent executors never share segment files.
+    pub shard_tag: u32,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            segment_rows: 256,
+            low_watermark_pct: 75,
+            shard_tag: 0,
+        }
+    }
+}
+
+/// Cumulative tier counters, aggregated into [`crate::metrics::Metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Rows demoted from the hot arena into segments.
+    pub rows_demoted: u64,
+    /// Rows faulted back into the hot arena (demand faults + finish-time
+    /// rehydration).
+    pub rows_faulted: u64,
+    /// Segments written to disk.
+    pub segments_written: u64,
+    /// Segments removed — certified-dropped by a covering recipe or fully
+    /// drained by fault-back.
+    pub segments_retired: u64,
+}
+
+impl TierStats {
+    /// Adds `other` into `self` (per-port → per-operator aggregation).
+    pub fn add(&mut self, other: &TierStats) {
+        self.rows_demoted += other.rows_demoted;
+        self.rows_faulted += other.rows_faulted;
+        self.segments_written += other.segments_written;
+        self.segments_retired += other.segments_retired;
+    }
+}
+
+static SPILL_INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+/// Owns one executor's spill directory and allocates segment file paths.
+///
+/// The directory name mixes the process id, a process-global instance
+/// counter, and the config's shard tag, so concurrent executors (tests,
+/// shards, registries) never collide. Dropping the store removes the
+/// directory and everything in it — a backstop behind per-segment cleanup.
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+    next_file: u64,
+}
+
+impl SpillStore {
+    /// Creates a fresh spill directory under the system temp dir.
+    #[must_use]
+    pub fn new(shard_tag: u32) -> SpillStore {
+        let inst = SPILL_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "cjq-spill-{}-{inst}-s{shard_tag}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).expect("create cold-tier spill directory");
+        SpillStore { dir, next_file: 0 }
+    }
+
+    /// The spill directory path.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Allocates the next segment path for the given operator port.
+    pub(crate) fn alloc(&mut self, op: usize, port: usize) -> PathBuf {
+        let n = self.next_file;
+        self.next_file += 1;
+        self.dir.join(format!("op{op}-p{port}-{n:06}.seg"))
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// The cold tier of one operator port: spilled segments plus the
+/// root-resolved purge-step specs that let a covering recipe certify whole
+/// segments dead.
+#[derive(Debug)]
+pub(crate) struct ColdTier {
+    /// Per-purge-step certification keys; `None` when the port's recipe is
+    /// absent or not fully root-resolvable — segments then only leave via
+    /// fault-back or finish-time rehydration (still lossless, never dropped).
+    specs: Option<Vec<StepSpec>>,
+    /// Flat columns carrying probe indexes (summarized per segment).
+    probe_cols: Vec<usize>,
+    segments: Vec<Segment>,
+    pub(crate) stats: TierStats,
+}
+
+impl ColdTier {
+    pub(crate) fn new(specs: Option<Vec<StepSpec>>, probe_cols: Vec<usize>) -> ColdTier {
+        ColdTier {
+            specs,
+            probe_cols,
+            segments: Vec::new(),
+            stats: TierStats::default(),
+        }
+    }
+
+    /// Rows currently resident in the cold tier.
+    pub(crate) fn cold_rows(&self) -> usize {
+        self.segments.iter().map(Segment::live).sum()
+    }
+
+    /// The first purge step's root key columns — demotion groups victims by
+    /// these so segment summaries stay tight (empty when uncertifiable).
+    pub(crate) fn group_cols(&self) -> &[usize] {
+        self.specs
+            .as_ref()
+            .and_then(|s| s.first())
+            .map_or(&[], |s| s.cols.as_slice())
+    }
+
+    /// Spills `rows` (original sequence + values) as one new segment.
+    pub(crate) fn spill(&mut self, path: PathBuf, stride: usize, rows: &[(u64, Vec<Value>)]) {
+        let step_keys: Option<Vec<StepKey>> = self.specs.as_ref().map(|specs| {
+            specs
+                .iter()
+                .map(|s| StepKey {
+                    ordered: s.ordered,
+                    cols: s.cols.clone(),
+                })
+                .collect()
+        });
+        self.segments.push(Segment::write(
+            path,
+            stride,
+            rows,
+            &self.probe_cols,
+            step_keys.as_deref(),
+        ));
+        self.stats.rows_demoted += rows.len() as u64;
+        self.stats.segments_written += 1;
+    }
+
+    /// Faults out every cold row whose `col` value is in `keys`. Segments
+    /// whose summary excludes all keys are never read; segments drained to
+    /// zero are retired.
+    pub(crate) fn fault(&mut self, col: usize, keys: &FxHashSet<Value>) -> Vec<(u64, Vec<Value>)> {
+        let mut out = Vec::new();
+        for seg in &mut self.segments {
+            if keys.iter().any(|k| seg.may_contain(col, k)) {
+                out.extend(seg.fault_matching(col, keys));
+            }
+        }
+        self.stats.rows_faulted += out.len() as u64;
+        self.retire_empty();
+        out
+    }
+
+    /// Drops every segment whose step summaries are all covered per
+    /// `covers`, i.e. the recipe proves every row in it dead — the certified
+    /// on-disk purge. Returns the number of rows dropped (they count as
+    /// purged, exactly as if each had been checked individually).
+    pub(crate) fn drop_covered(
+        &mut self,
+        mut covers: impl FnMut(&StepSpec, &StepSummary) -> bool,
+    ) -> u64 {
+        let Some(specs) = &self.specs else { return 0 };
+        let mut dropped = 0u64;
+        let mut retired = 0u64;
+        self.segments.retain(|seg| {
+            let covered = seg.step_summaries().len() == specs.len()
+                && specs
+                    .iter()
+                    .zip(seg.step_summaries())
+                    .all(|(spec, summary)| covers(spec, summary));
+            if covered {
+                dropped += seg.live() as u64;
+                retired += 1;
+            }
+            !covered
+        });
+        self.stats.segments_retired += retired;
+        dropped
+    }
+
+    /// Whether any remaining segment is fully covered per `covers` — the
+    /// certificate verifier asserts this is `false` after every purge cycle
+    /// (a covered segment surviving a cycle would be a provably-dead row
+    /// outliving its certificate in the cold tier).
+    pub(crate) fn any_covered(
+        &self,
+        mut covers: impl FnMut(&StepSpec, &StepSummary) -> bool,
+    ) -> bool {
+        let Some(specs) = &self.specs else {
+            return false;
+        };
+        self.segments.iter().any(|seg| {
+            seg.live() > 0
+                && seg.step_summaries().len() == specs.len()
+                && specs
+                    .iter()
+                    .zip(seg.step_summaries())
+                    .all(|(spec, summary)| covers(spec, summary))
+        })
+    }
+
+    /// Drains every remaining cold row (finish-time rehydration), retiring
+    /// all segments.
+    pub(crate) fn rehydrate(&mut self) -> Vec<(u64, Vec<Value>)> {
+        let mut out = Vec::new();
+        for seg in &mut self.segments {
+            out.extend(seg.drain_live());
+        }
+        self.stats.rows_faulted += out.len() as u64;
+        self.stats.segments_retired += self.segments.len() as u64;
+        self.segments.clear();
+        out
+    }
+
+    fn retire_empty(&mut self) {
+        let before = self.segments.len();
+        self.segments.retain(|s| s.live() > 0);
+        self.stats.segments_retired += (before - self.segments.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_store_allocates_unique_paths_and_cleans_up() {
+        let dir;
+        {
+            let mut store = SpillStore::new(3);
+            dir = store.dir().to_path_buf();
+            assert!(dir.is_dir());
+            let a = store.alloc(0, 1);
+            let b = store.alloc(0, 1);
+            assert_ne!(a, b);
+            assert!(a.starts_with(&dir));
+            fs::write(&a, b"x").unwrap();
+        }
+        assert!(!dir.exists(), "spill dir removed on drop");
+    }
+
+    #[test]
+    fn fault_and_rehydrate_round_trip() {
+        let mut store = SpillStore::new(0);
+        let mut tier = ColdTier::new(None, vec![0]);
+        let rows: Vec<(u64, Vec<Value>)> = (0..6)
+            .map(|i| (i, vec![Value::Int(i as i64 % 2), Value::Int(i as i64)]))
+            .collect();
+        tier.spill(store.alloc(0, 0), 2, &rows);
+        assert_eq!(tier.cold_rows(), 6);
+        let keys: FxHashSet<Value> = [Value::Int(0)].into_iter().collect();
+        let faulted = tier.fault(0, &keys);
+        assert_eq!(faulted.len(), 3);
+        assert_eq!(tier.cold_rows(), 3);
+        let rest = tier.rehydrate();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(tier.cold_rows(), 0);
+        assert_eq!(tier.stats.rows_demoted, 6);
+        assert_eq!(tier.stats.rows_faulted, 6);
+        assert_eq!(tier.stats.segments_written, 1);
+        assert_eq!(tier.stats.segments_retired, 1);
+    }
+}

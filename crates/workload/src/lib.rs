@@ -13,6 +13,8 @@
 //!   `ts ≤ T` schemes, after Srivastava & Widom \[11\]);
 //! * [`keyed`] — generic round-keyed feeds for any fixture query, with a
 //!   punctuation-lag knob controlling steady-state state size;
+//! * [`skewed`] — hot-set/cold-tail feeds with long punctuation lag for the
+//!   two-tier (memory-budgeted) state experiments;
 //! * [`multi`] — overlap-controlled multi-tenant query sets (a base chain
 //!   CJQ plus K derived queries sharing a configurable fraction of join
 //!   edges) for the shared-state registry bench and equivalence suite;
@@ -28,6 +30,7 @@ pub mod multi;
 pub mod network;
 pub mod random_query;
 pub mod sensor;
+pub mod skewed;
 pub mod trades;
 
 /// Convenient re-exports.
@@ -38,5 +41,6 @@ pub mod prelude {
     pub use crate::network::{network_query, NetworkConfig};
     pub use crate::random_query::{RandomQueryConfig, Topology};
     pub use crate::sensor::{sensor_query, SensorConfig};
+    pub use crate::skewed::SkewedConfig;
     pub use crate::trades::{trades_query, TradesConfig};
 }

@@ -26,8 +26,10 @@
 //! `--permissive` / `--repair` pick the admission policy (default
 //! permissive = quarantine), `--faults` injects a seeded fault plan
 //! (truncated tuples + dropped punctuations) to exercise the guard,
-//! `--shards N` runs the hash-partitioned executor, and `--json` renders
-//! the statistics machine-readably.
+//! `--shards N` runs the hash-partitioned executor, `--memory-budget N`
+//! caps live join-state rows (overflow demotes cold rows to on-disk
+//! segments before any shedding), and `--json` renders the statistics
+//! machine-readably.
 //!
 //! `--dot` prints the (generalized) punctuation graph in Graphviz format
 //! instead of the textual report. `--plan` additionally runs the optimizer
@@ -57,8 +59,10 @@ const EXIT_IO: u8 = 3;
 fn usage_main() {
     eprintln!("usage: cjq-check [lint] [--dot] [--plan] [--json] [FILE...]");
     eprintln!("       cjq-check replay [--strict|--permissive|--repair] [--faults]");
-    eprintln!("                        [--shards N] [--seed N] [--json] WORKLOAD...");
-    eprintln!("       cjq-check serve [--rounds N] [--lag N] [--shards N] [--json] SPEC...");
+    eprintln!("                        [--shards N] [--seed N] [--memory-budget N]");
+    eprintln!("                        [--json] WORKLOAD...");
+    eprintln!("       cjq-check serve [--rounds N] [--lag N] [--shards N]");
+    eprintln!("                       [--memory-budget N] [--json] SPEC...");
     eprintln!("       (reads stdin without FILE; WORKLOAD is one of");
     eprintln!("        auction, sensor, network, trades)");
     eprintln!("see src/parse.rs for the specification format");
@@ -345,12 +349,13 @@ mod replay {
     use punctuated_cjq::core::query::Cjq;
     use punctuated_cjq::core::scheme::SchemeSet;
     use punctuated_cjq::lint::json;
-    use punctuated_cjq::stream::exec::{ExecConfig, Executor};
+    use punctuated_cjq::stream::exec::{ExecConfig, Executor, StateBudget};
     use punctuated_cjq::stream::fault::{Fault, FaultPlan};
     use punctuated_cjq::stream::guard::{AdmissionFault, AdmissionPolicy};
     use punctuated_cjq::stream::metrics::Metrics;
     use punctuated_cjq::stream::parallel::ShardedExecutor;
     use punctuated_cjq::stream::source::Feed;
+    use punctuated_cjq::stream::tier::TierConfig;
     use punctuated_cjq::workload::{auction, network, sensor, trades};
 
     use super::{EXIT_PARSE, EXIT_UNSAFE};
@@ -363,14 +368,19 @@ mod replay {
         faults: bool,
         shards: usize,
         seed: u64,
+        memory_budget: Option<usize>,
         json: bool,
         workloads: Vec<String>,
     }
 
     fn usage() -> ExitCode {
         eprintln!("usage: cjq-check replay [--strict|--permissive|--repair] [--faults]");
-        eprintln!("                        [--shards N] [--seed N] [--json] WORKLOAD...");
+        eprintln!("                        [--shards N] [--seed N] [--memory-budget N]");
+        eprintln!("                        [--json] WORKLOAD...");
         eprintln!("       WORKLOAD: auction | sensor | network | trades");
+        eprintln!("       --memory-budget caps live join-state rows: overflow demotes");
+        eprintln!("       cold rows to on-disk segments (lossless) and sheds only as a");
+        eprintln!("       last resort, with shed rows audited in the report");
         eprintln!("       with several workloads the exit code is the worst across them");
         ExitCode::from(EXIT_PARSE)
     }
@@ -381,6 +391,7 @@ mod replay {
             faults: false,
             shards: 1,
             seed: DEFAULT_SEED,
+            memory_budget: None,
             json: false,
             workloads: Vec::new(),
         };
@@ -396,15 +407,15 @@ mod replay {
                 "--repair" => opts.policy = AdmissionPolicy::Repair,
                 "--faults" => opts.faults = true,
                 "--json" => opts.json = true,
-                "--shards" | "--seed" => {
+                "--shards" | "--seed" | "--memory-budget" => {
                     let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                         eprintln!("cjq-check: {arg} needs a numeric argument");
                         return Err(usage());
                     };
-                    if arg == "--shards" {
-                        opts.shards = (v as usize).max(1);
-                    } else {
-                        opts.seed = v;
+                    match arg.as_str() {
+                        "--shards" => opts.shards = (v as usize).max(1),
+                        "--seed" => opts.seed = v,
+                        _ => opts.memory_budget = Some((v as usize).max(1)),
                     }
                 }
                 flag if flag.starts_with('-') => {
@@ -490,6 +501,10 @@ mod replay {
             };
             let cfg = ExecConfig {
                 admission: opts.policy,
+                // A memory budget turns on the two-tier ladder: purge, then
+                // lossless demotion to cold segments, then audited shedding.
+                state_budget: opts.memory_budget.map(StateBudget::shedding),
+                tiering: opts.memory_budget.map(|_| TierConfig::default()),
                 ..ExecConfig::default()
             };
             let plan = Plan::mjoin_all(&query);
@@ -561,6 +576,18 @@ mod replay {
         );
         println!("  stalled streams:  {:?}", m.stalled_streams);
         println!("  peak join state:  {}", m.peak_join_state);
+        if let Some(budget) = opts.memory_budget {
+            println!("  memory budget:    {budget}");
+            println!("  rows demoted:     {}", m.rows_demoted);
+            println!("  rows faulted:     {}", m.rows_faulted);
+            println!(
+                "  segments:         {} written, {} retired",
+                m.segments_written, m.segments_retired
+            );
+            println!("  peak cold rows:   {}", m.cold_rows);
+            let shed: Vec<String> = m.rows_shed_by_port.iter().map(u64::to_string).collect();
+            println!("  shed by port:     [{}]", shed.join(", "));
+        }
     }
 
     fn render_json(opts: &Options, workload: &str, m: &Metrics) -> String {
@@ -606,6 +633,29 @@ mod replay {
             stalled.join(", ")
         ));
         out.push_str("  },\n");
+        out.push_str("  \"tier\": {\n");
+        out.push_str(&format!(
+            "    \"memory_budget\": {},\n",
+            opts.memory_budget
+                .map_or_else(|| "null".to_owned(), |b| b.to_string())
+        ));
+        out.push_str(&format!("    \"rows_demoted\": {},\n", m.rows_demoted));
+        out.push_str(&format!("    \"rows_faulted\": {},\n", m.rows_faulted));
+        out.push_str(&format!(
+            "    \"segments_written\": {},\n",
+            m.segments_written
+        ));
+        out.push_str(&format!(
+            "    \"segments_retired\": {},\n",
+            m.segments_retired
+        ));
+        out.push_str(&format!("    \"peak_cold_rows\": {},\n", m.cold_rows));
+        let shed: Vec<String> = m.rows_shed_by_port.iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            "    \"rows_shed_by_port\": [{}]\n",
+            shed.join(", ")
+        ));
+        out.push_str("  },\n");
         out.push_str(&format!("  \"peak_join_state\": {}\n", m.peak_join_state));
         out.push('}');
         out
@@ -629,9 +679,10 @@ mod serve {
     use punctuated_cjq::core::value::Value;
     use punctuated_cjq::lint::json;
     use punctuated_cjq::parse::parse_spec;
-    use punctuated_cjq::stream::exec::ExecConfig;
+    use punctuated_cjq::stream::exec::{ExecConfig, StateBudget};
     use punctuated_cjq::stream::registry::{QueryRegistry, RegistryResult, ShardedRegistry};
     use punctuated_cjq::stream::source::Feed;
+    use punctuated_cjq::stream::tier::TierConfig;
     use punctuated_cjq::stream::tuple::Tuple;
 
     use super::{EXIT_IO, EXIT_PARSE, EXIT_UNSAFE};
@@ -640,16 +691,21 @@ mod serve {
         rounds: u64,
         lag: u64,
         shards: usize,
+        memory_budget: Option<usize>,
         json: bool,
         specs: Vec<String>,
     }
 
     fn usage() -> ExitCode {
-        eprintln!("usage: cjq-check serve [--rounds N] [--lag N] [--shards N] [--json] SPEC...");
+        eprintln!("usage: cjq-check serve [--rounds N] [--lag N] [--shards N]");
+        eprintln!("                       [--memory-budget N] [--json] SPEC...");
         eprintln!("       admits every SPEC into one shared-state registry (specs must");
         eprintln!("       declare identical streams) and replays a synthetic round-keyed");
         eprintln!("       feed: one tuple per stream per round, punctuations trailing by");
         eprintln!("       --lag rounds (default 2); --rounds controls feed length (default 64)");
+        eprintln!("       --memory-budget caps the shared arena: overflow demotes cold rows");
+        eprintln!("       to on-disk segments; shedding never applies to shared state, so");
+        eprintln!("       an unservable budget fails the run instead of losing results");
         ExitCode::from(EXIT_PARSE)
     }
 
@@ -658,6 +714,7 @@ mod serve {
             rounds: 64,
             lag: 2,
             shards: 1,
+            memory_budget: None,
             json: false,
             specs: Vec::new(),
         };
@@ -669,7 +726,7 @@ mod serve {
                     return Err(ExitCode::SUCCESS);
                 }
                 "--json" => opts.json = true,
-                "--rounds" | "--lag" | "--shards" => {
+                "--rounds" | "--lag" | "--shards" | "--memory-budget" => {
                     let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                         eprintln!("cjq-check: {arg} needs a numeric argument");
                         return Err(usage());
@@ -677,7 +734,8 @@ mod serve {
                     match arg.as_str() {
                         "--rounds" => opts.rounds = v.max(1),
                         "--lag" => opts.lag = v,
-                        _ => opts.shards = (v as usize).max(1),
+                        "--shards" => opts.shards = (v as usize).max(1),
+                        _ => opts.memory_budget = Some((v as usize).max(1)),
                     }
                 }
                 flag if flag.starts_with('-') => {
@@ -780,8 +838,14 @@ mod serve {
         }
 
         // Admit each spec; unsafe ones are rejected with their witness but
-        // the session continues with whatever was admitted.
-        let cfg = ExecConfig::default();
+        // the session continues with whatever was admitted. Shared state is
+        // never shed (that would silently lose co-tenant results), so a
+        // budgeted registry pairs lossless tiering with a hard-error floor.
+        let cfg = ExecConfig {
+            state_budget: opts.memory_budget.map(StateBudget::hard),
+            tiering: opts.memory_budget.map(|_| TierConfig::default()),
+            ..ExecConfig::default()
+        };
         let mut probe = QueryRegistry::new(schemes.clone(), cfg);
         let mut admitted: Vec<Admitted> = Vec::new();
         let mut rejected: Vec<(String, String)> = Vec::new();
@@ -901,6 +965,16 @@ mod serve {
         println!("  punctuations in:  {}", m.puncts_in);
         println!("  purged:           {}", m.purged);
         println!("  peak join state:  {}", m.peak_join_state);
+        if let Some(budget) = opts.memory_budget {
+            println!("  memory budget:    {budget}");
+            println!("  rows demoted:     {}", m.rows_demoted);
+            println!("  rows faulted:     {}", m.rows_faulted);
+            println!(
+                "  segments:         {} written, {} retired",
+                m.segments_written, m.segments_retired
+            );
+            println!("  peak cold rows:   {}", m.cold_rows);
+        }
     }
 
     fn print_json(
@@ -943,6 +1017,24 @@ mod serve {
         out.push_str(&format!("  \"puncts_in\": {},\n", m.puncts_in));
         out.push_str(&format!("  \"outputs\": {},\n", m.outputs));
         out.push_str(&format!("  \"purged\": {},\n", m.purged));
+        out.push_str("  \"tier\": {\n");
+        out.push_str(&format!(
+            "    \"memory_budget\": {},\n",
+            opts.memory_budget
+                .map_or_else(|| "null".to_owned(), |b| b.to_string())
+        ));
+        out.push_str(&format!("    \"rows_demoted\": {},\n", m.rows_demoted));
+        out.push_str(&format!("    \"rows_faulted\": {},\n", m.rows_faulted));
+        out.push_str(&format!(
+            "    \"segments_written\": {},\n",
+            m.segments_written
+        ));
+        out.push_str(&format!(
+            "    \"segments_retired\": {},\n",
+            m.segments_retired
+        ));
+        out.push_str(&format!("    \"peak_cold_rows\": {}\n", m.cold_rows));
+        out.push_str("  },\n");
         out.push_str(&format!("  \"peak_join_state\": {}\n", m.peak_join_state));
         out.push('}');
         println!("{out}");
