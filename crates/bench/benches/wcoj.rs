@@ -1,0 +1,292 @@
+//! Worst-case-optimal vs binary join execution on cyclic graph queries.
+//!
+//! Runs the triangle query over the hub-skewed and uniform edge workloads
+//! (see [`cjq_workload::graph`]) through three executions:
+//!
+//! * **tree** — the left-deep binary plan `(E1 ⋈ E2) ⋈ E3`: every 2-path
+//!   through a hub is materialized as an intermediate composite row before
+//!   the closing edge can reject it;
+//! * **mjoin** — the flat MJoin with binary port-by-port DFS probing: no
+//!   stored intermediates, but the probe loop still *enumerates* every
+//!   2-path candidate pair on arrival;
+//! * **wcoj** — the same flat operator with the worst-case-optimal
+//!   prefix-extension path (`ExecConfig::wcoj`): one vertex class is bound
+//!   at a time through count–min–extend–intersect, so hub fan-outs are
+//!   intersected before they multiply.
+//!
+//! All three run with query-level purge scope and identical punctuated
+//! vertex retirement; outputs and purge totals agree exactly (see
+//! `tests/wcoj_equivalence.rs` for the byte-level proof). Records
+//! elements/second and the intermediate-row counts into `BENCH_wcoj.json`
+//! at the repository root, asserting the acceptance criteria inline: on the
+//! skewed triangle workload at ≥ 100k edges, wcoj sustains ≥ 2× the tree
+//! plan's throughput and materializes strictly fewer intermediate rows.
+//!
+//! `cargo bench --bench wcoj -- --quick` (or `CJQ_WCOJ_QUICK=1`) runs a
+//! scaled-down workload with the equality/metric assertions (skipping the
+//! throughput-ratio assertion and the JSON write) — the CI smoke step.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cjq_core::plan::Plan;
+use cjq_core::query::Cjq;
+use cjq_core::scheme::SchemeSet;
+use cjq_stream::exec::{ExecConfig, Executor, RunResult};
+use cjq_stream::purge::PurgeScope;
+use cjq_workload::graph::{self, GraphConfig};
+
+const SAMPLES: usize = 3;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CJQ_WCOJ_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn workload_cfg(quick: bool) -> GraphConfig {
+    if quick {
+        GraphConfig {
+            edges: 6_000,
+            vertices: 300,
+            window: 48,
+            hubs: 12,
+            hub_pct: 40,
+            punct_lag: 300,
+            ..GraphConfig::default()
+        }
+    } else {
+        GraphConfig {
+            edges: 120_000,
+            vertices: 4_000,
+            window: 192,
+            hubs: 24,
+            hub_pct: 40,
+            punct_lag: 2_000,
+            ..GraphConfig::default()
+        }
+    }
+}
+
+/// Query-level purge scope: plan-independent purging, so the tree plan's
+/// composite intermediates purge under the same vertex retirements.
+fn base_cfg() -> ExecConfig {
+    ExecConfig {
+        scope: PurgeScope::Query,
+        record_outputs: false,
+        ..ExecConfig::default()
+    }
+}
+
+struct ConfigReport {
+    name: &'static str,
+    eps: f64,
+    outputs: u64,
+    intermediate_rows: u64,
+    purged: u64,
+    peak_state: usize,
+}
+
+/// Times `f` SAMPLES times, returning the median elements/second and the
+/// last run's result (every run is deterministic, so any result serves).
+fn median_eps(elements: usize, mut f: impl FnMut() -> RunResult) -> (f64, RunResult) {
+    let mut last = None;
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            last = Some(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    (
+        elements as f64 / times[SAMPLES / 2],
+        last.expect("SAMPLES > 0"),
+    )
+}
+
+fn report(name: &'static str, eps: f64, res: &RunResult) -> ConfigReport {
+    let m = &res.metrics;
+    ConfigReport {
+        name,
+        eps,
+        outputs: m.outputs,
+        intermediate_rows: m.intermediate_rows,
+        purged: m.purged,
+        peak_state: m.peak_join_state,
+    }
+}
+
+/// The three executions of one workload: (label, plan, wcoj flag).
+fn executions(query: &Cjq) -> [(&'static str, Plan, bool); 3] {
+    let order: Vec<_> = query.stream_ids().collect();
+    [
+        ("tree", Plan::left_deep(&order), false),
+        ("mjoin", Plan::mjoin_all(query), false),
+        ("wcoj", Plan::mjoin_all(query), true),
+    ]
+}
+
+fn run_workload(
+    c: &mut Criterion,
+    label: &str,
+    query: &Cjq,
+    schemes: &SchemeSet,
+    wl: &GraphConfig,
+    quick: bool,
+) -> Vec<ConfigReport> {
+    let feed = graph::generate(query, schemes, wl);
+    let mut group = c.benchmark_group(label);
+    let mut reports = Vec::new();
+    for (name, plan, wcoj) in executions(query) {
+        let cfg = ExecConfig { wcoj, ..base_cfg() };
+        let run = || {
+            Executor::compile(query, schemes, &plan, cfg)
+                .expect("graph queries compile")
+                .run(&feed)
+        };
+        if quick {
+            // The criterion harness runs only at quick scale — the full
+            // workload's tree runs take minutes each, so the hand-rolled
+            // sampler below is the only timer there.
+            group.bench_function(name, |b| {
+                b.iter(|| black_box(run().metrics.outputs));
+            });
+        }
+        let (eps, res) = median_eps(feed.len(), run);
+        eprintln!("  {label}/{name}: {eps:.0} elements/s");
+        reports.push(report(name, eps, &res));
+    }
+    group.finish();
+
+    let (tree, mjoin, wcoj) = (&reports[0], &reports[1], &reports[2]);
+    assert_eq!(tree.outputs, mjoin.outputs, "{label}: plans must agree");
+    assert_eq!(
+        mjoin.outputs, wcoj.outputs,
+        "{label}: probe paths must agree"
+    );
+    assert!(wcoj.outputs > 0, "{label}: cycles must close");
+    // Acceptance: the flat paths materialize nothing; the tree pays for
+    // every 2-path it builds.
+    assert!(
+        tree.intermediate_rows > 0,
+        "{label}: the tree plan must materialize intermediates"
+    );
+    assert_eq!(wcoj.intermediate_rows, 0, "{label}: wcoj stays flat");
+    assert!(wcoj.intermediate_rows < tree.intermediate_rows);
+    eprintln!(
+        "{label}: wcoj {:.2}x tree eps, {:.2}x mjoin eps; intermediates tree {} vs wcoj {}",
+        wcoj.eps / tree.eps,
+        wcoj.eps / mjoin.eps,
+        tree.intermediate_rows,
+        wcoj.intermediate_rows,
+    );
+    reports
+}
+
+fn bench_wcoj(c: &mut Criterion) {
+    let quick = quick_mode();
+    let wl = workload_cfg(quick);
+    let (query, schemes) = graph::triangle_query();
+
+    let skewed = run_workload(c, "triangle_skewed", &query, &schemes, &wl, quick);
+    let uniform = run_workload(
+        c,
+        "triangle_uniform",
+        &query,
+        &schemes,
+        &wl.uniform(),
+        quick,
+    );
+
+    if quick {
+        eprintln!("quick mode: assertions passed, skipping BENCH_wcoj.json");
+        return;
+    }
+    // Tentpole acceptance: ≥ 2× the binary tree plan's throughput on the
+    // skewed triangle workload at ≥ 100k edges.
+    assert!(wl.edges >= 100_000, "acceptance workload size");
+    let (tree, wcoj) = (&skewed[0], &skewed[2]);
+    assert!(
+        wcoj.eps >= 2.0 * tree.eps,
+        "acceptance: wcoj must sustain >= 2x the binary plan's throughput \
+         on the skewed triangle workload (got {:.2}x)",
+        wcoj.eps / tree.eps
+    );
+    write_report(&wl, &[("skewed", &skewed), ("uniform", &uniform)]);
+}
+
+fn write_report(wl: &GraphConfig, workloads: &[(&str, &[ConfigReport])]) {
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"wcoj\",\n");
+    json.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    json.push_str(
+        "  \"note\": \"triangle query over directed edge streams with punctuated vertex \
+         retirement (query-level purge scope). tree = left-deep binary plan, which stores \
+         every hub 2-path as an intermediate composite row; mjoin = flat MJoin with binary \
+         port-by-port DFS probing (no stored intermediates, but the DFS still enumerates \
+         candidate pairs); wcoj = the same flat operator with worst-case-optimal prefix \
+         extension (count-min-extend-intersect per vertex class). outputs and purge totals \
+         agree exactly across all three; intermediate_rows is the count of composite rows \
+         forwarded between operators, the quantity a cyclic query makes super-linear in a \
+         tree plan\",\n",
+    );
+    json.push_str("  \"workload\": {\n");
+    json.push_str(&format!("    \"edges\": {},\n", wl.edges));
+    json.push_str(&format!("    \"vertices\": {},\n", wl.vertices));
+    json.push_str(&format!("    \"window\": {},\n", wl.window));
+    json.push_str(&format!("    \"hubs\": {},\n", wl.hubs));
+    json.push_str(&format!("    \"hub_pct\": {},\n", wl.hub_pct));
+    json.push_str(&format!("    \"punct_lag\": {}\n", wl.punct_lag));
+    json.push_str("  },\n");
+    json.push_str("  \"workloads\": [\n");
+    for (wi, (wname, reports)) in workloads.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{wname}\",\n"));
+        json.push_str("      \"configs\": [\n");
+        let tree_eps = reports[0].eps;
+        for (i, r) in reports.iter().enumerate() {
+            json.push_str("        {\n");
+            json.push_str(&format!("          \"name\": \"{}\",\n", r.name));
+            json.push_str(&format!("          \"eps\": {:.1},\n", r.eps));
+            json.push_str(&format!(
+                "          \"speedup_vs_tree\": {:.3},\n",
+                r.eps / tree_eps
+            ));
+            json.push_str(&format!("          \"outputs\": {},\n", r.outputs));
+            json.push_str(&format!(
+                "          \"intermediate_rows\": {},\n",
+                r.intermediate_rows
+            ));
+            json.push_str(&format!("          \"purged\": {},\n", r.purged));
+            json.push_str(&format!(
+                "          \"peak_state_rows\": {}\n",
+                r.peak_state
+            ));
+            json.push_str(&format!(
+                "        }}{}\n",
+                if i + 1 < reports.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      ]\n");
+        json.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wcoj.json");
+    std::fs::write(path, json).expect("write BENCH_wcoj.json");
+    eprintln!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_wcoj
+}
+criterion_main!(benches);

@@ -126,6 +126,60 @@ impl JoinGraph {
         self.is_connected() && self.edge_count() + 1 == self.n()
     }
 
+    /// A witness cycle if the graph has one: the streams of a simple cycle in
+    /// DFS-discovery order, starting from the back-edge's ancestor endpoint.
+    /// Returns `None` for trees (and for disconnected forests without cycles).
+    ///
+    /// Cyclic join graphs are exactly where a worst-case-optimal (prefix-
+    /// extension) execution beats every binary join tree: a binary plan over
+    /// a cycle must materialize an intermediate unconstrained by the closing
+    /// edge. The witness is deterministic — DFS visits nodes in `nodes` order
+    /// and neighbors in sorted order — so diagnostics and tests can assert on
+    /// it.
+    #[must_use]
+    pub fn cycle_witness(&self) -> Option<Vec<StreamId>> {
+        // Iterative DFS with parent tracking over every component.
+        let n = self.n();
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut color = vec![0u8; n]; // 0 unseen, 1 on stack, 2 done
+        for root in 0..n {
+            if color[root] != 0 {
+                continue;
+            }
+            // (node, parent) frames; re-push the node to mark post-order.
+            let mut stack: Vec<(usize, Option<usize>)> = vec![(root, None)];
+            while let Some(&(u, p)) = stack.last() {
+                if color[u] == 0 {
+                    color[u] = 1;
+                    parent[u] = p;
+                    for v in self.neighbors(self.nodes[u]) {
+                        let iv = self.pos[&v];
+                        if color[iv] == 0 {
+                            stack.push((iv, Some(u)));
+                        } else if color[iv] == 1 && Some(iv) != p {
+                            // Back edge u → iv: walk the parent chain from u
+                            // up to iv to recover the cycle.
+                            let mut path = vec![u];
+                            let mut cur = u;
+                            while cur != iv {
+                                cur = parent[cur].expect("iv is an ancestor of u");
+                                path.push(cur);
+                            }
+                            path.reverse(); // ancestor (iv) first
+                            return Some(path.into_iter().map(|i| self.nodes[i]).collect());
+                        }
+                    }
+                } else {
+                    if color[u] == 1 {
+                        color[u] = 2;
+                    }
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
     /// A BFS spanning tree rooted at `root`, as `(child, parent)` pairs in BFS
     /// order (§3.2.1 derives the chained purge strategy along such a tree).
     ///
@@ -212,6 +266,36 @@ mod tests {
         assert!(jg.is_connected());
         assert!(!jg.is_tree());
         assert!(jg.adjacent(StreamId(0), StreamId(2)));
+    }
+
+    #[test]
+    fn cycle_witness_on_trees_and_cycles() {
+        assert_eq!(JoinGraph::of_query(&fig3()).cycle_witness(), None);
+        let jg = JoinGraph::of_query(&fig3_cyclic());
+        let cycle = jg.cycle_witness().expect("triangle has a cycle");
+        // A simple cycle: at least 3 distinct nodes, consecutive (and
+        // wrapping) pairs adjacent.
+        assert!(cycle.len() >= 3);
+        let mut distinct = cycle.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), cycle.len());
+        for i in 0..cycle.len() {
+            assert!(jg.adjacent(cycle[i], cycle[(i + 1) % cycle.len()]));
+        }
+        // Deterministic witness for the triangle.
+        assert_eq!(
+            jg.cycle_witness(),
+            Some(vec![StreamId(0), StreamId(2), StreamId(1)])
+        );
+    }
+
+    #[test]
+    fn cycle_witness_respects_restricted_graphs() {
+        let q = fig3_cyclic();
+        // Any two streams of the triangle form a single edge: acyclic.
+        let jg = JoinGraph::over(&q, &[StreamId(0), StreamId(1)]);
+        assert_eq!(jg.cycle_witness(), None);
     }
 
     #[test]

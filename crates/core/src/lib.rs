@@ -47,6 +47,7 @@
 pub mod disjunctive;
 pub mod dot;
 pub mod error;
+pub mod extension;
 pub mod fixtures;
 pub mod fxhash;
 pub mod gpg;
@@ -66,6 +67,7 @@ pub mod value;
 /// Convenient re-exports of the most common types.
 pub mod prelude {
     pub use crate::error::{CoreError, CoreResult};
+    pub use crate::extension::ExtensionOrder;
     pub use crate::gpg::GeneralizedPunctuationGraph;
     pub use crate::join_graph::JoinGraph;
     pub use crate::pg::PunctuationGraph;

@@ -15,6 +15,7 @@
 //! | `W102` | `unused-scheme` | warning | a scheme punctuates a non-join attribute and can never license a purge |
 //! | `W103` | `dead-predicate` | warning | in an unsafe query: a join predicate with no punctuatable endpoint (or an isolated stream) explaining why purging fails |
 //! | `S001` | `repair-suggestion` | suggestion | a minimal set of additional single-attribute schemes that makes the TPG strongly connected |
+//! | `I201` | `cyclic-join-graph` | info | the join graph contains a cycle (the detected cycle is the witness): the planner may choose the worst-case-optimal execution path |
 //!
 //! Diagnostics render both as human-readable text ([`LintReport::render_text`],
 //! the `cjq-check lint` output) and as JSON ([`LintReport::render_json`],
@@ -44,6 +45,9 @@ pub enum Severity {
     Warning,
     /// A machine-applicable improvement.
     Suggestion,
+    /// Purely informational — nothing to fix; never counts against
+    /// [`LintReport::is_clean`].
+    Info,
 }
 
 impl Severity {
@@ -54,6 +58,7 @@ impl Severity {
             Severity::Error => "error",
             Severity::Warning => "warning",
             Severity::Suggestion => "suggestion",
+            Severity::Info => "info",
         }
     }
 }
@@ -73,6 +78,8 @@ pub enum Code {
     DeadPredicate,
     /// `S001 repair-suggestion`.
     RepairSuggestion,
+    /// `I201 cyclic-join-graph`.
+    CyclicJoinGraph,
 }
 
 impl Code {
@@ -86,6 +93,7 @@ impl Code {
             Code::UnusedScheme => "W102",
             Code::DeadPredicate => "W103",
             Code::RepairSuggestion => "S001",
+            Code::CyclicJoinGraph => "I201",
         }
     }
 
@@ -99,6 +107,7 @@ impl Code {
             Code::UnusedScheme => "unused-scheme",
             Code::DeadPredicate => "dead-predicate",
             Code::RepairSuggestion => "repair-suggestion",
+            Code::CyclicJoinGraph => "cyclic-join-graph",
         }
     }
 
@@ -109,6 +118,7 @@ impl Code {
             Code::UnsafeQuery | Code::UnpurgeablePort => Severity::Error,
             Code::RedundantScheme | Code::UnusedScheme | Code::DeadPredicate => Severity::Warning,
             Code::RepairSuggestion => Severity::Suggestion,
+            Code::CyclicJoinGraph => Severity::Info,
         }
     }
 }
@@ -182,11 +192,21 @@ impl LintReport {
         self.error_count() > 0
     }
 
-    /// Whether the run produced no diagnostics at all (the lint-gate bar for
-    /// the bundled safe workloads).
+    /// Number of info-severity diagnostics.
+    #[must_use]
+    pub fn info_count(&self) -> usize {
+        self.by_severity(Severity::Info)
+    }
+
+    /// Whether the run produced nothing actionable (the lint-gate bar for
+    /// the bundled safe workloads). Info-severity diagnostics — e.g. the
+    /// I201 cyclic-join-graph notice — do not count: a cyclic query is a
+    /// property, not a problem.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.diagnostics
+            .iter()
+            .all(|d| d.severity() == Severity::Info)
     }
 
     /// Diagnostics with the given code.

@@ -6,6 +6,7 @@
 //! read like the specification the user wrote.
 
 use cjq_core::gpg::GeneralizedPunctuationGraph;
+use cjq_core::join_graph::JoinGraph;
 use cjq_core::plan::Plan;
 use cjq_core::query::Cjq;
 use cjq_core::safety::{self, SafetyReport};
@@ -38,6 +39,7 @@ pub(crate) fn run(query: &Cjq, schemes: &SchemeSet, plan: Option<&Plan>) -> Lint
         dead_predicate_pass(query, schemes, &mut diags);
         repair_pass(query, schemes, &mut diags);
     }
+    cyclic_join_graph_pass(query, &mut diags);
     LintReport {
         safe: report.safe,
         diagnostics: diags,
@@ -330,6 +332,32 @@ fn dead_predicate_pass(query: &Cjq, schemes: &SchemeSet, diags: &mut Vec<Diagnos
             suggestion: None,
         });
     }
+}
+
+/// I201: informational notice that the join graph is cyclic, with the
+/// detected cycle as the witness. Cyclic queries are the ones where a tree
+/// plan materializes intermediates super-linearly and the planner may pick
+/// the worst-case-optimal (prefix-extension) execution path instead.
+fn cyclic_join_graph_pass(query: &Cjq, diags: &mut Vec<Diagnostic>) {
+    let Some(cycle) = JoinGraph::of_query(query).cycle_witness() else {
+        return;
+    };
+    let mut walk: Vec<String> = cycle.iter().map(|&s| name(query, s)).collect();
+    walk.push(name(query, cycle[0]));
+    diags.push(Diagnostic {
+        code: Code::CyclicJoinGraph,
+        message: format!(
+            "the join graph is cyclic: {} streams close a cycle",
+            cycle.len(),
+        ),
+        notes: vec![
+            format!("witness cycle: {}", walk.join(" → ")),
+            "a worst-case-optimal execution path is available for this query; \
+             `cjq-check lint --plan` shows which physical plan the planner picks"
+                .to_owned(),
+        ],
+        suggestion: None,
+    });
 }
 
 /// S001: the minimal-repair suggestion for unsafe queries.

@@ -35,11 +35,12 @@ pub(crate) fn text(report: &LintReport) -> String {
     }
     let _ = writeln!(
         out,
-        "lint: {} — {} error(s), {} warning(s), {} suggestion(s)",
+        "lint: {} — {} error(s), {} warning(s), {} suggestion(s), {} info(s)",
         if report.safe { "SAFE" } else { "UNSAFE" },
         report.error_count(),
         report.warning_count(),
         report.by_severity(Severity::Suggestion),
+        report.info_count(),
     );
     out
 }
@@ -50,6 +51,7 @@ pub(crate) fn json(report: &LintReport) -> String {
     let _ = writeln!(out, "  \"safe\": {},", report.safe);
     let _ = writeln!(out, "  \"errors\": {},", report.error_count());
     let _ = writeln!(out, "  \"warnings\": {},", report.warning_count());
+    let _ = writeln!(out, "  \"infos\": {},", report.info_count());
     out.push_str("  \"diagnostics\": [");
     for (i, d) in report.diagnostics.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });

@@ -137,6 +137,35 @@ fn dead_predicate_and_isolated_stream_flagged() {
 }
 
 #[test]
+fn cyclic_join_graph_gets_informational_i201() {
+    // fig5 is the paper's triangle: cyclic, safe, and the I201 witness walks
+    // the cycle back to its starting stream.
+    let (q, r) = fixtures::fig5();
+    let report = lint_query(&q, &r);
+    assert!(report.safe);
+    let i201: Vec<_> = report.with_code(Code::CyclicJoinGraph).collect();
+    assert_eq!(i201.len(), 1);
+    assert_eq!(i201[0].severity(), Severity::Info);
+    let witness = i201[0]
+        .notes
+        .iter()
+        .find(|n| n.starts_with("witness cycle:"))
+        .expect("cycle witness note");
+    assert_eq!(witness.matches('→').count(), 3, "{witness}");
+    assert!(
+        report.is_clean(),
+        "info diagnostics must not count against a clean report"
+    );
+    assert_eq!(report.info_count(), 1);
+
+    // Acyclic fixtures stay silent.
+    let (aq, ar) = fixtures::auction();
+    let acyclic = lint_query(&aq, &ar);
+    assert!(acyclic.with_code(Code::CyclicJoinGraph).next().is_none());
+    assert_eq!(acyclic.info_count(), 0);
+}
+
+#[test]
 fn json_and_text_agree_on_counts() {
     let (q, r) = unsafe_auction();
     let report = lint_query(&q, &r);

@@ -2,7 +2,8 @@
 //! (paper §2.1/§5.2 — register only safe queries, then pick a safe plan by
 //! cost).
 
-use cjq_core::plan::Plan;
+use cjq_core::extension::ExtensionOrder;
+use cjq_core::plan::{check_plan, Plan};
 use cjq_core::query::Cjq;
 use cjq_core::scheme::SchemeSet;
 use cjq_lint::LintReport;
@@ -22,14 +23,47 @@ pub enum Objective {
     MaxThroughput,
 }
 
+/// The physical strategy the executor should use for the chosen plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysicalChoice {
+    /// Ordinary binary/MJoin expansion of the plan tree.
+    Binary,
+    /// GenericJoin-style worst-case-optimal prefix extension over the flat
+    /// MJoin's ports (the logical plan stays `Plan::mjoin_all`; the order
+    /// lists the join-attribute classes bound per level).
+    Wcoj {
+        /// The extension order the operator binds, level by level.
+        order: ExtensionOrder,
+    },
+}
+
+impl PhysicalChoice {
+    /// Whether this is the worst-case-optimal path.
+    #[must_use]
+    pub fn is_wcoj(&self) -> bool {
+        matches!(self, PhysicalChoice::Wcoj { .. })
+    }
+
+    /// Short human-readable name (`binary` / `wcoj`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalChoice::Binary => "binary",
+            PhysicalChoice::Wcoj { .. } => "wcoj",
+        }
+    }
+}
+
 /// A chosen plan with its estimated cost.
 #[derive(Debug, Clone)]
 pub struct ChosenPlan {
     /// The selected safe plan.
     pub plan: Plan,
+    /// How the executor should run it (binary expansion vs WCOJ).
+    pub physical: PhysicalChoice,
     /// Its estimated cost.
     pub cost: PlanCost,
-    /// Number of safe plans considered.
+    /// Number of safe plans considered (the WCOJ candidate counts as one).
     pub considered: usize,
 }
 
@@ -62,14 +96,40 @@ pub fn choose_plan(
         Objective::MinTotalMemory => c.total_memory(),
         Objective::MaxThroughput => c.work,
     };
-    scored
+    let (plan, cost) = scored
         .into_iter()
-        .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("finite costs"))
-        .map(|(plan, cost)| ChosenPlan {
-            plan,
-            cost,
-            considered,
-        })
+        .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("finite costs"))?;
+    // Cyclic join graph: the binary winner is challenged by the
+    // worst-case-optimal prefix-extension path over the flat MJoin. The
+    // candidate exists only when the flat MJoin is itself safe (WCOJ keeps
+    // exactly its ports and purge recipes). Ties go to WCOJ — at equal cost
+    // it materializes no intermediate spans.
+    if let Some(order) = ExtensionOrder::derive(query) {
+        let mjoin = Plan::mjoin_all(query);
+        if check_plan(query, schemes, &mjoin).is_ok_and(|s| s.safe) {
+            let wcoj_cost = model.estimate_wcoj(&order);
+            if key(&wcoj_cost) <= key(&cost) {
+                return Some(ChosenPlan {
+                    plan: mjoin,
+                    physical: PhysicalChoice::Wcoj { order },
+                    cost: wcoj_cost,
+                    considered: considered + 1,
+                });
+            }
+            return Some(ChosenPlan {
+                plan,
+                physical: PhysicalChoice::Binary,
+                cost,
+                considered: considered + 1,
+            });
+        }
+    }
+    Some(ChosenPlan {
+        plan,
+        physical: PhysicalChoice::Binary,
+        cost,
+        considered,
+    })
 }
 
 /// Why the optimizer found no safe plan: the static analyzer's diagnosis
@@ -128,8 +188,30 @@ mod tests {
         )
         .unwrap();
         assert_eq!(chosen.plan, Plan::mjoin_all(&q));
-        assert_eq!(chosen.considered, 1);
+        // One safe binary plan, plus the WCOJ candidate (fig5 is a triangle).
+        assert_eq!(chosen.considered, 2);
         assert!(chosen.cost.bounded());
+        // Same ports, same purge recipes, no intermediates: the cyclic query
+        // takes the worst-case-optimal path.
+        assert!(chosen.physical.is_wcoj());
+        let PhysicalChoice::Wcoj { order } = &chosen.physical else {
+            unreachable!()
+        };
+        assert_eq!(order.levels(), 3);
+    }
+
+    #[test]
+    fn acyclic_queries_stay_on_the_binary_path() {
+        let (q, r) = fixtures::auction();
+        let chosen = choose_plan(
+            &q,
+            &r,
+            Stats::uniform(2, 1.0, 10.0, 0.1, 0.2),
+            Objective::MinDataMemory,
+            100,
+        )
+        .unwrap();
+        assert_eq!(chosen.physical, PhysicalChoice::Binary);
     }
 
     #[test]

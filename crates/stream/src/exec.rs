@@ -162,6 +162,14 @@ pub struct ExecConfig {
     /// `purge_punctuations` (those evict or forget on wall-position grounds
     /// the cold tier does not track). `None` disables tiering.
     pub tiering: Option<TierConfig>,
+    /// Worst-case-optimal probing (see [`crate::wcoj`]): execute the join as
+    /// one flat operator whose probe path extends a prefix of join-attribute
+    /// classes (GenericJoin) instead of whole ports at a time. Requires the
+    /// flat MJoin plan and a cyclic join graph; outputs, purge totals, and
+    /// certificates are byte-identical to the binary path. Incompatible with
+    /// `tiering` (the fault-back sweep's superset argument does not cover
+    /// prefix-extension candidate enumeration).
+    pub wcoj: bool,
 }
 
 impl Default for ExecConfig {
@@ -182,6 +190,7 @@ impl Default for ExecConfig {
             state_budget: None,
             stall_budget: None,
             tiering: None,
+            wcoj: false,
         }
     }
 }
@@ -312,6 +321,14 @@ impl Executor {
                     .into(),
             ));
         }
+        if cfg.wcoj && cfg.tiering.is_some() {
+            return Err(CoreError::InvalidPlan(
+                "worst-case-optimal probing is incompatible with tiering: \
+                 cold rows could hide extension candidates from the \
+                 prefix-extension enumeration"
+                    .into(),
+            ));
+        }
         let engine = PurgeEngine::new_weighted(
             query,
             schemes,
@@ -338,6 +355,16 @@ impl Executor {
             {
                 panic!("static certificate violation: {mismatch}");
             }
+        }
+        if cfg.wcoj {
+            if ops.len() != 1 {
+                return Err(CoreError::InvalidPlan(
+                    "worst-case-optimal probing requires the flat MJoin plan \
+                     (one operator joining every stream directly)"
+                        .into(),
+                ));
+            }
+            ops[0].enable_wcoj(query)?;
         }
         if cfg.tiering.is_some() {
             for op in &mut ops {
@@ -776,6 +803,7 @@ impl Executor {
                     break;
                 }
                 nxt.reset(self.ops[pop].out_layout().width());
+                self.metrics.intermediate_rows += cur.len() as u64;
                 let saved = self.ops[pop].process_batch(pport, cur.iter_with_now(), &mut nxt);
                 self.metrics.probe_keys_deduped += saved;
                 std::mem::swap(&mut cur, &mut nxt);
@@ -834,6 +862,7 @@ impl Executor {
             let outs = self.ops[op].process_tuple_at(port, values, self.clock);
             match self.parent[op] {
                 Some((pop, pport)) => {
+                    self.metrics.intermediate_rows += outs.len() as u64;
                     for o in outs {
                         frontier.push((pop, pport, o));
                     }

@@ -25,6 +25,7 @@ use crate::segment::StepSummary;
 use crate::sink::OutputBuffer;
 use crate::state::PortState;
 use crate::tier::{ColdTier, SpillStore, TierStats};
+use crate::wcoj::WcojPlan;
 
 /// A cross-port equi-join condition resolved to flat columns.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +38,7 @@ struct CrossPred {
 
 /// One probe step: the probed port plus the `(probed column, bound port,
 /// bound column)` predicate triples connecting it to the already-bound set.
-type ProbeStep = (usize, Vec<(usize, usize, usize)>);
+pub(crate) type ProbeStep = (usize, Vec<(usize, usize, usize)>);
 
 /// Counters of one operator's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,12 +62,16 @@ pub struct OperatorStats {
 #[derive(Debug)]
 pub struct JoinOperator {
     span: Vec<StreamId>,
-    out_layout: SpanLayout,
-    ports: Vec<PortState>,
-    port_spans: Vec<Vec<StreamId>>,
+    pub(crate) out_layout: SpanLayout,
+    pub(crate) ports: Vec<PortState>,
+    pub(crate) port_spans: Vec<Vec<StreamId>>,
     /// For each origin port, the probe steps in depth order. Precomputed so
     /// the per-tuple probe loop allocates nothing.
-    probe_plans: Vec<Vec<ProbeStep>>,
+    pub(crate) probe_plans: Vec<Vec<ProbeStep>>,
+    /// When set, probing runs the worst-case-optimal prefix-extension path
+    /// (see the `wcoj` module) instead of the port-by-port DFS. State,
+    /// recipes, and purging are identical either way.
+    pub(crate) wcoj: Option<WcojPlan>,
     /// Per port: compiled purge recipe, or `None` if the port's state is not
     /// purgeable under the configured scope.
     recipes: Vec<Option<CompiledRecipe>>,
@@ -250,6 +255,7 @@ impl JoinOperator {
             recipes,
             trackers,
             tiers: Vec::new(),
+            wcoj: None,
             scratch_keys: FxHashMap::default(),
             scratch_slots: Vec::new(),
             scratch_check: CheckScratch::default(),
@@ -360,6 +366,11 @@ impl JoinOperator {
     /// is fully root-resolvable get per-step certification specs so covering
     /// punctuations can drop their segments unread.
     pub(crate) fn enable_tiering(&mut self) {
+        assert!(
+            self.wcoj.is_none(),
+            "tiering and worst-case-optimal probing are mutually exclusive \
+             (the executor rejects the combination at compile time)"
+        );
         if !self.tiers.is_empty() {
             return;
         }
@@ -558,6 +569,9 @@ impl JoinOperator {
         values: Vec<Value>,
         now: u64,
     ) -> Vec<Vec<Value>> {
+        if self.wcoj.is_some() {
+            return self.wcoj_process_tuple_at(port, values, now);
+        }
         self.stats.tuples_in += 1;
         if self.has_cold() {
             self.fault_sweep(port, std::iter::once(&values[..]), now);
@@ -660,6 +674,9 @@ impl JoinOperator {
     where
         I: Iterator<Item = (&'a [Value], u64)> + Clone,
     {
+        if self.wcoj.is_some() {
+            return self.wcoj_process_batch(port, rows, out);
+        }
         assert_eq!(out.width(), self.out_layout.width(), "sink width mismatch");
         if self.has_cold() {
             if let Some((_, first_now)) = rows.clone().next() {

@@ -68,6 +68,12 @@ pub struct Metrics {
     /// once per *distinct* depth-0 key instead of once per tuple. Compare
     /// against `tuples_in` to see batching effectiveness.
     pub probe_keys_deduped: u64,
+    /// Intermediate composite rows materialized between join operators: every
+    /// row a non-root operator emits and forwards into its parent's port.
+    /// The flat paths (MJoin and worst-case-optimal probing) keep this at 0 —
+    /// on cyclic queries the gap between the two plans' counts is exactly the
+    /// work a binary tree wastes on partial combinations that never close.
+    pub intermediate_rows: u64,
     /// Rows re-checked by the runtime certificate verifier (fast purge check
     /// vs. explaining oracle; see `crate::certify`). Stays 0 unless
     /// `ExecConfig::verify_certificates` is on.
@@ -263,6 +269,7 @@ impl Metrics {
         self.purge_candidates_examined += other.purge_candidates_examined;
         self.batches_processed += other.batches_processed;
         self.probe_keys_deduped += other.probe_keys_deduped;
+        self.intermediate_rows += other.intermediate_rows;
         self.certificate_checks += other.certificate_checks;
         self.quarantined += other.quarantined;
         add_vec(

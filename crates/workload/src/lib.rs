@@ -15,6 +15,9 @@
 //!   punctuation-lag knob controlling steady-state state size;
 //! * [`skewed`] — hot-set/cold-tail feeds with long punctuation lag for the
 //!   two-tier (memory-budgeted) state experiments;
+//! * [`graph`] — directed edge streams with punctuated vertex retirement
+//!   driving cyclic (triangle/4-cycle) CJQs, skewed by hub vertices, for
+//!   the worst-case-optimal join experiments;
 //! * [`multi`] — overlap-controlled multi-tenant query sets (a base chain
 //!   CJQ plus K derived queries sharing a configurable fraction of join
 //!   edges) for the shared-state registry bench and equivalence suite;
@@ -25,6 +28,7 @@
 #![warn(clippy::all)]
 
 pub mod auction;
+pub mod graph;
 pub mod keyed;
 pub mod multi;
 pub mod network;
@@ -36,6 +40,7 @@ pub mod trades;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::auction::{auction_query, AuctionConfig};
+    pub use crate::graph::{four_cycle_query, triangle_query, GraphConfig};
     pub use crate::keyed::KeyedConfig;
     pub use crate::multi::{MultiConfig, MultiTenant};
     pub use crate::network::{network_query, NetworkConfig};

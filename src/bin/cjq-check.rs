@@ -49,6 +49,7 @@ use punctuated_cjq::core::prelude::*;
 use punctuated_cjq::core::{purge_plan, safety};
 use punctuated_cjq::lint::{self, json};
 use punctuated_cjq::parse::parse_spec;
+use punctuated_cjq::planner::choose::PhysicalChoice;
 use punctuated_cjq::planner::enumerate::PlanSpace;
 use punctuated_cjq::planner::scheme_select;
 
@@ -138,9 +139,18 @@ fn main() -> ExitCode {
     for (path, query, schemes) in &specs {
         let code = if lint_mode {
             if want_json {
-                let plan = lint_plan_of(query, schemes, want_plan);
+                let (plan, physical) = lint_plan_of(query, schemes, want_plan);
                 let report = lint::lint_plan(query, schemes, &plan);
-                json_reports.push(report.render_json());
+                let mut rendered = report.render_json();
+                if want_plan {
+                    // Splice the chosen physical plan into the report object.
+                    rendered = rendered.replacen(
+                        "{\n",
+                        &format!("{{\n  \"plan\": {},\n", plan_json(query, &plan, &physical)),
+                        1,
+                    );
+                }
+                json_reports.push(rendered);
                 if report.has_errors() {
                     ExitCode::from(EXIT_UNSAFE)
                 } else {
@@ -150,7 +160,7 @@ fn main() -> ExitCode {
                 if many {
                     println!("== {path} ==");
                 }
-                lint_report(query, schemes, want_plan, false)
+                lint_report(query, schemes, want_plan)
             }
         } else if dot {
             let gpg =
@@ -197,28 +207,53 @@ fn main() -> ExitCode {
     ExitCode::from(worst)
 }
 
-/// The plan `lint` analyzes: the optimizer's choice under `--plan`, the
-/// MJoin baseline otherwise.
-fn lint_plan_of(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> Plan {
+/// The plan `lint` analyzes: the register's choice under `--plan` (with its
+/// physical strategy), the binary MJoin baseline otherwise.
+fn lint_plan_of(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> (Plan, PhysicalChoice) {
     if want_plan {
         punctuated_cjq::register::Register::new(schemes.clone())
             .register(query.clone())
-            .map(|r| r.plan().clone())
-            .unwrap_or_else(|_| Plan::mjoin_all(query))
+            .map(|r| (r.plan().clone(), r.physical().clone()))
+            .unwrap_or_else(|_| (Plan::mjoin_all(query), PhysicalChoice::Binary))
     } else {
-        Plan::mjoin_all(query)
+        (Plan::mjoin_all(query), PhysicalChoice::Binary)
     }
 }
 
-/// Runs the static analyzer: MJoin port lint by default, the optimizer's
-/// chosen plan under `--plan`.
-fn lint_report(query: &Cjq, schemes: &SchemeSet, want_plan: bool, want_json: bool) -> ExitCode {
-    let plan = lint_plan_of(query, schemes, want_plan);
+/// Renders the chosen physical plan as a JSON object (spliced into the lint
+/// report under `--json`).
+fn plan_json(query: &Cjq, plan: &Plan, physical: &PhysicalChoice) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "    \"physical\": {},\n",
+        json::string(physical.name())
+    ));
+    out.push_str(&format!(
+        "    \"plan\": {},\n",
+        json::string(&plan.to_string())
+    ));
+    match physical {
+        PhysicalChoice::Wcoj { order } => out.push_str(&format!(
+            "    \"extension_order\": {}\n",
+            json::string(&order.describe(query))
+        )),
+        PhysicalChoice::Binary => out.push_str("    \"extension_order\": null\n"),
+    }
+    out.push_str("  }");
+    out
+}
+
+/// Runs the static analyzer: MJoin port lint by default, the register's
+/// chosen plan (printed with its physical strategy) under `--plan`.
+fn lint_report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
+    let (plan, physical) = lint_plan_of(query, schemes, want_plan);
     let report = lint::lint_plan(query, schemes, &plan);
-    if want_json {
-        println!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_text());
+    print!("{}", report.render_text());
+    if want_plan {
+        println!("physical plan: {} — {}", physical.name(), plan);
+        if let PhysicalChoice::Wcoj { order } = &physical {
+            println!("  extension order: {}", order.describe(query));
+        }
     }
     if report.has_errors() {
         ExitCode::from(EXIT_UNSAFE)
@@ -328,7 +363,16 @@ fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
     if want_plan && result.safe {
         let register = punctuated_cjq::register::Register::new(schemes.clone());
         match register.register(query.clone()) {
-            Ok(registered) => println!("chosen plan: {}", registered.plan()),
+            Ok(registered) => {
+                println!(
+                    "chosen plan: {} [{}]",
+                    registered.plan(),
+                    registered.physical().name()
+                );
+                if let PhysicalChoice::Wcoj { order } = registered.physical() {
+                    println!("  extension order: {}", order.describe(query));
+                }
+            }
             Err(e) => println!("plan selection failed: {}", e.reason),
         }
     }

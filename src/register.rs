@@ -16,7 +16,7 @@ use cjq_core::query::Cjq;
 use cjq_core::safety::{self, SafetyReport};
 use cjq_core::schema::StreamId;
 use cjq_core::scheme::SchemeSet;
-use cjq_planner::choose::{choose_plan, Objective};
+use cjq_planner::choose::{choose_plan, Objective, PhysicalChoice};
 use cjq_planner::cost::Stats;
 use cjq_stream::exec::{ExecConfig, Executor};
 
@@ -38,6 +38,7 @@ pub struct RegisteredQuery {
     query: Cjq,
     schemes: SchemeSet,
     plan: Plan,
+    physical: PhysicalChoice,
     /// The safety report that admitted the query.
     pub report: SafetyReport,
 }
@@ -49,14 +50,28 @@ impl RegisteredQuery {
         &self.plan
     }
 
+    /// How the executor runs the chosen plan: binary/MJoin expansion, or —
+    /// for cyclic queries where the cost model favors it — worst-case-optimal
+    /// prefix extension over the flat MJoin's ports.
+    #[must_use]
+    pub fn physical(&self) -> &PhysicalChoice {
+        &self.physical
+    }
+
     /// The query.
     #[must_use]
     pub fn query(&self) -> &Cjq {
         &self.query
     }
 
-    /// Spawns an executor for this query's chosen plan.
+    /// Spawns an executor for this query's chosen plan, honoring the
+    /// register's physical choice (the `wcoj` flag follows
+    /// [`RegisteredQuery::physical`]).
     pub fn executor(&self, cfg: ExecConfig) -> cjq_core::error::CoreResult<Executor> {
+        let cfg = ExecConfig {
+            wcoj: self.physical.is_wcoj(),
+            ..cfg
+        };
         Executor::compile(&self.query, &self.schemes, &self.plan, cfg)
     }
 }
@@ -131,7 +146,7 @@ impl Register {
                 reason,
             }));
         }
-        let plan = if query.n_streams() <= cjq_planner::enumerate::MAX_STREAMS {
+        let (plan, physical) = if query.n_streams() <= cjq_planner::enumerate::MAX_STREAMS {
             let mut stats = self.stats.clone();
             // Resize uniform stats to the query if the caller didn't.
             if stats.rate.len() != query.n_streams() {
@@ -145,15 +160,18 @@ impl Register {
                 self.objective,
                 self.plan_limit,
             )
-            .map(|c| c.plan)
-            .unwrap_or_else(|| Plan::mjoin_all(&query))
+            .map_or_else(
+                || (Plan::mjoin_all(&query), PhysicalChoice::Binary),
+                |c| (c.plan, c.physical),
+            )
         } else {
-            Plan::mjoin_all(&query)
+            (Plan::mjoin_all(&query), PhysicalChoice::Binary)
         };
         Ok(RegisteredQuery {
             query,
             schemes: self.schemes.clone(),
             plan,
+            physical,
             report,
         })
     }
@@ -191,6 +209,47 @@ mod tests {
         let exec = registered.executor(ExecConfig::default()).unwrap();
         let res = exec.run(&feed);
         assert_eq!(res.metrics.outputs, 30);
+    }
+
+    #[test]
+    fn cyclic_queries_register_on_the_wcoj_path() {
+        // fig5 is the paper's triangle: the register picks the flat MJoin
+        // with worst-case-optimal probing, and the spawned executor honors
+        // the choice while producing the same outputs as binary probing.
+        let (query, schemes) = fixtures::fig5();
+        let registered = Register::new(schemes.clone())
+            .register(query)
+            .expect("safe");
+        assert!(registered.physical().is_wcoj());
+        assert_eq!(registered.plan(), &Plan::mjoin_all(registered.query()));
+        let feed = keyed::generate(
+            registered.query(),
+            &schemes,
+            &KeyedConfig {
+                rounds: 30,
+                lag: 2,
+                ..Default::default()
+            },
+        );
+        let wcoj = registered
+            .executor(ExecConfig::default())
+            .unwrap()
+            .run(&feed);
+        let binary = Executor::compile(
+            registered.query(),
+            &schemes,
+            registered.plan(),
+            ExecConfig::default(),
+        )
+        .unwrap()
+        .run(&feed);
+        assert_eq!(wcoj.outputs, binary.outputs);
+        assert_eq!(wcoj.metrics.purged, binary.metrics.purged);
+
+        // Acyclic queries stay binary.
+        let (aq, ar) = fixtures::auction();
+        let acyclic = Register::new(ar).register(aq).unwrap();
+        assert!(!acyclic.physical().is_wcoj());
     }
 
     #[test]

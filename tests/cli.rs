@@ -122,6 +122,55 @@ fn plan_flag_prints_the_chosen_plan() {
     );
 }
 
+const TRIANGLE_SPEC: &str = "\
+stream e1(src, dst)
+stream e2(src, dst)
+stream e3(src, dst)
+join e1.dst = e2.src
+join e2.dst = e3.src
+join e3.dst = e1.src
+punctuate e1(dst)
+punctuate e2(dst)
+punctuate e3(dst)
+";
+
+#[test]
+fn lint_plan_flag_prints_the_physical_plan() {
+    // Cyclic spec: the register picks the worst-case-optimal path and
+    // `lint --plan` reports it with the extension order; the I201 notice
+    // carries the cycle witness but the lint still exits clean.
+    let (stdout, _, code) = run_cli_args(TRIANGLE_SPEC, &["lint", "--plan"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("info[I201]"), "{stdout}");
+    assert!(
+        stdout.contains("witness cycle: e1 → e3 → e2 → e1"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("physical plan: wcoj"), "{stdout}");
+    assert!(stdout.contains("extension order: {"), "{stdout}");
+
+    // Acyclic spec: binary, no extension order.
+    let (stdout, _, code) = run_cli_args(SAFE_SPEC, &["lint", "--plan"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("physical plan: binary"), "{stdout}");
+    assert!(!stdout.contains("extension order"), "{stdout}");
+}
+
+#[test]
+fn lint_plan_json_embeds_the_physical_plan() {
+    let (stdout, _, code) = run_cli_args(TRIANGLE_SPEC, &["lint", "--plan", "--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"physical\": \"wcoj\""), "{stdout}");
+    assert!(stdout.contains("\"extension_order\": \"{"), "{stdout}");
+    assert!(stdout.contains("\"code\": \"I201\""), "{stdout}");
+    assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
+
+    // Without --plan the JSON shape is unchanged.
+    let (stdout, _, code) = run_cli_args(TRIANGLE_SPEC, &["lint", "--json"]);
+    assert_eq!(code, Some(0));
+    assert!(!stdout.contains("\"physical\""), "{stdout}");
+}
+
 #[test]
 fn json_flag_renders_machine_readable_verdict() {
     let (stdout, _, code) = run_cli_args(SAFE_SPEC, &["--json"]);

@@ -1,0 +1,303 @@
+//! WCOJ/binary equivalence: the worst-case-optimal probe path must be
+//! *observationally invisible* — byte-identical output sequences (not just
+//! multisets: the prefix-extension path sorts its result combinations by the
+//! same per-port insertion-sequence key the MJoin DFS emits in) and identical
+//! purge totals (the WCOJ operator reuses the flat MJoin's per-port chained
+//! purge recipes verbatim, so its purge fixpoint is the same fixpoint), with
+//! runtime certificate verification on throughout.
+//!
+//! Coverage: triangle/4-cycle graph workloads × {skewed, uniform} ×
+//! {Eager, Lazy} cadences × {sequential, P=4 sharded}, a tree-plan
+//! cross-check (same result multiset, and the intermediate-rows metric shows
+//! the binary tree materializing rows the flat paths never build), an
+//! unconditional seeded fault run, and a proptest pitting the planner's
+//! cycle detector against a brute-force DFS oracle on random join graphs.
+//!
+//! `CJQ_CHAOS=<seed>` re-runs the suite on fault-injected feeds (same
+//! faulted feed on both sides), as in the other equivalence suites.
+
+use proptest::prelude::*;
+
+use punctuated_cjq::core::join_graph::JoinGraph;
+use punctuated_cjq::core::plan::Plan;
+use punctuated_cjq::core::prelude::*;
+use punctuated_cjq::core::query::JoinPredicate;
+use punctuated_cjq::core::schema::{Catalog, StreamSchema};
+use punctuated_cjq::stream::exec::{ExecConfig, Executor, PurgeCadence, RunResult};
+use punctuated_cjq::stream::fault::{Fault, FaultPlan};
+use punctuated_cjq::stream::parallel::ShardedExecutor;
+use punctuated_cjq::stream::source::Feed;
+use punctuated_cjq::workload::graph::{self, GraphConfig};
+
+/// `CJQ_CHAOS=<seed>` wraps every feed in the chaos-suite fault plan.
+fn chaos_feed(feed: &Feed) -> Feed {
+    match std::env::var("CJQ_CHAOS") {
+        Ok(seed) => FaultPlan::new(seed.parse().unwrap_or(0xC4A0_5EED))
+            .with(Fault::DuplicatePunctuations { prob: 0.15 })
+            .with(Fault::DelayPunctuations { prob: 0.25, by: 3 })
+            .with(Fault::TruncateTuples { prob: 0.05 })
+            .apply(feed),
+        Err(_) => feed.clone(),
+    }
+}
+
+fn wcoj_cfg(base: ExecConfig) -> ExecConfig {
+    ExecConfig { wcoj: true, ..base }
+}
+
+/// Runs `feed` through the flat MJoin twice — binary port-by-port probing vs
+/// worst-case-optimal prefix extension — asserting byte-identical outputs
+/// and identical purge totals. Returns both results.
+fn run_pair(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    base: ExecConfig,
+    feed: &Feed,
+) -> (RunResult, RunResult) {
+    let base = ExecConfig {
+        verify_certificates: true,
+        ..base
+    };
+    let plan = Plan::mjoin_all(query);
+    let feed = &chaos_feed(feed);
+    let binary = Executor::compile(query, schemes, &plan, base)
+        .expect("compile binary")
+        .run(feed);
+    let wcoj = Executor::compile(query, schemes, &plan, wcoj_cfg(base))
+        .expect("compile wcoj")
+        .run(feed);
+    assert_eq!(
+        wcoj.outputs, binary.outputs,
+        "wcoj outputs must be byte-identical to the binary probe path"
+    );
+    assert_eq!(wcoj.metrics.outputs, binary.metrics.outputs);
+    assert_eq!(
+        wcoj.metrics.purged, binary.metrics.purged,
+        "purge totals must agree: both paths run the same chained recipes"
+    );
+    assert_eq!(wcoj.metrics.violations, binary.metrics.violations);
+    assert_eq!(
+        wcoj.metrics.last().map(|p| p.join_state),
+        binary.metrics.last().map(|p| p.join_state),
+        "final live state must agree"
+    );
+    assert_eq!(
+        wcoj.metrics.intermediate_rows, 0,
+        "flat paths materialize no intermediates"
+    );
+    (binary, wcoj)
+}
+
+fn sorted(outputs: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut s = outputs.to_vec();
+    s.sort_unstable();
+    s
+}
+
+/// Sharded runs interleave shard outputs nondeterministically, so the
+/// sharded binary/wcoj comparison is by multiset plus totals.
+fn run_sharded_pair(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    base: ExecConfig,
+    feed: &Feed,
+    shards: usize,
+) {
+    let plan = Plan::mjoin_all(query);
+    let feed = &chaos_feed(feed);
+    let binary = ShardedExecutor::compile(query, schemes, &plan, base, shards)
+        .expect("compile binary sharded")
+        .run(feed);
+    let wcoj = ShardedExecutor::compile(query, schemes, &plan, wcoj_cfg(base), shards)
+        .expect("compile wcoj sharded")
+        .run(feed);
+    assert_eq!(
+        sorted(&wcoj.outputs),
+        sorted(&binary.outputs),
+        "P={shards}: wcoj output multiset differs from binary"
+    );
+    assert_eq!(wcoj.metrics.outputs, binary.metrics.outputs);
+    assert_eq!(
+        wcoj.metrics.purged, binary.metrics.purged,
+        "P={shards}: purge totals"
+    );
+}
+
+const CADENCES: [PurgeCadence; 2] = [PurgeCadence::Eager, PurgeCadence::Lazy { batch: 7 }];
+
+fn small() -> GraphConfig {
+    GraphConfig {
+        edges: 1500,
+        vertices: 150,
+        window: 24,
+        punct_lag: 100,
+        ..GraphConfig::default()
+    }
+}
+
+#[test]
+fn graph_workloads_equivalent_across_cadences_and_shards() {
+    for (query, schemes) in [graph::triangle_query(), graph::four_cycle_query()] {
+        for cfg in [small(), small().uniform()] {
+            let feed = graph::generate(&query, &schemes, &cfg);
+            for cadence in CADENCES {
+                let base = ExecConfig {
+                    cadence,
+                    ..ExecConfig::default()
+                };
+                let (binary, _) = run_pair(&query, &schemes, base, &feed);
+                assert!(binary.metrics.outputs > 0, "cycles must actually close");
+                run_sharded_pair(&query, &schemes, base, &feed, 4);
+            }
+        }
+    }
+}
+
+/// Cross-check against a genuine binary *tree* plan: same result multiset,
+/// and the tree materializes intermediate composite rows where the flat
+/// worst-case-optimal run materializes none — the gap the `wcoj` bench
+/// measures as throughput.
+#[test]
+fn tree_plan_agrees_on_results_but_materializes_intermediates() {
+    let (query, schemes) = graph::triangle_query();
+    let feed = chaos_feed(&graph::generate(&query, &schemes, &small()));
+    let base = ExecConfig {
+        verify_certificates: true,
+        // Query-level purging: plan-independent, so the tree plan's composite
+        // state is purgeable too.
+        scope: punctuated_cjq::stream::purge::PurgeScope::Query,
+        ..ExecConfig::default()
+    };
+    let order: Vec<_> = query.stream_ids().collect();
+    let tree = Executor::compile(&query, &schemes, &Plan::left_deep(&order), base)
+        .expect("compile tree")
+        .run(&feed);
+    let wcoj = Executor::compile(&query, &schemes, &Plan::mjoin_all(&query), wcoj_cfg(base))
+        .expect("compile wcoj")
+        .run(&feed);
+    assert_eq!(
+        sorted(&wcoj.outputs),
+        sorted(&tree.outputs),
+        "plans must agree on the result multiset"
+    );
+    assert!(
+        tree.metrics.intermediate_rows > 0,
+        "the tree plan materializes 2-paths"
+    );
+    assert_eq!(wcoj.metrics.intermediate_rows, 0);
+}
+
+/// Unconditional seeded fault run: truncated tuples and dropped punctuations
+/// hit both probe paths identically — outputs stay byte-identical and the
+/// quarantine/violation accounting agrees.
+#[test]
+fn seeded_fault_run_stays_byte_identical() {
+    let (query, schemes) = graph::triangle_query();
+    let feed = FaultPlan::new(0xC4A0_5EED)
+        .with(Fault::TruncateTuples { prob: 0.1 })
+        .with(Fault::DropPunctuations { prob: 0.1 })
+        .apply(&graph::generate(&query, &schemes, &small()));
+    let base = ExecConfig {
+        verify_certificates: true,
+        ..ExecConfig::default()
+    };
+    let plan = Plan::mjoin_all(&query);
+    let binary = Executor::compile(&query, &schemes, &plan, base)
+        .expect("compile binary")
+        .run(&feed);
+    let wcoj = Executor::compile(&query, &schemes, &plan, wcoj_cfg(base))
+        .expect("compile wcoj")
+        .run(&feed);
+    assert_eq!(wcoj.outputs, binary.outputs);
+    assert_eq!(wcoj.metrics.quarantined, binary.metrics.quarantined);
+    assert_eq!(wcoj.metrics.purged, binary.metrics.purged);
+}
+
+/// Brute-force undirected cycle oracle: DFS with parent-edge skipping over
+/// the deduplicated stream-pair edge set.
+fn has_cycle_oracle(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut color = vec![0u8; n];
+    for root in 0..n {
+        if color[root] != 0 {
+            continue;
+        }
+        let mut stack = vec![(root, usize::MAX)];
+        while let Some((u, parent)) = stack.pop() {
+            if color[u] != 0 {
+                // Reached along two different tree paths: a cycle.
+                return true;
+            }
+            color[u] = 1;
+            for &v in &adj[u] {
+                if v == parent {
+                    continue;
+                }
+                if color[v] != 0 {
+                    return true;
+                }
+                stack.push((v, u));
+            }
+        }
+    }
+    false
+}
+
+/// Random connected join graphs: a random spanning tree plus random extra
+/// stream pairs. The detector must agree with the brute-force oracle, and
+/// every witness it produces must be a genuine simple cycle.
+#[test]
+fn cycle_detection_agrees_with_the_dfs_oracle() {
+    proptest!(ProptestConfig::with_cases(64), |(
+        n in 3usize..8,
+        parents in proptest::collection::vec(0usize..7, 7),
+        extras in proptest::collection::vec((0usize..8, 0usize..8), 0..4),
+        attrs in proptest::collection::vec(0usize..3, 16),
+    )| {
+        let mut cat = Catalog::new();
+        for i in 0..n {
+            cat.add_stream(StreamSchema::new(format!("S{i}"), ["A", "B", "C"]).unwrap());
+        }
+        // Spanning tree: stream i > 0 attaches to a random earlier stream.
+        let mut pairs: Vec<(usize, usize)> = (1..n).map(|i| (parents[i - 1] % i, i)).collect();
+        for &(a, b) in &extras {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                pairs.push((a.min(b), a.max(b)));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let preds: Vec<JoinPredicate> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                JoinPredicate::between(a, attrs[i % attrs.len()], b, attrs[(i + 1) % attrs.len()])
+                    .unwrap()
+            })
+            .collect();
+        let query = Cjq::new(cat, preds).unwrap();
+        let graph = JoinGraph::of_query(&query);
+        let witness = graph.cycle_witness();
+        prop_assert_eq!(
+            witness.is_some(),
+            has_cycle_oracle(n, &pairs),
+            "detector and oracle disagree on {:?}",
+            pairs
+        );
+        if let Some(cycle) = witness {
+            prop_assert!(cycle.len() >= 3);
+            let mut distinct = cycle.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), cycle.len(), "witness must be simple");
+            for i in 0..cycle.len() {
+                prop_assert!(graph.adjacent(cycle[i], cycle[(i + 1) % cycle.len()]));
+            }
+        }
+    });
+}
