@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bounds;
 pub mod disjunctive;
 pub mod dot;
 pub mod error;
@@ -66,6 +67,7 @@ pub mod value;
 
 /// Convenient re-exports of the most common types.
 pub mod prelude {
+    pub use crate::bounds::{BoundExpr, BoundReport, Contracts, StateBound};
     pub use crate::error::{CoreError, CoreResult};
     pub use crate::extension::ExtensionOrder;
     pub use crate::gpg::GeneralizedPunctuationGraph;

@@ -11,11 +11,14 @@
 //! |------|------|----------|---------|
 //! | `E001` | `unsafe-query` | error | a TPG pair `(from, to)` is unreachable: `from`'s state can never be fully purged against future `to` data (one diagnostic per pair, each with the blocking cut) |
 //! | `E002` | `unpurgeable-port` | error | a plan operator port is not purgeable under Corollary 1 (per-plan only) |
+//! | `E003` | `unbounded-port` | error | a cadence/domain contract is declared but a port or mirror is provably unbounded (bounds mode only) |
 //! | `W101` | `redundant-scheme` | warning | a scheme can be removed without losing query safety |
 //! | `W102` | `unused-scheme` | warning | a scheme punctuates a non-join attribute and can never license a purge |
 //! | `W103` | `dead-predicate` | warning | in an unsafe query: a join predicate with no punctuatable endpoint (or an isolated stream) explaining why purging fails |
+//! | `W104` | `bound-exceeds-budget` | warning | the summed symbolic state bound exceeds (or cannot be certified within) the given memory budget (bounds mode only) |
 //! | `S001` | `repair-suggestion` | suggestion | a minimal set of additional single-attribute schemes that makes the TPG strongly connected |
 //! | `I201` | `cyclic-join-graph` | info | the join graph contains a cycle (the detected cycle is the witness): the planner may choose the worst-case-optimal execution path |
+//! | `I202` | `state-bound` | info | the symbolic (and, under contracts, numeric) state bound of one port, mirror, or punctuation store (bounds mode only) |
 //!
 //! Diagnostics render both as human-readable text ([`LintReport::render_text`],
 //! the `cjq-check lint` output) and as JSON ([`LintReport::render_json`],
@@ -32,9 +35,21 @@ pub mod repair;
 
 pub use repair::{minimal_repair, repair_candidates};
 
+use cjq_core::bounds::Contracts;
 use cjq_core::plan::Plan;
 use cjq_core::query::Cjq;
 use cjq_core::scheme::SchemeSet;
+
+/// Configuration for the bound-analysis pass (`cjq-check lint --bounds`).
+#[derive(Debug, Clone, Default)]
+pub struct BoundsConfig {
+    /// Declared cadence/domain contracts (empty = conservative defaults:
+    /// every bound stays symbolic).
+    pub contracts: Contracts,
+    /// Memory budget in live join-state rows; when set, `W104` fires if the
+    /// summed port bound exceeds it or cannot be quantified.
+    pub budget: Option<u64>,
+}
 
 /// How serious a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -70,16 +85,22 @@ pub enum Code {
     UnsafeQuery,
     /// `E002 unpurgeable-port`.
     UnpurgeablePort,
+    /// `E003 unbounded-port`.
+    UnboundedPort,
     /// `W101 redundant-scheme`.
     RedundantScheme,
     /// `W102 unused-scheme`.
     UnusedScheme,
     /// `W103 dead-predicate`.
     DeadPredicate,
+    /// `W104 bound-exceeds-budget`.
+    BoundExceedsBudget,
     /// `S001 repair-suggestion`.
     RepairSuggestion,
     /// `I201 cyclic-join-graph`.
     CyclicJoinGraph,
+    /// `I202 state-bound`.
+    StateBound,
 }
 
 impl Code {
@@ -89,11 +110,14 @@ impl Code {
         match self {
             Code::UnsafeQuery => "E001",
             Code::UnpurgeablePort => "E002",
+            Code::UnboundedPort => "E003",
             Code::RedundantScheme => "W101",
             Code::UnusedScheme => "W102",
             Code::DeadPredicate => "W103",
+            Code::BoundExceedsBudget => "W104",
             Code::RepairSuggestion => "S001",
             Code::CyclicJoinGraph => "I201",
+            Code::StateBound => "I202",
         }
     }
 
@@ -103,11 +127,14 @@ impl Code {
         match self {
             Code::UnsafeQuery => "unsafe-query",
             Code::UnpurgeablePort => "unpurgeable-port",
+            Code::UnboundedPort => "unbounded-port",
             Code::RedundantScheme => "redundant-scheme",
             Code::UnusedScheme => "unused-scheme",
             Code::DeadPredicate => "dead-predicate",
+            Code::BoundExceedsBudget => "bound-exceeds-budget",
             Code::RepairSuggestion => "repair-suggestion",
             Code::CyclicJoinGraph => "cyclic-join-graph",
+            Code::StateBound => "state-bound",
         }
     }
 
@@ -115,10 +142,13 @@ impl Code {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Code::UnsafeQuery | Code::UnpurgeablePort => Severity::Error,
-            Code::RedundantScheme | Code::UnusedScheme | Code::DeadPredicate => Severity::Warning,
+            Code::UnsafeQuery | Code::UnpurgeablePort | Code::UnboundedPort => Severity::Error,
+            Code::RedundantScheme
+            | Code::UnusedScheme
+            | Code::DeadPredicate
+            | Code::BoundExceedsBudget => Severity::Warning,
             Code::RepairSuggestion => Severity::Suggestion,
-            Code::CyclicJoinGraph => Severity::Info,
+            Code::CyclicJoinGraph | Code::StateBound => Severity::Info,
         }
     }
 }
@@ -243,4 +273,20 @@ pub fn lint_query(query: &Cjq, schemes: &SchemeSet) -> LintReport {
 #[must_use]
 pub fn lint_plan(query: &Cjq, schemes: &SchemeSet, plan: &Plan) -> LintReport {
     passes::run(query, schemes, Some(plan))
+}
+
+/// Like [`lint_plan`], additionally running the static bound analysis
+/// ([`cjq_core::bounds`]): one `I202` per operator port, mirror, and
+/// punctuation store; `E003` for provably unbounded state when a contract is
+/// declared; `W104` when the summed bound exceeds `bounds.budget`.
+#[must_use]
+pub fn lint_plan_with_bounds(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    plan: &Plan,
+    bounds: &BoundsConfig,
+) -> LintReport {
+    let mut report = passes::run(query, schemes, Some(plan));
+    passes::bounds_pass(query, schemes, plan, bounds, &mut report.diagnostics);
+    report
 }

@@ -390,3 +390,148 @@ fn repair_pass(query: &Cjq, schemes: &SchemeSet, diags: &mut Vec<Diagnostic>) {
         }),
     });
 }
+
+/// The bound-analysis pass behind [`crate::lint_plan_with_bounds`]:
+/// `E003` for provably unbounded ports/mirrors under declared contracts,
+/// `W104` when the summed bound misses the budget, and one `I202` per
+/// operator port, mirror, and punctuation store.
+pub(crate) fn bounds_pass(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    plan: &Plan,
+    cfg: &crate::BoundsConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    use cjq_core::bounds::{analyze_plan, BoundSubject, StateBound};
+
+    let report = analyze_plan(query, schemes, plan);
+    let contracts = &cfg.contracts;
+
+    let subject_label = |subject: &BoundSubject| match subject {
+        BoundSubject::Port {
+            op,
+            port,
+            roots,
+            span,
+        } => format!(
+            "op{op} port {} (port {port} of the operator over {})",
+            stream_set(query, roots),
+            stream_set(query, span),
+        ),
+        BoundSubject::Mirror { stream } => format!("mirror of `{}`", name(query, *stream)),
+        BoundSubject::PunctStore { scheme } => {
+            format!("punctuation store of `{}`", spec_line(query, scheme))
+        }
+    };
+
+    // E003: contracts declared, yet some port or mirror provably unbounded.
+    if !contracts.is_empty() {
+        for row in report.rows.iter() {
+            if !matches!(row.bound, StateBound::Unbounded) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                code: Code::UnboundedPort,
+                message: format!(
+                    "{} is provably unbounded despite declared contracts",
+                    subject_label(&row.subject)
+                ),
+                notes: vec![
+                    "no purge recipe covers this state (Corollary 1), so no cadence \
+                     contract can bound it — declare additional punctuation schemes"
+                        .to_owned(),
+                ],
+                suggestion: None,
+            });
+        }
+    }
+
+    // W104: the summed per-port row bound vs. the memory budget. The runtime
+    // budget caps live join-state rows, which is exactly the port sum.
+    if let Some(budget) = cfg.budget {
+        match report.port_total() {
+            None => diags.push(Diagnostic {
+                code: Code::BoundExceedsBudget,
+                message: format!(
+                    "total state bound cannot be certified within the memory budget \
+                     of {budget} row(s)"
+                ),
+                notes: vec!["at least one port has no row-count bound (unbounded or \
+                     window-bounded composite state)"
+                    .to_owned()],
+                suggestion: None,
+            }),
+            Some(total) => match total.eval(contracts) {
+                None => diags.push(Diagnostic {
+                    code: Code::BoundExceedsBudget,
+                    message: format!(
+                        "total state bound {} cannot be evaluated against the memory \
+                         budget of {budget} row(s)",
+                        total.render(query)
+                    ),
+                    notes: vec![
+                        "declare `cadence` contracts for every scheme the bound mentions"
+                            .to_owned(),
+                    ],
+                    suggestion: None,
+                }),
+                Some(v) if v > budget => diags.push(Diagnostic {
+                    code: Code::BoundExceedsBudget,
+                    message: format!(
+                        "total state bound {} = {v} row(s) exceeds the memory budget \
+                         of {budget} row(s)",
+                        total.render(query)
+                    ),
+                    notes: vec!["tighten punctuation cadences or raise --memory-budget".to_owned()],
+                    suggestion: None,
+                }),
+                Some(_) => {}
+            },
+        }
+    }
+
+    // I202: the per-subject bound report.
+    for row in &report.rows {
+        let (message, mut notes) = match &row.bound {
+            StateBound::Bounded(e) => {
+                let rendered = e.render(query);
+                let msg = match e.eval(contracts) {
+                    Some(v) => format!(
+                        "{}: bounded by {rendered} = {v} row(s)",
+                        subject_label(&row.subject)
+                    ),
+                    None => format!("{}: bounded by {rendered}", subject_label(&row.subject)),
+                };
+                (msg, Vec::new())
+            }
+            StateBound::WindowBounded(e) => (
+                format!(
+                    "{}: window-bounded (residency ≤ {} feed elements)",
+                    subject_label(&row.subject),
+                    e.render(query)
+                ),
+                vec![
+                    "composite ports receive child-join fan-out, so residency is \
+                     bounded but the per-element row count is not"
+                        .to_owned(),
+                ],
+            ),
+            StateBound::Unbounded => (
+                format!("{}: unbounded", subject_label(&row.subject)),
+                Vec::new(),
+            ),
+        };
+        if matches!(row.subject, BoundSubject::PunctStore { .. })
+            && row.bound.eval_rows(contracts).is_none()
+        {
+            notes
+                .push("declare `domain` contracts to quantify punctuation-store growth".to_owned());
+        }
+        diags.push(Diagnostic {
+            code: Code::StateBound,
+            message,
+            notes,
+            suggestion: None,
+        });
+    }
+}

@@ -2,6 +2,7 @@
 //! (paper §2.1/§5.2 — register only safe queries, then pick a safe plan by
 //! cost).
 
+use cjq_core::bounds::{analyze_plan, Contracts};
 use cjq_core::extension::ExtensionOrder;
 use cjq_core::plan::{check_plan, Plan};
 use cjq_core::query::Cjq;
@@ -69,6 +70,10 @@ pub struct ChosenPlan {
 
 /// Enumerates safe plans (up to `limit`), costs each, and returns the best
 /// under `objective`. `None` when the query is unsafe (no safe plan exists).
+///
+/// Exact cost ties break toward the plan with the smaller total symbolic
+/// state bound (see [`choose_plan_with_contracts`], which this delegates to
+/// with no declared contracts).
 #[must_use]
 pub fn choose_plan(
     query: &Cjq,
@@ -76,6 +81,24 @@ pub fn choose_plan(
     stats: Stats,
     objective: Objective,
     limit: usize,
+) -> Option<ChosenPlan> {
+    choose_plan_with_contracts(query, schemes, stats, objective, limit, &Contracts::new())
+}
+
+/// [`choose_plan`] with declared cadence/domain contracts informing the
+/// tie-break: among plans with *exactly* equal cost under `objective`, the
+/// one whose static state-bound report ranks smallest wins — fewer provably
+/// unbounded ports first, then fewer window-bounded ports, then fewer
+/// bounds the contracts leave unquantified, then the smaller evaluated row
+/// total. The cost model stays primary; bounds only disambiguate.
+#[must_use]
+pub fn choose_plan_with_contracts(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    stats: Stats,
+    objective: Objective,
+    limit: usize,
+    contracts: &Contracts,
 ) -> Option<ChosenPlan> {
     let space = PlanSpace::new(query, schemes);
     let plans = space.enumerate_safe_plans(limit);
@@ -96,9 +119,15 @@ pub fn choose_plan(
         Objective::MinTotalMemory => c.total_memory(),
         Objective::MaxThroughput => c.work,
     };
+    let best_key = scored
+        .iter()
+        .map(|(_, c)| key(c))
+        .min_by(|a, b| a.partial_cmp(b).expect("finite costs"))?;
+    // Among exact cost ties, prefer the smallest symbolic state bound.
     let (plan, cost) = scored
         .into_iter()
-        .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("finite costs"))?;
+        .filter(|(_, c)| key(c) == best_key)
+        .min_by_key(|(p, _)| analyze_plan(query, schemes, p).rank(contracts))?;
     // Cyclic join graph: the binary winner is challenged by the
     // worst-case-optimal prefix-extension path over the flat MJoin. The
     // candidate exists only when the flat MJoin is itself safe (WCOJ keeps
@@ -296,6 +325,69 @@ mod tests {
             assert!(chosen.considered > 1);
             assert!(check_plan(&q, &r, &chosen.plan).unwrap().safe);
         }
+    }
+
+    #[test]
+    fn cost_ties_break_toward_the_smaller_state_bound() {
+        // Acyclic star with every scheme declared and perfectly uniform
+        // stats: symmetric safe plans tie exactly on cost, so the bound
+        // rank decides (the binary path stays — no WCOJ challenge).
+        use cjq_core::query::JoinPredicate;
+        use cjq_core::schema::{Catalog, StreamSchema};
+        use cjq_core::scheme::PunctuationScheme;
+        let mut cat = Catalog::new();
+        for name in ["C", "A", "B"] {
+            cat.add_stream(StreamSchema::new(name, ["X"]).unwrap());
+        }
+        let q = Cjq::new(
+            cat,
+            vec![
+                JoinPredicate::between(0, 0, 1, 0).unwrap(),
+                JoinPredicate::between(0, 0, 2, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = SchemeSet::from_schemes((0..3).map(|s| PunctuationScheme::on(s, &[0]).unwrap()));
+        // Zero arrival rate: every safe plan costs exactly 0, so the cost
+        // model abstains entirely and the bound rank alone decides.
+        let stats = Stats::uniform(3, 0.0, 10.0, 0.0, 0.2);
+        let contracts = Contracts::new();
+        let chosen = choose_plan_with_contracts(
+            &q,
+            &r,
+            stats.clone(),
+            Objective::MinDataMemory,
+            500,
+            &contracts,
+        )
+        .unwrap();
+
+        // Recompute the tie set independently and check the chosen plan has
+        // the lexicographically smallest bound rank among exact cost ties.
+        let model = CostModel::new(&q, &r, stats);
+        let space = PlanSpace::new(&q, &r);
+        let scored: Vec<(Plan, f64)> = space
+            .enumerate_safe_plans(500)
+            .into_iter()
+            .map(|p| {
+                let c = model.estimate(&p).data_memory;
+                (p, c)
+            })
+            .collect();
+        let best = scored.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        let ties: Vec<&Plan> = scored
+            .iter()
+            .filter(|(_, c)| *c == best)
+            .map(|(p, _)| p)
+            .collect();
+        assert!(ties.len() > 1, "zero-rate star should tie every safe plan");
+        let chosen_rank = cjq_core::bounds::analyze_plan(&q, &r, &chosen.plan).rank(&contracts);
+        for p in ties {
+            assert!(chosen_rank <= cjq_core::bounds::analyze_plan(&q, &r, p).rank(&contracts));
+        }
+        // Among the all-tied plans only the flat MJoin has zero
+        // window-bounded (composite) ports, so the rank must pick it.
+        assert_eq!(chosen.plan, Plan::mjoin_all(&q));
     }
 
     #[test]

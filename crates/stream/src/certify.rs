@@ -26,13 +26,19 @@
 //! All checks panic on violation; they are assertions, not recoverable
 //! errors — a failure means the engine no longer implements the theorems.
 
+use cjq_core::bounds::Contracts;
+use cjq_core::fxhash::{FxHashMap, FxHashSet};
+use cjq_core::plan::Plan;
 use cjq_core::query::Cjq;
 use cjq_core::safety;
 use cjq_core::schema::StreamId;
 use cjq_core::scheme::SchemeSet;
 
+use crate::element::StreamElement;
+use crate::exec::PurgeCadence;
 use crate::join::JoinOperator;
 use crate::purge::{CompiledRecipe, PurgeEngine, PurgeScope};
+use crate::source::Feed;
 
 /// Rows per port on which each purge cycle re-checks the fast path against
 /// the explaining oracle.
@@ -110,4 +116,201 @@ pub fn mirror_certificates(
     static_certificates_with(query, schemes, PurgeScope::Query, std::iter::empty(), |s| {
         mirror_recipes[s.0].is_some()
     })
+}
+
+/// Infers cadence/domain contracts that `feed` actually honors, for use as
+/// runtime bound certificates ("contract-conforming workload" made
+/// operational: the tightest contracts the feed conforms to).
+///
+/// The cadence of a **single-attribute** scheme `σ` on `(T, a)` is measured
+/// against the runtime's actual purge mechanics: purge cycles fire on
+/// punctuation arrivals, and a cycle retires every row whose requirement is
+/// covered by then. So for every tuple carrying a value `v` on a
+/// join-equivalent attribute of `(T, a)` (demand on `σ` is created by any
+/// class attribute), the scan finds the first **purge opportunity** — a
+/// punctuation element at or after both the tuple and `σ`'s first coverage
+/// of `v` (matching constant, ordered frontier, or wildcard). The scheme's
+/// cadence is the maximum tuple → opportunity lag in feed elements: every
+/// row whose recipe waits on `σ` retires within that many elements of
+/// arriving, so a port inserting at most one row per element holds at most
+/// `cadence` live rows.
+///
+/// A demanded value that `σ` never covers (or that has no punctuation left
+/// to trigger its purge) leaves the cadence undefined — the scheme gets no
+/// contract, and bounds mentioning it stay unquantified, so nothing unsound
+/// is certified. Multi-attribute schemes are skipped for the same reason:
+/// their demand is over value *combinations*, which a per-attribute scan
+/// over-approximates.
+///
+/// Domains are inferred for the same attributes: the number of distinct
+/// values observed on the class or in covering constants.
+#[must_use]
+pub fn infer_contracts(query: &Cjq, schemes: &SchemeSet, feed: &Feed) -> Contracts {
+    use cjq_core::punctuation::Pattern;
+    use cjq_core::value::Value;
+
+    let classes = cjq_core::extension::attr_classes(query);
+    // Purge opportunities: a cycle runs at every punctuation arrival
+    // (eager cadence; deferred cadences add slack separately — see
+    // [`port_bound_certificate`]). Positions are 1-based and ascending.
+    let punct_positions: Vec<u64> = feed
+        .elements()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, StreamElement::Punctuation(_)))
+        .map(|(i, _)| i as u64 + 1)
+        .collect();
+    // First purge opportunity at or after `pos`.
+    let opportunity_at = |pos: u64| -> Option<u64> {
+        let ix = punct_positions.partition_point(|&p| p < pos);
+        punct_positions.get(ix).copied()
+    };
+
+    let mut contracts = Contracts::new();
+    for scheme in schemes.schemes() {
+        if scheme.arity() != 1 {
+            continue;
+        }
+        let attr = scheme.punctuatable()[0];
+        let here = cjq_core::schema::AttrRef {
+            stream: scheme.stream,
+            attr,
+        };
+        let class: Vec<cjq_core::schema::AttrRef> = classes
+            .iter()
+            .find(|c| c.contains(&here))
+            .cloned()
+            .unwrap_or_else(|| vec![here]);
+
+        // Pass 1: σ's first coverage position per value. Constants cover one
+        // value, an ordered frontier covers everything at or below its
+        // running max, a wildcard covers everything from there on.
+        let mut const_cov: FxHashMap<Value, u64> = FxHashMap::default();
+        let mut frontier_steps: Vec<(u64, Value)> = Vec::new(); // (pos, running max)
+        let mut wildcard_at: Option<u64> = None;
+        let mut domain: FxHashSet<Value> = FxHashSet::default();
+        for (pos, element) in feed.elements().iter().enumerate() {
+            let pos = pos as u64 + 1;
+            match element {
+                StreamElement::Tuple(t) => {
+                    for r in &class {
+                        if r.stream == t.stream {
+                            if let Some(&v) = t.values.get(r.attr.0) {
+                                domain.insert(v);
+                            }
+                        }
+                    }
+                }
+                StreamElement::Punctuation(p) if scheme.is_instance(p) => {
+                    match &p.patterns[attr.0] {
+                        Pattern::Constant(v) => {
+                            domain.insert(*v);
+                            const_cov.entry(*v).or_insert(pos);
+                        }
+                        Pattern::UpTo(b) => {
+                            let run =
+                                frontier_steps
+                                    .last()
+                                    .map_or(*b, |(_, m)| if *b > *m { *b } else { *m });
+                            frontier_steps.push((pos, run));
+                        }
+                        Pattern::Wildcard => {
+                            wildcard_at.get_or_insert(pos);
+                        }
+                    }
+                }
+                StreamElement::Punctuation(_) => {}
+            }
+        }
+        let coverage = |v: Value| -> Option<u64> {
+            // Running maxima are nondecreasing: the first step covering `v`
+            // is the first with max >= v.
+            let via_frontier = frontier_steps
+                .get(frontier_steps.partition_point(|(_, m)| *m < v))
+                .map(|(pos, _)| *pos);
+            [const_cov.get(&v).copied(), via_frontier, wildcard_at]
+                .into_iter()
+                .flatten()
+                .min()
+        };
+
+        // Pass 2: per-tuple lag to the first opportunity with coverage.
+        let mut max_lag: u64 = 0;
+        let mut conforms = true;
+        'scan: for (pos, element) in feed.elements().iter().enumerate() {
+            let pos = pos as u64 + 1;
+            let StreamElement::Tuple(t) = element else {
+                continue;
+            };
+            for r in &class {
+                if r.stream != t.stream {
+                    continue;
+                }
+                let Some(&v) = t.values.get(r.attr.0) else {
+                    continue;
+                };
+                // The opportunity must follow the tuple (positions are
+                // distinct, so `pos + 1` skips nothing) and the coverage.
+                let purged_at = coverage(v).and_then(|cov| opportunity_at(cov.max(pos + 1)));
+                match purged_at {
+                    Some(p) => max_lag = max_lag.max(p - pos),
+                    None => {
+                        conforms = false;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        if conforms {
+            contracts.set_cadence(scheme.clone(), max_lag.max(1));
+        }
+        if !domain.is_empty() {
+            contracts.set_domain(scheme.stream, attr, domain.len() as u64);
+        }
+    }
+    contracts
+}
+
+/// Builds the numeric per-port bound certificate for
+/// [`crate::exec::Executor::set_port_bounds`]: one slot per flattened
+/// operator port (op-major, bottom-up operator order), `Some(bound)` for
+/// ports whose static bound is `Bounded` and fully quantified by
+/// `contracts`, `None` (unchecked) otherwise.
+///
+/// The static bound counts feed elements between a value's first appearance
+/// and its covering punctuation; the runtime purges strictly *later* than
+/// coverage when purging is deferred, so the certificate adds the purge
+/// cadence's worst-case deferral on top of the static figure:
+/// [`PurgeCadence::Eager`] adds nothing, [`PurgeCadence::Lazy`] up to one
+/// batch, and [`PurgeCadence::Adaptive`] the maximum adaptive batch (4096 —
+/// the executor's clamp ceiling).
+#[must_use]
+pub fn port_bound_certificate(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    contracts: &Contracts,
+    plan: &Plan,
+    scope: PurgeScope,
+    cadence: PurgeCadence,
+) -> Vec<Option<u64>> {
+    let bounds = cjq_core::bounds::plan_port_bounds(
+        query,
+        schemes,
+        plan,
+        matches!(scope, PurgeScope::Query),
+    );
+    let slack = match cadence {
+        PurgeCadence::Eager => 0u64,
+        PurgeCadence::Lazy { batch } => batch as u64,
+        PurgeCadence::Adaptive { .. } => 4096,
+        // Without purging no bound holds: certify nothing.
+        PurgeCadence::Never => {
+            return bounds.iter().flatten().map(|_| None).collect();
+        }
+    };
+    bounds
+        .iter()
+        .flatten()
+        .map(|b| b.eval_rows(contracts).map(|v| v.saturating_add(slack)))
+        .collect()
 }

@@ -45,6 +45,22 @@ pub enum ExecError {
         /// Executor clock.
         clock: u64,
     },
+    /// A port's live rows exceeded its static bound certificate (see
+    /// `Executor::set_port_bounds`): either the workload broke its declared
+    /// cadence contract, or the bound analysis is wrong — both are hard
+    /// failures worth stopping for.
+    PortBoundExceeded {
+        /// Operator index (bottom-up order).
+        op: usize,
+        /// Port index within the operator.
+        port: usize,
+        /// Live rows observed on the port.
+        live: usize,
+        /// The certified static bound.
+        bound: u64,
+        /// Executor clock.
+        clock: u64,
+    },
     /// A shard worker panicked. Surviving shards were drained gracefully
     /// before this error was returned.
     ShardPanicked {
@@ -78,6 +94,17 @@ impl fmt::Display for ExecError {
             } => write!(
                 f,
                 "state budget exceeded at element {clock}: {live} live rows > budget {budget}"
+            ),
+            ExecError::PortBoundExceeded {
+                op,
+                port,
+                live,
+                bound,
+                clock,
+            } => write!(
+                f,
+                "bound certificate violated at element {clock}: op {op} port {port} holds \
+                 {live} live rows > static bound {bound}"
             ),
             ExecError::ShardPanicked { shard, message } => {
                 write!(f, "shard {shard} panicked: {message}")

@@ -278,6 +278,12 @@ pub struct Executor {
     shed_scratch: Vec<u64>,
     /// Cold-tier spill directory owner, present iff `cfg.tiering` is set.
     spill: Option<SpillStore>,
+    /// Static per-port bound certificates, flattened op-major in bottom-up
+    /// operator order (`None` = port unchecked). When set, every element
+    /// checks live rows per port against the certificate and a violation is
+    /// a hard [`ExecError::PortBoundExceeded`]. Lives outside `ExecConfig`
+    /// (which stays `Copy`).
+    port_bounds: Option<Vec<Option<u64>>>,
 }
 
 impl Executor {
@@ -403,7 +409,30 @@ impl Executor {
             metrics: Metrics::default(),
             batch_bufs: (OutputBuffer::default(), OutputBuffer::default()),
             scratch_survivors: Vec::new(),
+            port_bounds: None,
         })
+    }
+
+    /// Arms per-port bound certificates: `bounds[flat_port]` (op-major,
+    /// bottom-up operator order — the order `cjq_core::bounds::
+    /// plan_operator_ports` reports) caps the port's live rows; `None`
+    /// leaves a port unchecked. Checked on every element, so the batched
+    /// path degrades to per-element stepping like the other state monitors.
+    ///
+    /// # Panics
+    /// Panics if `bounds.len()` differs from the number of flat ports.
+    pub fn set_port_bounds(&mut self, bounds: Vec<Option<u64>>) {
+        let n_ports: usize = self.ops.iter().map(|op| op.port_spans().len()).sum();
+        assert_eq!(
+            bounds.len(),
+            n_ports,
+            "one bound slot per flattened operator port"
+        );
+        self.port_bounds = if bounds.iter().all(Option::is_none) {
+            None
+        } else {
+            Some(bounds)
+        };
     }
 
     /// Attaches a group-by/aggregation stage over the root operator's output.
@@ -511,9 +540,39 @@ impl Executor {
         }
         // Budget before sampling, so sampled peaks respect the ceiling.
         self.enforce_budget()?;
+        self.check_port_bounds()?;
         self.detect_stalls();
         if self.clock.is_multiple_of(self.cfg.sample_every as u64) {
             self.sample();
+        }
+        Ok(())
+    }
+
+    /// Bound-certificate check: with [`Executor::set_port_bounds`] armed,
+    /// walk every operator port, record its live-row peak, and fail hard if
+    /// a certified port exceeds its static bound. Runs after purge/budget
+    /// enforcement so eager purges get credit before the comparison.
+    fn check_port_bounds(&mut self) -> ExecResult<()> {
+        let Some(bounds) = &self.port_bounds else {
+            return Ok(());
+        };
+        let mut flat = 0usize;
+        for (oi, op) in self.ops.iter().enumerate() {
+            for (pi, live) in op.port_live().into_iter().enumerate() {
+                self.metrics.track_port_peak(flat, live);
+                if let Some(bound) = bounds[flat] {
+                    if live as u64 > bound {
+                        return Err(ExecError::PortBoundExceeded {
+                            op: oi,
+                            port: pi,
+                            live,
+                            bound,
+                            clock: self.clock,
+                        });
+                    }
+                }
+                flat += 1;
+            }
         }
         Ok(())
     }
@@ -651,8 +710,11 @@ impl Executor {
         if self.cfg.window.is_some()
             || self.cfg.state_budget.is_some()
             || self.cfg.stall_budget.is_some()
+            || self.port_bounds.is_some()
         {
-            return 1; // window eviction and watchdogs are per-element
+            // Window eviction, watchdogs, and bound certificates are
+            // per-element: batching must not let state coast past a check.
+            return 1;
         }
         cadence_run_cap(
             self.cfg.cadence,
@@ -669,7 +731,7 @@ impl Executor {
     /// Equivalent to [`Executor::push`]-ing the batch's elements one at a
     /// time: runs of consecutive same-stream tuples flow through the operator
     /// cascade as columnar buffers (capped at purge/sample boundaries by
-    /// [`Executor::run_cap`]), punctuations are processed individually in
+    /// `Executor::run_cap`), punctuations are processed individually in
     /// order.
     pub fn push_batch(&mut self, batch: &ElementBatch<'_>, sink: &mut dyn ResultSink) {
         self.try_push_batch(batch, sink)
@@ -1054,6 +1116,13 @@ impl Executor {
             cold: self.cold_rows(),
         };
         self.metrics.sample(p);
+        let mut flat = 0usize;
+        for op in &self.ops {
+            for live in op.port_live() {
+                self.metrics.track_port_peak(flat, live);
+                flat += 1;
+            }
+        }
     }
 
     /// Runs a whole feed and finishes (final purge cycle + sample).

@@ -776,7 +776,7 @@ impl JoinOperator {
     /// against its recipe using the engine's mirror and punctuation stores.
     ///
     /// Under [`PurgeStrategy::FullScan`] every live tuple is a candidate;
-    /// under [`PurgeStrategy::Indexed`] the port's [`PurgeTracker`] narrows
+    /// under [`PurgeStrategy::Indexed`] the port's `PurgeTracker` narrows
     /// candidates to rows touched by punctuation deltas since the last pass
     /// (falling back to a full scan when mirror shrinkage may have relaxed
     /// chained requirements). Both strategies purge the exact same rows.

@@ -26,8 +26,27 @@ pub struct StatePoint {
 pub struct Metrics {
     /// Periodic samples, in time order.
     pub series: Vec<StatePoint>,
-    /// Peak total join-state size.
+    /// Peak total join-state size. In a sharded run the merge *sums* shard
+    /// peaks — shard states are concurrent, so this is the peak *physical*
+    /// footprint across the fleet, which can overstate the logical peak of
+    /// an equivalent sequential run (shards rarely peak at the same instant,
+    /// and broadcast state is replicated per shard). See
+    /// [`Metrics::peak_join_state_max_shard`] for the max-merged companion.
     pub peak_join_state: usize,
+    /// Peak join-state size of the *largest single shard* (max-merged; in a
+    /// sequential run identical to [`Metrics::peak_join_state`]). This is
+    /// the right field to compare against per-shard capacity or a static
+    /// per-port bound: each shard holds a subset of the logical state, so
+    /// `max_shard ≤ logical peak ≤` summed [`Metrics::peak_join_state`].
+    pub peak_join_state_max_shard: usize,
+    /// Peak live rows per operator port, flattened op-major in bottom-up
+    /// operator order like [`Metrics::rows_shed_by_port`] (grown on demand;
+    /// updated on every sample and whenever bound certificates are checked).
+    /// Merged elementwise by **max** across shards: a shard's port holds a
+    /// subset of the logical port state, so the merged value is a lower
+    /// bound on the logical per-port peak and observed ≤ static-bound
+    /// certificates remain sound after merging.
+    pub peak_port_rows: Vec<usize>,
     /// Peak mirror size.
     pub peak_mirror: usize,
     /// Peak punctuation-store size.
@@ -140,10 +159,23 @@ impl Metrics {
     /// Records a sample and updates peaks.
     pub fn sample(&mut self, p: StatePoint) {
         self.peak_join_state = self.peak_join_state.max(p.join_state);
+        // Within one executor the two peaks coincide; they diverge only in
+        // the sharded merge (sum vs. max).
+        self.peak_join_state_max_shard = self.peak_join_state_max_shard.max(p.join_state);
         self.peak_mirror = self.peak_mirror.max(p.mirror);
         self.peak_punct_entries = self.peak_punct_entries.max(p.punct_entries);
         self.cold_rows = self.cold_rows.max(p.cold);
         self.series.push(p);
+    }
+
+    /// Records `live` rows observed on flattened operator port `flat_port`
+    /// (op-major, bottom-up operator order; grown on demand), keeping the
+    /// per-port peak.
+    pub fn track_port_peak(&mut self, flat_port: usize, live: usize) {
+        if self.peak_port_rows.len() <= flat_port {
+            self.peak_port_rows.resize(flat_port + 1, 0);
+        }
+        self.peak_port_rows[flat_port] = self.peak_port_rows[flat_port].max(live);
     }
 
     /// Counts `n` watchdog-shed rows on flattened operator port
@@ -232,7 +264,10 @@ impl Metrics {
     /// Folds another execution's counters into this one. This is the single
     /// *physical* merge used by both the sharded executor and the registry
     /// fan-out: every counter is summed (peaks included — shard peaks are
-    /// concurrent, so the total footprint is their sum), per-stream /
+    /// concurrent, so the total footprint is their sum — except
+    /// `peak_join_state_max_shard` and `peak_port_rows`, which take the
+    /// elementwise **max**: they answer "how big did any one shard get", not
+    /// "how much memory did the fleet hold"), per-stream /
     /// per-reason vectors are summed elementwise after growing to the longer
     /// length (the quarantine matrix grows whole stream-major rows, so
     /// elementwise addition keeps `(stream, reason)` cells aligned),
@@ -252,8 +287,20 @@ impl Metrics {
                 *a += b;
             }
         }
+        fn max_vec(into: &mut Vec<usize>, from: &[usize]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), 0);
+            }
+            for (a, b) in into.iter_mut().zip(from) {
+                *a = (*a).max(*b);
+            }
+        }
         self.series.clear();
         self.peak_join_state += other.peak_join_state;
+        self.peak_join_state_max_shard = self
+            .peak_join_state_max_shard
+            .max(other.peak_join_state_max_shard);
+        max_vec(&mut self.peak_port_rows, &other.peak_port_rows);
         self.peak_mirror += other.peak_mirror;
         self.peak_punct_entries += other.peak_punct_entries;
         self.tuples_in += other.tuples_in;
@@ -379,6 +426,8 @@ mod tests {
             probe_keys_deduped: 9,
             certificate_checks: 11,
             peak_join_state: 6,
+            peak_join_state_max_shard: 6,
+            peak_port_rows: vec![4, 2],
             peak_mirror: 4,
             peak_punct_entries: 3,
             repaired: 1,
@@ -406,6 +455,8 @@ mod tests {
             probe_keys_deduped: 2,
             rows_shed: 4,
             rows_shed_by_port: vec![0, 1, 3],
+            peak_join_state_max_shard: 9,
+            peak_port_rows: vec![1, 5, 2],
             rows_demoted: 2,
             rows_faulted: 2,
             segments_written: 1,
@@ -446,6 +497,10 @@ mod tests {
         assert_eq!(ab.rows_shed_by_port, vec![5, 4, 3]);
         assert_eq!(ab.rows_demoted, 14);
         assert_eq!(ab.cold_rows, 8);
+        // Peaks: physical sum vs. max-shard vs. elementwise per-port max.
+        assert_eq!(ab.peak_join_state, 6);
+        assert_eq!(ab.peak_join_state_max_shard, 9);
+        assert_eq!(ab.peak_port_rows, vec![4, 5, 2]);
     }
 
     #[test]

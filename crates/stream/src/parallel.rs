@@ -267,6 +267,12 @@ pub struct ShardedExecutor {
     /// Per operator (bottom-up), per port: the port's span. Used to classify
     /// each port as disjoint (spans a partitioned stream) or replicated.
     port_spans: Vec<Vec<Vec<StreamId>>>,
+    /// Static per-port bound certificates applied to every shard executor
+    /// (see [`Executor::set_port_bounds`]). A shard's port holds a subset of
+    /// the logical port state — for partitioned ports a hash slice, for
+    /// broadcast ports a replica — so checking each shard against the
+    /// *logical* bound is sound.
+    port_bounds: Option<Vec<Option<u64>>>,
 }
 
 impl ShardedExecutor {
@@ -294,7 +300,23 @@ impl ShardedExecutor {
             cfg,
             partitioning: Partitioning::for_query(query, shards),
             port_spans,
+            port_bounds: None,
         })
+    }
+
+    /// Arms per-port bound certificates on every shard executor
+    /// ([`Executor::set_port_bounds`]); a violation in any shard surfaces as
+    /// [`ExecError::Shard`] wrapping [`ExecError::PortBoundExceeded`].
+    ///
+    /// # Panics
+    /// Panics (at run time, in each shard) if `bounds.len()` differs from
+    /// the number of flattened operator ports.
+    pub fn set_port_bounds(&mut self, bounds: Vec<Option<u64>>) {
+        self.port_bounds = if bounds.iter().all(Option::is_none) {
+            None
+        } else {
+            Some(bounds)
+        };
     }
 
     /// Like [`ShardedExecutor::compile`], but first caps `shards` at the
@@ -410,8 +432,12 @@ impl ShardedExecutor {
                     // Concurrent shards must never share segment files.
                     t.shard_tag = shard as u32;
                 }
-                Executor::compile(&self.query, &self.schemes, &self.plan, cfg)
-                    .expect("validated in ShardedExecutor::compile")
+                let mut exec = Executor::compile(&self.query, &self.schemes, &self.plan, cfg)
+                    .expect("validated in ShardedExecutor::compile");
+                if let Some(bounds) = &self.port_bounds {
+                    exec.set_port_bounds(bounds.clone());
+                }
+                exec
             })
             .collect();
 

@@ -7,7 +7,7 @@
 //! unsafe query is rejected with the same unsafety *witness pair* that
 //! `cjq-lint` reports — admission never destabilizes the queries already
 //! running. Safe queries have their plans canonicalized bottom-up into
-//! [`NodeKey`]s (child identity + the predicate set the node evaluates, plus
+//! `NodeKey`s (child identity + the predicate set the node evaluates, plus
 //! the full query predicate set under [`PurgeScope::Query`], where recipes
 //! depend on it); sub-plans with equal keys share one [`JoinOperator`] node,
 //! so the PortState arenas, probe indexes, and purge-index/delta-log

@@ -5,7 +5,7 @@
 //! This module adds the lossless alternative the paper's safety theory
 //! enables: rows that punctuations have **not yet** proven dead, but that the
 //! hot arena has no room for, are demoted into on-disk columnar
-//! [`crate::segment::Segment`]s. Probes consult segment summaries and fault
+//! `Segment`s. Probes consult segment summaries and fault
 //! matching rows back; punctuation recipes that cover a whole segment's key
 //! summary drop it unread (the certified on-disk purge). The design follows
 //! the partially-stateful dataflow model (Noria's upquery/eviction split):
@@ -16,7 +16,7 @@
 //! * [`TierConfig`] — knobs carried in [`crate::exec::ExecConfig::tiering`];
 //! * [`SpillStore`] — owns one run's spill directory (per shard) and hands
 //!   out segment paths; the directory is removed on drop;
-//! * [`ColdTier`] — one port's set of segments plus demand-fault, certified
+//! * `ColdTier` — one port's set of segments plus demand-fault, certified
 //!   drop, and rehydration entry points, used by [`crate::join::JoinOperator`].
 
 use std::fs;

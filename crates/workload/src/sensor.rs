@@ -1,5 +1,5 @@
 //! A sensor-network workload (the paper's intro cites sensor monitoring
-//! [9] as a motivating domain).
+//! \[9\] as a motivating domain).
 //!
 //! Three streams keyed by `(sensor, epoch)`:
 //!

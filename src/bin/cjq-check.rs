@@ -46,9 +46,9 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use punctuated_cjq::core::prelude::*;
-use punctuated_cjq::core::{purge_plan, safety};
-use punctuated_cjq::lint::{self, json};
-use punctuated_cjq::parse::parse_spec;
+use punctuated_cjq::core::{bounds, purge_plan, safety};
+use punctuated_cjq::lint::{self, json, BoundsConfig};
+use punctuated_cjq::parse::parse_spec_full;
 use punctuated_cjq::planner::choose::PhysicalChoice;
 use punctuated_cjq::planner::enumerate::PlanSpace;
 use punctuated_cjq::planner::scheme_select;
@@ -59,6 +59,8 @@ const EXIT_IO: u8 = 3;
 
 fn usage_main() {
     eprintln!("usage: cjq-check [lint] [--dot] [--plan] [--json] [FILE...]");
+    eprintln!("       cjq-check lint [--bounds] [--memory-budget N] [--deny-warnings]");
+    eprintln!("                      [--plan] [--json] [FILE...]");
     eprintln!("       cjq-check replay [--strict|--permissive|--repair] [--faults]");
     eprintln!("                        [--shards N] [--seed N] [--memory-budget N]");
     eprintln!("                        [--json] WORKLOAD...");
@@ -66,12 +68,17 @@ fn usage_main() {
     eprintln!("                       [--memory-budget N] [--json] SPEC...");
     eprintln!("       (reads stdin without FILE; WORKLOAD is one of");
     eprintln!("        auction, sensor, network, trades)");
+    eprintln!("       lint --bounds adds the state-bound analysis (E003/W104/I202);");
+    eprintln!("       --memory-budget N implies --bounds and checks the summed port");
+    eprintln!("       bound against N rows; --deny-warnings exits 1 on warnings");
     eprintln!("see src/parse.rs for the specification format");
 }
 
-/// Reads every named spec (stdin when `files` is empty) and parses it.
+/// Reads every named spec (stdin when `files` is empty) and parses it,
+/// keeping any declared cadence/domain contracts for the bound analysis.
 /// I/O and parse failures print a diagnostic and surface as exit codes.
-fn read_specs(files: &[String]) -> Result<Vec<(String, Cjq, SchemeSet)>, ExitCode> {
+#[allow(clippy::type_complexity)]
+fn read_specs(files: &[String]) -> Result<Vec<(String, Cjq, SchemeSet, Contracts)>, ExitCode> {
     let mut specs = Vec::new();
     if files.is_empty() {
         let mut s = String::new();
@@ -79,8 +86,8 @@ fn read_specs(files: &[String]) -> Result<Vec<(String, Cjq, SchemeSet)>, ExitCod
             eprintln!("cjq-check: cannot read stdin: {e}");
             return Err(ExitCode::from(EXIT_IO));
         }
-        match parse_spec(&s) {
-            Ok((q, r)) => specs.push(("<stdin>".to_owned(), q, r)),
+        match parse_spec_full(&s) {
+            Ok((q, r, c)) => specs.push(("<stdin>".to_owned(), q, r, c)),
             Err(e) => {
                 eprintln!("cjq-check: {e}");
                 return Err(ExitCode::from(EXIT_PARSE));
@@ -96,8 +103,8 @@ fn read_specs(files: &[String]) -> Result<Vec<(String, Cjq, SchemeSet)>, ExitCod
                 return Err(ExitCode::from(EXIT_IO));
             }
         };
-        match parse_spec(&input) {
-            Ok((q, r)) => specs.push((path.clone(), q, r)),
+        match parse_spec_full(&input) {
+            Ok((q, r, c)) => specs.push((path.clone(), q, r, c)),
             Err(e) => {
                 eprintln!("cjq-check: {path}: {e}");
                 return Err(ExitCode::from(EXIT_PARSE));
@@ -128,7 +135,29 @@ fn main() -> ExitCode {
     let dot = args.iter().any(|a| a == "--dot");
     let want_plan = args.iter().any(|a| a == "--plan");
     let want_json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--dot" && a != "--plan" && a != "--json");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let mut want_bounds = args.iter().any(|a| a == "--bounds");
+    let mut budget: Option<u64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--memory-budget") {
+        let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+            eprintln!("cjq-check: --memory-budget needs a numeric argument");
+            usage_main();
+            return ExitCode::from(EXIT_PARSE);
+        };
+        budget = Some(v);
+        want_bounds = true; // a budget is checked by the bound analysis
+        args.drain(i..=i + 1);
+    }
+    args.retain(|a| {
+        a != "--dot" && a != "--plan" && a != "--json" && a != "--bounds" && a != "--deny-warnings"
+    });
+    if (want_bounds || deny_warnings) && !lint_mode {
+        eprintln!(
+            "cjq-check: --bounds/--memory-budget/--deny-warnings require the lint subcommand"
+        );
+        usage_main();
+        return ExitCode::from(EXIT_PARSE);
+    }
     let specs = match read_specs(&args) {
         Ok(s) => s,
         Err(code) => return code,
@@ -136,11 +165,18 @@ fn main() -> ExitCode {
     let many = specs.len() > 1;
     let mut worst = 0u8;
     let mut json_reports: Vec<String> = Vec::new();
-    for (path, query, schemes) in &specs {
+    for (path, query, schemes, contracts) in &specs {
+        let bounds_cfg = want_bounds.then(|| BoundsConfig {
+            contracts: contracts.clone(),
+            budget,
+        });
         let code = if lint_mode {
             if want_json {
                 let (plan, physical) = lint_plan_of(query, schemes, want_plan);
-                let report = lint::lint_plan(query, schemes, &plan);
+                let report = match &bounds_cfg {
+                    Some(cfg) => lint::lint_plan_with_bounds(query, schemes, &plan, cfg),
+                    None => lint::lint_plan(query, schemes, &plan),
+                };
                 let mut rendered = report.render_json();
                 if want_plan {
                     // Splice the chosen physical plan into the report object.
@@ -151,16 +187,18 @@ fn main() -> ExitCode {
                     );
                 }
                 json_reports.push(rendered);
-                if report.has_errors() {
-                    ExitCode::from(EXIT_UNSAFE)
-                } else {
-                    ExitCode::SUCCESS
-                }
+                lint_exit(&report, deny_warnings)
             } else {
                 if many {
                     println!("== {path} ==");
                 }
-                lint_report(query, schemes, want_plan)
+                lint_report(
+                    query,
+                    schemes,
+                    want_plan,
+                    bounds_cfg.as_ref(),
+                    deny_warnings,
+                )
             }
         } else if dot {
             let gpg =
@@ -243,23 +281,55 @@ fn plan_json(query: &Cjq, plan: &Plan, physical: &PhysicalChoice) -> String {
     out
 }
 
+/// Exit code for a lint run: errors always fail; warnings fail too under
+/// `--deny-warnings`.
+fn lint_exit(report: &lint::LintReport, deny_warnings: bool) -> ExitCode {
+    if report.has_errors() || (deny_warnings && report.warning_count() > 0) {
+        ExitCode::from(EXIT_UNSAFE)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Runs the static analyzer: MJoin port lint by default, the register's
-/// chosen plan (printed with its physical strategy) under `--plan`.
-fn lint_report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
+/// chosen plan (printed with its physical strategy) under `--plan`; with
+/// `bounds_cfg` the state-bound pass (E003/W104/I202) runs too and the
+/// plan line carries the plan's total symbolic port bound.
+fn lint_report(
+    query: &Cjq,
+    schemes: &SchemeSet,
+    want_plan: bool,
+    bounds_cfg: Option<&BoundsConfig>,
+    deny_warnings: bool,
+) -> ExitCode {
     let (plan, physical) = lint_plan_of(query, schemes, want_plan);
-    let report = lint::lint_plan(query, schemes, &plan);
+    let report = match bounds_cfg {
+        Some(cfg) => lint::lint_plan_with_bounds(query, schemes, &plan, cfg),
+        None => lint::lint_plan(query, schemes, &plan),
+    };
     print!("{}", report.render_text());
     if want_plan {
         println!("physical plan: {} — {}", physical.name(), plan);
         if let PhysicalChoice::Wcoj { order } = &physical {
             println!("  extension order: {}", order.describe(query));
         }
+        if let Some(cfg) = bounds_cfg {
+            let analysis = bounds::analyze_plan(query, schemes, &plan);
+            match analysis.port_total() {
+                Some(total) => {
+                    let rendered = total.render(query);
+                    match total.eval(&cfg.contracts) {
+                        Some(rows) => {
+                            println!("  total port bound: {rendered} = {rows} row(s)");
+                        }
+                        None => println!("  total port bound: {rendered}"),
+                    }
+                }
+                None => println!("  total port bound: unbounded"),
+            }
+        }
     }
-    if report.has_errors() {
-        ExitCode::from(EXIT_UNSAFE)
-    } else {
-        ExitCode::SUCCESS
-    }
+    lint_exit(&report, deny_warnings)
 }
 
 /// Machine-readable safety report for the plain check path, rendered to a

@@ -22,8 +22,10 @@
 //!   random query families for checker benchmarking.
 //! * [`lint`] ([`cjq_lint`]) — the static safety analyzer: structured
 //!   diagnostics with stable codes (`E001` unsafe query with blocking-cut
-//!   witnesses, `E002` unpurgeable plan ports, scheme-hygiene warnings) and
-//!   minimal-repair suggestions, surfaced by `cjq-check lint`.
+//!   witnesses, `E002` unpurgeable plan ports, `E003` contract-violating
+//!   unbounded ports, scheme-hygiene warnings, `I202` symbolic per-port
+//!   state bounds) and minimal-repair suggestions, surfaced by
+//!   `cjq-check lint` (state bounds behind `--bounds`/`--memory-budget`).
 //!
 //! ## Quickstart
 //!

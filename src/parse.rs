@@ -17,10 +17,19 @@
 //! * `punctuate NAME(attr, ...)` — a punctuation scheme; several attributes
 //!   make a multi-attribute scheme; a stream may have several schemes;
 //! * `heartbeat NAME(attr)` — an *ordered* scheme: instances are watermark
-//!   punctuations `attr ≤ T` (single attribute only).
+//!   punctuations `attr ≤ T` (single attribute only);
+//! * `cadence NAME(attr, ...) = N` — a *contract*: punctuations of the
+//!   declared scheme on `NAME(attr, ...)` cover every value within `N` feed
+//!   elements of its first appearance (used by the static bound analysis);
+//! * `domain NAME(attr) = N` — a contract bounding the number of distinct
+//!   values `NAME.attr` ever carries.
+//!
+//! Contracts are optional; when absent, bounds stay symbolic
+//! (conservative default — nothing is assumed about the workload).
 
 use std::fmt;
 
+use cjq_core::bounds::Contracts;
 use cjq_core::error::CoreError;
 use cjq_core::query::{Cjq, JoinPredicate};
 use cjq_core::schema::{Catalog, StreamSchema};
@@ -93,11 +102,22 @@ impl Pos<'_> {
     }
 }
 
-/// Parses a query specification. Returns the validated query and scheme set.
+/// Parses a query specification. Returns the validated query and scheme set,
+/// discarding any contract block (see [`parse_spec_full`]).
 pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
+    parse_spec_full(input).map(|(q, r, _)| (q, r))
+}
+
+/// Parses a query specification including its optional `cadence`/`domain`
+/// contract block. Returns the validated query, scheme set, and contracts
+/// (empty when no contract line is present).
+pub fn parse_spec_full(input: &str) -> Result<(Cjq, SchemeSet, Contracts), ParseError> {
     let mut catalog = Catalog::new();
     let mut predicates: Vec<JoinPredicate> = Vec::new();
     let mut scheme_decls: Vec<(usize, usize, String, Vec<String>, bool)> = Vec::new();
+    // (line, column, keyword, name, attrs, value)
+    type ContractDecl<'a> = (usize, usize, &'a str, String, Vec<String>, u64);
+    let mut contract_decls: Vec<ContractDecl> = Vec::new();
 
     for (idx, raw) in input.lines().enumerate() {
         let pos = Pos { line: idx + 1, raw };
@@ -139,10 +159,36 @@ pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
                 }
                 scheme_decls.push((pos.line, pos.col(rest), name, attrs, ordered));
             }
+            "cadence" | "domain" => {
+                let (call, value) = rest.split_once('=').ok_or_else(|| {
+                    pos.err(rest, format!("expected `name(...) = N` after `{keyword}`"))
+                })?;
+                let (name, attrs) = parse_call(call.trim(), pos)?;
+                if attrs.is_empty() {
+                    return Err(pos.err(rest, format!("`{keyword}` needs at least one attribute")));
+                }
+                if keyword == "domain" && attrs.len() != 1 {
+                    return Err(pos.err(rest, "`domain` contracts take exactly one attribute"));
+                }
+                let value = value.trim();
+                let n: u64 = value.parse().map_err(|_| {
+                    pos.err(
+                        value,
+                        format!("expected a non-negative integer, got `{value}`"),
+                    )
+                })?;
+                if n == 0 {
+                    return Err(pos.err(value, format!("a `{keyword}` contract must be positive")));
+                }
+                contract_decls.push((pos.line, pos.col(rest), keyword, name, attrs, n));
+            }
             other => {
                 return Err(pos.err(
                     keyword,
-                    format!("unknown keyword `{other}` (expected stream/join/punctuate/heartbeat)"),
+                    format!(
+                        "unknown keyword `{other}` (expected \
+                         stream/join/punctuate/heartbeat/cadence/domain)"
+                    ),
                 ));
             }
         }
@@ -178,9 +224,52 @@ pub fn parse_spec(input: &str) -> Result<(Cjq, SchemeSet), ParseError> {
         schemes.add(scheme);
     }
 
+    // Resolve contracts after the schemes exist: a `cadence` contract must
+    // name a declared scheme (by stream + attribute set), a `domain`
+    // contract any declared attribute.
+    let mut contracts = Contracts::new();
+    for (lineno, column, keyword, name, attrs, n) in contract_decls {
+        let at = |message: String| ParseError {
+            line: lineno,
+            column,
+            message,
+        };
+        let stream = catalog
+            .stream_by_name(&name)
+            .ok_or_else(|| at(format!("unknown stream `{name}`")))?;
+        let schema = catalog.schema(stream).expect("just resolved");
+        let ids: Result<Vec<_>, _> = attrs
+            .iter()
+            .map(|a| {
+                schema
+                    .attr_by_name(a)
+                    .ok_or_else(|| at(format!("unknown attribute `{name}.{a}`")))
+            })
+            .collect();
+        let mut ids = ids?;
+        if keyword == "domain" {
+            contracts.set_domain(stream, ids[0], n);
+            continue;
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let scheme = schemes
+            .schemes()
+            .iter()
+            .find(|s| s.stream == stream && s.punctuatable() == ids.as_slice())
+            .cloned()
+            .ok_or_else(|| {
+                at(format!(
+                    "`cadence` contract names no declared scheme on `{name}({})`",
+                    attrs.join(", ")
+                ))
+            })?;
+        contracts.set_cadence(scheme, n);
+    }
+
     let query = Cjq::new(catalog, predicates)?;
     schemes.validate(query.catalog())?;
-    Ok((query, schemes))
+    Ok((query, schemes, contracts))
 }
 
 /// Parses `name(a, b, c)` into the name and argument list.
@@ -250,6 +339,30 @@ pub fn to_spec(query: &Cjq, schemes: &SchemeSet) -> String {
             "punctuate"
         };
         let _ = writeln!(out, "{keyword} {}({})", schema.name(), attrs.join(", "));
+    }
+    out
+}
+
+/// Like [`to_spec`], but also serializes the contract block (round-trips
+/// through [`parse_spec_full`]).
+#[must_use]
+pub fn to_spec_full(query: &Cjq, schemes: &SchemeSet, contracts: &Contracts) -> String {
+    use std::fmt::Write as _;
+    let cat = query.catalog();
+    let mut out = to_spec(query, schemes);
+    for (scheme, n) in contracts.cadences() {
+        let schema = cat.schema(scheme.stream).expect("validated scheme");
+        let attrs: Vec<&str> = scheme
+            .punctuatable()
+            .iter()
+            .filter_map(|a| schema.attr_name(*a))
+            .collect();
+        let _ = writeln!(out, "cadence {}({}) = {n}", schema.name(), attrs.join(", "));
+    }
+    for (stream, attr, n) in contracts.domains() {
+        let schema = cat.schema(*stream).expect("validated contract");
+        let attr = schema.attr_name(*attr).unwrap_or("?");
+        let _ = writeln!(out, "domain {}({attr}) = {n}", schema.name());
     }
     out
 }
@@ -428,6 +541,55 @@ heartbeat quote(ts)
             .unwrap_err()
             .to_string()
             .contains("exactly one"));
+    }
+
+    #[test]
+    fn contract_block_parses_and_round_trips() {
+        let spec = format!("{AUCTION}cadence item(itemid) = 8\ncadence bid(itemid) = 4\ndomain bid(itemid) = 100\n");
+        let (q, r, c) = parse_spec_full(&spec).unwrap();
+        assert_eq!(c.cadences().len(), 2);
+        let bid_scheme = r
+            .schemes()
+            .iter()
+            .find(|s| s.stream == StreamId(1))
+            .unwrap();
+        assert_eq!(c.cadence(bid_scheme), Some(4));
+        assert_eq!(c.domain(StreamId(1), AttrId(1)), Some(100));
+        // Round trip.
+        let rendered = to_spec_full(&q, &r, &c);
+        let (q2, r2, c2) = parse_spec_full(&rendered).unwrap();
+        assert_eq!(q, q2);
+        assert_eq!(r, r2);
+        assert_eq!(c, c2);
+        // The contract-free parse still accepts contract lines.
+        assert!(parse_spec(&spec).is_ok());
+        // And a spec without contracts yields empty contracts.
+        let (_, _, c) = parse_spec_full(AUCTION).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn contract_errors_are_diagnosed() {
+        // Cadence naming no declared scheme.
+        let e = parse_spec_full(&format!("{AUCTION}cadence item(sellerid) = 8\n")).unwrap_err();
+        assert!(e.to_string().contains("no declared scheme"), "{e}");
+        // Unknown stream.
+        let e = parse_spec_full(&format!("{AUCTION}cadence nosuch(x) = 8\n")).unwrap_err();
+        assert!(e.to_string().contains("unknown stream"));
+        // Missing `= N`.
+        let e = parse_spec_full(&format!("{AUCTION}cadence item(itemid)\n")).unwrap_err();
+        assert!(e.to_string().contains("= N"), "{e}");
+        // Non-numeric and zero values.
+        assert!(parse_spec_full(&format!("{AUCTION}cadence item(itemid) = lots\n")).is_err());
+        assert!(parse_spec_full(&format!("{AUCTION}domain bid(itemid) = 0\n")).is_err());
+        // Multi-attribute domain contracts are rejected.
+        let e =
+            parse_spec_full(&format!("{AUCTION}domain bid(bidderid, itemid) = 9\n")).unwrap_err();
+        assert!(e.to_string().contains("exactly one"));
+        // Contracts may precede the stream/scheme declarations they name.
+        let ok = "cadence b(x) = 3\nstream a(x)\nstream b(x)\njoin a.x = b.x\npunctuate b(x)\n";
+        let (_, _, c) = parse_spec_full(ok).unwrap();
+        assert_eq!(c.cadences().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Golden-file tests for the state-bound analysis (`E003` / `W104` /
+//! `I202`) over the contract-bearing example specs: the text and JSON
+//! renderings are snapshotted under `tests/golden/`.
+//!
+//! Regenerate all snapshots with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test bounds_golden
+//! ```
+
+use std::path::PathBuf;
+
+use punctuated_cjq::core::plan::Plan;
+use punctuated_cjq::lint::{lint_plan_with_bounds, BoundsConfig, Code, Severity};
+use punctuated_cjq::parse::parse_spec_full;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn update_golden() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some()
+}
+
+fn assert_golden(rel: &str, actual: &str) {
+    let path = repo_path(rel);
+    if update_golden() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {rel} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "{rel} is stale; rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// The bounds corpus: spec file, snapshot stem, and the memory budget (in
+/// rows) the analysis checks the summed port bound against.
+fn corpus() -> Vec<(&'static str, &'static str, Option<u64>)> {
+    vec![
+        // Fully-contracted auction: every bound quantified, all I202.
+        ("auction_contracts", "bounds_auction", None),
+        // Same spec against a budget below its 130-row total: W104.
+        ("auction_contracts", "bounds_auction_budget", Some(100)),
+        // Unsafe chain with contracts declared: E003 on the unpurgeable
+        // ports, a two-step chained bound on the purgeable one.
+        ("chain_contracts", "bounds_chain", None),
+    ]
+}
+
+#[test]
+fn bound_reports_match_golden_snapshots() {
+    for (spec, stem, budget) in corpus() {
+        let input = std::fs::read_to_string(repo_path(&format!("examples/specs/{spec}.cjq")))
+            .expect("example spec exists");
+        let (query, schemes, contracts) = parse_spec_full(&input).expect("spec parses");
+        let cfg = BoundsConfig { contracts, budget };
+        let report = lint_plan_with_bounds(&query, &schemes, &Plan::mjoin_all(&query), &cfg);
+        assert_golden(&format!("tests/golden/{stem}.txt"), &report.render_text());
+        assert_golden(
+            &format!("tests/golden/{stem}.json"),
+            &(report.render_json() + "\n"),
+        );
+    }
+}
+
+#[test]
+fn bound_codes_fire_where_expected() {
+    for (spec, stem, budget) in corpus() {
+        let input = std::fs::read_to_string(repo_path(&format!("examples/specs/{spec}.cjq")))
+            .expect("example spec exists");
+        let (query, schemes, contracts) = parse_spec_full(&input).expect("spec parses");
+        let cfg = BoundsConfig { contracts, budget };
+        let report = lint_plan_with_bounds(&query, &schemes, &Plan::mjoin_all(&query), &cfg);
+        // Every run emits per-port I202 info.
+        assert!(
+            report.with_code(Code::StateBound).next().is_some(),
+            "{stem}: expected I202"
+        );
+        match stem {
+            "bounds_auction" => {
+                assert!(report.is_clean() || report.error_count() == 0, "{stem}");
+                assert!(report.with_code(Code::UnboundedPort).next().is_none());
+                assert!(report.with_code(Code::BoundExceedsBudget).next().is_none());
+            }
+            "bounds_auction_budget" => {
+                let w104 = report
+                    .with_code(Code::BoundExceedsBudget)
+                    .next()
+                    .expect("expected W104 under a 100-row budget");
+                assert_eq!(w104.severity(), Severity::Warning);
+                assert!(w104.message.contains("130"), "{}", w104.message);
+            }
+            "bounds_chain" => {
+                let e003: Vec<_> = report.with_code(Code::UnboundedPort).collect();
+                assert!(!e003.is_empty(), "{stem}: expected E003");
+                assert!(e003.iter().all(|d| d.severity() == Severity::Error));
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Without declared contracts the bound pass stays informational: no E003
+/// even on an unsafe query (nothing was promised, so nothing is violated).
+#[test]
+fn no_contracts_means_no_unbounded_errors() {
+    let input = std::fs::read_to_string(repo_path("examples/specs/chain_contracts.cjq")).unwrap();
+    let stripped: String = input
+        .lines()
+        .filter(|l| !l.starts_with("cadence") && !l.starts_with("domain"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let (query, schemes, contracts) = parse_spec_full(&stripped).expect("spec parses");
+    assert!(contracts.is_empty());
+    let cfg = BoundsConfig {
+        contracts,
+        budget: None,
+    };
+    let report = lint_plan_with_bounds(&query, &schemes, &Plan::mjoin_all(&query), &cfg);
+    assert!(report.with_code(Code::UnboundedPort).next().is_none());
+    assert!(report.with_code(Code::StateBound).next().is_some());
+}

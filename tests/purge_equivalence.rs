@@ -62,9 +62,21 @@ fn run_with(
         verify_certificates: true,
         ..cfg
     };
-    Executor::compile(query, schemes, plan, cfg)
-        .expect("compile")
-        .run(feed)
+    // Arm the static bound certificate as well: contracts inferred from the
+    // feed itself, enforced per element (violation = hard error = panic via
+    // `run`), so both strategies also prove observed peaks ≤ static bounds.
+    let contracts = punctuated_cjq::stream::certify::infer_contracts(query, schemes, feed);
+    let bounds = punctuated_cjq::stream::certify::port_bound_certificate(
+        query,
+        schemes,
+        &contracts,
+        plan,
+        cfg.scope,
+        cfg.cadence,
+    );
+    let mut exec = Executor::compile(query, schemes, plan, cfg).expect("compile");
+    exec.set_port_bounds(bounds);
+    exec.run(feed)
 }
 
 /// Runs `feed` under both strategies (sequentially, plus P=4 sharded when

@@ -50,6 +50,12 @@ fn chaos_feed(feed: &Feed) -> Feed {
 
 /// Runs `feed` sequentially and sharded at each `shard_count`, asserting the
 /// output multisets match. Returns the (sequential, per-P sharded) results.
+///
+/// Both executors run with the static **bound certificate** armed: contracts
+/// are inferred from the feed itself (the tightest cadences it conforms to),
+/// evaluated into per-port row bounds, and enforced per element — an
+/// observed peak above a static bound is a hard [`ExecError`], so every
+/// equivalence case doubles as a bounds-agreement check.
 fn run_both(
     query: &Cjq,
     schemes: &SchemeSet,
@@ -58,6 +64,7 @@ fn run_both(
     feed: &Feed,
     shard_counts: &[usize],
 ) -> (RunResult, Vec<ShardedRunResult>) {
+    use punctuated_cjq::stream::certify;
     // Exercise the runtime certificate verifier alongside the equivalence
     // checks (recipes vs. static certificates, fast verdicts vs. oracle).
     let cfg = ExecConfig {
@@ -65,16 +72,22 @@ fn run_both(
         ..cfg
     };
     let feed = &chaos_feed(feed);
-    let seq = Executor::compile(query, schemes, plan, cfg)
-        .expect("compile")
-        .run(feed);
+    let contracts = certify::infer_contracts(query, schemes, feed);
+    let port_bounds =
+        certify::port_bound_certificate(query, schemes, &contracts, plan, cfg.scope, cfg.cadence);
+    let seq = {
+        let mut exec = Executor::compile(query, schemes, plan, cfg).expect("compile");
+        exec.set_port_bounds(port_bounds.clone());
+        exec.run(feed)
+    };
     let expected = sorted_outputs(&seq.outputs);
     let sharded: Vec<ShardedRunResult> = shard_counts
         .iter()
         .map(|&p| {
-            let res = ShardedExecutor::compile(query, schemes, plan, cfg, p)
-                .expect("compile sharded")
-                .run(feed);
+            let mut sharded_exec =
+                ShardedExecutor::compile(query, schemes, plan, cfg, p).expect("compile sharded");
+            sharded_exec.set_port_bounds(port_bounds.clone());
+            let res = sharded_exec.run(feed);
             assert_eq!(
                 sorted_outputs(&res.outputs),
                 expected,
@@ -99,6 +112,24 @@ fn run_both(
             res
         })
         .collect();
+    // Bounds agreement: every observed per-port peak stays at or under its
+    // certified static bound (the executor enforced this element by element;
+    // re-assert against the recorded peaks for good measure).
+    let check_peaks = |m: &punctuated_cjq::stream::metrics::Metrics, who: &str| {
+        for (i, bound) in port_bounds.iter().enumerate() {
+            if let Some(bound) = bound {
+                let peak = m.peak_port_rows.get(i).copied().unwrap_or(0);
+                assert!(
+                    peak as u64 <= *bound,
+                    "{who}: port {i} observed peak {peak} exceeds static bound {bound}"
+                );
+            }
+        }
+    };
+    check_peaks(&seq.metrics, "sequential");
+    for (res, p) in sharded.iter().zip(shard_counts) {
+        check_peaks(&res.metrics, &format!("P={p}"));
+    }
     (seq, sharded)
 }
 
