@@ -23,10 +23,15 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use cjq_core::plan::Plan;
 use cjq_core::query::Cjq;
 use cjq_core::scheme::SchemeSet;
+use cjq_stream::checkpoint::{CheckpointStore, InputCursor};
 use cjq_stream::exec::{ExecConfig, Executor, RunResult};
+use cjq_stream::metrics::Metrics;
 use cjq_stream::parallel::{ShardedExecutor, ShardedRunResult};
 use cjq_stream::source::Feed;
 use cjq_workload::keyed::KeyedConfig;
@@ -140,4 +145,200 @@ pub fn run_sharded(w: &Workload, feed: &Feed, mut cfg: ExecConfig, p: usize) -> 
     ShardedExecutor::compile(&w.query, &w.schemes, &plan, cfg, p)
         .expect("workload query compiles")
         .run(feed)
+}
+
+/// A unique empty checkpoint directory under the OS temp dir. Tests own the
+/// cleanup (`std::fs::remove_dir_all`); the pid + counter naming keeps
+/// concurrent test binaries apart.
+#[must_use]
+pub fn temp_ckpt_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("cjq-ckpt-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp checkpoint dir");
+    dir
+}
+
+/// Runs `feed` sequentially with punctuation-aligned checkpointing into
+/// `dir` — the *uninterrupted golden* run recovery is compared against.
+///
+/// # Panics
+/// Panics if the query fails to compile or execution fails.
+#[must_use]
+pub fn run_checkpointed_seq(
+    w: &Workload,
+    feed: &Feed,
+    mut cfg: ExecConfig,
+    dir: &Path,
+    every: u64,
+) -> RunResult {
+    cfg.record_outputs = true;
+    let plan = Plan::mjoin_all(&w.query);
+    Executor::compile(&w.query, &w.schemes, &plan, cfg)
+        .expect("workload query compiles")
+        .try_run_checkpointed(feed, dir, every)
+        .expect("checkpointed run succeeds")
+}
+
+/// Simulates a crash after exactly `crash_after` elements: consumes that
+/// prefix under checkpointing, then *drops* the executor mid-run (no finish,
+/// no final purge — the in-memory state simply vanishes, as in `kill -9`),
+/// then restores from `dir` and resumes the full feed.
+///
+/// # Panics
+/// Panics if compile, the pre-crash prefix, or recovery fails.
+#[must_use]
+pub fn crash_and_recover_seq(
+    w: &Workload,
+    feed: &Feed,
+    mut cfg: ExecConfig,
+    dir: &Path,
+    every: u64,
+    crash_after: usize,
+) -> RunResult {
+    cfg.record_outputs = true;
+    let plan = Plan::mjoin_all(&w.query);
+    {
+        let mut exec =
+            Executor::compile(&w.query, &w.schemes, &plan, cfg).expect("workload query compiles");
+        let mut store = CheckpointStore::open(dir, every).expect("checkpoint dir opens");
+        let mut cursor = InputCursor::zero(w.query.n_streams());
+        for e in feed.elements().iter().take(crash_after) {
+            exec.push_checkpointed(e, &mut store, &mut cursor)
+                .expect("pre-crash prefix succeeds");
+        }
+        // Crash: executor, store, and cursor dropped without finishing.
+    }
+    Executor::try_resume(dir, &w.query, &w.schemes, &plan, cfg, feed, every)
+        .expect("recovery succeeds")
+}
+
+/// Sharded analogue of [`run_checkpointed_seq`]: the synchronous `P`-shard
+/// checkpointed runner over the whole feed.
+///
+/// # Panics
+/// Panics if the query fails to compile or execution fails.
+#[must_use]
+pub fn run_checkpointed_sharded(
+    w: &Workload,
+    feed: &Feed,
+    mut cfg: ExecConfig,
+    dir: &Path,
+    every: u64,
+    p: usize,
+) -> ShardedRunResult {
+    cfg.record_outputs = true;
+    let plan = Plan::mjoin_all(&w.query);
+    ShardedExecutor::compile(&w.query, &w.schemes, &plan, cfg, p)
+        .expect("workload query compiles")
+        .try_run_checkpointed(feed, dir, every)
+        .expect("checkpointed run succeeds")
+}
+
+/// Sharded analogue of [`crash_and_recover_seq`]: runs the crash-prefix
+/// through the checkpointed runner (its merged result is discarded — the
+/// crash), then resumes the full feed from `dir`.
+///
+/// # Panics
+/// Panics if compile, the pre-crash prefix, or recovery fails.
+#[must_use]
+pub fn crash_and_recover_sharded(
+    w: &Workload,
+    feed: &Feed,
+    mut cfg: ExecConfig,
+    dir: &Path,
+    every: u64,
+    p: usize,
+    crash_after: usize,
+) -> ShardedRunResult {
+    cfg.record_outputs = true;
+    let plan = Plan::mjoin_all(&w.query);
+    let sharded = ShardedExecutor::compile(&w.query, &w.schemes, &plan, cfg, p)
+        .expect("workload query compiles");
+    let prefix = Feed::from_elements(feed.elements()[..crash_after].to_vec());
+    let _ = sharded
+        .try_run_checkpointed(&prefix, dir, every)
+        .expect("pre-crash prefix succeeds");
+    // Crash: the prefix result is discarded; only the snapshots survive.
+    sharded
+        .try_resume(feed, dir, every)
+        .expect("recovery succeeds")
+}
+
+/// Debug rendering of `m` with the fields that legitimately differ between
+/// a golden run and a crash-recovered run zeroed out: wall time and the
+/// checkpoint bookkeeping counters (`checkpoints_written`/`checkpoint_rows`
+/// change with the crash point; `restores`/`snapshot_fallbacks` are nonzero
+/// only on the recovery side). Everything else — outputs, purge totals,
+/// peaks, the whole sample series — must be byte-identical.
+#[must_use]
+pub fn metrics_digest(m: &Metrics) -> String {
+    let mut m = m.clone();
+    m.elapsed_ns = 0;
+    m.checkpoints_written = 0;
+    m.checkpoint_rows = 0;
+    m.restores = 0;
+    m.snapshot_fallbacks = 0;
+    format!("{m:?}")
+}
+
+/// Asserts a recovered sequential run is byte-identical to the golden run:
+/// outputs, aggregates, per-operator final snapshots, and every metric
+/// except wall time and the checkpoint counters.
+///
+/// # Panics
+/// Panics with `label` on the first divergence.
+pub fn assert_run_equiv(label: &str, golden: &RunResult, recovered: &RunResult) {
+    assert_eq!(
+        golden.outputs, recovered.outputs,
+        "{label}: outputs diverge"
+    );
+    assert_eq!(
+        format!("{:?}", golden.aggregates),
+        format!("{:?}", recovered.aggregates),
+        "{label}: aggregates diverge"
+    );
+    assert_eq!(
+        golden.operators, recovered.operators,
+        "{label}: operator snapshots diverge"
+    );
+    assert_eq!(
+        metrics_digest(&golden.metrics),
+        metrics_digest(&recovered.metrics),
+        "{label}: metrics diverge"
+    );
+}
+
+/// Asserts a recovered sharded run is byte-identical to the golden sharded
+/// run, shard by shard.
+///
+/// # Panics
+/// Panics with `label` on the first divergence.
+pub fn assert_sharded_equiv(label: &str, golden: &ShardedRunResult, recovered: &ShardedRunResult) {
+    assert_eq!(
+        golden.outputs, recovered.outputs,
+        "{label}: merged outputs diverge"
+    );
+    assert_eq!(
+        golden.logical_join_state, recovered.logical_join_state,
+        "{label}: logical join state diverges"
+    );
+    assert_eq!(
+        golden.logical_mirror, recovered.logical_mirror,
+        "{label}: logical mirror diverges"
+    );
+    assert_eq!(
+        metrics_digest(&golden.metrics),
+        metrics_digest(&recovered.metrics),
+        "{label}: merged metrics diverge"
+    );
+    assert_eq!(
+        golden.shards.len(),
+        recovered.shards.len(),
+        "{label}: shard count diverges"
+    );
+    for (i, (g, r)) in golden.shards.iter().zip(&recovered.shards).enumerate() {
+        assert_run_equiv(&format!("{label} shard {i}"), g, r);
+    }
 }

@@ -76,6 +76,24 @@ pub enum ExecError {
         /// The underlying error.
         source: Box<ExecError>,
     },
+    /// No valid checkpoint snapshot could be read (missing directory, torn
+    /// write past the fallback, failed checksum on every retained snapshot,
+    /// or a payload the decoder rejects). Stable display code `C001`.
+    CheckpointCorrupt {
+        /// The snapshot path or directory involved.
+        path: String,
+        /// What went wrong, from the frame validator or payload decoder.
+        detail: String,
+    },
+    /// A snapshot decoded cleanly but was taken by a different
+    /// query/plan/config than the one being restored (structural fingerprint
+    /// disagreement). Stable display code `C002`.
+    RestoreMismatch {
+        /// Fingerprint of the freshly compiled executor.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot manifest.
+        found: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -110,6 +128,14 @@ impl fmt::Display for ExecError {
                 write!(f, "shard {shard} panicked: {message}")
             }
             ExecError::Shard { shard, source } => write!(f, "shard {shard} failed: {source}"),
+            ExecError::CheckpointCorrupt { path, detail } => {
+                write!(f, "C001 checkpoint corrupt at {path}: {detail}")
+            }
+            ExecError::RestoreMismatch { expected, found } => write!(
+                f,
+                "C002 restore mismatch: compiled executor fingerprint \
+                 {expected:#018x} but snapshot was taken by {found:#018x}"
+            ),
         }
     }
 }
@@ -146,5 +172,20 @@ mod tests {
         };
         assert!(nested.to_string().contains("shard 3"));
         assert!(std::error::Error::source(&nested).is_some());
+    }
+
+    #[test]
+    fn checkpoint_errors_have_stable_codes() {
+        let c = ExecError::CheckpointCorrupt {
+            path: "/tmp/ckpt".into(),
+            detail: "checksum mismatch".into(),
+        };
+        assert!(c.to_string().starts_with("C001"), "{c}");
+        let m = ExecError::RestoreMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(m.to_string().starts_with("C002"), "{m}");
+        assert!(std::error::Error::source(&m).is_none());
     }
 }

@@ -7,6 +7,7 @@
 //! every punctuation), lazily (batched), or never, per [`PurgeCadence`] —
 //! the Plan-Parameter-II knob of §5.2.
 
+use std::path::Path;
 use std::time::Instant;
 
 use cjq_core::fxhash::FxHashMap;
@@ -19,6 +20,9 @@ use cjq_core::schema::{AttrRef, StreamId};
 use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
+use crate::checkpoint::{
+    CheckpointStore, Dec, Enc, Fingerprint, InputCursor, Manifest, SnapshotKind, SnapshotResult,
+};
 use crate::element::StreamElement;
 use crate::error::{ExecError, ExecResult};
 use crate::groupby::{Aggregate, GroupBy};
@@ -192,6 +196,75 @@ impl Default for ExecConfig {
             tiering: None,
             wcoj: false,
         }
+    }
+}
+
+impl ExecConfig {
+    /// Feeds every execution knob into a structural fingerprint (see
+    /// [`Executor::fingerprint`]): a snapshot only overlays onto an executor
+    /// whose config matches knob for knob, since the knobs steer purge
+    /// cadence, sampling, and budget decisions that the serialized state
+    /// already reflects.
+    pub(crate) fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.word(match self.scope {
+            PurgeScope::Operator => 0,
+            PurgeScope::Query => 1,
+        });
+        match self.cadence {
+            PurgeCadence::Never => {
+                fp.word(0);
+                fp.word(0);
+            }
+            PurgeCadence::Eager => {
+                fp.word(1);
+                fp.word(0);
+            }
+            PurgeCadence::Lazy { batch } => {
+                fp.word(2);
+                fp.word(batch as u64);
+            }
+            PurgeCadence::Adaptive { initial } => {
+                fp.word(3);
+                fp.word(initial as u64);
+            }
+        }
+        fp.word(match self.purge_strategy {
+            PurgeStrategy::FullScan => 0,
+            PurgeStrategy::Indexed => 1,
+        });
+        fp.word(self.punct_lifespan.map_or(u64::MAX, |v| v));
+        fp.word(u64::from(self.purge_punctuations));
+        fp.word(self.window.map_or(u64::MAX, |v| v));
+        fp.word(self.sample_every as u64);
+        fp.word(self.coverage_limit as u64);
+        fp.word(u64::from(self.record_outputs));
+        fp.word(self.batch_size as u64);
+        fp.word(u64::from(self.verify_certificates));
+        fp.word(match self.admission {
+            AdmissionPolicy::Strict => 0,
+            AdmissionPolicy::Quarantine => 1,
+            AdmissionPolicy::Repair => 2,
+        });
+        match self.state_budget {
+            Some(b) => {
+                fp.word(b.max_rows as u64);
+                fp.word(match b.policy {
+                    BudgetPolicy::HardError => 0,
+                    BudgetPolicy::Shed => 1,
+                });
+            }
+            None => fp.word(u64::MAX),
+        }
+        fp.word(self.stall_budget.map_or(u64::MAX, |v| v));
+        match self.tiering {
+            Some(t) => {
+                fp.word(t.segment_rows as u64);
+                fp.word(u64::from(t.low_watermark_pct));
+                fp.word(u64::from(t.shard_tag));
+            }
+            None => fp.word(u64::MAX),
+        }
+        fp.word(u64::from(self.wcoj));
     }
 }
 
@@ -1294,6 +1367,330 @@ impl Executor {
             operators,
         };
         (result, snapshot)
+    }
+
+    /// Structural fingerprint of (query, plan shape, schemes, config): two
+    /// executors agree iff they were compiled from the same inputs, which is
+    /// the precondition for overlaying one's snapshot onto the other. Built
+    /// from stable ids only (never interned symbols or `Debug` strings, which
+    /// are process-local).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::default();
+        fp.word(self.query.n_streams() as u64);
+        for p in self.query.predicates() {
+            fp.word(p.left.stream.0 as u64);
+            fp.word(p.left.attr.0 as u64);
+            fp.word(p.right.stream.0 as u64);
+            fp.word(p.right.attr.0 as u64);
+        }
+        for s in self.query.stream_ids() {
+            let store = self.engine.punct_store(s);
+            fp.word(store.schemes().len() as u64);
+            for scheme in store.schemes() {
+                fp.word(u64::from(scheme.is_ordered()));
+                fp.word(scheme.punctuatable().len() as u64);
+                for a in scheme.punctuatable() {
+                    fp.word(a.0 as u64);
+                }
+            }
+        }
+        fp.word(self.ops.len() as u64);
+        for (op, parent) in self.ops.iter().zip(&self.parent) {
+            fp.word(op.port_spans().len() as u64);
+            for span in op.port_spans() {
+                fp.word(span.len() as u64);
+                for s in span {
+                    fp.word(s.0 as u64);
+                }
+            }
+            match parent {
+                Some((po, pp)) => {
+                    fp.word(*po as u64);
+                    fp.word(*pp as u64);
+                }
+                None => fp.word(u64::MAX),
+            }
+        }
+        self.cfg.fingerprint_into(&mut fp);
+        fp.finish()
+    }
+
+    /// Serializes every piece of state [`Executor::try_push`] mutates — the
+    /// snapshot a fresh compile of the same inputs can overlay to resume
+    /// byte-identically (used by [`ShardedExecutor`](crate::parallel::ShardedExecutor)
+    /// for its per-shard sub-snapshots).
+    pub(crate) fn write_snapshot(&self, e: &mut Enc) {
+        e.u64(self.clock);
+        e.usize(self.since_purge);
+        e.usize(self.adaptive_batch);
+        e.u64s(&self.last_punct);
+        e.usize(self.stall_flagged.len());
+        for &b in &self.stall_flagged {
+            e.bool(b);
+        }
+        match &self.port_bounds {
+            Some(bounds) => {
+                e.bool(true);
+                e.usize(bounds.len());
+                for b in bounds {
+                    match b {
+                        Some(v) => {
+                            e.bool(true);
+                            e.u64(*v);
+                        }
+                        None => e.bool(false),
+                    }
+                }
+            }
+            None => e.bool(false),
+        }
+        e.usize(self.outputs.len());
+        for row in &self.outputs {
+            e.usize(row.len());
+            for v in row {
+                e.value(v);
+            }
+        }
+        self.metrics.write_state(e);
+        self.engine.write_state(e);
+        for op in &self.ops {
+            op.write_state(e);
+        }
+    }
+
+    /// Overlays a serialized snapshot onto this freshly compiled executor
+    /// (the counterpart of [`Executor::write_snapshot`]).
+    pub(crate) fn read_snapshot(&mut self, d: &mut Dec<'_>) -> SnapshotResult<()> {
+        use crate::checkpoint::SnapshotError;
+        self.clock = d.u64()?;
+        self.since_purge = d.usize()?;
+        self.adaptive_batch = d.usize()?;
+        let last_punct = d.u64s()?;
+        if last_punct.len() != self.last_punct.len() {
+            return Err(SnapshotError("stream count disagrees with snapshot".into()));
+        }
+        self.last_punct = last_punct;
+        let n = d.usize()?;
+        if n != self.stall_flagged.len() {
+            return Err(SnapshotError("stream count disagrees with snapshot".into()));
+        }
+        for f in &mut self.stall_flagged {
+            *f = d.bool()?;
+        }
+        self.port_bounds = if d.bool()? {
+            let n = d.usize()?;
+            let mut bounds = Vec::with_capacity(n);
+            for _ in 0..n {
+                bounds.push(if d.bool()? { Some(d.u64()?) } else { None });
+            }
+            Some(bounds)
+        } else {
+            None
+        };
+        let n = d.usize()?;
+        let mut outputs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let w = d.usize()?;
+            let mut row = Vec::with_capacity(w);
+            for _ in 0..w {
+                row.push(d.value()?);
+            }
+            outputs.push(row);
+        }
+        self.outputs = outputs;
+        self.metrics = Metrics::read_state(d)?;
+        self.engine.read_state(d)?;
+        let spill = &mut self.spill;
+        for (i, op) in self.ops.iter_mut().enumerate() {
+            op.read_state(d, spill, i)?;
+        }
+        Ok(())
+    }
+
+    /// Builds the complete checkpoint payload: manifest (kind, fingerprint,
+    /// cadence, input cursor) followed by the executor snapshot. Refuses
+    /// executors with a group-by stage — its open-group state is not
+    /// serialized, and a silent partial snapshot would be worse than an
+    /// error.
+    fn snapshot_payload(&self, every: u64, cursor: &InputCursor) -> ExecResult<Vec<u8>> {
+        if self.groupby.is_some() {
+            return Err(ExecError::CheckpointCorrupt {
+                path: "<config>".into(),
+                detail: "group-by stages are not checkpointable: open-group state \
+                         is not serialized"
+                    .into(),
+            });
+        }
+        let mut e = Enc::new();
+        Manifest {
+            kind: SnapshotKind::Exec,
+            fingerprint: self.fingerprint(),
+            every,
+            cursor: cursor.clone(),
+        }
+        .write(&mut e);
+        self.write_snapshot(&mut e);
+        Ok(e.buf)
+    }
+
+    /// Live rows a checkpoint of this executor covers: hot join state plus
+    /// the raw mirror plus cold-tier rows (reported as
+    /// `Metrics::checkpoint_rows`).
+    pub(crate) fn checkpointable_rows(&self) -> u64 {
+        (self.join_state_live() + self.engine.mirror_live() + self.cold_rows()) as u64
+    }
+
+    /// Whether this executor has a group-by stage (not checkpointable).
+    pub(crate) fn has_groupby(&self) -> bool {
+        self.groupby.is_some()
+    }
+
+    /// Pushes one element and checkpoints when due: every element advances
+    /// `cursor` and the store's element counter; once at least the store's
+    /// cadence has accumulated **and** the element is a punctuation (snapshots
+    /// are punctuation-aligned consistent cuts), the full state is committed
+    /// atomically to the store's directory.
+    pub fn push_checkpointed(
+        &mut self,
+        element: &StreamElement,
+        store: &mut CheckpointStore,
+        cursor: &mut InputCursor,
+    ) -> ExecResult<()> {
+        self.try_push(element)?;
+        let stream = match element {
+            StreamElement::Tuple(t) => t.stream,
+            StreamElement::Punctuation(p) => p.stream,
+        };
+        cursor.advance(stream);
+        store.note_element();
+        if store.due(matches!(element, StreamElement::Punctuation(_))) {
+            self.commit_checkpoint(store, cursor)?;
+        }
+        Ok(())
+    }
+
+    /// Commits one snapshot of the current state to `store` unconditionally.
+    pub fn commit_checkpoint(
+        &mut self,
+        store: &mut CheckpointStore,
+        cursor: &InputCursor,
+    ) -> ExecResult<()> {
+        let payload = self.snapshot_payload(store.every(), cursor)?;
+        let rows = self.checkpointable_rows();
+        store
+            .commit(&payload, rows)
+            .map_err(|e| ExecError::CheckpointCorrupt {
+                path: store.dir().display().to_string(),
+                detail: e.to_string(),
+            })?;
+        self.metrics.checkpoints_written += 1;
+        self.metrics.checkpoint_rows += rows;
+        Ok(())
+    }
+
+    /// Runs a whole feed with punctuation-aligned checkpointing every
+    /// `every` elements into `dir`, then finishes (see [`Executor::try_run`]).
+    pub fn try_run_checkpointed(
+        mut self,
+        feed: &Feed,
+        dir: &Path,
+        every: u64,
+    ) -> ExecResult<RunResult> {
+        let mut store =
+            CheckpointStore::open(dir, every).map_err(|e| ExecError::CheckpointCorrupt {
+                path: dir.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        let mut cursor = InputCursor::zero(self.query.n_streams());
+        for e in feed {
+            self.push_checkpointed(e, &mut store, &mut cursor)?;
+        }
+        Ok(self.finish())
+    }
+
+    /// Restores an executor from the newest valid snapshot in `dir`: compiles
+    /// a fresh executor from the same inputs, verifies the snapshot's
+    /// structural fingerprint against it ([`ExecError::RestoreMismatch`]),
+    /// and overlays the serialized state. A corrupt newest snapshot falls
+    /// back to the previous retained one (counted in
+    /// `Metrics::snapshot_fallbacks`); only when no retained snapshot
+    /// validates does this fail with [`ExecError::CheckpointCorrupt`].
+    ///
+    /// Returns the executor, a store that continues the snapshot sequence at
+    /// the recorded cadence, and the input cursor to resume the feed from.
+    pub fn restore(
+        dir: &Path,
+        query: &Cjq,
+        schemes: &SchemeSet,
+        plan: &Plan,
+        cfg: ExecConfig,
+    ) -> ExecResult<(Self, CheckpointStore, InputCursor)> {
+        let corrupt = |detail: String| ExecError::CheckpointCorrupt {
+            path: dir.display().to_string(),
+            detail,
+        };
+        let (payload, fallbacks, path) = CheckpointStore::load_latest(dir).map_err(&corrupt)?;
+        let mut exec = Executor::compile(query, schemes, plan, cfg)
+            .map_err(|e| corrupt(format!("cannot compile executor for restore: {e}")))?;
+        let mut d = Dec::new(&payload);
+        let manifest = Manifest::read(&mut d).map_err(|e| corrupt(e.to_string()))?;
+        if manifest.kind != SnapshotKind::Exec {
+            return Err(corrupt(format!(
+                "snapshot at {} is not an executor snapshot",
+                path.display()
+            )));
+        }
+        let expected = exec.fingerprint();
+        if manifest.fingerprint != expected {
+            return Err(ExecError::RestoreMismatch {
+                expected,
+                found: manifest.fingerprint,
+            });
+        }
+        exec.read_snapshot(&mut d)
+            .map_err(|e| corrupt(e.to_string()))?;
+        d.expect_end().map_err(|e| corrupt(e.to_string()))?;
+        exec.metrics.restores += 1;
+        exec.metrics.snapshot_fallbacks += fallbacks;
+        let store =
+            CheckpointStore::open(dir, manifest.every).map_err(|e| corrupt(e.to_string()))?;
+        Ok((exec, store, manifest.cursor))
+    }
+
+    /// Restores from `dir` (see [`Executor::restore`]) and resumes `feed`
+    /// from the recorded input cursor — skipping exactly the elements the
+    /// snapshot already consumed — with checkpointing continuing at the
+    /// recorded cadence. When `dir` holds no snapshot at all (a crash before
+    /// the first commit), this cold-starts: the whole feed replays under
+    /// checkpointing at cadence `every` (ignored otherwise — the manifest's
+    /// recorded cadence wins). Either way the result is byte-identical to an
+    /// uninterrupted [`Executor::try_run_checkpointed`] over the same feed
+    /// (modulo wall time and the checkpoint counters themselves).
+    pub fn try_resume(
+        dir: &Path,
+        query: &Cjq,
+        schemes: &SchemeSet,
+        plan: &Plan,
+        cfg: ExecConfig,
+        feed: &Feed,
+        every: u64,
+    ) -> ExecResult<RunResult> {
+        if crate::checkpoint::list_snapshots(dir).is_empty() {
+            let exec = Executor::compile(query, schemes, plan, cfg).map_err(|e| {
+                ExecError::CheckpointCorrupt {
+                    path: dir.display().to_string(),
+                    detail: format!("cannot compile executor for cold start: {e}"),
+                }
+            })?;
+            return exec.try_run_checkpointed(feed, dir, every);
+        }
+        let (mut exec, mut store, mut cursor) = Executor::restore(dir, query, schemes, plan, cfg)?;
+        let done = usize::try_from(cursor.elements).unwrap_or(usize::MAX);
+        for e in feed.elements().iter().skip(done) {
+            exec.push_checkpointed(e, &mut store, &mut cursor)?;
+        }
+        Ok(exec.finish())
     }
 }
 

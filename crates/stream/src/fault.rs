@@ -211,6 +211,56 @@ fn element_stream(e: &StreamElement) -> cjq_core::schema::StreamId {
     }
 }
 
+/// Seeded byte-flipper for on-disk files — the snapshot-corruption probe.
+///
+/// The recovery suite points it at the newest checkpoint snapshot to assert
+/// the frame checksum catches the damage and
+/// [`crate::checkpoint::CheckpointStore::load_latest`] falls back to the
+/// previous retained snapshot. Two applications with the same seed flip the
+/// same bits, so corrupted-snapshot tests are fully reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptBytes {
+    /// RNG seed for flip positions.
+    pub seed: u64,
+    /// Number of single-bit flips to apply.
+    pub flips: usize,
+}
+
+impl CorruptBytes {
+    /// Flips `flips` seeded random bits in the file at `path`, rewriting it
+    /// in place. Returns the number of flips applied (0 for an empty file —
+    /// nothing to damage).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from reading or rewriting the file.
+    pub fn apply(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let mut bytes = std::fs::read(path)?;
+        if bytes.is_empty() {
+            return Ok(0);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.flips {
+            let i = rng.random_range(0..bytes.len());
+            let bit = rng.random_range(0..8u32);
+            bytes[i] ^= 1 << bit;
+        }
+        std::fs::write(path, &bytes)?;
+        Ok(self.flips)
+    }
+
+    /// Truncates the file at `path` to `keep` bytes — the torn-write probe
+    /// (a crash mid-`rename` can never produce this thanks to the
+    /// write-to-temp protocol, but a torn copy or disk fault can).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from reading or rewriting the file.
+    pub fn truncate(path: &std::path::Path, keep: usize) -> std::io::Result<()> {
+        let bytes = std::fs::read(path)?;
+        let keep = keep.min(bytes.len());
+        std::fs::write(path, &bytes[..keep])
+    }
+}
+
 /// A [`ResultSink`] that panics on the first accepted row once armed — the
 /// chaos suite's shard-supervision probe: route it into exactly one shard
 /// and assert the executor reports `ExecError::ShardPanicked` instead of

@@ -554,6 +554,93 @@ impl JoinOperator {
         self.recipes[port].is_some()
     }
 
+    /// Serializes the operator's runtime state: every port's rows, tracker
+    /// cursors, activity counters, and (when tiering is on) each port's cold
+    /// segments. Probe plans, recipes, and layouts are compile-time
+    /// artifacts recreated by [`JoinOperator::new`].
+    pub(crate) fn write_state(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.ports.len());
+        for p in &self.ports {
+            p.write_state(e);
+        }
+        for t in &self.trackers {
+            match t {
+                Some(t) => {
+                    e.bool(true);
+                    t.write_state(e);
+                }
+                None => e.bool(false),
+            }
+        }
+        e.u64(self.stats.tuples_in);
+        e.u64(self.stats.outputs);
+        e.u64(self.stats.purged);
+        e.u64(self.stats.kept);
+        e.u64(self.stats.scan_candidates);
+        e.bool(self.tiering_enabled());
+        for tier in self.tiers.iter().flatten() {
+            tier.write_state(e);
+        }
+    }
+
+    /// Overlays serialized runtime state onto this freshly compiled
+    /// operator. Cold segments are re-spilled into `spill` (which must be
+    /// present exactly when the snapshot was taken with tiering enabled).
+    pub(crate) fn read_state(
+        &mut self,
+        d: &mut crate::checkpoint::Dec<'_>,
+        spill: &mut Option<SpillStore>,
+        op_idx: usize,
+    ) -> crate::checkpoint::SnapshotResult<()> {
+        use crate::checkpoint::SnapshotError;
+        let n = d.usize()?;
+        if n != self.ports.len() {
+            return Err(SnapshotError(format!(
+                "operator {op_idx} has {} ports, snapshot has {n}",
+                self.ports.len()
+            )));
+        }
+        for p in &mut self.ports {
+            p.read_state(d)?;
+        }
+        for t in &mut self.trackers {
+            match (d.bool()?, t.as_mut()) {
+                (true, Some(t)) => t.read_state(d)?,
+                (false, None) => {}
+                _ => {
+                    return Err(SnapshotError(format!(
+                        "operator {op_idx} tracker presence disagrees with compiled plan"
+                    )))
+                }
+            }
+        }
+        self.stats = OperatorStats {
+            tuples_in: d.u64()?,
+            outputs: d.u64()?,
+            purged: d.u64()?,
+            kept: d.u64()?,
+            scan_candidates: d.u64()?,
+        };
+        let tiered = d.bool()?;
+        if tiered != self.tiering_enabled() {
+            return Err(SnapshotError(format!(
+                "operator {op_idx} tiering disagrees with snapshot (snapshot: {tiered})"
+            )));
+        }
+        if tiered {
+            let store = spill.as_mut().ok_or_else(|| {
+                SnapshotError("tiered snapshot restored without a spill store".into())
+            })?;
+            let strides: Vec<usize> = self.ports.iter().map(|p| p.layout().width()).collect();
+            for (port, tier) in self.tiers.iter_mut().enumerate() {
+                tier.as_mut()
+                    .expect("every port has a tier when tiering is enabled")
+                    .read_state(d, store, op_idx, port, strides[port])?;
+            }
+        }
+        Ok(())
+    }
+
     /// Processes a tuple arriving on `port`: probes the other ports for
     /// result combinations, then stores the tuple. Returns the emitted
     /// result tuples in the operator's output layout.

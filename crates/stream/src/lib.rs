@@ -37,6 +37,7 @@
 #![warn(clippy::all)]
 
 pub mod certify;
+pub mod checkpoint;
 pub mod disjoin;
 pub mod distinct;
 pub mod element;
@@ -62,6 +63,7 @@ pub mod wcoj;
 
 /// Convenient re-exports of the most common types.
 pub mod prelude {
+    pub use crate::checkpoint::{CheckpointStore, InputCursor};
     pub use crate::distinct::Distinct;
     pub use crate::element::StreamElement;
     pub use crate::error::{ExecError, ExecResult};

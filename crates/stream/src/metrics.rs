@@ -151,6 +151,18 @@ pub struct Metrics {
     /// arriving for longer than `ExecConfig::stall_budget` elements (sorted,
     /// deduped; a stream is unflagged when a punctuation shows up again).
     pub stalled_streams: Vec<usize>,
+    /// Checkpoint snapshots committed by this run (see `crate::checkpoint`).
+    pub checkpoints_written: u64,
+    /// Live state rows (hot + mirror + cold) serialized across all committed
+    /// checkpoints.
+    pub checkpoint_rows: u64,
+    /// Times this executor's state was rebuilt from a snapshot (0 on a
+    /// from-scratch run, 1 after a resume).
+    pub restores: u64,
+    /// Snapshots skipped during restore because their frame or checksum
+    /// failed validation — nonzero means the latest snapshot was torn or
+    /// corrupted and recovery fell back to an older cut.
+    pub snapshot_fallbacks: u64,
     /// Wall-clock processing time in nanoseconds (push calls only).
     pub elapsed_ns: u128,
 }
@@ -345,7 +357,137 @@ impl Metrics {
             }
         }
         self.stalled_streams.sort_unstable();
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoint_rows += other.checkpoint_rows;
+        self.restores += other.restores;
+        self.snapshot_fallbacks += other.snapshot_fallbacks;
         self.elapsed_ns += other.elapsed_ns;
+    }
+
+    /// Serializes every field into a checkpoint payload (the accumulated
+    /// counters are part of the resumable state: a resumed run's final
+    /// metrics must equal an uninterrupted run's).
+    pub(crate) fn write_state(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.series.len());
+        for p in &self.series {
+            e.u64(p.at);
+            e.usize(p.join_state);
+            e.usize(p.mirror);
+            e.usize(p.punct_entries);
+            e.usize(p.groups);
+            e.usize(p.cold);
+        }
+        e.usize(self.peak_join_state);
+        e.usize(self.peak_join_state_max_shard);
+        e.usize(self.peak_port_rows.len());
+        for &v in &self.peak_port_rows {
+            e.usize(v);
+        }
+        e.usize(self.peak_mirror);
+        e.usize(self.peak_punct_entries);
+        e.u64(self.tuples_in);
+        e.u64(self.puncts_in);
+        e.u64(self.violations);
+        e.u64s(&self.violations_by_stream);
+        e.u64(self.outputs);
+        e.u64(self.aggregates_out);
+        e.u64(self.purged);
+        e.u64(self.mirror_purged);
+        e.u64(self.punct_dropped);
+        e.u64(self.purge_cycles);
+        e.u64(self.purge_candidates_examined);
+        e.u64(self.batches_processed);
+        e.u64(self.probe_keys_deduped);
+        e.u64(self.intermediate_rows);
+        e.u64(self.certificate_checks);
+        e.u64(self.quarantined);
+        e.u64s(&self.quarantined_by_reason);
+        e.u64s(&self.quarantined_by_stream);
+        e.u64s(&self.quarantined_rows);
+        e.u64(self.repaired);
+        e.u64(self.rows_shed);
+        e.u64s(&self.rows_shed_by_port);
+        e.u64(self.shed_events);
+        e.u64(self.rows_demoted);
+        e.u64(self.rows_faulted);
+        e.u64(self.segments_written);
+        e.u64(self.segments_retired);
+        e.usize(self.cold_rows);
+        e.usize(self.stalled_streams.len());
+        for &s in &self.stalled_streams {
+            e.usize(s);
+        }
+        e.u64(self.checkpoints_written);
+        e.u64(self.checkpoint_rows);
+        e.u64(self.restores);
+        e.u64(self.snapshot_fallbacks);
+        e.u128(self.elapsed_ns);
+    }
+
+    /// Deserializes a full [`Metrics`] from a checkpoint payload.
+    pub(crate) fn read_state(
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> crate::checkpoint::SnapshotResult<Metrics> {
+        let mut m = Metrics::default();
+        let n = d.usize()?;
+        m.series = (0..n)
+            .map(|_| {
+                Ok(StatePoint {
+                    at: d.u64()?,
+                    join_state: d.usize()?,
+                    mirror: d.usize()?,
+                    punct_entries: d.usize()?,
+                    groups: d.usize()?,
+                    cold: d.usize()?,
+                })
+            })
+            .collect::<crate::checkpoint::SnapshotResult<_>>()?;
+        m.peak_join_state = d.usize()?;
+        m.peak_join_state_max_shard = d.usize()?;
+        let n = d.usize()?;
+        m.peak_port_rows = (0..n)
+            .map(|_| d.usize())
+            .collect::<crate::checkpoint::SnapshotResult<_>>()?;
+        m.peak_mirror = d.usize()?;
+        m.peak_punct_entries = d.usize()?;
+        m.tuples_in = d.u64()?;
+        m.puncts_in = d.u64()?;
+        m.violations = d.u64()?;
+        m.violations_by_stream = d.u64s()?;
+        m.outputs = d.u64()?;
+        m.aggregates_out = d.u64()?;
+        m.purged = d.u64()?;
+        m.mirror_purged = d.u64()?;
+        m.punct_dropped = d.u64()?;
+        m.purge_cycles = d.u64()?;
+        m.purge_candidates_examined = d.u64()?;
+        m.batches_processed = d.u64()?;
+        m.probe_keys_deduped = d.u64()?;
+        m.intermediate_rows = d.u64()?;
+        m.certificate_checks = d.u64()?;
+        m.quarantined = d.u64()?;
+        m.quarantined_by_reason = d.u64s()?;
+        m.quarantined_by_stream = d.u64s()?;
+        m.quarantined_rows = d.u64s()?;
+        m.repaired = d.u64()?;
+        m.rows_shed = d.u64()?;
+        m.rows_shed_by_port = d.u64s()?;
+        m.shed_events = d.u64()?;
+        m.rows_demoted = d.u64()?;
+        m.rows_faulted = d.u64()?;
+        m.segments_written = d.u64()?;
+        m.segments_retired = d.u64()?;
+        m.cold_rows = d.usize()?;
+        let n = d.usize()?;
+        m.stalled_streams = (0..n)
+            .map(|_| d.usize())
+            .collect::<crate::checkpoint::SnapshotResult<_>>()?;
+        m.checkpoints_written = d.u64()?;
+        m.checkpoint_rows = d.u64()?;
+        m.restores = d.u64()?;
+        m.snapshot_fallbacks = d.u64()?;
+        m.elapsed_ns = d.u128()?;
+        Ok(m)
     }
 
     /// Throughput in elements per second (0 if nothing timed).

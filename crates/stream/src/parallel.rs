@@ -37,6 +37,7 @@
 //! requires a global view of each group); use the sequential [`Executor`]
 //! for aggregating queries.
 
+use std::path::Path;
 use std::sync::mpsc;
 use std::time::Instant;
 
@@ -48,6 +49,9 @@ use cjq_core::schema::{AttrId, AttrRef, StreamId};
 use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
+use crate::checkpoint::{
+    CheckpointStore, Dec, Enc, Fingerprint, InputCursor, Manifest, SnapshotKind,
+};
 use crate::element::StreamElement;
 use crate::error::{ExecError, ExecResult};
 use crate::exec::{ExecConfig, Executor, LiveStateSnapshot, RunResult};
@@ -425,21 +429,7 @@ impl ShardedExecutor {
     {
         let p = self.partitioning.shards;
         let start = Instant::now();
-        let mut execs: Vec<Executor> = (0..p)
-            .map(|shard| {
-                let mut cfg = self.cfg;
-                if let Some(t) = cfg.tiering.as_mut() {
-                    // Concurrent shards must never share segment files.
-                    t.shard_tag = shard as u32;
-                }
-                let mut exec = Executor::compile(&self.query, &self.schemes, &self.plan, cfg)
-                    .expect("validated in ShardedExecutor::compile");
-                if let Some(bounds) = &self.port_bounds {
-                    exec.set_port_bounds(bounds.clone());
-                }
-                exec
-            })
-            .collect();
+        let mut execs = self.compile_shards();
 
         if p == 1 {
             // Single shard: everything routes to it, in feed order. Skip the
@@ -740,6 +730,245 @@ impl ShardedExecutor {
             logical_mirror,
             shards,
         }
+    }
+
+    /// Compiles the `P` per-shard executors: the shared config with each
+    /// shard's own spill tag (concurrent shards must never share segment
+    /// files), with the static port bounds armed when present.
+    fn compile_shards(&self) -> Vec<Executor> {
+        (0..self.partitioning.shards)
+            .map(|shard| {
+                let mut cfg = self.cfg;
+                if let Some(t) = cfg.tiering.as_mut() {
+                    t.shard_tag = shard as u32;
+                }
+                let mut exec = Executor::compile(&self.query, &self.schemes, &self.plan, cfg)
+                    .expect("validated in ShardedExecutor::compile");
+                if let Some(bounds) = &self.port_bounds {
+                    exec.set_port_bounds(bounds.clone());
+                }
+                exec
+            })
+            .collect()
+    }
+
+    /// Structural fingerprint of a whole shard fleet: shard count plus each
+    /// shard's [`Executor::fingerprint`] (which differ only in the spill
+    /// shard tag). A sharded snapshot only overlays onto a fleet compiled
+    /// from the same query, plan, schemes, config, and shard count.
+    fn combined_fingerprint(execs: &[Executor]) -> u64 {
+        let mut fp = Fingerprint::default();
+        fp.word(execs.len() as u64);
+        for e in execs {
+            fp.word(e.fingerprint());
+        }
+        fp.finish()
+    }
+
+    /// Builds the sharded checkpoint payload: manifest, router element
+    /// counters, then every shard's snapshot in shard order.
+    fn sharded_payload(
+        execs: &[Executor],
+        every: u64,
+        cursor: &InputCursor,
+        router_tuples: u64,
+        router_puncts: u64,
+    ) -> ExecResult<Vec<u8>> {
+        if execs.iter().any(Executor::has_groupby) {
+            return Err(ExecError::CheckpointCorrupt {
+                path: "<config>".into(),
+                detail: "group-by stages are not checkpointable: open-group state \
+                         is not serialized"
+                    .into(),
+            });
+        }
+        let mut e = Enc::new();
+        Manifest {
+            kind: SnapshotKind::Sharded,
+            fingerprint: Self::combined_fingerprint(execs),
+            every,
+            cursor: cursor.clone(),
+        }
+        .write(&mut e);
+        e.u64(router_tuples);
+        e.u64(router_puncts);
+        e.usize(execs.len());
+        for exec in execs {
+            exec.write_snapshot(&mut e);
+        }
+        Ok(e.buf)
+    }
+
+    /// Runs the whole feed through `P` *synchronous* shard executors with
+    /// punctuation-aligned checkpointing every `every` elements into `dir`.
+    ///
+    /// Unlike [`ShardedExecutor::try_run`] this uses no worker threads: the
+    /// router feeds each element to its shard (or all shards, when
+    /// broadcast) inline, so a checkpoint taken between elements is a
+    /// consistent cut across the whole fleet — one snapshot file holds every
+    /// shard's state plus the global input cursor. The merged result is the
+    /// same logical result the threaded runner produces (same routed
+    /// subsequences in the same order), with `outputs` concatenated in shard
+    /// order.
+    pub fn try_run_checkpointed(
+        &self,
+        feed: &Feed,
+        dir: &Path,
+        every: u64,
+    ) -> ExecResult<ShardedRunResult> {
+        let store =
+            CheckpointStore::open(dir, every).map_err(|e| ExecError::CheckpointCorrupt {
+                path: dir.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        let cursor = InputCursor::zero(self.query.n_streams());
+        let execs = self.compile_shards();
+        self.run_checkpointed_inner(feed, store, cursor, execs, 0, 0, 0, 0)
+    }
+
+    /// Restores a whole shard fleet from the newest valid snapshot in `dir`
+    /// and resumes the feed from the recorded cursor, continuing to
+    /// checkpoint at the recorded cadence. `self` must be compiled from the
+    /// same query, plan, schemes, config, and shard count as the executor
+    /// that wrote the snapshots ([`ExecError::RestoreMismatch`] otherwise).
+    /// A corrupt newest snapshot falls back to the previous retained one;
+    /// an empty directory (crash before the first commit) cold-starts the
+    /// whole feed at cadence `every` (ignored otherwise — the manifest's
+    /// recorded cadence wins). The result is byte-identical to an
+    /// uninterrupted [`ShardedExecutor::try_run_checkpointed`] over the same
+    /// feed (modulo wall time and the checkpoint counters themselves).
+    pub fn try_resume(&self, feed: &Feed, dir: &Path, every: u64) -> ExecResult<ShardedRunResult> {
+        if crate::checkpoint::list_snapshots(dir).is_empty() {
+            return self.try_run_checkpointed(feed, dir, every);
+        }
+        let corrupt = |detail: String| ExecError::CheckpointCorrupt {
+            path: dir.display().to_string(),
+            detail,
+        };
+        let (payload, fallbacks, path) = CheckpointStore::load_latest(dir).map_err(&corrupt)?;
+        let mut execs = self.compile_shards();
+        let mut d = Dec::new(&payload);
+        let manifest = Manifest::read(&mut d).map_err(|e| corrupt(e.to_string()))?;
+        if manifest.kind != SnapshotKind::Sharded {
+            return Err(corrupt(format!(
+                "snapshot at {} is not a sharded snapshot",
+                path.display()
+            )));
+        }
+        let expected = Self::combined_fingerprint(&execs);
+        if manifest.fingerprint != expected {
+            return Err(ExecError::RestoreMismatch {
+                expected,
+                found: manifest.fingerprint,
+            });
+        }
+        let router_tuples = d.u64().map_err(|e| corrupt(e.to_string()))?;
+        let router_puncts = d.u64().map_err(|e| corrupt(e.to_string()))?;
+        let p = d.usize().map_err(|e| corrupt(e.to_string()))?;
+        if p != execs.len() {
+            return Err(corrupt(format!(
+                "snapshot holds {p} shards but this executor has {}",
+                execs.len()
+            )));
+        }
+        for exec in &mut execs {
+            exec.read_snapshot(&mut d)
+                .map_err(|e| corrupt(e.to_string()))?;
+        }
+        d.expect_end().map_err(|e| corrupt(e.to_string()))?;
+        let store =
+            CheckpointStore::open(dir, manifest.every).map_err(|e| corrupt(e.to_string()))?;
+        self.run_checkpointed_inner(
+            feed,
+            store,
+            manifest.cursor,
+            execs,
+            router_tuples,
+            router_puncts,
+            1,
+            fallbacks,
+        )
+    }
+
+    /// The shared synchronous loop behind
+    /// [`ShardedExecutor::try_run_checkpointed`] and
+    /// [`ShardedExecutor::try_resume`]: routes the feed from the cursor
+    /// position, checkpoints at due punctuations, drains every shard, and
+    /// merges.
+    #[allow(clippy::too_many_arguments)]
+    fn run_checkpointed_inner(
+        &self,
+        feed: &Feed,
+        mut store: CheckpointStore,
+        mut cursor: InputCursor,
+        mut execs: Vec<Executor>,
+        mut router_tuples: u64,
+        mut router_puncts: u64,
+        restores: u64,
+        fallbacks: u64,
+    ) -> ExecResult<ShardedRunResult> {
+        let start = Instant::now();
+        let skip = usize::try_from(cursor.elements).unwrap_or(usize::MAX);
+        for e in feed.elements().iter().skip(skip) {
+            let (stream, is_punct) = match e {
+                StreamElement::Tuple(t) => (t.stream, false),
+                StreamElement::Punctuation(p) => (p.stream, true),
+            };
+            if is_punct {
+                router_puncts += 1;
+            } else {
+                router_tuples += 1;
+            }
+            match self.partitioning.route(e) {
+                Some(shard) => execs[shard].try_push(e).map_err(|err| ExecError::Shard {
+                    shard,
+                    source: Box::new(err),
+                })?,
+                None => {
+                    for (shard, exec) in execs.iter_mut().enumerate() {
+                        exec.try_push(e).map_err(|err| ExecError::Shard {
+                            shard,
+                            source: Box::new(err),
+                        })?;
+                    }
+                }
+            }
+            cursor.advance(stream);
+            store.note_element();
+            if store.due(is_punct) {
+                let payload = Self::sharded_payload(
+                    &execs,
+                    store.every(),
+                    &cursor,
+                    router_tuples,
+                    router_puncts,
+                )?;
+                let rows: u64 = execs.iter().map(Executor::checkpointable_rows).sum();
+                store
+                    .commit(&payload, rows)
+                    .map_err(|e| ExecError::CheckpointCorrupt {
+                        path: store.dir().display().to_string(),
+                        detail: e.to_string(),
+                    })?;
+            }
+        }
+        let mut shards_snaps = Vec::with_capacity(execs.len());
+        for exec in execs {
+            shards_snaps.push(exec.finish_detailed());
+        }
+        let mut merged = self.merge(shards_snaps, router_tuples, router_puncts, start);
+        merged.metrics.checkpoints_written += store.checkpoints_written;
+        merged.metrics.checkpoint_rows += store.checkpoint_rows;
+        merged.metrics.restores += restores;
+        merged.metrics.snapshot_fallbacks += fallbacks;
+        if self.cfg.record_outputs {
+            let mut outputs = Vec::new();
+            for r in &mut merged.shards {
+                outputs.append(&mut r.outputs);
+            }
+            merged.outputs = outputs;
+        }
+        Ok(merged)
     }
 }
 

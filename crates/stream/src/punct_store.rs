@@ -338,6 +338,131 @@ impl PunctStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Serializes the store's coverage state into a checkpoint payload.
+    /// Scheme definitions and the lifespan knob are compile-time artifacts
+    /// and are not written; entries are emitted sorted by combination so the
+    /// payload bytes are deterministic.
+    pub(crate) fn write_state(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.schemes.len());
+        for entries in &self.entries {
+            let mut sorted: Vec<(&Vec<Value>, u64)> =
+                entries.iter().map(|(c, &at)| (c, at)).collect();
+            sorted.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            e.usize(sorted.len());
+            for (combo, at) in sorted {
+                e.usize(combo.len());
+                for v in combo {
+                    e.value(v);
+                }
+                e.u64(at);
+            }
+        }
+        for t in &self.thresholds {
+            match t {
+                Some((v, at)) => {
+                    e.bool(true);
+                    e.value(v);
+                    e.u64(*at);
+                }
+                None => e.bool(false),
+            }
+        }
+        e.usize(self.unmatched.len());
+        for p in &self.unmatched {
+            e.punct(p);
+        }
+        e.usize(self.delta_log.len());
+        for d in &self.delta_log {
+            match d {
+                PunctDelta::Entry { scheme_idx, combo } => {
+                    e.u8(0);
+                    e.usize(*scheme_idx);
+                    e.usize(combo.len());
+                    for v in combo {
+                        e.value(v);
+                    }
+                }
+                PunctDelta::Advance {
+                    scheme_idx,
+                    above,
+                    upto,
+                } => {
+                    e.u8(1);
+                    e.usize(*scheme_idx);
+                    e.opt_value(above.as_ref());
+                    e.value(upto);
+                }
+            }
+        }
+        e.u64(self.delta_base);
+    }
+
+    /// Overlays serialized coverage state onto this freshly created store.
+    /// The registered schemes must match the count recorded at checkpoint
+    /// time (they are recreated from the same [`SchemeSet`]).
+    pub(crate) fn read_state(
+        &mut self,
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> crate::checkpoint::SnapshotResult<()> {
+        use crate::checkpoint::SnapshotError;
+        let n_schemes = d.usize()?;
+        if n_schemes != self.schemes.len() {
+            return Err(SnapshotError(format!(
+                "punct store for {} has {} schemes, snapshot has {n_schemes}",
+                self.stream,
+                self.schemes.len()
+            )));
+        }
+        for entries in &mut self.entries {
+            entries.clear();
+            let n = d.usize()?;
+            for _ in 0..n {
+                let arity = d.usize()?;
+                let mut combo = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    combo.push(d.value()?);
+                }
+                let at = d.u64()?;
+                entries.insert(combo, at);
+            }
+        }
+        for t in &mut self.thresholds {
+            *t = if d.bool()? {
+                Some((d.value()?, d.u64()?))
+            } else {
+                None
+            };
+        }
+        let n = d.usize()?;
+        self.unmatched = (0..n)
+            .map(|_| d.punct())
+            .collect::<crate::checkpoint::SnapshotResult<_>>()?;
+        let n = d.usize()?;
+        let mut log = Vec::with_capacity(n);
+        for _ in 0..n {
+            log.push(match d.u8()? {
+                0 => {
+                    let scheme_idx = d.usize()?;
+                    let arity = d.usize()?;
+                    let mut combo = Vec::with_capacity(arity);
+                    for _ in 0..arity {
+                        combo.push(d.value()?);
+                    }
+                    PunctDelta::Entry { scheme_idx, combo }
+                }
+                1 => PunctDelta::Advance {
+                    scheme_idx: d.usize()?,
+                    above: d.opt_value()?,
+                    upto: d.value()?,
+                },
+                t => return Err(SnapshotError(format!("unknown punct delta tag {t}"))),
+            });
+        }
+        self.delta_log = log;
+        self.delta_base = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -438,6 +438,49 @@ impl PurgeTracker {
         Candidates::Slots(slots)
     }
 
+    /// Serializes the tracker's cursor positions. Index registrations and
+    /// shrink-probe wiring are compile-time artifacts recreated by
+    /// [`PurgeTracker::new`]; only the moving parts are written.
+    pub(crate) fn write_state(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.fresh_from);
+        e.u64s(&self.cursors);
+        e.usize(self.shrink_sources.len());
+        for s in &self.shrink_sources {
+            e.u64(s.cursor);
+        }
+    }
+
+    /// Overlays serialized cursor positions onto this freshly built tracker.
+    /// The step and shrink-source counts must match the recipe the snapshot
+    /// was taken under.
+    pub(crate) fn read_state(
+        &mut self,
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> crate::checkpoint::SnapshotResult<()> {
+        use crate::checkpoint::SnapshotError;
+        self.fresh_from = d.usize()?;
+        let cursors = d.u64s()?;
+        if cursors.len() != self.cursors.len() {
+            return Err(SnapshotError(format!(
+                "purge tracker has {} steps, snapshot has {}",
+                self.cursors.len(),
+                cursors.len()
+            )));
+        }
+        self.cursors = cursors;
+        let n = d.usize()?;
+        if n != self.shrink_sources.len() {
+            return Err(SnapshotError(format!(
+                "purge tracker has {} shrink sources, snapshot has {n}",
+                self.shrink_sources.len()
+            )));
+        }
+        for s in &mut self.shrink_sources {
+            s.cursor = d.u64()?;
+        }
+        Ok(())
+    }
+
     /// [`PurgeTracker::collect`] against an engine's punctuation stores and
     /// mirror states (the operator-port entry point).
     pub(crate) fn collect_against(
@@ -1297,6 +1340,68 @@ impl PurgeEngine {
         }
         self.punct_dropped += n as u64;
         n
+    }
+
+    /// Serializes the engine's runtime state — mirror tuples, punctuation
+    /// coverage, mirror-tracker cursors, and drop counters. Recipes, scheme
+    /// registrations, and index wiring are recreated by
+    /// [`PurgeEngine::new_weighted`] at restore time.
+    pub(crate) fn write_state(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.states.len());
+        for s in &self.states {
+            s.write_state(e);
+        }
+        for p in &self.puncts {
+            p.write_state(e);
+        }
+        for t in &self.mirror_trackers {
+            match t {
+                Some(t) => {
+                    e.bool(true);
+                    t.write_state(e);
+                }
+                None => e.bool(false),
+            }
+        }
+        e.u64(self.punct_dropped);
+        e.u64(self.mirror_purged);
+    }
+
+    /// Overlays serialized runtime state onto this freshly built engine. The
+    /// stream count and per-stream tracker presence must match the query the
+    /// snapshot was taken under.
+    pub(crate) fn read_state(
+        &mut self,
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> crate::checkpoint::SnapshotResult<()> {
+        use crate::checkpoint::SnapshotError;
+        let n = d.usize()?;
+        if n != self.states.len() {
+            return Err(SnapshotError(format!(
+                "purge engine mirrors {} streams, snapshot has {n}",
+                self.states.len()
+            )));
+        }
+        for s in &mut self.states {
+            s.read_state(d)?;
+        }
+        for p in &mut self.puncts {
+            p.read_state(d)?;
+        }
+        for t in &mut self.mirror_trackers {
+            match (d.bool()?, t.as_mut()) {
+                (true, Some(t)) => t.read_state(d)?,
+                (false, None) => {}
+                _ => {
+                    return Err(SnapshotError(
+                        "mirror tracker presence disagrees with compiled engine".into(),
+                    ))
+                }
+            }
+        }
+        self.punct_dropped = d.u64()?;
+        self.mirror_purged = d.u64()?;
+        Ok(())
     }
 }
 

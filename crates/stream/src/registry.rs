@@ -43,6 +43,7 @@
 //! `tests/registry_equivalence.rs` asserts across cadences and shard
 //! counts.
 
+use std::path::Path;
 use std::time::Instant;
 
 use cjq_core::fxhash::FxHashMap;
@@ -55,6 +56,9 @@ use cjq_core::scheme::SchemeSet;
 use cjq_core::value::Value;
 
 use crate::certify;
+use crate::checkpoint::{
+    CheckpointStore, Dec, Enc, Fingerprint, InputCursor, Manifest, SnapshotKind, SnapshotResult,
+};
 use crate::element::StreamElement;
 use crate::error::{ExecError, ExecResult};
 use crate::exec::{cadence_run_cap, BudgetPolicy, ExecConfig, PurgeCadence};
@@ -1046,6 +1050,370 @@ impl QueryRegistry {
                 );
             }
         }
+    }
+
+    /// Structural fingerprint of the registry's membership: config knobs,
+    /// every admitted query's predicates and arena subscription (node
+    /// indices pin the interning shape), and the punctuation schemes. A
+    /// registry snapshot only overlays onto a registry re-admitted from the
+    /// same `(query, plan)` sequence under the same config. Retirement does
+    /// not change the fingerprint — restore re-applies retired flags from
+    /// the snapshot.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::default();
+        self.cfg.fingerprint_into(&mut fp);
+        fp.word(self.queries.len() as u64);
+        for q in &self.queries {
+            fp.word(q.query.n_streams() as u64);
+            for p in q.query.predicates() {
+                fp.word(p.left.stream.0 as u64);
+                fp.word(p.left.attr.0 as u64);
+                fp.word(p.right.stream.0 as u64);
+                fp.word(p.right.attr.0 as u64);
+            }
+            fp.word(q.nodes.len() as u64);
+            for &n in &q.nodes {
+                fp.word(n as u64);
+            }
+            fp.word(q.root as u64);
+        }
+        if let (Some(engine), Some(first)) = (&self.engine, self.queries.first()) {
+            for s in first.query.stream_ids() {
+                let store = engine.punct_store(s);
+                fp.word(store.schemes().len() as u64);
+                for scheme in store.schemes() {
+                    fp.word(u64::from(scheme.is_ordered()));
+                    fp.word(scheme.punctuatable().len() as u64);
+                    for a in scheme.punctuatable() {
+                        fp.word(a.0 as u64);
+                    }
+                }
+            }
+        }
+        fp.finish()
+    }
+
+    /// Serializes everything element routing mutates: clocks, metrics,
+    /// per-query membership/stats/outputs, the shared engine, and every
+    /// live node's operator state.
+    fn write_snapshot(&self, e: &mut Enc) {
+        e.u64(self.clock);
+        e.usize(self.since_purge);
+        e.usize(self.adaptive_batch);
+        self.metrics.write_state(e);
+        e.usize(self.queries.len());
+        for q in &self.queries {
+            e.bool(q.live);
+            e.u64(q.stats.outputs);
+            e.u64(q.stats.purged);
+            e.u64(q.stats.admitted_at);
+            match q.stats.retired_at {
+                Some(v) => {
+                    e.bool(true);
+                    e.u64(v);
+                }
+                None => e.bool(false),
+            }
+            e.usize(q.outputs.len());
+            for row in &q.outputs {
+                e.usize(row.len());
+                for v in row {
+                    e.value(v);
+                }
+            }
+        }
+        match &self.engine {
+            Some(engine) => {
+                e.bool(true);
+                engine.write_state(e);
+            }
+            None => e.bool(false),
+        }
+        e.usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Some(n) => {
+                    e.bool(true);
+                    n.op.write_state(e);
+                }
+                None => e.bool(false),
+            }
+        }
+    }
+
+    /// Overlays a serialized snapshot onto this freshly re-admitted
+    /// registry: retired flags are re-applied (tombstoning orphaned nodes,
+    /// exactly as [`QueryRegistry::retire`] did in the original run) before
+    /// node state is read, so the arena tombstone pattern matches the
+    /// snapshot's.
+    fn read_snapshot(&mut self, d: &mut Dec<'_>) -> SnapshotResult<()> {
+        use crate::checkpoint::SnapshotError;
+        self.clock = d.u64()?;
+        self.since_purge = d.usize()?;
+        self.adaptive_batch = d.usize()?;
+        self.metrics = Metrics::read_state(d)?;
+        let nq = d.usize()?;
+        if nq != self.queries.len() {
+            return Err(SnapshotError(format!(
+                "snapshot holds {nq} queries but {} were re-admitted",
+                self.queries.len()
+            )));
+        }
+        for qi in 0..nq {
+            let live = d.bool()?;
+            let stats = QueryStats {
+                outputs: d.u64()?,
+                purged: d.u64()?,
+                admitted_at: d.u64()?,
+                retired_at: if d.bool()? { Some(d.u64()?) } else { None },
+            };
+            let n = d.usize()?;
+            let mut outputs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let w = d.usize()?;
+                let mut row = Vec::with_capacity(w);
+                for _ in 0..w {
+                    row.push(d.value()?);
+                }
+                outputs.push(row);
+            }
+            let owned = {
+                let q = &mut self.queries[qi];
+                q.stats = stats;
+                q.outputs = outputs;
+                if !live && q.live {
+                    q.live = false;
+                    q.nodes.clone()
+                } else {
+                    Vec::new()
+                }
+            };
+            for &n in owned.iter().rev() {
+                let gone = {
+                    let node = self.nodes[n].as_mut().ok_or_else(|| {
+                        SnapshotError("retired query's node already tombstoned".into())
+                    })?;
+                    node.subscribers -= 1;
+                    node.subscribers == 0
+                };
+                if gone {
+                    let node = self.nodes[n].take().expect("checked above");
+                    self.node_index.remove(&node.key);
+                }
+            }
+        }
+        if d.bool()? {
+            let engine = self.engine.as_mut().ok_or_else(|| {
+                SnapshotError("snapshot has engine state but none was bootstrapped".into())
+            })?;
+            engine.read_state(d)?;
+        } else if self.engine.is_some() {
+            return Err(SnapshotError(
+                "snapshot has no engine state but queries were re-admitted".into(),
+            ));
+        }
+        let nn = d.usize()?;
+        if nn != self.nodes.len() {
+            return Err(SnapshotError(format!(
+                "snapshot holds {nn} arena nodes but re-admission produced {}",
+                self.nodes.len()
+            )));
+        }
+        let spill = &mut self.spill;
+        for ni in 0..nn {
+            let present = d.bool()?;
+            match (present, self.nodes[ni].as_mut()) {
+                (true, Some(node)) => node.op.read_state(d, spill, ni)?,
+                (false, None) => {}
+                _ => {
+                    return Err(SnapshotError(
+                        "node arena tombstones disagree with snapshot".into(),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the registry checkpoint payload. Queries streaming to an
+    /// attached sink are not checkpointable — a sink cannot be serialized,
+    /// and a resumed run would silently drop its rows.
+    fn snapshot_payload(&self, every: u64, cursor: &InputCursor) -> ExecResult<Vec<u8>> {
+        if self.queries.iter().any(|q| q.live && q.sink.is_some()) {
+            return Err(ExecError::CheckpointCorrupt {
+                path: "<config>".into(),
+                detail: "queries with attached sinks are not checkpointable: \
+                         a sink cannot be serialized"
+                    .into(),
+            });
+        }
+        let mut e = Enc::new();
+        Manifest {
+            kind: SnapshotKind::Registry,
+            fingerprint: self.fingerprint(),
+            every,
+            cursor: cursor.clone(),
+        }
+        .write(&mut e);
+        self.write_snapshot(&mut e);
+        Ok(e.buf)
+    }
+
+    /// Pushes one element and checkpoints when due (the registry analogue of
+    /// [`crate::exec::Executor::push_checkpointed`]: snapshots are
+    /// punctuation-aligned consistent cuts of the whole shared arena).
+    pub fn push_checkpointed(
+        &mut self,
+        element: &StreamElement,
+        store: &mut CheckpointStore,
+        cursor: &mut InputCursor,
+    ) -> ExecResult<()> {
+        self.try_push(element)?;
+        let stream = match element {
+            StreamElement::Tuple(t) => t.stream,
+            StreamElement::Punctuation(p) => p.stream,
+        };
+        cursor.advance(stream);
+        store.note_element();
+        if store.due(matches!(element, StreamElement::Punctuation(_))) {
+            self.commit_checkpoint(store, cursor)?;
+        }
+        Ok(())
+    }
+
+    /// Commits one snapshot of the whole registry to `store` unconditionally.
+    pub fn commit_checkpoint(
+        &mut self,
+        store: &mut CheckpointStore,
+        cursor: &InputCursor,
+    ) -> ExecResult<()> {
+        let payload = self.snapshot_payload(store.every(), cursor)?;
+        let cold: usize = self.nodes.iter().flatten().map(|n| n.op.cold_rows()).sum();
+        let rows = (self.join_state_live()
+            + self.engine.as_ref().map_or(0, PurgeEngine::mirror_live)
+            + cold) as u64;
+        store
+            .commit(&payload, rows)
+            .map_err(|e| ExecError::CheckpointCorrupt {
+                path: store.dir().display().to_string(),
+                detail: e.to_string(),
+            })?;
+        self.metrics.checkpoints_written += 1;
+        self.metrics.checkpoint_rows += rows;
+        Ok(())
+    }
+
+    /// Runs a whole feed element-by-element with punctuation-aligned
+    /// checkpointing every `every` elements into `dir`, then finishes.
+    /// At least one query must have been admitted.
+    pub fn try_run_checkpointed(
+        mut self,
+        feed: &Feed,
+        dir: &Path,
+        every: u64,
+    ) -> ExecResult<RegistryResult> {
+        let corrupt = |detail: String| ExecError::CheckpointCorrupt {
+            path: dir.display().to_string(),
+            detail,
+        };
+        let n_streams = self
+            .queries
+            .first()
+            .map(|q| q.query.n_streams())
+            .ok_or_else(|| corrupt("no queries admitted: nothing to checkpoint".into()))?;
+        let mut store = CheckpointStore::open(dir, every).map_err(|e| corrupt(e.to_string()))?;
+        let mut cursor = InputCursor::zero(n_streams);
+        for e in feed.elements() {
+            self.push_checkpointed(e, &mut store, &mut cursor)?;
+        }
+        Ok(self.finish())
+    }
+
+    /// Restores a registry from the newest valid snapshot in `dir`.
+    ///
+    /// `specs` must be **every** query admitted in the original run, in
+    /// admission order — including queries that were later retired (their
+    /// retired state is re-applied from the snapshot). Queries admitted
+    /// *after* the snapshot was taken are unknown to it and must be
+    /// re-admitted by the caller after this returns. Mismatched specs fail
+    /// with [`ExecError::RestoreMismatch`]; a corrupt newest snapshot falls
+    /// back to the previous retained one.
+    ///
+    /// Returns the registry, a store continuing the snapshot sequence at the
+    /// recorded cadence, and the input cursor to resume the feed from.
+    pub fn restore(
+        dir: &Path,
+        schemes: &SchemeSet,
+        cfg: ExecConfig,
+        specs: &[(Cjq, Plan)],
+    ) -> ExecResult<(Self, CheckpointStore, InputCursor)> {
+        let corrupt = |detail: String| ExecError::CheckpointCorrupt {
+            path: dir.display().to_string(),
+            detail,
+        };
+        let (payload, fallbacks, path) = CheckpointStore::load_latest(dir).map_err(&corrupt)?;
+        let mut reg = QueryRegistry::new(schemes.clone(), cfg);
+        for (q, p) in specs {
+            reg.try_admit(q, p, None)
+                .map_err(|e| corrupt(format!("cannot re-admit query for restore: {e}")))?;
+        }
+        let mut d = Dec::new(&payload);
+        let manifest = Manifest::read(&mut d).map_err(|e| corrupt(e.to_string()))?;
+        if manifest.kind != SnapshotKind::Registry {
+            return Err(corrupt(format!(
+                "snapshot at {} is not a registry snapshot",
+                path.display()
+            )));
+        }
+        let expected = reg.fingerprint();
+        if manifest.fingerprint != expected {
+            return Err(ExecError::RestoreMismatch {
+                expected,
+                found: manifest.fingerprint,
+            });
+        }
+        reg.read_snapshot(&mut d)
+            .map_err(|e| corrupt(e.to_string()))?;
+        d.expect_end().map_err(|e| corrupt(e.to_string()))?;
+        reg.metrics.restores += 1;
+        reg.metrics.snapshot_fallbacks += fallbacks;
+        let store =
+            CheckpointStore::open(dir, manifest.every).map_err(|e| corrupt(e.to_string()))?;
+        Ok((reg, store, manifest.cursor))
+    }
+
+    /// Restores from `dir` (see [`QueryRegistry::restore`]) and resumes the
+    /// feed from the recorded cursor, continuing to checkpoint at the
+    /// recorded cadence. An empty directory (crash before the first commit)
+    /// cold-starts the whole feed at cadence `every` (ignored otherwise —
+    /// the manifest's recorded cadence wins). Byte-identical to an
+    /// uninterrupted [`QueryRegistry::try_run_checkpointed`] over the same
+    /// feed (modulo wall time and the checkpoint counters themselves).
+    pub fn try_resume(
+        dir: &Path,
+        schemes: &SchemeSet,
+        cfg: ExecConfig,
+        specs: &[(Cjq, Plan)],
+        feed: &Feed,
+        every: u64,
+    ) -> ExecResult<RegistryResult> {
+        if crate::checkpoint::list_snapshots(dir).is_empty() {
+            let mut reg = QueryRegistry::new(schemes.clone(), cfg);
+            for (q, p) in specs {
+                reg.try_admit(q, p, None)
+                    .map_err(|e| ExecError::CheckpointCorrupt {
+                        path: dir.display().to_string(),
+                        detail: format!("cannot re-admit query for cold start: {e}"),
+                    })?;
+            }
+            return reg.try_run_checkpointed(feed, dir, every);
+        }
+        let (mut reg, mut store, mut cursor) = Self::restore(dir, schemes, cfg, specs)?;
+        let done = usize::try_from(cursor.elements).unwrap_or(usize::MAX);
+        for e in feed.elements().iter().skip(done) {
+            reg.push_checkpointed(e, &mut store, &mut cursor)?;
+        }
+        Ok(reg.finish())
     }
 }
 

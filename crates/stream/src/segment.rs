@@ -296,6 +296,31 @@ impl Segment {
         rows
     }
 
+    /// Reads back **every** row — live and faulted-out alike — without
+    /// changing liveness. Checkpointing uses this: a restored segment must be
+    /// rebuilt from the same full row set so its summaries come out identical
+    /// (they over-approximate by retaining faulted-out rows' keys, and a
+    /// tighter rebuilt summary could certify-drop a segment the original run
+    /// kept).
+    pub(crate) fn read_all(&self) -> Vec<(u64, Vec<Value>)> {
+        let idxs: Vec<usize> = (0..self.rows).collect();
+        self.read_rows(&idxs)
+    }
+
+    /// The raw liveness bitmap (one bit per row, row-major).
+    pub(crate) fn live_bits(&self) -> &[u64] {
+        &self.live_bits
+    }
+
+    /// Overwrites the liveness bitmap — the restore path writes the full row
+    /// set first (see [`Segment::read_all`]) and then replays which rows had
+    /// already faulted out.
+    pub(crate) fn restore_live_bits(&mut self, bits: Vec<u64>, live: usize) {
+        assert_eq!(bits.len(), self.live_bits.len(), "liveness bitmap width");
+        self.live_bits = bits;
+        self.live = live;
+    }
+
     /// Full-segment read of the given row indexes.
     fn read_rows(&self, idxs: &[usize]) -> Vec<(u64, Vec<Value>)> {
         let bytes = fs::read(&self.path).expect("cold-tier segment read");

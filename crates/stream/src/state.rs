@@ -611,6 +611,122 @@ impl PortState {
         evicted
     }
 
+    /// Serializes the port's raw state into a checkpoint payload. The
+    /// layout, probe-index registrations, and purge-index definitions are
+    /// *not* written — they are deterministic compile-time artifacts that
+    /// the restore path recreates by compiling the plan again;
+    /// [`PortState::read_state`] only overlays raw rows and refills the
+    /// registered buckets.
+    pub(crate) fn write_state(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.stride);
+        e.usize(self.slots());
+        for v in &self.arena {
+            e.value(v);
+        }
+        e.u64s(&self.live_bits);
+        e.u64s(&self.arrivals);
+        e.u64s(&self.seqs);
+        e.u64(self.next_seq);
+        e.u64s(&self.touched);
+        e.usize(self.evict_front);
+        e.usize(self.live);
+        e.u64(self.inserted);
+        e.u64(self.purged);
+        e.u64(self.demoted);
+        e.usize(self.retired.len());
+        for &r in &self.retired {
+            e.usize(r);
+        }
+        e.u64(self.retired_base);
+        e.bool(self.log_retired);
+    }
+
+    /// Overlays serialized raw state onto this freshly compiled (empty) port
+    /// and rebuilds every probe/purge index bucket by inserting live slots in
+    /// insertion-**sequence** order — which reproduces the live run's probe
+    /// buckets exactly: they are invariantly seq-sorted (appends are
+    /// seq-monotone and [`PortState::insert_spilled_at`] places by seq), and
+    /// probe-bucket order is what output order depends on.
+    pub(crate) fn read_state(
+        &mut self,
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> crate::checkpoint::SnapshotResult<()> {
+        use crate::checkpoint::SnapshotError;
+        let stride = d.usize()?;
+        if stride != self.stride {
+            return Err(SnapshotError(format!(
+                "port stride mismatch: compiled {}, snapshot {stride}",
+                self.stride
+            )));
+        }
+        let rows = d.usize()?;
+        let mut arena = Vec::with_capacity(rows * stride);
+        for _ in 0..rows * stride {
+            arena.push(d.value()?);
+        }
+        self.arena = arena;
+        self.live_bits = d.u64s()?;
+        self.arrivals = d.u64s()?;
+        self.seqs = d.u64s()?;
+        self.next_seq = d.u64()?;
+        self.touched = d.u64s()?;
+        if self.arrivals.len() != rows
+            || self.seqs.len() != rows
+            || self.touched.len() != rows
+            || self.live_bits.len() != rows.div_ceil(64)
+        {
+            return Err(SnapshotError(format!(
+                "port vector lengths disagree with {rows} slots"
+            )));
+        }
+        self.evict_front = d.usize()?;
+        self.live = d.usize()?;
+        self.inserted = d.u64()?;
+        self.purged = d.u64()?;
+        self.demoted = d.u64()?;
+        let n = d.usize()?;
+        self.retired = (0..n)
+            .map(|_| d.usize())
+            .collect::<crate::checkpoint::SnapshotResult<_>>()?;
+        self.retired_base = d.u64()?;
+        self.log_retired = d.bool()?;
+        // Rebuild the registered index buckets from live rows, seq-ordered.
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+        for ix in &mut self.purge_indexes {
+            match &mut ix.keys {
+                PurgeKeys::Hash(m) => m.clear(),
+                PurgeKeys::Range(m) => m.clear(),
+            }
+        }
+        let mut live_slots: Vec<usize> = (0..rows).filter(|&i| self.is_live(i)).collect();
+        if live_slots.len() != self.live {
+            return Err(SnapshotError(format!(
+                "live bitmap says {} live rows, counter says {}",
+                live_slots.len(),
+                self.live
+            )));
+        }
+        live_slots.sort_unstable_by_key(|&s| self.seqs[s]);
+        for slot in live_slots {
+            let row: Vec<Value> = self.raw_row(slot).to_vec();
+            for (&col, index) in &mut self.indexes {
+                index.entry(row[col]).or_default().push(slot);
+            }
+            for PurgeIndex { cols, keys } in &mut self.purge_indexes {
+                match keys {
+                    PurgeKeys::Hash(m) => m
+                        .entry(cols.iter().map(|&c| row[c]).collect())
+                        .or_default()
+                        .push(slot),
+                    PurgeKeys::Range(m) => m.entry(row[cols[0]]).or_default().push(slot),
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Distinct live values of a flat column. Order is unspecified: with an
     /// index on `col` this is just the index's key set (no sort, no extra
     /// dedup pass); without one it is a single hashing scan.

@@ -98,10 +98,19 @@ impl SpillStore {
     #[must_use]
     pub fn new(shard_tag: u32) -> SpillStore {
         let inst = SPILL_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
         let dir = std::env::temp_dir().join(format!(
-            "cjq-spill-{}-{inst}-s{shard_tag}",
+            "cjq-spill-{}-{nonce:x}-{inst}-s{shard_tag}",
             std::process::id()
         ));
+        // Pids recycle (a `kill -9`'d replay leaves its directory behind and
+        // the pid can come back), so the name alone is not collision-proof
+        // across runs: the nanosecond nonce makes reuse practically
+        // impossible, and clearing any leftover contents makes a collision
+        // harmless rather than a source of stale segment files.
+        let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("create cold-tier spill directory");
         SpillStore { dir, next_file: 0 }
     }
@@ -267,6 +276,82 @@ impl ColdTier {
         let before = self.segments.len();
         self.segments.retain(|s| s.live() > 0);
         self.stats.segments_retired += (before - self.segments.len()) as u64;
+    }
+
+    /// Serializes the tier's segments and counters. Each segment is written
+    /// as its **full** row set plus the liveness bitmap — not just the live
+    /// rows — because restore rebuilds segments by re-spilling, and the
+    /// rebuilt summaries must match the originals exactly (they retain
+    /// faulted-out rows' keys; a tighter summary could certify-drop a
+    /// segment the uninterrupted run kept, diverging the purge totals).
+    pub(crate) fn write_state(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.segments.len());
+        for seg in &self.segments {
+            let rows = seg.read_all();
+            e.usize(rows.len());
+            for (seq, row) in &rows {
+                e.u64(*seq);
+                for v in row {
+                    e.value(v);
+                }
+            }
+            e.u64s(seg.live_bits());
+            e.usize(seg.live());
+        }
+        e.u64(self.stats.rows_demoted);
+        e.u64(self.stats.rows_faulted);
+        e.u64(self.stats.segments_written);
+        e.u64(self.stats.segments_retired);
+    }
+
+    /// Rebuilds the tier from a snapshot: re-spills each serialized segment
+    /// into freshly allocated files of `store`, then replays its liveness
+    /// bitmap. The counters are overwritten last (re-spilling bumps them).
+    pub(crate) fn read_state(
+        &mut self,
+        d: &mut crate::checkpoint::Dec<'_>,
+        store: &mut SpillStore,
+        op: usize,
+        port: usize,
+        stride: usize,
+    ) -> crate::checkpoint::SnapshotResult<()> {
+        use crate::checkpoint::SnapshotError;
+        let n = d.usize()?;
+        self.segments.clear();
+        for _ in 0..n {
+            let n_rows = d.usize()?;
+            if n_rows == 0 {
+                return Err(SnapshotError("empty cold segment in snapshot".into()));
+            }
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let seq = d.u64()?;
+                let mut row = Vec::with_capacity(stride);
+                for _ in 0..stride {
+                    row.push(d.value()?);
+                }
+                rows.push((seq, row));
+            }
+            let bits = d.u64s()?;
+            let live = d.usize()?;
+            if bits.len() != n_rows.div_ceil(64) || live > n_rows {
+                return Err(SnapshotError(
+                    "cold segment liveness bitmap malformed".into(),
+                ));
+            }
+            self.spill(store.alloc(op, port), stride, &rows);
+            self.segments
+                .last_mut()
+                .expect("just spilled")
+                .restore_live_bits(bits, live);
+        }
+        self.stats = TierStats {
+            rows_demoted: d.u64()?,
+            rows_faulted: d.u64()?,
+            segments_written: d.u64()?,
+            segments_retired: d.u64()?,
+        };
+        Ok(())
     }
 }
 

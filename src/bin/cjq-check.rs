@@ -29,7 +29,12 @@
 //! `--shards N` runs the hash-partitioned executor, `--memory-budget N`
 //! caps live join-state rows (overflow demotes cold rows to on-disk
 //! segments before any shedding), and `--json` renders the statistics
-//! machine-readably.
+//! machine-readably. `--checkpoint-dir D` writes punctuation-aligned
+//! snapshots every `--checkpoint-every N` elements (default 256) under
+//! `D/WORKLOAD`; the `resume` subcommand takes the same flags and restarts
+//! from the newest valid snapshot there (falling back to the previous one
+//! on checksum failure), replaying only the unconsumed suffix of the feed —
+//! the result is byte-identical to the uninterrupted run.
 //!
 //! `--dot` prints the (generalized) punctuation graph in Graphviz format
 //! instead of the textual report. `--plan` additionally runs the optimizer
@@ -63,7 +68,9 @@ fn usage_main() {
     eprintln!("                      [--plan] [--json] [FILE...]");
     eprintln!("       cjq-check replay [--strict|--permissive|--repair] [--faults]");
     eprintln!("                        [--shards N] [--seed N] [--memory-budget N]");
+    eprintln!("                        [--checkpoint-dir D] [--checkpoint-every N]");
     eprintln!("                        [--json] WORKLOAD...");
+    eprintln!("       cjq-check resume --checkpoint-dir D [replay flags] WORKLOAD...");
     eprintln!("       cjq-check serve [--rounds N] [--lag N] [--shards N]");
     eprintln!("                       [--memory-budget N] [--json] SPEC...");
     eprintln!("       (reads stdin without FILE; WORKLOAD is one of");
@@ -118,7 +125,11 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("replay") {
         args.remove(0);
-        return replay::main(&args);
+        return replay::main(&args, false);
+    }
+    if args.first().map(String::as_str) == Some("resume") {
+        args.remove(0);
+        return replay::main(&args, true);
     }
     if args.first().map(String::as_str) == Some("serve") {
         args.remove(0);
@@ -457,6 +468,7 @@ fn report(query: &Cjq, schemes: &SchemeSet, want_plan: bool) -> ExitCode {
 /// The `replay` subcommand: execute a bundled workload through the hardened
 /// runtime and report the guard/quarantine statistics.
 mod replay {
+    use std::path::PathBuf;
     use std::process::ExitCode;
 
     use punctuated_cjq::core::plan::Plan;
@@ -483,6 +495,9 @@ mod replay {
         shards: usize,
         seed: u64,
         memory_budget: Option<usize>,
+        checkpoint_dir: Option<PathBuf>,
+        checkpoint_every: u64,
+        resume: bool,
         json: bool,
         workloads: Vec<String>,
     }
@@ -490,22 +505,31 @@ mod replay {
     fn usage() -> ExitCode {
         eprintln!("usage: cjq-check replay [--strict|--permissive|--repair] [--faults]");
         eprintln!("                        [--shards N] [--seed N] [--memory-budget N]");
+        eprintln!("                        [--checkpoint-dir D] [--checkpoint-every N]");
         eprintln!("                        [--json] WORKLOAD...");
+        eprintln!("       cjq-check resume --checkpoint-dir D [replay flags] WORKLOAD...");
         eprintln!("       WORKLOAD: auction | sensor | network | trades");
         eprintln!("       --memory-budget caps live join-state rows: overflow demotes");
         eprintln!("       cold rows to on-disk segments (lossless) and sheds only as a");
         eprintln!("       last resort, with shed rows audited in the report");
+        eprintln!("       --checkpoint-dir writes punctuation-aligned snapshots every");
+        eprintln!("       --checkpoint-every elements (default 256) under D/WORKLOAD;");
+        eprintln!("       `resume` restarts from the newest valid snapshot there and");
+        eprintln!("       replays only the unconsumed suffix of the feed");
         eprintln!("       with several workloads the exit code is the worst across them");
         ExitCode::from(EXIT_PARSE)
     }
 
-    fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
+    fn parse_args(args: &[String], resume: bool) -> Result<Options, ExitCode> {
         let mut opts = Options {
             policy: AdmissionPolicy::Quarantine,
             faults: false,
             shards: 1,
             seed: DEFAULT_SEED,
             memory_budget: None,
+            checkpoint_dir: None,
+            checkpoint_every: 256,
+            resume,
             json: false,
             workloads: Vec::new(),
         };
@@ -521,7 +545,14 @@ mod replay {
                 "--repair" => opts.policy = AdmissionPolicy::Repair,
                 "--faults" => opts.faults = true,
                 "--json" => opts.json = true,
-                "--shards" | "--seed" | "--memory-budget" => {
+                "--checkpoint-dir" => {
+                    let Some(v) = it.next() else {
+                        eprintln!("cjq-check: --checkpoint-dir needs a directory argument");
+                        return Err(usage());
+                    };
+                    opts.checkpoint_dir = Some(PathBuf::from(v));
+                }
+                "--shards" | "--seed" | "--memory-budget" | "--checkpoint-every" => {
                     let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                         eprintln!("cjq-check: {arg} needs a numeric argument");
                         return Err(usage());
@@ -529,6 +560,7 @@ mod replay {
                     match arg.as_str() {
                         "--shards" => opts.shards = (v as usize).max(1),
                         "--seed" => opts.seed = v,
+                        "--checkpoint-every" => opts.checkpoint_every = v.max(1),
                         _ => opts.memory_budget = Some((v as usize).max(1)),
                     }
                 }
@@ -541,6 +573,10 @@ mod replay {
         }
         if opts.workloads.is_empty() {
             eprintln!("cjq-check: replay needs a workload name");
+            return Err(usage());
+        }
+        if opts.resume && opts.checkpoint_dir.is_none() {
+            eprintln!("cjq-check: resume requires --checkpoint-dir");
             return Err(usage());
         }
         Ok(opts)
@@ -588,8 +624,8 @@ mod replay {
         }
     }
 
-    pub fn main(args: &[String]) -> ExitCode {
-        let opts = match parse_args(args) {
+    pub fn main(args: &[String], resume: bool) -> ExitCode {
+        let opts = match parse_args(args, resume) {
             Ok(o) => o,
             Err(code) => return code,
         };
@@ -622,16 +658,46 @@ mod replay {
                 ..ExecConfig::default()
             };
             let plan = Plan::mjoin_all(&query);
-            let run = if opts.shards <= 1 {
-                Executor::compile(&query, &schemes, &plan, cfg)
+            // Each workload snapshots into its own subdirectory so a multi-
+            // workload replay cannot mix fingerprints in one snapshot chain.
+            let ckpt = opts.checkpoint_dir.as_ref().map(|d| d.join(name));
+            let every = opts.checkpoint_every;
+            let run = match (&ckpt, opts.shards <= 1) {
+                (None, true) => Executor::compile(&query, &schemes, &plan, cfg)
                     .map_err(|e| e.to_string())
                     .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
-                    .map(|r| r.metrics)
-            } else {
-                ShardedExecutor::compile(&query, &schemes, &plan, cfg, opts.shards)
-                    .map_err(|e| e.to_string())
-                    .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
-                    .map(|r| r.metrics)
+                    .map(|r| r.metrics),
+                (None, false) => {
+                    ShardedExecutor::compile(&query, &schemes, &plan, cfg, opts.shards)
+                        .map_err(|e| e.to_string())
+                        .and_then(|exec| exec.try_run(&feed).map_err(|e| e.to_string()))
+                        .map(|r| r.metrics)
+                }
+                (Some(dir), true) => if opts.resume {
+                    Executor::try_resume(dir, &query, &schemes, &plan, cfg, &feed, every)
+                        .map_err(|e| e.to_string())
+                } else {
+                    Executor::compile(&query, &schemes, &plan, cfg)
+                        .map_err(|e| e.to_string())
+                        .and_then(|exec| {
+                            exec.try_run_checkpointed(&feed, dir, every)
+                                .map_err(|e| e.to_string())
+                        })
+                }
+                .map(|r| r.metrics),
+                (Some(dir), false) => {
+                    ShardedExecutor::compile(&query, &schemes, &plan, cfg, opts.shards)
+                        .map_err(|e| e.to_string())
+                        .and_then(|exec| {
+                            if opts.resume {
+                                exec.try_resume(&feed, dir, every)
+                            } else {
+                                exec.try_run_checkpointed(&feed, dir, every)
+                            }
+                            .map_err(|e| e.to_string())
+                        })
+                        .map(|r| r.metrics)
+                }
             };
             let metrics = match run {
                 Ok(m) => m,
@@ -702,6 +768,21 @@ mod replay {
             let shed: Vec<String> = m.rows_shed_by_port.iter().map(u64::to_string).collect();
             println!("  shed by port:     [{}]", shed.join(", "));
         }
+        if let Some(dir) = &opts.checkpoint_dir {
+            println!(
+                "  checkpoints:      {} written ({} rows) every {} elements under {}",
+                m.checkpoints_written,
+                m.checkpoint_rows,
+                opts.checkpoint_every,
+                dir.join(workload).display()
+            );
+            println!(
+                "  restores:         {} ({} snapshot fallback{})",
+                m.restores,
+                m.snapshot_fallbacks,
+                if m.snapshot_fallbacks == 1 { "" } else { "s" }
+            );
+        }
     }
 
     fn render_json(opts: &Options, workload: &str, m: &Metrics) -> String {
@@ -768,6 +849,29 @@ mod replay {
         out.push_str(&format!(
             "    \"rows_shed_by_port\": [{}]\n",
             shed.join(", ")
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"checkpoint\": {\n");
+        out.push_str(&format!(
+            "    \"dir\": {},\n",
+            opts.checkpoint_dir.as_ref().map_or_else(
+                || "null".to_owned(),
+                |d| json::string(&d.join(workload).display().to_string())
+            )
+        ));
+        out.push_str(&format!("    \"every\": {},\n", opts.checkpoint_every));
+        out.push_str(&format!(
+            "    \"checkpoints_written\": {},\n",
+            m.checkpoints_written
+        ));
+        out.push_str(&format!(
+            "    \"checkpoint_rows\": {},\n",
+            m.checkpoint_rows
+        ));
+        out.push_str(&format!("    \"restores\": {},\n", m.restores));
+        out.push_str(&format!(
+            "    \"snapshot_fallbacks\": {}\n",
+            m.snapshot_fallbacks
         ));
         out.push_str("  },\n");
         out.push_str(&format!("  \"peak_join_state\": {}\n", m.peak_join_state));

@@ -45,6 +45,10 @@ pub struct ParseError {
     pub column: usize,
     /// What went wrong.
     pub message: String,
+    /// The underlying validation error, when the failure came out of
+    /// `cjq-core` rather than the tokenizer (exposed via
+    /// [`std::error::Error::source`]).
+    pub source: Option<CoreError>,
 }
 
 impl fmt::Display for ParseError {
@@ -57,19 +61,22 @@ impl fmt::Display for ParseError {
     }
 }
 
-impl std::error::Error for ParseError {}
-
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
-        line,
-        column: 0,
-        message: message.into(),
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_ref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
     }
 }
 
 impl From<CoreError> for ParseError {
     fn from(e: CoreError) -> Self {
-        err(0, e.to_string())
+        ParseError {
+            line: 0,
+            column: 0,
+            message: e.to_string(),
+            source: Some(e),
+        }
     }
 }
 
@@ -98,6 +105,18 @@ impl Pos<'_> {
             line: self.line,
             column: self.col(sub),
             message: message.into(),
+            source: None,
+        }
+    }
+
+    /// Positioned wrapper around a `cjq-core` validation error, keeping the
+    /// original error reachable through `source()`.
+    fn err_core(&self, sub: &str, e: CoreError) -> ParseError {
+        ParseError {
+            line: self.line,
+            column: self.col(sub),
+            message: e.to_string(),
+            source: Some(e),
         }
     }
 }
@@ -135,8 +154,7 @@ pub fn parse_spec_full(input: &str) -> Result<(Cjq, SchemeSet, Contracts), Parse
                 if catalog.stream_by_name(&name).is_some() {
                     return Err(pos.err(rest, format!("stream `{name}` declared twice")));
                 }
-                let schema =
-                    StreamSchema::new(name, attrs).map_err(|e| pos.err(rest, e.to_string()))?;
+                let schema = StreamSchema::new(name, attrs).map_err(|e| pos.err_core(rest, e))?;
                 catalog.add_stream(schema);
             }
             "join" => {
@@ -145,7 +163,7 @@ pub fn parse_spec_full(input: &str) -> Result<(Cjq, SchemeSet, Contracts), Parse
                     .ok_or_else(|| pos.err(rest, "expected `A.x = B.y`"))?;
                 let l = parse_attr_ref(lhs.trim(), &catalog, pos)?;
                 let r = parse_attr_ref(rhs.trim(), &catalog, pos)?;
-                let p = JoinPredicate::new(l, r).map_err(|e| pos.err(rest, e.to_string()))?;
+                let p = JoinPredicate::new(l, r).map_err(|e| pos.err_core(rest, e))?;
                 predicates.push(p);
             }
             "punctuate" | "heartbeat" => {
@@ -202,6 +220,13 @@ pub fn parse_spec_full(input: &str) -> Result<(Cjq, SchemeSet, Contracts), Parse
             line: lineno,
             column,
             message,
+            source: None,
+        };
+        let at_core = |e: CoreError| ParseError {
+            line: lineno,
+            column,
+            message: e.to_string(),
+            source: Some(e),
         };
         let stream = catalog
             .stream_by_name(&name)
@@ -217,9 +242,9 @@ pub fn parse_spec_full(input: &str) -> Result<(Cjq, SchemeSet, Contracts), Parse
             .collect();
         let ids = ids?;
         let scheme = if ordered {
-            PunctuationScheme::ordered_on(stream.0, ids[0].0).map_err(|e| at(e.to_string()))?
+            PunctuationScheme::ordered_on(stream.0, ids[0].0).map_err(at_core)?
         } else {
-            PunctuationScheme::new(stream, ids).map_err(|e| at(e.to_string()))?
+            PunctuationScheme::new(stream, ids).map_err(at_core)?
         };
         schemes.add(scheme);
     }
@@ -233,6 +258,7 @@ pub fn parse_spec_full(input: &str) -> Result<(Cjq, SchemeSet, Contracts), Parse
             line: lineno,
             column,
             message,
+            source: None,
         };
         let stream = catalog
             .stream_by_name(&name)
@@ -309,7 +335,7 @@ fn parse_attr_ref(
         .ok_or_else(|| pos.err(s, format!("expected `stream.attr`, got `{s}`")))?;
     catalog
         .resolve(stream.trim(), attr.trim())
-        .map_err(|e| pos.err(s, e.to_string()))
+        .map_err(|e| pos.err_core(s, e))
 }
 
 /// Serializes a query + scheme set back into the text format (round-trips
@@ -590,6 +616,18 @@ heartbeat quote(ts)
         let ok = "cadence b(x) = 3\nstream a(x)\nstream b(x)\njoin a.x = b.x\npunctuate b(x)\n";
         let (_, _, c) = parse_spec_full(ok).unwrap();
         assert_eq!(c.cadences().len(), 1);
+    }
+
+    #[test]
+    fn core_errors_are_reachable_through_source() {
+        use std::error::Error as _;
+        // Validation failures from cjq-core keep the typed cause chained.
+        let e = parse_spec("stream a(x)\njoin a.x = b.y\n").unwrap_err();
+        let src = e.source().expect("core-originated errors chain a source");
+        assert!(src.downcast_ref::<CoreError>().is_some());
+        // Pure tokenizer failures have no underlying cause.
+        let e = parse_spec("stream a(x\n").unwrap_err();
+        assert!(e.source().is_none());
     }
 
     #[test]
